@@ -1,0 +1,7 @@
+//! Regenerates the paper's clustering region ablation at full scale. Run: `cargo bench --bench ablation_clustering_regions`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::ablation_clustering_regions(Scale::paper()));
+}

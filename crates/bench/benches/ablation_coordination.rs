@@ -1,0 +1,9 @@
+//! Regenerates the coordination and outage-robustness ablations (beyond the
+//! paper). Run: `cargo bench --bench ablation_coordination`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::ablation_coordination(Scale::paper()));
+    println!("{}", runners::ablation_outage_robustness(Scale::paper()));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's M-FI load-balance ablation at full scale. Run: `cargo bench --bench ablation_load_balance`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::ablation_load_balance(Scale::paper()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the refined-policy convergence ablation (beyond the paper).
+//! Run: `cargo bench --bench ablation_refined_convergence`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::ablation_refined_convergence(Scale::paper()));
+    println!("{}", runners::ablation_refined_weibull40(Scale::paper()));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 3(a) at full scale. Run: `cargo bench --bench fig3a_asymptotic_fi`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::fig3a(Scale::paper()));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 3(b) at full scale. Run: `cargo bench --bench fig3b_asymptotic_pi`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::fig3b(Scale::paper()));
+}

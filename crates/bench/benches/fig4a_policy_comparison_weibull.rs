@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 4(a) at full scale. Run: `cargo bench --bench fig4a_policy_comparison_weibull`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::fig4a(Scale::paper()));
+}

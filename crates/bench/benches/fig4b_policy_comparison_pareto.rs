@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 4(b) at full scale. Run: `cargo bench --bench fig4b_policy_comparison_pareto`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::fig4b(Scale::paper()));
+}

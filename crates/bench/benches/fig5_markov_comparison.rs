@@ -1,0 +1,10 @@
+//! Regenerates both panels of the paper's Fig. 5 at full scale.
+//! Run: `cargo bench --bench fig5_markov_comparison`.
+
+use evcap_bench::{runners, Scale};
+use evcap_bench::runners::Fig5Panel;
+
+fn main() {
+    println!("{}", runners::fig5(Scale::paper(), Fig5Panel::LowB));
+    println!("{}", runners::fig5(Scale::paper(), Fig5Panel::HighB));
+}

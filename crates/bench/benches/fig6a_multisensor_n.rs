@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 6(a) at full scale. Run: `cargo bench --bench fig6a_multisensor_n`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::fig6a(Scale::paper()));
+}

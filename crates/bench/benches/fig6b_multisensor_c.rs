@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 6(b) at full scale. Run: `cargo bench --bench fig6b_multisensor_c`.
+
+use evcap_bench::{runners, Scale};
+
+fn main() {
+    println!("{}", runners::fig6b(Scale::paper()));
+}

@@ -1,0 +1,162 @@
+//! Tabular figure output.
+
+use std::fmt;
+
+/// One curve of a figure: a named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// The final y value.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+}
+
+/// A reproduced figure: an id (e.g. `"fig3a"`), axis labels, and the series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Short id matching the paper's numbering, e.g. `"fig4b"`.
+    pub id: String,
+    /// One-line description of the experiment.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Looks a series up by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has that name — figure construction bugs should
+    /// fail loudly in tests.
+    pub fn series(&self, name: &str) -> &Series {
+        self.series
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no series named {name:?} in {}", self.id))
+    }
+
+    /// The shared x values of the first series.
+    pub fn xs(&self) -> Vec<f64> {
+        self.series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}: {}", self.id, self.title)?;
+        write!(f, "{:>10}", self.x_label)?;
+        for s in &self.series {
+            write!(f, "  {:>14}", truncate(&s.name, 14))?;
+        }
+        writeln!(f)?;
+        for (row, &x) in self.xs().iter().enumerate() {
+            write!(f, "{x:>10.4}")?;
+            for s in &self.series {
+                match s.points.get(row) {
+                    Some(&(_, y)) => write!(f, "  {y:>14.4}")?,
+                    None => write!(f, "  {:>14}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut fig = Figure::new("figX", "test figure", "x");
+        let mut a = Series::new("alpha");
+        a.push(1.0, 0.5);
+        a.push(2.0, 0.75);
+        let mut b = Series::new("beta");
+        b.push(1.0, 0.25);
+        b.push(2.0, 0.5);
+        fig.series.push(a);
+        fig.series.push(b);
+        fig
+    }
+
+    #[test]
+    fn lookup_and_accessors() {
+        let fig = sample_figure();
+        assert_eq!(fig.xs(), vec![1.0, 2.0]);
+        assert_eq!(fig.series("alpha").y_at(2.0), Some(0.75));
+        assert_eq!(fig.series("beta").last_y(), Some(0.5));
+        assert_eq!(fig.series("alpha").y_at(9.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no series named")]
+    fn missing_series_panics() {
+        sample_figure().series("gamma");
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let text = sample_figure().to_string();
+        assert!(text.contains("figX"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("0.7500"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment runners that regenerate every figure of the paper.
+//!
+//! Each `benches/fig*.rs` target is a thin `main` that calls one of the
+//! runners in [`runners`] at full scale (`T = 10^6` slots, the paper's
+//! horizon) and prints the series. The runners are also callable at reduced
+//! scale from integration tests, which assert the *shape* of each figure
+//! (orderings, convergence, crossovers) rather than absolute values.
+
+pub mod figure;
+pub mod parallel;
+pub mod runners;
+pub mod setup;
+pub mod svg;
+
+pub use figure::{Figure, Series};
+pub use setup::Scale;

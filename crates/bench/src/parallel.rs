@@ -1,0 +1,114 @@
+//! Order-preserving parallel map over sweep points.
+//!
+//! Figure sweeps are embarrassingly parallel — every point runs its own
+//! optimizer calls and simulations on a shared, immutable setup — so the
+//! runners fan the points out over scoped worker threads. Results come back
+//! in input order regardless of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `threads` worker threads (capped at
+/// the item count and the machine's parallelism), returning results in the
+/// input order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the whole map panics, matching the
+/// behavior of a sequential loop).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let default_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = default_threads.min(n).max(1);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Items move into Option slots; workers claim indices via an atomic
+    // cursor and deposit results into matching slots.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("no other claimant for this index")
+                    .take()
+                    .expect("each index is claimed once");
+                let value = f(item);
+                *results[i].lock().expect("result slot uncontended") = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker threads have exited")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn work_actually_runs_concurrently_or_not_but_is_correct() {
+        // Heavier closure exercising the claim/deposit paths.
+        let out = parallel_map((0..32).collect(), |i: u64| {
+            let mut acc = 0u64;
+            for k in 0..10_000 {
+                acc = acc.wrapping_add(k * i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        parallel_map(vec![1, 2, 3], |i: i32| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! Ablations of the multi-sensor coordination layer.
+
+use evcap_core::{ClusteringOptimizer, EnergyBudget, MultiSensorPlan, SlotAssignment};
+use evcap_energy::{BernoulliRecharge, Energy};
+use evcap_sim::{EventSchedule, OutagePlan, Simulation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::figure::{Figure, Series};
+use crate::setup::{consumption, weibull_pmf, Scale};
+
+const Q: f64 = 0.1;
+const C: f64 = 1.0;
+const CAPACITY: f64 = 1000.0;
+
+/// Coordinated round-robin vs fully independent operation (the paper's
+/// Section V motivation: "without coordination, the sensors are prone to
+/// activating at the same time slots and duplicate each other's efforts").
+///
+/// Both fleets run partial-information clustering policies with the same
+/// per-sensor recharge; the coordinated fleet shares captures via the sink
+/// broadcast and rotates responsibility, the independent one does not.
+pub fn ablation_coordination(scale: Scale) -> Figure {
+    let pmf = weibull_pmf();
+    let consumption = consumption();
+    let schedule =
+        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let mut coordinated = Series::new("coordinated");
+    let mut independent = Series::new("independent");
+    for n in [1usize, 2, 4, 6, 8] {
+        let per_sensor = EnergyBudget::per_slot(Q * C);
+        // Coordinated: M-PI at the aggregate rate.
+        let aggregate = EnergyBudget::per_slot(per_sensor.rate() * n as f64);
+        let (pi_agg, _) = ClusteringOptimizer::new(aggregate)
+            .optimize(&pmf, &consumption)
+            .expect("feasible");
+        let report = Simulation::builder(&pmf)
+            .slots(scale.slots)
+            .seed(scale.seed)
+            .sensors(n)
+            .assignment(SlotAssignment::RoundRobin)
+            .battery(Energy::from_units(CAPACITY))
+            .run_on(&schedule, &pi_agg, &mut |_| {
+                Box::new(BernoulliRecharge::new(Q, Energy::from_units(C)).expect("valid"))
+            })
+            .expect("valid simulation");
+        coordinated.push(n as f64, report.qom());
+
+        // Independent: every sensor runs the single-sensor policy on its own
+        // observations.
+        let (pi_single, _) = ClusteringOptimizer::new(per_sensor)
+            .optimize(&pmf, &consumption)
+            .expect("feasible");
+        let report = Simulation::builder(&pmf)
+            .slots(scale.slots)
+            .seed(scale.seed)
+            .sensors(n)
+            .independent()
+            .battery(Energy::from_units(CAPACITY))
+            .run_on(&schedule, &pi_single, &mut |_| {
+                Box::new(BernoulliRecharge::new(Q, Energy::from_units(C)).expect("valid"))
+            })
+            .expect("valid simulation");
+        independent.push(n as f64, report.qom());
+    }
+    let mut fig = Figure::new(
+        "ablation-coordination",
+        "coordinated (M-PI) vs independent fleets, QoM vs N (q=0.1, c=1), X~W(40,3)",
+        "N",
+    );
+    fig.series.push(coordinated);
+    fig.series.push(independent);
+    fig
+}
+
+/// Outage robustness: M-FI QoM as random sensor outages intensify.
+pub fn ablation_outage_robustness(scale: Scale) -> Figure {
+    let pmf = weibull_pmf();
+    let consumption = consumption();
+    let schedule =
+        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let n = 5usize;
+    let plan = MultiSensorPlan::m_fi(&pmf, EnergyBudget::per_slot(Q * C), n, &consumption)
+        .expect("valid setup");
+    let mut qom = Series::new("QoM");
+    let mut downtime = Series::new("downtime-frac");
+    for p_fail in [0.0, 0.02, 0.05, 0.1, 0.2] {
+        let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0xDEAD);
+        let outages = OutagePlan::sample(&mut rng, n, scale.slots, 1_000, p_fail, 2_000);
+        let report = Simulation::builder(&pmf)
+            .slots(scale.slots)
+            .seed(scale.seed)
+            .sensors(n)
+            .assignment(plan.assignment())
+            .battery(Energy::from_units(CAPACITY))
+            .outages(outages)
+            .run_on(&schedule, plan.policy(), &mut |_| {
+                Box::new(BernoulliRecharge::new(Q, Energy::from_units(C)).expect("valid"))
+            })
+            .expect("valid simulation");
+        qom.push(p_fail, report.qom());
+        downtime.push(
+            p_fail,
+            report.total_outage_slots() as f64 / (scale.slots as f64 * n as f64),
+        );
+    }
+    let mut fig = Figure::new(
+        "ablation-outage",
+        "M-FI robustness to random sensor outages (N=5, q=0.1, c=1), X~W(40,3)",
+        "p_fail",
+    );
+    fig.series.push(qom);
+    fig.series.push(downtime);
+    fig
+}

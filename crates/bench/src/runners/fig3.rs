@@ -1,0 +1,78 @@
+//! Fig. 3: asymptotic optimality in the battery capacity `K`.
+//!
+//! Setup (paper Section VI-A1): `e = 0.5`, events `X ~ W(40, 3)`, three
+//! recharge processes with identical mean rate (Bernoulli `q=0.5, c=1`;
+//! Periodic `5` units every `10` slots; constant `0.5`/slot, the paper's
+//! "Uniform"). Sweep the battery capacity `K` and plot the achieved QoM of
+//! (a) the greedy full-information policy `π*_FI(e)` and (b) the clustering
+//! partial-information policy `π'_PI(e)`, against their analytic values
+//! under the energy assumption ("Upper Bound").
+
+use evcap_core::{ActivationPolicy, ClusteringOptimizer, EnergyBudget, GreedyPolicy};
+use evcap_energy::Energy;
+use evcap_sim::{EventSchedule, Simulation};
+
+use crate::figure::{Figure, Series};
+use crate::setup::{consumption, fig3_recharges, weibull_pmf, Scale};
+
+/// Battery capacities swept on the x-axis (energy units).
+fn capacities() -> Vec<f64> {
+    vec![8.0, 15.0, 25.0, 40.0, 70.0, 100.0, 150.0, 200.0]
+}
+
+fn run(scale: Scale, policy: &dyn ActivationPolicy, upper_bound: f64, id: &str, title: &str) -> Figure {
+    let pmf = weibull_pmf();
+    let schedule =
+        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let mut fig = Figure::new(id, title, "K");
+    for (name, make) in fig3_recharges() {
+        let mut series = Series::new(name);
+        for &k in &capacities() {
+            let report = Simulation::builder(&pmf)
+                .slots(scale.slots)
+                .seed(scale.seed)
+                .battery(Energy::from_units(k))
+                .run_on(&schedule, policy, &mut |_| make())
+                .expect("valid simulation");
+            series.push(k, report.qom());
+        }
+        fig.series.push(series);
+    }
+    let mut bound = Series::new("UpperBound");
+    for &k in &capacities() {
+        bound.push(k, upper_bound);
+    }
+    fig.series.push(bound);
+    fig
+}
+
+/// Reproduces Fig. 3(a): `U_K(π*_FI(0.5))` vs `K` for three recharge
+/// processes, with the analytic optimum as the bound.
+pub fn fig3a(scale: Scale) -> Figure {
+    let pmf = weibull_pmf();
+    let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption())
+        .expect("valid setup");
+    run(
+        scale,
+        &policy,
+        policy.ideal_qom(),
+        "fig3a",
+        "achieved QoM of greedy π*_FI(0.5) vs battery capacity K, X~W(40,3)",
+    )
+}
+
+/// Reproduces Fig. 3(b): `U_K(π'_PI(0.5))` vs `K` for three recharge
+/// processes, with the analytic clustering value as the bound.
+pub fn fig3b(scale: Scale) -> Figure {
+    let pmf = weibull_pmf();
+    let (policy, eval) = ClusteringOptimizer::new(EnergyBudget::per_slot(0.5))
+        .optimize(&pmf, &consumption())
+        .expect("valid setup");
+    run(
+        scale,
+        &policy,
+        eval.capture_probability,
+        "fig3b",
+        "achieved QoM of clustering π'_PI(0.5) vs battery capacity K, X~W(40,3)",
+    )
+}

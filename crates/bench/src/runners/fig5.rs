@@ -1,0 +1,96 @@
+//! Fig. 5: the clustering policy against π_EBCW on Markov-chain events.
+//!
+//! Setup (paper Section VI-A2): events follow a two-state Markov chain with
+//! `a = P(1|1)`, `b = P(0|0)`; Bernoulli recharge `q = 0.5, c = 2`
+//! (`e = 1`), `K = 1000`. Panel (a) fixes `b = 0.2` and sweeps `a`;
+//! panel (b) fixes `b = 0.7`. The paper's claim: the curves coincide where
+//! `a, b > 0.5` (EBCW's positive-correlation premise holds) and `π'_PI`
+//! wins elsewhere.
+
+use evcap_core::{ClusteringOptimizer, EbcwPolicy, EnergyBudget, SlotAssignment};
+use evcap_dist::MarkovEvents;
+use evcap_sim::EventSchedule;
+
+use crate::figure::{Figure, Series};
+use crate::parallel::parallel_map;
+use crate::setup::{consumption, simulate_qom, Scale};
+
+const Q: f64 = 0.5;
+const C: f64 = 2.0;
+const CAPACITY: f64 = 1000.0;
+
+/// Which panel of Fig. 5 to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig5Panel {
+    /// Panel (a): `b = 0.2`, `a ∈ [0.1, 0.9]`.
+    LowB,
+    /// Panel (b): `b = 0.7`, `a ∈ [0.2, 1.0]`.
+    HighB,
+}
+
+impl Fig5Panel {
+    fn b(self) -> f64 {
+        match self {
+            Fig5Panel::LowB => 0.2,
+            Fig5Panel::HighB => 0.7,
+        }
+    }
+
+    fn a_values(self) -> Vec<f64> {
+        match self {
+            Fig5Panel::LowB => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            Fig5Panel::HighB => vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+        }
+    }
+}
+
+/// Reproduces one panel of Fig. 5: simulated QoM of `π'_PI(e)` and
+/// `π_EBCW` vs `a`.
+pub fn fig5(scale: Scale, panel: Fig5Panel) -> Figure {
+    let consumption = consumption();
+    let b = panel.b();
+    let e = Q * C;
+    let budget = EnergyBudget::per_slot(e);
+    let rows = parallel_map(panel.a_values(), |a| {
+        let chain = MarkovEvents::new(a, b).expect("valid parameters");
+        let pmf = chain.to_slot_pmf().expect("proper renewal transform");
+        let schedule =
+            EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+        let sim = |policy: &dyn evcap_core::ActivationPolicy| {
+            simulate_qom(
+                &pmf,
+                &schedule,
+                policy,
+                Q,
+                C,
+                CAPACITY,
+                1,
+                SlotAssignment::RoundRobin,
+                scale,
+            )
+        };
+        let (pi, _) = ClusteringOptimizer::new(budget)
+            .optimize(&pmf, &consumption)
+            .expect("feasible budget");
+        let eb = EbcwPolicy::optimize(&chain, budget, &consumption).expect("feasible budget");
+        (a, sim(&pi), sim(&eb))
+    });
+    let mut clustering = Series::new("clustering");
+    let mut ebcw = Series::new("EBCW");
+    for (a, pi, eb) in rows {
+        clustering.push(a, pi);
+        ebcw.push(a, eb);
+    }
+    let id = match panel {
+        Fig5Panel::LowB => "fig5a",
+        Fig5Panel::HighB => "fig5b",
+    };
+    let mut fig = Figure::new(
+        id,
+        format!("QoM vs a (b={b}, q=0.5, c=2, K=1000), Markov events"),
+        "a",
+    );
+    fig.series.push(clustering);
+    fig.series.push(ebcw);
+    fig
+}

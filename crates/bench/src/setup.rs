@@ -1,0 +1,141 @@
+//! Shared experimental setup: the paper's workloads, recharge processes, and
+//! scale knobs.
+
+use evcap_core::{ActivationPolicy, SlotAssignment};
+use evcap_dist::{Discretizer, Pareto, SlotPmf, Weibull};
+use evcap_energy::{
+    BernoulliRecharge, ConstantRecharge, ConsumptionModel, Energy, PeriodicRecharge,
+    RechargeProcess,
+};
+use evcap_sim::{EventSchedule, Simulation};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Simulated slots per data point.
+    pub slots: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's scale: `T = 10^6` slots.
+    pub fn paper() -> Self {
+        Self {
+            slots: 1_000_000,
+            seed: 2012,
+        }
+    }
+
+    /// A reduced scale for integration tests (still enough events for the
+    /// orderings to be statistically stable).
+    pub fn quick() -> Self {
+        Self {
+            slots: 150_000,
+            seed: 2012,
+        }
+    }
+}
+
+/// The paper's Weibull workload `W(40, 3)`, discretized.
+pub fn weibull_pmf() -> SlotPmf {
+    Discretizer::new()
+        .discretize(&Weibull::new(40.0, 3.0).expect("static parameters"))
+        .expect("light tail discretizes")
+}
+
+/// The paper's Pareto workload `P(2, 10)`, discretized with a 2 000-slot head
+/// and analytic geometric tail.
+pub fn pareto_pmf() -> SlotPmf {
+    Discretizer::new()
+        .max_horizon(2_000)
+        .discretize(&Pareto::new(2.0, 10.0).expect("static parameters"))
+        .expect("tail is modeled")
+}
+
+/// The paper's consumption model (`δ1 = 1`, `δ2 = 6`).
+pub fn consumption() -> ConsumptionModel {
+    ConsumptionModel::paper_defaults()
+}
+
+/// A named factory for one of Fig. 3's recharge processes.
+pub type RechargeFactoryEntry = (&'static str, Box<dyn Fn() -> Box<dyn RechargeProcess>>);
+
+/// The three recharge processes of Fig. 3, all with mean rate 0.5.
+pub fn fig3_recharges() -> Vec<RechargeFactoryEntry> {
+    vec![
+        (
+            "Bernoulli",
+            Box::new(|| {
+                Box::new(
+                    BernoulliRecharge::new(0.5, Energy::from_units(1.0)).expect("static"),
+                ) as Box<dyn RechargeProcess>
+            }),
+        ),
+        (
+            "Periodic",
+            Box::new(|| {
+                Box::new(PeriodicRecharge::new(Energy::from_units(5.0), 10).expect("static"))
+                    as Box<dyn RechargeProcess>
+            }),
+        ),
+        (
+            "Uniform",
+            Box::new(|| {
+                Box::new(ConstantRecharge::new(Energy::from_units(0.5)).expect("static"))
+                    as Box<dyn RechargeProcess>
+            }),
+        ),
+    ]
+}
+
+/// Runs one policy on a shared schedule with Bernoulli recharge of rate
+/// `q·c` per sensor, returning the achieved QoM.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_qom(
+    pmf: &SlotPmf,
+    schedule: &EventSchedule,
+    policy: &dyn ActivationPolicy,
+    q: f64,
+    c: f64,
+    capacity_units: f64,
+    sensors: usize,
+    assignment: SlotAssignment,
+    scale: Scale,
+) -> f64 {
+    let report = Simulation::builder(pmf)
+        .slots(scale.slots)
+        .seed(scale.seed)
+        .sensors(sensors)
+        .assignment(assignment)
+        .battery(Energy::from_units(capacity_units))
+        .run_on(schedule, policy, &mut |_| {
+            Box::new(BernoulliRecharge::new(q, Energy::from_units(c)).expect("validated by caller"))
+        })
+        .expect("simulation configuration is valid");
+    report.qom()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_means() {
+        assert!((weibull_pmf().mean() - 36.2).abs() < 0.5);
+        assert!((pareto_pmf().mean() - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig3_recharges_share_rate() {
+        for (name, make) in fig3_recharges() {
+            let p = make();
+            assert!((p.mean_rate() - 0.5).abs() < 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::quick().slots < Scale::paper().slots);
+    }
+}

@@ -1,0 +1,259 @@
+//! Dependency-free SVG rendering of reproduced figures.
+//!
+//! Every [`Figure`] can be rendered to a standalone SVG line chart — axes,
+//! ticks, legend, one polyline per series — so the reproduction can be
+//! compared against the paper's plots visually, not just numerically.
+//! `evcap figure <id> --svg out.svg` uses this.
+
+use std::fmt::Write as _;
+
+use crate::figure::Figure;
+
+/// Chart geometry.
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 460.0;
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 160.0;
+const MARGIN_TOP: f64 = 48.0;
+const MARGIN_BOTTOM: f64 = 56.0;
+
+/// A color-blind-safe categorical palette (Okabe–Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// Renders the figure as a standalone SVG document.
+///
+/// The y-axis is fixed to `[0, 1]` when every value fits (the natural range
+/// for capture probabilities) and auto-scaled otherwise.
+pub fn render(figure: &Figure) -> String {
+    let xs: Vec<f64> = figure
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    let ys: Vec<f64> = figure
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .collect();
+    let (x_min, x_max) = bounds(&xs, 0.0, 1.0);
+    let all_unit = ys.iter().all(|&y| (-0.001..=1.001).contains(&y));
+    let (y_min, y_max) = if all_unit {
+        (0.0, 1.0)
+    } else {
+        bounds(&ys, 0.0, 1.0)
+    };
+
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let sx = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+    let sy = |y: f64| MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h;
+
+    let mut out = String::with_capacity(8192);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    // Title.
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="24" font-size="14" text-anchor="middle">{}</text>"#,
+        WIDTH / 2.0,
+        escape(&format!("{}: {}", figure.id, figure.title))
+    );
+
+    // Gridlines + y ticks.
+    for k in 0..=5 {
+        let y = y_min + (y_max - y_min) * k as f64 / 5.0;
+        let py = sy(y);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{:.1}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#ddd"/>"##,
+            MARGIN_LEFT,
+            MARGIN_LEFT + plot_w
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            MARGIN_LEFT - 8.0,
+            py + 4.0,
+            trim_num(y)
+        );
+    }
+    // X ticks.
+    for k in 0..=6 {
+        let x = x_min + (x_max - x_min) * k as f64 / 6.0;
+        let px = sx(x);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            MARGIN_TOP,
+            MARGIN_TOP + plot_h
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{px:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h + 18.0,
+            trim_num(x)
+        );
+    }
+    // Axes.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##,
+        MARGIN_LEFT, MARGIN_TOP
+    );
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        HEIGHT - 14.0,
+        escape(&figure.x_label)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="18" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 18 {:.1})">QoM</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0
+    );
+
+    // Series.
+    for (idx, series) in figure.series.iter().enumerate() {
+        let color = PALETTE[idx % PALETTE.len()];
+        let mut path = String::new();
+        for &(x, y) in &series.points {
+            let _ = write!(path, "{:.1},{:.1} ", sx(x), sy(y));
+        }
+        let _ = writeln!(
+            out,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.trim_end()
+        );
+        for &(x, y) in &series.points {
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_TOP + 16.0 * idx as f64;
+        let lx = MARGIN_LEFT + plot_w + 12.0;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="2"/>"#,
+            ly + 4.0,
+            lx + 18.0,
+            ly + 4.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+            lx + 24.0,
+            ly + 8.0,
+            escape(&series.name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Min/max with a fallback for empty or degenerate data.
+fn bounds(values: &[f64], lo: f64, hi: f64) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        (lo, hi)
+    } else if (max - min).abs() < 1e-12 {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+/// Formats a tick value compactly.
+fn trim_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Escapes XML-special characters in labels.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure::{Figure, Series};
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("figT", "test <plot> & stuff", "c");
+        let mut a = Series::new("alpha");
+        a.push(0.5, 0.2);
+        a.push(1.0, 0.8);
+        let mut b = Series::new("beta");
+        b.push(0.5, 0.1);
+        b.push(1.0, 0.4);
+        fig.series.push(a);
+        fig.series.push(b);
+        fig
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One polyline per series plus legend lines.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("alpha") && svg.contains("beta"));
+        // Labels are escaped.
+        assert!(svg.contains("&lt;plot&gt; &amp; stuff"));
+        assert!(!svg.contains("<plot>"));
+    }
+
+    #[test]
+    fn unit_range_is_pinned() {
+        let svg = render(&sample());
+        // y tick "1" must appear (fixed 0..1 axis).
+        assert!(svg.contains(">1</text>"));
+        assert!(svg.contains(">0</text>"));
+    }
+
+    #[test]
+    fn autoscale_kicks_in_beyond_unit_range() {
+        let mut fig = sample();
+        fig.series[0].points[1].1 = 40.0;
+        let svg = render(&fig);
+        assert!(svg.contains(">40</text>") || svg.contains(">32</text>") || svg.contains("40"));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let mut fig = Figure::new("figD", "one point", "x");
+        let mut s = Series::new("solo");
+        s.push(1.0, 0.5);
+        fig.series.push(s);
+        let svg = render(&fig);
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(trim_num(1.0), "1");
+        assert_eq!(trim_num(0.25), "0.25");
+        assert_eq!(trim_num(-2.0), "-2");
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal flag parser (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    command: Option<String>,
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// A command-line parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A flag appeared twice.
+    Duplicate(String),
+    /// A required flag was absent.
+    Required(String),
+    /// A flag's value failed to parse.
+    Invalid {
+        /// The flag name.
+        flag: String,
+        /// The value supplied.
+        value: String,
+        /// The expected type or domain.
+        expected: &'static str,
+    },
+    /// A flag was supplied that the command does not know.
+    Unknown(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgsError::Duplicate(flag) => write!(f, "flag --{flag} given more than once"),
+            ArgsError::Required(flag) => write!(f, "missing required flag --{flag}"),
+            ArgsError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag --{flag} = `{value}` is invalid; expected {expected}"),
+            ArgsError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses `argv` (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for malformed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgsError> {
+        let mut out = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(flag) = token.strip_prefix("--") {
+                let (name, value) = match flag.split_once('=') {
+                    Some((n, v)) => (n.to_owned(), v.to_owned()),
+                    None => {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| ArgsError::MissingValue(flag.to_owned()))?;
+                        (flag.to_owned(), value)
+                    }
+                };
+                if out.flags.insert(name.clone(), value).is_some() {
+                    return Err(ArgsError::Duplicate(name));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(token);
+            } else {
+                out.positional.push(token);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Positional arguments after the subcommand.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Required`] if absent.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgsError> {
+        self.get(flag).ok_or_else(|| ArgsError::Required(flag.to_owned()))
+    }
+
+    /// A typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Invalid`] if present but unparseable.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::Invalid {
+                flag: flag.to_owned(),
+                value: raw.to_owned(),
+                expected,
+            }),
+        }
+    }
+
+    /// Verifies that every supplied flag is in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Unknown`] for the first unexpected flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgsError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let args = parse(&["simulate", "--dist", "weibull:40,3", "--e=0.5", "extra"]).unwrap();
+        assert_eq!(args.command(), Some("simulate"));
+        assert_eq!(args.get("dist"), Some("weibull:40,3"));
+        assert_eq!(args.get("e"), Some("0.5"));
+        assert_eq!(args.positional(), &["extra".to_string()]);
+    }
+
+    #[test]
+    fn typed_flags_with_defaults() {
+        let args = parse(&["x", "--slots", "1000"]).unwrap();
+        assert_eq!(args.get_or("slots", 5u64, "an integer").unwrap(), 1000);
+        assert_eq!(args.get_or("seed", 42u64, "an integer").unwrap(), 42);
+        assert!(args.get_or("slots", 0f32, "a float").is_ok());
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            parse(&["x", "--flag"]),
+            Err(ArgsError::MissingValue("flag".into()))
+        );
+        assert_eq!(
+            parse(&["x", "--a", "1", "--a", "2"]),
+            Err(ArgsError::Duplicate("a".into()))
+        );
+        let args = parse(&["x", "--slots", "abc"]).unwrap();
+        assert!(matches!(
+            args.get_or("slots", 0u64, "an integer"),
+            Err(ArgsError::Invalid { .. })
+        ));
+        assert!(matches!(args.require("dist"), Err(ArgsError::Required(_))));
+        assert!(matches!(
+            args.expect_only(&["seed"]),
+            Err(ArgsError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArgsError::Invalid {
+            flag: "e".into(),
+            value: "x".into(),
+            expected: "a rate",
+        };
+        assert!(e.to_string().contains("--e"));
+        assert!(e.to_string().contains("a rate"));
+    }
+}

@@ -1,0 +1,427 @@
+//! CLI subcommand implementations.
+
+use std::error::Error;
+
+use evcap_bench::{runners, Scale};
+use evcap_core::{
+    ActivationPolicy, AggressivePolicy, ClusteringOptimizer, EnergyBudget, EvalOptions,
+    GreedyPolicy, MyopicPolicy, PeriodicPolicy, SlotAssignment,
+};
+use evcap_energy::{ConsumptionModel, Energy};
+use evcap_sim::{
+    recommend_capacity, run_adaptive_greedy, AdaptiveConfig, Simulation, SizingOptions,
+};
+
+use crate::args::{Args, ArgsError};
+use crate::spec;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+evcap — dynamic activation policies for event capture with rechargeable sensors
+
+USAGE:
+  evcap <command> [--flags]
+
+COMMANDS:
+  hazards    print the slotted pmf/hazard table of a distribution
+             --dist SPEC [--max-state N] [--horizon H]
+  optimize   compute a policy and report its analytic performance
+             --dist SPEC --e RATE [--policy greedy|clustering|myopic]
+             [--delta1 X] [--delta2 Y] [--horizon H]
+  simulate   run a policy against a finite-battery simulation
+             --dist SPEC --policy greedy|clustering|aggressive|periodic|myopic
+             [--e RATE] [--recharge SPEC] [--slots N] [--seed S] [--k CAP]
+             [--sensors N] [--coordination rotating|independent] [--horizon H]
+             [--format text|json]
+  provision  find the smallest battery that reaches a target QoM
+             --dist SPEC --target QOM [--policy greedy|clustering]
+             [--e RATE] [--recharge SPEC] [--slots N] [--max-k CAP]
+  adaptive   learn the event process online and re-optimize per episode
+             --dist SPEC --e RATE [--episodes N] [--episode-slots N]
+  figure     regenerate a paper figure (fig3a fig3b fig4a fig4b fig5a fig5b
+             fig6a fig6b) or ablation (regions load-balance refined
+             coordination outage)   [--quick true] [--svg out.svg]
+  help       show this message
+
+SPECS:
+  distributions: weibull:40,3  pareto:2,10  exp:0.05  erlang:4,0.2
+                 uniform:10,30  det:7  hyperexp:0.4,0.5,0.05  markov:0.7,0.8
+  recharge:      bernoulli:0.5,1  periodic:5,10  constant:0.5  uniformrand:0,1
+";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn consumption_from(args: &Args) -> Result<ConsumptionModel, Box<dyn Error>> {
+    let d1: f64 = args.get_or("delta1", 1.0, "an energy amount")?;
+    let d2: f64 = args.get_or("delta2", 6.0, "an energy amount")?;
+    Ok(ConsumptionModel::new(
+        Energy::from_units(d1),
+        Energy::from_units(d2),
+    )?)
+}
+
+/// `evcap hazards`
+pub fn hazards(args: &Args) -> CmdResult {
+    args.expect_only(&["dist", "max-state", "horizon"])?;
+    let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
+    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let default_max = pmf.horizon().min(64);
+    let max_state: usize = args.get_or("max-state", default_max, "a state count")?;
+    println!("distribution : {}", pmf.label());
+    println!("mean gap μ   : {:.4} slots", pmf.mean());
+    println!("horizon      : {} explicit slots (tail mass {:.3e}, tail hazard {:.4})",
+        pmf.horizon(), pmf.tail_mass(), pmf.tail_hazard());
+    println!();
+    println!("{:>6} {:>12} {:>12} {:>12}", "slot", "alpha_i", "F(i)", "beta_i");
+    for i in 1..=max_state {
+        println!(
+            "{i:>6} {:>12.6} {:>12.6} {:>12.6}",
+            pmf.pmf(i),
+            pmf.cdf(i),
+            pmf.hazard(i)
+        );
+    }
+    Ok(())
+}
+
+/// `evcap optimize`
+pub fn optimize(args: &Args) -> CmdResult {
+    args.expect_only(&["dist", "e", "policy", "delta1", "delta2", "horizon"])?;
+    let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
+    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let raw_e = args.require("e")?;
+    let e: f64 = raw_e.parse().map_err(|_| ArgsError::Invalid {
+        flag: "e".into(),
+        value: raw_e.into(),
+        expected: "a recharge rate",
+    })?;
+    let budget = EnergyBudget::per_slot(e);
+    let consumption = consumption_from(args)?;
+    let which = args.get("policy").unwrap_or("greedy");
+    println!("distribution : {} (μ = {:.3})", pmf.label(), pmf.mean());
+    println!("budget       : e = {e} units/slot ({:.3} per renewal)", e * pmf.mean());
+    match which {
+        "greedy" => {
+            let policy = GreedyPolicy::optimize(&pmf, budget, &consumption)?;
+            println!("policy       : {}", policy.label());
+            println!("ideal QoM    : {:.4}", policy.ideal_qom());
+            println!("discharge    : {:.4} units/slot", policy.discharge_rate());
+            let first = (1..=pmf.horizon()).find(|&i| policy.coefficient(i) > 0.0);
+            if let Some(first) = first {
+                println!(
+                    "structure    : first active state {first} (c = {:.4})",
+                    policy.coefficient(first)
+                );
+            }
+        }
+        "clustering" => {
+            let (policy, eval) = ClusteringOptimizer::new(budget).optimize(&pmf, &consumption)?;
+            println!("policy       : {}", policy.label());
+            println!("ideal QoM    : {:.4}", eval.capture_probability);
+            println!("discharge    : {:.4} units/slot", eval.discharge_rate);
+            println!("capture cycle: {:.2} slots", eval.expected_cycle);
+        }
+        "myopic" => {
+            let window = (4.0 * pmf.mean()).ceil() as usize;
+            let policy =
+                MyopicPolicy::derive(&pmf, budget, &consumption, window, EvalOptions::default())?;
+            println!("policy       : {}", policy.label());
+            println!("ideal QoM    : {:.4}", policy.evaluation().capture_probability);
+            println!("discharge    : {:.4} units/slot", policy.evaluation().discharge_rate);
+        }
+        other => return Err(format!("unknown policy `{other}` for optimize").into()),
+    }
+    Ok(())
+}
+
+/// `evcap simulate`
+pub fn simulate(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "dist",
+        "policy",
+        "e",
+        "recharge",
+        "slots",
+        "seed",
+        "k",
+        "sensors",
+        "coordination",
+        "delta1",
+        "delta2",
+        "horizon",
+        "theta1",
+        "format",
+    ])?;
+    let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
+    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let slots: u64 = args.get_or("slots", 1_000_000, "a slot count")?;
+    let seed: u64 = args.get_or("seed", 2012, "an integer")?;
+    let k: f64 = args.get_or("k", 1000.0, "a battery capacity")?;
+    let sensors: usize = args.get_or("sensors", 1, "a sensor count")?;
+    let consumption = consumption_from(args)?;
+
+    // Recharge: explicit spec, or Bernoulli(0.5, 2e) derived from --e.
+    let recharge_spec = match (args.get("recharge"), args.get("e")) {
+        (Some(spec), _) => spec.to_owned(),
+        (None, Some(e)) => {
+            let e: f64 = e.parse().map_err(|_| ArgsError::Invalid {
+                flag: "e".into(),
+                value: e.into(),
+                expected: "a recharge rate",
+            })?;
+            format!("bernoulli:0.5,{}", 2.0 * e)
+        }
+        (None, None) => return Err("pass --e RATE or --recharge SPEC".into()),
+    };
+    let probe = spec::parse_recharge(&recharge_spec)?;
+    let e = match args.get("e") {
+        Some(raw) => raw.parse().map_err(|_| ArgsError::Invalid {
+            flag: "e".into(),
+            value: raw.into(),
+            expected: "a recharge rate",
+        })?,
+        None => probe.mean_rate(),
+    };
+    // Coordinated fleets pool energy: policies are computed at N·e.
+    let aggregate = EnergyBudget::per_slot(e * sensors as f64);
+
+    let which = args.require("policy")?;
+    let policy: Box<dyn ActivationPolicy> = match which {
+        "greedy" => Box::new(GreedyPolicy::optimize(&pmf, aggregate, &consumption)?),
+        "clustering" => {
+            Box::new(ClusteringOptimizer::new(aggregate).optimize(&pmf, &consumption)?.0)
+        }
+        "aggressive" => Box::new(AggressivePolicy::new()),
+        "periodic" => {
+            let theta1: u64 = args.get_or("theta1", 3, "a slot count")?;
+            Box::new(PeriodicPolicy::energy_balanced(
+                theta1,
+                aggregate,
+                pmf.mean(),
+                &consumption,
+            )?)
+        }
+        "myopic" => {
+            let window = (4.0 * pmf.mean()).ceil() as usize;
+            Box::new(MyopicPolicy::derive(
+                &pmf,
+                aggregate,
+                &consumption,
+                window,
+                EvalOptions::default(),
+            )?)
+        }
+        other => return Err(format!("unknown policy `{other}` for simulate").into()),
+    };
+
+    let mut builder = Simulation::builder(&pmf)
+        .slots(slots)
+        .seed(seed)
+        .sensors(sensors)
+        .consumption(consumption)
+        .battery(Energy::from_units(k));
+    match args.get("coordination").unwrap_or("rotating") {
+        "rotating" => builder = builder.assignment(SlotAssignment::RoundRobin),
+        "independent" => builder = builder.independent(),
+        other => return Err(format!("unknown coordination `{other}`").into()),
+    }
+    let report = builder.run(policy.as_ref(), &mut |_| {
+        spec::parse_recharge(&recharge_spec).expect("validated above")
+    })?;
+
+    match args.get("format").unwrap_or("text") {
+        "json" => println!("{}", crate::json::sim_report(&report)),
+        "text" => {
+            println!("policy       : {}", policy.label());
+            println!("recharge     : {recharge_spec} (e = {e:.4}/sensor)");
+            println!("slots        : {slots}  (seed {seed}, K = {k}, N = {sensors})");
+            println!("events       : {}", report.events);
+            println!("captured     : {}", report.captures);
+            println!("QoM          : {:.4}", report.qom());
+            println!("activations  : {}", report.total_activations());
+            println!("forced idle  : {}", report.total_forced_idle());
+            println!("discharge    : {:.4} units/slot (fleet)", report.discharge_rate());
+            if sensors > 1 {
+                println!("load balance : {:.4}", report.load_balance());
+            }
+        }
+        other => return Err(format!("unknown format `{other}` (try text, json)").into()),
+    }
+    Ok(())
+}
+
+/// `evcap provision`
+pub fn provision(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "dist", "target", "policy", "e", "recharge", "slots", "max-k", "seed", "horizon",
+        "delta1", "delta2",
+    ])?;
+    let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
+    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let raw_target = args.require("target")?;
+    let target: f64 = raw_target.parse().map_err(|_| ArgsError::Invalid {
+        flag: "target".into(),
+        value: raw_target.into(),
+        expected: "a QoM in (0, 1]",
+    })?;
+    let consumption = consumption_from(args)?;
+    let recharge_spec = match (args.get("recharge"), args.get("e")) {
+        (Some(spec), _) => spec.to_owned(),
+        (None, Some(e)) => format!("bernoulli:0.5,{}", 2.0 * e.parse::<f64>().unwrap_or(0.5)),
+        (None, None) => return Err("pass --e RATE or --recharge SPEC".into()),
+    };
+    let e = spec::parse_recharge(&recharge_spec)?.mean_rate();
+    let budget = EnergyBudget::per_slot(e);
+    let policy: Box<dyn ActivationPolicy> = match args.get("policy").unwrap_or("greedy") {
+        "greedy" => Box::new(GreedyPolicy::optimize(&pmf, budget, &consumption)?),
+        "clustering" => {
+            Box::new(ClusteringOptimizer::new(budget).optimize(&pmf, &consumption)?.0)
+        }
+        other => return Err(format!("unknown policy `{other}` for provision").into()),
+    };
+    let opts = SizingOptions {
+        slots: args.get_or("slots", 200_000, "a slot count")?,
+        max_capacity: args.get_or("max-k", 4_096.0, "a capacity")?,
+        seed: args.get_or("seed", 1, "an integer")?,
+        ..SizingOptions::default()
+    };
+    let rec = recommend_capacity(&pmf, policy.as_ref(), &mut |_| {
+        spec::parse_recharge(&recharge_spec).expect("validated above")
+    }, target, opts)?;
+    println!("policy       : {}", policy.label());
+    println!("recharge     : {recharge_spec} (e = {e:.4})");
+    println!("target QoM   : {target}");
+    println!("recommended K: {} energy units", rec.capacity);
+    println!(
+        "achieved QoM : {:.4} ± {:.4} (95% CI over {} runs)",
+        rec.achieved.mean,
+        rec.achieved.half_width(1.96),
+        rec.achieved.n
+    );
+    Ok(())
+}
+
+/// `evcap adaptive`
+pub fn adaptive(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "dist", "e", "episodes", "episode-slots", "seed", "k", "horizon", "delta1", "delta2",
+    ])?;
+    let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
+    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let raw_e = args.require("e")?;
+    let e: f64 = raw_e.parse().map_err(|_| ArgsError::Invalid {
+        flag: "e".into(),
+        value: raw_e.into(),
+        expected: "a recharge rate",
+    })?;
+    let consumption = consumption_from(args)?;
+    let config = AdaptiveConfig {
+        episodes: args.get_or("episodes", 6, "an episode count")?,
+        episode_slots: args.get_or("episode-slots", 50_000, "a slot count")?,
+        seed: args.get_or("seed", 7, "an integer")?,
+        capacity: Energy::from_units(args.get_or("k", 1000.0, "a capacity")?),
+        ..AdaptiveConfig::default()
+    };
+    let report = run_adaptive_greedy(
+        &pmf,
+        EnergyBudget::per_slot(e),
+        &consumption,
+        &mut |_| {
+            Box::new(
+                evcap_energy::BernoulliRecharge::new(0.5, Energy::from_units(2.0 * e))
+                    .expect("valid"),
+            )
+        },
+        config,
+    )?;
+    let oracle = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)?;
+    println!("{:>8} {:>8} {:>9} {:>8}  policy", "episode", "events", "captured", "QoM");
+    for ep in &report.episodes {
+        println!(
+            "{:>8} {:>8} {:>9} {:>8.4}  {}",
+            ep.episode,
+            ep.events,
+            ep.captures,
+            ep.qom(),
+            ep.policy
+        );
+    }
+    println!();
+    println!("oracle ideal QoM (true distribution known): {:.4}", oracle.ideal_qom());
+    Ok(())
+}
+
+/// `evcap figure`
+pub fn figure(args: &Args) -> CmdResult {
+    args.expect_only(&["quick", "svg", "format"])?;
+    let quick: bool = args.get_or("quick", false, "true or false")?;
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let Some(id) = args.positional().first() else {
+        return Err("pass a figure id, e.g. `evcap figure fig4a`".into());
+    };
+    let figures = match id.as_str() {
+        "fig3a" => vec![runners::fig3a(scale)],
+        "fig3b" => vec![runners::fig3b(scale)],
+        "fig4a" => vec![runners::fig4a(scale)],
+        "fig4b" => vec![runners::fig4b(scale)],
+        "fig5a" => vec![runners::fig5(scale, runners::Fig5Panel::LowB)],
+        "fig5b" => vec![runners::fig5(scale, runners::Fig5Panel::HighB)],
+        "fig6a" => vec![runners::fig6a(scale)],
+        "fig6b" => vec![runners::fig6b(scale)],
+        "regions" => vec![runners::ablation_clustering_regions(scale)],
+        "load-balance" => vec![runners::ablation_load_balance(scale)],
+        "refined" => vec![
+            runners::ablation_refined_convergence(scale),
+            runners::ablation_refined_weibull40(scale),
+        ],
+        "coordination" => vec![runners::ablation_coordination(scale)],
+        "outage" => vec![runners::ablation_outage_robustness(scale)],
+        other => return Err(format!("unknown figure `{other}`").into()),
+    };
+    match args.get("format").unwrap_or("text") {
+        "json" => {
+            for fig in &figures {
+                println!("{}", crate::json::figure(fig));
+            }
+        }
+        "text" => {
+            for fig in &figures {
+                println!("{fig}");
+            }
+        }
+        other => return Err(format!("unknown format `{other}` (try text, json)").into()),
+    }
+    if let Some(path) = args.get("svg") {
+        // Multi-panel ids get a numeric suffix per panel.
+        for (i, fig) in figures.iter().enumerate() {
+            let target = if figures.len() == 1 {
+                path.to_owned()
+            } else {
+                match path.rsplit_once('.') {
+                    Some((stem, ext)) => format!("{stem}-{}.{ext}", i + 1),
+                    None => format!("{path}-{}", i + 1),
+                }
+            };
+            std::fs::write(&target, evcap_bench::svg::render(fig))?;
+            eprintln!("wrote {target}");
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> CmdResult {
+    match args.command() {
+        Some("hazards") => hazards(args),
+        Some("optimize") => optimize(args),
+        Some("simulate") => simulate(args),
+        Some("provision") => provision(args),
+        Some("adaptive") => adaptive(args),
+        Some("figure") => figure(args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `evcap help`").into()),
+    }
+}

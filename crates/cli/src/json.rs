@@ -1,0 +1,155 @@
+//! Minimal JSON emission for CLI outputs.
+//!
+//! The offline dependency set includes `serde` but not `serde_json`, so
+//! Serialize impls alone could not produce any bytes; instead the CLI
+//! hand-writes the few JSON shapes it needs (simulation reports and
+//! figures). The writer escapes strings per RFC 8259 and renders non-finite
+//! floats as `null`.
+
+use std::fmt::Write as _;
+
+use evcap_bench::Figure;
+use evcap_sim::SimReport;
+
+/// Escapes a string for inclusion in JSON.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON number (`null` for NaN/∞, which JSON lacks).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serializes a simulation report.
+pub fn sim_report(report: &SimReport) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"slots\":{},\"events\":{},\"captures\":{},\"qom\":{},\"discharge_rate\":{},\"forced_idle\":{},\"load_balance\":{},\"sensors\":[",
+        report.slots,
+        report.events,
+        report.captures,
+        num(report.qom()),
+        num(report.discharge_rate()),
+        report.total_forced_idle(),
+        num(report.load_balance()),
+    );
+    for (i, s) in report.sensors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"activations\":{},\"captures\":{},\"forced_idle\":{},\"outage_slots\":{},\"consumed\":{},\"recharged\":{},\"overflow\":{},\"initial_level\":{},\"final_level\":{}}}",
+            s.activations,
+            s.captures,
+            s.forced_idle,
+            s.outage_slots,
+            num(s.consumed.as_units()),
+            num(s.recharged.as_units()),
+            num(s.overflow.as_units()),
+            num(s.initial_level.as_units()),
+            num(s.final_level.as_units()),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes a figure (id, title, x label, and all series).
+pub fn figure(fig: &Figure) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"id\":\"{}\",\"title\":\"{}\",\"x_label\":\"{}\",\"series\":[",
+        escape(&fig.id),
+        escape(&fig.title),
+        escape(&fig.x_label),
+    );
+    for (i, series) in fig.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{}\",\"points\":[", escape(&series.name));
+        for (j, &(x, y)) in series.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", num(x), num(y));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_bench::Series;
+    use evcap_sim::SensorStats;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn sim_report_shape() {
+        let report = SimReport {
+            slots: 100,
+            events: 10,
+            captures: 7,
+            sensors: vec![SensorStats::default()],
+            trace: vec![],
+            battery_trace: vec![],
+        };
+        let json = sim_report(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"qom\":0.7"));
+        assert!(json.contains("\"sensors\":[{"));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn figure_shape() {
+        let mut fig = Figure::new("figX", "title \"quoted\"", "c");
+        let mut s = Series::new("alpha");
+        s.push(0.5, 0.25);
+        fig.series.push(s);
+        let json = figure(&fig);
+        assert!(json.contains("\"id\":\"figX\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("[0.5,0.25]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

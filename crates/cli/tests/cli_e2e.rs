@@ -1,0 +1,93 @@
+//! End-to-end tests of the `evcap` binary.
+
+use std::process::Command;
+
+fn evcap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_evcap"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = evcap().args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("simulate"));
+    // No args behaves like help.
+    let (ok, stdout, _) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn hazards_prints_table() {
+    let (ok, stdout, _) = run(&["hazards", "--dist", "weibull:8,3", "--max-state", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("Weibull(8, 3)"));
+    assert!(stdout.contains("beta_i"));
+    assert_eq!(stdout.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 5);
+}
+
+#[test]
+fn optimize_greedy_reports_qom() {
+    let (ok, stdout, _) = run(&["optimize", "--dist", "weibull:8,3", "--e", "0.5"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("ideal QoM"));
+    assert!(stdout.contains("greedy-FI"));
+}
+
+#[test]
+fn simulate_small_run_succeeds() {
+    let (ok, stdout, _) = run(&[
+        "simulate",
+        "--dist",
+        "weibull:8,3",
+        "--policy",
+        "greedy",
+        "--e",
+        "0.5",
+        "--slots",
+        "20000",
+        "--seed",
+        "1",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("QoM"));
+    assert!(stdout.contains("captured"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let (ok, _, stderr) = run(&["hazards", "--dist", "weibull:8,3", "--bogus", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn invalid_spec_fails_with_context() {
+    let (ok, _, stderr) = run(&["hazards", "--dist", "weibull:8"]);
+    assert!(!ok);
+    assert!(stderr.contains("weibull:8"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let (ok, _, stderr) = run(&["optimize", "--dist", "weibull:8,3"]);
+    assert!(!ok);
+    assert!(stderr.contains("--e"));
+}

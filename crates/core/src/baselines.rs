@@ -1,0 +1,241 @@
+//! The plausible alternative policies the paper compares against.
+
+use crate::greedy::EnergyBudget;
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::{PolicyError, Result};
+use evcap_energy::ConsumptionModel;
+
+/// The aggressive policy `π_AG`: activate whenever the battery holds at
+/// least `δ1 + δ2`.
+///
+/// The feasibility gate is enforced by the simulator, so the policy itself
+/// simply always votes to activate; the battery does the throttling. With no
+/// regard for event memory, it burns energy in low-probability slots — the
+/// paper's Figs. 4 and 6 show it trailing the clustering policy until energy
+/// is abundant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AggressivePolicy;
+
+impl AggressivePolicy {
+    /// Creates the aggressive policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ActivationPolicy for AggressivePolicy {
+    fn probability(&self, _ctx: &DecisionContext) -> f64 {
+        1.0
+    }
+
+    fn info_model(&self) -> InfoModel {
+        InfoModel::Partial
+    }
+
+    fn label(&self) -> String {
+        "aggressive".to_owned()
+    }
+}
+
+/// The periodic policy `π_PE`: active for `θ1` slots out of every `θ2`,
+/// independent of event history.
+///
+/// The paper fixes `θ1 = 3` and balances energy by choosing
+/// `θ2 = θ1·δ1/e + θ1·δ2/(e·μ)` — the active slots cost `θ1·δ1` in sensing
+/// plus an expected `θ1/μ · δ2` capture cost per cycle slot… rearranged so
+/// that the per-slot drain equals the recharge rate `e`.
+///
+/// # Example
+///
+/// ```
+/// use evcap_core::{EnergyBudget, PeriodicPolicy};
+/// use evcap_energy::ConsumptionModel;
+///
+/// # fn main() -> Result<(), evcap_core::PolicyError> {
+/// let policy = PeriodicPolicy::energy_balanced(
+///     3,
+///     EnergyBudget::per_slot(0.5),
+///     35.7,
+///     &ConsumptionModel::paper_defaults(),
+/// )?;
+/// assert_eq!(policy.theta1(), 3);
+/// assert!(policy.theta2() >= policy.theta1());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicPolicy {
+    theta1: u64,
+    theta2: u64,
+}
+
+impl PeriodicPolicy {
+    /// Creates a periodic policy that is active in the first `theta1` slots
+    /// of every `theta2`-slot cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidParameter`] if `theta1 == 0` or
+    /// `theta2 < theta1`.
+    pub fn new(theta1: u64, theta2: u64) -> Result<Self> {
+        if theta1 == 0 {
+            return Err(PolicyError::InvalidParameter {
+                name: "theta1",
+                value: 0.0,
+                expected: "an active length of at least 1 slot",
+            });
+        }
+        if theta2 < theta1 {
+            return Err(PolicyError::InvalidParameter {
+                name: "theta2",
+                value: theta2 as f64,
+                expected: "a period no shorter than theta1",
+            });
+        }
+        Ok(Self { theta1, theta2 })
+    }
+
+    /// Creates the energy-balanced periodic policy of the paper's Fig. 4:
+    /// `θ2 = θ1·δ1/e + θ1·δ2/(e·μ)` (rounded up so the policy never
+    /// overspends).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidParameter`] for a non-positive budget
+    /// or mean gap, or propagates [`PolicyError`] from [`PeriodicPolicy::new`].
+    pub fn energy_balanced(
+        theta1: u64,
+        budget: EnergyBudget,
+        mean_gap: f64,
+        consumption: &ConsumptionModel,
+    ) -> Result<Self> {
+        let e = budget.rate();
+        if e <= 0.0 {
+            return Err(PolicyError::InvalidParameter {
+                name: "e",
+                value: e,
+                expected: "a recharge rate > 0",
+            });
+        }
+        if !mean_gap.is_finite() || mean_gap <= 0.0 {
+            return Err(PolicyError::InvalidParameter {
+                name: "mean_gap",
+                value: mean_gap,
+                expected: "a mean inter-arrival time > 0",
+            });
+        }
+        let t1 = theta1 as f64;
+        let theta2 = (t1 * consumption.delta1_units() / e
+            + t1 * consumption.delta2_units() / (e * mean_gap))
+            .ceil()
+            .max(t1) as u64;
+        Self::new(theta1, theta2)
+    }
+
+    /// The number of active slots per cycle.
+    pub fn theta1(&self) -> u64 {
+        self.theta1
+    }
+
+    /// The cycle length.
+    pub fn theta2(&self) -> u64 {
+        self.theta2
+    }
+
+    /// The policy's duty cycle `θ1/θ2`.
+    pub fn duty_cycle(&self) -> f64 {
+        self.theta1 as f64 / self.theta2 as f64
+    }
+}
+
+impl ActivationPolicy for PeriodicPolicy {
+    fn probability(&self, ctx: &DecisionContext) -> f64 {
+        // Slot 1 starts a cycle: active during slots 1..=θ1 (mod θ2).
+        if (ctx.slot - 1) % self.theta2 < self.theta1 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn info_model(&self) -> InfoModel {
+        InfoModel::Partial
+    }
+
+    fn label(&self) -> String {
+        format!("periodic(θ1={}, θ2={})", self.theta1, self.theta2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggressive_always_votes_active() {
+        let p = AggressivePolicy::new();
+        for state in [1, 5, 100] {
+            assert_eq!(p.probability(&DecisionContext::stationary(state)), 1.0);
+        }
+        assert_eq!(p.info_model(), InfoModel::Partial);
+    }
+
+    #[test]
+    fn periodic_validates() {
+        assert!(PeriodicPolicy::new(0, 5).is_err());
+        assert!(PeriodicPolicy::new(5, 3).is_err());
+        assert!(PeriodicPolicy::new(3, 3).is_ok());
+    }
+
+    #[test]
+    fn periodic_pattern() {
+        let p = PeriodicPolicy::new(2, 5).unwrap();
+        let active: Vec<bool> = (1..=10)
+            .map(|slot| {
+                p.probability(&DecisionContext {
+                    slot,
+                    state: 1,
+                    battery_fraction: 1.0,
+                }) > 0.5
+            })
+            .collect();
+        assert_eq!(
+            active,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn energy_balanced_matches_formula() {
+        let consumption = ConsumptionModel::paper_defaults();
+        let mu = 35.7;
+        let e = 0.5;
+        let p = PeriodicPolicy::energy_balanced(3, EnergyBudget::per_slot(e), mu, &consumption)
+            .unwrap();
+        let expected = (3.0 * 1.0 / e + 3.0 * 6.0 / (e * mu)).ceil() as u64;
+        assert_eq!(p.theta2(), expected);
+        // The duty cycle actually is energy balanced: per-slot sensing drain
+        // θ1·δ1/θ2 plus expected capture drain θ1/θ2·δ2/μ must be ≤ e.
+        let drain = p.duty_cycle() * (1.0 + 6.0 / mu);
+        assert!(drain <= e + 1e-9, "{drain}");
+    }
+
+    #[test]
+    fn energy_balanced_rejects_bad_inputs() {
+        let c = ConsumptionModel::paper_defaults();
+        assert!(PeriodicPolicy::energy_balanced(3, EnergyBudget::per_slot(0.0), 10.0, &c).is_err());
+        assert!(
+            PeriodicPolicy::energy_balanced(3, EnergyBudget::per_slot(0.5), f64::NAN, &c).is_err()
+        );
+    }
+
+    #[test]
+    fn abundant_energy_gives_always_on() {
+        let c = ConsumptionModel::paper_defaults();
+        // e large enough that θ2 rounds to θ1.
+        let p = PeriodicPolicy::energy_balanced(3, EnergyBudget::per_slot(100.0), 10.0, &c)
+            .unwrap();
+        assert_eq!(p.theta2(), p.theta1());
+        assert_eq!(p.duty_cycle(), 1.0);
+    }
+}

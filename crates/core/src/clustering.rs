@@ -1,0 +1,665 @@
+//! The heuristic clustering policy for partial information (Section IV-B2).
+//!
+//! Finding the exact POMDP optimum is intractable (the information set `F_t`
+//! grows exponentially), so the paper proposes a *clustering* structure over
+//! the states `f_i` ("`i` slots since the last captured event"):
+//!
+//! ```text
+//! π'_PI = (0, …, 0, c_{n1}, 1, …, 1, c_{n2}, 0, …, 0, c_{n3}, aggressive…)
+//!          └ cooling ┘└─────── hot ────────┘└ cooling ┘└──── recovery ────┘
+//! ```
+//!
+//! * the **hot region** `[n1, n2]` spends energy where the next event is most
+//!   likely;
+//! * the **cooling regions** bank energy;
+//! * the **recovery region** `[n3, ∞)` activates aggressively until a capture
+//!   renews the schedule — the safeguard against silently missed events.
+//!
+//! Evaluation uses the exact slotted belief propagation
+//! ([`evcap_renewal::AgeBeliefDp`]) to obtain the conditional hazards `β̂_i`,
+//! from which the chain survival, capture probability `U = μ / E[cycle]`, and
+//! discharge rate follow in closed form; [`ClusteringOptimizer`] searches the
+//! region boundaries under the energy-balance constraint.
+
+use evcap_dist::SlotPmf;
+use evcap_energy::ConsumptionModel;
+use evcap_renewal::AgeBeliefDp;
+
+use crate::greedy::EnergyBudget;
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::{PolicyError, Result};
+
+/// Validates that a coefficient is a probability.
+fn check_probability(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(PolicyError::InvalidParameter {
+            name,
+            value,
+            expected: "a probability in [0, 1]",
+        })
+    }
+}
+
+/// The paper's clustering activation policy `π'_PI(e)` (Eq. 11).
+///
+/// # Example
+///
+/// ```
+/// use evcap_core::ClusteringPolicy;
+///
+/// # fn main() -> Result<(), evcap_core::PolicyError> {
+/// let policy = ClusteringPolicy::new(10, 20, 30, 0.5, 1.0, 1.0)?;
+/// assert_eq!(policy.coefficient(5), 0.0);   // cooling
+/// assert_eq!(policy.coefficient(10), 0.5);  // fractional hot edge
+/// assert_eq!(policy.coefficient(15), 1.0);  // hot
+/// assert_eq!(policy.coefficient(25), 0.0);  // cooling again
+/// assert_eq!(policy.coefficient(40), 1.0);  // aggressive recovery
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringPolicy {
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    c_n1: f64,
+    c_n2: f64,
+    c_n3: f64,
+}
+
+impl ClusteringPolicy {
+    /// Creates a clustering policy with hot region `[n1, n2]`, recovery from
+    /// `n3`, and fractional coefficients at the three boundaries.
+    ///
+    /// When boundaries coincide, the earlier region's coefficient wins (e.g.
+    /// for `n1 == n2` the single hot slot uses `c_n1`).
+    ///
+    /// # Errors
+    ///
+    /// * [`PolicyError::UnorderedRegions`] unless `1 ≤ n1 ≤ n2 ≤ n3`.
+    /// * [`PolicyError::InvalidParameter`] if a coefficient is not a
+    ///   probability.
+    pub fn new(n1: usize, n2: usize, n3: usize, c_n1: f64, c_n2: f64, c_n3: f64) -> Result<Self> {
+        if n1 < 1 || n1 > n2 || n2 > n3 {
+            return Err(PolicyError::UnorderedRegions { n1, n2, n3 });
+        }
+        Ok(Self {
+            n1,
+            n2,
+            n3,
+            c_n1: check_probability("c_n1", c_n1)?,
+            c_n2: check_probability("c_n2", c_n2)?,
+            c_n3: check_probability("c_n3", c_n3)?,
+        })
+    }
+
+    /// The activation probability in state `f_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state == 0`; states are 1-based.
+    pub fn coefficient(&self, state: usize) -> f64 {
+        assert!(state >= 1, "states are 1-based");
+        if state < self.n1 {
+            0.0
+        } else if state == self.n1 {
+            self.c_n1
+        } else if state < self.n2 {
+            1.0
+        } else if state == self.n2 {
+            self.c_n2
+        } else if state < self.n3 {
+            0.0
+        } else if state == self.n3 {
+            self.c_n3
+        } else {
+            1.0
+        }
+    }
+
+    /// Start of the hot region.
+    pub fn n1(&self) -> usize {
+        self.n1
+    }
+
+    /// End of the hot region.
+    pub fn n2(&self) -> usize {
+        self.n2
+    }
+
+    /// Start of the aggressive recovery region.
+    pub fn n3(&self) -> usize {
+        self.n3
+    }
+
+    /// The three boundary coefficients `(c_{n1}, c_{n2}, c_{n3})`.
+    pub fn boundary_coefficients(&self) -> (f64, f64, f64) {
+        (self.c_n1, self.c_n2, self.c_n3)
+    }
+
+    /// Returns a copy with a different `c_{n1}` (used by the energy-balance
+    /// search).
+    #[must_use]
+    pub fn with_c_n1(&self, c_n1: f64) -> Self {
+        Self {
+            c_n1: c_n1.clamp(0.0, 1.0),
+            ..self.clone()
+        }
+    }
+}
+
+impl ActivationPolicy for ClusteringPolicy {
+    fn probability(&self, ctx: &DecisionContext) -> f64 {
+        self.coefficient(ctx.state)
+    }
+
+    fn info_model(&self) -> InfoModel {
+        InfoModel::Partial
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "clustering-PI(n1={}, n2={}, n3={}, c=({:.3}, {:.3}, {:.3}))",
+            self.n1, self.n2, self.n3, self.c_n1, self.c_n2, self.c_n3
+        )
+    }
+}
+
+/// Analytic performance of a partial-information policy, computed from the
+/// exact belief chain under the energy assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterEvaluation {
+    /// The QoM `U = μ / E[capture cycle]` — the fraction of events captured.
+    pub capture_probability: f64,
+    /// Long-run discharge rate in energy units per slot.
+    pub discharge_rate: f64,
+    /// Expected number of slots between consecutive captures (`1/y_1`).
+    pub expected_cycle: f64,
+    /// Chain survival mass left unresolved at the evaluation horizon
+    /// (diagnostic; should be tiny).
+    pub truncated_survival: f64,
+}
+
+/// Controls for the analytic evaluator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalOptions {
+    /// Stop once the chain survival falls below this.
+    pub survival_eps: f64,
+    /// Hard cap on evaluated slots (a geometric continuation accounts for
+    /// the remainder).
+    pub max_slots: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            survival_eps: 1e-10,
+            max_slots: 20_000,
+        }
+    }
+}
+
+/// Evaluates any state-indexed partial-information policy on the event
+/// process `pmf`: capture probability, expected capture cycle, and discharge
+/// rate, all under the energy assumption.
+///
+/// `policy(i)` gives the activation probability in state `f_i`.
+pub fn evaluate_partial_info(
+    pmf: &SlotPmf,
+    policy: impl Fn(usize) -> f64,
+    consumption: &ConsumptionModel,
+    opts: EvalOptions,
+) -> ClusterEvaluation {
+    let d1 = consumption.delta1_units();
+    let d2 = consumption.delta2_units();
+    let mut dp = AgeBeliefDp::new(pmf);
+    let mut cycle = 0.0; // Σ_{i≥0} S_i accumulates E[T]; S_0 = 1 added below.
+    let mut energy = 0.0; // expected energy per cycle
+    let mut prev_survival = 1.0;
+    let mut last_capture_hazard = 0.0;
+    let mut last_c = 0.0;
+    let mut last_hazard = 0.0;
+    while prev_survival > opts.survival_eps && dp.next_slot() <= opts.max_slots {
+        cycle += prev_survival;
+        let c = policy(dp.next_slot());
+        let step = dp.step(c);
+        energy += prev_survival * c * (d1 + step.hazard * d2);
+        last_capture_hazard = c * step.hazard;
+        last_c = c;
+        last_hazard = step.hazard;
+        prev_survival = step.survival;
+    }
+    // Geometric continuation for whatever survival remains: capture per slot
+    // with probability ≈ last observed c·β̂.
+    let residual = prev_survival;
+    if residual > 0.0 {
+        if last_capture_hazard > 1e-12 {
+            let p = last_capture_hazard;
+            // Σ_{k≥0} residual·(1 − p)^k slots remain on average.
+            let extra_slots = residual / p;
+            cycle += extra_slots;
+            energy += extra_slots * last_c * (d1 + last_hazard * d2);
+        } else {
+            // The policy never captures from here on: the cycle never ends.
+            return ClusterEvaluation {
+                capture_probability: 0.0,
+                discharge_rate: 0.0,
+                expected_cycle: f64::INFINITY,
+                truncated_survival: residual,
+            };
+        }
+    }
+    ClusterEvaluation {
+        capture_probability: (pmf.mean() / cycle).clamp(0.0, 1.0),
+        discharge_rate: energy / cycle,
+        expected_cycle: cycle,
+        truncated_survival: residual,
+    }
+}
+
+impl ClusteringPolicy {
+    /// Evaluates this policy analytically on `pmf`.
+    pub fn evaluate(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        opts: EvalOptions,
+    ) -> ClusterEvaluation {
+        evaluate_partial_info(pmf, |i| self.coefficient(i), consumption, opts)
+    }
+}
+
+/// Searches clustering-region boundaries for the best energy-balanced policy,
+/// following the paper's bounded enumeration ("increase n3 gradually and
+/// enumerate n1 and n2 … until the objective cannot be further increased"),
+/// accelerated by a coarse grid plus local refinement.
+///
+/// # Example
+///
+/// ```no_run
+/// use evcap_core::{ClusteringOptimizer, EnergyBudget};
+/// use evcap_dist::{Discretizer, Weibull};
+/// use evcap_energy::ConsumptionModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pmf = Discretizer::new().discretize(&Weibull::new(40.0, 3.0)?)?;
+/// let (policy, eval) = ClusteringOptimizer::new(EnergyBudget::per_slot(0.5))
+///     .optimize(&pmf, &ConsumptionModel::paper_defaults())?;
+/// assert!(eval.discharge_rate <= 0.5 + 1e-6);
+/// assert!(policy.n1() <= policy.n2());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringOptimizer {
+    budget: EnergyBudget,
+    eval: EvalOptions,
+    /// Approximate number of grid points per region boundary in the coarse
+    /// phase.
+    grid_points: usize,
+    /// Optional hard cap on `n3`.
+    max_n3: Option<usize>,
+}
+
+impl ClusteringOptimizer {
+    /// Creates an optimizer for the given recharge budget.
+    pub fn new(budget: EnergyBudget) -> Self {
+        Self {
+            budget,
+            eval: EvalOptions::default(),
+            grid_points: 14,
+            max_n3: None,
+        }
+    }
+
+    /// Overrides the analytic evaluator's controls.
+    #[must_use]
+    pub fn eval_options(mut self, opts: EvalOptions) -> Self {
+        self.eval = opts;
+        self
+    }
+
+    /// Overrides the coarse grid density (minimum 4).
+    #[must_use]
+    pub fn grid_points(mut self, points: usize) -> Self {
+        self.grid_points = points.max(4);
+        self
+    }
+
+    /// Caps the recovery boundary `n3`.
+    #[must_use]
+    pub fn max_n3(mut self, n3: usize) -> Self {
+        self.max_n3 = Some(n3.max(1));
+        self
+    }
+
+    /// Finds the best clustering policy for the event process.
+    ///
+    /// # Errors
+    ///
+    /// * [`PolicyError::BudgetTooSmall`] for a zero budget.
+    /// * [`PolicyError::NoFeasibleCandidate`] if no candidate within the
+    ///   search bounds satisfies the energy constraint (pathological pmfs).
+    pub fn optimize(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+    ) -> Result<(ClusteringPolicy, ClusterEvaluation)> {
+        if self.budget.rate() <= 0.0 {
+            return Err(PolicyError::BudgetTooSmall { budget: 0.0 });
+        }
+        let lo = pmf.min_support();
+        // Upper search bound: essentially all of the gap distribution, with
+        // headroom because the capture chain can outlive one gap. When the
+        // budget is tight the only feasible policies sleep much longer than
+        // that, so the bound doubles adaptively until something is feasible.
+        let q999 = quantile_slot(pmf, 0.999);
+        let mut hi = self
+            .max_n3
+            .unwrap_or_else(|| (2 * q999).max(lo + 4))
+            .max(lo + 1);
+        for _ in 0..8 {
+            if let Some(found) = self.search(pmf, consumption, lo, hi) {
+                return Ok(found);
+            }
+            if self.max_n3.is_some() {
+                break; // the caller pinned the bound; do not exceed it
+            }
+            hi *= 2;
+        }
+        Err(PolicyError::NoFeasibleCandidate)
+    }
+
+    /// Coarse grid search plus local refinement over `n1 ≤ n2 ≤ n3` within
+    /// `[lo, hi]`.
+    fn search(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        lo: usize,
+        hi: usize,
+    ) -> Option<(ClusteringPolicy, ClusterEvaluation)> {
+        let step = ((hi - lo) / self.grid_points).max(1);
+
+        let mut best: Option<(ClusteringPolicy, ClusterEvaluation)> = None;
+        let mut n1 = lo.max(1);
+        while n1 <= hi {
+            let mut n2 = n1;
+            while n2 <= hi {
+                let mut n3 = n2;
+                while n3 <= hi {
+                    self.consider(pmf, consumption, n1, n2, n3, &mut best);
+                    n3 += step;
+                }
+                n2 += step;
+            }
+            n1 += step;
+        }
+
+        // Local refinement: coordinate descent with shrinking step.
+        if let Some((seed, _)) = best.clone() {
+            let mut current = (seed.n1(), seed.n2(), seed.n3());
+            let mut delta = step.max(2) / 2;
+            while delta >= 1 {
+                let mut improved = true;
+                while improved {
+                    improved = false;
+                    for dim in 0..3 {
+                        for dir in [-1i64, 1] {
+                            let mut cand = [current.0 as i64, current.1 as i64, current.2 as i64];
+                            cand[dim] += dir * delta as i64;
+                            if cand[0] < lo as i64
+                                || cand[0] > cand[1]
+                                || cand[1] > cand[2]
+                                || cand[2] > hi as i64
+                            {
+                                continue;
+                            }
+                            let before = best.as_ref().map(|(_, e)| e.capture_probability);
+                            self.consider(
+                                pmf,
+                                consumption,
+                                cand[0] as usize,
+                                cand[1] as usize,
+                                cand[2] as usize,
+                                &mut best,
+                            );
+                            let after = best.as_ref().map(|(_, e)| e.capture_probability);
+                            if after > before {
+                                current = (cand[0] as usize, cand[1] as usize, cand[2] as usize);
+                                improved = true;
+                            }
+                        }
+                    }
+                }
+                if delta == 1 {
+                    break;
+                }
+                delta /= 2;
+            }
+        }
+
+        best
+    }
+
+    /// Evaluates the `(n1, n2, n3)` candidate (balancing `c_{n1}` if the full
+    /// policy overshoots the budget) and folds it into `best`.
+    fn consider(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        n1: usize,
+        n2: usize,
+        n3: usize,
+        best: &mut Option<(ClusteringPolicy, ClusterEvaluation)>,
+    ) {
+        let Ok(full) = ClusteringPolicy::new(n1, n2, n3, 1.0, 1.0, 1.0) else {
+            return;
+        };
+        let e = self.budget.rate();
+        let eval_full = full.evaluate(pmf, consumption, self.eval);
+        let candidate = if eval_full.discharge_rate <= e {
+            Some((full, eval_full))
+        } else {
+            // Over budget: shrink the hot-region entry coefficient.
+            let closed = full.with_c_n1(0.0);
+            let eval_closed = closed.evaluate(pmf, consumption, self.eval);
+            if eval_closed.discharge_rate > e {
+                None // even the narrowest variant is infeasible
+            } else {
+                // Bisect c_n1 for energy balance (discharge is monotone).
+                let (mut lo_c, mut hi_c) = (0.0f64, 1.0f64);
+                let mut chosen = (closed, eval_closed);
+                for _ in 0..24 {
+                    let mid = 0.5 * (lo_c + hi_c);
+                    let p = full.with_c_n1(mid);
+                    let ev = p.evaluate(pmf, consumption, self.eval);
+                    if ev.discharge_rate <= e {
+                        chosen = (p, ev);
+                        lo_c = mid;
+                    } else {
+                        hi_c = mid;
+                    }
+                }
+                Some(chosen)
+            }
+        };
+        if let Some((policy, eval)) = candidate {
+            let better = match best {
+                None => true,
+                Some((_, b)) => eval.capture_probability > b.capture_probability + 1e-12,
+            };
+            if better {
+                *best = Some((policy, eval));
+            }
+        }
+    }
+}
+
+/// The smallest slot `i` with `F(i) ≥ p`.
+fn quantile_slot(pmf: &SlotPmf, p: f64) -> usize {
+    let mut i = 1;
+    let cap = pmf.horizon().max(1) * 4;
+    while pmf.cdf(i) < p && i < cap {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_dist::{Discretizer, SlotPmf, Weibull};
+    use evcap_energy::ConsumptionModel;
+
+    fn consumption() -> ConsumptionModel {
+        ConsumptionModel::paper_defaults()
+    }
+
+    #[test]
+    fn construction_validates_regions() {
+        assert!(ClusteringPolicy::new(0, 2, 3, 1.0, 1.0, 1.0).is_err());
+        assert!(ClusteringPolicy::new(3, 2, 4, 1.0, 1.0, 1.0).is_err());
+        assert!(ClusteringPolicy::new(2, 5, 4, 1.0, 1.0, 1.0).is_err());
+        assert!(ClusteringPolicy::new(2, 2, 2, 1.0, 1.0, 1.0).is_ok());
+        assert!(ClusteringPolicy::new(1, 2, 3, 1.5, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn coefficient_regions() {
+        let p = ClusteringPolicy::new(3, 6, 9, 0.25, 0.5, 0.75).unwrap();
+        assert_eq!(p.coefficient(1), 0.0);
+        assert_eq!(p.coefficient(2), 0.0);
+        assert_eq!(p.coefficient(3), 0.25);
+        assert_eq!(p.coefficient(4), 1.0);
+        assert_eq!(p.coefficient(5), 1.0);
+        assert_eq!(p.coefficient(6), 0.5);
+        assert_eq!(p.coefficient(7), 0.0);
+        assert_eq!(p.coefficient(8), 0.0);
+        assert_eq!(p.coefficient(9), 0.75);
+        assert_eq!(p.coefficient(10), 1.0);
+        assert_eq!(p.coefficient(1000), 1.0);
+    }
+
+    #[test]
+    fn coincident_boundaries_use_earlier_region() {
+        let p = ClusteringPolicy::new(4, 4, 4, 0.3, 0.6, 0.9).unwrap();
+        assert_eq!(p.coefficient(4), 0.3);
+        assert_eq!(p.coefficient(5), 1.0);
+    }
+
+    #[test]
+    fn always_active_policy_captures_everything() {
+        let pmf = SlotPmf::from_pmf(vec![0.5, 0.3, 0.2]).unwrap();
+        let p = ClusteringPolicy::new(1, 1, 1, 1.0, 1.0, 1.0).unwrap();
+        let eval = p.evaluate(&pmf, &consumption(), EvalOptions::default());
+        assert!((eval.capture_probability - 1.0).abs() < 1e-9);
+        // Discharge per slot: (δ1·E[cycle] + δ2) / E[cycle] with cycle = μ.
+        let mu = pmf.mean();
+        let expected = (1.0 * mu + 6.0) / mu;
+        assert!((eval.discharge_rate - expected).abs() < 1e-6);
+        assert!((eval.expected_cycle - mu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_process_perfect_capture_with_tiny_energy() {
+        // Gap is always 5: activating only in state 5 captures everything.
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let p = ClusteringPolicy::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap();
+        let eval = p.evaluate(&pmf, &consumption(), EvalOptions::default());
+        assert!((eval.capture_probability - 1.0).abs() < 1e-9);
+        assert!((eval.discharge_rate - 7.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_region_rescues_missed_events() {
+        // Two-point gaps {2, 4}: hot region only at 2, so a gap of 4 is
+        // missed… unless recovery kicks in.
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.7, 0.0, 0.3]).unwrap();
+        let with_recovery = ClusteringPolicy::new(2, 2, 3, 1.0, 1.0, 1.0).unwrap();
+        let eval = with_recovery.evaluate(&pmf, &consumption(), EvalOptions::default());
+        // Recovery from state 3 onward is always active, so every event is
+        // eventually... captured in-slot with prob < 1 but the chain renews.
+        assert!(eval.capture_probability > 0.8, "{}", eval.capture_probability);
+        assert!(eval.truncated_survival < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_matches_hand_computation_on_geometric() {
+        // Geometric(p = 0.25) events with an always-on policy: the cycle is
+        // the mean gap 4, discharge = δ1 + δ2/4.
+        let pmf = SlotPmf::from_hazards(&[0.25]).unwrap();
+        let p = ClusteringPolicy::new(1, 1, 1, 1.0, 1.0, 1.0).unwrap();
+        let eval = p.evaluate(&pmf, &consumption(), EvalOptions::default());
+        assert!((eval.expected_cycle - 4.0).abs() < 1e-6);
+        assert!((eval.discharge_rate - (1.0 + 6.0 / 4.0)).abs() < 1e-6);
+        assert!((eval.capture_probability - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimizer_respects_energy_budget() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let (policy, eval) = ClusteringOptimizer::new(EnergyBudget::per_slot(0.5))
+            .optimize(&pmf, &consumption())
+            .unwrap();
+        assert!(eval.discharge_rate <= 0.5 + 1e-6, "{}", eval.discharge_rate);
+        assert!(policy.n1() >= 1 && policy.n1() <= policy.n2() && policy.n2() <= policy.n3());
+        // Weibull(40, 3) with e = 0.5 supports a strong policy.
+        assert!(eval.capture_probability > 0.6, "{}", eval.capture_probability);
+    }
+
+    #[test]
+    fn optimizer_hot_region_tracks_the_mode() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let (policy, _) = ClusteringOptimizer::new(EnergyBudget::per_slot(0.5))
+            .optimize(&pmf, &consumption())
+            .unwrap();
+        // The bulk of Weibull(40, 3) lies in roughly [20, 55]; the hot
+        // region must overlap it.
+        assert!(policy.n2() >= 25, "n2 = {}", policy.n2());
+        assert!(policy.n1() <= 45, "n1 = {}", policy.n1());
+    }
+
+    #[test]
+    fn optimizer_more_energy_never_hurts() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let mut last = 0.0;
+        for e in [0.3, 0.5, 0.8] {
+            let (_, eval) = ClusteringOptimizer::new(EnergyBudget::per_slot(e))
+                .optimize(&pmf, &consumption())
+                .unwrap();
+            assert!(
+                eval.capture_probability + 0.01 >= last,
+                "e={e}: {} < {last}",
+                eval.capture_probability
+            );
+            last = eval.capture_probability;
+        }
+    }
+
+    #[test]
+    fn optimizer_rejects_zero_budget() {
+        let pmf = SlotPmf::from_pmf(vec![1.0]).unwrap();
+        let err = ClusteringOptimizer::new(EnergyBudget::per_slot(0.0))
+            .optimize(&pmf, &consumption())
+            .unwrap_err();
+        assert!(matches!(err, PolicyError::BudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn policy_trait_wiring() {
+        let p = ClusteringPolicy::new(2, 4, 6, 0.5, 1.0, 1.0).unwrap();
+        assert_eq!(p.info_model(), InfoModel::Partial);
+        assert!(p.label().contains("clustering-PI"));
+        let ctx = DecisionContext::stationary(3);
+        assert_eq!(p.probability(&ctx), 1.0);
+    }
+}

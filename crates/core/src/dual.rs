@@ -1,0 +1,240 @@
+//! Lagrangian-dual certification of the full-information optimum.
+//!
+//! Theorem 1 is certified in this workspace two ways already (greedy
+//! water-filling in [`GreedyPolicy`](crate::GreedyPolicy), simplex in
+//! `evcap-lp`). This module adds a third, structurally different derivation
+//! through Lagrangian duality, which also exposes the *energy price* of the
+//! constraint — a quantity of independent interest for provisioning ("how
+//! much QoM does one more unit/slot of harvest buy?").
+//!
+//! Relax the energy constraint with a multiplier `λ ≥ 0`:
+//!
+//! ```text
+//! L(c, λ) = Σ α_i c_i − λ (Σ ξ_i c_i − e·μ)
+//! ```
+//!
+//! For fixed `λ` the maximization decouples per slot: `c_i = 1` iff
+//! `α_i > λ·ξ_i`, i.e. iff the slot's *efficiency* `α_i/ξ_i` exceeds `λ`.
+//! Complementary slackness pins the optimal `λ*` where the induced spend
+//! crosses the budget; a bisection finds it, and a fractional coefficient on
+//! the marginal slot closes the (zero) duality gap — the LP is, after all, a
+//! fractional knapsack.
+
+use evcap_dist::SlotPmf;
+use evcap_energy::ConsumptionModel;
+
+use crate::greedy::EnergyBudget;
+use crate::{PolicyError, Result};
+
+/// The outcome of the dual derivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualSolution {
+    /// The optimal multiplier `λ*`: the marginal captures per unit of
+    /// per-renewal energy (the "energy price").
+    pub multiplier: f64,
+    /// The primal optimum recovered from the dual (equals the greedy/LP
+    /// optimum up to numerics).
+    pub capture_probability: f64,
+    /// Per-renewal energy spent by the recovered primal solution.
+    pub spent: f64,
+    /// The duality gap `dual(λ*) − primal` (≈ 0 for this problem; reported
+    /// for the certification tests).
+    pub gap: f64,
+}
+
+/// Solves the full-information optimization by Lagrangian relaxation.
+///
+/// `horizon` truncates the slot set (use the pmf's own horizon for light
+/// tails).
+///
+/// # Errors
+///
+/// Returns [`PolicyError::BudgetTooSmall`] for a zero budget.
+pub fn solve_dual(
+    pmf: &SlotPmf,
+    budget: EnergyBudget,
+    consumption: &ConsumptionModel,
+    horizon: usize,
+) -> Result<DualSolution> {
+    let per_renewal = budget.per_renewal(pmf.mean());
+    if per_renewal <= 0.0 {
+        return Err(PolicyError::BudgetTooSmall { budget: per_renewal });
+    }
+    let d1 = consumption.delta1_units();
+    let d2 = consumption.delta2_units();
+    // Per-slot reward, cost, and efficiency.
+    let mut items: Vec<(f64, f64, f64)> = Vec::with_capacity(horizon); // (reward, cost, eff)
+    for i in 1..=horizon {
+        let reward = pmf.pmf(i);
+        let cost = d1 * pmf.survival(i - 1) + d2 * reward;
+        if cost > 0.0 {
+            items.push((reward, cost, reward / cost));
+        }
+    }
+    let total_cost: f64 = items.iter().map(|&(_, c, _)| c).sum();
+    let budget_eff = per_renewal.min(total_cost);
+
+    // spend(λ) = Σ { cost_i : eff_i > λ } is non-increasing in λ.
+    let spend = |lambda: f64| -> (f64, f64) {
+        let mut cost = 0.0;
+        let mut reward = 0.0;
+        for &(r, c, eff) in &items {
+            if eff > lambda {
+                cost += c;
+                reward += r;
+            }
+        }
+        (cost, reward)
+    };
+
+    // Bisect λ to the threshold where spend crosses the budget.
+    let mut lo = 0.0f64;
+    let mut hi = items
+        .iter()
+        .map(|&(_, _, e)| e)
+        .fold(0.0f64, f64::max)
+        .max(1e-12)
+        * (1.0 + 1e-9);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if spend(mid).0 > budget_eff {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = hi;
+    let (interior_cost, interior_reward) = spend(lambda);
+
+    // Fractional fill of the marginal efficiency class (ties share the
+    // leftover budget pro rata; their identical efficiency makes the split
+    // irrelevant to the objective).
+    let marginal: Vec<&(f64, f64, f64)> = items
+        .iter()
+        .filter(|&&(_, _, eff)| eff <= lambda && eff >= lo)
+        .collect();
+    let marginal_cost: f64 = marginal.iter().map(|&&(_, c, _)| c).sum();
+    let leftover = (budget_eff - interior_cost).max(0.0);
+    let frac = if marginal_cost > 0.0 {
+        (leftover / marginal_cost).min(1.0)
+    } else {
+        0.0
+    };
+    let marginal_reward: f64 = marginal.iter().map(|&&(r, _, _)| r).sum();
+    let primal = interior_reward + frac * marginal_reward;
+    let spent = interior_cost + frac * marginal_cost;
+
+    // Dual value at λ: max_c L(c, λ) = Σ max(0, r_i − λ c_i) + λ·budget.
+    let dual_value: f64 = items
+        .iter()
+        .map(|&(r, c, _)| (r - lambda * c).max(0.0))
+        .sum::<f64>()
+        + lambda * budget_eff;
+
+    Ok(DualSolution {
+        multiplier: lambda,
+        capture_probability: primal,
+        spent,
+        gap: dual_value - primal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyPolicy;
+    use evcap_dist::{Discretizer, Pareto, SlotPmf, Weibull};
+
+    fn consumption() -> ConsumptionModel {
+        ConsumptionModel::paper_defaults()
+    }
+
+    #[test]
+    fn dual_matches_greedy_on_weibull() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        for e in [0.1, 0.3, 0.5, 1.0] {
+            let budget = EnergyBudget::per_slot(e);
+            let greedy = GreedyPolicy::optimize(&pmf, budget, &consumption()).unwrap();
+            let dual = solve_dual(&pmf, budget, &consumption(), pmf.horizon()).unwrap();
+            assert!(
+                (dual.capture_probability - greedy.ideal_qom()).abs() < 1e-6,
+                "e={e}: dual {} vs greedy {}",
+                dual.capture_probability,
+                greedy.ideal_qom()
+            );
+            assert!(dual.gap.abs() < 1e-6, "e={e}: gap {}", dual.gap);
+        }
+    }
+
+    #[test]
+    fn dual_matches_greedy_on_pareto() {
+        let pmf = Discretizer::new()
+            .max_horizon(600)
+            .discretize(&Pareto::new(2.0, 10.0).unwrap())
+            .unwrap();
+        let budget = EnergyBudget::per_slot(0.3);
+        let greedy = GreedyPolicy::optimize(&pmf, budget, &consumption()).unwrap();
+        let dual = solve_dual(&pmf, budget, &consumption(), 600).unwrap();
+        // The greedy also allocates the analytic tail; allow truncation slack.
+        assert!(
+            (dual.capture_probability - greedy.ideal_qom()).abs() < 2e-3,
+            "dual {} vs greedy {}",
+            dual.capture_probability,
+            greedy.ideal_qom()
+        );
+    }
+
+    #[test]
+    fn multiplier_is_the_energy_price() {
+        // A tiny budget increase buys ≈ λ*·Δ(e·μ) extra captures.
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let c = consumption();
+        let e = 0.4;
+        let de = 0.001;
+        let base = solve_dual(&pmf, EnergyBudget::per_slot(e), &c, pmf.horizon()).unwrap();
+        let bumped = solve_dual(&pmf, EnergyBudget::per_slot(e + de), &c, pmf.horizon()).unwrap();
+        let observed = (bumped.capture_probability - base.capture_probability) / (de * pmf.mean());
+        assert!(
+            (observed - base.multiplier).abs() < 0.01,
+            "marginal gain {observed} vs λ* {}",
+            base.multiplier
+        );
+    }
+
+    #[test]
+    fn multiplier_decreases_with_budget() {
+        // Diminishing returns: the energy price falls as energy gets cheap.
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let c = consumption();
+        let mut last = f64::INFINITY;
+        for e in [0.1, 0.3, 0.6, 1.0, 1.5] {
+            let dual = solve_dual(&pmf, EnergyBudget::per_slot(e), &c, pmf.horizon()).unwrap();
+            assert!(dual.multiplier <= last + 1e-9, "e={e}");
+            last = dual.multiplier;
+        }
+    }
+
+    #[test]
+    fn saturated_budget_has_zero_price() {
+        let pmf = SlotPmf::from_pmf(vec![0.5, 0.5]).unwrap();
+        let c = consumption();
+        let dual = solve_dual(&pmf, EnergyBudget::per_slot(50.0), &c, 2).unwrap();
+        assert!((dual.capture_probability - 1.0).abs() < 1e-9);
+        assert!(dual.multiplier < 1e-6, "{}", dual.multiplier);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let pmf = SlotPmf::from_pmf(vec![1.0]).unwrap();
+        assert!(matches!(
+            solve_dual(&pmf, EnergyBudget::per_slot(0.0), &consumption(), 1),
+            Err(PolicyError::BudgetTooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! The comparator policy of Jaggi et al. for Markov-modulated events.
+//!
+//! Fig. 5 of the paper compares `π'_PI` against the rechargeable-sensor
+//! activation policy of Jaggi, Kar, and Krishnamurthy (reference [6]), which
+//! models events as a two-state Markov chain with `a = P(1|1)`, `b = P(0|0)`
+//! and **presumes positive temporal correlation** (`a, b > 0.5`): after a
+//! captured event the next event is most likely immediately, so the policy
+//! gives the slot right after a capture first claim on the energy budget.
+//!
+//! Their chain has only two belief regimes — "just saw an event" and
+//! "haven't seen one" (where the belief decays geometrically to its
+//! stationary value) — so the policy family is two-dimensional: activate
+//! with probability `c₁` in state `f_1` and with a uniform probability
+//! `c_rest` in every later state, energy balanced. Under the scheme's
+//! premise, `c₁` is filled first. When the premise holds (`a, b > 0.5`,
+//! i.e. `β_1 = a` exceeds the flat continuation hazard `1 − b`) this
+//! allocation is the right greedy order and the policy matches the paper's
+//! clustering heuristic; when it fails, the forced priority wastes energy on
+//! an unlikely slot and `π'_PI` pulls ahead — exactly Fig. 5's message.
+
+use evcap_dist::MarkovEvents;
+use evcap_energy::ConsumptionModel;
+
+use crate::clustering::{evaluate_partial_info, ClusterEvaluation, EvalOptions};
+use crate::greedy::EnergyBudget;
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::{PolicyError, Result};
+
+/// The energy-balanced positive-correlation policy `π_EBCW`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EbcwPolicy {
+    c1: f64,
+    c_rest: f64,
+    evaluation: ClusterEvaluation,
+    a: f64,
+    b: f64,
+}
+
+impl EbcwPolicy {
+    /// Optimizes the policy for the given Markov event chain and budget:
+    /// fill `c₁` first (the scheme's premise), then the uniform remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::BudgetTooSmall`] for a zero budget.
+    pub fn optimize(
+        chain: &MarkovEvents,
+        budget: EnergyBudget,
+        consumption: &ConsumptionModel,
+    ) -> Result<Self> {
+        if budget.rate() <= 0.0 {
+            return Err(PolicyError::BudgetTooSmall { budget: 0.0 });
+        }
+        let pmf = chain.to_slot_pmf()?;
+        let e = budget.rate();
+        let opts = EvalOptions::default();
+        let eval_at = |c1: f64, c_rest: f64| {
+            evaluate_partial_info(
+                &pmf,
+                |i| if i == 1 { c1 } else { c_rest },
+                consumption,
+                opts,
+            )
+        };
+
+        // Stage 1: how much of the budget does c₁ = 1 alone use?
+        let solo = eval_at(1.0, 0.0);
+        let (c1, c_rest, evaluation) = if solo.discharge_rate > e {
+            // Not even the priority slot is affordable. A literal
+            // "slot 1 only, fractional" policy can never re-synchronize once
+            // a capture is missed, so (matching the battery-threshold
+            // behavior of the original scheme, which re-activates whenever
+            // enough energy has rebuilt) fall back to the uniform
+            // energy-balanced rate.
+            let (mut lo, mut hi) = (0.0f64, 1.0f64);
+            let mut chosen = (0.0, eval_at(0.0, 0.0));
+            for _ in 0..40 {
+                let mid = 0.5 * (lo + hi);
+                let ev = eval_at(mid, mid);
+                if ev.discharge_rate <= e {
+                    chosen = (mid, ev);
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            (chosen.0, chosen.0, chosen.1)
+        } else {
+            // Stage 2: spend the surplus uniformly on the remaining states.
+            let full = eval_at(1.0, 1.0);
+            if full.discharge_rate <= e {
+                (1.0, 1.0, full)
+            } else {
+                let (mut lo, mut hi) = (0.0f64, 1.0f64);
+                let mut chosen = (0.0, solo);
+                for _ in 0..40 {
+                    let mid = 0.5 * (lo + hi);
+                    let ev = eval_at(1.0, mid);
+                    if ev.discharge_rate <= e {
+                        chosen = (mid, ev);
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (1.0, chosen.0, chosen.1)
+            }
+        };
+
+        Ok(Self {
+            c1,
+            c_rest,
+            evaluation,
+            a: chain.a(),
+            b: chain.b(),
+        })
+    }
+
+    /// Activation probability in state `f_1` (right after a capture).
+    pub fn c1(&self) -> f64 {
+        self.c1
+    }
+
+    /// Uniform activation probability in every state `f_i`, `i ≥ 2`.
+    pub fn c_rest(&self) -> f64 {
+        self.c_rest
+    }
+
+    /// The analytic evaluation recorded at optimization time.
+    pub fn evaluation(&self) -> ClusterEvaluation {
+        self.evaluation
+    }
+}
+
+impl ActivationPolicy for EbcwPolicy {
+    fn probability(&self, ctx: &DecisionContext) -> f64 {
+        if ctx.state == 1 {
+            self.c1
+        } else {
+            self.c_rest
+        }
+    }
+
+    fn info_model(&self) -> InfoModel {
+        InfoModel::Partial
+    }
+
+    fn label(&self) -> String {
+        format!("EBCW(a={}, b={})", self.a, self.b)
+    }
+
+    fn planned_discharge_rate(&self) -> Option<f64> {
+        Some(self.evaluation.discharge_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::ClusteringOptimizer;
+
+    fn consumption() -> ConsumptionModel {
+        ConsumptionModel::paper_defaults()
+    }
+
+    #[test]
+    fn slot_one_is_filled_first() {
+        let chain = MarkovEvents::new(0.8, 0.8).unwrap();
+        let policy =
+            EbcwPolicy::optimize(&chain, EnergyBudget::per_slot(0.8), &consumption()).unwrap();
+        assert!(policy.c1() >= policy.c_rest());
+        assert!(policy.c1() > 0.0);
+        assert_eq!(
+            policy.probability(&DecisionContext::stationary(1)),
+            policy.c1()
+        );
+        assert_eq!(
+            policy.probability(&DecisionContext::stationary(7)),
+            policy.c_rest()
+        );
+    }
+
+    #[test]
+    fn respects_energy_budget() {
+        for (a, b) in [(0.8, 0.8), (0.3, 0.7), (0.6, 0.2), (0.9, 0.9)] {
+            for e in [0.2, 0.5, 1.0, 2.0] {
+                let chain = MarkovEvents::new(a, b).unwrap();
+                let policy =
+                    EbcwPolicy::optimize(&chain, EnergyBudget::per_slot(e), &consumption())
+                        .unwrap();
+                assert!(
+                    policy.evaluation().discharge_rate <= e + 1e-6,
+                    "a={a} b={b} e={e}: {}",
+                    policy.evaluation().discharge_rate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn close_to_unconstrained_clustering_under_positive_correlation() {
+        // a, b > 0.5: events cluster right after events, so prioritizing
+        // slot 1 is what the free optimizer does anyway.
+        let chain = MarkovEvents::new(0.7, 0.8).unwrap();
+        let budget = EnergyBudget::per_slot(1.0);
+        let pmf = chain.to_slot_pmf().unwrap();
+        let ebcw = EbcwPolicy::optimize(&chain, budget, &consumption()).unwrap();
+        let (_, free) = ClusteringOptimizer::new(budget)
+            .optimize(&pmf, &consumption())
+            .unwrap();
+        // Note: analytically the two families differ slightly — the
+        // clustering evaluator charges the aggressive recovery region at
+        // c = 1 under the energy assumption, while EBCW's uniform fractional
+        // tail is exactly balanced. In a battery-gated simulation (Fig. 5)
+        // the recovery self-throttles and the two coincide; here we only
+        // require the analytic values to be in the same ballpark.
+        assert!(
+            (ebcw.evaluation().capture_probability - free.capture_probability).abs() < 0.08,
+            "ebcw {} vs free {}",
+            ebcw.evaluation().capture_probability,
+            free.capture_probability
+        );
+    }
+
+    #[test]
+    fn loses_to_free_clustering_under_negative_correlation() {
+        // a = 0.15: an event almost never follows an event immediately, so
+        // spending energy at slot 1 is wasteful; b = 0.2 makes slot 2 hot.
+        let chain = MarkovEvents::new(0.15, 0.2).unwrap();
+        let budget = EnergyBudget::per_slot(1.0);
+        let pmf = chain.to_slot_pmf().unwrap();
+        let ebcw = EbcwPolicy::optimize(&chain, budget, &consumption()).unwrap();
+        let (_, free) = ClusteringOptimizer::new(budget)
+            .optimize(&pmf, &consumption())
+            .unwrap();
+        assert!(
+            free.capture_probability > ebcw.evaluation().capture_probability + 0.02,
+            "free {} vs ebcw {}",
+            free.capture_probability,
+            ebcw.evaluation().capture_probability
+        );
+    }
+
+    #[test]
+    fn abundant_energy_reaches_full_activation() {
+        let chain = MarkovEvents::new(0.8, 0.8).unwrap();
+        let policy =
+            EbcwPolicy::optimize(&chain, EnergyBudget::per_slot(10.0), &consumption()).unwrap();
+        assert_eq!(policy.c1(), 1.0);
+        assert_eq!(policy.c_rest(), 1.0);
+        assert!((policy.evaluation().capture_probability - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let chain = MarkovEvents::new(0.8, 0.8).unwrap();
+        assert!(matches!(
+            EbcwPolicy::optimize(&chain, EnergyBudget::per_slot(0.0), &consumption()),
+            Err(PolicyError::BudgetTooSmall { .. })
+        ));
+    }
+}

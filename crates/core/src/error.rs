@@ -1,0 +1,113 @@
+use std::fmt;
+
+/// Errors produced while constructing or optimizing activation policies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// A rate or probability parameter was out of range.
+    InvalidParameter {
+        /// The offending parameter's name.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// Clustering region boundaries were not ordered `n1 ≤ n2 ≤ n3`.
+    UnorderedRegions {
+        /// Start of the hot region.
+        n1: usize,
+        /// End of the hot region.
+        n2: usize,
+        /// Start of the recovery region.
+        n3: usize,
+    },
+    /// The energy budget cannot sustain any activation at all (the optimal
+    /// policy would be "never activate", which captures nothing).
+    BudgetTooSmall {
+        /// The per-renewal budget `e·μ` that was available.
+        budget: f64,
+    },
+    /// The optimizer found no feasible candidate within its search bounds.
+    NoFeasibleCandidate,
+    /// An LP cross-check failed to solve.
+    Lp(evcap_lp::LpError),
+    /// A distribution-level failure (propagated from `evcap-dist`).
+    Dist(evcap_dist::DistError),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            PolicyError::UnorderedRegions { n1, n2, n3 } => {
+                write!(f, "clustering regions must satisfy n1 <= n2 <= n3, got ({n1}, {n2}, {n3})")
+            }
+            PolicyError::BudgetTooSmall { budget } => {
+                write!(f, "per-renewal energy budget {budget} cannot sustain any activation")
+            }
+            PolicyError::NoFeasibleCandidate => {
+                write!(f, "no feasible policy found within the optimizer's search bounds")
+            }
+            PolicyError::Lp(e) => write!(f, "lp cross-check failed: {e}"),
+            PolicyError::Dist(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolicyError::Lp(e) => Some(e),
+            PolicyError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<evcap_lp::LpError> for PolicyError {
+    fn from(e: evcap_lp::LpError) -> Self {
+        PolicyError::Lp(e)
+    }
+}
+
+impl From<evcap_dist::DistError> for PolicyError {
+    fn from(e: evcap_dist::DistError) -> Self {
+        PolicyError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors: Vec<PolicyError> = vec![
+            PolicyError::InvalidParameter {
+                name: "e",
+                value: -1.0,
+                expected: "a rate > 0",
+            },
+            PolicyError::UnorderedRegions { n1: 5, n2: 3, n3: 9 },
+            PolicyError::BudgetTooSmall { budget: 0.0 },
+            PolicyError::NoFeasibleCandidate,
+            PolicyError::Lp(evcap_lp::LpError::Infeasible),
+            PolicyError::Dist(evcap_dist::DistError::EmptyPmf),
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let err = PolicyError::Lp(evcap_lp::LpError::Unbounded);
+        assert!(err.source().is_some());
+        assert!(PolicyError::NoFeasibleCandidate.source().is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Fleet allocation across multiple points of interest.
+//!
+//! The paper's deployment story has sensors scattered over an area with
+//! several PoIs, then analyzes one PoI in depth. This module closes the
+//! loop: given `P` PoIs — each with its own event process and an importance
+//! weight — and a fleet of `N` identical sensors, how many sensors should
+//! watch each PoI?
+//!
+//! Because each PoI's achievable QoM under the M-FI scheme is the Theorem-1
+//! optimum at aggregate budget `n·e`, which is a **concave** function of `n`
+//! (the LP's value function is concave in its budget), the weighted marginal
+//! gains are non-increasing and the greedy assignment — hand each sensor to
+//! the PoI whose weighted QoM it improves most — is exactly optimal.
+//! [`FleetAllocator::allocate`] implements it with memoized per-PoI value
+//! curves; a brute-force cross-check lives in the tests.
+
+use evcap_dist::SlotPmf;
+use evcap_energy::ConsumptionModel;
+
+use crate::greedy::{EnergyBudget, GreedyPolicy};
+use crate::{PolicyError, Result};
+
+/// One point of interest: its event process and its importance weight.
+#[derive(Debug, Clone)]
+pub struct PoiSpec {
+    /// The PoI's inter-arrival distribution.
+    pub pmf: SlotPmf,
+    /// Relative importance (the allocator maximizes `Σ weight·QoM`).
+    pub weight: f64,
+}
+
+/// The allocator's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPlan {
+    /// Sensors assigned to each PoI (same order as the input).
+    pub allocation: Vec<usize>,
+    /// The ideal (energy-assumption) QoM each PoI achieves under its share.
+    pub expected_qom: Vec<f64>,
+    /// The achieved objective `Σ weight·QoM`.
+    pub weighted_qom: f64,
+}
+
+/// Optimal greedy fleet allocator over the M-FI value curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetAllocator {
+    per_sensor: EnergyBudget,
+    consumption: ConsumptionModel,
+}
+
+impl FleetAllocator {
+    /// Creates an allocator for identical sensors with the given per-sensor
+    /// recharge rate.
+    pub fn new(per_sensor: EnergyBudget, consumption: ConsumptionModel) -> Self {
+        Self {
+            per_sensor,
+            consumption,
+        }
+    }
+
+    /// The ideal QoM of PoI `pmf` when watched by `n` sensors (M-FI at
+    /// aggregate budget `n·e`); 0 for an unwatched PoI.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-optimization failures.
+    pub fn poi_value(&self, pmf: &SlotPmf, n: usize) -> Result<f64> {
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let aggregate = EnergyBudget::per_slot(self.per_sensor.rate() * n as f64);
+        Ok(GreedyPolicy::optimize(pmf, aggregate, &self.consumption)?.ideal_qom())
+    }
+
+    /// Distributes `sensors` across the PoIs to maximize `Σ weight·QoM`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PolicyError::InvalidParameter`] if `pois` is empty or a weight is
+    ///   not a finite non-negative number.
+    /// * [`PolicyError::BudgetTooSmall`] for a zero per-sensor rate.
+    pub fn allocate(&self, pois: &[PoiSpec], sensors: usize) -> Result<FleetPlan> {
+        if pois.is_empty() {
+            return Err(PolicyError::InvalidParameter {
+                name: "pois",
+                value: 0.0,
+                expected: "at least one point of interest",
+            });
+        }
+        for poi in pois {
+            if !poi.weight.is_finite() || poi.weight < 0.0 {
+                return Err(PolicyError::InvalidParameter {
+                    name: "weight",
+                    value: poi.weight,
+                    expected: "a finite non-negative importance",
+                });
+            }
+        }
+        if self.per_sensor.rate() <= 0.0 {
+            return Err(PolicyError::BudgetTooSmall { budget: 0.0 });
+        }
+
+        let mut allocation = vec![0usize; pois.len()];
+        // Memoized value curve: values[p] holds U_p(0..=assigned+1).
+        let mut values: Vec<Vec<f64>> = vec![vec![0.0]; pois.len()];
+        for (p, poi) in pois.iter().enumerate() {
+            values[p].push(self.poi_value(&poi.pmf, 1)?);
+        }
+        for _ in 0..sensors {
+            // Pick the PoI with the largest weighted marginal gain.
+            let mut best: Option<(usize, f64)> = None;
+            for (p, poi) in pois.iter().enumerate() {
+                let n = allocation[p];
+                let gain = poi.weight * (values[p][n + 1] - values[p][n]);
+                if best.map(|(_, g)| gain > g + 1e-15).unwrap_or(true) {
+                    best = Some((p, gain));
+                }
+            }
+            let (p, _) = best.expect("pois is non-empty");
+            allocation[p] += 1;
+            // Extend that PoI's value curve for the next round.
+            let next = allocation[p] + 1;
+            if values[p].len() <= next {
+                let value = self.poi_value(&pois[p].pmf, next)?;
+                values[p].push(value);
+            }
+        }
+
+        let expected_qom: Vec<f64> = allocation
+            .iter()
+            .enumerate()
+            .map(|(p, &n)| values[p][n])
+            .collect();
+        let weighted_qom = expected_qom
+            .iter()
+            .zip(pois)
+            .map(|(u, poi)| u * poi.weight)
+            .sum();
+        Ok(FleetPlan {
+            allocation,
+            expected_qom,
+            weighted_qom,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_dist::{Discretizer, Weibull};
+
+    fn allocator(e: f64) -> FleetAllocator {
+        FleetAllocator::new(EnergyBudget::per_slot(e), ConsumptionModel::paper_defaults())
+    }
+
+    fn weibull(scale: f64) -> SlotPmf {
+        Discretizer::new()
+            .discretize(&Weibull::new(scale, 3.0).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn single_poi_gets_everything() {
+        let pois = vec![PoiSpec {
+            pmf: weibull(40.0),
+            weight: 1.0,
+        }];
+        let plan = allocator(0.1).allocate(&pois, 5).unwrap();
+        assert_eq!(plan.allocation, vec![5]);
+        assert!(plan.expected_qom[0] > 0.0);
+    }
+
+    #[test]
+    fn value_curve_is_concave() {
+        let alloc = allocator(0.1);
+        let pmf = weibull(40.0);
+        let values: Vec<f64> = (0..8).map(|n| alloc.poi_value(&pmf, n).unwrap()).collect();
+        for w in values.windows(3) {
+            let first = w[1] - w[0];
+            let second = w[2] - w[1];
+            assert!(second <= first + 1e-9, "not concave: {values:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_matches_brute_force() {
+        let pois = vec![
+            PoiSpec { pmf: weibull(20.0), weight: 1.0 },
+            PoiSpec { pmf: weibull(40.0), weight: 2.0 },
+            PoiSpec { pmf: weibull(60.0), weight: 0.5 },
+        ];
+        let alloc = allocator(0.15);
+        let sensors = 6;
+        let plan = alloc.allocate(&pois, sensors).unwrap();
+
+        // Brute force over all compositions of 6 into 3 parts.
+        let mut best = f64::NEG_INFINITY;
+        for a in 0..=sensors {
+            for b in 0..=(sensors - a) {
+                let c = sensors - a - b;
+                let value = pois[0].weight * alloc.poi_value(&pois[0].pmf, a).unwrap()
+                    + pois[1].weight * alloc.poi_value(&pois[1].pmf, b).unwrap()
+                    + pois[2].weight * alloc.poi_value(&pois[2].pmf, c).unwrap();
+                best = best.max(value);
+            }
+        }
+        assert!(
+            (plan.weighted_qom - best).abs() < 1e-9,
+            "greedy {} vs brute force {best}",
+            plan.weighted_qom
+        );
+    }
+
+    #[test]
+    fn heavier_weight_attracts_sensors() {
+        let pois = vec![
+            PoiSpec { pmf: weibull(40.0), weight: 0.1 },
+            PoiSpec { pmf: weibull(40.0), weight: 10.0 },
+        ];
+        let plan = allocator(0.1).allocate(&pois, 4).unwrap();
+        assert!(plan.allocation[1] > plan.allocation[0], "{:?}", plan.allocation);
+    }
+
+    #[test]
+    fn zero_sensors_is_a_valid_empty_plan() {
+        let pois = vec![PoiSpec { pmf: weibull(40.0), weight: 1.0 }];
+        let plan = allocator(0.1).allocate(&pois, 0).unwrap();
+        assert_eq!(plan.allocation, vec![0]);
+        assert_eq!(plan.weighted_qom, 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let alloc = allocator(0.1);
+        assert!(alloc.allocate(&[], 3).is_err());
+        let bad = vec![PoiSpec { pmf: weibull(40.0), weight: -1.0 }];
+        assert!(alloc.allocate(&bad, 3).is_err());
+        let pois = vec![PoiSpec { pmf: weibull(40.0), weight: 1.0 }];
+        assert!(allocator(0.0).allocate(&pois, 3).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! Multi-sensor coordination (Section V).
+//!
+//! A single sensor's recharge rate may be too slow for the required QoM, so
+//! `N` identical sensors monitor the same PoI. To avoid redundant
+//! activations, the paper assigns sensors to slots **round-robin**
+//! (`t = kN + s` → sensor `s` is in charge; everyone else sleeps) and has the
+//! responsible sensor follow the single-sensor policy computed for the
+//! *aggregate* recharge rate `N·e`:
+//!
+//! * **M-FI** — the greedy policy `π*_FI(N·e)` under full information;
+//! * **M-PI** — the clustering policy `π'_PI(N·e)` under partial information.
+//!
+//! The periodic baseline instead hands each sensor a whole block of `θ2`
+//! consecutive slots ([`SlotAssignment::Blocks`]), as described in the
+//! paper's Section VI-B.
+
+use evcap_dist::SlotPmf;
+use evcap_energy::ConsumptionModel;
+
+use crate::clustering::{ClusterEvaluation, ClusteringOptimizer, ClusteringPolicy};
+use crate::greedy::{EnergyBudget, GreedyPolicy};
+use crate::policy::ActivationPolicy;
+use crate::{PolicyError, Result};
+
+/// How global slots are divided among the `N` sensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotAssignment {
+    /// Sensor `s` owns slots `t ≡ s (mod N)` — the paper's M-FI / M-PI
+    /// scheme.
+    RoundRobin,
+    /// Sensors take turns owning `block_len` consecutive slots — the
+    /// multi-sensor periodic baseline.
+    Blocks {
+        /// Length of each sensor's block, in slots.
+        block_len: u64,
+    },
+    /// Weighted round-robin over a repeating `cycle` of integer shares —
+    /// for heterogeneous fleets where a sensor with twice the harvest rate
+    /// should carry twice the slots. The paper assumes identical sensors;
+    /// this is the natural generalization (build one with
+    /// [`SlotAssignment::weighted`]).
+    Weighted {
+        /// Shares per sensor, in sensor order (total ≤ 64; slot
+        /// `t` is owned by the sensor whose share range contains
+        /// `(t−1) mod Σ shares`).
+        cycle: [u8; 16],
+    },
+}
+
+impl SlotAssignment {
+    /// Builds a weighted round-robin assignment from integer shares (one per
+    /// sensor, each ≥ 1; at most 16 sensors and a total of 255 shares).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidParameter`] if `shares` is empty,
+    /// longer than 16, contains a zero, or sums past 255.
+    pub fn weighted(shares: &[u8]) -> Result<Self> {
+        if shares.is_empty() || shares.len() > 16 {
+            return Err(PolicyError::InvalidParameter {
+                name: "shares",
+                value: shares.len() as f64,
+                expected: "between 1 and 16 sensors",
+            });
+        }
+        let mut total: u32 = 0;
+        for &s in shares {
+            if s == 0 {
+                return Err(PolicyError::InvalidParameter {
+                    name: "share",
+                    value: 0.0,
+                    expected: "a share of at least 1 slot per cycle",
+                });
+            }
+            total += s as u32;
+        }
+        if total > 255 {
+            return Err(PolicyError::InvalidParameter {
+                name: "shares",
+                value: total as f64,
+                expected: "a cycle of at most 255 slots",
+            });
+        }
+        let mut cycle = [0u8; 16];
+        cycle[..shares.len()].copy_from_slice(shares);
+        Ok(SlotAssignment::Weighted { cycle })
+    }
+
+    /// The index (0-based) of the sensor in charge of global slot `t`
+    /// (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot == 0`, `sensors == 0`, or (for
+    /// [`SlotAssignment::Weighted`]) the cycle does not cover `sensors`
+    /// entries.
+    pub fn owner(&self, slot: u64, sensors: usize) -> usize {
+        assert!(slot >= 1, "slots are 1-based");
+        assert!(sensors >= 1, "need at least one sensor");
+        match self {
+            SlotAssignment::RoundRobin => ((slot - 1) % sensors as u64) as usize,
+            SlotAssignment::Blocks { block_len } => {
+                assert!(*block_len >= 1, "block length must be at least 1");
+                (((slot - 1) / block_len) % sensors as u64) as usize
+            }
+            SlotAssignment::Weighted { cycle } => {
+                assert!(sensors <= cycle.len(), "cycle shorter than the fleet");
+                let shares = &cycle[..sensors];
+                let total: u64 = shares.iter().map(|&s| s as u64).sum();
+                assert!(
+                    shares.iter().all(|&s| s > 0) && total > 0,
+                    "weighted cycle must cover every sensor; use SlotAssignment::weighted"
+                );
+                let mut phase = (slot - 1) % total;
+                for (s, &share) in shares.iter().enumerate() {
+                    if phase < share as u64 {
+                        return s;
+                    }
+                    phase -= share as u64;
+                }
+                unreachable!("phase < total by construction")
+            }
+        }
+    }
+}
+
+/// A complete multi-sensor configuration: how many sensors, how slots are
+/// assigned, and the shared policy the responsible sensor follows.
+#[derive(Debug, Clone)]
+pub struct MultiSensorPlan<P> {
+    sensors: usize,
+    assignment: SlotAssignment,
+    policy: P,
+}
+
+impl<P: ActivationPolicy> MultiSensorPlan<P> {
+    /// Creates a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidParameter`] if `sensors == 0`.
+    pub fn new(sensors: usize, assignment: SlotAssignment, policy: P) -> Result<Self> {
+        if sensors == 0 {
+            return Err(PolicyError::InvalidParameter {
+                name: "sensors",
+                value: 0.0,
+                expected: "at least one sensor",
+            });
+        }
+        Ok(Self {
+            sensors,
+            assignment,
+            policy,
+        })
+    }
+
+    /// Number of sensors.
+    pub fn sensors(&self) -> usize {
+        self.sensors
+    }
+
+    /// The slot-assignment scheme.
+    pub fn assignment(&self) -> SlotAssignment {
+        self.assignment
+    }
+
+    /// The shared activation policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The sensor in charge of global slot `t`.
+    pub fn owner(&self, slot: u64) -> usize {
+        self.assignment.owner(slot, self.sensors)
+    }
+}
+
+impl MultiSensorPlan<GreedyPolicy> {
+    /// Builds the paper's **M-FI** plan: round-robin slots, each responsible
+    /// sensor following the greedy policy for the aggregate rate `N·e`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GreedyPolicy::optimize`] failures.
+    pub fn m_fi(
+        pmf: &SlotPmf,
+        per_sensor_rate: EnergyBudget,
+        sensors: usize,
+        consumption: &ConsumptionModel,
+    ) -> Result<Self> {
+        if sensors == 0 {
+            return Err(PolicyError::InvalidParameter {
+                name: "sensors",
+                value: 0.0,
+                expected: "at least one sensor",
+            });
+        }
+        let aggregate = EnergyBudget::per_slot(per_sensor_rate.rate() * sensors as f64);
+        let policy = GreedyPolicy::optimize(pmf, aggregate, consumption)?;
+        Self::new(sensors, SlotAssignment::RoundRobin, policy)
+    }
+}
+
+impl MultiSensorPlan<ClusteringPolicy> {
+    /// Builds the paper's **M-PI** plan: round-robin slots, each responsible
+    /// sensor following the clustering policy for the aggregate rate `N·e`.
+    /// Also returns the analytic evaluation at rate `N·e`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusteringOptimizer::optimize`] failures.
+    pub fn m_pi(
+        pmf: &SlotPmf,
+        per_sensor_rate: EnergyBudget,
+        sensors: usize,
+        consumption: &ConsumptionModel,
+    ) -> Result<(Self, ClusterEvaluation)> {
+        if sensors == 0 {
+            return Err(PolicyError::InvalidParameter {
+                name: "sensors",
+                value: 0.0,
+                expected: "at least one sensor",
+            });
+        }
+        let aggregate = EnergyBudget::per_slot(per_sensor_rate.rate() * sensors as f64);
+        let (policy, eval) = ClusteringOptimizer::new(aggregate).optimize(pmf, consumption)?;
+        Ok((Self::new(sensors, SlotAssignment::RoundRobin, policy)?, eval))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::AggressivePolicy;
+    use evcap_dist::{Discretizer, Weibull};
+
+    #[test]
+    fn round_robin_cycles_through_sensors() {
+        let a = SlotAssignment::RoundRobin;
+        let owners: Vec<usize> = (1..=7).map(|t| a.owner(t, 3)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn single_sensor_owns_everything() {
+        let a = SlotAssignment::RoundRobin;
+        for t in 1..=10 {
+            assert_eq!(a.owner(t, 1), 0);
+        }
+    }
+
+    #[test]
+    fn blocks_hand_out_consecutive_runs() {
+        let a = SlotAssignment::Blocks { block_len: 3 };
+        let owners: Vec<usize> = (1..=12).map(|t| a.owner(t, 2)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn owner_rejects_slot_zero() {
+        SlotAssignment::RoundRobin.owner(0, 2);
+    }
+
+    #[test]
+    fn weighted_assignment_follows_shares() {
+        // Sensor 0 carries 2 of every 3 slots, sensor 1 the remaining one.
+        let a = SlotAssignment::weighted(&[2, 1]).unwrap();
+        let owners: Vec<usize> = (1..=9).map(|t| a.owner(t, 2)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn weighted_long_run_fractions_match() {
+        let a = SlotAssignment::weighted(&[3, 1, 2]).unwrap();
+        let mut counts = [0u64; 3];
+        for t in 1..=6_000 {
+            counts[a.owner(t, 3)] += 1;
+        }
+        assert_eq!(counts, [3_000, 1_000, 2_000]);
+    }
+
+    #[test]
+    fn weighted_with_equal_shares_is_round_robin() {
+        let w = SlotAssignment::weighted(&[1, 1, 1]).unwrap();
+        for t in 1..=30 {
+            assert_eq!(w.owner(t, 3), SlotAssignment::RoundRobin.owner(t, 3));
+        }
+    }
+
+    #[test]
+    fn weighted_validation() {
+        assert!(SlotAssignment::weighted(&[]).is_err());
+        assert!(SlotAssignment::weighted(&[1, 0]).is_err());
+        assert!(SlotAssignment::weighted(&[255, 255]).is_err());
+        assert!(SlotAssignment::weighted(&[1; 17]).is_err());
+        assert!(SlotAssignment::weighted(&[1; 16]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn weighted_cycle_must_cover_fleet() {
+        let a = SlotAssignment::weighted(&[1, 1]).unwrap();
+        // Third sensor has no share in the cycle.
+        a.owner(1, 3);
+    }
+
+    #[test]
+    fn plan_validates_sensor_count() {
+        assert!(MultiSensorPlan::new(0, SlotAssignment::RoundRobin, AggressivePolicy).is_err());
+        let plan = MultiSensorPlan::new(4, SlotAssignment::RoundRobin, AggressivePolicy).unwrap();
+        assert_eq!(plan.sensors(), 4);
+        assert_eq!(plan.owner(6), 1);
+    }
+
+    #[test]
+    fn m_fi_uses_aggregate_rate() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let consumption = ConsumptionModel::paper_defaults();
+        let e = EnergyBudget::per_slot(0.1);
+        let plan1 = MultiSensorPlan::m_fi(&pmf, e, 1, &consumption).unwrap();
+        let plan5 = MultiSensorPlan::m_fi(&pmf, e, 5, &consumption).unwrap();
+        // Five sensors pool five times the energy → strictly better ideal QoM.
+        assert!(plan5.policy().ideal_qom() > plan1.policy().ideal_qom() + 0.05);
+    }
+
+    #[test]
+    fn m_pi_respects_aggregate_budget() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let consumption = ConsumptionModel::paper_defaults();
+        let (plan, eval) =
+            MultiSensorPlan::m_pi(&pmf, EnergyBudget::per_slot(0.2), 3, &consumption).unwrap();
+        assert_eq!(plan.sensors(), 3);
+        assert!(eval.discharge_rate <= 0.6 + 1e-6);
+    }
+}

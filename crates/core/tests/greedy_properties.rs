@@ -1,0 +1,124 @@
+//! Property-based tests of the Theorem-1 greedy policy's invariants.
+
+use evcap_core::{EnergyBudget, GreedyPolicy};
+use evcap_dist::SlotPmf;
+use evcap_energy::{ConsumptionModel, Energy};
+use proptest::prelude::*;
+
+fn arb_pmf() -> impl Strategy<Value = SlotPmf> {
+    proptest::collection::vec(0.001f64..1.0, 1..16).prop_map(|raw| {
+        let total: f64 = raw.iter().sum();
+        SlotPmf::from_pmf(raw.into_iter().map(|w| w / total).collect()).expect("normalized")
+    })
+}
+
+fn arb_consumption() -> impl Strategy<Value = ConsumptionModel> {
+    (0.1f64..3.0, 0.0f64..10.0).prop_map(|(d1, d2)| {
+        ConsumptionModel::new(Energy::from_units(d1), Energy::from_units(d2)).expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Coefficients are probabilities, the QoM is a probability, and the
+    /// planned discharge never exceeds the budget.
+    #[test]
+    fn outputs_are_well_formed(
+        pmf in arb_pmf(),
+        consumption in arb_consumption(),
+        e in 0.001f64..5.0,
+    ) {
+        let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)
+            .expect("positive budget");
+        for i in 1..=pmf.horizon() + 4 {
+            let c = policy.coefficient(i);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "c_{i} = {c}");
+        }
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&policy.ideal_qom()));
+        prop_assert!(policy.discharge_rate() <= e + 1e-9);
+    }
+
+    /// The QoM is monotone in the budget (more energy never hurts).
+    #[test]
+    fn qom_is_monotone_in_budget(
+        pmf in arb_pmf(),
+        consumption in arb_consumption(),
+        e in 0.01f64..2.0,
+        bump in 1.01f64..4.0,
+    ) {
+        let small = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)
+            .expect("positive budget");
+        let large = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e * bump), &consumption)
+            .expect("positive budget");
+        prop_assert!(
+            large.ideal_qom() + 1e-9 >= small.ideal_qom(),
+            "{} < {}",
+            large.ideal_qom(),
+            small.ideal_qom()
+        );
+    }
+
+    /// Activation respects the hazard order: a slot with a strictly higher
+    /// hazard never gets a strictly smaller coefficient (Theorem 1 /
+    /// Remark 1 structure). Ties may break either way.
+    #[test]
+    fn higher_hazard_never_gets_less(
+        pmf in arb_pmf(),
+        consumption in arb_consumption(),
+        e in 0.01f64..3.0,
+    ) {
+        let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)
+            .expect("positive budget");
+        let h = pmf.horizon();
+        for i in 1..=h {
+            for j in 1..=h {
+                // Only compare reachable slots with meaningful cost.
+                if pmf.survival(i - 1) < 1e-12 || pmf.survival(j - 1) < 1e-12 {
+                    continue;
+                }
+                if pmf.hazard(i) > pmf.hazard(j) + 1e-9 {
+                    prop_assert!(
+                        policy.coefficient(i) + 1e-9 >= policy.coefficient(j),
+                        "β_{i}={} > β_{j}={} but c_{i}={} < c_{j}={}",
+                        pmf.hazard(i),
+                        pmf.hazard(j),
+                        policy.coefficient(i),
+                        policy.coefficient(j)
+                    );
+                }
+            }
+        }
+    }
+
+    /// At most one coefficient is fractional among slots of distinct hazard
+    /// classes — the water-filling boundary.
+    #[test]
+    fn at_most_one_fractional_hazard_class(
+        pmf in arb_pmf(),
+        e in 0.01f64..3.0,
+    ) {
+        let consumption = ConsumptionModel::paper_defaults();
+        let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)
+            .expect("positive budget");
+        // Group reachable slots by hazard (within tolerance) and count the
+        // groups whose coefficients are strictly interior.
+        let mut fractional_hazards: Vec<f64> = Vec::new();
+        for i in 1..=pmf.horizon() {
+            if pmf.survival(i - 1) < 1e-12 {
+                continue;
+            }
+            let c = policy.coefficient(i);
+            if c > 1e-9 && c < 1.0 - 1e-9 {
+                let h = pmf.hazard(i);
+                if !fractional_hazards.iter().any(|&x| (x - h).abs() < 1e-9) {
+                    fractional_hazards.push(h);
+                }
+            }
+        }
+        prop_assert!(
+            fractional_hazards.len() <= 1,
+            "fractional hazard classes: {fractional_hazards:?}"
+        );
+    }
+}

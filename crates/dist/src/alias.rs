@@ -1,0 +1,156 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+
+use rand::Rng;
+
+use crate::{DistError, Result};
+
+/// An alias table: samples an index `0..n` proportionally to the weights it
+/// was built from, in constant time per draw.
+///
+/// # Example
+///
+/// ```
+/// use evcap_dist::AliasTable;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), evcap_dist::DistError> {
+/// let table = AliasTable::new(&[1.0, 3.0])?;
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let ones = (0..10_000).filter(|_| table.sample(&mut rng) == 1).count();
+/// assert!((ones as f64 / 10_000.0 - 0.75).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance threshold for each bucket, scaled to [0, 1].
+    prob: Vec<f64>,
+    /// Alias index used when the threshold test fails.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative `weights` (not necessarily
+    /// normalized).
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::EmptyPmf`] if `weights` is empty or sums to zero.
+    /// * [`DistError::InvalidMass`] if any weight is negative or non-finite.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(DistError::InvalidMass { index, value });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DistError::EmptyPmf);
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            // Move the excess of the large bucket into the small one.
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of buckets in the table.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no buckets (never constructible via
+    /// [`AliasTable::new`], but provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index `0..len()` with probability proportional to the
+    /// original weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_weights() {
+        assert!(matches!(AliasTable::new(&[]), Err(DistError::EmptyPmf)));
+        assert!(matches!(AliasTable::new(&[0.0, 0.0]), Err(DistError::EmptyPmf)));
+        assert!(matches!(
+            AliasTable::new(&[1.0, -1.0]),
+            Err(DistError::InvalidMass { index: 1, .. })
+        ));
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn single_bucket_always_sampled() {
+        let table = AliasTable::new(&[42.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_bucket_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [0.1, 0.2, 0.3, 0.4];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - w).abs() < 0.01, "bucket {i}: {freq} vs {w}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Slotting a continuous inter-arrival distribution.
+
+use crate::continuous::InterArrival;
+use crate::slot_pmf::SlotPmf;
+use crate::{DistError, Result};
+
+/// Default survival mass below which the head of the pmf is truncated.
+pub const DEFAULT_TAIL_EPS: f64 = 1e-9;
+
+/// Default cap on the number of explicitly stored slots.
+pub const DEFAULT_MAX_HORIZON: usize = 65_536;
+
+/// Builder that turns an [`InterArrival`] distribution into a [`SlotPmf`].
+///
+/// The head of the distribution is stored exactly: `α_i = F(i) − F(i−1)` for
+/// `i = 1..=H`, where the horizon `H` is the first slot at which the survival
+/// `1 − F(H)` drops below [`tail_eps`](Self::tail_eps) (or
+/// [`max_horizon`](Self::max_horizon), whichever comes first). The residual
+/// mass is modeled as a geometric tail whose hazard is the distribution's
+/// conditional per-slot arrival probability at the horizon, so heavy-tailed
+/// distributions like Pareto remain proper and sampleable.
+///
+/// # Example
+///
+/// ```
+/// use evcap_dist::{Discretizer, Pareto};
+///
+/// # fn main() -> Result<(), evcap_dist::DistError> {
+/// let pareto = Pareto::new(2.0, 10.0)?;
+/// let pmf = Discretizer::new().tail_eps(1e-6).discretize(&pareto)?;
+/// // No arrival can happen within the scale parameter.
+/// assert_eq!(pmf.min_support(), 11);
+/// // Discrete mean is close to the continuous mean of 20.
+/// assert!((pmf.mean() - 20.0).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discretizer {
+    tail_eps: f64,
+    max_horizon: usize,
+}
+
+impl Default for Discretizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Discretizer {
+    /// Creates a discretizer with the default tail tolerance (`1e-9`) and
+    /// horizon cap (`65 536` slots).
+    pub fn new() -> Self {
+        Self {
+            tail_eps: DEFAULT_TAIL_EPS,
+            max_horizon: DEFAULT_MAX_HORIZON,
+        }
+    }
+
+    /// Sets the survival mass below which the explicit head is cut off.
+    #[must_use]
+    pub fn tail_eps(mut self, eps: f64) -> Self {
+        self.tail_eps = eps.max(0.0);
+        self
+    }
+
+    /// Sets the maximum number of explicitly stored slots.
+    #[must_use]
+    pub fn max_horizon(mut self, horizon: usize) -> Self {
+        self.max_horizon = horizon.max(1);
+        self
+    }
+
+    /// Discretizes `dist` into a [`SlotPmf`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::DegenerateDiscretization`] if the CDF accumulates
+    /// essentially no mass within the horizon budget (e.g. a distribution
+    /// whose support starts beyond `max_horizon`).
+    pub fn discretize(&self, dist: &dyn InterArrival) -> Result<SlotPmf> {
+        let mut masses = Vec::new();
+        let mut prev_cdf = 0.0;
+        let mut horizon = 0usize;
+        while horizon < self.max_horizon {
+            horizon += 1;
+            let c = dist.cdf(horizon as f64).clamp(0.0, 1.0);
+            // Monotonicity guard: a numerically noisy CDF must not produce
+            // negative masses.
+            let c = c.max(prev_cdf);
+            masses.push(c - prev_cdf);
+            prev_cdf = c;
+            if 1.0 - c <= self.tail_eps {
+                break;
+            }
+        }
+        let tail_mass = 1.0 - prev_cdf;
+        if prev_cdf <= self.tail_eps.max(1e-12) {
+            return Err(DistError::DegenerateDiscretization { horizon });
+        }
+        let tail_hazard = if tail_mass > 0.0 {
+            // Conditional arrival probability in the first slot past the
+            // horizon; clamped away from zero so the tail stays proper.
+            let next = dist.cdf((horizon + 1) as f64).clamp(prev_cdf, 1.0);
+            (((next - prev_cdf) / tail_mass).clamp(0.0, 1.0)).max(1e-12)
+        } else {
+            1.0
+        };
+        SlotPmf::with_tail(masses, tail_mass, tail_hazard, dist.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::{Deterministic, Exponential, Pareto, Weibull};
+
+    #[test]
+    fn weibull_discretization_is_tight() {
+        let w = Weibull::new(40.0, 3.0).unwrap();
+        let pmf = Discretizer::new().discretize(&w).unwrap();
+        // All mass is inside the head for this light tail.
+        assert!(pmf.tail_mass() <= 1e-9);
+        // Discrete mean within half a slot of the continuous mean (the
+        // ceil-discretization biases upward by < 1 slot).
+        let continuous = w.continuous_mean().unwrap();
+        assert!(pmf.mean() > continuous && pmf.mean() < continuous + 1.0);
+        // Hazard is increasing over the bulk of the support.
+        let h = pmf.hazards(60);
+        for i in 1..55 {
+            assert!(
+                h[i] >= h[i - 1] - 1e-12,
+                "hazard must increase at slot {i}: {} vs {}",
+                h[i],
+                h[i - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_discretizes_to_constant_hazard() {
+        let e = Exponential::new(0.05).unwrap();
+        let pmf = Discretizer::new().discretize(&e).unwrap();
+        let beta = 1.0 - (-0.05f64).exp();
+        for slot in [1, 5, 50, 200] {
+            assert!((pmf.hazard(slot) - beta).abs() < 1e-9, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn pareto_keeps_analytic_tail() {
+        let p = Pareto::new(2.0, 10.0).unwrap();
+        let pmf = Discretizer::new().max_horizon(2_000).discretize(&p).unwrap();
+        assert_eq!(pmf.horizon(), 2_000);
+        assert!(pmf.tail_mass() > 0.0);
+        // Tail hazard matches the analytic conditional probability at H.
+        let expected = (p.cdf(2_001.0) - p.cdf(2_000.0)) / (1.0 - p.cdf(2_000.0));
+        assert!((pmf.tail_hazard() - expected).abs() < 1e-9);
+        // Pareto(2, 10) has mean 20; the discrete mean is within a slot.
+        assert!((pmf.mean() - 20.0).abs() < 1.0, "mean {}", pmf.mean());
+    }
+
+    #[test]
+    fn deterministic_discretizes_to_point_mass() {
+        let d = Deterministic::new(7.0).unwrap();
+        let pmf = Discretizer::new().discretize(&d).unwrap();
+        assert_eq!(pmf.min_support(), 7);
+        assert!((pmf.pmf(7) - 1.0).abs() < 1e-12);
+        assert!((pmf.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_support_is_rejected() {
+        let d = Deterministic::new(100.0).unwrap();
+        let result = Discretizer::new().max_horizon(10).discretize(&d);
+        assert!(matches!(result, Err(DistError::DegenerateDiscretization { .. })));
+    }
+
+    #[test]
+    fn tail_eps_controls_horizon() {
+        let w = Weibull::new(40.0, 3.0).unwrap();
+        let tight = Discretizer::new().tail_eps(1e-12).discretize(&w).unwrap();
+        let loose = Discretizer::new().tail_eps(1e-3).discretize(&w).unwrap();
+        assert!(loose.horizon() < tight.horizon());
+        // Means still agree closely because the loose tail is modeled.
+        assert!((tight.mean() - loose.mean()).abs() < 0.5);
+    }
+}

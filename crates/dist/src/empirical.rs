@@ -1,0 +1,247 @@
+//! Trace-driven inter-arrival distributions.
+//!
+//! Real deployments rarely know the closed-form law of their events; they
+//! have *logs*. [`EmpiricalGaps`] turns a list of observed inter-arrival
+//! times into a [`SlotPmf`] so every policy in the workspace can be
+//! optimized directly against measured behavior, optionally with a geometric
+//! tail fitted past the observed support (observations are always finite;
+//! the true distribution may not be).
+
+use crate::slot_pmf::SlotPmf;
+use crate::{DistError, Result};
+
+/// A collection of observed inter-arrival times, in slots (fractions are
+/// rounded up: an event `2.3` slot-lengths after the previous one lands in
+/// slot 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalGaps {
+    /// Observed gap lengths in slots, each ≥ 1.
+    gaps: Vec<usize>,
+}
+
+impl EmpiricalGaps {
+    /// Collects continuous gap observations (e.g. from timestamps), rounding
+    /// each up to a whole slot.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::EmptyPmf`] if `samples` is empty.
+    /// * [`DistError::InvalidMass`] if any sample is non-positive or not
+    ///   finite.
+    pub fn from_samples(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        let mut gaps = Vec::with_capacity(samples.len());
+        for (index, &value) in samples.iter().enumerate() {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(DistError::InvalidMass { index, value });
+            }
+            gaps.push(value.ceil() as usize);
+        }
+        Ok(Self { gaps })
+    }
+
+    /// Collects already-slotted gap observations.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::EmptyPmf`] if `gaps` is empty.
+    /// * [`DistError::InvalidMass`] if any gap is zero.
+    pub fn from_slot_gaps(gaps: Vec<usize>) -> Result<Self> {
+        if gaps.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        if let Some(index) = gaps.iter().position(|&g| g == 0) {
+            return Err(DistError::InvalidMass { index, value: 0.0 });
+        }
+        Ok(Self { gaps })
+    }
+
+    /// Derives gaps from a sorted sequence of event slots (the first gap is
+    /// measured from slot 0, matching the paper's "an event occurs in
+    /// slot 0" convention).
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::EmptyPmf`] if `event_slots` is empty.
+    /// * [`DistError::InvalidMass`] if the slots are not strictly
+    ///   increasing and ≥ 1.
+    pub fn from_event_slots(event_slots: &[u64]) -> Result<Self> {
+        if event_slots.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        let mut gaps = Vec::with_capacity(event_slots.len());
+        let mut prev = 0u64;
+        for (index, &slot) in event_slots.iter().enumerate() {
+            if slot <= prev {
+                return Err(DistError::InvalidMass {
+                    index,
+                    value: slot as f64,
+                });
+            }
+            gaps.push((slot - prev) as usize);
+            prev = slot;
+        }
+        Ok(Self { gaps })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Returns `true` if there are no observations (never constructible via
+    /// the public constructors; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Sample mean gap, in slots.
+    pub fn mean(&self) -> f64 {
+        self.gaps.iter().sum::<usize>() as f64 / self.gaps.len() as f64
+    }
+
+    /// The largest observed gap.
+    pub fn max_gap(&self) -> usize {
+        self.gaps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Builds the empirical slot pmf, with `tail_smoothing` controlling what
+    /// happens past the largest observation:
+    ///
+    /// * `None` — the pmf is exactly the histogram (zero mass beyond the
+    ///   max observed gap);
+    /// * `Some(w)` — a fraction `w ∈ (0, 1)` of one observation's worth of
+    ///   mass is moved into a geometric tail whose hazard matches the
+    ///   empirical hazard at the largest gap, acknowledging that longer gaps
+    ///   than observed are possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] if `tail_smoothing` is not in
+    /// `(0, 1)`.
+    pub fn to_slot_pmf(&self, tail_smoothing: Option<f64>) -> Result<SlotPmf> {
+        let n = self.gaps.len() as f64;
+        let max = self.max_gap();
+        let mut counts = vec![0.0f64; max];
+        for &g in &self.gaps {
+            counts[g - 1] += 1.0;
+        }
+        let label = format!("Empirical({} samples)", self.gaps.len());
+        match tail_smoothing {
+            None => {
+                for c in &mut counts {
+                    *c /= n;
+                }
+                SlotPmf::with_tail(counts, 0.0, 1.0, label)
+            }
+            Some(w) => {
+                if !(0.0..1.0).contains(&w) || w <= 0.0 {
+                    return Err(DistError::InvalidParameter {
+                        name: "tail_smoothing",
+                        value: w,
+                        expected: "a weight in (0, 1)",
+                    });
+                }
+                // Reserve w observations' worth of probability for the tail.
+                let tail_mass = w / n;
+                let scale = (1.0 - tail_mass) / n;
+                for c in &mut counts {
+                    *c *= scale;
+                }
+                // Tail hazard: empirical conditional arrival probability at
+                // the largest gap (at least one observation sits there).
+                let at_max = self.gaps.iter().filter(|&&g| g == max).count() as f64;
+                let reaching_max = self.gaps.iter().filter(|&&g| g >= max).count() as f64;
+                let hazard = (at_max / reaching_max).clamp(1e-6, 1.0 - 1e-6);
+                SlotPmf::with_tail(counts, tail_mass, hazard, label)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_pmf_matches_counts() {
+        let emp = EmpiricalGaps::from_slot_gaps(vec![2, 2, 3, 5]).unwrap();
+        let pmf = emp.to_slot_pmf(None).unwrap();
+        assert!((pmf.pmf(2) - 0.5).abs() < 1e-12);
+        assert!((pmf.pmf(3) - 0.25).abs() < 1e-12);
+        assert!((pmf.pmf(5) - 0.25).abs() < 1e-12);
+        assert_eq!(pmf.pmf(4), 0.0);
+        assert!((pmf.mean() - 3.0).abs() < 1e-12);
+        assert!((emp.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuous_samples_round_up() {
+        let emp = EmpiricalGaps::from_samples(&[0.2, 1.0, 2.5]).unwrap();
+        let pmf = emp.to_slot_pmf(None).unwrap();
+        // 0.2 → slot 1, 1.0 → slot 1, 2.5 → slot 3.
+        assert!((pmf.pmf(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pmf.pmf(3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_slots_to_gaps() {
+        let emp = EmpiricalGaps::from_event_slots(&[3, 5, 10]).unwrap();
+        // Gaps: 3 (from slot 0), 2, 5.
+        assert_eq!(emp.len(), 3);
+        assert!((emp.mean() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_adds_a_proper_tail() {
+        let emp = EmpiricalGaps::from_slot_gaps(vec![4; 99]).unwrap();
+        let pmf = emp.to_slot_pmf(Some(0.5)).unwrap();
+        assert!(pmf.tail_mass() > 0.0);
+        // The tail holds half an observation's mass.
+        assert!((pmf.tail_mass() - 0.5 / 99.0).abs() < 1e-12);
+        // Mass still sums to one.
+        let head: f64 = (1..=200).map(|i| pmf.pmf(i)).sum();
+        assert!((head + pmf.survival(200) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            EmpiricalGaps::from_samples(&[]),
+            Err(DistError::EmptyPmf)
+        ));
+        assert!(matches!(
+            EmpiricalGaps::from_samples(&[1.0, -2.0]),
+            Err(DistError::InvalidMass { index: 1, .. })
+        ));
+        assert!(EmpiricalGaps::from_slot_gaps(vec![0]).is_err());
+        assert!(EmpiricalGaps::from_event_slots(&[5, 5]).is_err());
+        let emp = EmpiricalGaps::from_slot_gaps(vec![3]).unwrap();
+        assert!(emp.to_slot_pmf(Some(1.5)).is_err());
+        assert!(emp.to_slot_pmf(Some(0.0)).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_sampling() {
+        use crate::sampler::SlotSampler;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        // Sample a known pmf, rebuild empirically, and compare hazards.
+        let truth = SlotPmf::from_pmf(vec![0.1, 0.4, 0.3, 0.2]).unwrap();
+        let sampler = SlotSampler::new(&truth).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let gaps: Vec<usize> = (0..200_000).map(|_| sampler.sample(&mut rng)).collect();
+        let emp = EmpiricalGaps::from_slot_gaps(gaps).unwrap();
+        let rebuilt = emp.to_slot_pmf(None).unwrap();
+        for i in 1..=4 {
+            assert!(
+                (rebuilt.pmf(i) - truth.pmf(i)).abs() < 0.005,
+                "slot {i}: {} vs {}",
+                rebuilt.pmf(i),
+                truth.pmf(i)
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+use std::fmt;
+
+/// Errors produced while constructing or discretizing a distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// The offending parameter's name, e.g. `"shape"`.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// A user-supplied pmf was empty.
+    EmptyPmf,
+    /// A user-supplied pmf contained a negative or non-finite entry.
+    InvalidMass {
+        /// Zero-based index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A user-supplied pmf did not sum close enough to one to normalize.
+    NotNormalizable {
+        /// The sum that was observed.
+        sum: f64,
+    },
+    /// Discretization could not make progress (e.g. the CDF never increased
+    /// within the horizon budget).
+    DegenerateDiscretization {
+        /// Horizon at which discretization gave up.
+        horizon: usize,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            DistError::EmptyPmf => write!(f, "pmf must contain at least one slot"),
+            DistError::InvalidMass { index, value } => {
+                write!(f, "pmf entry {index} is {value}; expected a finite non-negative value")
+            }
+            DistError::NotNormalizable { sum } => {
+                write!(f, "pmf sums to {sum}; expected a total mass near 1")
+            }
+            DistError::DegenerateDiscretization { horizon } => {
+                write!(f, "cdf accumulated no probability mass within {horizon} slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<f64, DistError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(DistError::InvalidParameter {
+            name,
+            value,
+            expected: "a finite value > 0",
+        })
+    }
+}
+
+/// Validates that `value` lies in the closed unit interval.
+pub(crate) fn require_probability(name: &'static str, value: f64) -> Result<f64, DistError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(DistError::InvalidParameter {
+            name,
+            value,
+            expected: "a probability in [0, 1]",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            DistError::InvalidParameter {
+                name: "shape",
+                value: -1.0,
+                expected: "a finite value > 0",
+            },
+            DistError::EmptyPmf,
+            DistError::InvalidMass {
+                index: 3,
+                value: f64::NAN,
+            },
+            DistError::NotNormalizable { sum: 0.2 },
+            DistError::DegenerateDiscretization { horizon: 10 },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn require_positive_rejects_bad_values() {
+        assert!(require_positive("x", 1.0).is_ok());
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", -3.0).is_err());
+        assert!(require_positive("x", f64::NAN).is_err());
+        assert!(require_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn require_probability_rejects_bad_values() {
+        assert!(require_probability("p", 0.0).is_ok());
+        assert!(require_probability("p", 1.0).is_ok());
+        assert!(require_probability("p", 1.5).is_err());
+        assert!(require_probability("p", -0.1).is_err());
+        assert!(require_probability("p", f64::NAN).is_err());
+    }
+}

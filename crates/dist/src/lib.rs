@@ -1,0 +1,64 @@
+//! Inter-arrival-time distributions and their slotted discretizations.
+//!
+//! The paper models events at a point of interest (PoI) as a *general renewal
+//! process*: the times `X` between consecutive events are i.i.d. draws from an
+//! arbitrary distribution. Time is slotted, so every continuous distribution
+//! is ultimately consumed through its **slot pmf**
+//! `α_i = F(i) − F(i−1)` and the **per-slot conditional probability (hazard)**
+//! `β_i = α_i / (1 − F(i−1))` — the probability that the first event after a
+//! renewal lands in slot `i` given that it has not occurred in slots
+//! `1..=i−1`.
+//!
+//! This crate provides:
+//!
+//! * the [`InterArrival`] trait for continuous inter-arrival distributions,
+//!   with implementations for the distributions used in the paper
+//!   ([`Weibull`], [`Pareto`], [`Exponential`]) plus several more that are
+//!   useful for testing and ablations ([`Erlang`], [`UniformArrival`],
+//!   [`Deterministic`], [`HyperExponential`]);
+//! * [`SlotPmf`], the discretized representation with explicit tail handling,
+//!   produced by [`Discretizer`];
+//! * exact samplers over slot gaps ([`SlotSampler`], backed by a Walker
+//!   [`AliasTable`]);
+//! * [`MarkovEvents`], the two-state Markov event chain of Jaggi et al.
+//!   re-expressed as a renewal process (used by the paper's Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use evcap_dist::{Discretizer, Weibull};
+//!
+//! # fn main() -> Result<(), evcap_dist::DistError> {
+//! let weibull = Weibull::new(40.0, 3.0)?;
+//! let pmf = Discretizer::new().discretize(&weibull)?;
+//! // The hazard of a Weibull with shape > 1 is increasing.
+//! assert!(pmf.hazard(20) < pmf.hazard(40));
+//! // The discrete mean is close to the continuous mean 40·Γ(4/3) ≈ 35.7.
+//! assert!((pmf.mean() - 35.7).abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod alias;
+mod continuous;
+mod discretize;
+mod empirical;
+mod error;
+mod markov;
+mod sampler;
+mod slot_pmf;
+
+pub use alias::AliasTable;
+pub use continuous::{
+    Deterministic, Erlang, Exponential, HyperExponential, InterArrival, LogNormal, Pareto,
+    UniformArrival, Weibull,
+};
+pub use discretize::Discretizer;
+pub use empirical::EmpiricalGaps;
+pub use error::DistError;
+pub use markov::MarkovEvents;
+pub use sampler::SlotSampler;
+pub use slot_pmf::SlotPmf;
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = DistError> = std::result::Result<T, E>;

@@ -1,0 +1,165 @@
+//! The two-state Markov event chain of Jaggi et al., as a renewal process.
+//!
+//! The paper's Fig. 5 compares the clustering policy against π_EBCW on events
+//! driven by a two-state Markov chain with `a = P(event | event)` and
+//! `b = P(no event | no event)`. Section VI observes that such a chain is a
+//! renewal process when viewed from the last event: the gap `X` to the next
+//! event satisfies
+//!
+//! * `P(X = 1) = a`,
+//! * `P(X = k) = (1 − a)·b^{k−2}·(1 − b)` for `k ≥ 2`,
+//!
+//! i.e. one Bernoulli(a) trial followed, on failure, by a geometric wait with
+//! hazard `1 − b`. This module performs that transform exactly (the geometric
+//! tail of [`SlotPmf`] represents the `k ≥ 2` branch with *zero* truncation
+//! error).
+
+use crate::error::require_probability;
+use crate::slot_pmf::SlotPmf;
+use crate::{DistError, Result};
+
+/// A two-state Markov event chain, parameterized as in Jaggi et al.:
+/// `a = P(1|1)` (event follows event) and `b = P(0|0)` (gap follows gap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovEvents {
+    a: f64,
+    b: f64,
+}
+
+impl MarkovEvents {
+    /// Creates the chain with transition probabilities `a = P(1|1)` and
+    /// `b = P(0|0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] if either parameter is outside
+    /// `[0, 1]`, or if `a < 1` and `b = 1` (the chain would then get absorbed
+    /// in the no-event state and the inter-arrival time would be improper).
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        let a = require_probability("a", a)?;
+        let b = require_probability("b", b)?;
+        if a < 1.0 && b >= 1.0 {
+            return Err(DistError::InvalidParameter {
+                name: "b",
+                value: b,
+                expected: "a value < 1 whenever a < 1 (otherwise events die out)",
+            });
+        }
+        Ok(Self { a, b })
+    }
+
+    /// `P(event in slot t+1 | event in slot t)`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// `P(no event in slot t+1 | no event in slot t)`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Long-run fraction of slots containing an event:
+    /// `(1 − b) / (2 − a − b)` (or 1 for the degenerate all-events chain).
+    pub fn stationary_event_rate(&self) -> f64 {
+        let denom = 2.0 - self.a - self.b;
+        if denom <= 0.0 {
+            // a = b = 1: the chain freezes in its initial state; by the
+            // paper's convention an event occurred at slot 0, so every slot
+            // has an event.
+            1.0
+        } else {
+            (1.0 - self.b) / denom
+        }
+    }
+
+    /// Mean inter-arrival time `μ = a + (1 − a)(1 + 1/(1 − b))`.
+    pub fn mean_gap(&self) -> f64 {
+        if self.a >= 1.0 {
+            1.0
+        } else {
+            self.a + (1.0 - self.a) * (1.0 + 1.0 / (1.0 - self.b))
+        }
+    }
+
+    /// The exact renewal representation: `α_1 = a` with a geometric tail of
+    /// hazard `1 − b` for `k ≥ 2`.
+    ///
+    /// # Errors
+    ///
+    /// Construction of the underlying [`SlotPmf`] cannot fail for validated
+    /// parameters; the `Result` is kept for API uniformity.
+    pub fn to_slot_pmf(&self) -> Result<SlotPmf> {
+        let label = format!("Markov(a={}, b={})", self.a, self.b);
+        if self.a >= 1.0 {
+            return Ok(SlotPmf::from_pmf(vec![1.0])?.labeled(label));
+        }
+        // Head stores α_1 = a; tail mass (1 − a) has hazard (1 − b) starting
+        // at slot 2 — exactly the geometric branch.
+        SlotPmf::with_tail(vec![self.a], 1.0 - self.a, 1.0 - self.b, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(MarkovEvents::new(0.5, 0.5).is_ok());
+        assert!(MarkovEvents::new(1.1, 0.5).is_err());
+        assert!(MarkovEvents::new(0.5, -0.1).is_err());
+        // b = 1 with a < 1 is improper…
+        assert!(MarkovEvents::new(0.5, 1.0).is_err());
+        // …but fine when a = 1 (gap state unreachable).
+        assert!(MarkovEvents::new(1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn renewal_pmf_matches_chain_probabilities() {
+        let chain = MarkovEvents::new(0.3, 0.6).unwrap();
+        let pmf = chain.to_slot_pmf().unwrap();
+        assert!((pmf.pmf(1) - 0.3).abs() < 1e-12);
+        // α_2 = (1 − a)(1 − b).
+        assert!((pmf.pmf(2) - 0.7 * 0.4).abs() < 1e-12);
+        // α_3 = (1 − a)·b·(1 − b).
+        assert!((pmf.pmf(3) - 0.7 * 0.6 * 0.4).abs() < 1e-12);
+        // Hazards: β_1 = a, β_k = 1 − b for k ≥ 2.
+        assert!((pmf.hazard(1) - 0.3).abs() < 1e-12);
+        assert!((pmf.hazard(2) - 0.4).abs() < 1e-12);
+        assert!((pmf.hazard(17) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_gap_matches_pmf_mean() {
+        for (a, b) in [(0.3, 0.6), (0.8, 0.8), (0.1, 0.2), (0.9, 0.1)] {
+            let chain = MarkovEvents::new(a, b).unwrap();
+            let pmf = chain.to_slot_pmf().unwrap();
+            assert!(
+                (chain.mean_gap() - pmf.mean()).abs() < 1e-9,
+                "a={a} b={b}: {} vs {}",
+                chain.mean_gap(),
+                pmf.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_rate_is_reciprocal_of_mean_gap() {
+        for (a, b) in [(0.3, 0.6), (0.8, 0.8), (0.55, 0.2)] {
+            let chain = MarkovEvents::new(a, b).unwrap();
+            assert!(
+                (chain.stationary_event_rate() - 1.0 / chain.mean_gap()).abs() < 1e-12,
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_always_event_chain() {
+        let chain = MarkovEvents::new(1.0, 1.0).unwrap();
+        assert_eq!(chain.mean_gap(), 1.0);
+        assert_eq!(chain.stationary_event_rate(), 1.0);
+        let pmf = chain.to_slot_pmf().unwrap();
+        assert!((pmf.pmf(1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Sampling slot gaps from a [`SlotPmf`].
+
+use rand::Rng;
+
+use crate::alias::AliasTable;
+use crate::slot_pmf::SlotPmf;
+use crate::Result;
+
+/// A sampler of inter-arrival slot gaps, exactly consistent with the
+/// [`SlotPmf`] it was built from (head via an alias table, tail via a
+/// geometric draw).
+///
+/// # Example
+///
+/// ```
+/// use evcap_dist::{SlotPmf, SlotSampler};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), evcap_dist::DistError> {
+/// let pmf = SlotPmf::from_pmf(vec![0.6, 0.4])?;
+/// let sampler = SlotSampler::new(&pmf)?;
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let gap = sampler.sample(&mut rng);
+/// assert!(gap == 1 || gap == 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotSampler {
+    head: AliasTable,
+    /// Index in the alias table reserved for the geometric tail, if any.
+    tail_bucket: Option<usize>,
+    horizon: usize,
+    tail_hazard: f64,
+}
+
+impl SlotSampler {
+    /// Builds a sampler from the pmf.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alias-table construction failures (which can only occur if
+    /// the pmf was built by bypassing [`SlotPmf`]'s validation).
+    pub fn new(pmf: &SlotPmf) -> Result<Self> {
+        let mut weights = pmf.masses().to_vec();
+        let tail_bucket = if pmf.tail_mass() > 0.0 {
+            weights.push(pmf.tail_mass());
+            Some(weights.len() - 1)
+        } else {
+            None
+        };
+        Ok(Self {
+            head: AliasTable::new(&weights)?,
+            tail_bucket,
+            horizon: pmf.horizon(),
+            tail_hazard: pmf.tail_hazard(),
+        })
+    }
+
+    /// Draws one inter-arrival gap, in slots (`≥ 1`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let bucket = self.head.sample(rng);
+        match self.tail_bucket {
+            Some(tail) if bucket == tail => self.horizon + sample_geometric(rng, self.tail_hazard),
+            _ => bucket + 1,
+        }
+    }
+}
+
+/// Draws from the geometric distribution on `{1, 2, …}` with success
+/// probability `p` via inversion.
+fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> usize {
+    if p >= 1.0 {
+        return 1;
+    }
+    // Inversion: k = ceil(ln(U) / ln(1 − p)).
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let k = (u.ln() / (1.0 - p).ln()).ceil();
+    if k.is_finite() && k >= 1.0 {
+        // Saturate to avoid overflow on astronomically unlikely draws.
+        k.min(usize::MAX as f64 / 2.0) as usize
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::{Pareto, Weibull};
+    use crate::discretize::Discretizer;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(pmf: &SlotPmf, n: usize, seed: u64) -> f64 {
+        let sampler = SlotSampler::new(pmf).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let total: usize = (0..n).map(|_| sampler.sample(&mut rng)).sum();
+        total as f64 / n as f64
+    }
+
+    #[test]
+    fn sample_mean_matches_pmf_mean_weibull() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let mean = sample_mean(&pmf, 100_000, 11);
+        assert!((mean - pmf.mean()).abs() < 0.2, "{mean} vs {}", pmf.mean());
+    }
+
+    #[test]
+    fn sample_mean_matches_pmf_mean_pareto_with_tail() {
+        let pmf = Discretizer::new()
+            .max_horizon(500)
+            .discretize(&Pareto::new(2.0, 10.0).unwrap())
+            .unwrap();
+        assert!(pmf.tail_mass() > 0.0);
+        let mean = sample_mean(&pmf, 300_000, 13);
+        assert!((mean - pmf.mean()).abs() < 0.5, "{mean} vs {}", pmf.mean());
+    }
+
+    #[test]
+    fn samples_respect_min_support() {
+        let pmf = Discretizer::new()
+            .discretize(&Pareto::new(2.0, 10.0).unwrap())
+            .unwrap();
+        let sampler = SlotSampler::new(&pmf).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(sampler.sample(&mut rng) >= pmf.min_support());
+        }
+    }
+
+    #[test]
+    fn geometric_sampler_mean() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let p = 0.2;
+        let n = 200_000;
+        let total: usize = (0..n).map(|_| sample_geometric(&mut rng, p)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn geometric_with_p_one_is_always_one() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        for _ in 0..100 {
+            assert_eq!(sample_geometric(&mut rng, 1.0), 1);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The slotted probability mass function of an inter-arrival distribution.
+
+use crate::{DistError, Result};
+
+/// Tolerance within which a user-supplied pmf is silently renormalized.
+const NORMALIZE_TOL: f64 = 1e-6;
+
+/// A discrete inter-arrival distribution over slots `1, 2, 3, …` with an
+/// explicit geometric tail.
+///
+/// A `SlotPmf` stores `α_i = P(X = i)` for `i = 1..=horizon` exactly, plus a
+/// *tail model*: the residual mass `P(X > horizon)` is distributed
+/// geometrically with per-slot hazard [`tail_hazard`](Self::tail_hazard).
+/// This keeps heavy-tailed distributions (Pareto) representable with a finite
+/// vector while preserving a proper, fully specified distribution whose mean,
+/// hazard, and sampler are all mutually consistent — the analytic policies
+/// and the simulator therefore agree on the *same* event process.
+///
+/// Slots are 1-based throughout, matching the paper: `pmf(1)` is the
+/// probability that the next event arrives in the slot immediately after a
+/// renewal.
+///
+/// # Example
+///
+/// ```
+/// use evcap_dist::SlotPmf;
+///
+/// # fn main() -> Result<(), evcap_dist::DistError> {
+/// // The two-slot example from Section IV-A of the paper:
+/// // α1 = 0.6, α2 = 0.4 ⇒ β1 = 0.6, β2 = 1.
+/// let pmf = SlotPmf::from_pmf(vec![0.6, 0.4])?;
+/// assert!((pmf.hazard(1) - 0.6).abs() < 1e-12);
+/// assert!((pmf.hazard(2) - 1.0).abs() < 1e-12);
+/// assert!((pmf.mean() - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotPmf {
+    /// `pmf[i]` is `α_{i+1}`, the probability the gap is exactly `i + 1`.
+    pmf: Vec<f64>,
+    /// `cdf[i] = Σ_{j<=i} pmf[j]` (so `cdf[i] = F(i+1)`).
+    cdf: Vec<f64>,
+    /// Residual mass `P(X > horizon)`.
+    tail_mass: f64,
+    /// Geometric hazard applied to slots beyond the horizon; `1.0` when the
+    /// tail mass is zero.
+    tail_hazard: f64,
+    /// Discrete mean `Σ i α_i`, including the tail contribution.
+    mean: f64,
+    /// Human-readable provenance label.
+    label: String,
+}
+
+impl SlotPmf {
+    /// Builds a `SlotPmf` from explicit per-slot masses `α_1, α_2, …`
+    /// (no tail: all mass must be inside the vector).
+    ///
+    /// The masses may sum to anything within `1e-6` of 1 and are
+    /// renormalized.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::EmptyPmf`] if `masses` is empty or all-zero.
+    /// * [`DistError::InvalidMass`] if any entry is negative or non-finite.
+    /// * [`DistError::NotNormalizable`] if the sum is not within `1e-6`
+    ///   of 1.
+    pub fn from_pmf(masses: Vec<f64>) -> Result<Self> {
+        Self::with_tail(masses, 0.0, 1.0, "custom pmf".to_owned())
+    }
+
+    /// Builds a `SlotPmf` from per-slot *hazards* `β_1, β_2, …`.
+    ///
+    /// The final hazard is reused as the geometric tail hazard, so the result
+    /// is a proper distribution even if the supplied hazards do not reach 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptyPmf`] if `hazards` is empty, or
+    /// [`DistError::InvalidMass`] if any hazard is outside `[0, 1]`.
+    pub fn from_hazards(hazards: &[f64]) -> Result<Self> {
+        if hazards.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        for (index, &h) in hazards.iter().enumerate() {
+            if !h.is_finite() || !(0.0..=1.0).contains(&h) {
+                return Err(DistError::InvalidMass { index, value: h });
+            }
+        }
+        let mut pmf = Vec::with_capacity(hazards.len());
+        let mut survival = 1.0;
+        for &h in hazards {
+            pmf.push(survival * h);
+            survival *= 1.0 - h;
+        }
+        let tail_hazard = *hazards.last().expect("non-empty");
+        let tail_hazard = if survival > 0.0 && tail_hazard <= 0.0 {
+            // Freeze a tiny hazard to keep the distribution proper.
+            1e-9
+        } else {
+            tail_hazard.max(f64::MIN_POSITIVE)
+        };
+        Self::with_tail(pmf, survival, tail_hazard, "hazard-specified pmf".to_owned())
+    }
+
+    /// Builds a `SlotPmf` with an explicit geometric tail.
+    ///
+    /// `masses` carries `α_1..=α_H`; `tail_mass` is `P(X > H)`; slots beyond
+    /// `H` have constant hazard `tail_hazard`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SlotPmf::from_pmf`]; additionally requires
+    /// `tail_mass ∈ [0, 1]` and, when `tail_mass > 0`,
+    /// `tail_hazard ∈ (0, 1]`.
+    pub fn with_tail(
+        masses: Vec<f64>,
+        tail_mass: f64,
+        tail_hazard: f64,
+        label: String,
+    ) -> Result<Self> {
+        if masses.is_empty() {
+            return Err(DistError::EmptyPmf);
+        }
+        for (index, &value) in masses.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(DistError::InvalidMass {
+                    index,
+                    value,
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&tail_mass) || !tail_mass.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "tail_mass",
+                value: tail_mass,
+                expected: "a probability in [0, 1]",
+            });
+        }
+        if tail_mass > 0.0 && (tail_hazard <= 0.0 || tail_hazard > 1.0 || tail_hazard.is_nan()) {
+            return Err(DistError::InvalidParameter {
+                name: "tail_hazard",
+                value: tail_hazard,
+                expected: "a value in (0, 1] when tail mass is positive",
+            });
+        }
+        let sum: f64 = masses.iter().sum::<f64>() + tail_mass;
+        if sum <= 0.0 {
+            return Err(DistError::EmptyPmf);
+        }
+        if (sum - 1.0).abs() > NORMALIZE_TOL {
+            return Err(DistError::NotNormalizable { sum });
+        }
+        let scale = 1.0 / sum;
+        let pmf: Vec<f64> = masses.into_iter().map(|m| m * scale).collect();
+        let tail_mass = tail_mass * scale;
+        let tail_hazard = if tail_mass > 0.0 { tail_hazard } else { 1.0 };
+
+        let mut cdf = Vec::with_capacity(pmf.len());
+        let mut acc = 0.0;
+        for &m in &pmf {
+            acc += m;
+            cdf.push(acc.min(1.0));
+        }
+        let horizon = pmf.len() as f64;
+        let mut mean: f64 = pmf.iter().enumerate().map(|(i, &m)| (i as f64 + 1.0) * m).sum();
+        if tail_mass > 0.0 {
+            // Conditional on exceeding the horizon, the gap is
+            // H + Geometric(tail_hazard) with mean H + 1/h.
+            mean += tail_mass * (horizon + 1.0 / tail_hazard);
+        }
+        Ok(Self {
+            pmf,
+            cdf,
+            tail_mass,
+            tail_hazard,
+            mean,
+            label,
+        })
+    }
+
+    /// Probability `α_i = P(X = i)` that the gap is exactly `i` slots
+    /// (`i ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot == 0`; slot indices are 1-based.
+    pub fn pmf(&self, slot: usize) -> f64 {
+        assert!(slot >= 1, "slot indices are 1-based");
+        let i = slot - 1;
+        if i < self.pmf.len() {
+            self.pmf[i]
+        } else if self.tail_mass > 0.0 {
+            let k = (slot - self.pmf.len()) as i32;
+            self.tail_mass * self.tail_hazard * (1.0 - self.tail_hazard).powi(k - 1)
+        } else {
+            0.0
+        }
+    }
+
+    /// Cumulative distribution `F(i) = P(X ≤ i)`; `F(0) = 0`.
+    pub fn cdf(&self, slot: usize) -> f64 {
+        if slot == 0 {
+            return 0.0;
+        }
+        let i = slot - 1;
+        if i < self.cdf.len() {
+            self.cdf[i]
+        } else if self.tail_mass > 0.0 {
+            let k = (slot - self.pmf.len()) as i32;
+            1.0 - self.tail_mass * (1.0 - self.tail_hazard).powi(k)
+        } else {
+            1.0
+        }
+    }
+
+    /// Survival `1 − F(i) = P(X > i)`.
+    pub fn survival(&self, slot: usize) -> f64 {
+        if slot == 0 {
+            return 1.0;
+        }
+        let i = slot - 1;
+        if i < self.cdf.len() {
+            let head = 1.0 - self.cdf[i];
+            // Guard rounding: survival at the horizon must equal tail mass.
+            if i + 1 == self.cdf.len() {
+                self.tail_mass
+            } else {
+                head.max(0.0)
+            }
+        } else if self.tail_mass > 0.0 {
+            let k = (slot - self.pmf.len()) as i32;
+            self.tail_mass * (1.0 - self.tail_hazard).powi(k)
+        } else {
+            0.0
+        }
+    }
+
+    /// The per-slot conditional probability (hazard)
+    /// `β_i = P(X = i | X > i − 1)` — Eq. (3) in the paper.
+    ///
+    /// When the support is exhausted (`P(X > i−1) = 0`), returns `1.0`: the
+    /// event must already have occurred, so an active sensor captures with
+    /// certainty in any reachable continuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot == 0`; slot indices are 1-based.
+    pub fn hazard(&self, slot: usize) -> f64 {
+        assert!(slot >= 1, "slot indices are 1-based");
+        if slot > self.pmf.len() {
+            return if self.tail_mass > 0.0 { self.tail_hazard } else { 1.0 };
+        }
+        let prior = self.survival(slot - 1);
+        if prior <= 0.0 {
+            1.0
+        } else {
+            (self.pmf(slot) / prior).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The discrete mean `μ = Σ i α_i`, including the geometric tail.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of slots stored explicitly; slots beyond this use the
+    /// geometric tail model.
+    pub fn horizon(&self) -> usize {
+        self.pmf.len()
+    }
+
+    /// Residual mass `P(X > horizon)` carried by the geometric tail.
+    pub fn tail_mass(&self) -> f64 {
+        self.tail_mass
+    }
+
+    /// Per-slot hazard of the geometric tail.
+    pub fn tail_hazard(&self) -> f64 {
+        self.tail_hazard
+    }
+
+    /// Human-readable provenance of this pmf (e.g. `"Weibull(40, 3)"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The explicitly stored masses `α_1..=α_horizon`.
+    pub fn masses(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Collects the first `n` hazards `β_1..=β_n` into a vector.
+    pub fn hazards(&self, n: usize) -> Vec<f64> {
+        (1..=n).map(|i| self.hazard(i)).collect()
+    }
+
+    /// The smallest slot with positive arrival probability.
+    pub fn min_support(&self) -> usize {
+        self.pmf
+            .iter()
+            .position(|&m| m > 0.0)
+            .map(|i| i + 1)
+            .unwrap_or(self.pmf.len() + 1)
+    }
+
+    /// Overrides the provenance label (builder-style).
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pmf_normalizes_and_computes_mean() {
+        let pmf = SlotPmf::from_pmf(vec![0.6, 0.4]).unwrap();
+        assert!((pmf.pmf(1) - 0.6).abs() < 1e-12);
+        assert!((pmf.pmf(2) - 0.4).abs() < 1e-12);
+        assert_eq!(pmf.pmf(3), 0.0);
+        assert!((pmf.mean() - 1.4).abs() < 1e-12);
+        assert_eq!(pmf.horizon(), 2);
+    }
+
+    #[test]
+    fn from_pmf_rejects_bad_inputs() {
+        assert!(matches!(SlotPmf::from_pmf(vec![]), Err(DistError::EmptyPmf)));
+        assert!(matches!(
+            SlotPmf::from_pmf(vec![0.5, -0.1]),
+            Err(DistError::InvalidMass { index: 1, .. })
+        ));
+        assert!(matches!(
+            SlotPmf::from_pmf(vec![0.5, 0.2]),
+            Err(DistError::NotNormalizable { .. })
+        ));
+        assert!(matches!(SlotPmf::from_pmf(vec![0.0, 0.0]), Err(DistError::EmptyPmf)));
+    }
+
+    #[test]
+    fn hazard_matches_definition() {
+        let pmf = SlotPmf::from_pmf(vec![0.2, 0.3, 0.5]).unwrap();
+        // β1 = 0.2; β2 = 0.3/0.8; β3 = 0.5/0.5 = 1.
+        assert!((pmf.hazard(1) - 0.2).abs() < 1e-12);
+        assert!((pmf.hazard(2) - 0.375).abs() < 1e-12);
+        assert!((pmf.hazard(3) - 1.0).abs() < 1e-12);
+        // Exhausted support → hazard 1.
+        assert_eq!(pmf.hazard(4), 1.0);
+    }
+
+    #[test]
+    fn survival_and_cdf_are_complementary() {
+        let pmf = SlotPmf::from_pmf(vec![0.25, 0.25, 0.25, 0.25]).unwrap();
+        for slot in 0..8 {
+            assert!((pmf.cdf(slot) + pmf.survival(slot) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn geometric_tail_is_consistent() {
+        // Head of 0.5 at slot 1, tail mass 0.5 with hazard 0.25.
+        let pmf = SlotPmf::with_tail(vec![0.5], 0.5, 0.25, "test".into()).unwrap();
+        assert!((pmf.pmf(2) - 0.5 * 0.25).abs() < 1e-12);
+        assert!((pmf.pmf(3) - 0.5 * 0.25 * 0.75).abs() < 1e-12);
+        assert!((pmf.survival(3) - 0.5 * 0.75 * 0.75).abs() < 1e-12);
+        assert!((pmf.hazard(2) - 0.25).abs() < 1e-12);
+        assert!((pmf.hazard(100) - 0.25).abs() < 1e-12);
+        // Mean = 1·0.5 + 0.5·(1 + 1/0.25) = 0.5 + 2.5 = 3.
+        assert!((pmf.mean() - 3.0).abs() < 1e-12);
+        // The mass in the pmf plus the tail telescopes to 1.
+        let head: f64 = (1..=200).map(|i| pmf.pmf(i)).sum();
+        assert!((head + pmf.survival(200) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_tail_validates_tail_parameters() {
+        assert!(SlotPmf::with_tail(vec![0.5], 0.5, 0.0, "bad".into()).is_err());
+        assert!(SlotPmf::with_tail(vec![0.5], 0.5, 1.5, "bad".into()).is_err());
+        assert!(SlotPmf::with_tail(vec![0.5], -0.1, 0.5, "bad".into()).is_err());
+        // Zero tail mass ignores the hazard.
+        assert!(SlotPmf::with_tail(vec![1.0], 0.0, 0.7, "ok".into()).is_ok());
+    }
+
+    #[test]
+    fn from_hazards_round_trips() {
+        let hazards = [0.1, 0.5, 0.9, 1.0];
+        let pmf = SlotPmf::from_hazards(&hazards).unwrap();
+        for (i, &h) in hazards.iter().enumerate() {
+            assert!((pmf.hazard(i + 1) - h).abs() < 1e-12, "slot {}", i + 1);
+        }
+        // All mass is inside: survival(4) = 0.
+        assert!(pmf.survival(4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_hazards_keeps_tail_when_hazards_stop_short() {
+        let pmf = SlotPmf::from_hazards(&[0.0, 0.0, 0.25]).unwrap();
+        // Tail continues with hazard 0.25 forever.
+        assert!((pmf.hazard(10) - 0.25).abs() < 1e-12);
+        // μ = 2 + 1/0.25 = 6 (first arrival ≥ 3, geometric thereafter).
+        assert!((pmf.mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_hazards_rejects_out_of_range() {
+        assert!(SlotPmf::from_hazards(&[]).is_err());
+        assert!(SlotPmf::from_hazards(&[0.5, 1.2]).is_err());
+        assert!(SlotPmf::from_hazards(&[-0.5]).is_err());
+    }
+
+    #[test]
+    fn min_support_skips_leading_zeros() {
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(pmf.min_support(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn pmf_slot_zero_panics() {
+        let pmf = SlotPmf::from_pmf(vec![1.0]).unwrap();
+        let _ = pmf.pmf(0);
+    }
+
+    #[test]
+    fn labeled_overrides_label() {
+        let pmf = SlotPmf::from_pmf(vec![1.0]).unwrap().labeled("unit gap");
+        assert_eq!(pmf.label(), "unit gap");
+    }
+}

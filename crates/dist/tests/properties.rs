@@ -1,0 +1,141 @@
+//! Property-based tests of distribution identities.
+
+use evcap_dist::{
+    Discretizer, Erlang, Exponential, HyperExponential, InterArrival, LogNormal, MarkovEvents,
+    Pareto, SlotPmf, SlotSampler, UniformArrival, Weibull,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Checks the identities every proper `SlotPmf` must satisfy.
+fn assert_proper(pmf: &SlotPmf, probe_slots: usize) {
+    // Mass + tail telescopes to 1.
+    let head: f64 = (1..=probe_slots).map(|i| pmf.pmf(i)).sum();
+    assert!(
+        (head + pmf.survival(probe_slots) - 1.0).abs() < 1e-9,
+        "{}: mass {head} + survival {}",
+        pmf.label(),
+        pmf.survival(probe_slots)
+    );
+    // CDF is monotone, complements survival, bounds are respected.
+    let mut last = 0.0;
+    for i in 0..probe_slots {
+        let c = pmf.cdf(i);
+        assert!(c >= last - 1e-12, "{}: cdf not monotone at {i}", pmf.label());
+        assert!((c + pmf.survival(i) - 1.0).abs() < 1e-9);
+        last = c;
+    }
+    // Hazards are probabilities and consistent with pmf/survival.
+    for i in 1..=probe_slots {
+        let h = pmf.hazard(i);
+        assert!((0.0..=1.0).contains(&h), "{}: hazard {h} at {i}", pmf.label());
+        // Below ~1e-6 survival the cdf complement loses relative
+        // precision (catastrophic cancellation), so only check the identity
+        // where it is numerically meaningful.
+        let prior = pmf.survival(i - 1);
+        if prior > 1e-6 {
+            assert!(
+                (h - pmf.pmf(i) / prior).abs() < 1e-7,
+                "{}: hazard identity at {i}",
+                pmf.label()
+            );
+        }
+    }
+    // The mean is at least 1 (gaps are ≥ 1 slot).
+    assert!(pmf.mean() >= 1.0 - 1e-9);
+}
+
+/// A strategy over heterogeneous continuous distributions.
+fn arb_dist() -> impl Strategy<Value = Box<dyn InterArrival>> {
+    prop_oneof![
+        (1.0f64..80.0, 0.5f64..5.0)
+            .prop_map(|(s, k)| Box::new(Weibull::new(s, k).unwrap()) as Box<dyn InterArrival>),
+        (1.1f64..4.0, 1.0f64..30.0)
+            .prop_map(|(a, s)| Box::new(Pareto::new(a, s).unwrap()) as Box<dyn InterArrival>),
+        (0.01f64..1.0)
+            .prop_map(|r| Box::new(Exponential::new(r).unwrap()) as Box<dyn InterArrival>),
+        (1u32..6, 0.05f64..1.0)
+            .prop_map(|(k, r)| Box::new(Erlang::new(k, r).unwrap()) as Box<dyn InterArrival>),
+        (1.0f64..20.0, 21.0f64..60.0).prop_map(|(lo, hi)| {
+            Box::new(UniformArrival::new(lo, hi).unwrap()) as Box<dyn InterArrival>
+        }),
+        (0.1f64..0.9, 0.1f64..1.0, 0.01f64..0.1).prop_map(|(p, r1, r2)| {
+            Box::new(HyperExponential::new(p, r1, r2).unwrap()) as Box<dyn InterArrival>
+        }),
+        (0.5f64..4.0, 0.2f64..1.2)
+            .prop_map(|(m, s)| Box::new(LogNormal::new(m, s).unwrap()) as Box<dyn InterArrival>),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn discretized_distributions_are_proper(dist in arb_dist()) {
+        let pmf = Discretizer::new()
+            .max_horizon(4_096)
+            .discretize(dist.as_ref())
+            .expect("discretizes");
+        assert_proper(&pmf, pmf.horizon().min(512) + 8);
+    }
+
+    #[test]
+    fn markov_renewal_transform_is_proper(a in 0.0f64..=1.0, b in 0.0f64..0.999) {
+        let chain = MarkovEvents::new(a, b).expect("valid");
+        let pmf = chain.to_slot_pmf().expect("proper");
+        assert_proper(&pmf, 64);
+        prop_assert!((pmf.mean() - chain.mean_gap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_hazards_round_trips(hazards in proptest::collection::vec(0.0f64..=1.0, 1..12)) {
+        // Guarantee the distribution is proper by ending at 1.
+        let mut hazards = hazards;
+        *hazards.last_mut().unwrap() = 1.0;
+        let pmf = SlotPmf::from_hazards(&hazards).expect("valid");
+        for (i, &h) in hazards.iter().enumerate() {
+            let slot = i + 1;
+            if pmf.survival(slot - 1) > 1e-6 {
+                prop_assert!((pmf.hazard(slot) - h).abs() < 1e-7, "slot {slot}");
+            }
+        }
+        assert_proper(&pmf, hazards.len() + 4);
+    }
+
+    #[test]
+    fn sample_mean_tracks_pmf_mean(
+        raw in proptest::collection::vec(0.01f64..1.0, 1..10),
+        seed in 0u64..1000,
+    ) {
+        let total: f64 = raw.iter().sum();
+        let pmf = SlotPmf::from_pmf(raw.iter().map(|w| w / total).collect()).expect("valid");
+        let sampler = SlotSampler::new(&pmf).expect("valid");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| sampler.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        // 20k samples of a bounded variable: generous 5-sigma-ish bound.
+        let bound = 0.05 * pmf.mean().max(1.0);
+        prop_assert!((mean - pmf.mean()).abs() < bound, "{mean} vs {}", pmf.mean());
+    }
+
+    #[test]
+    fn samples_always_in_support(
+        raw in proptest::collection::vec(0.0f64..1.0, 2..10),
+        seed in 0u64..1000,
+    ) {
+        // Force at least one positive mass.
+        let mut raw = raw;
+        raw[0] += 0.5;
+        let total: f64 = raw.iter().sum();
+        let pmf = SlotPmf::from_pmf(raw.iter().map(|w| w / total).collect()).expect("valid");
+        let sampler = SlotSampler::new(&pmf).expect("valid");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..2_000 {
+            let gap = sampler.sample(&mut rng);
+            prop_assert!(gap >= 1 && gap <= pmf.horizon());
+            prop_assert!(pmf.pmf(gap) > 0.0, "sampled zero-mass slot {gap}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The sensor's energy bucket and consumption model.
+
+use crate::{Energy, EnergyError, Result};
+
+/// A finite energy bucket of capacity `K`.
+///
+/// Recharge energy beyond the capacity **overflows and is lost** — this is
+/// exactly the effect the paper studies in Fig. 3: a small `K` cannot absorb
+/// bursts of the recharge process, so the achieved QoM falls short of the
+/// energy-assumption optimum; as `K → ∞` the loss vanishes.
+///
+/// # Example
+///
+/// ```
+/// use evcap_energy::{Battery, Energy};
+///
+/// # fn main() -> Result<(), evcap_energy::EnergyError> {
+/// let mut battery = Battery::new(Energy::from_units(10.0), Energy::from_units(9.5))?;
+/// let overflow = battery.recharge(Energy::from_units(1.0));
+/// assert_eq!(overflow, Energy::from_units(0.5));
+/// assert!(battery.is_full());
+/// assert!(battery.try_consume(Energy::from_units(7.0)));
+/// assert!(!battery.try_consume(Energy::from_units(7.0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Battery {
+    level: Energy,
+    capacity: Energy,
+}
+
+impl Battery {
+    /// Creates a battery with the given `capacity` and `initial` level.
+    ///
+    /// # Errors
+    ///
+    /// * [`EnergyError::NegativeEnergy`] if either quantity is negative.
+    /// * [`EnergyError::InitialExceedsCapacity`] if `initial > capacity`.
+    pub fn new(capacity: Energy, initial: Energy) -> Result<Self> {
+        if capacity < Energy::ZERO {
+            return Err(EnergyError::NegativeEnergy {
+                name: "capacity",
+                value: capacity,
+            });
+        }
+        if initial < Energy::ZERO {
+            return Err(EnergyError::NegativeEnergy {
+                name: "initial",
+                value: initial,
+            });
+        }
+        if initial > capacity {
+            return Err(EnergyError::InitialExceedsCapacity { initial, capacity });
+        }
+        Ok(Self {
+            level: initial,
+            capacity,
+        })
+    }
+
+    /// Creates a battery filled to half capacity — the paper's convention
+    /// ("provide the sensor with `K/2` units of initial energy").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::NegativeEnergy`] if `capacity` is negative.
+    pub fn half_full(capacity: Energy) -> Result<Self> {
+        Self::new(capacity, Energy::from_millis(capacity.as_millis() / 2))
+    }
+
+    /// Current level.
+    pub fn level(&self) -> Energy {
+        self.level
+    }
+
+    /// Capacity `K`.
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// Returns `true` when the bucket is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.level == self.capacity
+    }
+
+    /// Fraction of capacity currently held, in `[0, 1]` (1 for a zero-capacity
+    /// battery).
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity.is_zero() {
+            1.0
+        } else {
+            self.level.as_millis() as f64 / self.capacity.as_millis() as f64
+        }
+    }
+
+    /// Adds `amount` to the bucket, clamping at capacity; returns the
+    /// overflow that was lost.
+    pub fn recharge(&mut self, amount: Energy) -> Energy {
+        debug_assert!(amount >= Energy::ZERO);
+        let headroom = self.capacity - self.level;
+        let absorbed = amount.min(headroom);
+        self.level += absorbed;
+        amount - absorbed
+    }
+
+    /// Returns `true` if the bucket currently holds at least `amount`.
+    pub fn can_afford(&self, amount: Energy) -> bool {
+        self.level >= amount
+    }
+
+    /// Consumes `amount` if available; returns whether the consumption
+    /// happened (the level is unchanged on `false`).
+    pub fn try_consume(&mut self, amount: Energy) -> bool {
+        debug_assert!(amount >= Energy::ZERO);
+        if self.level >= amount {
+            self.level -= amount;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The paper's sensing-cost model: `δ1` per active slot, `δ2` extra per
+/// captured event, and the activation threshold `δ1 + δ2`.
+///
+/// # Example
+///
+/// ```
+/// use evcap_energy::{ConsumptionModel, Energy};
+///
+/// # fn main() -> Result<(), evcap_energy::EnergyError> {
+/// let model = ConsumptionModel::paper_defaults();
+/// assert_eq!(model.sensing_cost(), Energy::from_units(1.0));
+/// assert_eq!(model.capture_cost(), Energy::from_units(6.0));
+/// assert_eq!(model.activation_threshold(), Energy::from_units(7.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsumptionModel {
+    delta1: Energy,
+    delta2: Energy,
+}
+
+impl ConsumptionModel {
+    /// Creates a model with sensing cost `δ1` and capture cost `δ2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::NegativeEnergy`] if either cost is negative.
+    /// (The paper also assumes `δ2 ≥ δ1`; we do not enforce that since the
+    /// analysis never uses it.)
+    pub fn new(delta1: Energy, delta2: Energy) -> Result<Self> {
+        if delta1 < Energy::ZERO {
+            return Err(EnergyError::NegativeEnergy {
+                name: "delta1",
+                value: delta1,
+            });
+        }
+        if delta2 < Energy::ZERO {
+            return Err(EnergyError::NegativeEnergy {
+                name: "delta2",
+                value: delta2,
+            });
+        }
+        Ok(Self { delta1, delta2 })
+    }
+
+    /// The paper's simulation parameters: `δ1 = 1`, `δ2 = 6`.
+    pub fn paper_defaults() -> Self {
+        Self {
+            delta1: Energy::from_units(1.0),
+            delta2: Energy::from_units(6.0),
+        }
+    }
+
+    /// Sensing cost `δ1`, paid in every active slot.
+    pub fn sensing_cost(&self) -> Energy {
+        self.delta1
+    }
+
+    /// Capture cost `δ2`, paid additionally when an event is captured.
+    pub fn capture_cost(&self) -> Energy {
+        self.delta2
+    }
+
+    /// The minimum level `δ1 + δ2` a sensor must hold before it may decide
+    /// to activate.
+    pub fn activation_threshold(&self) -> Energy {
+        self.delta1 + self.delta2
+    }
+
+    /// Sensing cost in paper units (convenience for analytic formulas).
+    pub fn delta1_units(&self) -> f64 {
+        self.delta1.as_units()
+    }
+
+    /// Capture cost in paper units (convenience for analytic formulas).
+    pub fn delta2_units(&self) -> f64 {
+        self.delta2.as_units()
+    }
+}
+
+impl Default for ConsumptionModel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        let k = Energy::from_units(10.0);
+        assert!(Battery::new(k, Energy::from_units(11.0)).is_err());
+        assert!(Battery::new(k, Energy::from_units(-1.0)).is_err());
+        assert!(Battery::new(Energy::from_units(-1.0), Energy::ZERO).is_err());
+        assert!(Battery::new(k, k).is_ok());
+    }
+
+    #[test]
+    fn half_full_splits_odd_millis_down() {
+        let b = Battery::half_full(Energy::from_millis(7)).unwrap();
+        assert_eq!(b.level(), Energy::from_millis(3));
+    }
+
+    #[test]
+    fn recharge_clamps_and_reports_overflow() {
+        let mut b = Battery::new(Energy::from_units(5.0), Energy::from_units(4.0)).unwrap();
+        assert_eq!(b.recharge(Energy::from_units(0.5)), Energy::ZERO);
+        assert_eq!(b.recharge(Energy::from_units(2.0)), Energy::from_units(1.5));
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn try_consume_is_all_or_nothing() {
+        let mut b = Battery::new(Energy::from_units(5.0), Energy::from_units(3.0)).unwrap();
+        assert!(!b.try_consume(Energy::from_units(3.5)));
+        assert_eq!(b.level(), Energy::from_units(3.0));
+        assert!(b.try_consume(Energy::from_units(3.0)));
+        assert_eq!(b.level(), Energy::ZERO);
+    }
+
+    #[test]
+    fn fill_fraction() {
+        let b = Battery::new(Energy::from_units(8.0), Energy::from_units(2.0)).unwrap();
+        assert!((b.fill_fraction() - 0.25).abs() < 1e-12);
+        let empty_cap = Battery::new(Energy::ZERO, Energy::ZERO).unwrap();
+        assert_eq!(empty_cap.fill_fraction(), 1.0);
+    }
+
+    #[test]
+    fn consumption_model_defaults_match_paper() {
+        let m = ConsumptionModel::default();
+        assert_eq!(m.delta1_units(), 1.0);
+        assert_eq!(m.delta2_units(), 6.0);
+        assert_eq!(m.activation_threshold(), Energy::from_units(7.0));
+    }
+
+    #[test]
+    fn consumption_model_rejects_negative() {
+        assert!(ConsumptionModel::new(Energy::from_units(-1.0), Energy::ZERO).is_err());
+        assert!(ConsumptionModel::new(Energy::ZERO, Energy::from_units(-1.0)).is_err());
+    }
+}

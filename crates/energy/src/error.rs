@@ -1,0 +1,88 @@
+use std::fmt;
+
+use crate::Energy;
+
+/// Errors produced when configuring batteries or recharge processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnergyError {
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending parameter's name.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// An energy quantity that must be non-negative was negative.
+    NegativeEnergy {
+        /// The offending parameter's name.
+        name: &'static str,
+        /// The value that was supplied.
+        value: Energy,
+    },
+    /// A battery's initial level exceeded its capacity.
+    InitialExceedsCapacity {
+        /// Requested initial level.
+        initial: Energy,
+        /// Battery capacity.
+        capacity: Energy,
+    },
+    /// A period parameter was zero.
+    ZeroPeriod,
+    /// A range parameter was inverted (`lo > hi`).
+    InvertedRange {
+        /// Lower bound supplied.
+        lo: Energy,
+        /// Upper bound supplied.
+        hi: Energy,
+    },
+}
+
+impl fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnergyError::InvalidProbability { name, value } => {
+                write!(f, "parameter `{name}` = {value} is not a probability in [0, 1]")
+            }
+            EnergyError::NegativeEnergy { name, value } => {
+                write!(f, "parameter `{name}` = {value} must be non-negative")
+            }
+            EnergyError::InitialExceedsCapacity { initial, capacity } => {
+                write!(f, "initial level {initial} exceeds battery capacity {capacity}")
+            }
+            EnergyError::ZeroPeriod => write!(f, "recharge period must be at least one slot"),
+            EnergyError::InvertedRange { lo, hi } => {
+                write!(f, "recharge range is inverted: lo {lo} > hi {hi}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnergyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            EnergyError::InvalidProbability { name: "q", value: 2.0 },
+            EnergyError::NegativeEnergy {
+                name: "c",
+                value: Energy::from_units(-1.0),
+            },
+            EnergyError::InitialExceedsCapacity {
+                initial: Energy::from_units(2.0),
+                capacity: Energy::from_units(1.0),
+            },
+            EnergyError::ZeroPeriod,
+            EnergyError::InvertedRange {
+                lo: Energy::from_units(2.0),
+                hi: Energy::from_units(1.0),
+            },
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

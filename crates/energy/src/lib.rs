@@ -1,0 +1,44 @@
+//! Energy accounting for rechargeable sensors.
+//!
+//! The paper's sensor owns an *energy bucket* ("battery") of capacity `K`
+//! energy units, refilled by a stochastic recharge process `e_t` with mean
+//! rate `e`, and drained by `δ1` units per active slot plus `δ2` additional
+//! units per captured event. A sensor may take an activation decision only
+//! when it holds at least `δ1 + δ2` units.
+//!
+//! Everything here is **fixed point**: energy is an integer number of
+//! milli-units ([`Energy`]). This gives exact, platform-independent
+//! accounting — the simulator's conservation property
+//! (`recharged − consumed = level − initial`, up to capacity clipping) is an
+//! identity over integers and is enforced by property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use evcap_energy::{Battery, BernoulliRecharge, Energy, RechargeProcess};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), evcap_energy::EnergyError> {
+//! let mut battery = Battery::new(Energy::from_units(1000.0), Energy::from_units(500.0))?;
+//! let mut recharge = BernoulliRecharge::new(0.5, Energy::from_units(1.0))?;
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! battery.recharge(recharge.next(&mut rng));
+//! assert!(battery.level() >= Energy::from_units(500.0));
+//! # Ok(())
+//! # }
+//! ```
+
+mod battery;
+mod error;
+mod recharge;
+mod units;
+
+pub use battery::{Battery, ConsumptionModel};
+pub use error::EnergyError;
+pub use recharge::{
+    BernoulliRecharge, ConstantRecharge, PeriodicRecharge, RechargeProcess, UniformRecharge,
+};
+pub use units::Energy;
+
+/// Convenience alias for results in this crate.
+pub type Result<T, E = EnergyError> = std::result::Result<T, E>;

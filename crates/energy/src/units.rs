@@ -1,0 +1,192 @@
+//! Fixed-point energy arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Number of fixed-point sub-units per paper energy unit.
+const MILLIS_PER_UNIT: i64 = 1_000;
+
+/// An amount of energy, stored as an integer number of milli-units.
+///
+/// The paper's parameters (`δ1 = 1`, `δ2 = 6`, recharge amounts like `0.5`)
+/// are all exact multiples of `1/1000`, so fixed point loses nothing while
+/// making energy-balance assertions exact.
+///
+/// `Energy` is a quantity, not a level: arithmetic saturates at the `i64`
+/// bounds rather than wrapping, and subtraction may go negative (callers that
+/// need non-negativity, like [`Battery`](crate::Battery), enforce it
+/// themselves).
+///
+/// # Example
+///
+/// ```
+/// use evcap_energy::Energy;
+///
+/// let half = Energy::from_units(0.5);
+/// let one = Energy::from_units(1.0);
+/// assert_eq!(half + half, one);
+/// assert_eq!((one * 6).as_units(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Energy(i64);
+
+impl Energy {
+    /// The zero quantity.
+    pub const ZERO: Energy = Energy(0);
+
+    /// Converts a floating-point number of paper energy units, rounding to
+    /// the nearest milli-unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is not finite or overflows the fixed-point range.
+    pub fn from_units(units: f64) -> Self {
+        assert!(units.is_finite(), "energy must be finite, got {units}");
+        let millis = (units * MILLIS_PER_UNIT as f64).round();
+        assert!(
+            millis.abs() < i64::MAX as f64 / 4.0,
+            "energy {units} overflows the fixed-point range"
+        );
+        Energy(millis as i64)
+    }
+
+    /// Constructs from a raw number of milli-units.
+    pub const fn from_millis(millis: i64) -> Self {
+        Energy(millis)
+    }
+
+    /// The value in paper energy units.
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_UNIT as f64
+    }
+
+    /// The raw number of milli-units.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Returns `true` if the quantity is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction clamped at zero (useful for "remaining budget"
+    /// computations).
+    #[must_use]
+    pub fn saturating_sub_floor_zero(self, rhs: Energy) -> Energy {
+        Energy(self.0.saturating_sub(rhs.0).max(0))
+    }
+
+    /// The smaller of two quantities.
+    #[must_use]
+    pub fn min(self, other: Energy) -> Energy {
+        Energy(self.0.min(other.0))
+    }
+
+    /// The larger of two quantities.
+    #[must_use]
+    pub fn max(self, other: Energy) -> Energy {
+        Energy(self.0.max(other.0))
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Energy) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<i64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: i64) -> Energy {
+        Energy(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_units())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exact_fractions() {
+        for units in [0.0, 0.5, 1.0, 6.0, 0.001, 1000.0, -2.5] {
+            assert_eq!(Energy::from_units(units).as_units(), units);
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_milli() {
+        assert_eq!(Energy::from_units(0.000_4).as_millis(), 0);
+        assert_eq!(Energy::from_units(0.000_6).as_millis(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Energy::from_units(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Energy::from_units(0.1);
+        let total: Energy = std::iter::repeat_n(a, 10).sum();
+        assert_eq!(total, Energy::from_units(1.0));
+        assert_eq!(a * 10, Energy::from_units(1.0));
+    }
+
+    #[test]
+    fn saturating_floor_zero() {
+        let a = Energy::from_units(1.0);
+        let b = Energy::from_units(2.0);
+        assert_eq!(a.saturating_sub_floor_zero(b), Energy::ZERO);
+        assert_eq!(b.saturating_sub_floor_zero(a), Energy::from_units(1.0));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Energy::from_units(1.0);
+        let b = Energy::from_units(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_shows_units() {
+        assert_eq!(Energy::from_units(2.5).to_string(), "2.5");
+        assert_eq!(Energy::ZERO.to_string(), "0");
+    }
+}

@@ -1,0 +1,41 @@
+//! A small, dependency-free linear-program solver.
+//!
+//! The paper's full-information optimization (Section IV-A) is the linear
+//! program (7)–(8):
+//!
+//! ```text
+//! maximize    Σ α_i · c_i
+//! subject to  Σ ξ_i · c_i = e·μ,    0 ≤ c_i ≤ 1
+//! ```
+//!
+//! Theorem 1 shows the optimum has a greedy water-filling structure. This
+//! crate exists to *certify* that claim numerically: `evcap-core` solves the
+//! truncated LP with this simplex implementation and asserts that the greedy
+//! policy attains the same objective.
+//!
+//! No LP solver is available in the offline dependency set, so this is a
+//! classic dense **two-phase tableau simplex** with Bland's anti-cycling
+//! rule. It is intended for the small/medium problems that arise here
+//! (hundreds of variables), not as a general-purpose production solver.
+//!
+//! # Example
+//!
+//! ```
+//! use evcap_lp::{Problem, Relation};
+//!
+//! # fn main() -> Result<(), evcap_lp::LpError> {
+//! // maximize 3x + 2y s.t. x + y ≤ 4, x ≤ 2, x,y ≥ 0.
+//! let mut problem = Problem::maximize(vec![3.0, 2.0]);
+//! problem.constraint(vec![1.0, 1.0], Relation::Le, 4.0)?;
+//! problem.constraint(vec![1.0, 0.0], Relation::Le, 2.0)?;
+//! let solution = problem.solve()?;
+//! assert!((solution.objective - 10.0).abs() < 1e-9);
+//! assert!((solution.x[0] - 2.0).abs() < 1e-9);
+//! assert!((solution.x[1] - 2.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod simplex;
+
+pub use simplex::{LpError, Problem, Relation, Solution};

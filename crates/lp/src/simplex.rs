@@ -1,0 +1,456 @@
+//! Two-phase dense tableau simplex with Bland's rule.
+
+use std::fmt;
+
+/// Feasibility/pivot tolerance.
+const EPS: f64 = 1e-9;
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint row's length did not match the number of variables.
+    DimensionMismatch {
+        /// Number of variables in the problem.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+    },
+    /// A coefficient was NaN or infinite.
+    NonFiniteCoefficient,
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The pivot loop exceeded its iteration budget (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { expected, found } => {
+                write!(f, "constraint has {found} coefficients; expected {expected}")
+            }
+            LpError::NonFiniteCoefficient => write!(f, "coefficients must be finite"),
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex exceeded its iteration budget"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// A linear program `maximize c·x s.t. constraints, x ≥ 0`.
+///
+/// Build with [`Problem::maximize`], add rows with
+/// [`constraint`](Problem::constraint) (and box constraints with
+/// [`upper_bound`](Problem::upper_bound)), then call
+/// [`solve`](Problem::solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    relations: Vec<Relation>,
+    rhs: Vec<f64>,
+}
+
+impl Problem {
+    /// Starts a maximization problem over `objective.len()` non-negative
+    /// variables.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            rows: Vec::new(),
+            relations: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds the constraint `coeffs · x <relation> rhs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::DimensionMismatch`] if `coeffs.len() != num_vars()`.
+    /// * [`LpError::NonFiniteCoefficient`] if any value is NaN/∞.
+    pub fn constraint(
+        &mut self,
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if coeffs.len() != self.objective.len() {
+            return Err(LpError::DimensionMismatch {
+                expected: self.objective.len(),
+                found: coeffs.len(),
+            });
+        }
+        if !rhs.is_finite() || coeffs.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NonFiniteCoefficient);
+        }
+        self.rows.push(coeffs);
+        self.relations.push(relation);
+        self.rhs.push(rhs);
+        Ok(self)
+    }
+
+    /// Adds the box constraint `x_i ≤ bound`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`constraint`](Problem::constraint); additionally
+    /// `DimensionMismatch` if `var` is out of range.
+    pub fn upper_bound(&mut self, var: usize, bound: f64) -> Result<&mut Self, LpError> {
+        if var >= self.objective.len() {
+            return Err(LpError::DimensionMismatch {
+                expected: self.objective.len(),
+                found: var + 1,
+            });
+        }
+        let mut row = vec![0.0; self.objective.len()];
+        row[var] = 1.0;
+        self.constraint(row, Relation::Le, bound)
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] if the constraints admit no point.
+    /// * [`LpError::Unbounded`] if the maximum is `+∞`.
+    /// * [`LpError::IterationLimit`] on pathological numerical behavior.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        if self.objective.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NonFiniteCoefficient);
+        }
+        let n = self.objective.len();
+        let m = self.rows.len();
+
+        // Normalize rows so rhs ≥ 0 (flip Ge/Le when negating).
+        let mut rows = self.rows.clone();
+        let mut relations = self.relations.clone();
+        let mut rhs = self.rhs.clone();
+        for i in 0..m {
+            if rhs[i] < 0.0 {
+                rhs[i] = -rhs[i];
+                for v in rows[i].iter_mut() {
+                    *v = -*v;
+                }
+                relations[i] = match relations[i] {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+
+        // Column layout: [vars | slacks/surplus | artificials | rhs].
+        let num_slack = relations
+            .iter()
+            .filter(|r| matches!(r, Relation::Le | Relation::Ge))
+            .count();
+        let num_art = relations
+            .iter()
+            .filter(|r| matches!(r, Relation::Eq | Relation::Ge))
+            .count();
+        let total = n + num_slack + num_art;
+        let mut tableau = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_idx = n + num_slack;
+        let mut art_cols = Vec::with_capacity(num_art);
+        for i in 0..m {
+            tableau[i][..n].copy_from_slice(&rows[i]);
+            tableau[i][total] = rhs[i];
+            match relations[i] {
+                Relation::Le => {
+                    tableau[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    tableau[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    tableau[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_cols.push(art_idx);
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    tableau[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_cols.push(art_idx);
+                    art_idx += 1;
+                }
+            }
+        }
+
+        // Phase 1: minimize the sum of artificials (maximize its negative).
+        if num_art > 0 {
+            let mut cost = vec![0.0; total];
+            for &a in &art_cols {
+                cost[a] = -1.0;
+            }
+            let value = run_simplex(&mut tableau, &mut basis, &cost, total)?;
+            if value < -1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive any artificial still in the basis out (degenerate rows).
+            for i in 0..m {
+                if basis[i] >= n + num_slack {
+                    // Find a non-artificial column with a nonzero pivot.
+                    let pivot_col = (0..n + num_slack)
+                        .find(|&j| tableau[i][j].abs() > EPS);
+                    // A row of all zeros is a redundant constraint and can
+                    // simply stay basic-artificial at value zero.
+                    if let Some(j) = pivot_col {
+                        pivot(&mut tableau, &mut basis, i, j);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: the real objective (zero on slack/artificial columns;
+        // artificials are forbidden from re-entering by the column cutoff).
+        let mut cost = vec![0.0; total];
+        cost[..n].copy_from_slice(&self.objective);
+        let value = run_simplex(&mut tableau, &mut basis, &cost, n + num_slack)?;
+
+        let mut x = vec![0.0; n];
+        for i in 0..m {
+            if basis[i] < n {
+                x[basis[i]] = tableau[i][total];
+            }
+        }
+        Ok(Solution { x, objective: value })
+    }
+}
+
+/// Runs primal simplex on the tableau, maximizing `cost·x`, allowing only
+/// columns `< allowed_cols` to enter. Returns the optimal objective value.
+fn run_simplex(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    allowed_cols: usize,
+) -> Result<f64, LpError> {
+    let m = tableau.len();
+    let total = cost.len();
+    let max_iters = 200 * (total + m + 16);
+    for _ in 0..max_iters {
+        // Reduced costs: r_j = c_j − c_B · B⁻¹ A_j (computed row-wise).
+        let mut entering = None;
+        for j in 0..allowed_cols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut reduced = cost[j];
+            for i in 0..m {
+                reduced -= cost[basis[i]] * tableau[i][j];
+            }
+            if reduced > EPS {
+                // Bland's rule: pick the lowest-index improving column.
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            let mut value = 0.0;
+            for i in 0..m {
+                value += cost[basis[i]] * tableau[i][total];
+            }
+            return Ok(value);
+        };
+        // Ratio test (Bland: lowest basis index breaks ties).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if tableau[i][j] > EPS {
+                let ratio = tableau[i][total] / tableau[i][j];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS
+                            || (ratio < lr + EPS && basis[i] < basis[li])
+                        {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(tableau, basis, row, j);
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Pivots the tableau on `(row, col)`.
+fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = tableau.len();
+    let p = tableau[row][col];
+    debug_assert!(p.abs() > 0.0, "pivot on zero element");
+    for v in tableau[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i != row {
+            let factor = tableau[i][col];
+            if factor != 0.0 {
+                let pivot_row = tableau[row].clone();
+                for (v, &pv) in tableau[i].iter_mut().zip(pivot_row.iter()) {
+                    *v -= factor * pv;
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn textbook_le_problem() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6).
+        let mut p = Problem::maximize(vec![3.0, 5.0]);
+        p.constraint(vec![1.0, 0.0], Relation::Le, 4.0).unwrap();
+        p.constraint(vec![0.0, 2.0], Relation::Le, 12.0).unwrap();
+        p.constraint(vec![3.0, 2.0], Relation::Le, 18.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!(close(s.objective, 36.0), "{}", s.objective);
+        assert!(close(s.x[0], 2.0) && close(s.x[1], 6.0));
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + y s.t. x + y = 3, x ≤ 1 → 3 at (1, 2) or any split; obj 3.
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        p.constraint(vec![1.0, 1.0], Relation::Eq, 3.0).unwrap();
+        p.upper_bound(0, 1.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!(close(s.objective, 3.0));
+        assert!(close(s.x[0] + s.x[1], 3.0));
+        assert!(s.x[0] <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ge_constraint() {
+        // max −x (i.e. minimize x) s.t. x ≥ 2 → obj −2 at x = 2.
+        let mut p = Problem::maximize(vec![-1.0]);
+        p.constraint(vec![1.0], Relation::Ge, 2.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!(close(s.objective, -2.0));
+        assert!(close(s.x[0], 2.0));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x ≥ 0, −x ≥ −5 ⇔ x ≤ 5; max x → 5.
+        let mut p = Problem::maximize(vec![1.0]);
+        p.constraint(vec![-1.0], Relation::Ge, -5.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!(close(s.objective, 5.0));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.constraint(vec![1.0], Relation::Le, 1.0).unwrap();
+        p.constraint(vec![1.0], Relation::Ge, 2.0).unwrap();
+        assert_eq!(p.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::maximize(vec![1.0, 0.0]);
+        p.constraint(vec![0.0, 1.0], Relation::Le, 1.0).unwrap();
+        assert_eq!(p.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_and_nan() {
+        let mut p = Problem::maximize(vec![1.0, 2.0]);
+        assert!(matches!(
+            p.constraint(vec![1.0], Relation::Le, 1.0),
+            Err(LpError::DimensionMismatch { expected: 2, found: 1 })
+        ));
+        assert_eq!(
+            p.constraint(vec![f64::NAN, 1.0], Relation::Le, 1.0),
+            Err(LpError::NonFiniteCoefficient)
+        );
+        assert!(p.upper_bound(5, 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_redundant_equalities() {
+        // x + y = 2 stated twice; max x + 2y → 4 at (0, 2).
+        let mut p = Problem::maximize(vec![1.0, 2.0]);
+        p.constraint(vec![1.0, 1.0], Relation::Eq, 2.0).unwrap();
+        p.constraint(vec![1.0, 1.0], Relation::Eq, 2.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!(close(s.objective, 4.0), "{}", s.objective);
+    }
+
+    #[test]
+    fn fractional_knapsack_structure() {
+        // max Σ v_i x_i s.t. Σ w_i x_i = W, 0 ≤ x ≤ 1: optimal fills by
+        // value density — the structure of the paper's LP (7)–(8).
+        let values = [0.9, 0.5, 0.8, 0.1];
+        let weights = [1.0, 1.0, 2.0, 1.0];
+        let budget = 2.5;
+        let mut p = Problem::maximize(values.to_vec());
+        p.constraint(weights.to_vec(), Relation::Eq, budget).unwrap();
+        for i in 0..4 {
+            p.upper_bound(i, 1.0).unwrap();
+        }
+        let s = p.solve().unwrap();
+        // Densities: 0.9, 0.5, 0.4, 0.1 → x0 = 1, x1 = 1, then 0.5/2 of x2.
+        assert!(close(s.objective, 0.9 + 0.5 + 0.8 * 0.25), "{}", s.objective);
+        assert!(close(s.x[0], 1.0) && close(s.x[1], 1.0) && close(s.x[2], 0.25));
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = Problem::maximize(vec![]);
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.x.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the simplex solver.
+
+use evcap_lp::{Problem, Relation};
+use proptest::prelude::*;
+
+/// Reference solution of the fractional knapsack
+/// `max Σ v_i x_i  s.t. Σ w_i x_i = B, 0 ≤ x ≤ 1` (B ≤ Σ w).
+fn greedy_knapsack(values: &[f64], weights: &[f64], budget: f64) -> f64 {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        (values[b] / weights[b])
+            .partial_cmp(&(values[a] / weights[a]))
+            .unwrap()
+    });
+    let mut remaining = budget;
+    let mut total = 0.0;
+    for i in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = (remaining / weights[i]).min(1.0);
+        total += take * values[i];
+        remaining -= take * weights[i];
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The simplex optimum of a random fractional knapsack equals the greedy
+    /// closed form — the exact structure of the paper's LP (7)–(8).
+    #[test]
+    fn knapsack_matches_greedy(
+        values in proptest::collection::vec(0.01f64..1.0, 1..9),
+        weights in proptest::collection::vec(0.1f64..2.0, 1..9),
+        frac in 0.05f64..0.95,
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let budget = frac * weights.iter().sum::<f64>();
+
+        let mut p = Problem::maximize(values.to_vec());
+        p.constraint(weights.to_vec(), Relation::Eq, budget).unwrap();
+        for i in 0..n {
+            p.upper_bound(i, 1.0).unwrap();
+        }
+        let solution = p.solve().expect("feasible by construction");
+        let reference = greedy_knapsack(values, weights, budget);
+        prop_assert!(
+            (solution.objective - reference).abs() < 1e-6,
+            "simplex {} vs greedy {reference}",
+            solution.objective
+        );
+        // The solution is feasible.
+        let spent: f64 = solution.x.iter().zip(weights).map(|(x, w)| x * w).sum();
+        prop_assert!((spent - budget).abs() < 1e-6);
+        for &x in &solution.x {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&x));
+        }
+    }
+
+    /// On random bounded LPs with ≤ constraints, the returned point is
+    /// feasible and no random feasible point beats it.
+    #[test]
+    fn optimum_dominates_random_feasible_points(
+        objective in proptest::collection::vec(-1.0f64..1.0, 2..6),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..1.0, 2..6), 0.5f64..4.0),
+            1..5
+        ),
+        trial in proptest::collection::vec(0.0f64..1.0, 2..6),
+    ) {
+        let n = objective.len();
+        let mut p = Problem::maximize(objective.clone());
+        let mut clipped_rows = Vec::new();
+        for (coeffs, rhs) in &rows {
+            let mut row = coeffs.clone();
+            row.resize(n, 0.0);
+            p.constraint(row.clone(), Relation::Le, *rhs).unwrap();
+            clipped_rows.push((row, *rhs));
+        }
+        for i in 0..n {
+            p.upper_bound(i, 1.0).unwrap();
+        }
+        let solution = p.solve().expect("origin is feasible");
+
+        // Feasibility of the returned point.
+        for (row, rhs) in &clipped_rows {
+            let lhs: f64 = solution.x.iter().zip(row).map(|(x, a)| x * a).sum();
+            prop_assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+        }
+        // Scale a random candidate into the feasible region and compare.
+        let mut candidate: Vec<f64> = trial.clone();
+        candidate.resize(n, 0.0);
+        let mut scale = 1.0f64;
+        for (row, rhs) in &clipped_rows {
+            let lhs: f64 = candidate.iter().zip(row).map(|(x, a)| x * a).sum();
+            if lhs > *rhs {
+                scale = scale.min(rhs / lhs);
+            }
+        }
+        let candidate_value: f64 = candidate
+            .iter()
+            .zip(&objective)
+            .map(|(x, c)| scale * x * c)
+            .sum();
+        prop_assert!(
+            solution.objective >= candidate_value - 1e-6,
+            "candidate {candidate_value} beats simplex {}",
+            solution.objective
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Age (backward recurrence time) and spread distributions.
+//!
+//! Complements [`forward_recurrence`](crate::forward_recurrence): the *age*
+//! `A(t)` is the time since the last event at or before `t`, and the
+//! *spread* is the length of the gap that covers `t`. Their limiting laws
+//! give the classic inspection paradox (`E[spread] = E[X²]/E[X] ≥ μ`), and
+//! the limiting forward-recurrence law powers the simulator's
+//! equilibrium-start mode (sampling the process as if it had been running
+//! forever, instead of anchoring an event at slot 0).
+
+use evcap_dist::SlotPmf;
+
+use crate::renewal_fn::RenewalFunction;
+
+/// Distribution of the age `A(t)`: `age_distribution(pmf, t)[a] = P(A(t) = a)`
+/// for `a = 0..=t`, given a renewal at slot 0.
+///
+/// `P(A(t) = a) = u_{t−a} · P(X > a)`: the last event happened at `t − a`
+/// and the following gap outlives `a` slots.
+pub fn age_distribution(pmf: &SlotPmf, t: usize) -> Vec<f64> {
+    let renewal = RenewalFunction::new(pmf, t);
+    (0..=t)
+        .map(|a| renewal.mass(t - a) * pmf.survival(a))
+        .collect()
+}
+
+/// The limiting age law `P(A = a) → (1 − F(a))/μ`, identical in form to the
+/// limiting forward recurrence (shifted by one slot convention).
+pub fn limiting_age(pmf: &SlotPmf, max_a: usize) -> Vec<f64> {
+    let mu = pmf.mean();
+    (0..=max_a).map(|a| pmf.survival(a) / mu).collect()
+}
+
+/// The limiting *spread* (length-biased gap) law:
+/// `P(L = ℓ) = ℓ·α_ℓ/μ` — long gaps are proportionally more likely to cover
+/// a random inspection time.
+pub fn spread_distribution(pmf: &SlotPmf, max_len: usize) -> Vec<f64> {
+    let mu = pmf.mean();
+    (1..=max_len).map(|l| l as f64 * pmf.pmf(l) / mu).collect()
+}
+
+/// Mean of the limiting spread, `E[X²]/E[X]` (the inspection paradox value),
+/// computed over the first `max_len` slots plus the geometric tail left
+/// uncounted — callers should pick `max_len` past the bulk of the mass.
+pub fn mean_spread(pmf: &SlotPmf, max_len: usize) -> f64 {
+    let mu = pmf.mean();
+    let second_moment: f64 = (1..=max_len)
+        .map(|l| (l as f64) * (l as f64) * pmf.pmf(l))
+        .sum();
+    second_moment / mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_dist::{Discretizer, SlotPmf, Weibull};
+
+    #[test]
+    fn age_distribution_sums_to_one() {
+        let pmf = SlotPmf::from_pmf(vec![0.2, 0.5, 0.3]).unwrap();
+        for t in [0usize, 1, 3, 10, 25] {
+            let dist = age_distribution(&pmf, t);
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "t={t}: {total}");
+        }
+    }
+
+    #[test]
+    fn age_zero_at_time_zero() {
+        let pmf = SlotPmf::from_pmf(vec![0.2, 0.8]).unwrap();
+        let dist = age_distribution(&pmf, 0);
+        assert!((dist[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn age_converges_to_limiting_law() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(8.0, 2.0).unwrap())
+            .unwrap();
+        let t = 400;
+        let dist = age_distribution(&pmf, t);
+        let limit = limiting_age(&pmf, 30);
+        for a in 0..=30 {
+            assert!(
+                (dist[a] - limit[a]).abs() < 1e-4,
+                "a={a}: {} vs {}",
+                dist[a],
+                limit[a]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_age_is_uniform_in_the_limit() {
+        // Gap always 4: the age cycles 0,1,2,3 → limiting law uniform on
+        // {0,1,2,3}.
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 0.0, 1.0]).unwrap();
+        let limit = limiting_age(&pmf, 5);
+        for (a, &p) in limit.iter().enumerate().take(4) {
+            assert!((p - 0.25).abs() < 1e-12, "a={a}");
+        }
+        assert!(limit[4].abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_is_length_biased_and_proper() {
+        let pmf = SlotPmf::from_pmf(vec![0.5, 0.0, 0.0, 0.5]).unwrap();
+        // μ = 2.5; spread: P(1) = 0.5/2.5 = 0.2, P(4) = 2/2.5 = 0.8.
+        let spread = spread_distribution(&pmf, 4);
+        assert!((spread[0] - 0.2).abs() < 1e-12);
+        assert!((spread[3] - 0.8).abs() < 1e-12);
+        let total: f64 = spread.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inspection_paradox() {
+        // E[spread] ≥ μ, strictly unless deterministic.
+        let mixed = SlotPmf::from_pmf(vec![0.5, 0.0, 0.0, 0.5]).unwrap();
+        assert!(mean_spread(&mixed, 4) > mixed.mean() + 0.5);
+        let det = SlotPmf::from_pmf(vec![0.0, 0.0, 1.0]).unwrap();
+        assert!((mean_spread(&det, 3) - det.mean()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Exact age-belief propagation under a censoring activation policy.
+//!
+//! This module is the slotted-time replacement for the paper's Appendix B.
+//! After a sensor captures an event (renewing its schedule at slot 0), the
+//! partial-information chain needs, for every subsequent slot `i`, the
+//! probability `β̂_i` that an event occurs in slot `i` **given** that the
+//! sensor has not captured anything in slots `1..i` — where "not captured"
+//! means: in every slot the sensor was active, no event occurred; in slots it
+//! slept, anything may have happened.
+//!
+//! Because the event process is renewal, the only latent state is the *age*
+//! `a` — the number of slots since the last actual event (captured or
+//! missed). Conditioned on the age, an event occurs in the current slot with
+//! the pmf's hazard `β_a`. The belief over ages is propagated exactly:
+//!
+//! * event & sensor active (prob `β_a · c_i`): **capture** — the mass leaves
+//!   the "no capture yet" chain;
+//! * event & sensor asleep (prob `β_a · (1 − c_i)`): **miss** — the age
+//!   resets, so the mass moves to the bucket "last event at slot `i`";
+//! * no event (prob `1 − β_a`): the age grows by one.
+//!
+//! Keying buckets by the *slot of the last actual event* (rather than the
+//! age) keeps the representation stable: only slots with `c_i < 1` can ever
+//! create a new bucket, so the belief stays as small as the policy's cooling
+//! region regardless of how long the chain runs.
+
+use evcap_dist::SlotPmf;
+
+/// Belief mass below which a bucket is dropped (the pruned mass is tracked
+/// and reported via [`AgeBeliefDp::pruned_mass`]).
+const PRUNE_EPS: f64 = 1e-15;
+
+/// The outcome of advancing the belief by one slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeliefStep {
+    /// The slot index `i` that was just processed (1-based, counted from the
+    /// renewing capture).
+    pub slot: usize,
+    /// `β̂_i`: probability that an event occurs in slot `i`, conditioned on
+    /// no capture in slots `1..i`.
+    pub hazard: f64,
+    /// Joint probability of reaching slot `i` uncaptured *and* capturing in
+    /// it: `S_i · c_i · β̂_i` where `S_i` is the chain survival.
+    pub capture_mass: f64,
+    /// Chain survival *after* this slot: `P(no capture in slots 1..=i)`.
+    pub survival: f64,
+}
+
+/// Exact belief over the renewal process age, censored by an activation
+/// policy; yields the conditional hazards `β̂_i` of the paper's
+/// partial-information chain.
+///
+/// # Example
+///
+/// With a sensor that is always active (`c ≡ 1`), no event is ever missed,
+/// so `β̂_i` equals the plain inter-arrival hazard `β_i`:
+///
+/// ```
+/// use evcap_dist::SlotPmf;
+/// use evcap_renewal::AgeBeliefDp;
+///
+/// # fn main() -> Result<(), evcap_dist::DistError> {
+/// let pmf = SlotPmf::from_pmf(vec![0.2, 0.5, 0.3])?;
+/// let mut dp = AgeBeliefDp::new(&pmf);
+/// for i in 1..=3 {
+///     let step = dp.step(1.0);
+///     assert!((step.hazard - pmf.hazard(i)).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgeBeliefDp<'a> {
+    pmf: &'a SlotPmf,
+    /// `(slot of last actual event, joint mass)`; masses sum to the chain
+    /// survival `P(no capture yet)` (up to pruning).
+    buckets: Vec<(usize, f64)>,
+    /// The next slot to process (1-based).
+    slot: usize,
+    /// Chain survival after the last processed slot.
+    survival: f64,
+    /// Total mass dropped by pruning, for diagnostics.
+    pruned: f64,
+}
+
+impl<'a> AgeBeliefDp<'a> {
+    /// Starts a fresh chain: an event was captured at slot 0, so the age is
+    /// known exactly.
+    pub fn new(pmf: &'a SlotPmf) -> Self {
+        Self {
+            pmf,
+            buckets: vec![(0, 1.0)],
+            slot: 1,
+            survival: 1.0,
+            pruned: 0.0,
+        }
+    }
+
+    /// Advances one slot under activation probability `c ∈ [0, 1]`, returning
+    /// the slot's conditional hazard and capture mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside `[0, 1]`.
+    pub fn step(&mut self, c: f64) -> BeliefStep {
+        assert!(
+            (0.0..=1.0).contains(&c) && c.is_finite(),
+            "activation probability must lie in [0, 1], got {c}"
+        );
+        let i = self.slot;
+        let total: f64 = self.buckets.iter().map(|&(_, m)| m).sum();
+        let mut event_mass = 0.0;
+        let mut missed_mass = 0.0;
+        for (last_event, mass) in &mut self.buckets {
+            let age = i - *last_event;
+            let beta = self.pmf.hazard(age);
+            let event = *mass * beta;
+            event_mass += event;
+            missed_mass += event * (1.0 - c);
+            *mass -= event;
+        }
+        let capture_mass = event_mass * c;
+        if missed_mass > 0.0 {
+            self.buckets.push((i, missed_mass));
+        }
+        // Prune negligible buckets to keep the representation compact.
+        let pruned_before = self.pruned;
+        self.buckets.retain(|&(_, m)| {
+            if m >= PRUNE_EPS {
+                true
+            } else {
+                // Track what we drop so invariants can account for it.
+                false
+            }
+        });
+        let remaining: f64 = self.buckets.iter().map(|&(_, m)| m).sum();
+        let expected_remaining = total - capture_mass;
+        self.pruned = pruned_before + (expected_remaining - remaining).max(0.0);
+        self.survival = remaining;
+        self.slot = i + 1;
+        BeliefStep {
+            slot: i,
+            hazard: if total > 0.0 { (event_mass / total).clamp(0.0, 1.0) } else { 0.0 },
+            capture_mass,
+            survival: self.survival,
+        }
+    }
+
+    /// Chain survival after the last processed slot:
+    /// `P(no capture in slots 1..slot)`.
+    pub fn survival(&self) -> f64 {
+        self.survival
+    }
+
+    /// The next slot [`step`](Self::step) will process.
+    pub fn next_slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Number of live belief buckets (bounded by 1 + the number of processed
+    /// slots with `c < 1`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total probability mass dropped by pruning so far (diagnostic; should
+    /// stay ≪ any tolerance used downstream).
+    pub fn pruned_mass(&self) -> f64 {
+        self.pruned
+    }
+
+    /// Runs the DP for `horizon` slots under the per-slot activation
+    /// probabilities given by `policy(i)`, collecting every step.
+    pub fn run(pmf: &'a SlotPmf, policy: impl Fn(usize) -> f64, horizon: usize) -> Vec<BeliefStep> {
+        let mut dp = AgeBeliefDp::new(pmf);
+        (0..horizon).map(|_| dp.step(policy(dp.next_slot()))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::renewal_fn::RenewalFunction;
+    use evcap_dist::{Discretizer, MarkovEvents, SlotPmf, Weibull};
+
+    #[test]
+    fn always_active_reproduces_plain_hazard() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(12.0, 3.0).unwrap())
+            .unwrap();
+        let steps = AgeBeliefDp::run(&pmf, |_| 1.0, 30);
+        for step in &steps {
+            assert!(
+                (step.hazard - pmf.hazard(step.slot)).abs() < 1e-12,
+                "slot {}",
+                step.slot
+            );
+        }
+    }
+
+    #[test]
+    fn never_active_reproduces_renewal_density() {
+        // With no observations, P(event in slot i) is the renewal mass u_i.
+        let pmf = SlotPmf::from_pmf(vec![0.3, 0.3, 0.4]).unwrap();
+        let renewal = RenewalFunction::new(&pmf, 40);
+        let steps = AgeBeliefDp::run(&pmf, |_| 0.0, 40);
+        for step in &steps {
+            assert!(
+                (step.hazard - renewal.mass(step.slot)).abs() < 1e-9,
+                "slot {}: {} vs {}",
+                step.slot,
+                step.hazard,
+                renewal.mass(step.slot)
+            );
+            // Nothing is ever captured.
+            assert_eq!(step.capture_mass, 0.0);
+            assert!((step.survival - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capture_masses_and_survival_are_consistent() {
+        let pmf = SlotPmf::from_pmf(vec![0.5, 0.5]).unwrap();
+        let mut dp = AgeBeliefDp::new(&pmf);
+        let mut total_captured = 0.0;
+        let mut prev_survival = 1.0;
+        for _ in 0..200 {
+            let step = dp.step(0.7);
+            total_captured += step.capture_mass;
+            // capture_mass = prev_survival · c · hazard.
+            assert!((step.capture_mass - prev_survival * 0.7 * step.hazard).abs() < 1e-12);
+            prev_survival = step.survival;
+        }
+        // Eventually everything is captured.
+        assert!((total_captured + dp.survival() - 1.0).abs() < 1e-9);
+        assert!(dp.survival() < 1e-9);
+    }
+
+    #[test]
+    fn markov_chain_hazards_match_closed_form() {
+        // For the two-state Markov renewal process with an always-active
+        // sensor, β̂_1 = a and β̂_k = 1 − b thereafter.
+        let chain = MarkovEvents::new(0.3, 0.6).unwrap();
+        let pmf = chain.to_slot_pmf().unwrap();
+        let steps = AgeBeliefDp::run(&pmf, |_| 1.0, 10);
+        assert!((steps[0].hazard - 0.3).abs() < 1e-12);
+        for step in &steps[1..] {
+            assert!((step.hazard - 0.4).abs() < 1e-12, "slot {}", step.slot);
+        }
+    }
+
+    #[test]
+    fn bucket_count_bounded_by_cooling_slots() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(12.0, 3.0).unwrap())
+            .unwrap();
+        // Policy: sleep in slots 1..=9, active afterwards.
+        let mut dp = AgeBeliefDp::new(&pmf);
+        for _ in 0..200 {
+            let c = if dp.next_slot() <= 9 { 0.0 } else { 1.0 };
+            dp.step(c);
+        }
+        // Buckets: the initial one plus at most one per cooling slot.
+        assert!(dp.bucket_count() <= 10, "{}", dp.bucket_count());
+        assert!(dp.pruned_mass() < 1e-9);
+    }
+
+    #[test]
+    fn missed_events_raise_later_hazard() {
+        // Deterministic gaps of 3: if the sensor sleeps through slot 3, the
+        // event recurs at slot 6 with certainty.
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 1.0]).unwrap();
+        let steps = AgeBeliefDp::run(&pmf, |i| if i <= 3 { 0.0 } else { 1.0 }, 6);
+        assert!((steps[2].hazard - 1.0).abs() < 1e-12); // slot 3: missed
+        assert!((steps[3].hazard - 0.0).abs() < 1e-12);
+        assert!((steps[5].hazard - 1.0).abs() < 1e-12); // slot 6: captured
+        assert!(steps[5].survival < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation probability")]
+    fn step_rejects_invalid_probability() {
+        let pmf = SlotPmf::from_pmf(vec![1.0]).unwrap();
+        let mut dp = AgeBeliefDp::new(&pmf);
+        dp.step(1.5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Forward recurrence time (residual life) of a slotted renewal process.
+
+use evcap_dist::SlotPmf;
+
+use crate::renewal_fn::RenewalFunction;
+
+/// Distribution of the forward recurrence time `Ψ(t)`: given a renewal at
+/// slot 0, `forward_recurrence(pmf, t, max_k)[k−1] = P(next event occurs in
+/// slot t + k)` for `k = 1..=max_k`.
+///
+/// This is the discrete analogue of the paper's `G_t(x)` (Appendix B),
+/// computed exactly from the renewal mass function:
+///
+/// `P(Ψ(t) = k) = Σ_{j=0}^{t} u_j · α_{t−j+k} / 1` restricted to gaps that
+/// straddle `t` (the renewal at `j` is the last one at or before `t`).
+///
+/// # Panics
+///
+/// Panics if `max_k == 0`.
+pub fn forward_recurrence(pmf: &SlotPmf, t: usize, max_k: usize) -> Vec<f64> {
+    assert!(max_k >= 1, "max_k must be at least 1");
+    let renewal = RenewalFunction::new(pmf, t);
+    let mut out = vec![0.0; max_k];
+    for j in 0..=t {
+        let u = renewal.mass(j);
+        if u <= 0.0 {
+            continue;
+        }
+        for (k_idx, slot_prob) in out.iter_mut().enumerate() {
+            let gap = t - j + k_idx + 1;
+            // The gap starting at j must skip every slot in (j, t] and land
+            // exactly at t + k. `u_j · α_gap` double counts nothing because
+            // `u_j` is the probability that *a* renewal happens at j and the
+            // next gap is independent of the past.
+            *slot_prob += u * pmf.pmf(gap);
+        }
+    }
+    out
+}
+
+/// The limiting (equilibrium) forward recurrence distribution:
+/// `P(Ψ(∞) = k) = (1 − F(k − 1)) / μ`.
+///
+/// This is the stationary distribution of the residual life chain and the
+/// limit of [`forward_recurrence`] as `t → ∞`.
+///
+/// # Panics
+///
+/// Panics if `max_k == 0`.
+pub fn equilibrium_distribution(pmf: &SlotPmf, max_k: usize) -> Vec<f64> {
+    assert!(max_k >= 1, "max_k must be at least 1");
+    let mu = pmf.mean();
+    (1..=max_k).map(|k| pmf.survival(k - 1) / mu).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_dist::{Discretizer, SlotPmf, Weibull};
+
+    #[test]
+    fn at_time_zero_forward_recurrence_is_the_gap_pmf() {
+        let pmf = SlotPmf::from_pmf(vec![0.2, 0.5, 0.3]).unwrap();
+        let fr = forward_recurrence(&pmf, 0, 3);
+        for k in 1..=3 {
+            assert!((fr[k - 1] - pmf.pmf(k)).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn forward_recurrence_sums_to_one() {
+        let pmf = SlotPmf::from_pmf(vec![0.2, 0.5, 0.3]).unwrap();
+        for t in [0, 1, 5, 20] {
+            let fr = forward_recurrence(&pmf, t, 3);
+            let total: f64 = fr.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "t={t}: {total}");
+        }
+    }
+
+    #[test]
+    fn converges_to_equilibrium() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(8.0, 2.0).unwrap())
+            .unwrap();
+        let horizon = 30;
+        let fr = forward_recurrence(&pmf, 500, horizon);
+        let eq = equilibrium_distribution(&pmf, horizon);
+        for k in 0..horizon {
+            assert!(
+                (fr[k] - eq[k]).abs() < 1e-4,
+                "k={}: {} vs {}",
+                k + 1,
+                fr[k],
+                eq[k]
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrium_sums_to_one_over_full_support() {
+        let pmf = SlotPmf::from_pmf(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let eq = equilibrium_distribution(&pmf, 4);
+        let total: f64 = eq.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_process_counts_down() {
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 0.0, 1.0]).unwrap();
+        // At t = 1 the next event is at slot 4 ⇒ Ψ = 3 with certainty.
+        let fr = forward_recurrence(&pmf, 1, 6);
+        assert!((fr[2] - 1.0).abs() < 1e-12);
+        let rest: f64 = fr.iter().sum::<f64>() - fr[2];
+        assert!(rest.abs() < 1e-12);
+    }
+}

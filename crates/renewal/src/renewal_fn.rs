@@ -1,0 +1,143 @@
+//! The discrete renewal mass function and its cumulative form.
+
+use evcap_dist::SlotPmf;
+
+/// The renewal mass function `u_t = P(an event occurs in slot t | renewal at
+/// slot 0)` and the renewal function `M(t) = E[#events in (0, t]] = Σ u`.
+///
+/// Computed by the standard convolution recursion
+/// `u_t = Σ_{s=1}^{t} α_s · u_{t−s}` with `u_0 = 1`.
+///
+/// By the elementary renewal theorem, `u_t → 1/μ`; the paper uses this as
+/// `lim M(T)/T = 1/μ` when deriving the energy-balance constraint (6).
+///
+/// # Example
+///
+/// ```
+/// use evcap_dist::SlotPmf;
+/// use evcap_renewal::RenewalFunction;
+///
+/// # fn main() -> Result<(), evcap_dist::DistError> {
+/// let pmf = SlotPmf::from_pmf(vec![0.25, 0.75])?;
+/// let renewal = RenewalFunction::new(&pmf, 100);
+/// assert_eq!(renewal.mass(0), 1.0);
+/// // u_1 = α_1, u_2 = α_2 + α_1².
+/// assert!((renewal.mass(1) - 0.25).abs() < 1e-12);
+/// assert!((renewal.mass(2) - (0.75 + 0.0625)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenewalFunction {
+    mass: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl RenewalFunction {
+    /// Computes `u_0..=u_horizon` for the given inter-arrival pmf.
+    ///
+    /// Cost is `O(horizon · min(horizon, support))`.
+    pub fn new(pmf: &SlotPmf, horizon: usize) -> Self {
+        let mut mass = Vec::with_capacity(horizon + 1);
+        mass.push(1.0);
+        // Effective support bound: beyond the pmf's stored head plus the
+        // window we compute, the geometric tail still contributes, so we use
+        // `pmf.pmf(s)` (which understands the tail) rather than `masses()`.
+        for t in 1..=horizon {
+            let mut u = 0.0;
+            for s in 1..=t {
+                let a = pmf.pmf(s);
+                if a > 0.0 {
+                    u += a * mass[t - s];
+                }
+            }
+            mass.push(u.clamp(0.0, 1.0));
+        }
+        let mut cumulative = Vec::with_capacity(horizon + 1);
+        let mut acc = 0.0;
+        for (t, &u) in mass.iter().enumerate() {
+            if t > 0 {
+                acc += u;
+            }
+            cumulative.push(acc);
+        }
+        Self { mass, cumulative }
+    }
+
+    /// `u_t`: probability of an event in slot `t` (with `u_0 = 1`, the
+    /// conditioning renewal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` exceeds the computed horizon.
+    pub fn mass(&self, t: usize) -> f64 {
+        self.mass[t]
+    }
+
+    /// `M(t) = E[#events in slots 1..=t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` exceeds the computed horizon.
+    pub fn expected_events(&self, t: usize) -> f64 {
+        self.cumulative[t]
+    }
+
+    /// The computed horizon (largest valid `t`).
+    pub fn horizon(&self) -> usize {
+        self.mass.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_dist::{Discretizer, SlotPmf, Weibull};
+
+    #[test]
+    fn geometric_renewal_density_is_flat() {
+        // Geometric(p): memoryless, so u_t = p for every t ≥ 1.
+        let p = 0.3;
+        let pmf = SlotPmf::from_hazards(&[p]).unwrap();
+        let r = RenewalFunction::new(&pmf, 50);
+        for t in 1..=50 {
+            assert!((r.mass(t) - p).abs() < 1e-12, "t={t}");
+        }
+        assert!((r.expected_events(50) - 50.0 * p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_renewal_spikes_at_multiples() {
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 1.0]).unwrap();
+        let r = RenewalFunction::new(&pmf, 12);
+        for t in 1..=12 {
+            let expected = if t % 3 == 0 { 1.0 } else { 0.0 };
+            assert!((r.mass(t) - expected).abs() < 1e-12, "t={t}");
+        }
+        assert!((r.expected_events(12) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementary_renewal_theorem() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(10.0, 2.0).unwrap())
+            .unwrap();
+        let r = RenewalFunction::new(&pmf, 400);
+        let limit = 1.0 / pmf.mean();
+        // The density oscillates early and settles at 1/μ.
+        for t in 350..=400 {
+            assert!((r.mass(t) - limit).abs() < 1e-3, "t={t}: {} vs {limit}", r.mass(t));
+        }
+        // M(t)/t converges to 1/μ as well.
+        assert!((r.expected_events(400) / 400.0 - limit).abs() < 0.01);
+    }
+
+    #[test]
+    fn renewal_function_with_geometric_tail() {
+        // Markov-style pmf exercising the tail path of `pmf.pmf(s)`.
+        let pmf = SlotPmf::with_tail(vec![0.4], 0.6, 0.5, "test".into()).unwrap();
+        let r = RenewalFunction::new(&pmf, 200);
+        let limit = 1.0 / pmf.mean();
+        assert!((r.mass(200) - limit).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,727 @@
+//! The slotted simulation engine.
+
+use evcap_core::{ActivationPolicy, DecisionContext, InfoModel, SlotAssignment};
+use evcap_dist::SlotPmf;
+use evcap_energy::{Battery, ConsumptionModel, Energy, RechargeProcess};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::events::EventSchedule;
+use crate::metrics::{BatterySample, SensorStats, SimReport, TraceRecord};
+use crate::outage::OutagePlan;
+use crate::{Result, SimError};
+
+/// Factory producing one recharge process per sensor index.
+pub type RechargeFactory<'f> = dyn FnMut(usize) -> Box<dyn RechargeProcess> + 'f;
+
+/// How the sensors share the monitoring work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coordination {
+    /// Exactly one sensor (per the assignment) is in charge of each slot —
+    /// the paper's Section V schemes. Captures are broadcast, so all sensors
+    /// share the partial-information state.
+    Rotating(SlotAssignment),
+    /// No coordination: every sensor decides every slot from its *own*
+    /// observation history (the paper's "work independently without any
+    /// coordination or information exchange" strawman). Redundant
+    /// activations duplicate effort.
+    Independent,
+}
+
+/// Builder-style configuration of a simulation run.
+///
+/// Defaults follow the paper's Section VI setup: `δ1 = 1`, `δ2 = 6`,
+/// `K = 1000` with a half-full initial battery, one sensor, round-robin slot
+/// assignment, no outages, and a `10^6`-slot horizon.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    pmf: &'a SlotPmf,
+    slots: u64,
+    seed: u64,
+    consumption: ConsumptionModel,
+    sensors: usize,
+    battery_capacity: Energy,
+    initial_level: Option<Energy>,
+    coordination: Coordination,
+    outages: OutagePlan,
+    trace_slots: usize,
+    battery_sample_every: Option<u64>,
+    warmup_slots: u64,
+}
+
+impl<'a> Simulation<'a> {
+    /// Starts a builder for the given event process.
+    pub fn builder(pmf: &'a SlotPmf) -> Self {
+        Self {
+            pmf,
+            slots: 1_000_000,
+            seed: 0,
+            consumption: ConsumptionModel::paper_defaults(),
+            sensors: 1,
+            battery_capacity: Energy::from_units(1000.0),
+            initial_level: None,
+            coordination: Coordination::Rotating(SlotAssignment::RoundRobin),
+            outages: OutagePlan::none(),
+            trace_slots: 0,
+            battery_sample_every: None,
+            warmup_slots: 0,
+        }
+    }
+
+    /// Sets the simulated horizon in slots.
+    #[must_use]
+    pub fn slots(mut self, slots: u64) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Seeds both the decision RNG and the event schedule.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the consumption model (`δ1`, `δ2`).
+    #[must_use]
+    pub fn consumption(mut self, consumption: ConsumptionModel) -> Self {
+        self.consumption = consumption;
+        self
+    }
+
+    /// Sets the number of collaborating sensors.
+    #[must_use]
+    pub fn sensors(mut self, sensors: usize) -> Self {
+        self.sensors = sensors;
+        self
+    }
+
+    /// Sets every sensor's battery capacity `K`.
+    #[must_use]
+    pub fn battery(mut self, capacity: Energy) -> Self {
+        self.battery_capacity = capacity;
+        self
+    }
+
+    /// Overrides the initial battery level (default: half of `K`, the
+    /// paper's convention).
+    #[must_use]
+    pub fn initial_level(mut self, level: Energy) -> Self {
+        self.initial_level = Some(level);
+        self
+    }
+
+    /// Sets the multi-sensor slot assignment scheme (rotating coordination).
+    #[must_use]
+    pub fn assignment(mut self, assignment: SlotAssignment) -> Self {
+        self.coordination = Coordination::Rotating(assignment);
+        self
+    }
+
+    /// Switches to fully uncoordinated operation: every sensor decides every
+    /// slot from its own observations.
+    #[must_use]
+    pub fn independent(mut self) -> Self {
+        self.coordination = Coordination::Independent;
+        self
+    }
+
+    /// Injects sensor outages.
+    #[must_use]
+    pub fn outages(mut self, plan: OutagePlan) -> Self {
+        self.outages = plan;
+        self
+    }
+
+    /// Discards the first `n` slots from the QoM statistics: events that
+    /// occur during warm-up are neither counted nor credited (the sensors
+    /// still run — states evolve and energy flows — so the measured portion
+    /// starts from a realistic mid-deployment condition). `run` rejects a
+    /// warm-up that swallows the whole horizon.
+    #[must_use]
+    pub fn warmup_slots(mut self, n: u64) -> Self {
+        self.warmup_slots = n;
+        self
+    }
+
+    /// Records a [`TraceRecord`] for each of the first `n` slots (for the
+    /// sensor in charge; in independent mode, for sensor 0).
+    #[must_use]
+    pub fn trace_slots(mut self, n: usize) -> Self {
+        self.trace_slots = n;
+        self
+    }
+
+    /// Samples every sensor's battery level every `every` slots into
+    /// [`SimReport::battery_trace`].
+    #[must_use]
+    pub fn record_battery_every(mut self, every: u64) -> Self {
+        self.battery_sample_every = Some(every.max(1));
+        self
+    }
+
+    /// Samples an event schedule and runs the policy on it.
+    ///
+    /// `make_recharge` is called once per sensor index to build its recharge
+    /// process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for invalid configuration (zero slots, zero
+    /// sensors, battery/energy validation failures).
+    pub fn run(
+        &self,
+        policy: &dyn ActivationPolicy,
+        make_recharge: &mut RechargeFactory<'_>,
+    ) -> Result<SimReport> {
+        let schedule = EventSchedule::generate(self.pmf, self.slots, self.seed)?;
+        self.run_on(&schedule, policy, make_recharge)
+    }
+
+    /// Runs the policy on a pre-sampled event schedule (so multiple policies
+    /// can be compared on identical events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleTooShort`] if the schedule does not cover
+    /// the configured horizon, plus the configuration errors of
+    /// [`Simulation::run`].
+    pub fn run_on(
+        &self,
+        schedule: &EventSchedule,
+        policy: &dyn ActivationPolicy,
+        make_recharge: &mut RechargeFactory<'_>,
+    ) -> Result<SimReport> {
+        if self.slots == 0 {
+            return Err(SimError::ZeroSlots);
+        }
+        if self.sensors == 0 {
+            return Err(SimError::NoSensors);
+        }
+        if schedule.slots() < self.slots {
+            return Err(SimError::ScheduleTooShort {
+                schedule_slots: schedule.slots(),
+                needed: self.slots,
+            });
+        }
+        if self.warmup_slots >= self.slots {
+            return Err(SimError::ZeroSlots);
+        }
+
+        let threshold = self.consumption.activation_threshold();
+        let d1 = self.consumption.sensing_cost();
+        let d2 = self.consumption.capture_cost();
+
+        let mut batteries = Vec::with_capacity(self.sensors);
+        let mut recharges = Vec::with_capacity(self.sensors);
+        let mut stats = vec![SensorStats::default(); self.sensors];
+        for (s, stat) in stats.iter_mut().enumerate() {
+            let battery = match self.initial_level {
+                Some(level) => Battery::new(self.battery_capacity, level)?,
+                None => Battery::half_full(self.battery_capacity)?,
+            };
+            stat.initial_level = battery.level();
+            batteries.push(battery);
+            recharges.push(make_recharge(s));
+        }
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut cursor = schedule.cursor();
+        let mut trace = Vec::with_capacity(self.trace_slots.min(4096));
+        let mut battery_trace = Vec::new();
+
+        // The paper anchors the process with an event at slot 0; all
+        // information states start there.
+        let mut last_event: u64 = 0; // full-information renewal point
+        let mut shared_last_capture: u64 = 0; // broadcast PI renewal point
+        let mut own_last_capture = vec![0u64; self.sensors]; // independent PI
+        let mut events: u64 = 0;
+        let mut captures: u64 = 0;
+        // Reused per slot; indices of sensors that are active this slot.
+        let mut active_sensors: Vec<usize> = Vec::with_capacity(self.sensors);
+
+        for t in 1..=self.slots {
+            // 1. Recharge every sensor (harvesting continues through
+            //    outages, as a supercapacitor's would).
+            for s in 0..self.sensors {
+                let amount = recharges[s].next(&mut rng);
+                let overflow = batteries[s].recharge(amount);
+                stats[s].recharged += amount - overflow;
+                stats[s].overflow += overflow;
+            }
+
+            // 2. The deciding sensor(s) act.
+            active_sensors.clear();
+            let mut trace_slot: Option<TraceRecord> = None;
+            let decide = |s: usize,
+                          batteries: &mut [Battery],
+                          stats: &mut [SensorStats],
+                          rng: &mut SmallRng,
+                          own_last_capture: &[u64]|
+             -> (bool, bool, usize) {
+                let state = match policy.info_model() {
+                    InfoModel::Full => (t - last_event) as usize,
+                    InfoModel::Partial => match self.coordination {
+                        Coordination::Rotating(_) => (t - shared_last_capture) as usize,
+                        Coordination::Independent => (t - own_last_capture[s]) as usize,
+                    },
+                };
+                let ctx = DecisionContext {
+                    slot: t,
+                    state,
+                    battery_fraction: batteries[s].fill_fraction(),
+                };
+                let p = policy.probability(&ctx);
+                debug_assert!((0.0..=1.0).contains(&p), "policy returned {p}");
+                let wanted = p > 0.0 && (p >= 1.0 || rng.random::<f64>() < p);
+                let feasible = batteries[s].can_afford(threshold);
+                let active = wanted && feasible;
+                if wanted && !feasible {
+                    stats[s].forced_idle += 1;
+                }
+                if active {
+                    let ok = batteries[s].try_consume(d1);
+                    debug_assert!(ok, "activation threshold guarantees δ1");
+                    stats[s].consumed += d1;
+                    stats[s].activations += 1;
+                }
+                (wanted, active, state)
+            };
+
+            match self.coordination {
+                Coordination::Rotating(assignment) => {
+                    let owner = assignment.owner(t, self.sensors);
+                    if self.outages.is_down(owner, t) {
+                        stats[owner].outage_slots += 1;
+                        if (t as usize) <= self.trace_slots {
+                            trace_slot = Some(TraceRecord {
+                                slot: t,
+                                owner,
+                                state: 0,
+                                wanted_active: false,
+                                active: false,
+                                event: false,
+                                captured: false,
+                            });
+                        }
+                    } else {
+                        let (wanted, active, state) =
+                            decide(owner, &mut batteries, &mut stats, &mut rng, &own_last_capture);
+                        if active {
+                            active_sensors.push(owner);
+                        }
+                        if (t as usize) <= self.trace_slots {
+                            trace_slot = Some(TraceRecord {
+                                slot: t,
+                                owner,
+                                state,
+                                wanted_active: wanted,
+                                active,
+                                event: false,
+                                captured: false,
+                            });
+                        }
+                    }
+                }
+                Coordination::Independent => {
+                    for s in 0..self.sensors {
+                        if self.outages.is_down(s, t) {
+                            stats[s].outage_slots += 1;
+                            continue;
+                        }
+                        let (wanted, active, state) =
+                            decide(s, &mut batteries, &mut stats, &mut rng, &own_last_capture);
+                        if active {
+                            active_sensors.push(s);
+                        }
+                        if s == 0 && (t as usize) <= self.trace_slots {
+                            trace_slot = Some(TraceRecord {
+                                slot: t,
+                                owner: 0,
+                                state,
+                                wanted_active: wanted,
+                                active,
+                                event: false,
+                                captured: false,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // 3. The event (if any) arrives after the decisions.
+            let event = cursor.occurs(t);
+            let measured = t > self.warmup_slots;
+            let mut captured_by_any = false;
+            if event {
+                if measured {
+                    events += 1;
+                }
+                for &s in &active_sensors {
+                    let ok = batteries[s].try_consume(d2);
+                    debug_assert!(ok, "activation threshold guarantees δ1 + δ2");
+                    stats[s].consumed += d2;
+                    if measured {
+                        stats[s].captures += 1;
+                    }
+                    own_last_capture[s] = t;
+                    captured_by_any = true;
+                }
+                if captured_by_any && measured {
+                    captures += 1;
+                }
+                if captured_by_any {
+                    shared_last_capture = t;
+                }
+                last_event = t;
+            }
+
+            if let Some(mut record) = trace_slot {
+                record.event = event;
+                record.captured = event && record.active && captured_by_any;
+                trace.push(record);
+            }
+            if let Some(every) = self.battery_sample_every {
+                if t % every == 0 {
+                    battery_trace.push(BatterySample {
+                        slot: t,
+                        levels: batteries.iter().map(|b| b.level()).collect(),
+                    });
+                }
+            }
+        }
+
+        for (s, stat) in stats.iter_mut().enumerate() {
+            stat.final_level = batteries[s].level();
+        }
+
+        Ok(SimReport {
+            slots: self.slots,
+            events,
+            captures,
+            sensors: stats,
+            trace,
+            battery_trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outage::OutageWindow;
+    use evcap_core::{AggressivePolicy, PeriodicPolicy};
+    use evcap_dist::{Discretizer, Weibull};
+    use evcap_energy::{BernoulliRecharge, ConstantRecharge};
+
+    fn weibull_pmf() -> SlotPmf {
+        Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap()
+    }
+
+    fn bernoulli(q: f64, c: f64) -> impl FnMut(usize) -> Box<dyn RechargeProcess> {
+        move |_| Box::new(BernoulliRecharge::new(q, Energy::from_units(c)).unwrap())
+    }
+
+    #[test]
+    fn aggressive_with_abundant_energy_captures_everything() {
+        let pmf = weibull_pmf();
+        let report = Simulation::builder(&pmf)
+            .slots(50_000)
+            .seed(3)
+            .run(&AggressivePolicy::new(), &mut |_| {
+                Box::new(ConstantRecharge::new(Energy::from_units(10.0)).unwrap())
+            })
+            .unwrap();
+        assert_eq!(report.captures, report.events);
+        assert_eq!(report.qom(), 1.0);
+        assert_eq!(report.total_forced_idle(), 0);
+    }
+
+    #[test]
+    fn energy_conservation_holds_exactly() {
+        let pmf = weibull_pmf();
+        let report = Simulation::builder(&pmf)
+            .slots(100_000)
+            .seed(5)
+            .sensors(3)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        for (i, s) in report.sensors.iter().enumerate() {
+            assert!(s.conserves_energy(), "sensor {i}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn starved_sensor_is_forced_idle() {
+        let pmf = weibull_pmf();
+        // Zero recharge and a near-empty battery: after a few activations
+        // the sensor is pinned below the threshold.
+        let report = Simulation::builder(&pmf)
+            .slots(10_000)
+            .seed(7)
+            .battery(Energy::from_units(10.0))
+            .run(&AggressivePolicy::new(), &mut |_| {
+                Box::new(ConstantRecharge::new(Energy::ZERO).unwrap())
+            })
+            .unwrap();
+        assert!(report.total_forced_idle() > 9_000);
+        assert!(report.total_activations() < 10);
+    }
+
+    #[test]
+    fn discharge_rate_tracks_recharge_rate_for_aggressive() {
+        // The aggressive policy spends everything that arrives (modulo the
+        // battery's final content), so its discharge rate ≈ e.
+        let pmf = weibull_pmf();
+        let report = Simulation::builder(&pmf)
+            .slots(200_000)
+            .seed(11)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert!((report.discharge_rate() - 0.5).abs() < 0.02, "{}", report.discharge_rate());
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let pmf = weibull_pmf();
+        let sim = Simulation::builder(&pmf).slots(20_000).seed(13);
+        let a = sim
+            .clone()
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        let b = sim
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_schedule_compares_policies_on_same_events() {
+        let pmf = weibull_pmf();
+        let schedule = EventSchedule::generate(&pmf, 20_000, 17).unwrap();
+        let sim = Simulation::builder(&pmf).slots(20_000).seed(17);
+        let agg = sim
+            .clone()
+            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        let per = PeriodicPolicy::new(3, 30).unwrap();
+        let perr = sim
+            .run_on(&schedule, &per, &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert_eq!(agg.events, perr.events);
+    }
+
+    #[test]
+    fn round_robin_splits_load_across_sensors() {
+        let pmf = weibull_pmf();
+        let report = Simulation::builder(&pmf)
+            .slots(90_000)
+            .seed(19)
+            .sensors(3)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        // Every sensor gets a third of the slots; with identical recharge,
+        // activations should be closely balanced.
+        assert!(report.load_balance() > 0.95, "{}", report.load_balance());
+    }
+
+    #[test]
+    fn trace_records_first_slots() {
+        let pmf = weibull_pmf();
+        let report = Simulation::builder(&pmf)
+            .slots(1_000)
+            .seed(23)
+            .trace_slots(50)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert_eq!(report.trace.len(), 50);
+        assert_eq!(report.trace[0].slot, 1);
+        // Captured implies event and active.
+        for r in &report.trace {
+            if r.captured {
+                assert!(r.event && r.active);
+            }
+        }
+    }
+
+    #[test]
+    fn configuration_errors() {
+        let pmf = weibull_pmf();
+        assert!(matches!(
+            Simulation::builder(&pmf)
+                .slots(0)
+                .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0)),
+            Err(SimError::ZeroSlots)
+        ));
+        assert!(matches!(
+            Simulation::builder(&pmf)
+                .sensors(0)
+                .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0)),
+            Err(SimError::NoSensors)
+        ));
+        let short = EventSchedule::from_slots(vec![1], 10);
+        assert!(matches!(
+            Simulation::builder(&pmf).slots(100).run_on(
+                &short,
+                &AggressivePolicy::new(),
+                &mut bernoulli(0.5, 1.0)
+            ),
+            Err(SimError::ScheduleTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn periodic_policy_duty_cycle_is_respected() {
+        let pmf = weibull_pmf();
+        let per = PeriodicPolicy::new(3, 30).unwrap();
+        let report = Simulation::builder(&pmf)
+            .slots(300_000)
+            .seed(29)
+            .run(&per, &mut |_| {
+                Box::new(ConstantRecharge::new(Energy::from_units(10.0)).unwrap())
+            })
+            .unwrap();
+        let duty = report.total_activations() as f64 / report.slots as f64;
+        assert!((duty - 0.1).abs() < 1e-3, "{duty}");
+    }
+
+    #[test]
+    fn independent_sensors_duplicate_effort() {
+        // Uncoordinated aggressive sensors with abundant energy all fire in
+        // every slot: per-sensor captures are each equal to the event count,
+        // but the union QoM counts each event once.
+        let pmf = weibull_pmf();
+        let report = Simulation::builder(&pmf)
+            .slots(30_000)
+            .seed(31)
+            .sensors(3)
+            .independent()
+            .run(&AggressivePolicy::new(), &mut |_| {
+                Box::new(ConstantRecharge::new(Energy::from_units(10.0)).unwrap())
+            })
+            .unwrap();
+        assert_eq!(report.qom(), 1.0);
+        for s in &report.sensors {
+            assert_eq!(s.captures, report.events, "{s:?}");
+        }
+        // Total energy burned is ~3× the single-sensor cost: pure waste.
+        let per_sensor: Vec<u64> = report.sensors.iter().map(|s| s.activations).collect();
+        assert!(per_sensor.iter().all(|&a| a == report.slots));
+    }
+
+    #[test]
+    fn outage_blocks_decisions_but_not_recharge() {
+        let pmf = weibull_pmf();
+        let plan = OutagePlan::from_windows(vec![OutageWindow {
+            sensor: 0,
+            from: 1,
+            to: 10_000,
+        }]);
+        let report = Simulation::builder(&pmf)
+            .slots(10_000)
+            .seed(37)
+            .outages(plan)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        let s = &report.sensors[0];
+        assert_eq!(s.outage_slots, 10_000);
+        assert_eq!(s.activations, 0);
+        assert_eq!(report.captures, 0);
+        // Harvesting continued: the battery filled up (modulo overflow).
+        assert!(s.recharged > Energy::ZERO);
+        assert!(s.conserves_energy());
+    }
+
+    #[test]
+    fn partial_outage_degrades_gracefully() {
+        let pmf = weibull_pmf();
+        let clean = Simulation::builder(&pmf)
+            .slots(100_000)
+            .seed(41)
+            .sensors(2)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        let plan = OutagePlan::from_windows(vec![OutageWindow {
+            sensor: 1,
+            from: 20_000,
+            to: 40_000,
+        }]);
+        let degraded = Simulation::builder(&pmf)
+            .slots(100_000)
+            .seed(41)
+            .sensors(2)
+            .outages(plan)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert!(degraded.qom() < clean.qom());
+        assert!(degraded.qom() > 0.5 * clean.qom(), "degrades, not collapses");
+    }
+
+    #[test]
+    fn warmup_excludes_early_events_from_qom() {
+        let pmf = weibull_pmf();
+        let schedule = EventSchedule::generate(&pmf, 60_000, 47).unwrap();
+        let full = Simulation::builder(&pmf)
+            .slots(60_000)
+            .seed(47)
+            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        let warmed = Simulation::builder(&pmf)
+            .slots(60_000)
+            .seed(47)
+            .warmup_slots(30_000)
+            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert!(warmed.events < full.events);
+        // Roughly half the events fall after warm-up.
+        let ratio = warmed.events as f64 / full.events as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "{ratio}");
+        // Energy accounting still covers the whole run and conserves.
+        for s in &warmed.sensors {
+            assert!(s.conserves_energy());
+        }
+        // A warm-up at least as long as the horizon is rejected.
+        assert!(Simulation::builder(&pmf)
+            .slots(100)
+            .warmup_slots(100)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn stationary_schedule_runs_unchanged() {
+        let pmf = weibull_pmf();
+        let schedule = EventSchedule::generate_stationary(&pmf, 50_000, 49).unwrap();
+        let report = Simulation::builder(&pmf)
+            .slots(50_000)
+            .seed(49)
+            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert_eq!(report.events, schedule.count());
+    }
+
+    #[test]
+    fn battery_trace_sampling() {
+        let pmf = weibull_pmf();
+        let report = Simulation::builder(&pmf)
+            .slots(1_000)
+            .seed(43)
+            .sensors(2)
+            .record_battery_every(100)
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .unwrap();
+        assert_eq!(report.battery_trace.len(), 10);
+        for sample in &report.battery_trace {
+            assert_eq!(sample.levels.len(), 2);
+            assert_eq!(sample.slot % 100, 0);
+            for &level in &sample.levels {
+                assert!(level >= Energy::ZERO);
+                assert!(level <= Energy::from_units(1000.0));
+            }
+        }
+    }
+}

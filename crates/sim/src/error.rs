@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The simulation horizon was zero slots.
+    ZeroSlots,
+    /// No sensors were configured.
+    NoSensors,
+    /// A battery or energy parameter failed validation.
+    Energy(evcap_energy::EnergyError),
+    /// The event sampler failed to construct.
+    Dist(evcap_dist::DistError),
+    /// A policy (re)optimization failed (adaptive/provisioning drivers).
+    Policy(evcap_core::PolicyError),
+    /// A provided event schedule was shorter than the simulation horizon.
+    ScheduleTooShort {
+        /// Number of slots the schedule covers.
+        schedule_slots: u64,
+        /// Number of slots the simulation needs.
+        needed: u64,
+    },
+    /// A provisioning search could not reach the requested QoM even at its
+    /// capacity cap.
+    TargetUnreachable {
+        /// The QoM that was requested.
+        target: f64,
+        /// The best replicated mean QoM observed at the capacity cap.
+        best: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroSlots => write!(f, "simulation horizon must be at least one slot"),
+            SimError::NoSensors => write!(f, "at least one sensor is required"),
+            SimError::Energy(e) => write!(f, "energy configuration error: {e}"),
+            SimError::Dist(e) => write!(f, "event process error: {e}"),
+            SimError::Policy(e) => write!(f, "policy optimization error: {e}"),
+            SimError::ScheduleTooShort {
+                schedule_slots,
+                needed,
+            } => write!(f, "event schedule covers {schedule_slots} slots but {needed} are needed"),
+            SimError::TargetUnreachable { target, best } => {
+                write!(f, "target qom {target} is unreachable; best observed was {best}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Energy(e) => Some(e),
+            SimError::Dist(e) => Some(e),
+            SimError::Policy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<evcap_energy::EnergyError> for SimError {
+    fn from(e: evcap_energy::EnergyError) -> Self {
+        SimError::Energy(e)
+    }
+}
+
+impl From<evcap_dist::DistError> for SimError {
+    fn from(e: evcap_dist::DistError) -> Self {
+        SimError::Dist(e)
+    }
+}
+
+impl From<evcap_core::PolicyError> for SimError {
+    fn from(e: evcap_core::PolicyError) -> Self {
+        SimError::Policy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            SimError::ZeroSlots,
+            SimError::NoSensors,
+            SimError::Energy(evcap_energy::EnergyError::ZeroPeriod),
+            SimError::Dist(evcap_dist::DistError::EmptyPmf),
+            SimError::Policy(evcap_core::PolicyError::NoFeasibleCandidate),
+            SimError::ScheduleTooShort {
+                schedule_slots: 10,
+                needed: 20,
+            },
+            SimError::TargetUnreachable {
+                target: 0.99,
+                best: 0.8,
+            },
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

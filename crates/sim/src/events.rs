@@ -1,0 +1,277 @@
+//! Pre-sampled event timelines.
+
+use evcap_dist::{SlotPmf, SlotSampler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{Result, SimError};
+
+/// A sampled realization of the renewal event process over a fixed horizon.
+///
+/// Pre-sampling the events (rather than drawing them inside the policy loop)
+/// lets several policies be compared on the *identical* event sequence,
+/// removing one source of variance from A/B comparisons — all of the paper's
+/// figure benches do this.
+///
+/// Following the paper's convention, an implicit event occurs at slot 0 (it
+/// anchors the first gap) but is not counted in [`EventSchedule::count`].
+///
+/// # Example
+///
+/// ```
+/// use evcap_dist::SlotPmf;
+/// use evcap_sim::EventSchedule;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pmf = SlotPmf::from_pmf(vec![0.5, 0.5])?;
+/// let schedule = EventSchedule::generate(&pmf, 1_000, 42)?;
+/// // Gaps of 1 or 2 ⇒ between 500 and 1000 events.
+/// assert!(schedule.count() >= 500 && schedule.count() <= 1_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSchedule {
+    /// Sorted slots (1-based) at which events occur.
+    event_slots: Vec<u64>,
+    slots: u64,
+}
+
+impl EventSchedule {
+    /// Samples a schedule of `slots` slots from the inter-arrival pmf, using
+    /// a dedicated RNG stream seeded by `seed`. The process is anchored on
+    /// an event at slot 0 (the paper's convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler-construction failures as [`SimError::Dist`].
+    pub fn generate(pmf: &SlotPmf, slots: u64, seed: u64) -> Result<Self> {
+        Self::generate_inner(pmf, slots, seed, false)
+    }
+
+    /// Samples a schedule with the renewal process started **in
+    /// equilibrium**: the wait to the first event is drawn from the limiting
+    /// forward-recurrence law `P(Ψ = k) = (1 − F(k−1))/μ` instead of the
+    /// full gap distribution. This removes the slot-0 anchoring transient,
+    /// which matters for short horizons or strongly periodic processes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler-construction failures as [`SimError::Dist`].
+    pub fn generate_stationary(pmf: &SlotPmf, slots: u64, seed: u64) -> Result<Self> {
+        Self::generate_inner(pmf, slots, seed, true)
+    }
+
+    fn generate_inner(pmf: &SlotPmf, slots: u64, seed: u64, stationary: bool) -> Result<Self> {
+        if slots == 0 {
+            return Err(SimError::ZeroSlots);
+        }
+        let sampler = SlotSampler::new(pmf)?;
+        // Decorrelate from the decision RNG: schedules get their own stream.
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE57);
+        let mut event_slots = Vec::with_capacity((slots as f64 / pmf.mean()) as usize + 16);
+        let mut t: u64 = if stationary {
+            sample_equilibrium_wait(pmf, &mut rng)? as u64
+        } else {
+            sampler.sample(&mut rng) as u64
+        };
+        while t <= slots {
+            event_slots.push(t);
+            t += sampler.sample(&mut rng) as u64;
+        }
+        Ok(Self { event_slots, slots })
+    }
+
+    /// Builds a schedule from explicit event slots (must be strictly
+    /// increasing, 1-based, and within `slots`). Useful for deterministic
+    /// tests and traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slots are not strictly increasing, contain 0, or exceed
+    /// `slots`.
+    pub fn from_slots(event_slots: Vec<u64>, slots: u64) -> Self {
+        let mut prev = 0;
+        for &s in &event_slots {
+            assert!(s > prev, "event slots must be strictly increasing and 1-based");
+            assert!(s <= slots, "event slot {s} exceeds horizon {slots}");
+            prev = s;
+        }
+        Self { event_slots, slots }
+    }
+
+    /// Number of events in the schedule.
+    pub fn count(&self) -> u64 {
+        self.event_slots.len() as u64
+    }
+
+    /// The horizon this schedule covers.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// The sorted event slots.
+    pub fn event_slots(&self) -> &[u64] {
+        &self.event_slots
+    }
+
+    /// A cursor for O(1) per-slot queries while scanning forward in time.
+    pub fn cursor(&self) -> EventCursor<'_> {
+        EventCursor {
+            schedule: self,
+            next: 0,
+        }
+    }
+
+    /// The empirical mean gap, for sanity checks against the pmf mean.
+    pub fn empirical_mean_gap(&self) -> Option<f64> {
+        let last = *self.event_slots.last()?;
+        Some(last as f64 / self.event_slots.len() as f64)
+    }
+}
+
+/// Draws the equilibrium forward-recurrence wait `Ψ`:
+/// `P(Ψ = k) = (1 − F(k−1))/μ` over the stored head, with the geometric
+/// tail's contribution (`Σ_{j≥H} (1−F(j)) = tail_mass/h`) handled
+/// analytically.
+fn sample_equilibrium_wait(pmf: &SlotPmf, rng: &mut SmallRng) -> Result<usize> {
+    use evcap_dist::AliasTable;
+    let h = pmf.horizon();
+    // Weight for Ψ = k (k = 1..=H) is survival(k−1); one extra bucket
+    // carries the entire tail Σ_{k>H} survival(k−1) = tail_mass / hazard.
+    let mut weights: Vec<f64> = (1..=h).map(|k| pmf.survival(k - 1)).collect();
+    let tail_bucket = if pmf.tail_mass() > 0.0 {
+        weights.push(pmf.tail_mass() / pmf.tail_hazard());
+        true
+    } else {
+        false
+    };
+    let table = AliasTable::new(&weights)?;
+    let idx = table.sample(rng);
+    if tail_bucket && idx == h {
+        // Conditional on the tail, Ψ − H is geometric with the tail hazard.
+        use rand::Rng as _;
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let extra = (u.ln() / (1.0 - pmf.tail_hazard()).ln()).ceil().max(1.0);
+        Ok(h + extra.min(1e15) as usize)
+    } else {
+        Ok(idx + 1)
+    }
+}
+
+/// Forward-scanning cursor over an [`EventSchedule`].
+#[derive(Debug, Clone)]
+pub struct EventCursor<'a> {
+    schedule: &'a EventSchedule,
+    next: usize,
+}
+
+impl EventCursor<'_> {
+    /// Returns whether an event occurs in `slot`, which must be queried in
+    /// non-decreasing order.
+    pub fn occurs(&mut self, slot: u64) -> bool {
+        while self.next < self.schedule.event_slots.len()
+            && self.schedule.event_slots[self.next] < slot
+        {
+            self.next += 1;
+        }
+        self.next < self.schedule.event_slots.len()
+            && self.schedule.event_slots[self.next] == slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_dist::{Discretizer, Weibull};
+
+    #[test]
+    fn empirical_gap_matches_pmf_mean() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let schedule = EventSchedule::generate(&pmf, 1_000_000, 1).unwrap();
+        let mean = schedule.empirical_mean_gap().unwrap();
+        assert!((mean - pmf.mean()).abs() < 0.5, "{mean} vs {}", pmf.mean());
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let a = EventSchedule::generate(&pmf, 10_000, 1).unwrap();
+        let b = EventSchedule::generate(&pmf, 10_000, 2).unwrap();
+        assert_ne!(a.event_slots(), b.event_slots());
+        // Same seed reproduces exactly.
+        let a2 = EventSchedule::generate(&pmf, 10_000, 1).unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn cursor_matches_slots() {
+        let schedule = EventSchedule::from_slots(vec![3, 5, 9], 10);
+        let mut cursor = schedule.cursor();
+        let hits: Vec<u64> = (1..=10).filter(|&t| cursor.occurs(t)).collect();
+        assert_eq!(hits, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn stationary_start_breaks_phase_lock() {
+        // Deterministic gaps of 10: anchored schedules always fire at
+        // multiples of 10; equilibrium-started ones are uniformly phased.
+        let pmf = evcap_dist::SlotPmf::from_pmf(
+            (0..10).map(|i| if i == 9 { 1.0 } else { 0.0 }).collect(),
+        )
+        .unwrap();
+        let anchored = EventSchedule::generate(&pmf, 100, 3).unwrap();
+        assert!(anchored.event_slots().iter().all(|s| s % 10 == 0));
+        let mut phases = std::collections::BTreeSet::new();
+        for seed in 0..60 {
+            let s = EventSchedule::generate_stationary(&pmf, 100, seed).unwrap();
+            phases.insert(s.event_slots()[0] % 10);
+        }
+        assert!(phases.len() >= 8, "phases observed: {phases:?}");
+    }
+
+    #[test]
+    fn stationary_rate_matches_mean() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let schedule = EventSchedule::generate_stationary(&pmf, 500_000, 5).unwrap();
+        let rate = schedule.count() as f64 / 500_000.0;
+        assert!((rate - 1.0 / pmf.mean()).abs() < 0.001, "{rate}");
+    }
+
+    #[test]
+    fn stationary_start_with_geometric_tail() {
+        // Markov-style pmf whose equilibrium wait must account for the tail.
+        let pmf =
+            evcap_dist::SlotPmf::with_tail(vec![0.4], 0.6, 0.2, "tailed".into()).unwrap();
+        let schedule = EventSchedule::generate_stationary(&pmf, 200_000, 7).unwrap();
+        let rate = schedule.count() as f64 / 200_000.0;
+        assert!((rate - 1.0 / pmf.mean()).abs() < 0.005, "{rate}");
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        let pmf = evcap_dist::SlotPmf::from_pmf(vec![1.0]).unwrap();
+        assert!(matches!(
+            EventSchedule::generate(&pmf, 0, 1),
+            Err(SimError::ZeroSlots)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_slots_rejects_disorder() {
+        EventSchedule::from_slots(vec![5, 3], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds horizon")]
+    fn from_slots_rejects_out_of_range() {
+        EventSchedule::from_slots(vec![11], 10);
+    }
+}

@@ -1,0 +1,137 @@
+//! Replication statistics: run an experiment across seeds and summarize.
+//!
+//! A single `10^6`-slot run already averages ~28 000 events, but A/B
+//! comparisons near crossover points need honest error bars. [`replicate`]
+//! runs a closure once per seed and [`Summary`] reports the mean, sample
+//! standard deviation, and a normal-approximation confidence interval.
+
+/// Summary statistics of a replicated measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of replications.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n−1` denominator; 0 for a
+    /// single replication).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes a summary from raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "need at least one replication");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std_dev = if n > 1 {
+            let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Self { n, mean, std_dev }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev / (self.n as f64).sqrt()
+    }
+
+    /// A symmetric normal-approximation confidence half-width at the given
+    /// z-score (1.96 ≈ 95%, 2.58 ≈ 99%).
+    pub fn half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+
+    /// The 95% confidence interval `(lo, hi)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let hw = self.half_width(1.96);
+        (self.mean - hw, self.mean + hw)
+    }
+
+    /// Whether this summary's 95% interval is entirely above `other`'s —
+    /// the one-line "A beats B significantly" check used by tests.
+    pub fn significantly_above(&self, other: &Summary) -> bool {
+        self.ci95().0 > other.ci95().1
+    }
+}
+
+/// Runs `experiment(seed)` for `replications` seeds derived from
+/// `base_seed` and summarizes the results.
+///
+/// # Panics
+///
+/// Panics if `replications == 0`.
+pub fn replicate(
+    base_seed: u64,
+    replications: usize,
+    mut experiment: impl FnMut(u64) -> f64,
+) -> Summary {
+    assert!(replications > 0, "need at least one replication");
+    let values: Vec<f64> = (0..replications)
+        .map(|i| experiment(base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9)))
+        .collect();
+    Summary::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_values() {
+        let s = Summary::from_values(&[0.5, 0.5, 0.5]);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95(), (0.5, 0.5));
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Sample variance = (2.25 + 0.25 + 0.25 + 2.25)/3 = 5/3.
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.std_error() - s.std_dev / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_has_zero_spread() {
+        let s = Summary::from_values(&[0.7]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_values_panic() {
+        Summary::from_values(&[]);
+    }
+
+    #[test]
+    fn replicate_uses_distinct_seeds() {
+        let mut seen = Vec::new();
+        let s = replicate(7, 5, |seed| {
+            seen.push(seed);
+            seed as f64
+        });
+        assert_eq!(s.n, 5);
+        seen.dedup();
+        assert_eq!(seen.len(), 5, "seeds must differ");
+    }
+
+    #[test]
+    fn significance_check() {
+        let high = Summary::from_values(&[0.80, 0.81, 0.79, 0.80]);
+        let low = Summary::from_values(&[0.50, 0.51, 0.49, 0.50]);
+        assert!(high.significantly_above(&low));
+        assert!(!low.significantly_above(&high));
+        // Overlapping intervals are not significant.
+        let near = Summary::from_values(&[0.78, 0.90, 0.70, 0.84]);
+        assert!(!near.significantly_above(&high) && !high.significantly_above(&near));
+    }
+}

@@ -1,0 +1,72 @@
+//! Water-distribution leak monitoring — the paper's full-information
+//! motivating scenario.
+//!
+//! Run with `cargo run --release --example water_leak_monitoring`.
+//!
+//! A leak must be captured *in the slot it starts* to limit damage, but a
+//! missed leak still leaves stains, so at the end of every slot the sensor
+//! knows whether one occurred (full information). Leaks cluster around an
+//! aging-driven timescale, modeled here as Weibull(40, 3) gaps in hours.
+//!
+//! We compare three strategies for a solar-harvesting acoustic sensor
+//! (`e = 0.4` units/hour): the Theorem-1 greedy policy, the aggressive
+//! policy, and an energy-balanced periodic schedule — all on the *same*
+//! sampled leak timeline.
+
+use evcap::core::{
+    ActivationPolicy, AggressivePolicy, EnergyBudget, GreedyPolicy, PeriodicPolicy,
+};
+use evcap::dist::{Discretizer, Weibull};
+use evcap::energy::{BernoulliRecharge, ConsumptionModel, Energy};
+use evcap::sim::{EventSchedule, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pmf = Discretizer::new().discretize(&Weibull::new(40.0, 3.0)?)?;
+    let consumption = ConsumptionModel::paper_defaults();
+    let e = 0.4;
+    let budget = EnergyBudget::per_slot(e);
+
+    let greedy = GreedyPolicy::optimize(&pmf, budget, &consumption)?;
+    let aggressive = AggressivePolicy::new();
+    let periodic = PeriodicPolicy::energy_balanced(3, budget, pmf.mean(), &consumption)?;
+
+    // One shared leak timeline: a year of hourly slots.
+    let slots = 24 * 365 * 3;
+    let schedule = EventSchedule::generate(&pmf, slots, 7)?;
+    println!(
+        "three years of hourly slots, {} leak events, mean gap {:.1} h",
+        schedule.count(),
+        pmf.mean()
+    );
+    println!("solar recharge: Bernoulli q=0.8, 0.5 units/h (e = {e})");
+    println!();
+    println!(
+        "{:<42} {:>9} {:>9} {:>8}",
+        "policy", "captured", "missed", "QoM"
+    );
+
+    let policies: [&dyn ActivationPolicy; 3] = [&greedy, &aggressive, &periodic];
+    for policy in policies {
+        let report = Simulation::builder(&pmf)
+            .slots(slots)
+            .seed(7)
+            .battery(Energy::from_units(500.0))
+            .run_on(&schedule, policy, &mut |_| {
+                Box::new(BernoulliRecharge::new(0.8, Energy::from_units(0.5)).expect("valid"))
+            })?;
+        println!(
+            "{:<42} {:>9} {:>9} {:>8.4}",
+            policy.label(),
+            report.captures,
+            report.events - report.captures,
+            report.qom()
+        );
+    }
+    println!();
+    println!(
+        "greedy ideal QoM under the energy assumption: {:.4}",
+        greedy.ideal_qom()
+    );
+    println!("→ exploiting leak-interval memory beats both memoryless baselines");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! `evcap` — dynamic activation policies for event capture with rechargeable
+//! sensors.
+//!
+//! A faithful, production-quality reproduction of *Ren, Cheng, Chen, Yau,
+//! Sun — "Dynamic Activation Policies for Event Capture with Rechargeable
+//! Sensors" (ICDCS 2012)*, organized as a workspace of focused crates and
+//! re-exported here for convenience:
+//!
+//! * [`dist`] — inter-arrival distributions (Weibull, Pareto, exponential,
+//!   Markov-derived, …) and their slotted pmfs;
+//! * [`renewal`] — discrete renewal theory and the censored age-belief
+//!   propagation behind the partial-information analysis;
+//! * [`energy`] — fixed-point energy accounting, batteries, and recharge
+//!   processes;
+//! * [`lp`] — a small simplex solver used to certify Theorem 1;
+//! * [`core`] — the activation policies: the greedy full-information optimum,
+//!   the clustering heuristic for partial information, the aggressive /
+//!   periodic / EBCW baselines, and multi-sensor coordination;
+//! * [`sim`] — the slotted simulator that plays policies against sampled
+//!   event timelines with real finite batteries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use evcap::core::{EnergyBudget, GreedyPolicy};
+//! use evcap::dist::{Discretizer, Weibull};
+//! use evcap::energy::{BernoulliRecharge, ConsumptionModel, Energy};
+//! use evcap::sim::Simulation;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Events ~ Weibull(40, 3); recharge averages e = 0.5 units/slot.
+//! let pmf = Discretizer::new().discretize(&Weibull::new(40.0, 3.0)?)?;
+//! let policy = GreedyPolicy::optimize(
+//!     &pmf,
+//!     EnergyBudget::per_slot(0.5),
+//!     &ConsumptionModel::paper_defaults(),
+//! )?;
+//!
+//! // Simulate with a K = 1000 battery and Bernoulli recharge.
+//! let report = Simulation::builder(&pmf)
+//!     .slots(200_000)
+//!     .seed(42)
+//!     .battery(Energy::from_units(1000.0))
+//!     .run(&policy, &mut |_| {
+//!         Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).expect("valid"))
+//!     })?;
+//!
+//! // The achieved QoM approaches the analytic optimum.
+//! assert!(report.qom() > policy.ideal_qom() - 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use evcap_core as core;
+pub use evcap_dist as dist;
+pub use evcap_energy as energy;
+pub use evcap_lp as lp;
+pub use evcap_renewal as renewal;
+pub use evcap_sim as sim;

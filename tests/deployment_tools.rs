@@ -1,0 +1,133 @@
+//! Integration tests of the deployment-facing tooling that extends the
+//! paper: battery provisioning, online adaptation, and fleet allocation —
+//! each validated end-to-end against the simulator.
+
+use evcap::core::{EnergyBudget, FleetAllocator, GreedyPolicy, MultiSensorPlan, PoiSpec};
+use evcap::dist::{Discretizer, Weibull};
+use evcap::energy::{BernoulliRecharge, ConsumptionModel, Energy, RechargeProcess};
+use evcap::sim::{
+    recommend_capacity, replicate, run_adaptive_greedy, AdaptiveConfig, Simulation, SizingOptions,
+};
+
+fn weibull(scale: f64) -> evcap::dist::SlotPmf {
+    Discretizer::new()
+        .discretize(&Weibull::new(scale, 3.0).unwrap())
+        .unwrap()
+}
+
+fn bernoulli(e: f64) -> impl FnMut(usize) -> Box<dyn RechargeProcess> {
+    move |_| Box::new(BernoulliRecharge::new(0.5, Energy::from_units(2.0 * e)).unwrap())
+}
+
+#[test]
+fn provisioned_battery_meets_target_in_fresh_simulations() {
+    let pmf = weibull(40.0);
+    let consumption = ConsumptionModel::paper_defaults();
+    let e = 0.5;
+    let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption).unwrap();
+    let target = 0.75;
+    let rec = recommend_capacity(
+        &pmf,
+        &policy,
+        &mut bernoulli(e),
+        target,
+        SizingOptions {
+            slots: 120_000,
+            replications: 3,
+            resolution: 2.0,
+            ..SizingOptions::default()
+        },
+    )
+    .unwrap();
+    // Validate on seeds the sizing search never saw.
+    let fresh = replicate(777, 6, |seed| {
+        Simulation::builder(&pmf)
+            .slots(120_000)
+            .seed(seed)
+            .battery(rec.capacity)
+            .run(&policy, &mut bernoulli(e))
+            .unwrap()
+            .qom()
+    });
+    assert!(
+        fresh.mean > target - 0.02,
+        "fresh-seed QoM {} below target {target} at K = {}",
+        fresh.mean,
+        rec.capacity
+    );
+}
+
+#[test]
+fn adaptation_closes_most_of_the_oracle_gap() {
+    let pmf = weibull(40.0);
+    let consumption = ConsumptionModel::paper_defaults();
+    let e = 0.5;
+    let report = run_adaptive_greedy(
+        &pmf,
+        EnergyBudget::per_slot(e),
+        &consumption,
+        &mut bernoulli(e),
+        AdaptiveConfig {
+            episodes: 4,
+            episode_slots: 60_000,
+            ..AdaptiveConfig::default()
+        },
+    )
+    .unwrap();
+    let oracle = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)
+        .unwrap()
+        .ideal_qom();
+    let gap_start = oracle - report.initial_qom();
+    let gap_end = oracle - report.final_qom();
+    assert!(gap_start > 0.15, "bootstrap should trail the oracle: {gap_start}");
+    assert!(
+        gap_end < 0.3 * gap_start,
+        "adaptation closed too little: {gap_end} of {gap_start}"
+    );
+}
+
+#[test]
+fn fleet_plan_survives_simulation() {
+    // Allocate across two unequal PoIs, then verify the simulated weighted
+    // QoM tracks the plan and beats the reversed (deliberately bad) split.
+    let consumption = ConsumptionModel::paper_defaults();
+    let per_sensor = EnergyBudget::per_slot(0.12);
+    let pois = [
+        PoiSpec { pmf: weibull(25.0), weight: 2.0 },
+        PoiSpec { pmf: weibull(55.0), weight: 0.5 },
+    ];
+    let allocator = FleetAllocator::new(per_sensor, consumption);
+    let plan = allocator.allocate(&pois, 6).unwrap();
+    assert!(plan.allocation[0] > plan.allocation[1], "{:?}", plan.allocation);
+
+    let simulate_split = |split: &[usize]| -> f64 {
+        let mut total = 0.0;
+        for (i, poi) in pois.iter().enumerate() {
+            if split[i] == 0 {
+                continue;
+            }
+            let mfi = MultiSensorPlan::m_fi(&poi.pmf, per_sensor, split[i], &consumption)
+                .unwrap();
+            let qom = Simulation::builder(&poi.pmf)
+                .slots(250_000)
+                .seed(91 + i as u64)
+                .sensors(split[i])
+                .assignment(mfi.assignment())
+                .battery(Energy::from_units(1000.0))
+                .run(mfi.policy(), &mut bernoulli(0.12))
+                .unwrap()
+                .qom();
+            total += poi.weight * qom;
+        }
+        total
+    };
+    let planned = simulate_split(&plan.allocation);
+    assert!(
+        (planned - plan.weighted_qom).abs() < 0.1,
+        "simulated {planned} vs planned {}",
+        plan.weighted_qom
+    );
+    let reversed: Vec<usize> = plan.allocation.iter().rev().copied().collect();
+    let bad = simulate_split(&reversed);
+    assert!(planned > bad + 0.05, "planned {planned} vs reversed {bad}");
+}

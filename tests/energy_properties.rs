@@ -1,0 +1,156 @@
+//! Property-based tests of the simulator's energy accounting and the core
+//! invariants of the analytic machinery.
+
+use evcap::core::{AggressivePolicy, ClusteringPolicy, EvalOptions, PeriodicPolicy};
+use evcap::dist::SlotPmf;
+use evcap::energy::{
+    BernoulliRecharge, ConstantRecharge, ConsumptionModel, Energy, PeriodicRecharge,
+    RechargeProcess,
+};
+use evcap::sim::Simulation;
+use proptest::prelude::*;
+
+/// An arbitrary small pmf over 1..=8 slots.
+fn arb_pmf() -> impl Strategy<Value = SlotPmf> {
+    proptest::collection::vec(0.01f64..1.0, 1..8).prop_map(|raw| {
+        let total: f64 = raw.iter().sum();
+        SlotPmf::from_pmf(raw.into_iter().map(|w| w / total).collect()).expect("normalized")
+    })
+}
+
+/// An arbitrary recharge process with a modest rate.
+fn arb_recharge() -> impl Strategy<Value = (u8, f64, f64)> {
+    (0u8..3, 0.05f64..1.0, 0.1f64..3.0)
+}
+
+fn build_recharge(kind: u8, q: f64, c: f64) -> Box<dyn RechargeProcess> {
+    match kind {
+        0 => Box::new(BernoulliRecharge::new(q, Energy::from_units(c)).expect("valid")),
+        1 => Box::new(
+            PeriodicRecharge::new(Energy::from_units(c), (1.0 / q).ceil() as u32).expect("valid"),
+        ),
+        _ => Box::new(ConstantRecharge::new(Energy::from_units(q * c)).expect("valid")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Energy is conserved exactly (fixed point!) for every pmf, policy,
+    /// recharge process, and battery size.
+    #[test]
+    fn conservation_and_bounds(
+        pmf in arb_pmf(),
+        (kind, q, c) in arb_recharge(),
+        capacity in 7f64..300.0,
+        seed in 0u64..1_000,
+    ) {
+        let report = Simulation::builder(&pmf)
+            .slots(5_000)
+            .seed(seed)
+            .battery(Energy::from_units(capacity))
+            .run(&AggressivePolicy::new(), &mut |_| build_recharge(kind, q, c))
+            .expect("valid simulation");
+        for s in &report.sensors {
+            prop_assert!(s.conserves_energy(), "{s:?}");
+            prop_assert!(s.final_level >= Energy::ZERO);
+            prop_assert!(s.final_level <= Energy::from_units(capacity));
+        }
+        prop_assert!(report.captures <= report.events);
+        let qom = report.qom();
+        prop_assert!((0.0..=1.0).contains(&qom));
+    }
+
+    /// The simulator never lets a sensor activate below the δ1+δ2 threshold:
+    /// consumed energy never exceeds what was available.
+    #[test]
+    fn no_overdraft(
+        pmf in arb_pmf(),
+        seed in 0u64..1_000,
+        capacity in 7f64..100.0,
+    ) {
+        let report = Simulation::builder(&pmf)
+            .slots(3_000)
+            .seed(seed)
+            .battery(Energy::from_units(capacity))
+            .run(&AggressivePolicy::new(), &mut |_| {
+                Box::new(ConstantRecharge::new(Energy::from_units(0.2)).expect("valid"))
+            })
+            .expect("valid simulation");
+        for s in &report.sensors {
+            prop_assert!(s.consumed <= s.initial_level + s.recharged);
+        }
+    }
+
+    /// The analytic clustering evaluation is a proper probability and its
+    /// discharge rate is non-negative, for arbitrary region choices.
+    #[test]
+    fn clustering_evaluation_is_proper(
+        pmf in arb_pmf(),
+        n1 in 1usize..6,
+        d2 in 0usize..5,
+        d3 in 0usize..5,
+        c1 in 0f64..=1.0,
+        c2 in 0f64..=1.0,
+    ) {
+        let policy = ClusteringPolicy::new(n1, n1 + d2, n1 + d2 + d3, c1, c2, 1.0)
+            .expect("ordered");
+        let eval = policy.evaluate(
+            &pmf,
+            &ConsumptionModel::paper_defaults(),
+            EvalOptions::default(),
+        );
+        prop_assert!((0.0..=1.0).contains(&eval.capture_probability));
+        prop_assert!(eval.discharge_rate >= 0.0);
+        prop_assert!(eval.expected_cycle >= pmf.mean() - 1e-9);
+    }
+
+    /// QoM is monotone (within noise) in the battery capacity for a fixed
+    /// policy and recharge process.
+    #[test]
+    fn bigger_battery_never_hurts_much(
+        pmf in arb_pmf(),
+        seed in 0u64..200,
+    ) {
+        let run = |k: f64| {
+            Simulation::builder(&pmf)
+                .slots(20_000)
+                .seed(seed)
+                .battery(Energy::from_units(k))
+                .run(&AggressivePolicy::new(), &mut |_| {
+                    Box::new(BernoulliRecharge::new(0.3, Energy::from_units(1.0)).expect("valid"))
+                })
+                .expect("valid simulation")
+                .qom()
+        };
+        let small = run(10.0);
+        let large = run(500.0);
+        prop_assert!(large >= small - 0.05, "K=10 → {small}, K=500 → {large}");
+    }
+
+    /// The periodic policy's empirical duty cycle equals θ1/θ2 when energy
+    /// is abundant.
+    #[test]
+    fn periodic_duty_cycle(
+        pmf in arb_pmf(),
+        theta1 in 1u64..5,
+        extra in 0u64..10,
+        seed in 0u64..100,
+    ) {
+        let theta2 = theta1 + extra;
+        let policy = PeriodicPolicy::new(theta1, theta2).expect("valid");
+        let slots = 30_000u64;
+        let report = Simulation::builder(&pmf)
+            .slots(slots)
+            .seed(seed)
+            .battery(Energy::from_units(10_000.0))
+            .initial_level(Energy::from_units(10_000.0))
+            .run(&policy, &mut |_| {
+                Box::new(ConstantRecharge::new(Energy::from_units(8.0)).expect("valid"))
+            })
+            .expect("valid simulation");
+        let duty = report.total_activations() as f64 / slots as f64;
+        let expected = theta1 as f64 / theta2 as f64;
+        prop_assert!((duty - expected).abs() < 0.01, "{duty} vs {expected}");
+    }
+}
