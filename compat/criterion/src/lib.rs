@@ -1,0 +1,293 @@
+//! Offline drop-in shim for `criterion`.
+//!
+//! The build environment cannot fetch crates, so this crate shadows
+//! `criterion` via a workspace path dependency. It implements the API
+//! surface the workspace's benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], benchmark groups, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple but
+//! honest measurement loop:
+//!
+//! * a warm-up phase (default 300 ms) to stabilise caches and branch
+//!   predictors;
+//! * a measurement phase (default 1 s) of repeated timed batches;
+//! * median / mean / min batch-normalised per-iteration times printed in a
+//!   one-line report.
+//!
+//! Environment knobs: `CRITERION_WARMUP_MS`, `CRITERION_MEASURE_MS` (both
+//! integer milliseconds) shorten or lengthen runs, e.g. for CI smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (shim: only influences nothing; all batch
+/// sizes run one setup per measured routine call, which matches
+/// `PerIteration` semantics and is conservative for the others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One fresh input per iteration.
+    PerIteration,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// One measured sample: `iters` iterations took `elapsed`.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Sample {
+    fn per_iter_ns(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// The benchmark timer handed to the routine closure.
+pub struct Bencher {
+    samples: Vec<Sample>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Self {
+            samples: Vec::new(),
+            warmup,
+            measure,
+        }
+    }
+
+    /// Benchmarks `routine` by calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates a batch size targeting ~10 ms per sample.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warmup || calls == 0 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / calls as f64;
+        let batch = ((10_000_000.0 / per_call.max(1.0)) as u64).max(1);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(Sample {
+                iters: batch,
+                elapsed: t0.elapsed(),
+            });
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warmup || calls == 0 {
+            let input = setup();
+            black_box(routine(input));
+            calls += 1;
+        }
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(Sample {
+                iters: 1,
+                elapsed: t0.elapsed(),
+            });
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self.samples.iter().map(Sample::per_iter_ns).collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter[0];
+        let total_iters: u64 = self.samples.iter().map(|s| s.iters).sum();
+        println!(
+            "{id:<44} median {} mean {} min {}  ({} iters, {} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            total_iters,
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    group_prefix: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: env_ms("CRITERION_WARMUP_MS", 300),
+            measure: env_ms("CRITERION_MEASURE_MS", 1_000),
+            group_prefix: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = match &self.group_prefix {
+            Some(prefix) => format!("{prefix}/{}", id.into()),
+            None => id.into(),
+        };
+        let mut bencher = Bencher::new(self.warmup, self.measure);
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    /// Opens a named benchmark group (ids are prefixed `group/id`).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let previous = self.criterion.group_prefix.replace(self.name.clone());
+        self.criterion.bench_function(id, f);
+        self.criterion.group_prefix = previous;
+        self
+    }
+
+    /// Closes the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares a `main` that runs benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            group_prefix: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = tiny();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = tiny();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2.5e9).contains("s"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline drop-in shim for `proptest`.
+//!
+//! The build environment cannot fetch crates, so this crate shadows
+//! `proptest` via a workspace path dependency. It keeps the same *testing
+//! semantics* — each property runs against many pseudo-random inputs — but
+//! intentionally simplifies the machinery:
+//!
+//! * inputs are drawn from a deterministic per-test RNG (seeded from the
+//!   test's name), so failures reproduce on re-run;
+//! * there is **no shrinking**: a failing case panics with the case index
+//!   so it can be replayed;
+//! * `*.proptest-regressions` files are ignored.
+
+// The doc example on `proptest!` necessarily shows `#[test]` inside the
+// macro invocation — that is the macro's real calling convention, and the
+// attribute is consumed by the macro, not by the doctest harness.
+#![allow(clippy::test_attr_in_doctest)]
+//!
+//! Supported surface (what the workspace's property tests use): the
+//! [`proptest!`] macro with optional `#![proptest_config(...)]`, range and
+//! tuple strategies, [`collection::vec`], `prop_map`, [`prop_oneof!`],
+//! [`prop_assert!`]/[`prop_assert_eq!`], [`Just`], and
+//! [`ProptestConfig::with_cases`].
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Everything a property test module typically imports.
+pub mod prelude {
+    /// Upstream re-exports `prop` as the root-ish namespace alias.
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// FNV-1a hash of a test name — the per-test base seed.
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shim's test RNG (deterministic per test name and case index).
+#[doc(hidden)]
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Declares property tests.
+///
+/// The `#[test]` attribute below is consumed by the macro itself (as in
+/// real proptest), so the usual "test attr in doctest" concern does not
+/// apply; the example is still compile-checked.
+///
+/// ```
+/// use proptest::prelude::*;
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::__run_cases(stringify!($name), config.cases, |__rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Drives one property over `cases` deterministic random inputs.
+#[doc(hidden)]
+pub fn __run_cases(name: &str, cases: u32, mut case: impl FnMut(&mut TestRng)) {
+    use rand::SeedableRng;
+    let base = __seed_for(name);
+    for i in 0..u64::from(cases) {
+        let mut rng = TestRng::seed_from_u64(base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = caught {
+            eprintln!("proptest shim: property `{name}` failed on case {i}/{cases} (deterministic; re-run reproduces)");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..9.5, n in 3u64..17, k in 0usize..4) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..17).contains(&n));
+            prop_assert!(k < 4);
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_ranges(
+            v in collection::vec(0.25f64..0.75, 2..6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for &x in &v {
+                prop_assert!((0.25..0.75).contains(&x));
+            }
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u32..10, 0u32..10),
+            doubled in (1i64..50).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!((2..100).contains(&doubled));
+        }
+
+        #[test]
+        fn oneof_picks_every_arm_eventually(
+            tag in prop_oneof![
+                (0u8..1).prop_map(|_| "low"),
+                (0u8..1).prop_map(|_| "high"),
+            ],
+        ) {
+            prop_assert!(tag == "low" || tag == "high");
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(crate::__seed_for("abc"), crate::__seed_for("abc"));
+        assert_ne!(crate::__seed_for("abc"), crate::__seed_for("abd"));
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        use rand::SeedableRng;
+        let union = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[union.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

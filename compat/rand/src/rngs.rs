@@ -1,0 +1,60 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, seedable generator — xoshiro256++.
+///
+/// Upstream `rand` documents `SmallRng` as "a small-state, fast,
+/// non-cryptographic PRNG" with an unspecified algorithm, so xoshiro256++
+/// (upstream's actual choice on 64-bit targets) is a conforming
+/// implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // xoshiro's state must not be all zero; SplitMix-expand in that case.
+        if s == [0; 4] {
+            let mut sm = 0xDEAD_BEEF_CAFE_F00Du64;
+            for slot in &mut s {
+                *slot = crate::splitmix64(&mut sm);
+            }
+        }
+        Self { s }
+    }
+}
+
+/// A "strong" generator alias; upstream's `StdRng` is a different algorithm,
+/// but nothing in this workspace depends on its stream.
+pub type StdRng = SmallRng;

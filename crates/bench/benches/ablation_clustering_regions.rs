@@ -1,7 +1,12 @@
 //! Regenerates the paper's clustering region ablation at full scale. Run: `cargo bench --bench ablation_clustering_regions`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::ablation_clustering_regions(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("ablation_clustering_regions", || {
+            runners::ablation_clustering_regions(Scale::paper())
+        })
+    );
 }

@@ -1,9 +1,19 @@
 //! Regenerates the coordination and outage-robustness ablations (beyond the
 //! paper). Run: `cargo bench --bench ablation_coordination`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::ablation_coordination(Scale::paper()));
-    println!("{}", runners::ablation_outage_robustness(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("ablation_coordination", || runners::ablation_coordination(
+            Scale::paper()
+        ))
+    );
+    println!(
+        "{}",
+        perf::with_throughput("ablation_outage_robustness", || {
+            runners::ablation_outage_robustness(Scale::paper())
+        })
+    );
 }

@@ -1,7 +1,12 @@
 //! Regenerates the paper's M-FI load-balance ablation at full scale. Run: `cargo bench --bench ablation_load_balance`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::ablation_load_balance(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("ablation_load_balance", || runners::ablation_load_balance(
+            Scale::paper()
+        ))
+    );
 }

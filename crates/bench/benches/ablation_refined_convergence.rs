@@ -1,9 +1,19 @@
 //! Regenerates the refined-policy convergence ablation (beyond the paper).
 //! Run: `cargo bench --bench ablation_refined_convergence`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::ablation_refined_convergence(Scale::paper()));
-    println!("{}", runners::ablation_refined_weibull40(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("ablation_refined_convergence", || {
+            runners::ablation_refined_convergence(Scale::paper())
+        })
+    );
+    println!(
+        "{}",
+        perf::with_throughput("ablation_refined_weibull40", || {
+            runners::ablation_refined_weibull40(Scale::paper())
+        })
+    );
 }

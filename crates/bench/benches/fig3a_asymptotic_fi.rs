@@ -1,7 +1,10 @@
 //! Regenerates the paper's Fig. 3(a) at full scale. Run: `cargo bench --bench fig3a_asymptotic_fi`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::fig3a(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("fig3a", || runners::fig3a(Scale::paper()))
+    );
 }

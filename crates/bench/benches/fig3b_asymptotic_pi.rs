@@ -1,7 +1,10 @@
 //! Regenerates the paper's Fig. 3(b) at full scale. Run: `cargo bench --bench fig3b_asymptotic_pi`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::fig3b(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("fig3b", || runners::fig3b(Scale::paper()))
+    );
 }

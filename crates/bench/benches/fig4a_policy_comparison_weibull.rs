@@ -1,7 +1,10 @@
 //! Regenerates the paper's Fig. 4(a) at full scale. Run: `cargo bench --bench fig4a_policy_comparison_weibull`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::fig4a(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("fig4a", || runners::fig4a(Scale::paper()))
+    );
 }

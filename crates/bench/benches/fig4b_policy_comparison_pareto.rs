@@ -1,7 +1,10 @@
 //! Regenerates the paper's Fig. 4(b) at full scale. Run: `cargo bench --bench fig4b_policy_comparison_pareto`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::fig4b(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("fig4b", || runners::fig4b(Scale::paper()))
+    );
 }

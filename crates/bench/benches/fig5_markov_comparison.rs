@@ -1,10 +1,22 @@
 //! Regenerates both panels of the paper's Fig. 5 at full scale.
 //! Run: `cargo bench --bench fig5_markov_comparison`.
 
-use evcap_bench::{runners, Scale};
 use evcap_bench::runners::Fig5Panel;
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::fig5(Scale::paper(), Fig5Panel::LowB));
-    println!("{}", runners::fig5(Scale::paper(), Fig5Panel::HighB));
+    println!(
+        "{}",
+        perf::with_throughput("fig5_low_b", || runners::fig5(
+            Scale::paper(),
+            Fig5Panel::LowB
+        ))
+    );
+    println!(
+        "{}",
+        perf::with_throughput("fig5_high_b", || runners::fig5(
+            Scale::paper(),
+            Fig5Panel::HighB
+        ))
+    );
 }

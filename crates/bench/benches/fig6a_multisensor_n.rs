@@ -1,7 +1,10 @@
 //! Regenerates the paper's Fig. 6(a) at full scale. Run: `cargo bench --bench fig6a_multisensor_n`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::fig6a(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("fig6a", || runners::fig6a(Scale::paper()))
+    );
 }

@@ -1,7 +1,10 @@
 //! Regenerates the paper's Fig. 6(b) at full scale. Run: `cargo bench --bench fig6b_multisensor_c`.
 
-use evcap_bench::{runners, Scale};
+use evcap_bench::{perf, runners, Scale};
 
 fn main() {
-    println!("{}", runners::fig6b(Scale::paper()));
+    println!(
+        "{}",
+        perf::with_throughput("fig6b", || runners::fig6b(Scale::paper()))
+    );
 }

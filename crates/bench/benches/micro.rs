@@ -6,12 +6,12 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use evcap_core::{
-    AggressivePolicy, ClusteringPolicy, EnergyBudget, EvalOptions, ExhaustiveSearch,
-    GreedyPolicy,
+    AggressivePolicy, ClusteringPolicy, EnergyBudget, EvalOptions, ExhaustiveSearch, GreedyPolicy,
 };
-use evcap_lp::{Problem, Relation};
 use evcap_dist::{Discretizer, SlotPmf, SlotSampler, Weibull};
 use evcap_energy::{BernoulliRecharge, ConsumptionModel, Energy};
+use evcap_lp::{Problem, Relation};
+use evcap_obs::{ObsConfig, ObsSuite};
 use evcap_renewal::AgeBeliefDp;
 use evcap_sim::Simulation;
 use rand::rngs::SmallRng;
@@ -27,9 +27,7 @@ fn bench_greedy_optimize(c: &mut Criterion) {
     let pmf = weibull_pmf();
     let consumption = ConsumptionModel::paper_defaults();
     c.bench_function("greedy_optimize_weibull", |b| {
-        b.iter(|| {
-            GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption).unwrap()
-        })
+        b.iter(|| GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption).unwrap())
     });
 }
 
@@ -59,6 +57,29 @@ fn bench_simulator_throughput(c: &mut Criterion) {
                 .run(&AggressivePolicy::new(), &mut |_| {
                     Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).unwrap())
                 })
+                .unwrap()
+        })
+    });
+}
+
+fn bench_simulator_throughput_observed(c: &mut Criterion) {
+    // The same run with a full ObsSuite attached: the gap to the plain
+    // benchmark above is the price of the instrumentation layer (the plain
+    // run goes through NullObserver, whose hooks inline to nothing).
+    let pmf = weibull_pmf();
+    c.bench_function("simulate_100k_slots_obs_suite", |b| {
+        b.iter(|| {
+            let mut suite = ObsSuite::new(ObsConfig::default());
+            Simulation::builder(&pmf)
+                .slots(100_000)
+                .seed(1)
+                .run_observed(
+                    &AggressivePolicy::new(),
+                    &mut |_| {
+                        Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).unwrap())
+                    },
+                    &mut suite,
+                )
                 .unwrap()
         })
     });
@@ -133,6 +154,7 @@ criterion_group!(
     bench_clustering_evaluate,
     bench_belief_dp,
     bench_simulator_throughput,
+    bench_simulator_throughput_observed,
     bench_slot_sampler,
     bench_lp_solve,
     bench_exhaustive_window_scaling

@@ -8,9 +8,11 @@
 
 pub mod figure;
 pub mod parallel;
+pub mod perf;
 pub mod runners;
 pub mod setup;
 pub mod svg;
 
 pub use figure::{Figure, Series};
+pub use perf::Throughput;
 pub use setup::Scale;

@@ -1,0 +1,176 @@
+//! Slots/sec throughput recording for the figure runners.
+//!
+//! The simulation engine already instruments itself through `evcap-obs`
+//! (the `sim.run` span and the `sim.slots` counter), so the bench harness
+//! does not time anything by hand: it enables the global timing registry
+//! around a runner, drains the registry afterwards, and derives throughput
+//! from what the engine reported. Because spans aggregate across threads,
+//! `sim.run` total time is *CPU-seconds of simulation*, not wall time — the
+//! derived rate is per-core throughput and is stable under `parallel_map`
+//! fan-out.
+//!
+//! Reports go to stderr (stdout carries the figure tables, which tests
+//! scrape) and, when `EVCAP_PERF_LOG` names a file, are appended to it as
+//! JSONL `throughput` records compatible with `evcap trace`.
+
+use std::time::Instant;
+
+use evcap_obs::{timing, JsonObject, JsonlSink};
+
+/// Throughput of one runner invocation, as reported by the engine's own
+/// instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Total slots simulated (the `sim.slots` counter).
+    pub slots: u64,
+    /// CPU-seconds spent inside the engine loop (the `sim.run` span,
+    /// summed across simulations and threads).
+    pub sim_seconds: f64,
+    /// Wall-clock seconds of the whole runner, including optimization.
+    pub wall_seconds: f64,
+    /// Number of simulation runs (the `sim.run` call count).
+    pub runs: u64,
+}
+
+impl Throughput {
+    /// Per-core engine throughput in slots per second.
+    pub fn slots_per_second(&self) -> f64 {
+        if self.sim_seconds > 0.0 {
+            self.slots as f64 / self.sim_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The JSONL record appended to `EVCAP_PERF_LOG`.
+    pub fn record(&self, label: &str) -> JsonObject {
+        let mut obj = JsonObject::with_type("throughput");
+        obj.field_str("label", label);
+        obj.field_u64("slots", self.slots);
+        obj.field_u64("runs", self.runs);
+        obj.field_f64("sim_seconds", self.sim_seconds);
+        obj.field_f64("wall_seconds", self.wall_seconds);
+        obj.field_f64("slots_per_second", self.slots_per_second());
+        obj
+    }
+}
+
+/// Runs `f` with the observability timing registry enabled and returns its
+/// result together with the engine-reported throughput.
+///
+/// The registry is global: the caller should not nest `measured` calls, and
+/// concurrent simulations all fold into the same totals (by design — see
+/// the module docs). Returns `None` for the throughput if `f` never entered
+/// the engine.
+pub fn measured<R>(f: impl FnOnce() -> R) -> (R, Option<Throughput>) {
+    timing::set_enabled(true);
+    timing::reset();
+    let wall = Instant::now();
+    let result = f();
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    let spans = timing::drain_spans();
+    let counters = timing::drain_counters();
+    let run_span = spans.iter().find(|(name, _)| *name == "sim.run");
+    let slots = counters
+        .iter()
+        .find(|(name, _)| *name == "sim.slots")
+        .map_or(0, |&(_, n)| n);
+    let throughput = run_span.map(|(_, stats)| Throughput {
+        slots,
+        sim_seconds: stats.total_ns as f64 / 1e9,
+        wall_seconds,
+        runs: stats.count,
+    });
+    (result, throughput)
+}
+
+/// Wraps a figure runner: measures it, prints the throughput line on
+/// stderr, appends to `EVCAP_PERF_LOG` if set, and returns the runner's
+/// output for the caller to print.
+pub fn with_throughput<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let (result, throughput) = measured(f);
+    if let Some(t) = throughput {
+        eprintln!(
+            "# perf {label}: {} slots in {} runs, sim {:.2} s, {:.2} M slots/sec/core, wall {:.2} s",
+            t.slots,
+            t.runs,
+            t.sim_seconds,
+            t.slots_per_second() / 1e6,
+            t.wall_seconds,
+        );
+        if let Ok(path) = std::env::var("EVCAP_PERF_LOG") {
+            if let Err(err) = append_record(&path, t.record(label)) {
+                eprintln!("# perf {label}: cannot append to {path}: {err}");
+            }
+        }
+    } else {
+        eprintln!("# perf {label}: no simulation ran, wall only");
+    }
+    result
+}
+
+fn append_record(path: &str, record: JsonObject) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+    sink.write(record)?;
+    sink.finish().map(drop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{weibull_pmf, Scale};
+    use evcap_core::AggressivePolicy;
+    use evcap_energy::{BernoulliRecharge, Energy};
+    use evcap_sim::Simulation;
+
+    fn simulate(slots: u64) {
+        Simulation::builder(&weibull_pmf())
+            .slots(slots)
+            .seed(Scale::quick().seed)
+            .run(&AggressivePolicy::new(), &mut |_| {
+                Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).expect("static"))
+            })
+            .expect("valid simulation");
+    }
+
+    #[test]
+    fn measured_reports_engine_counters() {
+        let ((), t) = measured(|| simulate(10_000));
+        let t = t.expect("one simulation ran");
+        assert_eq!(t.slots, 10_000);
+        assert_eq!(t.runs, 1);
+        assert!(t.sim_seconds > 0.0);
+        assert!(t.wall_seconds >= t.sim_seconds * 0.5, "wall covers the run");
+        assert!(t.slots_per_second() > 0.0);
+    }
+
+    #[test]
+    fn measured_without_simulation_is_none() {
+        let (value, t) = measured(|| 7);
+        assert_eq!(value, 7);
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn record_round_trips_through_the_parser() {
+        let ((), t) = measured(|| simulate(5_000));
+        let line = t.expect("ran").record("unit-test").finish();
+        let value = evcap_obs::parse_line(&line).expect("valid JSON");
+        assert_eq!(
+            value.get("type").and_then(evcap_obs::JsonValue::as_str),
+            Some("throughput")
+        );
+        assert_eq!(
+            value.get("slots").and_then(evcap_obs::JsonValue::as_f64),
+            Some(5_000.0)
+        );
+        assert!(value
+            .get("slots_per_second")
+            .and_then(evcap_obs::JsonValue::as_f64)
+            .is_some_and(|rate| rate > 0.0));
+    }
+}

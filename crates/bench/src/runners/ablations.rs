@@ -1,7 +1,9 @@
 //! Ablations beyond the paper, probing the design choices DESIGN.md calls
 //! out.
 
-use evcap_core::{ClusteringOptimizer, ClusteringPolicy, EnergyBudget, MultiSensorPlan, SlotAssignment};
+use evcap_core::{
+    ClusteringOptimizer, ClusteringPolicy, EnergyBudget, MultiSensorPlan, SlotAssignment,
+};
 use evcap_sim::EventSchedule;
 
 use crate::figure::{Figure, Series};
@@ -21,8 +23,7 @@ use crate::setup::{consumption, simulate_qom, weibull_pmf, Scale};
 pub fn ablation_clustering_regions(scale: Scale) -> Figure {
     let pmf = weibull_pmf();
     let consumption = consumption();
-    let schedule =
-        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let schedule = EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
     let q = 0.5;
     let capacity = 1000.0;
     let mut full = Series::new("full");
@@ -79,8 +80,7 @@ pub fn ablation_clustering_regions(scale: Scale) -> Figure {
 pub fn ablation_load_balance(scale: Scale) -> Figure {
     let pmf = weibull_pmf();
     let consumption = consumption();
-    let schedule =
-        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let schedule = EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
     let q = 0.1;
     let c = 1.0;
     let mut balance = Series::new("min/max");
@@ -96,11 +96,8 @@ pub fn ablation_load_balance(scale: Scale) -> Figure {
             .battery(evcap_energy::Energy::from_units(1000.0))
             .run_on(&schedule, plan.policy(), &mut |_| {
                 Box::new(
-                    evcap_energy::BernoulliRecharge::new(
-                        q,
-                        evcap_energy::Energy::from_units(c),
-                    )
-                    .expect("valid"),
+                    evcap_energy::BernoulliRecharge::new(q, evcap_energy::Energy::from_units(c))
+                        .expect("valid"),
                 )
             })
             .expect("valid simulation");

@@ -23,8 +23,7 @@ const CAPACITY: f64 = 1000.0;
 pub fn ablation_coordination(scale: Scale) -> Figure {
     let pmf = weibull_pmf();
     let consumption = consumption();
-    let schedule =
-        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let schedule = EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
     let mut coordinated = Series::new("coordinated");
     let mut independent = Series::new("independent");
     for n in [1usize, 2, 4, 6, 8] {
@@ -77,8 +76,7 @@ pub fn ablation_coordination(scale: Scale) -> Figure {
 pub fn ablation_outage_robustness(scale: Scale) -> Figure {
     let pmf = weibull_pmf();
     let consumption = consumption();
-    let schedule =
-        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let schedule = EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
     let n = 5usize;
     let plan = MultiSensorPlan::m_fi(&pmf, EnergyBudget::per_slot(Q * C), n, &consumption)
         .expect("valid setup");

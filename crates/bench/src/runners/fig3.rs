@@ -20,10 +20,15 @@ fn capacities() -> Vec<f64> {
     vec![8.0, 15.0, 25.0, 40.0, 70.0, 100.0, 150.0, 200.0]
 }
 
-fn run(scale: Scale, policy: &dyn ActivationPolicy, upper_bound: f64, id: &str, title: &str) -> Figure {
+fn run(
+    scale: Scale,
+    policy: &dyn ActivationPolicy,
+    upper_bound: f64,
+    id: &str,
+    title: &str,
+) -> Figure {
     let pmf = weibull_pmf();
-    let schedule =
-        EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+    let schedule = EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
     let mut fig = Figure::new(id, title, "K");
     for (name, make) in fig3_recharges() {
         let mut series = Series::new(name);

@@ -20,7 +20,14 @@ use crate::setup::{consumption, pareto_pmf, simulate_qom, weibull_pmf, Scale};
 const Q: f64 = 0.5;
 const CAPACITY: f64 = 1000.0;
 
-fn run(scale: Scale, pmf: &SlotPmf, cs: &[f64], opts: EvalOptions, id: &str, title: &str) -> Figure {
+fn run(
+    scale: Scale,
+    pmf: &SlotPmf,
+    cs: &[f64],
+    opts: EvalOptions,
+    id: &str,
+    title: &str,
+) -> Figure {
     let consumption = consumption();
     let schedule = EventSchedule::generate(pmf, scale.slots, scale.seed).expect("valid schedule");
     let rows = parallel_map(cs.to_vec(), |c| {

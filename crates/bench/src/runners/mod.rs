@@ -10,8 +10,8 @@ mod refined;
 
 pub use ablations::{ablation_clustering_regions, ablation_load_balance};
 pub use coordination::{ablation_coordination, ablation_outage_robustness};
-pub use refined::{ablation_refined_convergence, ablation_refined_weibull40};
 pub use fig3::{fig3a, fig3b};
 pub use fig4::{fig4a, fig4b};
 pub use fig5::{fig5, Fig5Panel};
 pub use fig6::{fig6a, fig6b};
+pub use refined::{ablation_refined_convergence, ablation_refined_weibull40};

@@ -39,8 +39,7 @@ pub fn ablation_refined_convergence(_scale: Scale) -> Figure {
         let (_, r3) = seed.refine(&small, budget, &consumption, opts, 3, 24);
         refined3.push(e, r3.capture_probability);
 
-        let my = MyopicPolicy::derive(&small, budget, &consumption, 24, opts)
-            .expect("feasible");
+        let my = MyopicPolicy::derive(&small, budget, &consumption, 24, opts).expect("feasible");
         myopic.push(e, my.evaluation().capture_probability);
 
         let (_, ex) = ExhaustiveSearch::new(budget, 14)
@@ -77,17 +76,10 @@ pub fn ablation_refined_weibull40(_scale: Scale) -> Figure {
             .optimize(&pmf, &consumption)
             .expect("feasible");
         clustering.push(e, coarse_eval.capture_probability);
-        let (_, r2) = RegionPolicy::from_clustering(&coarse).refine(
-            &pmf,
-            budget,
-            &consumption,
-            opts,
-            2,
-            24,
-        );
+        let (_, r2) =
+            RegionPolicy::from_clustering(&coarse).refine(&pmf, budget, &consumption, opts, 2, 24);
         refined2.push(e, r2.capture_probability);
-        let my = MyopicPolicy::derive(&pmf, budget, &consumption, 160, opts)
-            .expect("feasible");
+        let my = MyopicPolicy::derive(&pmf, budget, &consumption, 160, opts).expect("feasible");
         myopic.push(e, my.evaluation().capture_probability);
     }
     let mut fig = Figure::new(

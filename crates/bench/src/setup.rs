@@ -67,9 +67,8 @@ pub fn fig3_recharges() -> Vec<RechargeFactoryEntry> {
         (
             "Bernoulli",
             Box::new(|| {
-                Box::new(
-                    BernoulliRecharge::new(0.5, Energy::from_units(1.0)).expect("static"),
-                ) as Box<dyn RechargeProcess>
+                Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).expect("static"))
+                    as Box<dyn RechargeProcess>
             }),
         ),
         (

@@ -3,6 +3,22 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Flags that take no value (`--verbose`, not `--verbose true`). They are
+/// global: every subcommand accepts them.
+const SWITCHES: &[&str] = &["verbose", "quiet"];
+
+/// Output verbosity selected by the global `--verbose`/`--quiet` switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verbosity {
+    /// `--quiet`: suppress informational extras (summaries, notes).
+    Quiet,
+    /// The default: exactly the classic output.
+    #[default]
+    Normal,
+    /// `--verbose`: add diagnostic notes and timing detail on stderr.
+    Verbose,
+}
+
 /// A parsed command line: a subcommand plus `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
@@ -43,7 +59,10 @@ impl fmt::Display for ArgsError {
                 flag,
                 value,
                 expected,
-            } => write!(f, "flag --{flag} = `{value}` is invalid; expected {expected}"),
+            } => write!(
+                f,
+                "flag --{flag} = `{value}` is invalid; expected {expected}"
+            ),
             ArgsError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
         }
     }
@@ -64,6 +83,7 @@ impl Args {
             if let Some(flag) = token.strip_prefix("--") {
                 let (name, value) = match flag.split_once('=') {
                     Some((n, v)) => (n.to_owned(), v.to_owned()),
+                    None if SWITCHES.contains(&flag) => (flag.to_owned(), "true".to_owned()),
                     None => {
                         let value = iter
                             .next()
@@ -104,7 +124,8 @@ impl Args {
     ///
     /// Returns [`ArgsError::Required`] if absent.
     pub fn require(&self, flag: &str) -> Result<&str, ArgsError> {
-        self.get(flag).ok_or_else(|| ArgsError::Required(flag.to_owned()))
+        self.get(flag)
+            .ok_or_else(|| ArgsError::Required(flag.to_owned()))
     }
 
     /// A typed flag with a default.
@@ -128,18 +149,31 @@ impl Args {
         }
     }
 
-    /// Verifies that every supplied flag is in `allowed`.
+    /// Verifies that every supplied flag is in `allowed` (the global
+    /// verbosity switches are always accepted).
     ///
     /// # Errors
     ///
     /// Returns [`ArgsError::Unknown`] for the first unexpected flag.
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgsError> {
         for key in self.flags.keys() {
-            if !allowed.contains(&key.as_str()) {
+            if !allowed.contains(&key.as_str()) && !SWITCHES.contains(&key.as_str()) {
                 return Err(ArgsError::Unknown(key.clone()));
             }
         }
         Ok(())
+    }
+
+    /// The verbosity selected by `--verbose`/`--quiet` (quiet wins if both
+    /// are given).
+    pub fn verbosity(&self) -> Verbosity {
+        if self.get("quiet").is_some_and(|v| v != "false") {
+            Verbosity::Quiet
+        } else if self.get("verbose").is_some_and(|v| v != "false") {
+            Verbosity::Verbose
+        } else {
+            Verbosity::Normal
+        }
     }
 }
 
@@ -188,6 +222,25 @@ mod tests {
             args.expect_only(&["seed"]),
             Err(ArgsError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn switches_need_no_value() {
+        let args = parse(&["simulate", "--verbose", "--dist", "det:7"]).unwrap();
+        assert_eq!(args.get("dist"), Some("det:7"));
+        assert_eq!(args.verbosity(), Verbosity::Verbose);
+        // Switches pass expect_only without being listed.
+        args.expect_only(&["dist"]).unwrap();
+
+        let args = parse(&["simulate", "--quiet"]).unwrap();
+        assert_eq!(args.verbosity(), Verbosity::Quiet);
+        // Quiet wins over verbose; explicit =false disables a switch.
+        let args = parse(&["x", "--verbose", "--quiet"]).unwrap();
+        assert_eq!(args.verbosity(), Verbosity::Quiet);
+        let args = parse(&["x", "--verbose=false"]).unwrap();
+        assert_eq!(args.verbosity(), Verbosity::Normal);
+        let args = parse(&["x"]).unwrap();
+        assert_eq!(args.verbosity(), Verbosity::Normal);
     }
 
     #[test]

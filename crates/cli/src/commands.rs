@@ -32,7 +32,7 @@ COMMANDS:
              --dist SPEC --policy greedy|clustering|aggressive|periodic|myopic
              [--e RATE] [--recharge SPEC] [--slots N] [--seed S] [--k CAP]
              [--sensors N] [--coordination rotating|independent] [--horizon H]
-             [--format text|json]
+             [--format text|json] [--obs-out FILE.jsonl] [--obs-window N]
   provision  find the smallest battery that reaches a target QoM
              --dist SPEC --target QOM [--policy greedy|clustering]
              [--e RATE] [--recharge SPEC] [--slots N] [--max-k CAP]
@@ -41,7 +41,14 @@ COMMANDS:
   figure     regenerate a paper figure (fig3a fig3b fig4a fig4b fig5a fig5b
              fig6a fig6b) or ablation (regions load-balance refined
              coordination outage)   [--quick true] [--svg out.svg]
+  trace      summarize an observability JSONL file written by --obs-out
+             or EVCAP_PERF_LOG
+             FILE.jsonl [--kind all|counters|qom|battery|gaps|idle|spans|perf]
   help       show this message
+
+GLOBAL FLAGS:
+  --verbose  extra diagnostic notes and timing detail on stderr
+  --quiet    suppress informational extras (summary tables, notes)
 
 SPECS:
   distributions: weibull:40,3  pareto:2,10  exp:0.05  erlang:4,0.2
@@ -69,10 +76,17 @@ pub fn hazards(args: &Args) -> CmdResult {
     let max_state: usize = args.get_or("max-state", default_max, "a state count")?;
     println!("distribution : {}", pmf.label());
     println!("mean gap μ   : {:.4} slots", pmf.mean());
-    println!("horizon      : {} explicit slots (tail mass {:.3e}, tail hazard {:.4})",
-        pmf.horizon(), pmf.tail_mass(), pmf.tail_hazard());
+    println!(
+        "horizon      : {} explicit slots (tail mass {:.3e}, tail hazard {:.4})",
+        pmf.horizon(),
+        pmf.tail_mass(),
+        pmf.tail_hazard()
+    );
     println!();
-    println!("{:>6} {:>12} {:>12} {:>12}", "slot", "alpha_i", "F(i)", "beta_i");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "slot", "alpha_i", "F(i)", "beta_i"
+    );
     for i in 1..=max_state {
         println!(
             "{i:>6} {:>12.6} {:>12.6} {:>12.6}",
@@ -99,7 +113,10 @@ pub fn optimize(args: &Args) -> CmdResult {
     let consumption = consumption_from(args)?;
     let which = args.get("policy").unwrap_or("greedy");
     println!("distribution : {} (μ = {:.3})", pmf.label(), pmf.mean());
-    println!("budget       : e = {e} units/slot ({:.3} per renewal)", e * pmf.mean());
+    println!(
+        "budget       : e = {e} units/slot ({:.3} per renewal)",
+        e * pmf.mean()
+    );
     match which {
         "greedy" => {
             let policy = GreedyPolicy::optimize(&pmf, budget, &consumption)?;
@@ -126,8 +143,14 @@ pub fn optimize(args: &Args) -> CmdResult {
             let policy =
                 MyopicPolicy::derive(&pmf, budget, &consumption, window, EvalOptions::default())?;
             println!("policy       : {}", policy.label());
-            println!("ideal QoM    : {:.4}", policy.evaluation().capture_probability);
-            println!("discharge    : {:.4} units/slot", policy.evaluation().discharge_rate);
+            println!(
+                "ideal QoM    : {:.4}",
+                policy.evaluation().capture_probability
+            );
+            println!(
+                "discharge    : {:.4} units/slot",
+                policy.evaluation().discharge_rate
+            );
         }
         other => return Err(format!("unknown policy `{other}` for optimize").into()),
     }
@@ -151,6 +174,8 @@ pub fn simulate(args: &Args) -> CmdResult {
         "horizon",
         "theta1",
         "format",
+        "obs-out",
+        "obs-window",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
     let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
@@ -159,6 +184,16 @@ pub fn simulate(args: &Args) -> CmdResult {
     let k: f64 = args.get_or("k", 1000.0, "a battery capacity")?;
     let sensors: usize = args.get_or("sensors", 1, "a sensor count")?;
     let consumption = consumption_from(args)?;
+    let verbosity = args.verbosity();
+
+    // Observability: --obs-out streams JSONL records; timing spans are
+    // collected whenever records will be exported (or shown via --verbose).
+    let obs_out = args.get("obs-out");
+    let obs_window: u64 = args.get_or("obs-window", 0, "a window length in slots")?;
+    if obs_out.is_some() || verbosity == crate::args::Verbosity::Verbose {
+        evcap_obs::timing::set_enabled(true);
+        evcap_obs::timing::reset();
+    }
 
     // Recharge: explicit spec, or Bernoulli(0.5, 2e) derived from --e.
     let recharge_spec = match (args.get("recharge"), args.get("e")) {
@@ -188,9 +223,11 @@ pub fn simulate(args: &Args) -> CmdResult {
     let which = args.require("policy")?;
     let policy: Box<dyn ActivationPolicy> = match which {
         "greedy" => Box::new(GreedyPolicy::optimize(&pmf, aggregate, &consumption)?),
-        "clustering" => {
-            Box::new(ClusteringOptimizer::new(aggregate).optimize(&pmf, &consumption)?.0)
-        }
+        "clustering" => Box::new(
+            ClusteringOptimizer::new(aggregate)
+                .optimize(&pmf, &consumption)?
+                .0,
+        ),
         "aggressive" => Box::new(AggressivePolicy::new()),
         "periodic" => {
             let theta1: u64 = args.get_or("theta1", 3, "a slot count")?;
@@ -225,9 +262,32 @@ pub fn simulate(args: &Args) -> CmdResult {
         "independent" => builder = builder.independent(),
         other => return Err(format!("unknown coordination `{other}`").into()),
     }
-    let report = builder.run(policy.as_ref(), &mut |_| {
-        spec::parse_recharge(&recharge_spec).expect("validated above")
-    })?;
+    let mut make_recharge =
+        |_: usize| spec::parse_recharge(&recharge_spec).expect("validated above");
+    // Open the sink before simulating so a bad --obs-out path fails fast
+    // instead of after a possibly long run.
+    let mut obs_sink = obs_out
+        .map(|path| {
+            evcap_obs::JsonlSink::create(path)
+                .map_err(|e| format!("cannot write --obs-out {path}: {e}"))
+        })
+        .transpose()?;
+    let mut obs_suite = obs_out.map(|_| {
+        let window = if obs_window > 0 {
+            obs_window
+        } else {
+            // Default: ~100 windows across the horizon, at least 100 slots.
+            (slots / 100).max(100)
+        };
+        evcap_obs::ObsSuite::new(evcap_obs::ObsConfig {
+            qom_window: window,
+            ..evcap_obs::ObsConfig::default()
+        })
+    });
+    let report = match obs_suite.as_mut() {
+        Some(suite) => builder.run_observed(policy.as_ref(), &mut make_recharge, suite)?,
+        None => builder.run(policy.as_ref(), &mut make_recharge)?,
+    };
 
     match args.get("format").unwrap_or("text") {
         "json" => println!("{}", crate::json::sim_report(&report)),
@@ -240,12 +300,42 @@ pub fn simulate(args: &Args) -> CmdResult {
             println!("QoM          : {:.4}", report.qom());
             println!("activations  : {}", report.total_activations());
             println!("forced idle  : {}", report.total_forced_idle());
-            println!("discharge    : {:.4} units/slot (fleet)", report.discharge_rate());
+            println!(
+                "discharge    : {:.4} units/slot (fleet)",
+                report.discharge_rate()
+            );
             if sensors > 1 {
                 println!("load balance : {:.4}", report.load_balance());
             }
         }
         other => return Err(format!("unknown format `{other}` (try text, json)").into()),
+    }
+
+    if let (Some(path), Some(suite), Some(mut sink)) =
+        (obs_out, obs_suite.as_mut(), obs_sink.take())
+    {
+        suite.seal();
+        suite.export(&mut sink)?;
+        let records = sink.records();
+        sink.finish()?;
+        if verbosity != crate::args::Verbosity::Quiet {
+            println!();
+            print!("{}", suite.summary());
+            println!("wrote {records} records to {path}");
+        }
+    } else if verbosity == crate::args::Verbosity::Verbose {
+        // No export requested: surface the collected timing on stderr.
+        for (name, stats) in evcap_obs::timing::drain_spans() {
+            eprintln!(
+                "span {name}: {} calls, total {:.3} ms, mean {:.1} µs",
+                stats.count,
+                stats.total_ns as f64 / 1e6,
+                stats.mean_ns() / 1e3
+            );
+        }
+        for (name, value) in evcap_obs::timing::drain_counters() {
+            eprintln!("counter {name}: {value}");
+        }
     }
     Ok(())
 }
@@ -253,8 +343,8 @@ pub fn simulate(args: &Args) -> CmdResult {
 /// `evcap provision`
 pub fn provision(args: &Args) -> CmdResult {
     args.expect_only(&[
-        "dist", "target", "policy", "e", "recharge", "slots", "max-k", "seed", "horizon",
-        "delta1", "delta2",
+        "dist", "target", "policy", "e", "recharge", "slots", "max-k", "seed", "horizon", "delta1",
+        "delta2",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
     let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
@@ -274,9 +364,11 @@ pub fn provision(args: &Args) -> CmdResult {
     let budget = EnergyBudget::per_slot(e);
     let policy: Box<dyn ActivationPolicy> = match args.get("policy").unwrap_or("greedy") {
         "greedy" => Box::new(GreedyPolicy::optimize(&pmf, budget, &consumption)?),
-        "clustering" => {
-            Box::new(ClusteringOptimizer::new(budget).optimize(&pmf, &consumption)?.0)
-        }
+        "clustering" => Box::new(
+            ClusteringOptimizer::new(budget)
+                .optimize(&pmf, &consumption)?
+                .0,
+        ),
         other => return Err(format!("unknown policy `{other}` for provision").into()),
     };
     let opts = SizingOptions {
@@ -285,9 +377,13 @@ pub fn provision(args: &Args) -> CmdResult {
         seed: args.get_or("seed", 1, "an integer")?,
         ..SizingOptions::default()
     };
-    let rec = recommend_capacity(&pmf, policy.as_ref(), &mut |_| {
-        spec::parse_recharge(&recharge_spec).expect("validated above")
-    }, target, opts)?;
+    let rec = recommend_capacity(
+        &pmf,
+        policy.as_ref(),
+        &mut |_| spec::parse_recharge(&recharge_spec).expect("validated above"),
+        target,
+        opts,
+    )?;
     println!("policy       : {}", policy.label());
     println!("recharge     : {recharge_spec} (e = {e:.4})");
     println!("target QoM   : {target}");
@@ -304,7 +400,15 @@ pub fn provision(args: &Args) -> CmdResult {
 /// `evcap adaptive`
 pub fn adaptive(args: &Args) -> CmdResult {
     args.expect_only(&[
-        "dist", "e", "episodes", "episode-slots", "seed", "k", "horizon", "delta1", "delta2",
+        "dist",
+        "e",
+        "episodes",
+        "episode-slots",
+        "seed",
+        "k",
+        "horizon",
+        "delta1",
+        "delta2",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
     let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
@@ -335,7 +439,10 @@ pub fn adaptive(args: &Args) -> CmdResult {
         config,
     )?;
     let oracle = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)?;
-    println!("{:>8} {:>8} {:>9} {:>8}  policy", "episode", "events", "captured", "QoM");
+    println!(
+        "{:>8} {:>8} {:>9} {:>8}  policy",
+        "episode", "events", "captured", "QoM"
+    );
     for ep in &report.episodes {
         println!(
             "{:>8} {:>8} {:>9} {:>8.4}  {}",
@@ -347,7 +454,10 @@ pub fn adaptive(args: &Args) -> CmdResult {
         );
     }
     println!();
-    println!("oracle ideal QoM (true distribution known): {:.4}", oracle.ideal_qom());
+    println!(
+        "oracle ideal QoM (true distribution known): {:.4}",
+        oracle.ideal_qom()
+    );
     Ok(())
 }
 
@@ -355,7 +465,11 @@ pub fn adaptive(args: &Args) -> CmdResult {
 pub fn figure(args: &Args) -> CmdResult {
     args.expect_only(&["quick", "svg", "format"])?;
     let quick: bool = args.get_or("quick", false, "true or false")?;
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     let Some(id) = args.positional().first() else {
         return Err("pass a figure id, e.g. `evcap figure fig4a`".into());
     };
@@ -409,6 +523,168 @@ pub fn figure(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `evcap trace` — summarize an observability JSONL file.
+pub fn trace(args: &Args) -> CmdResult {
+    use evcap_obs::{parse_line, JsonValue};
+
+    args.expect_only(&["kind"])?;
+    let Some(path) = args.positional().first() else {
+        return Err("pass a JSONL file, e.g. `evcap trace run.jsonl`".into());
+    };
+    let kind = args.get("kind").unwrap_or("all");
+    let known = [
+        "all", "counters", "qom", "battery", "gaps", "idle", "spans", "perf",
+    ];
+    if !known.contains(&kind) {
+        return Err(format!("unknown kind `{kind}` (try {})", known.join(", ")).into());
+    }
+    let wants = |k: &str| kind == "all" || kind == k;
+
+    let text = std::fs::read_to_string(path)?;
+    let mut qom_rows: Vec<(u64, f64, f64)> = Vec::new();
+    let mut shown = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_line(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let rtype = record
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}:{}: record has no `type`", lineno + 1))?;
+        let f = |name: &str| record.get(name).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let u = |name: &str| f(name) as u64;
+        match rtype {
+            "run_counters" if wants("counters") => {
+                println!(
+                    "run: {} slots ({} measured)",
+                    u("slots"),
+                    u("measured_slots")
+                );
+                println!(
+                    "     {} events, {} captured, {} missed",
+                    u("events"),
+                    u("captures"),
+                    u("misses")
+                );
+                if u("outage_slots") > 0 {
+                    println!("     {} outage slots", u("outage_slots"));
+                }
+                if f("overflow_lost_units") > 0.0 {
+                    println!(
+                        "     {:.1} units lost to overflow",
+                        f("overflow_lost_units")
+                    );
+                }
+                shown += 1;
+            }
+            "qom_window" if wants("qom") => {
+                qom_rows.push((u("slot"), f("window_qom"), f("cumulative_qom")));
+                shown += 1;
+            }
+            "battery_histogram" if wants("battery") => {
+                println!(
+                    "battery: mean fill {:.4} over {} samples (every {} slots)",
+                    f("mean_fill"),
+                    u("samples"),
+                    u("period")
+                );
+                if let Some(counts) = record.get("counts").and_then(JsonValue::as_array) {
+                    let counts: Vec<f64> = counts.iter().filter_map(JsonValue::as_f64).collect();
+                    let max = counts.iter().cloned().fold(1.0, f64::max);
+                    let bins = counts.len();
+                    for (i, &c) in counts.iter().enumerate() {
+                        let bar = "#".repeat(((c / max) * 40.0).round() as usize);
+                        println!(
+                            "  [{:>4.2}-{:>4.2}) {:>10} {bar}",
+                            i as f64 / bins as f64,
+                            (i + 1) as f64 / bins as f64,
+                            c as u64
+                        );
+                    }
+                }
+                shown += 1;
+            }
+            "gap_histogram" if wants("gaps") => {
+                println!(
+                    "capture gaps: {} samples, mean {:.2} slots, max {} ({} beyond linear bins)",
+                    u("samples"),
+                    f("mean_gap"),
+                    u("max_gap"),
+                    u("overflow")
+                );
+                shown += 1;
+            }
+            "forced_idle" if wants("idle") => {
+                println!(
+                    "forced idle: {} slots in {} streaks (mean {:.2}, longest {} on sensor {})",
+                    u("total_slots"),
+                    u("streaks"),
+                    f("mean_streak"),
+                    u("longest_streak"),
+                    u("longest_sensor")
+                );
+                shown += 1;
+            }
+            "span" if wants("spans") => {
+                let name = record
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                println!(
+                    "span {name}: {} calls, total {:.3} ms, mean {:.1} µs (min {:.1}, max {:.1})",
+                    u("count"),
+                    f("total_ms"),
+                    f("mean_us"),
+                    f("min_us"),
+                    f("max_us")
+                );
+                shown += 1;
+            }
+            "counter" if wants("spans") => {
+                let name = record
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                println!("counter {name}: {}", u("value"));
+                shown += 1;
+            }
+            // Written by the bench harness (`EVCAP_PERF_LOG`), not --obs-out.
+            "throughput" if wants("perf") => {
+                let label = record
+                    .get("label")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                println!(
+                    "throughput {label}: {} slots in {} runs, sim {:.2} s, {:.2} M slots/sec",
+                    u("slots"),
+                    u("runs"),
+                    f("sim_seconds"),
+                    f("slots_per_second") / 1e6
+                );
+                shown += 1;
+            }
+            _ => {}
+        }
+    }
+
+    if !qom_rows.is_empty() {
+        println!("qom convergence ({} windows):", qom_rows.len());
+        println!("  {:>12} {:>12} {:>12}", "slot", "window", "cumulative");
+        // At most 20 evenly spaced rows so long runs stay readable.
+        let stride = qom_rows.len().div_ceil(20);
+        for (i, (slot, w, c)) in qom_rows.iter().enumerate() {
+            if i % stride == 0 || i + 1 == qom_rows.len() {
+                println!("  {slot:>12} {w:>12.4} {c:>12.4}");
+            }
+        }
+    }
+    if shown == 0 {
+        println!("no matching records in {path}");
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> CmdResult {
     match args.command() {
@@ -418,6 +694,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("provision") => provision(args),
         Some("adaptive") => adaptive(args),
         Some("figure") => figure(args),
+        Some("trace") => trace(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

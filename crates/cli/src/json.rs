@@ -112,6 +112,57 @@ mod tests {
     fn escapes_special_characters() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("\r\t"), "\\r\\t");
+        // Non-ASCII passes through unescaped (JSON strings are Unicode).
+        assert_eq!(escape("µ-QoM π*"), "µ-QoM π*");
+        assert_eq!(escape(""), "");
+    }
+
+    #[test]
+    fn every_control_character_round_trips_through_the_obs_parser() {
+        // Cross-validate this writer against the strict RFC 8259 parser in
+        // evcap-obs: every C0 control character must come back intact.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let line = format!("{{\"s\":\"{}\"}}", escape(&format!("x{c}y")));
+            let value = evcap_obs::parse_line(&line)
+                .unwrap_or_else(|e| panic!("U+{code:04X} fails to parse: {e}"));
+            assert_eq!(
+                value.get("s").and_then(evcap_obs::JsonValue::as_str),
+                Some(format!("x{c}y").as_str()),
+                "U+{code:04X} round-trips"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_json_parses_with_the_obs_parser() {
+        let mut fig = Figure::new("figX", "control \u{7} title \"q\" \\ \n", "x µ");
+        let mut s = Series::new("a\tb");
+        s.push(1.0, f64::NAN);
+        s.push(2.0, 0.5);
+        fig.series.push(s);
+        let value = evcap_obs::parse_line(&figure(&fig)).expect("valid JSON");
+        assert_eq!(
+            value.get("title").and_then(evcap_obs::JsonValue::as_str),
+            Some("control \u{7} title \"q\" \\ \n")
+        );
+        let series = value
+            .get("series")
+            .and_then(evcap_obs::JsonValue::as_array)
+            .unwrap();
+        assert_eq!(
+            series[0].get("name").and_then(evcap_obs::JsonValue::as_str),
+            Some("a\tb")
+        );
+        // NaN was rendered as null: the first point's y is not a number.
+        let points = series[0]
+            .get("points")
+            .and_then(evcap_obs::JsonValue::as_array)
+            .unwrap();
+        let first = points[0].as_array().unwrap();
+        assert_eq!(first[0].as_f64(), Some(1.0));
+        assert_eq!(first[1].as_f64(), None);
     }
 
     #[test]

@@ -6,12 +6,11 @@
 use std::fmt;
 
 use evcap_dist::{
-    Deterministic, Discretizer, EmpiricalGaps, Erlang, Exponential, HyperExponential,
-    InterArrival, LogNormal, MarkovEvents, Pareto, SlotPmf, UniformArrival, Weibull,
+    Deterministic, Discretizer, EmpiricalGaps, Erlang, Exponential, HyperExponential, InterArrival,
+    LogNormal, MarkovEvents, Pareto, SlotPmf, UniformArrival, Weibull,
 };
 use evcap_energy::{
-    BernoulliRecharge, ConstantRecharge, Energy, PeriodicRecharge, RechargeProcess,
-    UniformRecharge,
+    BernoulliRecharge, ConstantRecharge, Energy, PeriodicRecharge, RechargeProcess, UniformRecharge,
 };
 
 /// A parse failure for a spec string.
@@ -158,9 +157,12 @@ fn parse_trace(spec: &str, path: &str) -> Result<SlotPmf, SpecError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let value: f64 = line
-            .parse()
-            .map_err(|_| err(spec, format!("line {}: `{line}` is not a number", lineno + 1)))?;
+        let value: f64 = line.parse().map_err(|_| {
+            err(
+                spec,
+                format!("line {}: `{line}` is not a number", lineno + 1),
+            )
+        })?;
         samples.push(value);
     }
     EmpiricalGaps::from_samples(&samples)

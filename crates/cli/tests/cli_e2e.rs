@@ -33,7 +33,13 @@ fn hazards_prints_table() {
     assert!(ok);
     assert!(stdout.contains("Weibull(8, 3)"));
     assert!(stdout.contains("beta_i"));
-    assert_eq!(stdout.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 5);
+    assert_eq!(
+        stdout
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count(),
+        5
+    );
 }
 
 #[test]
@@ -62,6 +68,125 @@ fn simulate_small_run_succeeds() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("QoM"));
     assert!(stdout.contains("captured"));
+}
+
+const SIM_ARGS: &[&str] = &[
+    "simulate",
+    "--dist",
+    "weibull:8,3",
+    "--policy",
+    "greedy",
+    "--e",
+    "0.5",
+    "--slots",
+    "20000",
+    "--seed",
+    "1",
+];
+
+#[test]
+fn simulate_obs_out_writes_parseable_jsonl() {
+    use evcap_obs::{parse_line, JsonValue};
+
+    let path = std::env::temp_dir().join("evcap_e2e_obs.jsonl");
+    let path_str = path.to_str().unwrap();
+    let mut args = SIM_ARGS.to_vec();
+    args.extend(["--obs-out", path_str, "--obs-window", "1000"]);
+    let (ok, stdout, _) = run(&args);
+    assert!(ok, "{stdout}");
+    // The summary table follows the classic report.
+    assert!(stdout.contains("observability summary"));
+    assert!(stdout.contains("wrote "));
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut types = std::collections::BTreeSet::new();
+    let mut qom_windows = 0;
+    for line in text.lines() {
+        let record = parse_line(line).expect("every line parses");
+        let t = record
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_owned();
+        if t == "qom_window" {
+            qom_windows += 1;
+            assert!(record.get("window_qom").is_some());
+            assert!(record.get("cumulative_qom").is_some());
+        }
+        types.insert(t);
+    }
+    std::fs::remove_file(&path).ok();
+    assert_eq!(qom_windows, 20, "20000 slots / 1000-slot windows");
+    for expected in [
+        "run_counters",
+        "qom_window",
+        "battery_histogram",
+        "gap_histogram",
+        "forced_idle",
+        "span",
+        "counter",
+    ] {
+        assert!(types.contains(expected), "missing {expected}: {types:?}");
+    }
+}
+
+#[test]
+fn quiet_obs_run_keeps_classic_stdout() {
+    let (ok, plain, _) = run(SIM_ARGS);
+    assert!(ok);
+
+    let path = std::env::temp_dir().join("evcap_e2e_obs_quiet.jsonl");
+    let mut args = SIM_ARGS.to_vec();
+    args.extend(["--obs-out", path.to_str().unwrap(), "--quiet"]);
+    let (ok, quiet, _) = run(&args);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    // --quiet drops the summary; what remains is byte-identical to a plain
+    // run, so scripts scraping the classic output keep working.
+    assert_eq!(plain, quiet);
+}
+
+#[test]
+fn verbose_reports_timing_on_stderr_only() {
+    let (ok, plain, _) = run(SIM_ARGS);
+    assert!(ok);
+    let mut args = SIM_ARGS.to_vec();
+    args.push("--verbose");
+    let (ok, stdout, stderr) = run(&args);
+    assert!(ok);
+    assert_eq!(plain, stdout, "verbose must not touch stdout");
+    assert!(stderr.contains("span sim.run"), "{stderr}");
+    assert!(stderr.contains("counter sim.slots"), "{stderr}");
+}
+
+#[test]
+fn trace_summarizes_an_obs_file() {
+    let path = std::env::temp_dir().join("evcap_e2e_trace.jsonl");
+    let path_str = path.to_str().unwrap().to_owned();
+    let mut args = SIM_ARGS.to_vec();
+    args.extend(["--obs-out", &path_str, "--quiet"]);
+    let (ok, _, _) = run(&args);
+    assert!(ok);
+
+    let (ok, stdout, _) = run(&["trace", &path_str]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("qom convergence"));
+    assert!(stdout.contains("battery: mean fill"));
+    assert!(stdout.contains("capture gaps:"));
+
+    let (ok, stdout, _) = run(&["trace", &path_str, "--kind", "spans"]);
+    assert!(ok);
+    assert!(stdout.contains("span "));
+    assert!(!stdout.contains("battery:"));
+
+    let (ok, _, stderr) = run(&["trace", &path_str, "--kind", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown kind"));
+    std::fs::remove_file(&path).ok();
+
+    let (ok, _, stderr) = run(&["trace", "/nonexistent/evcap.jsonl"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
 }
 
 #[test]

@@ -233,8 +233,8 @@ mod tests {
     fn abundant_energy_gives_always_on() {
         let c = ConsumptionModel::paper_defaults();
         // e large enough that θ2 rounds to θ1.
-        let p = PeriodicPolicy::energy_balanced(3, EnergyBudget::per_slot(100.0), 10.0, &c)
-            .unwrap();
+        let p =
+            PeriodicPolicy::energy_balanced(3, EnergyBudget::per_slot(100.0), 10.0, &c).unwrap();
         assert_eq!(p.theta2(), p.theta1());
         assert_eq!(p.duty_cycle(), 1.0);
     }

@@ -381,6 +381,7 @@ impl ClusteringOptimizer {
         lo: usize,
         hi: usize,
     ) -> Option<(ClusteringPolicy, ClusterEvaluation)> {
+        let _span = evcap_obs::timing::span("clustering.search");
         let step = ((hi - lo) / self.grid_points).max(1);
 
         let mut best: Option<(ClusteringPolicy, ClusterEvaluation)> = None;
@@ -458,6 +459,7 @@ impl ClusteringOptimizer {
         let Ok(full) = ClusteringPolicy::new(n1, n2, n3, 1.0, 1.0, 1.0) else {
             return;
         };
+        evcap_obs::timing::add_count("clustering.candidates", 1);
         let e = self.budget.rate();
         let eval_full = full.evaluate(pmf, consumption, self.eval);
         let candidate = if eval_full.discharge_rate <= e {
@@ -582,7 +584,11 @@ mod tests {
         let eval = with_recovery.evaluate(&pmf, &consumption(), EvalOptions::default());
         // Recovery from state 3 onward is always active, so every event is
         // eventually... captured in-slot with prob < 1 but the chain renews.
-        assert!(eval.capture_probability > 0.8, "{}", eval.capture_probability);
+        assert!(
+            eval.capture_probability > 0.8,
+            "{}",
+            eval.capture_probability
+        );
         assert!(eval.truncated_survival < 1e-9);
     }
 
@@ -609,7 +615,11 @@ mod tests {
         assert!(eval.discharge_rate <= 0.5 + 1e-6, "{}", eval.discharge_rate);
         assert!(policy.n1() >= 1 && policy.n1() <= policy.n2() && policy.n2() <= policy.n3());
         // Weibull(40, 3) with e = 0.5 supports a strong policy.
-        assert!(eval.capture_probability > 0.6, "{}", eval.capture_probability);
+        assert!(
+            eval.capture_probability > 0.6,
+            "{}",
+            eval.capture_probability
+        );
     }
 
     #[test]

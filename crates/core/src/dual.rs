@@ -58,7 +58,9 @@ pub fn solve_dual(
 ) -> Result<DualSolution> {
     let per_renewal = budget.per_renewal(pmf.mean());
     if per_renewal <= 0.0 {
-        return Err(PolicyError::BudgetTooSmall { budget: per_renewal });
+        return Err(PolicyError::BudgetTooSmall {
+            budget: per_renewal,
+        });
     }
     let d1 = consumption.delta1_units();
     let d2 = consumption.delta2_units();

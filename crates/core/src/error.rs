@@ -42,15 +42,27 @@ impl fmt::Display for PolicyError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             PolicyError::UnorderedRegions { n1, n2, n3 } => {
-                write!(f, "clustering regions must satisfy n1 <= n2 <= n3, got ({n1}, {n2}, {n3})")
+                write!(
+                    f,
+                    "clustering regions must satisfy n1 <= n2 <= n3, got ({n1}, {n2}, {n3})"
+                )
             }
             PolicyError::BudgetTooSmall { budget } => {
-                write!(f, "per-renewal energy budget {budget} cannot sustain any activation")
+                write!(
+                    f,
+                    "per-renewal energy budget {budget} cannot sustain any activation"
+                )
             }
             PolicyError::NoFeasibleCandidate => {
-                write!(f, "no feasible policy found within the optimizer's search bounds")
+                write!(
+                    f,
+                    "no feasible policy found within the optimizer's search bounds"
+                )
             }
             PolicyError::Lp(e) => write!(f, "lp cross-check failed: {e}"),
             PolicyError::Dist(e) => write!(f, "distribution error: {e}"),
@@ -92,7 +104,11 @@ mod tests {
                 value: -1.0,
                 expected: "a rate > 0",
             },
-            PolicyError::UnorderedRegions { n1: 5, n2: 3, n3: 9 },
+            PolicyError::UnorderedRegions {
+                n1: 5,
+                n2: 3,
+                n3: 9,
+            },
             PolicyError::BudgetTooSmall { budget: 0.0 },
             PolicyError::NoFeasibleCandidate,
             PolicyError::Lp(evcap_lp::LpError::Infeasible),

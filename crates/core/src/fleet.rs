@@ -149,7 +149,10 @@ mod tests {
     use evcap_dist::{Discretizer, Weibull};
 
     fn allocator(e: f64) -> FleetAllocator {
-        FleetAllocator::new(EnergyBudget::per_slot(e), ConsumptionModel::paper_defaults())
+        FleetAllocator::new(
+            EnergyBudget::per_slot(e),
+            ConsumptionModel::paper_defaults(),
+        )
     }
 
     fn weibull(scale: f64) -> SlotPmf {
@@ -184,9 +187,18 @@ mod tests {
     #[test]
     fn greedy_matches_brute_force() {
         let pois = vec![
-            PoiSpec { pmf: weibull(20.0), weight: 1.0 },
-            PoiSpec { pmf: weibull(40.0), weight: 2.0 },
-            PoiSpec { pmf: weibull(60.0), weight: 0.5 },
+            PoiSpec {
+                pmf: weibull(20.0),
+                weight: 1.0,
+            },
+            PoiSpec {
+                pmf: weibull(40.0),
+                weight: 2.0,
+            },
+            PoiSpec {
+                pmf: weibull(60.0),
+                weight: 0.5,
+            },
         ];
         let alloc = allocator(0.15);
         let sensors = 6;
@@ -213,16 +225,29 @@ mod tests {
     #[test]
     fn heavier_weight_attracts_sensors() {
         let pois = vec![
-            PoiSpec { pmf: weibull(40.0), weight: 0.1 },
-            PoiSpec { pmf: weibull(40.0), weight: 10.0 },
+            PoiSpec {
+                pmf: weibull(40.0),
+                weight: 0.1,
+            },
+            PoiSpec {
+                pmf: weibull(40.0),
+                weight: 10.0,
+            },
         ];
         let plan = allocator(0.1).allocate(&pois, 4).unwrap();
-        assert!(plan.allocation[1] > plan.allocation[0], "{:?}", plan.allocation);
+        assert!(
+            plan.allocation[1] > plan.allocation[0],
+            "{:?}",
+            plan.allocation
+        );
     }
 
     #[test]
     fn zero_sensors_is_a_valid_empty_plan() {
-        let pois = vec![PoiSpec { pmf: weibull(40.0), weight: 1.0 }];
+        let pois = vec![PoiSpec {
+            pmf: weibull(40.0),
+            weight: 1.0,
+        }];
         let plan = allocator(0.1).allocate(&pois, 0).unwrap();
         assert_eq!(plan.allocation, vec![0]);
         assert_eq!(plan.weighted_qom, 0.0);
@@ -232,9 +257,15 @@ mod tests {
     fn validation() {
         let alloc = allocator(0.1);
         assert!(alloc.allocate(&[], 3).is_err());
-        let bad = vec![PoiSpec { pmf: weibull(40.0), weight: -1.0 }];
+        let bad = vec![PoiSpec {
+            pmf: weibull(40.0),
+            weight: -1.0,
+        }];
         assert!(alloc.allocate(&bad, 3).is_err());
-        let pois = vec![PoiSpec { pmf: weibull(40.0), weight: 1.0 }];
+        let pois = vec![PoiSpec {
+            pmf: weibull(40.0),
+            weight: 1.0,
+        }];
         assert!(allocator(0.0).allocate(&pois, 3).is_err());
     }
 }

@@ -106,7 +106,9 @@ impl GreedyPolicy {
         let mu = pmf.mean();
         let per_renewal = budget.per_renewal(mu);
         if per_renewal <= 0.0 {
-            return Err(PolicyError::BudgetTooSmall { budget: per_renewal });
+            return Err(PolicyError::BudgetTooSmall {
+                budget: per_renewal,
+            });
         }
         let d1 = consumption.delta1_units();
         let d2 = consumption.delta2_units();
@@ -298,12 +300,9 @@ mod tests {
         assert!((policy.ideal_qom() - 0.4).abs() < 1e-12);
 
         // Surplus budget flows to slot 1 at 60% efficiency.
-        let policy = GreedyPolicy::optimize(
-            &pmf,
-            EnergyBudget::per_slot((2.8 + 2.3) / mu),
-            &consumption,
-        )
-        .unwrap();
+        let policy =
+            GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot((2.8 + 2.3) / mu), &consumption)
+                .unwrap();
         assert!((policy.coefficient(2) - 1.0).abs() < 1e-12);
         assert!((policy.coefficient(1) - 0.5).abs() < 1e-12);
         assert!((policy.ideal_qom() - (0.4 + 0.5 * 0.6)).abs() < 1e-12);
@@ -412,12 +411,8 @@ mod tests {
     #[test]
     fn zero_budget_is_rejected() {
         let pmf = SlotPmf::from_pmf(vec![1.0]).unwrap();
-        let err = GreedyPolicy::optimize(
-            &pmf,
-            EnergyBudget::per_slot(0.0),
-            &paper_consumption(),
-        )
-        .unwrap_err();
+        let err = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.0), &paper_consumption())
+            .unwrap_err();
         assert!(matches!(err, PolicyError::BudgetTooSmall { .. }));
     }
 
@@ -457,11 +452,8 @@ mod tests {
     #[test]
     fn policy_trait_wiring() {
         let pmf = SlotPmf::from_pmf(vec![0.6, 0.4]).unwrap();
-        let consumption = ConsumptionModel::new(
-            Energy::from_units(1.0),
-            Energy::from_units(6.0),
-        )
-        .unwrap();
+        let consumption =
+            ConsumptionModel::new(Energy::from_units(1.0), Energy::from_units(6.0)).unwrap();
         let policy =
             GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption).unwrap();
         assert_eq!(policy.info_model(), InfoModel::Full);

@@ -224,7 +224,10 @@ impl MultiSensorPlan<ClusteringPolicy> {
         }
         let aggregate = EnergyBudget::per_slot(per_sensor_rate.rate() * sensors as f64);
         let (policy, eval) = ClusteringOptimizer::new(aggregate).optimize(pmf, consumption)?;
-        Ok((Self::new(sensors, SlotAssignment::RoundRobin, policy)?, eval))
+        Ok((
+            Self::new(sensors, SlotAssignment::RoundRobin, policy)?,
+            eval,
+        ))
     }
 }
 

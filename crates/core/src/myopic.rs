@@ -260,7 +260,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(gaps <= 1, "active set fragmented: {gaps} gaps, first {some_first}");
+        assert!(
+            gaps <= 1,
+            "active set fragmented: {gaps} gaps, first {some_first}"
+        );
     }
 
     #[test]
@@ -269,14 +272,9 @@ mod tests {
             .discretize(&Weibull::new(40.0, 3.0).unwrap())
             .unwrap();
         let budget = EnergyBudget::per_slot(0.5);
-        let myopic = MyopicPolicy::derive(
-            &pmf,
-            budget,
-            &consumption(),
-            160,
-            EvalOptions::default(),
-        )
-        .unwrap();
+        let myopic =
+            MyopicPolicy::derive(&pmf, budget, &consumption(), 160, EvalOptions::default())
+                .unwrap();
         let (_, clustering) = ClusteringOptimizer::new(budget)
             .optimize(&pmf, &consumption())
             .unwrap();

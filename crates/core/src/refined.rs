@@ -139,10 +139,7 @@ impl RegionPolicy {
     /// Panics if `state == 0`; states are 1-based.
     pub fn coefficient(&self, state: usize) -> f64 {
         assert!(state >= 1, "states are 1-based");
-        match self
-            .segments
-            .binary_search_by(|s| s.start.cmp(&state))
-        {
+        match self.segments.binary_search_by(|s| s.start.cmp(&state)) {
             Ok(i) => self.segments[i].coefficient,
             Err(i) => self.segments[i - 1].coefficient,
         }
@@ -295,8 +292,10 @@ fn coordinate_ascent(
                     if i == j {
                         continue;
                     }
-                    let (old_i, old_j) =
-                        (policy.segments[i].coefficient, policy.segments[j].coefficient);
+                    let (old_i, old_j) = (
+                        policy.segments[i].coefficient,
+                        policy.segments[j].coefficient,
+                    );
                     let new_i = (old_i + step).min(1.0);
                     let new_j = (old_j - step).max(0.0);
                     if (new_i - old_i).abs() < 1e-12 || (new_j - old_j).abs() < 1e-12 {
@@ -349,21 +348,44 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert!(RegionPolicy::new(vec![]).is_err());
-        assert!(RegionPolicy::new(vec![Segment { start: 2, coefficient: 1.0 }]).is_err());
+        assert!(RegionPolicy::new(vec![Segment {
+            start: 2,
+            coefficient: 1.0
+        }])
+        .is_err());
         assert!(RegionPolicy::new(vec![
-            Segment { start: 1, coefficient: 0.5 },
-            Segment { start: 1, coefficient: 0.7 },
+            Segment {
+                start: 1,
+                coefficient: 0.5
+            },
+            Segment {
+                start: 1,
+                coefficient: 0.7
+            },
         ])
         .is_err());
-        assert!(RegionPolicy::new(vec![Segment { start: 1, coefficient: 1.5 }]).is_err());
+        assert!(RegionPolicy::new(vec![Segment {
+            start: 1,
+            coefficient: 1.5
+        }])
+        .is_err());
     }
 
     #[test]
     fn coefficient_lookup() {
         let p = RegionPolicy::new(vec![
-            Segment { start: 1, coefficient: 0.0 },
-            Segment { start: 10, coefficient: 0.5 },
-            Segment { start: 20, coefficient: 1.0 },
+            Segment {
+                start: 1,
+                coefficient: 0.0,
+            },
+            Segment {
+                start: 10,
+                coefficient: 0.5,
+            },
+            Segment {
+                start: 20,
+                coefficient: 1.0,
+            },
         ])
         .unwrap();
         assert_eq!(p.coefficient(1), 0.0);
@@ -426,14 +448,8 @@ mod tests {
             .optimize(&pmf, &consumption())
             .unwrap();
         let seed = RegionPolicy::from_clustering(&coarse);
-        let (refined, refined_eval) = seed.refine(
-            &pmf,
-            budget,
-            &consumption(),
-            EvalOptions::default(),
-            2,
-            24,
-        );
+        let (refined, refined_eval) =
+            seed.refine(&pmf, budget, &consumption(), EvalOptions::default(), 2, 24);
         assert!(
             refined_eval.capture_probability >= coarse_eval.capture_probability - 1e-9,
             "refined {} vs coarse {}",
@@ -454,7 +470,11 @@ mod tests {
         // not required to discover global structure from a pathological
         // seed — use ClusteringOptimizer for that — but it must never
         // return an infeasible evaluation).
-        let seed = RegionPolicy::new(vec![Segment { start: 1, coefficient: 1.0 }]).unwrap();
+        let seed = RegionPolicy::new(vec![Segment {
+            start: 1,
+            coefficient: 1.0,
+        }])
+        .unwrap();
         let (refined, eval) = seed.refine(
             &pmf,
             EnergyBudget::per_slot(0.2),
@@ -472,7 +492,11 @@ mod tests {
 
     #[test]
     fn trait_wiring() {
-        let p = RegionPolicy::new(vec![Segment { start: 1, coefficient: 0.5 }]).unwrap();
+        let p = RegionPolicy::new(vec![Segment {
+            start: 1,
+            coefficient: 0.5,
+        }])
+        .unwrap();
         assert_eq!(p.info_model(), InfoModel::Partial);
         assert!(p.label().contains("region-PI"));
         assert_eq!(p.probability(&DecisionContext::stationary(3)), 0.5);

@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn rejects_invalid_weights() {
         assert!(matches!(AliasTable::new(&[]), Err(DistError::EmptyPmf)));
-        assert!(matches!(AliasTable::new(&[0.0, 0.0]), Err(DistError::EmptyPmf)));
+        assert!(matches!(
+            AliasTable::new(&[0.0, 0.0]),
+            Err(DistError::EmptyPmf)
+        ));
         assert!(matches!(
             AliasTable::new(&[1.0, -1.0]),
             Err(DistError::InvalidMass { index: 1, .. })

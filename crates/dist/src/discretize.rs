@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn pareto_keeps_analytic_tail() {
         let p = Pareto::new(2.0, 10.0).unwrap();
-        let pmf = Discretizer::new().max_horizon(2_000).discretize(&p).unwrap();
+        let pmf = Discretizer::new()
+            .max_horizon(2_000)
+            .discretize(&p)
+            .unwrap();
         assert_eq!(pmf.horizon(), 2_000);
         assert!(pmf.tail_mass() > 0.0);
         // Tail hazard matches the analytic conditional probability at H.
@@ -173,7 +176,10 @@ mod tests {
     fn degenerate_support_is_rejected() {
         let d = Deterministic::new(100.0).unwrap();
         let result = Discretizer::new().max_horizon(10).discretize(&d);
-        assert!(matches!(result, Err(DistError::DegenerateDiscretization { .. })));
+        assert!(matches!(
+            result,
+            Err(DistError::DegenerateDiscretization { .. })
+        ));
     }
 
     #[test]

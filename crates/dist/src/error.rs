@@ -41,16 +41,25 @@ impl fmt::Display for DistError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             DistError::EmptyPmf => write!(f, "pmf must contain at least one slot"),
             DistError::InvalidMass { index, value } => {
-                write!(f, "pmf entry {index} is {value}; expected a finite non-negative value")
+                write!(
+                    f,
+                    "pmf entry {index} is {value}; expected a finite non-negative value"
+                )
             }
             DistError::NotNormalizable { sum } => {
                 write!(f, "pmf sums to {sum}; expected a total mass near 1")
             }
             DistError::DegenerateDiscretization { horizon } => {
-                write!(f, "cdf accumulated no probability mass within {horizon} slots")
+                write!(
+                    f,
+                    "cdf accumulated no probability mass within {horizon} slots"
+                )
             }
         }
     }

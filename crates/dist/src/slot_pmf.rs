@@ -100,7 +100,12 @@ impl SlotPmf {
         } else {
             tail_hazard.max(f64::MIN_POSITIVE)
         };
-        Self::with_tail(pmf, survival, tail_hazard, "hazard-specified pmf".to_owned())
+        Self::with_tail(
+            pmf,
+            survival,
+            tail_hazard,
+            "hazard-specified pmf".to_owned(),
+        )
     }
 
     /// Builds a `SlotPmf` with an explicit geometric tail.
@@ -124,10 +129,7 @@ impl SlotPmf {
         }
         for (index, &value) in masses.iter().enumerate() {
             if !value.is_finite() || value < 0.0 {
-                return Err(DistError::InvalidMass {
-                    index,
-                    value,
-                });
+                return Err(DistError::InvalidMass { index, value });
             }
         }
         if !(0.0..=1.0).contains(&tail_mass) || !tail_mass.is_finite() {
@@ -163,7 +165,11 @@ impl SlotPmf {
             cdf.push(acc.min(1.0));
         }
         let horizon = pmf.len() as f64;
-        let mut mean: f64 = pmf.iter().enumerate().map(|(i, &m)| (i as f64 + 1.0) * m).sum();
+        let mut mean: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (i as f64 + 1.0) * m)
+            .sum();
         if tail_mass > 0.0 {
             // Conditional on exceeding the horizon, the gap is
             // H + Geometric(tail_hazard) with mean H + 1/h.
@@ -249,7 +255,11 @@ impl SlotPmf {
     pub fn hazard(&self, slot: usize) -> f64 {
         assert!(slot >= 1, "slot indices are 1-based");
         if slot > self.pmf.len() {
-            return if self.tail_mass > 0.0 { self.tail_hazard } else { 1.0 };
+            return if self.tail_mass > 0.0 {
+                self.tail_hazard
+            } else {
+                1.0
+            };
         }
         let prior = self.survival(slot - 1);
         if prior <= 0.0 {
@@ -328,7 +338,10 @@ mod tests {
 
     #[test]
     fn from_pmf_rejects_bad_inputs() {
-        assert!(matches!(SlotPmf::from_pmf(vec![]), Err(DistError::EmptyPmf)));
+        assert!(matches!(
+            SlotPmf::from_pmf(vec![]),
+            Err(DistError::EmptyPmf)
+        ));
         assert!(matches!(
             SlotPmf::from_pmf(vec![0.5, -0.1]),
             Err(DistError::InvalidMass { index: 1, .. })
@@ -337,7 +350,10 @@ mod tests {
             SlotPmf::from_pmf(vec![0.5, 0.2]),
             Err(DistError::NotNormalizable { .. })
         ));
-        assert!(matches!(SlotPmf::from_pmf(vec![0.0, 0.0]), Err(DistError::EmptyPmf)));
+        assert!(matches!(
+            SlotPmf::from_pmf(vec![0.0, 0.0]),
+            Err(DistError::EmptyPmf)
+        ));
     }
 
     #[test]

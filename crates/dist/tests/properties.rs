@@ -22,14 +22,22 @@ fn assert_proper(pmf: &SlotPmf, probe_slots: usize) {
     let mut last = 0.0;
     for i in 0..probe_slots {
         let c = pmf.cdf(i);
-        assert!(c >= last - 1e-12, "{}: cdf not monotone at {i}", pmf.label());
+        assert!(
+            c >= last - 1e-12,
+            "{}: cdf not monotone at {i}",
+            pmf.label()
+        );
         assert!((c + pmf.survival(i) - 1.0).abs() < 1e-9);
         last = c;
     }
     // Hazards are probabilities and consistent with pmf/survival.
     for i in 1..=probe_slots {
         let h = pmf.hazard(i);
-        assert!((0.0..=1.0).contains(&h), "{}: hazard {h} at {i}", pmf.label());
+        assert!(
+            (0.0..=1.0).contains(&h),
+            "{}: hazard {h} at {i}",
+            pmf.label()
+        );
         // Below ~1e-6 survival the cdf complement loses relative
         // precision (catastrophic cancellation), so only check the identity
         // where it is numerically meaningful.

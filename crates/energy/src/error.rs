@@ -41,13 +41,19 @@ impl fmt::Display for EnergyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EnergyError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` = {value} is not a probability in [0, 1]")
+                write!(
+                    f,
+                    "parameter `{name}` = {value} is not a probability in [0, 1]"
+                )
             }
             EnergyError::NegativeEnergy { name, value } => {
                 write!(f, "parameter `{name}` = {value} must be non-negative")
             }
             EnergyError::InitialExceedsCapacity { initial, capacity } => {
-                write!(f, "initial level {initial} exceeds battery capacity {capacity}")
+                write!(
+                    f,
+                    "initial level {initial} exceeds battery capacity {capacity}"
+                )
             }
             EnergyError::ZeroPeriod => write!(f, "recharge period must be at least one slot"),
             EnergyError::InvertedRange { lo, hi } => {
@@ -66,7 +72,10 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         let errors = [
-            EnergyError::InvalidProbability { name: "q", value: 2.0 },
+            EnergyError::InvalidProbability {
+                name: "q",
+                value: 2.0,
+            },
             EnergyError::NegativeEnergy {
                 name: "c",
                 value: Energy::from_units(-1.0),

@@ -49,10 +49,16 @@ impl BernoulliRecharge {
     /// [`EnergyError::NegativeEnergy`] if `c < 0`.
     pub fn new(q: f64, c: Energy) -> Result<Self> {
         if !q.is_finite() || !(0.0..=1.0).contains(&q) {
-            return Err(EnergyError::InvalidProbability { name: "q", value: q });
+            return Err(EnergyError::InvalidProbability {
+                name: "q",
+                value: q,
+            });
         }
         if c < Energy::ZERO {
-            return Err(EnergyError::NegativeEnergy { name: "c", value: c });
+            return Err(EnergyError::NegativeEnergy {
+                name: "c",
+                value: c,
+            });
         }
         Ok(Self { q, c })
     }
@@ -194,7 +200,10 @@ impl UniformRecharge {
     /// [`EnergyError::InvertedRange`] if `lo > hi`.
     pub fn new(lo: Energy, hi: Energy) -> Result<Self> {
         if lo < Energy::ZERO {
-            return Err(EnergyError::NegativeEnergy { name: "lo", value: lo });
+            return Err(EnergyError::NegativeEnergy {
+                name: "lo",
+                value: lo,
+            });
         }
         if lo > hi {
             return Err(EnergyError::InvertedRange { lo, hi });

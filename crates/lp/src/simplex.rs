@@ -40,7 +40,10 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::DimensionMismatch { expected, found } => {
-                write!(f, "constraint has {found} coefficients; expected {expected}")
+                write!(
+                    f,
+                    "constraint has {found} coefficients; expected {expected}"
+                )
             }
             LpError::NonFiniteCoefficient => write!(f, "coefficients must be finite"),
             LpError::Infeasible => write!(f, "problem is infeasible"),
@@ -150,6 +153,8 @@ impl Problem {
     /// * [`LpError::Unbounded`] if the maximum is `+∞`.
     /// * [`LpError::IterationLimit`] on pathological numerical behavior.
     pub fn solve(&self) -> Result<Solution, LpError> {
+        let _span = evcap_obs::timing::span("lp.solve");
+        evcap_obs::timing::add_count("lp.solves", 1);
         if self.objective.iter().any(|v| !v.is_finite()) {
             return Err(LpError::NonFiniteCoefficient);
         }
@@ -229,8 +234,7 @@ impl Problem {
             for i in 0..m {
                 if basis[i] >= n + num_slack {
                     // Find a non-artificial column with a nonzero pivot.
-                    let pivot_col = (0..n + num_slack)
-                        .find(|&j| tableau[i][j].abs() > EPS);
+                    let pivot_col = (0..n + num_slack).find(|&j| tableau[i][j].abs() > EPS);
                     // A row of all zeros is a redundant constraint and can
                     // simply stay basic-artificial at value zero.
                     if let Some(j) = pivot_col {
@@ -252,7 +256,10 @@ impl Problem {
                 x[basis[i]] = tableau[i][total];
             }
         }
-        Ok(Solution { x, objective: value })
+        Ok(Solution {
+            x,
+            objective: value,
+        })
     }
 }
 
@@ -267,7 +274,7 @@ fn run_simplex(
     let m = tableau.len();
     let total = cost.len();
     let max_iters = 200 * (total + m + 16);
-    for _ in 0..max_iters {
+    for iter in 0..max_iters {
         // Reduced costs: r_j = c_j − c_B · B⁻¹ A_j (computed row-wise).
         let mut entering = None;
         for j in 0..allowed_cols {
@@ -289,6 +296,7 @@ fn run_simplex(
             for i in 0..m {
                 value += cost[basis[i]] * tableau[i][total];
             }
+            evcap_obs::timing::add_count("lp.pivots", iter as u64);
             return Ok(value);
         };
         // Ratio test (Bland: lowest basis index breaks ties).
@@ -299,9 +307,7 @@ fn run_simplex(
                 match leave {
                     None => leave = Some((i, ratio)),
                     Some((li, lr)) => {
-                        if ratio < lr - EPS
-                            || (ratio < lr + EPS && basis[i] < basis[li])
-                        {
+                        if ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li]) {
                             leave = Some((i, ratio));
                         }
                     }
@@ -409,7 +415,10 @@ mod tests {
         let mut p = Problem::maximize(vec![1.0, 2.0]);
         assert!(matches!(
             p.constraint(vec![1.0], Relation::Le, 1.0),
-            Err(LpError::DimensionMismatch { expected: 2, found: 1 })
+            Err(LpError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
         assert_eq!(
             p.constraint(vec![f64::NAN, 1.0], Relation::Le, 1.0),
@@ -436,13 +445,18 @@ mod tests {
         let weights = [1.0, 1.0, 2.0, 1.0];
         let budget = 2.5;
         let mut p = Problem::maximize(values.to_vec());
-        p.constraint(weights.to_vec(), Relation::Eq, budget).unwrap();
+        p.constraint(weights.to_vec(), Relation::Eq, budget)
+            .unwrap();
         for i in 0..4 {
             p.upper_bound(i, 1.0).unwrap();
         }
         let s = p.solve().unwrap();
         // Densities: 0.9, 0.5, 0.4, 0.1 → x0 = 1, x1 = 1, then 0.5/2 of x2.
-        assert!(close(s.objective, 0.9 + 0.5 + 0.8 * 0.25), "{}", s.objective);
+        assert!(
+            close(s.objective, 0.9 + 0.5 + 0.8 * 0.25),
+            "{}",
+            s.objective
+        );
         assert!(close(s.x[0], 1.0) && close(s.x[1], 1.0) && close(s.x[2], 0.25));
     }
 

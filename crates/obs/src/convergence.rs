@@ -1,0 +1,227 @@
+//! Windowed QoM-convergence tracking.
+//!
+//! Theorem 1 claims `U_K(π*) → U(π*)` as the battery `K → ∞`; what a single
+//! run can show is the *trajectory*: the QoM measured over consecutive
+//! windows of slots, plus the running cumulative QoM, converging toward the
+//! analytic value. This observer records exactly that series.
+
+use crate::jsonl::JsonObject;
+use crate::observer::{Observer, SlotOutcome};
+
+/// One window of the convergence series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QomWindow {
+    /// Last slot covered by the window.
+    pub slot: u64,
+    /// Events inside the window.
+    pub events: u64,
+    /// Captures inside the window.
+    pub captures: u64,
+    /// Cumulative events up to and including this window.
+    pub cumulative_events: u64,
+    /// Cumulative captures up to and including this window.
+    pub cumulative_captures: u64,
+}
+
+impl QomWindow {
+    /// QoM within the window alone (1.0 for an event-free window).
+    pub fn window_qom(&self) -> f64 {
+        if self.events == 0 {
+            1.0
+        } else {
+            self.captures as f64 / self.events as f64
+        }
+    }
+
+    /// Cumulative QoM from the start of measurement through this window.
+    pub fn cumulative_qom(&self) -> f64 {
+        if self.cumulative_events == 0 {
+            1.0
+        } else {
+            self.cumulative_captures as f64 / self.cumulative_events as f64
+        }
+    }
+}
+
+/// Records the QoM over consecutive fixed-size windows of measured slots.
+#[derive(Debug, Clone)]
+pub struct QomConvergence {
+    window: u64,
+    slots_in_window: u64,
+    events: u64,
+    captures: u64,
+    cumulative_events: u64,
+    cumulative_captures: u64,
+    series: Vec<QomWindow>,
+}
+
+impl QomConvergence {
+    /// Creates a tracker with the given window length in slots (minimum 1).
+    pub fn new(window: u64) -> Self {
+        Self {
+            window: window.max(1),
+            slots_in_window: 0,
+            events: 0,
+            captures: 0,
+            cumulative_events: 0,
+            cumulative_captures: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The completed windows so far (a partial trailing window is *not*
+    /// included; call [`finish`](QomConvergence::finish) to flush it).
+    pub fn series(&self) -> &[QomWindow] {
+        &self.series
+    }
+
+    /// Flushes a partial trailing window, if any, and returns the series.
+    pub fn finish(mut self) -> Vec<QomWindow> {
+        self.flush_partial();
+        self.series
+    }
+
+    /// Flushes a partial trailing window in place.
+    pub fn flush_partial(&mut self) {
+        if self.slots_in_window > 0 {
+            self.close_window(u64::MAX);
+        }
+    }
+
+    fn close_window(&mut self, slot: u64) {
+        self.cumulative_events += self.events;
+        self.cumulative_captures += self.captures;
+        self.series.push(QomWindow {
+            slot: if slot == u64::MAX {
+                self.series.len() as u64 * self.window + self.slots_in_window
+            } else {
+                slot
+            },
+            events: self.events,
+            captures: self.captures,
+            cumulative_events: self.cumulative_events,
+            cumulative_captures: self.cumulative_captures,
+        });
+        self.events = 0;
+        self.captures = 0;
+        self.slots_in_window = 0;
+    }
+
+    /// Serializes each completed window as one JSONL record.
+    pub fn export_records(&self, mut emit: impl FnMut(JsonObject)) {
+        for w in &self.series {
+            let mut obj = JsonObject::with_type("qom_window");
+            obj.field_u64("slot", w.slot);
+            obj.field_u64("events", w.events);
+            obj.field_u64("captures", w.captures);
+            obj.field_f64("window_qom", w.window_qom());
+            obj.field_f64("cumulative_qom", w.cumulative_qom());
+            emit(obj);
+        }
+    }
+}
+
+impl Observer for QomConvergence {
+    #[inline]
+    fn on_slot(&mut self, outcome: &SlotOutcome) {
+        if !outcome.measured {
+            return;
+        }
+        self.slots_in_window += 1;
+        if outcome.event {
+            self.events += 1;
+            if outcome.captured {
+                self.captures += 1;
+            }
+        }
+        if self.slots_in_window == self.window {
+            self.close_window(outcome.slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(t: u64, event: bool, captured: bool) -> SlotOutcome {
+        SlotOutcome {
+            slot: t,
+            owner: 0,
+            state: 1,
+            wanted: true,
+            active: true,
+            event,
+            captured,
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn windows_close_on_schedule() {
+        let mut q = QomConvergence::new(10);
+        for t in 1..=25 {
+            q.on_slot(&slot(t, t % 5 == 0, t % 10 == 0));
+        }
+        assert_eq!(q.series().len(), 2);
+        let w = q.series()[0];
+        assert_eq!(w.slot, 10);
+        assert_eq!(w.events, 2);
+        assert_eq!(w.captures, 1);
+        assert!((w.window_qom() - 0.5).abs() < 1e-12);
+        let rest = q.finish();
+        assert_eq!(rest.len(), 3, "partial window flushed");
+    }
+
+    #[test]
+    fn cumulative_qom_accumulates() {
+        let mut q = QomConvergence::new(2);
+        q.on_slot(&slot(1, true, true));
+        q.on_slot(&slot(2, true, false));
+        q.on_slot(&slot(3, true, true));
+        q.on_slot(&slot(4, true, true));
+        let s = q.series();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].cumulative_qom() - 0.5).abs() < 1e-12);
+        assert!((s[1].cumulative_qom() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_slots_are_ignored() {
+        let mut q = QomConvergence::new(5);
+        for t in 1..=10 {
+            let mut s = slot(t, true, true);
+            s.measured = t > 5;
+            q.on_slot(&s);
+        }
+        assert_eq!(q.series().len(), 1);
+        assert_eq!(q.series()[0].events, 5);
+    }
+
+    #[test]
+    fn eventless_window_reports_qom_one() {
+        let mut q = QomConvergence::new(3);
+        for t in 1..=3 {
+            q.on_slot(&slot(t, false, false));
+        }
+        assert_eq!(q.series()[0].window_qom(), 1.0);
+    }
+
+    #[test]
+    fn export_emits_one_record_per_window() {
+        let mut q = QomConvergence::new(2);
+        for t in 1..=6 {
+            q.on_slot(&slot(t, true, t % 2 == 0));
+        }
+        let mut lines = Vec::new();
+        q.export_records(|obj| lines.push(obj.finish()));
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"qom_window\""));
+        assert!(lines[0].contains("\"window_qom\":0.5"));
+    }
+}

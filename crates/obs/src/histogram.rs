@@ -1,0 +1,264 @@
+//! Fixed-bin histograms: battery fill levels and inter-capture gaps.
+
+use crate::jsonl::JsonObject;
+use crate::observer::Observer;
+
+/// A histogram over `[0, 1]` with equal-width bins (values outside are
+/// clamped into the edge bins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitHistogram {
+    counts: Vec<u64>,
+    samples: u64,
+    sum: f64,
+}
+
+impl UnitHistogram {
+    /// Creates a histogram with `bins` equal-width bins (minimum 1).
+    pub fn new(bins: usize) -> Self {
+        Self {
+            counts: vec![0; bins.max(1)],
+            samples: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one value (clamped into `[0, 1]`).
+    #[inline]
+    pub fn record(&mut self, value: f64) {
+        let clamped = value.clamp(0.0, 1.0);
+        let bins = self.counts.len();
+        let idx = ((clamped * bins as f64) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.sum += clamped;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean of the recorded (clamped) values; 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+}
+
+/// Samples every sensor's battery fill fraction on a fixed period and
+/// histograms the levels — the battery-level distribution the paper's
+/// asymptotic argument is about (levels pinned near empty mean forced
+/// idling; near full mean overflow waste).
+#[derive(Debug, Clone)]
+pub struct BatteryHistogram {
+    histogram: UnitHistogram,
+    period: u64,
+}
+
+impl BatteryHistogram {
+    /// Histograms into `bins` bins, sampling every `period` slots.
+    pub fn new(bins: usize, period: u64) -> Self {
+        Self {
+            histogram: UnitHistogram::new(bins),
+            period: period.max(1),
+        }
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &UnitHistogram {
+        &self.histogram
+    }
+
+    /// Serializes the histogram as one JSONL record.
+    pub fn export_record(&self) -> JsonObject {
+        let mut obj = JsonObject::with_type("battery_histogram");
+        obj.field_usize("bins", self.histogram.counts().len());
+        obj.field_u64("period", self.period);
+        obj.field_u64("samples", self.histogram.samples());
+        obj.field_f64("mean_fill", self.histogram.mean());
+        obj.field_u64_array("counts", self.histogram.counts());
+        obj
+    }
+}
+
+impl Observer for BatteryHistogram {
+    #[inline]
+    fn wants_battery_levels(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn on_battery_levels(&mut self, slot: u64, fractions: &[f64]) {
+        if slot.is_multiple_of(self.period) {
+            for &fraction in fractions {
+                self.histogram.record(fraction);
+            }
+        }
+    }
+}
+
+/// Histograms the gaps between consecutive fleet-wide captures, in slots.
+///
+/// Gaps up to `linear_max` get their own bin; longer gaps land in a shared
+/// overflow bin. The mean inter-capture gap relates directly to the paper's
+/// `E[cycle]` analysis (`U = μ / E[cycle]`).
+#[derive(Debug, Clone)]
+pub struct GapHistogram {
+    counts: Vec<u64>,
+    overflow: u64,
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl GapHistogram {
+    /// Tracks gaps `1..=linear_max` exactly; longer gaps go to the overflow
+    /// bin.
+    pub fn new(linear_max: usize) -> Self {
+        Self {
+            counts: vec![0; linear_max.max(1)],
+            overflow: 0,
+            samples: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one gap (in slots, ≥ 1).
+    #[inline]
+    pub fn record(&mut self, gap: u64) {
+        let idx = gap.max(1) as usize - 1;
+        match self.counts.get_mut(idx) {
+            Some(slot) => *slot += 1,
+            None => self.overflow += 1,
+        }
+        self.samples += 1;
+        self.sum += gap;
+        self.max = self.max.max(gap);
+    }
+
+    /// Counts for gaps `1..=linear_max` (index `i` holds gap `i + 1`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Gaps longer than the linear range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of recorded gaps.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean recorded gap; 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Longest recorded gap.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Serializes the histogram as one JSONL record (trailing zero bins are
+    /// trimmed to keep records compact).
+    pub fn export_record(&self) -> JsonObject {
+        let mut obj = JsonObject::with_type("gap_histogram");
+        obj.field_u64("samples", self.samples);
+        obj.field_f64("mean_gap", self.mean());
+        obj.field_u64("max_gap", self.max);
+        obj.field_u64("overflow", self.overflow);
+        let trimmed = match self.counts.iter().rposition(|&c| c > 0) {
+            Some(last) => &self.counts[..=last],
+            None => &[],
+        };
+        obj.field_u64_array("counts", trimmed);
+        obj
+    }
+}
+
+impl Observer for GapHistogram {
+    #[inline]
+    fn on_capture(&mut self, _slot: u64, _sensor: usize, gap: u64) {
+        self.record(gap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_histogram_bins_and_clamps() {
+        let mut h = UnitHistogram::new(4);
+        h.record(0.0);
+        h.record(0.26);
+        h.record(0.6);
+        h.record(0.99);
+        h.record(1.0); // exactly 1.0 clamps into the last bin
+        h.record(-3.0);
+        h.record(7.0);
+        assert_eq!(h.counts(), &[2, 1, 1, 3]);
+        assert_eq!(h.samples(), 7);
+        assert!(h.mean() > 0.0 && h.mean() < 1.0);
+    }
+
+    #[test]
+    fn battery_histogram_samples_on_period() {
+        let mut b = BatteryHistogram::new(10, 5);
+        b.on_battery_levels(1, &[0.5, 0.9]); // skipped: 1 % 5 != 0
+        b.on_battery_levels(5, &[0.5, 0.9]);
+        b.on_battery_levels(10, &[0.1]);
+        assert_eq!(b.histogram().samples(), 3);
+        assert!(b.wants_battery_levels());
+        let record = b.export_record().finish();
+        assert!(record.contains("\"type\":\"battery_histogram\""));
+        assert!(record.contains("\"samples\":3"));
+    }
+
+    #[test]
+    fn gap_histogram_linear_and_overflow() {
+        let mut g = GapHistogram::new(4);
+        g.record(1);
+        g.record(1);
+        g.record(4);
+        g.record(9); // overflow
+        assert_eq!(g.counts(), &[2, 0, 0, 1]);
+        assert_eq!(g.overflow(), 1);
+        assert_eq!(g.samples(), 4);
+        assert_eq!(g.max(), 9);
+        assert!((g.mean() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_histogram_observes_captures() {
+        let mut g = GapHistogram::new(16);
+        g.on_capture(10, 0, 10);
+        g.on_capture(14, 1, 4);
+        assert_eq!(g.samples(), 2);
+        let record = g.export_record().finish();
+        assert!(record.contains("\"mean_gap\":7"));
+    }
+
+    #[test]
+    fn export_trims_trailing_zeros() {
+        let mut g = GapHistogram::new(64);
+        g.record(2);
+        let record = g.export_record().finish();
+        assert!(record.contains("\"counts\":[0,1]"), "{record}");
+    }
+}

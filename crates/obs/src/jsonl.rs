@@ -1,0 +1,574 @@
+//! JSONL emission and parsing (no serde in the offline dependency set).
+//!
+//! Writing: [`JsonObject`] builds one flat record; [`JsonlSink`] streams
+//! records line-by-line to any `Write`. Floats render with enough precision
+//! to round-trip; non-finite floats render as `null` (JSON has no NaN/∞).
+//!
+//! Reading: [`parse_line`] parses one line into a [`JsonValue`] tree — just
+//! enough JSON to let `evcap trace` inspect the files this module writes
+//! (and any other RFC 8259 document without exotic escapes).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Escapes a string for inclusion in JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON number (`null` for NaN/∞).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// A single flat JSON object under construction.
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    /// Starts an object whose first field is `"type": <record_type>` — the
+    /// discriminator convention every evcap JSONL record follows.
+    pub fn with_type(record_type: &str) -> Self {
+        let mut obj = Self::new();
+        obj.field_str("type", record_type);
+        obj
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a `usize` field.
+    pub fn field_usize(&mut self, name: &str, value: usize) -> &mut Self {
+        self.field_u64(name, value as u64)
+    }
+
+    /// Adds a float field (`null` for non-finite values).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&num(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an array-of-integers field.
+    pub fn field_u64_array(&mut self, name: &str, values: &[u64]) -> &mut Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Adds an array-of-floats field.
+    pub fn field_f64_array(&mut self, name: &str, values: &[f64]) -> &mut Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, &v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&num(v));
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Streams JSONL records to an underlying writer.
+pub struct JsonlSink<W: Write = BufWriter<File>> {
+    out: W,
+    records: u64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Opens (truncates) a file for JSONL output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `File::create` failure.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        Self { out, records: 0 }
+    }
+
+    /// Writes one record as a line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn write(&mut self, record: JsonObject) -> io::Result<()> {
+        self.out.write_all(record.finish().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (field order is not preserved).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value of an object field, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice, if an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse failure: message plus byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one complete JSON document (typically one JSONL line).
+///
+/// # Errors
+///
+/// Returns [`JsonParseError`] on malformed input or trailing garbage.
+pub fn parse_line(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_produces_valid_json() {
+        let mut obj = JsonObject::with_type("demo");
+        obj.field_str("name", "a\"b\\c\nd");
+        obj.field_u64("count", 42);
+        obj.field_f64("ratio", 0.5);
+        obj.field_f64("bad", f64::NAN);
+        obj.field_bool("ok", true);
+        obj.field_u64_array("bins", &[1, 2, 3]);
+        obj.field_f64_array("xs", &[0.25, f64::INFINITY]);
+        let line = obj.finish();
+        let parsed = parse_line(&line).expect("round-trips");
+        assert_eq!(parsed.get("type").and_then(JsonValue::as_str), Some("demo"));
+        assert_eq!(
+            parsed.get("name").and_then(JsonValue::as_str),
+            Some("a\"b\\c\nd")
+        );
+        assert_eq!(parsed.get("count").and_then(JsonValue::as_f64), Some(42.0));
+        assert_eq!(parsed.get("bad"), Some(&JsonValue::Null));
+        assert_eq!(parsed.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            parsed
+                .get("bins")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+        let xs = parsed
+            .get("xs")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(xs[1], JsonValue::Null);
+    }
+
+    #[test]
+    fn sink_writes_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut a = JsonObject::with_type("a");
+        a.field_u64("n", 1);
+        sink.write(a).unwrap();
+        sink.write(JsonObject::with_type("b")).unwrap();
+        assert_eq!(sink.records(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            parse_line(line).expect("each line parses");
+        }
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_unicode() {
+        let v = parse_line(r#"{"a":[1,2,{"b":"héllo ☃"}],"c":null,"d":-1.5e3}"#).unwrap();
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        let inner = v.get("a").unwrap().as_array().unwrap()[2]
+            .get("b")
+            .and_then(JsonValue::as_str);
+        assert_eq!(inner, Some("héllo ☃"));
+        assert_eq!(v.get("d").and_then(JsonValue::as_f64), Some(-1500.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{").is_err());
+        assert!(parse_line("{\"a\":1} extra").is_err());
+        assert!(parse_line("{\"a\":}").is_err());
+        assert!(parse_line("[1,]").is_err());
+        assert!(parse_line("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        let mut obj = JsonObject::new();
+        obj.field_str("s", "\u{1}\t\u{1f}");
+        let line = obj.finish();
+        assert!(line.contains("\\u0001"));
+        assert!(line.contains("\\u001f"));
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(
+            parsed.get("s").and_then(JsonValue::as_str),
+            Some("\u{1}\t\u{1f}")
+        );
+    }
+}

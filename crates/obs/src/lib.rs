@@ -1,0 +1,33 @@
+//! Slot-level observability for the event-capture engine.
+//!
+//! The simulation engine reports into the [`Observer`] trait: one hook per
+//! slot plus finer-grained hooks for captures, misses, forced idling,
+//! outages, and recharge overflow. [`NullObserver`] is the default and
+//! monomorphizes to nothing, so uninstrumented runs pay zero cost.
+//!
+//! Built-in observers compose the hooks into the analyses the paper cares
+//! about: [`QomConvergence`] (Theorem 1's finite-`K` trajectory),
+//! [`BatteryHistogram`] and [`GapHistogram`] (the stationary distributions
+//! behind `U = μ / E[cycle]`), and [`ForcedIdleStreaks`] (the
+//! under-provisioning signature). [`ObsSuite`] bundles them all.
+//!
+//! The [`timing`] module adds globally-gated monotonic spans and counters for
+//! hot paths (LP solves, clustering searches, simulation slots); [`jsonl`]
+//! streams every record type to disk as one JSON object per line.
+
+mod convergence;
+mod histogram;
+mod observer;
+mod streaks;
+mod suite;
+
+pub mod jsonl;
+pub mod timing;
+
+pub use convergence::{QomConvergence, QomWindow};
+pub use histogram::{BatteryHistogram, GapHistogram, UnitHistogram};
+pub use jsonl::{parse_line, JsonObject, JsonValue, JsonlSink};
+pub use observer::{NullObserver, Observer, SlotOutcome};
+pub use streaks::ForcedIdleStreaks;
+pub use suite::{ObsConfig, ObsSuite, RunCounters};
+pub use timing::{span, SpanGuard, SpanStats};

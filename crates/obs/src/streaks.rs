@@ -1,0 +1,163 @@
+//! Forced-idle streak tracking.
+//!
+//! A *forced-idle streak* is a maximal run of consecutive slots in which the
+//! same sensor wanted to activate but was pinned below the `δ1 + δ2`
+//! threshold. Long streaks are the signature of an under-provisioned battery
+//! (the paper's finite-`K` penalty): the policy keeps voting yes and the
+//! hardware keeps saying no.
+
+use crate::jsonl::JsonObject;
+use crate::observer::Observer;
+
+/// Per-sensor bookkeeping for the streak currently being extended.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpenStreak {
+    last_slot: u64,
+    length: u64,
+}
+
+/// Tracks forced-idle streak statistics across sensors.
+#[derive(Debug, Clone, Default)]
+pub struct ForcedIdleStreaks {
+    open: Vec<OpenStreak>,
+    total_forced_idle: u64,
+    completed_streaks: u64,
+    sum_streak_length: u64,
+    longest: u64,
+    longest_sensor: usize,
+}
+
+impl ForcedIdleStreaks {
+    /// Creates an empty tracker (sensor slots grow on demand).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn close(&mut self, sensor: usize) {
+        let open = &mut self.open[sensor];
+        if open.length > 0 {
+            self.completed_streaks += 1;
+            self.sum_streak_length += open.length;
+            if open.length > self.longest {
+                self.longest = open.length;
+                self.longest_sensor = sensor;
+            }
+            open.length = 0;
+        }
+    }
+
+    /// Flushes any still-open streaks into the statistics.
+    pub fn flush(&mut self) {
+        for sensor in 0..self.open.len() {
+            self.close(sensor);
+        }
+    }
+
+    /// Total forced-idle slot count observed.
+    pub fn total(&self) -> u64 {
+        self.total_forced_idle
+    }
+
+    /// Number of completed streaks (call [`flush`](Self::flush) first to
+    /// include open ones).
+    pub fn streaks(&self) -> u64 {
+        self.completed_streaks
+    }
+
+    /// Mean completed-streak length; 0.0 with none.
+    pub fn mean_length(&self) -> f64 {
+        if self.completed_streaks == 0 {
+            0.0
+        } else {
+            self.sum_streak_length as f64 / self.completed_streaks as f64
+        }
+    }
+
+    /// The longest streak seen and the sensor that suffered it.
+    pub fn longest(&self) -> (u64, usize) {
+        (self.longest, self.longest_sensor)
+    }
+
+    /// Serializes the statistics as one JSONL record.
+    pub fn export_record(&self) -> JsonObject {
+        let mut obj = JsonObject::with_type("forced_idle");
+        obj.field_u64("total_slots", self.total_forced_idle);
+        obj.field_u64("streaks", self.completed_streaks);
+        obj.field_f64("mean_streak", self.mean_length());
+        obj.field_u64("longest_streak", self.longest);
+        obj.field_usize("longest_sensor", self.longest_sensor);
+        obj
+    }
+}
+
+impl Observer for ForcedIdleStreaks {
+    #[inline]
+    fn on_forced_idle(&mut self, slot: u64, sensor: usize, _battery_fraction: f64) {
+        if sensor >= self.open.len() {
+            self.open.resize(sensor + 1, OpenStreak::default());
+        }
+        self.total_forced_idle += 1;
+        let open = &mut self.open[sensor];
+        if open.length > 0 && slot != open.last_slot + 1 {
+            // The sensor recovered for at least one slot in between.
+            self.close(sensor);
+        }
+        let open = &mut self.open[sensor];
+        open.length += 1;
+        open.last_slot = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_slots_extend_one_streak() {
+        let mut s = ForcedIdleStreaks::new();
+        for t in 10..15 {
+            s.on_forced_idle(t, 0, 0.01);
+        }
+        s.flush();
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.streaks(), 1);
+        assert_eq!(s.longest(), (5, 0));
+    }
+
+    #[test]
+    fn a_gap_starts_a_new_streak() {
+        let mut s = ForcedIdleStreaks::new();
+        s.on_forced_idle(1, 0, 0.0);
+        s.on_forced_idle(2, 0, 0.0);
+        s.on_forced_idle(5, 0, 0.0); // gap at 3–4
+        s.flush();
+        assert_eq!(s.streaks(), 2);
+        assert!((s.mean_length() - 1.5).abs() < 1e-12);
+        assert_eq!(s.longest(), (2, 0));
+    }
+
+    #[test]
+    fn sensors_are_tracked_independently() {
+        let mut s = ForcedIdleStreaks::new();
+        // Interleaved slots: each sensor's streak is contiguous in *its*
+        // forced-idle slots.
+        s.on_forced_idle(1, 0, 0.0);
+        s.on_forced_idle(1, 1, 0.0);
+        s.on_forced_idle(2, 0, 0.0);
+        s.on_forced_idle(2, 1, 0.0);
+        s.on_forced_idle(3, 1, 0.0);
+        s.flush();
+        assert_eq!(s.streaks(), 2);
+        assert_eq!(s.longest(), (3, 1));
+    }
+
+    #[test]
+    fn export_record_shape() {
+        let mut s = ForcedIdleStreaks::new();
+        s.on_forced_idle(1, 2, 0.0);
+        s.flush();
+        let record = s.export_record().finish();
+        assert!(record.contains("\"type\":\"forced_idle\""));
+        assert!(record.contains("\"longest_sensor\":2"));
+    }
+}

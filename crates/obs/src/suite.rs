@@ -1,0 +1,370 @@
+//! The standard observer suite: everything `evcap simulate --obs-out` wants.
+//!
+//! [`ObsSuite`] composes the built-in observers — windowed QoM convergence,
+//! battery-level histogram, inter-capture gap histogram, forced-idle streaks —
+//! plus a handful of scalar counters, behind a single [`Observer`] impl. After
+//! a run it can stream every record to a [`JsonlSink`] and render a compact
+//! human-readable summary table.
+
+use std::io::{self, Write};
+
+use crate::convergence::QomConvergence;
+use crate::histogram::{BatteryHistogram, GapHistogram};
+use crate::jsonl::{JsonObject, JsonlSink};
+use crate::observer::{Observer, SlotOutcome};
+use crate::streaks::ForcedIdleStreaks;
+use crate::timing;
+
+/// Scalar event counts accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunCounters {
+    /// Slots delivered to the suite (measured or not).
+    pub slots: u64,
+    /// Slots counted toward QoM.
+    pub measured_slots: u64,
+    /// Events that occurred in measured slots.
+    pub events: u64,
+    /// Events captured in measured slots.
+    pub captures: u64,
+    /// Events missed in measured slots.
+    pub misses: u64,
+    /// Sensor-slots spent offline in injected outages.
+    pub outage_slots: u64,
+    /// Total recharge energy (in units) lost to full batteries.
+    pub overflow_lost_units: f64,
+}
+
+impl RunCounters {
+    /// Serializes the counters as one JSONL record.
+    pub fn export_record(&self) -> JsonObject {
+        let mut obj = JsonObject::with_type("run_counters");
+        obj.field_u64("slots", self.slots);
+        obj.field_u64("measured_slots", self.measured_slots);
+        obj.field_u64("events", self.events);
+        obj.field_u64("captures", self.captures);
+        obj.field_u64("misses", self.misses);
+        obj.field_u64("outage_slots", self.outage_slots);
+        obj.field_f64("overflow_lost_units", self.overflow_lost_units);
+        obj
+    }
+}
+
+/// Configuration for [`ObsSuite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// QoM-convergence window length in slots.
+    pub qom_window: u64,
+    /// Battery histogram bin count.
+    pub battery_bins: usize,
+    /// Battery sampling period in slots.
+    pub battery_period: u64,
+    /// Largest inter-capture gap with its own histogram bin.
+    pub gap_linear_max: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            qom_window: 1_000,
+            battery_bins: 20,
+            battery_period: 16,
+            gap_linear_max: 256,
+        }
+    }
+}
+
+/// The composite observer used by the CLI's `--obs-out` path.
+#[derive(Debug, Clone)]
+pub struct ObsSuite {
+    convergence: QomConvergence,
+    battery: BatteryHistogram,
+    gaps: GapHistogram,
+    streaks: ForcedIdleStreaks,
+    counters: RunCounters,
+}
+
+impl ObsSuite {
+    /// Builds the suite from a configuration.
+    pub fn new(config: ObsConfig) -> Self {
+        Self {
+            convergence: QomConvergence::new(config.qom_window),
+            battery: BatteryHistogram::new(config.battery_bins, config.battery_period),
+            gaps: GapHistogram::new(config.gap_linear_max),
+            streaks: ForcedIdleStreaks::new(),
+            counters: RunCounters::default(),
+        }
+    }
+
+    /// Closes any partial state (trailing QoM window, open idle streaks).
+    /// Call once after the run, before exporting.
+    pub fn seal(&mut self) {
+        self.convergence.flush_partial();
+        self.streaks.flush();
+    }
+
+    /// The scalar counters.
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// The QoM-convergence series (completed windows).
+    pub fn convergence(&self) -> &QomConvergence {
+        &self.convergence
+    }
+
+    /// The battery-level histogram.
+    pub fn battery(&self) -> &BatteryHistogram {
+        &self.battery
+    }
+
+    /// The inter-capture gap histogram.
+    pub fn gaps(&self) -> &GapHistogram {
+        &self.gaps
+    }
+
+    /// The forced-idle streak tracker.
+    pub fn streaks(&self) -> &ForcedIdleStreaks {
+        &self.streaks
+    }
+
+    /// Streams every record to the sink: run counters, the QoM series, both
+    /// histograms, forced-idle streaks, then any drained timing spans and
+    /// counters from the global registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink write failure.
+    pub fn export<W: Write>(&self, sink: &mut JsonlSink<W>) -> io::Result<()> {
+        sink.write(self.counters.export_record())?;
+        let mut result = Ok(());
+        self.convergence.export_records(|obj| {
+            if result.is_ok() {
+                result = sink.write(obj);
+            }
+        });
+        result?;
+        sink.write(self.battery.export_record())?;
+        sink.write(self.gaps.export_record())?;
+        sink.write(self.streaks.export_record())?;
+        for (name, stats) in timing::drain_spans() {
+            sink.write(timing::span_record(name, &stats))?;
+        }
+        for (name, value) in timing::drain_counters() {
+            sink.write(timing::counter_record(name, value))?;
+        }
+        Ok(())
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn summary(&self) -> String {
+        let c = &self.counters;
+        let qom = if c.events == 0 {
+            1.0
+        } else {
+            c.captures as f64 / c.events as f64
+        };
+        let mut out = String::new();
+        out.push_str("observability summary\n");
+        out.push_str(&format!(
+            "  slots              {:>12}  (measured {})\n",
+            c.slots, c.measured_slots
+        ));
+        out.push_str(&format!(
+            "  events             {:>12}  captured {}  missed {}\n",
+            c.events, c.captures, c.misses
+        ));
+        out.push_str(&format!("  qom                {qom:>12.4}\n"));
+        let windows = self.convergence.series();
+        if let (Some(first), Some(last)) = (windows.first(), windows.last()) {
+            out.push_str(&format!(
+                "  qom windows        {:>12}  first {:.4}  last {:.4}\n",
+                windows.len(),
+                first.window_qom(),
+                last.window_qom()
+            ));
+        }
+        out.push_str(&format!(
+            "  mean capture gap   {:>12.2}  max {}\n",
+            self.gaps.mean(),
+            self.gaps.max()
+        ));
+        out.push_str(&format!(
+            "  mean battery fill  {:>12.4}  ({} samples)\n",
+            self.battery.histogram().mean(),
+            self.battery.histogram().samples()
+        ));
+        let (longest, sensor) = self.streaks.longest();
+        out.push_str(&format!(
+            "  forced idle        {:>12}  streaks {}  longest {} (sensor {})\n",
+            self.streaks.total(),
+            self.streaks.streaks(),
+            longest,
+            sensor
+        ));
+        if c.outage_slots > 0 {
+            out.push_str(&format!("  outage slots       {:>12}\n", c.outage_slots));
+        }
+        if c.overflow_lost_units > 0.0 {
+            out.push_str(&format!(
+                "  overflow lost      {:>12.1} units\n",
+                c.overflow_lost_units
+            ));
+        }
+        out
+    }
+}
+
+impl Observer for ObsSuite {
+    #[inline]
+    fn on_slot(&mut self, outcome: &SlotOutcome) {
+        self.counters.slots += 1;
+        if outcome.measured {
+            self.counters.measured_slots += 1;
+            if outcome.event {
+                self.counters.events += 1;
+            }
+        }
+        self.convergence.on_slot(outcome);
+    }
+
+    #[inline]
+    fn on_capture(&mut self, slot: u64, sensor: usize, gap: u64) {
+        self.counters.captures += 1;
+        self.gaps.on_capture(slot, sensor, gap);
+    }
+
+    #[inline]
+    fn on_miss(&mut self, slot: u64) {
+        self.counters.misses += 1;
+        self.gaps.on_miss(slot);
+    }
+
+    #[inline]
+    fn on_forced_idle(&mut self, slot: u64, sensor: usize, battery_fraction: f64) {
+        self.streaks.on_forced_idle(slot, sensor, battery_fraction);
+    }
+
+    #[inline]
+    fn on_outage(&mut self, slot: u64, sensor: usize) {
+        self.counters.outage_slots += 1;
+        let _ = (slot, sensor);
+    }
+
+    #[inline]
+    fn on_recharge_overflow(&mut self, slot: u64, sensor: usize, lost_units: f64) {
+        self.counters.overflow_lost_units += lost_units;
+        let _ = (slot, sensor);
+    }
+
+    #[inline]
+    fn wants_battery_levels(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn on_battery_levels(&mut self, slot: u64, fractions: &[f64]) {
+        self.battery.on_battery_levels(slot, fractions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::{parse_line, JsonValue};
+
+    fn outcome(t: u64, event: bool, captured: bool) -> SlotOutcome {
+        SlotOutcome {
+            slot: t,
+            owner: 0,
+            state: 1,
+            wanted: true,
+            active: true,
+            event,
+            captured,
+            measured: true,
+        }
+    }
+
+    fn run_small_suite() -> ObsSuite {
+        let mut suite = ObsSuite::new(ObsConfig {
+            qom_window: 4,
+            battery_bins: 8,
+            battery_period: 2,
+            gap_linear_max: 32,
+        });
+        let mut last_capture = 0u64;
+        for t in 1..=10 {
+            let event = t % 2 == 0;
+            let captured = t % 4 == 0;
+            if captured {
+                suite.on_capture(t, 0, t - last_capture);
+                last_capture = t;
+            } else if event {
+                suite.on_miss(t);
+            }
+            if t == 7 {
+                suite.on_forced_idle(t, 1, 0.05);
+            }
+            suite.on_battery_levels(t, &[0.5, 0.25]);
+            suite.on_slot(&outcome(t, event, captured));
+        }
+        suite.on_outage(11, 0);
+        suite.on_recharge_overflow(11, 0, 1.5);
+        suite.seal();
+        suite
+    }
+
+    #[test]
+    fn counters_track_the_run() {
+        let suite = run_small_suite();
+        let c = suite.counters();
+        assert_eq!(c.slots, 10);
+        assert_eq!(c.events, 5);
+        assert_eq!(c.captures, 2);
+        assert_eq!(c.misses, 3);
+        assert_eq!(c.outage_slots, 1);
+        assert!((c.overflow_lost_units - 1.5).abs() < 1e-12);
+        assert_eq!(suite.streaks().total(), 1);
+    }
+
+    #[test]
+    fn export_produces_parseable_jsonl_with_expected_types() {
+        let suite = run_small_suite();
+        let mut sink = JsonlSink::new(Vec::new());
+        suite.export(&mut sink).unwrap();
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let types: Vec<String> = text
+            .lines()
+            .map(|line| {
+                parse_line(line)
+                    .expect("line parses")
+                    .get("type")
+                    .and_then(JsonValue::as_str)
+                    .expect("has type")
+                    .to_owned()
+            })
+            .collect();
+        assert!(types.contains(&"run_counters".to_owned()));
+        assert!(types.contains(&"qom_window".to_owned()));
+        assert!(types.contains(&"battery_histogram".to_owned()));
+        assert!(types.contains(&"gap_histogram".to_owned()));
+        assert!(types.contains(&"forced_idle".to_owned()));
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let suite = run_small_suite();
+        let summary = suite.summary();
+        assert!(summary.contains("observability summary"));
+        assert!(summary.contains("qom"));
+        assert!(summary.contains("forced idle"));
+        assert!(summary.contains("outage slots"));
+        assert!(summary.contains("overflow lost"));
+    }
+
+    #[test]
+    fn suite_requests_battery_levels() {
+        let suite = ObsSuite::new(ObsConfig::default());
+        assert!(suite.wants_battery_levels());
+    }
+}

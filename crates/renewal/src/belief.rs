@@ -140,7 +140,11 @@ impl<'a> AgeBeliefDp<'a> {
         self.slot = i + 1;
         BeliefStep {
             slot: i,
-            hazard: if total > 0.0 { (event_mass / total).clamp(0.0, 1.0) } else { 0.0 },
+            hazard: if total > 0.0 {
+                (event_mass / total).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
             capture_mass,
             survival: self.survival,
         }
@@ -173,7 +177,9 @@ impl<'a> AgeBeliefDp<'a> {
     /// probabilities given by `policy(i)`, collecting every step.
     pub fn run(pmf: &'a SlotPmf, policy: impl Fn(usize) -> f64, horizon: usize) -> Vec<BeliefStep> {
         let mut dp = AgeBeliefDp::new(pmf);
-        (0..horizon).map(|_| dp.step(policy(dp.next_slot()))).collect()
+        (0..horizon)
+            .map(|_| dp.step(policy(dp.next_slot())))
+            .collect()
     }
 }
 

@@ -126,7 +126,11 @@ mod tests {
         let limit = 1.0 / pmf.mean();
         // The density oscillates early and settles at 1/μ.
         for t in 350..=400 {
-            assert!((r.mass(t) - limit).abs() < 1e-3, "t={t}: {} vs {limit}", r.mass(t));
+            assert!(
+                (r.mass(t) - limit).abs() < 1e-3,
+                "t={t}: {} vs {limit}",
+                r.mass(t)
+            );
         }
         // M(t)/t converges to 1/μ as well.
         assert!((r.expected_events(400) / 400.0 - limit).abs() < 0.01);

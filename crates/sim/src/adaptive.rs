@@ -90,7 +90,10 @@ impl AdaptiveReport {
 
     /// QoM of the first episode (the uninformed bootstrap).
     pub fn initial_qom(&self) -> f64 {
-        self.episodes.first().map(EpisodeOutcome::qom).unwrap_or(1.0)
+        self.episodes
+            .first()
+            .map(EpisodeOutcome::qom)
+            .unwrap_or(1.0)
     }
 }
 
@@ -149,8 +152,8 @@ pub fn run_adaptive_greedy(
         }
 
         if observed_gaps.len() >= config.min_observations {
-            let fitted = EmpiricalGaps::from_slot_gaps(observed_gaps.clone())?
-                .to_slot_pmf(Some(0.5))?;
+            let fitted =
+                EmpiricalGaps::from_slot_gaps(observed_gaps.clone())?.to_slot_pmf(Some(0.5))?;
             fitted_policy = Some(GreedyPolicy::optimize(&fitted, budget, consumption)?);
         }
     }
@@ -184,7 +187,11 @@ mod tests {
         .unwrap();
         let oracle = GreedyPolicy::optimize(&truth, budget, &consumption).unwrap();
         // Bootstrap episode (aggressive) is clearly below the oracle…
-        assert!(report.initial_qom() < oracle.ideal_qom() - 0.1, "{}", report.initial_qom());
+        assert!(
+            report.initial_qom() < oracle.ideal_qom() - 0.1,
+            "{}",
+            report.initial_qom()
+        );
         // …and the converged episodes reach it (within simulation noise).
         assert!(
             report.final_qom() > oracle.ideal_qom() - 0.05,

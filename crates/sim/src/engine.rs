@@ -3,6 +3,7 @@
 use evcap_core::{ActivationPolicy, DecisionContext, InfoModel, SlotAssignment};
 use evcap_dist::SlotPmf;
 use evcap_energy::{Battery, ConsumptionModel, Energy, RechargeProcess};
+use evcap_obs::{timing, NullObserver, Observer, SlotOutcome};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -176,8 +177,24 @@ impl<'a> Simulation<'a> {
         policy: &dyn ActivationPolicy,
         make_recharge: &mut RechargeFactory<'_>,
     ) -> Result<SimReport> {
+        self.run_observed(policy, make_recharge, &mut NullObserver)
+    }
+
+    /// Like [`Simulation::run`], but reports slot-level progress into an
+    /// [`Observer`]. The engine is monomorphized over the observer type, so
+    /// `run` (which passes [`NullObserver`]) pays nothing for the hooks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_observed<O: Observer>(
+        &self,
+        policy: &dyn ActivationPolicy,
+        make_recharge: &mut RechargeFactory<'_>,
+        observer: &mut O,
+    ) -> Result<SimReport> {
         let schedule = EventSchedule::generate(self.pmf, self.slots, self.seed)?;
-        self.run_on(&schedule, policy, make_recharge)
+        self.run_on_observed(&schedule, policy, make_recharge, observer)
     }
 
     /// Runs the policy on a pre-sampled event schedule (so multiple policies
@@ -193,6 +210,21 @@ impl<'a> Simulation<'a> {
         schedule: &EventSchedule,
         policy: &dyn ActivationPolicy,
         make_recharge: &mut RechargeFactory<'_>,
+    ) -> Result<SimReport> {
+        self.run_on_observed(schedule, policy, make_recharge, &mut NullObserver)
+    }
+
+    /// Like [`Simulation::run_on`], but with an [`Observer`] attached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run_on`].
+    pub fn run_on_observed<O: Observer>(
+        &self,
+        schedule: &EventSchedule,
+        policy: &dyn ActivationPolicy,
+        make_recharge: &mut RechargeFactory<'_>,
+        observer: &mut O,
     ) -> Result<SimReport> {
         if self.slots == 0 {
             return Err(SimError::ZeroSlots);
@@ -241,6 +273,12 @@ impl<'a> Simulation<'a> {
         let mut captures: u64 = 0;
         // Reused per slot; indices of sensors that are active this slot.
         let mut active_sensors: Vec<usize> = Vec::with_capacity(self.sensors);
+        // Battery snapshots are the one observer hook with a non-trivial
+        // argument to assemble, so it is gated on the observer asking.
+        let wants_levels = observer.wants_battery_levels();
+        let mut levels_buf: Vec<f64> =
+            Vec::with_capacity(if wants_levels { self.sensors } else { 0 });
+        let run_span = timing::span("sim.run");
 
         for t in 1..=self.slots {
             // 1. Recharge every sensor (harvesting continues through
@@ -250,6 +288,9 @@ impl<'a> Simulation<'a> {
                 let overflow = batteries[s].recharge(amount);
                 stats[s].recharged += amount - overflow;
                 stats[s].overflow += overflow;
+                if overflow > Energy::ZERO {
+                    observer.on_recharge_overflow(t, s, overflow.as_units());
+                }
             }
 
             // 2. The deciding sensor(s) act.
@@ -259,7 +300,8 @@ impl<'a> Simulation<'a> {
                           batteries: &mut [Battery],
                           stats: &mut [SensorStats],
                           rng: &mut SmallRng,
-                          own_last_capture: &[u64]|
+                          own_last_capture: &[u64],
+                          observer: &mut O|
              -> (bool, bool, usize) {
                 let state = match policy.info_model() {
                     InfoModel::Full => (t - last_event) as usize,
@@ -280,6 +322,7 @@ impl<'a> Simulation<'a> {
                 let active = wanted && feasible;
                 if wanted && !feasible {
                     stats[s].forced_idle += 1;
+                    observer.on_forced_idle(t, s, ctx.battery_fraction);
                 }
                 if active {
                     let ok = batteries[s].try_consume(d1);
@@ -290,11 +333,21 @@ impl<'a> Simulation<'a> {
                 (wanted, active, state)
             };
 
+            // Slot-level aggregates reported to the observer: the owning
+            // sensor and the state it decided from, plus whether anyone
+            // wanted to / did activate.
+            let mut slot_owner = 0usize;
+            let mut slot_state = 0usize;
+            let mut slot_wanted = false;
+            let mut slot_active = false;
+
             match self.coordination {
                 Coordination::Rotating(assignment) => {
                     let owner = assignment.owner(t, self.sensors);
+                    slot_owner = owner;
                     if self.outages.is_down(owner, t) {
                         stats[owner].outage_slots += 1;
+                        observer.on_outage(t, owner);
                         if (t as usize) <= self.trace_slots {
                             trace_slot = Some(TraceRecord {
                                 slot: t,
@@ -307,8 +360,17 @@ impl<'a> Simulation<'a> {
                             });
                         }
                     } else {
-                        let (wanted, active, state) =
-                            decide(owner, &mut batteries, &mut stats, &mut rng, &own_last_capture);
+                        let (wanted, active, state) = decide(
+                            owner,
+                            &mut batteries,
+                            &mut stats,
+                            &mut rng,
+                            &own_last_capture,
+                            observer,
+                        );
+                        slot_state = state;
+                        slot_wanted = wanted;
+                        slot_active = active;
                         if active {
                             active_sensors.push(owner);
                         }
@@ -329,10 +391,24 @@ impl<'a> Simulation<'a> {
                     for s in 0..self.sensors {
                         if self.outages.is_down(s, t) {
                             stats[s].outage_slots += 1;
+                            observer.on_outage(t, s);
                             continue;
                         }
-                        let (wanted, active, state) =
-                            decide(s, &mut batteries, &mut stats, &mut rng, &own_last_capture);
+                        let (wanted, active, state) = decide(
+                            s,
+                            &mut batteries,
+                            &mut stats,
+                            &mut rng,
+                            &own_last_capture,
+                            observer,
+                        );
+                        slot_wanted |= wanted;
+                        if active && !slot_active {
+                            // Report the lowest-indexed activating sensor.
+                            slot_owner = s;
+                            slot_state = state;
+                            slot_active = true;
+                        }
                         if active {
                             active_sensors.push(s);
                         }
@@ -371,6 +447,11 @@ impl<'a> Simulation<'a> {
                 }
                 if captured_by_any && measured {
                     captures += 1;
+                    // Gap since the previous fleet-wide capture (the paper's
+                    // renewal-cycle length), measured before the update.
+                    observer.on_capture(t, active_sensors[0], t - shared_last_capture);
+                } else if !captured_by_any && measured {
+                    observer.on_miss(t);
                 }
                 if captured_by_any {
                     shared_last_capture = t;
@@ -391,7 +472,25 @@ impl<'a> Simulation<'a> {
                     });
                 }
             }
+            if wants_levels {
+                levels_buf.clear();
+                levels_buf.extend(batteries.iter().map(Battery::fill_fraction));
+                observer.on_battery_levels(t, &levels_buf);
+            }
+            observer.on_slot(&SlotOutcome {
+                slot: t,
+                owner: slot_owner,
+                state: slot_state,
+                wanted: slot_wanted,
+                active: slot_active,
+                event,
+                captured: captured_by_any,
+                measured,
+            });
         }
+
+        drop(run_span);
+        timing::add_count("sim.slots", self.slots);
 
         for (s, stat) in stats.iter_mut().enumerate() {
             stat.final_level = batteries[s].level();
@@ -482,7 +581,11 @@ mod tests {
             .seed(11)
             .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
             .unwrap();
-        assert!((report.discharge_rate() - 0.5).abs() < 0.02, "{}", report.discharge_rate());
+        assert!(
+            (report.discharge_rate() - 0.5).abs() < 0.02,
+            "{}",
+            report.discharge_rate()
+        );
     }
 
     #[test]
@@ -506,7 +609,11 @@ mod tests {
         let sim = Simulation::builder(&pmf).slots(20_000).seed(17);
         let agg = sim
             .clone()
-            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .run_on(
+                &schedule,
+                &AggressivePolicy::new(),
+                &mut bernoulli(0.5, 1.0),
+            )
             .unwrap();
         let per = PeriodicPolicy::new(3, 30).unwrap();
         let perr = sim
@@ -658,7 +765,10 @@ mod tests {
             .run(&AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
             .unwrap();
         assert!(degraded.qom() < clean.qom());
-        assert!(degraded.qom() > 0.5 * clean.qom(), "degrades, not collapses");
+        assert!(
+            degraded.qom() > 0.5 * clean.qom(),
+            "degrades, not collapses"
+        );
     }
 
     #[test]
@@ -668,13 +778,21 @@ mod tests {
         let full = Simulation::builder(&pmf)
             .slots(60_000)
             .seed(47)
-            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .run_on(
+                &schedule,
+                &AggressivePolicy::new(),
+                &mut bernoulli(0.5, 1.0),
+            )
             .unwrap();
         let warmed = Simulation::builder(&pmf)
             .slots(60_000)
             .seed(47)
             .warmup_slots(30_000)
-            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .run_on(
+                &schedule,
+                &AggressivePolicy::new(),
+                &mut bernoulli(0.5, 1.0),
+            )
             .unwrap();
         assert!(warmed.events < full.events);
         // Roughly half the events fall after warm-up.
@@ -699,9 +817,177 @@ mod tests {
         let report = Simulation::builder(&pmf)
             .slots(50_000)
             .seed(49)
-            .run_on(&schedule, &AggressivePolicy::new(), &mut bernoulli(0.5, 1.0))
+            .run_on(
+                &schedule,
+                &AggressivePolicy::new(),
+                &mut bernoulli(0.5, 1.0),
+            )
             .unwrap();
         assert_eq!(report.events, schedule.count());
+    }
+
+    #[test]
+    fn observer_sees_the_same_run_as_the_report() {
+        use evcap_obs::{ObsConfig, ObsSuite};
+        let pmf = weibull_pmf();
+        let sim = Simulation::builder(&pmf).slots(30_000).seed(53).sensors(2);
+        let plain = sim
+            .clone()
+            .run(&AggressivePolicy::new(), &mut bernoulli(0.3, 1.0))
+            .unwrap();
+        let mut suite = ObsSuite::new(ObsConfig {
+            qom_window: 1_000,
+            ..ObsConfig::default()
+        });
+        let observed = sim
+            .run_observed(
+                &AggressivePolicy::new(),
+                &mut bernoulli(0.3, 1.0),
+                &mut suite,
+            )
+            .unwrap();
+        suite.seal();
+
+        // Attaching an observer must not perturb the simulation.
+        assert_eq!(plain, observed);
+
+        // The suite's counters agree with the report.
+        let c = suite.counters();
+        assert_eq!(c.slots, observed.slots);
+        assert_eq!(c.events, observed.events);
+        assert_eq!(c.captures, observed.captures);
+        assert_eq!(c.misses, observed.events - observed.captures);
+
+        // The convergence series covers the horizon and sums to the totals.
+        let windows = suite.convergence().series();
+        assert_eq!(windows.len(), 30);
+        let last = windows.last().unwrap();
+        assert_eq!(last.cumulative_events, observed.events);
+        assert_eq!(last.cumulative_captures, observed.captures);
+
+        // Gap samples: one per fleet-wide capture, gaps spanning the run.
+        assert_eq!(suite.gaps().samples(), observed.captures);
+        // Battery histogram sampled on its period.
+        assert!(suite.battery().histogram().samples() > 0);
+    }
+
+    #[test]
+    fn observer_counts_forced_idle_and_overflow() {
+        use evcap_obs::{ObsConfig, ObsSuite};
+        let pmf = weibull_pmf();
+
+        // A starved aggressive sensor is forced idle most slots; the observer
+        // must agree exactly with the report.
+        let mut suite = ObsSuite::new(ObsConfig::default());
+        let report = Simulation::builder(&pmf)
+            .slots(20_000)
+            .seed(59)
+            .battery(Energy::from_units(8.0))
+            .run_observed(
+                &AggressivePolicy::new(),
+                &mut |_| Box::new(ConstantRecharge::new(Energy::from_units(0.25)).unwrap()),
+                &mut suite,
+            )
+            .unwrap();
+        suite.seal();
+        assert_eq!(suite.streaks().total(), report.total_forced_idle());
+        assert!(suite.streaks().total() > 0);
+
+        // A lazy duty cycle with generous harvesting pins the battery at
+        // capacity: recharge overflows, and the observer sums the losses.
+        let mut suite = ObsSuite::new(ObsConfig::default());
+        let per = PeriodicPolicy::new(1, 50).unwrap();
+        let report = Simulation::builder(&pmf)
+            .slots(20_000)
+            .seed(59)
+            .battery(Energy::from_units(20.0))
+            .run_observed(
+                &per,
+                &mut |_| Box::new(ConstantRecharge::new(Energy::from_units(1.0)).unwrap()),
+                &mut suite,
+            )
+            .unwrap();
+        suite.seal();
+        let report_overflow: f64 = report.sensors.iter().map(|s| s.overflow.as_units()).sum();
+        assert!(report_overflow > 0.0);
+        assert!((suite.counters().overflow_lost_units - report_overflow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_conserves_with_observer_and_outages() {
+        use evcap_obs::{ObsConfig, ObsSuite};
+        let pmf = weibull_pmf();
+        let plan = OutagePlan::from_windows(vec![
+            OutageWindow {
+                sensor: 0,
+                from: 5_000,
+                to: 15_000,
+            },
+            OutageWindow {
+                sensor: 1,
+                from: 30_000,
+                to: 35_000,
+            },
+        ]);
+        let mut suite = ObsSuite::new(ObsConfig::default());
+        let report = Simulation::builder(&pmf)
+            .slots(50_000)
+            .seed(61)
+            .sensors(3)
+            .outages(plan)
+            .run_observed(
+                &AggressivePolicy::new(),
+                &mut bernoulli(0.5, 1.0),
+                &mut suite,
+            )
+            .unwrap();
+        suite.seal();
+        for (i, s) in report.sensors.iter().enumerate() {
+            assert!(s.conserves_energy(), "sensor {i}: {s:?}");
+        }
+        // Rotating coordination: only slots the down sensor *owned* count,
+        // so roughly a third of each window lands in the statistics.
+        let outage_total: u64 = report.sensors.iter().map(|s| s.outage_slots).sum();
+        assert_eq!(suite.counters().outage_slots, outage_total);
+        assert!(
+            outage_total > 4_000 && outage_total < 6_000,
+            "{outage_total}"
+        );
+    }
+
+    #[test]
+    fn independent_mode_reports_slot_outcomes() {
+        use evcap_obs::{Observer, SlotOutcome};
+        #[derive(Default)]
+        struct Collect {
+            active_slots: u64,
+            owners: Vec<usize>,
+        }
+        impl Observer for Collect {
+            fn on_slot(&mut self, o: &SlotOutcome) {
+                if o.active {
+                    self.active_slots += 1;
+                    self.owners.push(o.owner);
+                }
+            }
+        }
+        let pmf = weibull_pmf();
+        let mut collect = Collect::default();
+        let report = Simulation::builder(&pmf)
+            .slots(5_000)
+            .seed(67)
+            .sensors(3)
+            .independent()
+            .run_observed(
+                &AggressivePolicy::new(),
+                &mut |_| Box::new(ConstantRecharge::new(Energy::from_units(10.0)).unwrap()),
+                &mut collect,
+            )
+            .unwrap();
+        // Aggressive + abundant energy: every sensor activates every slot, so
+        // every slot is active and the reported owner is sensor 0.
+        assert_eq!(collect.active_slots, report.slots);
+        assert!(collect.owners.iter().all(|&o| o == 0));
     }
 
     #[test]

@@ -41,9 +41,15 @@ impl fmt::Display for SimError {
             SimError::ScheduleTooShort {
                 schedule_slots,
                 needed,
-            } => write!(f, "event schedule covers {schedule_slots} slots but {needed} are needed"),
+            } => write!(
+                f,
+                "event schedule covers {schedule_slots} slots but {needed} are needed"
+            ),
             SimError::TargetUnreachable { target, best } => {
-                write!(f, "target qom {target} is unreachable; best observed was {best}")
+                write!(
+                    f,
+                    "target qom {target} is unreachable; best observed was {best}"
+                )
             }
         }
     }

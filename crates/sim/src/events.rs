@@ -93,7 +93,10 @@ impl EventSchedule {
     pub fn from_slots(event_slots: Vec<u64>, slots: u64) -> Self {
         let mut prev = 0;
         for &s in &event_slots {
-            assert!(s > prev, "event slots must be strictly increasing and 1-based");
+            assert!(
+                s > prev,
+                "event slots must be strictly increasing and 1-based"
+            );
             assert!(s <= slots, "event slot {s} exceeds horizon {slots}");
             prev = s;
         }
@@ -175,8 +178,7 @@ impl EventCursor<'_> {
         {
             self.next += 1;
         }
-        self.next < self.schedule.event_slots.len()
-            && self.schedule.event_slots[self.next] == slot
+        self.next < self.schedule.event_slots.len() && self.schedule.event_slots[self.next] == slot
     }
 }
 
@@ -247,8 +249,7 @@ mod tests {
     #[test]
     fn stationary_start_with_geometric_tail() {
         // Markov-style pmf whose equilibrium wait must account for the tail.
-        let pmf =
-            evcap_dist::SlotPmf::with_tail(vec![0.4], 0.6, 0.2, "tailed".into()).unwrap();
+        let pmf = evcap_dist::SlotPmf::with_tail(vec![0.4], 0.6, 0.2, "tailed".into()).unwrap();
         let schedule = EventSchedule::generate_stationary(&pmf, 200_000, 7).unwrap();
         let rate = schedule.count() as f64 / 200_000.0;
         assert!((rate - 1.0 / pmf.mean()).abs() < 0.005, "{rate}");

@@ -121,11 +121,21 @@ impl SimReport {
     /// single sensor; 0.0 if some sensor never activates while another
     /// does).
     pub fn load_balance(&self) -> f64 {
-        let max = self.sensors.iter().map(|s| s.activations).max().unwrap_or(0);
+        let max = self
+            .sensors
+            .iter()
+            .map(|s| s.activations)
+            .max()
+            .unwrap_or(0);
         if max == 0 {
             return 1.0;
         }
-        let min = self.sensors.iter().map(|s| s.activations).min().unwrap_or(0);
+        let min = self
+            .sensors
+            .iter()
+            .map(|s| s.activations)
+            .min()
+            .unwrap_or(0);
         min as f64 / max as f64
     }
 

@@ -65,7 +65,11 @@ impl OutagePlan {
             while t <= horizon {
                 if rng.random::<f64>() < p_fail {
                     let to = (t + down_slots.saturating_sub(1)).min(horizon);
-                    windows.push(OutageWindow { sensor, from: t, to });
+                    windows.push(OutageWindow {
+                        sensor,
+                        from: t,
+                        to,
+                    });
                     t = to + 1;
                 } else {
                     t += period;
@@ -132,8 +136,16 @@ mod tests {
     #[test]
     fn multiple_windows_per_sensor() {
         let plan = OutagePlan::from_windows(vec![
-            OutageWindow { sensor: 0, from: 30, to: 40 },
-            OutageWindow { sensor: 0, from: 5, to: 8 },
+            OutageWindow {
+                sensor: 0,
+                from: 30,
+                to: 40,
+            },
+            OutageWindow {
+                sensor: 0,
+                from: 5,
+                to: 8,
+            },
         ]);
         assert!(plan.is_down(0, 6));
         assert!(!plan.is_down(0, 20));
@@ -143,7 +155,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "inverted")]
     fn rejects_inverted_windows() {
-        OutagePlan::from_windows(vec![OutageWindow { sensor: 0, from: 9, to: 3 }]);
+        OutagePlan::from_windows(vec![OutageWindow {
+            sensor: 0,
+            from: 9,
+            to: 3,
+        }]);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn recommend_capacity(
         return Err(SimError::ZeroSlots);
     }
     let probe = |capacity: f64,
-                     make_recharge: &mut (dyn FnMut(usize) -> Box<dyn RechargeProcess> + '_)|
+                 make_recharge: &mut (dyn FnMut(usize) -> Box<dyn RechargeProcess> + '_)|
      -> Result<Summary> {
         let mut failure: Option<SimError> = None;
         let summary = replicate(opts.seed, opts.replications, |seed| {

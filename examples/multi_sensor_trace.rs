@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The M-FI plan: greedy policy at aggregate rate 2e, round-robin slots.
     let plan = MultiSensorPlan::m_fi(&pmf, per_sensor, 2, &consumption)?;
-    println!("policy: {}", evcap::core::ActivationPolicy::label(plan.policy()));
+    println!(
+        "policy: {}",
+        evcap::core::ActivationPolicy::label(plan.policy())
+    );
     println!();
 
     let report = Simulation::builder(&pmf)
@@ -35,9 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })?;
 
     // The Section V trace table: I = not in charge, a1 = activate, a2 = idle.
-    println!("slot t            : {}", row(&report.trace, |r| format!("{:>3}", r.slot)));
-    println!("sensor in charge  : {}", row(&report.trace, |r| format!("{:>3}", r.owner + 1)));
-    println!("event state H_t   : {}", row(&report.trace, |r| format!("h{:<2}", r.state)));
+    println!(
+        "slot t            : {}",
+        row(&report.trace, |r| format!("{:>3}", r.slot))
+    );
+    println!(
+        "sensor in charge  : {}",
+        row(&report.trace, |r| format!("{:>3}", r.owner + 1))
+    );
+    println!(
+        "event state H_t   : {}",
+        row(&report.trace, |r| format!("h{:<2}", r.state))
+    );
     for sensor in 0..2 {
         let actions = row(&report.trace, |r| {
             if r.owner != sensor {
@@ -50,8 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         println!("sensor {}'s action : {actions}", sensor + 1);
     }
-    println!("event V_t         : {}", row(&report.trace, |r| format!("{:>3}", u8::from(r.event))));
-    println!("captured          : {}", row(&report.trace, |r| format!("{:>3}", u8::from(r.captured))));
+    println!(
+        "event V_t         : {}",
+        row(&report.trace, |r| format!("{:>3}", u8::from(r.event)))
+    );
+    println!(
+        "captured          : {}",
+        row(&report.trace, |r| format!("{:>3}", u8::from(r.captured)))
+    );
     println!();
 
     // Fleet scaling: the per-sensor recharge stays fixed; pooled energy and
@@ -68,12 +86,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .run(plan.policy(), &mut |_| {
                 Box::new(BernoulliRecharge::new(0.5, Energy::from_units(0.6)).expect("valid"))
             })?;
-        println!("{n:>3}  {:>8.4}  {:>10.3}", report.qom(), report.load_balance());
+        println!(
+            "{n:>3}  {:>8.4}  {:>10.3}",
+            report.qom(),
+            report.load_balance()
+        );
     }
     Ok(())
 }
 
 /// Formats one row of the trace table.
-fn row(trace: &[evcap::sim::TraceRecord], f: impl Fn(&evcap::sim::TraceRecord) -> String) -> String {
+fn row(
+    trace: &[evcap::sim::TraceRecord],
+    f: impl Fn(&evcap::sim::TraceRecord) -> String,
+) -> String {
     trace.iter().map(f).collect::<Vec<_>>().join(" ")
 }

@@ -21,28 +21,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Four segments: aging trunk main (frequent, critical), two arterials,
     // and a new lateral with rare heavy-tailed failures.
-    let pois = [("trunk main", PoiSpec {
-            pmf: Discretizer::new().discretize(&Weibull::new(25.0, 3.0)?)?,
-            weight: 3.0,
-        }),
-        ("arterial A", PoiSpec {
-            pmf: Discretizer::new().discretize(&Weibull::new(40.0, 3.0)?)?,
-            weight: 1.5,
-        }),
-        ("arterial B", PoiSpec {
-            pmf: Discretizer::new().discretize(&Weibull::new(55.0, 2.5)?)?,
-            weight: 1.0,
-        }),
-        ("new lateral", PoiSpec {
-            pmf: Discretizer::new().max_horizon(2_000).discretize(&Pareto::new(2.0, 30.0)?)?,
-            weight: 0.5,
-        })];
+    let pois = [
+        (
+            "trunk main",
+            PoiSpec {
+                pmf: Discretizer::new().discretize(&Weibull::new(25.0, 3.0)?)?,
+                weight: 3.0,
+            },
+        ),
+        (
+            "arterial A",
+            PoiSpec {
+                pmf: Discretizer::new().discretize(&Weibull::new(40.0, 3.0)?)?,
+                weight: 1.5,
+            },
+        ),
+        (
+            "arterial B",
+            PoiSpec {
+                pmf: Discretizer::new().discretize(&Weibull::new(55.0, 2.5)?)?,
+                weight: 1.0,
+            },
+        ),
+        (
+            "new lateral",
+            PoiSpec {
+                pmf: Discretizer::new()
+                    .max_horizon(2_000)
+                    .discretize(&Pareto::new(2.0, 30.0)?)?,
+                weight: 0.5,
+            },
+        ),
+    ];
     let specs: Vec<PoiSpec> = pois.iter().map(|(_, s)| s.clone()).collect();
 
     let allocator = FleetAllocator::new(per_sensor, consumption);
     let plan = allocator.allocate(&specs, fleet)?;
 
-    println!("{:<12} {:>7} {:>8} {:>12} {:>14}", "segment", "weight", "sensors", "planned QoM", "simulated QoM");
+    println!(
+        "{:<12} {:>7} {:>8} {:>12} {:>14}",
+        "segment", "weight", "sensors", "planned QoM", "simulated QoM"
+    );
     let mut planned_total = 0.0;
     let mut simulated_total = 0.0;
     for (i, (name, spec)) in pois.iter().enumerate() {
@@ -58,9 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .assignment(mfi.assignment())
                 .battery(Energy::from_units(1000.0))
                 .run(mfi.policy(), &mut |_| {
-                    Box::new(
-                        BernoulliRecharge::new(0.4, Energy::from_units(0.3)).expect("valid"),
-                    )
+                    Box::new(BernoulliRecharge::new(0.4, Energy::from_units(0.3)).expect("valid"))
                 })?
                 .qom()
         };

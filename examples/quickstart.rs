@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = EnergyBudget::per_slot(0.5);
     let policy = GreedyPolicy::optimize(&pmf, budget, &consumption)?;
     println!("policy        : {}", policy.label());
-    println!("ideal QoM     : {:.4} (energy assumption)", policy.ideal_qom());
+    println!(
+        "ideal QoM     : {:.4} (energy assumption)",
+        policy.ideal_qom()
+    );
 
     // Show the water-filling structure: cooling until the hazard justifies
     // the energy, then always-on.

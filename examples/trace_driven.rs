@@ -34,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("observed {} events over one month", log.count());
 
     // 2. Fit the empirical process from the logged event slots.
-    let fitted = EmpiricalGaps::from_event_slots(log.event_slots())?
-        .to_slot_pmf(Some(0.5))?;
+    let fitted = EmpiricalGaps::from_event_slots(log.event_slots())?.to_slot_pmf(Some(0.5))?;
     println!(
         "fitted mean gap {:.2} vs truth {:.2} slots",
         fitted.mean(),

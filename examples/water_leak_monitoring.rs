@@ -13,9 +13,7 @@
 //! policy, and an energy-balanced periodic schedule — all on the *same*
 //! sampled leak timeline.
 
-use evcap::core::{
-    ActivationPolicy, AggressivePolicy, EnergyBudget, GreedyPolicy, PeriodicPolicy,
-};
+use evcap::core::{ActivationPolicy, AggressivePolicy, EnergyBudget, GreedyPolicy, PeriodicPolicy};
 use evcap::dist::{Discretizer, Weibull};
 use evcap::energy::{BernoulliRecharge, ConsumptionModel, Energy};
 use evcap::sim::{EventSchedule, Simulation};

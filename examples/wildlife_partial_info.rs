@@ -13,9 +13,7 @@
 //! The example prints the optimized region structure and compares it against
 //! the aggressive baseline on a shared sighting timeline.
 
-use evcap::core::{
-    AggressivePolicy, ClusteringOptimizer, EnergyBudget, EvalOptions,
-};
+use evcap::core::{AggressivePolicy, ClusteringOptimizer, EnergyBudget, EvalOptions};
 use evcap::dist::{Discretizer, Pareto};
 use evcap::energy::{BernoulliRecharge, ConsumptionModel, Energy};
 use evcap::sim::{EventSchedule, Simulation};
@@ -35,13 +33,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .optimize(&pmf, &consumption)?;
 
-    println!("event process : {} (mean gap {:.1} slots)", pmf.label(), pmf.mean());
+    println!(
+        "event process : {} (mean gap {:.1} slots)",
+        pmf.label(),
+        pmf.mean()
+    );
     println!("harvest rate  : e = {e} units/slot");
     println!();
     println!("optimized clustering regions:");
     println!("  cooling  : slots 1..{}", policy.n1().saturating_sub(1));
     println!("  hot      : slots {}..={}", policy.n1(), policy.n2());
-    println!("  cooling  : slots {}..{}", policy.n2() + 1, policy.n3().saturating_sub(1));
+    println!(
+        "  cooling  : slots {}..{}",
+        policy.n2() + 1,
+        policy.n3().saturating_sub(1)
+    );
     println!("  recovery : slots {}.. (aggressive)", policy.n3());
     let (c1, c2, c3) = policy.boundary_coefficients();
     println!("  boundary coefficients: c_n1={c1:.3}, c_n2={c2:.3}, c_n3={c3:.3}");

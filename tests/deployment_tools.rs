@@ -79,7 +79,10 @@ fn adaptation_closes_most_of_the_oracle_gap() {
         .ideal_qom();
     let gap_start = oracle - report.initial_qom();
     let gap_end = oracle - report.final_qom();
-    assert!(gap_start > 0.15, "bootstrap should trail the oracle: {gap_start}");
+    assert!(
+        gap_start > 0.15,
+        "bootstrap should trail the oracle: {gap_start}"
+    );
     assert!(
         gap_end < 0.3 * gap_start,
         "adaptation closed too little: {gap_end} of {gap_start}"
@@ -93,12 +96,22 @@ fn fleet_plan_survives_simulation() {
     let consumption = ConsumptionModel::paper_defaults();
     let per_sensor = EnergyBudget::per_slot(0.12);
     let pois = [
-        PoiSpec { pmf: weibull(25.0), weight: 2.0 },
-        PoiSpec { pmf: weibull(55.0), weight: 0.5 },
+        PoiSpec {
+            pmf: weibull(25.0),
+            weight: 2.0,
+        },
+        PoiSpec {
+            pmf: weibull(55.0),
+            weight: 0.5,
+        },
     ];
     let allocator = FleetAllocator::new(per_sensor, consumption);
     let plan = allocator.allocate(&pois, 6).unwrap();
-    assert!(plan.allocation[0] > plan.allocation[1], "{:?}", plan.allocation);
+    assert!(
+        plan.allocation[0] > plan.allocation[1],
+        "{:?}",
+        plan.allocation
+    );
 
     let simulate_split = |split: &[usize]| -> f64 {
         let mut total = 0.0;
@@ -106,8 +119,7 @@ fn fleet_plan_survives_simulation() {
             if split[i] == 0 {
                 continue;
             }
-            let mfi = MultiSensorPlan::m_fi(&poi.pmf, per_sensor, split[i], &consumption)
-                .unwrap();
+            let mfi = MultiSensorPlan::m_fi(&poi.pmf, per_sensor, split[i], &consumption).unwrap();
             let qom = Simulation::builder(&poi.pmf)
                 .slots(250_000)
                 .seed(91 + i as u64)

@@ -41,10 +41,7 @@ fn fig3b_converges_to_clustering_bound() {
     }
     // The partial-information bound is below the full-information one.
     let fi = runners::fig3a(scale());
-    assert!(
-        fig.series("UpperBound").last_y().unwrap()
-            < fi.series("UpperBound").last_y().unwrap()
-    );
+    assert!(fig.series("UpperBound").last_y().unwrap() < fi.series("UpperBound").last_y().unwrap());
 }
 
 #[test]
@@ -117,8 +114,7 @@ fn fig6a_coordination_beats_baselines_and_saturates() {
     }
     // M-PI approaches M-FI as N grows (the paper's observation).
     let gap_small = fig.series("M-FI").points[0].1 - fig.series("M-PI").points[0].1;
-    let gap_large =
-        fig.series("M-FI").last_y().unwrap() - fig.series("M-PI").last_y().unwrap();
+    let gap_large = fig.series("M-FI").last_y().unwrap() - fig.series("M-PI").last_y().unwrap();
     assert!(gap_large < gap_small, "{gap_large} vs {gap_small}");
     // M-FI saturates near 1 well before the largest fleet.
     assert!(fig.series("M-FI").last_y().unwrap() > 0.98);
@@ -135,8 +131,7 @@ fn fig6b_energy_sweep_keeps_ordering() {
         assert!(pi > ag - 0.02, "c={c}");
     }
     let gap_small = fig.series("M-FI").points[0].1 - fig.series("M-PI").points[0].1;
-    let gap_large =
-        fig.series("M-FI").last_y().unwrap() - fig.series("M-PI").last_y().unwrap();
+    let gap_large = fig.series("M-FI").last_y().unwrap() - fig.series("M-PI").last_y().unwrap();
     assert!(gap_large < gap_small);
 }
 

@@ -37,15 +37,17 @@ fn qom_scales_with_fleet_size() {
         assert!(qom > last - 0.01, "N={n}: {qom} after {last}");
         last = qom;
     }
-    assert!(last > 0.8, "8 sensors should get close to full capture: {last}");
+    assert!(
+        last > 0.8,
+        "8 sensors should get close to full capture: {last}"
+    );
 }
 
 #[test]
 fn only_the_owner_ever_activates() {
     let pmf = weibull();
     let consumption = ConsumptionModel::paper_defaults();
-    let plan =
-        MultiSensorPlan::m_fi(&pmf, EnergyBudget::per_slot(0.3), 3, &consumption).unwrap();
+    let plan = MultiSensorPlan::m_fi(&pmf, EnergyBudget::per_slot(0.3), 3, &consumption).unwrap();
     let report = Simulation::builder(&pmf)
         .slots(5_000)
         .seed(37)
@@ -76,12 +78,8 @@ fn full_information_state_resets_on_missed_events_too() {
     // (energy permitting).
     let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
     let consumption = ConsumptionModel::paper_defaults();
-    let policy = GreedyPolicy::optimize(
-        &pmf,
-        EnergyBudget::per_slot(7.0 / 5.0),
-        &consumption,
-    )
-    .unwrap();
+    let policy =
+        GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(7.0 / 5.0), &consumption).unwrap();
     assert_eq!(policy.info_model(), InfoModel::Full);
     let report = Simulation::builder(&pmf)
         .slots(50_000)
@@ -126,8 +124,7 @@ fn coordinated_beats_duplicated_effort() {
     let pmf = weibull();
     let coordinated = run_m_fi(&pmf, 4, 0.1, 300_000, 47).qom();
     let consumption = ConsumptionModel::paper_defaults();
-    let pooled =
-        GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.4), &consumption).unwrap();
+    let pooled = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.4), &consumption).unwrap();
     let single = Simulation::builder(&pmf)
         .slots(300_000)
         .seed(47)
@@ -155,9 +152,8 @@ fn weighted_assignment_helps_heterogeneous_fleets() {
     let aggregate = EnergyBudget::per_slot(rates.iter().sum());
     let policy = GreedyPolicy::optimize(&pmf, aggregate, &consumption).unwrap();
     let mut recharge = |s: usize| {
-        Box::new(
-            BernoulliRecharge::new(0.5, Energy::from_units(2.0 * rates[s])).expect("valid"),
-        ) as Box<dyn RechargeProcess>
+        Box::new(BernoulliRecharge::new(0.5, Energy::from_units(2.0 * rates[s])).expect("valid"))
+            as Box<dyn RechargeProcess>
     };
     let run = |assignment: SlotAssignment,
                recharge: &mut dyn FnMut(usize) -> Box<dyn RechargeProcess>| {
@@ -188,7 +184,11 @@ fn load_is_balanced_across_the_fleet() {
     let report = run_m_fi(&pmf, 5, 0.1, 300_000, 53);
     assert!(report.load_balance() > 0.95, "{}", report.load_balance());
     // Energy use is also balanced.
-    let consumed: Vec<f64> = report.sensors.iter().map(|s| s.consumed.as_units()).collect();
+    let consumed: Vec<f64> = report
+        .sensors
+        .iter()
+        .map(|s| s.consumed.as_units())
+        .collect();
     let max = consumed.iter().cloned().fold(0.0, f64::max);
     let min = consumed.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(min / max > 0.9, "consumed spread {min}..{max}");

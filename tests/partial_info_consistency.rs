@@ -12,7 +12,12 @@ use evcap::sim::Simulation;
 
 /// Measures empirical β̂_i from a traced simulation: among the times the
 /// capture chain reached state i, how often did an event occur in that slot?
-fn empirical_hazards(pmf: &SlotPmf, policy: &ClusteringPolicy, slots: u64, max_state: usize) -> Vec<(f64, u64)> {
+fn empirical_hazards(
+    pmf: &SlotPmf,
+    policy: &ClusteringPolicy,
+    slots: u64,
+    max_state: usize,
+) -> Vec<(f64, u64)> {
     let report = Simulation::builder(pmf)
         .slots(slots)
         .seed(61)
@@ -38,7 +43,14 @@ fn empirical_hazards(pmf: &SlotPmf, policy: &ClusteringPolicy, slots: u64, max_s
     (1..=max_state)
         .map(|i| {
             let v = visits[i];
-            (if v == 0 { f64::NAN } else { hits[i] as f64 / v as f64 }, v)
+            (
+                if v == 0 {
+                    f64::NAN
+                } else {
+                    hits[i] as f64 / v as f64
+                },
+                v,
+            )
         })
         .collect()
 }
@@ -83,10 +95,7 @@ fn missed_mass_concentrates_in_cooling_regions() {
     let mut dp = AgeBeliefDp::new(&pmf);
     for i in 1..=40 {
         let step = dp.step(always.probability(&DecisionContext::stationary(i)));
-        assert!(
-            (step.hazard - pmf.hazard(i)).abs() < 1e-12,
-            "state {i}"
-        );
+        assert!((step.hazard - pmf.hazard(i)).abs() < 1e-12, "state {i}");
     }
     assert!(dp.survival() < 1e-9, "{}", dp.survival());
 }

@@ -33,8 +33,7 @@ fn greedy_achieves_ideal_qom_weibull() {
         .unwrap();
     let consumption = ConsumptionModel::paper_defaults();
     for e in [0.2, 0.5, 1.0] {
-        let policy =
-            GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption).unwrap();
+        let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption).unwrap();
         let qom = simulate(&pmf, &policy, e, 11);
         assert!(
             (qom - policy.ideal_qom()).abs() < 0.015,
@@ -51,8 +50,7 @@ fn greedy_achieves_ideal_qom_pareto() {
         .discretize(&Pareto::new(2.0, 10.0).unwrap())
         .unwrap();
     let consumption = ConsumptionModel::paper_defaults();
-    let policy =
-        GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.4), &consumption).unwrap();
+    let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.4), &consumption).unwrap();
     let qom = simulate(&pmf, &policy, 0.4, 13);
     assert!(
         (qom - policy.ideal_qom()).abs() < 0.02,
@@ -131,8 +129,7 @@ fn memoryless_process_cannot_be_exploited() {
     let pmf = SlotPmf::from_hazards(&[p]).unwrap();
     let consumption = ConsumptionModel::paper_defaults();
     let e = 0.4;
-    let greedy =
-        GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption).unwrap();
+    let greedy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption).unwrap();
     let (_, cluster_eval) = ClusteringOptimizer::new(EnergyBudget::per_slot(e))
         .optimize(&pmf, &consumption)
         .unwrap();

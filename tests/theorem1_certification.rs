@@ -103,8 +103,7 @@ fn optimal_capture_formula_of_theorem_1() {
         .discretize(&Weibull::new(20.0, 3.0).unwrap())
         .unwrap();
     let consumption = ConsumptionModel::paper_defaults();
-    let policy =
-        GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption).unwrap();
+    let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption).unwrap();
     // Find the threshold k+1 (first positive coefficient).
     let k1 = (1..=pmf.horizon())
         .find(|&i| policy.coefficient(i) > 0.0)
