@@ -9,8 +9,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Applies `f` to every item on up to `threads` worker threads (capped at
-/// the item count and the machine's parallelism), returning results in the
-/// input order.
+/// the item count), returning results in the input order.
+///
+/// The thread count defaults to the machine's available parallelism; the
+/// `EVCAP_THREADS` environment variable overrides it (in either direction:
+/// CI pins worker counts deterministically, and I/O-bound callers like
+/// `evcap loadgen` oversubscribe cores with connection-per-thread workers).
 ///
 /// # Panics
 ///
@@ -26,9 +30,15 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let default_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let default_threads = std::env::var("EVCAP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
     let threads = default_threads.min(n).max(1);
     if threads == 1 {
         return items.into_iter().map(f).collect();
@@ -99,6 +109,24 @@ mod tests {
         });
         assert_eq!(out.len(), 32);
         assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn evcap_threads_override_is_honored() {
+        // Set the override for this process; the map below must still be
+        // correct (and exercise the multi-thread claim/deposit path even on
+        // a single-core machine). The variable is cleared afterwards so
+        // other tests see the default behavior.
+        std::env::set_var("EVCAP_THREADS", "4");
+        let out = parallel_map((0..64).collect(), |i: i32| i * 2);
+        std::env::remove_var("EVCAP_THREADS");
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+
+        // Garbage values fall back to the default.
+        std::env::set_var("EVCAP_THREADS", "zero");
+        let out = parallel_map(vec![1, 2, 3], |i: i32| i);
+        std::env::remove_var("EVCAP_THREADS");
+        assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]

@@ -109,6 +109,106 @@ pub fn with_throughput<R>(label: &str, f: impl FnOnce() -> R) -> R {
     result
 }
 
+/// Request-latency percentiles for a load-generation run, computed exactly
+/// from the recorded per-request samples (unlike the server's bucketed
+/// [`evcap_obs::LatencyHistogram`], the loadgen holds every sample in
+/// memory, so its percentiles are order statistics, not bucket bounds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Successful requests.
+    pub count: u64,
+    /// Failed requests (connect/parse/non-2xx).
+    pub errors: u64,
+    /// Wall-clock seconds of the whole run.
+    pub wall_seconds: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Worst latency, microseconds.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes per-request samples (nanoseconds). Sorts in place.
+    pub fn from_samples_ns(samples: &mut [u64], errors: u64, wall_seconds: f64) -> Self {
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let pick = |q: f64| -> f64 {
+            if samples.is_empty() {
+                return 0.0;
+            }
+            // The ceil-rank order statistic: the smallest sample ≥ q of the
+            // distribution, matching the loadgen convention of textbooks.
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1] as f64 / 1e3
+        };
+        let mean_us = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().map(|&ns| ns as f64).sum::<f64>() / count as f64 / 1e3
+        };
+        Self {
+            count,
+            errors,
+            wall_seconds,
+            mean_us,
+            p50_us: pick(0.50),
+            p90_us: pick(0.90),
+            p99_us: pick(0.99),
+            max_us: samples.last().map_or(0.0, |&ns| ns as f64 / 1e3),
+        }
+    }
+
+    /// Successful requests per wall-clock second.
+    pub fn requests_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.count as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The JSONL record appended to `EVCAP_PERF_LOG` (`type: "loadgen"`).
+    pub fn record(&self, label: &str) -> JsonObject {
+        let mut obj = JsonObject::with_type("loadgen");
+        obj.field_str("label", label);
+        obj.field_u64("requests", self.count);
+        obj.field_u64("errors", self.errors);
+        obj.field_f64("wall_seconds", self.wall_seconds);
+        obj.field_f64("requests_per_second", self.requests_per_second());
+        obj.field_f64("mean_us", self.mean_us);
+        obj.field_f64("p50_us", self.p50_us);
+        obj.field_f64("p90_us", self.p90_us);
+        obj.field_f64("p99_us", self.p99_us);
+        obj.field_f64("max_us", self.max_us);
+        obj
+    }
+}
+
+/// Reports a loadgen run the same way `with_throughput` reports figure
+/// runners: one line on stderr plus an `EVCAP_PERF_LOG` append when set.
+pub fn report_loadgen(label: &str, summary: &LatencySummary) {
+    eprintln!(
+        "# perf {label}: {} requests ({} errors) in {:.2} s, {:.0} req/s, p50 {:.0} µs, p99 {:.0} µs",
+        summary.count,
+        summary.errors,
+        summary.wall_seconds,
+        summary.requests_per_second(),
+        summary.p50_us,
+        summary.p99_us,
+    );
+    if let Ok(path) = std::env::var("EVCAP_PERF_LOG") {
+        if let Err(err) = append_record(&path, summary.record(label)) {
+            eprintln!("# perf {label}: cannot append to {path}: {err}");
+        }
+    }
+}
+
 fn append_record(path: &str, record: JsonObject) -> std::io::Result<()> {
     let file = std::fs::OpenOptions::new()
         .create(true)
@@ -153,6 +253,46 @@ mod tests {
         let (value, t) = measured(|| 7);
         assert_eq!(value, 7);
         assert!(t.is_none());
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_order_statistics() {
+        // 1..=100 µs in nanoseconds, shuffled order.
+        let mut ns: Vec<u64> = (1..=100u64).rev().map(|us| us * 1_000).collect();
+        let s = LatencySummary::from_samples_ns(&mut ns, 2, 0.5);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.errors, 2);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p90_us, 90.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(s.requests_per_second(), 200.0);
+
+        let s = LatencySummary::from_samples_ns(&mut [], 0, 0.0);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_us, 0.0);
+        assert_eq!(s.requests_per_second(), 0.0);
+    }
+
+    #[test]
+    fn loadgen_record_round_trips_through_the_parser() {
+        let mut ns = vec![1_000u64, 2_000, 3_000];
+        let s = LatencySummary::from_samples_ns(&mut ns, 1, 0.25);
+        let line = s.record("smoke").finish();
+        let value = evcap_obs::parse_line(&line).expect("valid JSON");
+        assert_eq!(
+            value.get("type").and_then(evcap_obs::JsonValue::as_str),
+            Some("loadgen")
+        );
+        assert_eq!(
+            value.get("requests").and_then(evcap_obs::JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            value.get("p99_us").and_then(evcap_obs::JsonValue::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

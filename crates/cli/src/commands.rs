@@ -44,6 +44,14 @@ COMMANDS:
   trace      summarize an observability JSONL file written by --obs-out
              or EVCAP_PERF_LOG
              FILE.jsonl [--kind all|counters|qom|battery|gaps|idle|spans|perf]
+  serve      run the policy server (POST /v1/solve, POST /v1/simulate,
+             GET /healthz, GET /metrics) until SIGINT/SIGTERM
+             [--addr HOST:PORT] [--threads N] [--cache-cap N] [--shards N]
+             [--read-timeout-ms MS] [--coalesce-timeout-ms MS]
+             [--max-slots N] [--access-log FILE.jsonl]
+  loadgen    benchmark a running server over keep-alive connections
+             --addr HOST:PORT [--concurrency N] [--requests N]
+             [--path /v1/solve] [--body JSON] [--timeout-ms MS]
   help       show this message
 
 GLOBAL FLAGS:
@@ -649,6 +657,61 @@ pub fn trace(args: &Args) -> CmdResult {
                 println!("counter {name}: {}", u("value"));
                 shown += 1;
             }
+            // Written by `evcap loadgen` (`EVCAP_PERF_LOG`).
+            "loadgen" if wants("perf") => {
+                let label = record
+                    .get("label")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                println!(
+                    "loadgen {label}: {} requests ({} errors) in {:.2} s, {:.0} req/s, p50 {:.0} µs, p99 {:.0} µs",
+                    u("requests"),
+                    u("errors"),
+                    f("wall_seconds"),
+                    f("requests_per_second"),
+                    f("p50_us"),
+                    f("p99_us")
+                );
+                shown += 1;
+            }
+            // Written by `evcap_obs::LatencyHistogram::record`.
+            "latency" if wants("perf") => {
+                let name = record
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                println!(
+                    "latency {name}: {} observations, mean {:.1} µs, p50 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
+                    u("count"),
+                    f("mean_us"),
+                    f("p50_us"),
+                    f("p99_us"),
+                    f("max_us")
+                );
+                shown += 1;
+            }
+            // Written by `evcap serve --access-log`.
+            "request" if wants("perf") => {
+                println!(
+                    "request {} {} -> {} in {:.0} µs{}",
+                    record
+                        .get("method")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?"),
+                    record
+                        .get("path")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?"),
+                    u("status"),
+                    f("micros"),
+                    record
+                        .get("cache")
+                        .and_then(JsonValue::as_str)
+                        .map(|c| format!(" ({c})"))
+                        .unwrap_or_default()
+                );
+                shown += 1;
+            }
             // Written by the bench harness (`EVCAP_PERF_LOG`), not --obs-out.
             "throughput" if wants("perf") => {
                 let label = record
@@ -695,6 +758,8 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("adaptive") => adaptive(args),
         Some("figure") => figure(args),
         Some("trace") => trace(args),
+        Some("serve") => crate::serving::serve(args),
+        Some("loadgen") => crate::serving::loadgen(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

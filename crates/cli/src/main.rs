@@ -5,6 +5,7 @@
 mod args;
 mod commands;
 mod json;
+mod serving;
 mod spec;
 
 use std::process::ExitCode;

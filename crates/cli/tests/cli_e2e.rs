@@ -216,3 +216,94 @@ fn missing_required_flag_fails() {
     assert!(!ok);
     assert!(stderr.contains("--e"));
 }
+
+#[test]
+fn serve_boots_answers_and_drains_on_sigterm() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let mut child = evcap()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    // The first stdout line announces the bound (ephemeral) address.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("server prints its address")
+        .expect("readable stdout");
+    let addr = first
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {first}"))
+        .trim()
+        .parse()
+        .expect("valid socket address");
+
+    let timeout = std::time::Duration::from_secs(10);
+    let health = evcap_serve::client::get(addr, "/healthz", timeout).expect("GET /healthz");
+    assert_eq!(health.status, 200);
+    let solve = evcap_serve::client::post(
+        addr,
+        "/v1/solve",
+        br#"{"dist":"exp:0.05","e":0.2,"horizon":2048}"#,
+        timeout,
+    )
+    .expect("POST /v1/solve");
+    assert_eq!(solve.status, 200, "{}", solve.text());
+    assert_eq!(solve.cache.as_deref(), Some("miss"));
+
+    // SIGTERM → graceful drain → exit code 0.
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // SAFETY: signaling our own child process.
+    unsafe {
+        kill(child.id() as i32, 15);
+    }
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server must exit cleanly on SIGTERM");
+}
+
+#[test]
+fn loadgen_reports_throughput_against_a_live_server() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let mut child = evcap()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let first = BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("banner")
+        .expect("readable");
+    let addr = first
+        .strip_prefix("listening on http://")
+        .expect("banner")
+        .trim()
+        .to_owned();
+
+    let (ok, stdout, stderr) = run(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--concurrency",
+        "2",
+        "--requests",
+        "400",
+    ]);
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("400 ok, 0 errors"), "{stdout}");
+    assert!(stdout.contains("req/s"), "{stdout}");
+    // The perf module reported the run on stderr.
+    assert!(stderr.contains("# perf loadgen /v1/solve"), "{stderr}");
+}

@@ -1,0 +1,205 @@
+//! Lock-free latency histogram with power-of-two buckets.
+//!
+//! The policy server records one sample per HTTP request, concurrently from
+//! every worker thread, so the histogram is a fixed array of atomic
+//! counters: `observe_ns` is two relaxed fetch-adds and a `leading_zeros`,
+//! no locks, no allocation. Bucket `b` holds samples with
+//! `floor(log2(ns)) == b`, giving ~2× resolution across the full `u64`
+//! nanosecond range — plenty for p50/p99 service-latency reporting, where
+//! the interesting differences are orders of magnitude.
+//!
+//! Quantiles are computed from a walk over the bucket counts and report the
+//! bucket's *upper bound* (clamped to the observed maximum), so a reported
+//! p99 never understates the true p99 by more than the bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::jsonl::JsonObject;
+
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram of durations in nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // floor(log2(ns)) for ns ≥ 1; zero-duration samples land in bucket 0.
+        (63 - (ns | 1).leading_zeros()) as usize
+    }
+
+    /// Records one duration sample.
+    pub fn observe_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records one [`std::time::Duration`] sample (saturating at `u64` ns).
+    pub fn observe(&self, elapsed: std::time::Duration) {
+        self.observe_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample in nanoseconds; 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.total_ns.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in nanoseconds: the upper bound of the
+    /// bucket containing the quantile sample, clamped to the observed
+    /// maximum. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let upper = if b >= 63 { u64::MAX } else { (2u64 << b) - 1 };
+                return upper.min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Serializes the histogram as one JSONL record (`type: "latency"`).
+    pub fn record(&self, name: &str) -> JsonObject {
+        let mut obj = JsonObject::with_type("latency");
+        obj.field_str("name", name);
+        obj.field_u64("count", self.count());
+        obj.field_f64("mean_us", self.mean_ns() / 1e3);
+        obj.field_f64("p50_us", self.quantile_ns(0.50) as f64 / 1e3);
+        obj.field_f64("p90_us", self.quantile_ns(0.90) as f64 / 1e3);
+        obj.field_f64("p99_us", self.quantile_ns(0.99) as f64 / 1e3);
+        obj.field_f64("max_us", self.max_ns() as f64 / 1e3);
+        obj
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn buckets_follow_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.observe_ns(1_000); // ~1 µs
+        }
+        h.observe_ns(1_000_000); // one 1 ms outlier
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50);
+        assert!((1_000..=2_047).contains(&p50), "p50 = {p50}");
+        // p99 lands on the 99th sample (still 1 µs); p100 sees the outlier.
+        assert!(h.quantile_ns(0.99) <= 2_047);
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert!(h.mean_ns() > 1_000.0 && h.mean_ns() < 12_000.0);
+    }
+
+    #[test]
+    fn quantile_upper_bound_clamps_to_max() {
+        let h = LatencyHistogram::new();
+        h.observe_ns(1_500);
+        assert_eq!(h.quantile_ns(0.5), 1_500);
+    }
+
+    #[test]
+    fn concurrent_observes_are_counted() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        h.observe_ns(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4_000);
+    }
+
+    #[test]
+    fn record_round_trips_through_the_parser() {
+        let h = LatencyHistogram::new();
+        h.observe(std::time::Duration::from_micros(250));
+        let line = h.record("serve.request").finish();
+        let value = crate::jsonl::parse_line(&line).expect("valid JSON");
+        assert_eq!(
+            value.get("type").and_then(crate::JsonValue::as_str),
+            Some("latency")
+        );
+        assert_eq!(
+            value.get("name").and_then(crate::JsonValue::as_str),
+            Some("serve.request")
+        );
+        assert_eq!(
+            value.get("count").and_then(crate::JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert!(value
+            .get("p99_us")
+            .and_then(crate::JsonValue::as_f64)
+            .is_some_and(|v| v > 0.0));
+    }
+}

@@ -17,6 +17,7 @@
 
 mod convergence;
 mod histogram;
+mod latency;
 mod observer;
 mod streaks;
 mod suite;
@@ -27,6 +28,7 @@ pub mod timing;
 pub use convergence::{QomConvergence, QomWindow};
 pub use histogram::{BatteryHistogram, GapHistogram, UnitHistogram};
 pub use jsonl::{parse_line, JsonObject, JsonValue, JsonlSink};
+pub use latency::LatencyHistogram;
 pub use observer::{NullObserver, Observer, SlotOutcome};
 pub use streaks::ForcedIdleStreaks;
 pub use suite::{ObsConfig, ObsSuite, RunCounters};

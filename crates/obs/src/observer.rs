@@ -187,7 +187,7 @@ mod tests {
     fn mut_ref_forwards() {
         let mut counting = Counting::default();
         {
-            let mut fwd: &mut Counting = &mut counting;
+            let fwd: &mut Counting = &mut counting;
             assert!(fwd.wants_battery_levels());
             fwd.on_capture(1, 0, 1);
             fwd.on_miss(2);

@@ -1,0 +1,161 @@
+//! A minimal keep-alive HTTP/1.1 client for `evcap loadgen` and the tests.
+//!
+//! One [`Conn`] is one persistent connection: `request` writes a request
+//! and parses the response off the same socket, so a loadgen worker can
+//! issue thousands of requests over a single TCP session (connection
+//! setup would otherwise dominate the latency being measured).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+    /// The `x-evcap-cache` header, if the server sent one.
+    pub cache: Option<String>,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A persistent client connection.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    /// Connects with the given socket timeout (applied to reads and writes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; a malformed response surfaces as
+    /// `InvalidData`.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: evcap\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let mut status_line = self.read_line()?;
+        // Skip interim 1xx responses (e.g. `100 Continue`).
+        loop {
+            let code = status_line
+                .split_ascii_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse::<u16>().ok())
+                .ok_or_else(|| bad("malformed status line"))?;
+            if (100..200).contains(&code) {
+                // Drain the interim response's header block.
+                while !self.read_line()?.is_empty() {}
+                status_line = self.read_line()?;
+            } else {
+                break;
+            }
+        }
+        let status = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+
+        let mut content_length = 0usize;
+        let mut cache = None;
+        let mut keep_alive = true;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad("malformed response header"));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                }
+                "x-evcap-cache" => cache = Some(value.to_owned()),
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response {
+            status,
+            body,
+            cache,
+            keep_alive,
+        })
+    }
+}
+
+/// One-shot GET on a fresh connection.
+///
+/// # Errors
+///
+/// As [`Conn::request`].
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<Response> {
+    Conn::connect(addr, timeout)?.request("GET", path, b"")
+}
+
+/// One-shot POST on a fresh connection.
+///
+/// # Errors
+///
+/// As [`Conn::request`].
+pub fn post(addr: SocketAddr, path: &str, body: &[u8], timeout: Duration) -> io::Result<Response> {
+    Conn::connect(addr, timeout)?.request("POST", path, body)
+}

@@ -1,0 +1,203 @@
+//! Scenario execution: the actual solves and simulations behind the API.
+//!
+//! Handlers return the serialized JSON response body (a `String`) so the
+//! cache can store responses directly — a cache hit replays bytes without
+//! re-serializing, and hit/miss bodies are identical by construction.
+
+use evcap_core::{
+    ActivationPolicy, ClusteringOptimizer, EnergyBudget, GreedyPolicy, SlotAssignment,
+};
+use evcap_energy::{ConsumptionModel, Energy};
+use evcap_obs::JsonObject;
+use evcap_sim::Simulation;
+
+use crate::scenario::{ApiError, SimulateScenario, SolvePolicy, SolveScenario};
+
+/// Most activation coefficients included in a solve response (the full
+/// vector can be 10⁶ entries; clients wanting more lower the horizon).
+const MAX_COEFFICIENTS: usize = 512;
+
+fn consumption(s: &SolveScenario) -> Result<ConsumptionModel, ApiError> {
+    ConsumptionModel::new(Energy::from_units(s.delta1), Energy::from_units(s.delta2))
+        .map_err(|e| ApiError::unprocessable(e.to_string()))
+}
+
+/// Runs the optimization a `/v1/solve` scenario asks for and serializes the
+/// activation policy plus its analytic performance.
+///
+/// # Errors
+///
+/// [`ApiError`] 400 for specs that fail domain validation at parse time,
+/// 422 for scenarios the optimizer rejects (e.g. an infeasible budget).
+pub fn solve(s: &SolveScenario) -> Result<String, ApiError> {
+    let pmf = evcap_spec::parse_dist(&s.dist, s.horizon)?;
+    let consumption = consumption(s)?;
+    let budget = EnergyBudget::per_slot(s.e);
+
+    let mut obj = JsonObject::with_type("solve");
+    obj.field_str("policy", s.policy.name());
+    obj.field_str("dist", &s.dist);
+    obj.field_f64("e", s.e);
+    obj.field_f64("mean_gap", pmf.mean());
+    match s.policy {
+        SolvePolicy::Greedy => {
+            let policy = GreedyPolicy::optimize(&pmf, budget, &consumption)
+                .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+            obj.field_str("label", &policy.label());
+            obj.field_f64("ideal_qom", policy.ideal_qom());
+            obj.field_f64("discharge_rate", policy.discharge_rate());
+            let n = pmf.horizon().min(MAX_COEFFICIENTS);
+            let coeffs: Vec<f64> = (1..=n).map(|i| policy.coefficient(i)).collect();
+            obj.field_f64_array("coefficients", &coeffs);
+            obj.field_usize("coefficients_shown", n);
+        }
+        SolvePolicy::Clustering => {
+            let (policy, eval) = ClusteringOptimizer::new(budget)
+                .optimize(&pmf, &consumption)
+                .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+            obj.field_str("label", &policy.label());
+            obj.field_f64("ideal_qom", eval.capture_probability);
+            obj.field_f64("discharge_rate", eval.discharge_rate);
+            obj.field_f64("expected_cycle", eval.expected_cycle);
+            obj.field_usize("n1", policy.n1());
+            obj.field_usize("n2", policy.n2());
+            obj.field_usize("n3", policy.n3());
+            let (q1, q2, q3) = policy.boundary_coefficients();
+            obj.field_f64_array("boundary_coefficients", &[q1, q2, q3]);
+        }
+    }
+    Ok(obj.finish())
+}
+
+/// Runs the bounded, seeded simulation a `/v1/simulate` scenario asks for
+/// and serializes the resulting [`evcap_sim::SimReport`].
+///
+/// # Errors
+///
+/// As [`solve`], plus 422 for simulation setups the engine rejects.
+pub fn simulate(s: &SimulateScenario) -> Result<String, ApiError> {
+    let pmf = evcap_spec::parse_dist(&s.solve.dist, s.solve.horizon)?;
+    let consumption = consumption(&s.solve)?;
+    // Coordinated fleets pool energy: the policy is computed at N·e,
+    // matching `evcap simulate`.
+    let aggregate = EnergyBudget::per_slot(s.solve.e * s.sensors as f64);
+    let policy: Box<dyn ActivationPolicy> = match s.solve.policy {
+        SolvePolicy::Greedy => Box::new(
+            GreedyPolicy::optimize(&pmf, aggregate, &consumption)
+                .map_err(|e| ApiError::unprocessable(e.to_string()))?,
+        ),
+        SolvePolicy::Clustering => Box::new(
+            ClusteringOptimizer::new(aggregate)
+                .optimize(&pmf, &consumption)
+                .map_err(|e| ApiError::unprocessable(e.to_string()))?
+                .0,
+        ),
+    };
+    // Canonicalization validated name/arity/finiteness but not parameter
+    // domains (e.g. a Bernoulli probability > 1), so parse once up front to
+    // turn domain failures into a 422 before any sensor asks for a process.
+    evcap_spec::parse_recharge(&s.recharge).map_err(|e| ApiError::unprocessable(e.to_string()))?;
+    let mut make_recharge =
+        |_: usize| evcap_spec::parse_recharge(&s.recharge).expect("validated above");
+    let mut builder = Simulation::builder(&pmf)
+        .slots(s.slots)
+        .seed(s.seed)
+        .sensors(s.sensors)
+        .consumption(consumption)
+        .battery(Energy::from_units(s.k));
+    builder = if s.rotating {
+        builder.assignment(SlotAssignment::RoundRobin)
+    } else {
+        builder.independent()
+    };
+    let report = builder
+        .run(policy.as_ref(), &mut make_recharge)
+        .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+
+    let mut obj = JsonObject::with_type("simulate");
+    obj.field_str("policy", s.solve.policy.name());
+    obj.field_str("label", &policy.label());
+    obj.field_str("dist", &s.solve.dist);
+    obj.field_str("recharge", &s.recharge);
+    obj.field_u64("slots", report.slots);
+    obj.field_u64("seed", s.seed);
+    obj.field_u64("events", report.events);
+    obj.field_u64("captures", report.captures);
+    obj.field_f64("qom", report.qom());
+    obj.field_u64("activations", report.total_activations());
+    obj.field_u64("forced_idle", report.total_forced_idle());
+    obj.field_f64("discharge_rate", report.discharge_rate());
+    obj.field_usize("sensors", s.sensors);
+    if s.sensors > 1 {
+        obj.field_f64("load_balance", report.load_balance());
+    }
+    Ok(obj.finish())
+}
+
+/// A tiny smoke scenario used by unit tests and the warmup path.
+#[cfg(test)]
+fn smoke_scenario() -> SolveScenario {
+    SolveScenario::from_body(br#"{"dist":"weibull:40,3","e":0.2,"horizon":4096}"#)
+        .expect("valid smoke body")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_obs::{parse_line, JsonValue};
+
+    #[test]
+    fn solve_greedy_round_trips() {
+        let body = solve(&smoke_scenario()).unwrap();
+        let v = parse_line(&body).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("solve"));
+        assert_eq!(v.get("policy").and_then(JsonValue::as_str), Some("greedy"));
+        let qom = v.get("ideal_qom").and_then(JsonValue::as_f64).unwrap();
+        assert!(qom > 0.0 && qom <= 1.0, "qom = {qom}");
+        let coeffs = v.get("coefficients").and_then(JsonValue::as_array).unwrap();
+        assert!(!coeffs.is_empty() && coeffs.len() <= 512);
+    }
+
+    #[test]
+    fn solve_clustering_reports_structure() {
+        let s = SolveScenario::from_body(
+            br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","horizon":4096}"#,
+        )
+        .unwrap();
+        let body = solve(&s).unwrap();
+        let v = parse_line(&body).unwrap();
+        assert_eq!(
+            v.get("policy").and_then(JsonValue::as_str),
+            Some("clustering")
+        );
+        assert!(v.get("n2").and_then(JsonValue::as_f64).is_some());
+        assert!(v
+            .get("expected_cycle")
+            .and_then(JsonValue::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn simulate_runs_and_round_trips() {
+        let s = SimulateScenario::from_body(
+            br#"{"dist":"weibull:40,3","e":0.2,"slots":20000,"seed":7,"horizon":4096}"#,
+            1_000_000,
+        )
+        .unwrap();
+        let body = simulate(&s).unwrap();
+        let v = parse_line(&body).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("simulate"));
+        assert_eq!(v.get("slots").and_then(JsonValue::as_f64), Some(20_000.0));
+        let qom = v.get("qom").and_then(JsonValue::as_f64).unwrap();
+        assert!(qom > 0.0 && qom <= 1.0, "qom = {qom}");
+    }
+
+    #[test]
+    fn identical_scenarios_serialize_identically() {
+        // The cache stores serialized bodies; determinism is what makes a
+        // replayed hit indistinguishable from a recompute.
+        let a = solve(&smoke_scenario()).unwrap();
+        let b = solve(&smoke_scenario()).unwrap();
+        assert_eq!(a, b);
+    }
+}

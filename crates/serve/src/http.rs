@@ -1,0 +1,410 @@
+//! Minimal HTTP/1.1 framing on `std` only.
+//!
+//! Parses exactly what the policy API needs — request line, a bounded set
+//! of headers, an optional `Content-Length` body — and refuses everything
+//! that could wedge a worker: over-long lines (431), over-long bodies
+//! (413), chunked uploads (411), and unknown versions (505). Connections
+//! are keep-alive by default (HTTP/1.1 semantics); `Connection: close` and
+//! HTTP/1.0 opt out.
+
+use std::io::{self, BufRead, Write};
+
+/// Byte budgets a client must stay within.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Longest accepted request/header line (bytes, CRLF excluded).
+    pub max_line: usize,
+    /// Most headers accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted body (bytes).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 64 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target verbatim (path + optional query).
+    pub target: String,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The socket read timed out (idle or trickling client).
+    Timeout,
+    /// Transport failure.
+    Io(io::Error),
+    /// Protocol violation; the server should answer `status` and close.
+    Bad {
+        /// HTTP status to respond with.
+        status: u16,
+        /// Human-readable reason, included in the error body.
+        message: &'static str,
+    },
+}
+
+impl ReadError {
+    fn bad(status: u16, message: &'static str) -> Self {
+        ReadError::Bad { status, message }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::Timeout,
+            io::ErrorKind::UnexpectedEof => ReadError::Closed,
+            _ => ReadError::Io(e),
+        }
+    }
+}
+
+/// Reads one line (LF-terminated, CR stripped) enforcing `max` bytes.
+/// Returns `None` on clean EOF before any byte.
+fn read_line_limited(r: &mut impl BufRead, max: usize) -> Result<Option<String>, ReadError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = match r.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if available.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(ReadError::Closed);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                line.extend_from_slice(&available[..i]);
+                r.consume(i + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if line.len() > max {
+                    return Err(ReadError::bad(431, "header line too long"));
+                }
+                return String::from_utf8(line)
+                    .map(Some)
+                    .map_err(|_| ReadError::bad(400, "header line is not UTF-8"));
+            }
+            None => {
+                line.extend_from_slice(available);
+                let n = available.len();
+                r.consume(n);
+                if line.len() > max {
+                    return Err(ReadError::bad(431, "header line too long"));
+                }
+            }
+        }
+    }
+}
+
+/// Reads and parses one request. `on_continue` is invoked (once) if the
+/// client sent `Expect: 100-continue`, before the body is read — the caller
+/// writes the interim response there.
+///
+/// # Errors
+///
+/// [`ReadError::Closed`] on clean EOF between requests; [`ReadError::Bad`]
+/// for protocol violations the caller should answer and close on.
+pub fn read_request<R: BufRead>(
+    r: &mut R,
+    limits: &Limits,
+    mut on_continue: impl FnMut() -> io::Result<()>,
+) -> Result<Request, ReadError> {
+    let Some(request_line) = read_line_limited(r, limits.max_line)? else {
+        return Err(ReadError::Closed);
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::bad(400, "malformed request line"));
+    };
+    if parts.next().is_some() {
+        return Err(ReadError::bad(400, "malformed request line"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(ReadError::bad(505, "unsupported HTTP version")),
+    };
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = http11;
+    let mut expect_continue = false;
+    let mut headers = 0usize;
+    loop {
+        let Some(line) = read_line_limited(r, limits.max_line)? else {
+            return Err(ReadError::Closed);
+        };
+        if line.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > limits.max_headers {
+            return Err(ReadError::bad(431, "too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::bad(400, "malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| ReadError::bad(400, "invalid content-length"))?;
+                if n > limits.max_body {
+                    return Err(ReadError::bad(413, "request body too large"));
+                }
+                content_length = n;
+            }
+            "transfer-encoding" => {
+                // Chunked uploads are refused rather than parsed: a length
+                // is required so the body budget is enforceable up front.
+                return Err(ReadError::bad(411, "length required (no chunked bodies)"));
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "expect" if value.eq_ignore_ascii_case("100-continue") => {
+                expect_continue = true;
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if expect_continue {
+            on_continue().map_err(ReadError::from)?;
+        }
+        r.read_exact(&mut body).map_err(ReadError::from)?;
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        keep_alive,
+        body,
+    })
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response (status, headers, body).
+///
+/// # Errors
+///
+/// Propagates the underlying socket write failure.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the `100 Continue` interim response.
+///
+/// # Errors
+///
+/// Propagates the underlying socket write failure.
+pub fn write_continue(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, ReadError> {
+        parse_limited(text, &Limits::default())
+    }
+
+    fn parse_limited(text: &str, limits: &Limits) -> Result<Request, ReadError> {
+        let mut r = BufReader::new(text.as_bytes());
+        read_request(&mut r, limits, || Ok(()))
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let req = parse("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+
+        let req = parse(
+            "POST /v1/solve HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\n{\"a\"",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn bad_request_lines_are_rejected() {
+        for text in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(text), Err(ReadError::Bad { status: 400, .. })),
+                "{text:?}"
+            );
+        }
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(ReadError::Bad { status: 505, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_inputs_are_bounded() {
+        let limits = Limits {
+            max_line: 64,
+            max_headers: 2,
+            max_body: 8,
+        };
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        assert!(matches!(
+            parse_limited(&long_line, &limits),
+            Err(ReadError::Bad { status: 431, .. })
+        ));
+        let many_headers = "GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert!(matches!(
+            parse_limited(many_headers, &limits),
+            Err(ReadError::Bad { status: 431, .. })
+        ));
+        let big_body = "POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\n123456789";
+        assert!(matches!(
+            parse_limited(big_body, &limits),
+            Err(ReadError::Bad { status: 413, .. })
+        ));
+        let chunked = "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            parse_limited(chunked, &limits),
+            Err(ReadError::Bad { status: 411, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_a_close() {
+        let text = "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        assert!(matches!(parse(text), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn expect_continue_invokes_callback_before_body() {
+        let text = "POST / HTTP/1.1\r\ncontent-length: 2\r\nexpect: 100-continue\r\n\r\nok";
+        let mut r = BufReader::new(text.as_bytes());
+        let mut fired = false;
+        let req = read_request(&mut r, &Limits::default(), || {
+            fired = true;
+            Ok(())
+        })
+        .unwrap();
+        assert!(fired);
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn response_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, b"{}", true, &[("x-evcap-cache", "hit")]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-evcap-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 404, b"{}", false, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn crlf_and_bare_lf_both_parse() {
+        let req = parse("GET / HTTP/1.1\nhost: x\n\n").unwrap();
+        assert_eq!(req.target, "/");
+    }
+}

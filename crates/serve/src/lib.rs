@@ -1,0 +1,29 @@
+//! Policy-as-a-service: the paper's optimizers behind an HTTP API.
+//!
+//! `evcap-serve` turns the offline toolchain into a daemon: `POST
+//! /v1/solve` returns an activation policy (FI greedy or PI clustering)
+//! with its analytic QoM, `POST /v1/simulate` runs a bounded seeded
+//! simulation, `GET /healthz` and `GET /metrics` cover operations. The
+//! crate is std-only — the HTTP server ([`server`]), client ([`client`]),
+//! and JSON layer (via `evcap-obs`) use nothing outside the workspace.
+//!
+//! The hot path is the [`cache`] module: responses are cached in a sharded
+//! LRU keyed by the *canonicalized* scenario (see [`scenario`] and
+//! `evcap_spec::canonical_dist`), and concurrent requests for the same
+//! uncached scenario collapse into a single computation ("single-flight"
+//! coalescing) — N clients asking for the same Weibull policy cost one
+//! LP solve, not N.
+
+pub mod cache;
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod metrics;
+pub mod scenario;
+pub mod server;
+pub mod signal;
+
+pub use cache::{Fetch, Lru, ShardedCache, StatsSnapshot};
+pub use client::{Conn, Response};
+pub use scenario::{ApiError, SimulateScenario, SolveScenario};
+pub use server::{ServeConfig, Server, StopFlag};

@@ -1,0 +1,162 @@
+//! Server-wide counters and latency, rendered for `GET /metrics`.
+//!
+//! Everything is atomics plus two [`LatencyHistogram`]s, so the hot path
+//! never takes a lock to record a request. `/metrics` renders one flat JSON
+//! object (the same JSONL dialect every evcap tool emits), which the CI
+//! smoke test and the e2e suite parse with [`evcap_obs::parse_line`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use evcap_obs::{JsonObject, LatencyHistogram};
+
+use crate::cache::StatsSnapshot;
+
+/// Atomic request/response counters plus latency histograms.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    requests: AtomicU64,
+    solve_requests: AtomicU64,
+    simulate_requests: AtomicU64,
+    health_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    connections: AtomicU64,
+    timeouts: AtomicU64,
+    /// All requests, wire-to-wire.
+    pub latency: LatencyHistogram,
+    /// Cache-miss solves only (the compute itself).
+    pub solve_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh metrics; `started` anchors the uptime field.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            solve_requests: AtomicU64::new(0),
+            simulate_requests: AtomicU64::new(0),
+            health_requests: AtomicU64::new(0),
+            metrics_requests: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            solve_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one accepted connection.
+    pub fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalescing-wait timeout (a 503 was served).
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one routed request and its response status.
+    pub fn request(&self, path: &str, status: u16, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let endpoint = match path {
+            "/v1/solve" => Some(&self.solve_requests),
+            "/v1/simulate" => Some(&self.simulate_requests),
+            "/healthz" => Some(&self.health_requests),
+            "/metrics" => Some(&self.metrics_requests),
+            _ => None,
+        };
+        if let Some(counter) = endpoint {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(elapsed);
+    }
+
+    /// Renders the `/metrics` body given the solve cache's counters.
+    pub fn render(&self, solve_cache: &StatsSnapshot, sim_cache: &StatsSnapshot) -> String {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut obj = JsonObject::with_type("metrics");
+        obj.field_f64("uptime_seconds", self.started.elapsed().as_secs_f64());
+        obj.field_u64("connections", get(&self.connections));
+        obj.field_u64("requests", get(&self.requests));
+        obj.field_u64("solve_requests", get(&self.solve_requests));
+        obj.field_u64("simulate_requests", get(&self.simulate_requests));
+        obj.field_u64("health_requests", get(&self.health_requests));
+        obj.field_u64("metrics_requests", get(&self.metrics_requests));
+        obj.field_u64("responses_2xx", get(&self.responses_2xx));
+        obj.field_u64("responses_4xx", get(&self.responses_4xx));
+        obj.field_u64("responses_5xx", get(&self.responses_5xx));
+        obj.field_u64("coalesce_timeouts", get(&self.timeouts));
+
+        obj.field_u64("solve_cache_hits", solve_cache.hits);
+        obj.field_u64("solve_cache_misses", solve_cache.misses);
+        obj.field_u64("solve_cache_coalesced", solve_cache.coalesced);
+        obj.field_u64("solve_cache_evictions", solve_cache.evictions);
+        obj.field_u64("solve_cache_failures", solve_cache.failures);
+        obj.field_u64("sim_cache_hits", sim_cache.hits);
+        obj.field_u64("sim_cache_misses", sim_cache.misses);
+        obj.field_u64("sim_cache_coalesced", sim_cache.coalesced);
+        obj.field_u64("sim_cache_evictions", sim_cache.evictions);
+
+        obj.field_u64("latency_count", self.latency.count());
+        obj.field_f64("latency_mean_us", self.latency.mean_ns() / 1e3);
+        obj.field_f64(
+            "latency_p50_us",
+            self.latency.quantile_ns(0.50) as f64 / 1e3,
+        );
+        obj.field_f64(
+            "latency_p99_us",
+            self.latency.quantile_ns(0.99) as f64 / 1e3,
+        );
+        obj.field_u64("solve_compute_count", self.solve_latency.count());
+        obj.field_f64("solve_compute_mean_us", self.solve_latency.mean_ns() / 1e3);
+        obj.finish()
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_obs::{parse_line, JsonValue};
+
+    #[test]
+    fn render_round_trips_and_counts() {
+        let m = Metrics::new();
+        m.connection();
+        m.request("/v1/solve", 200, Duration::from_micros(250));
+        m.request("/v1/solve", 400, Duration::from_micros(50));
+        m.request("/healthz", 200, Duration::from_micros(10));
+        m.request("/nope", 404, Duration::from_micros(10));
+        let empty = StatsSnapshot::default();
+        let body = m.render(&empty, &empty);
+        let v = parse_line(&body).unwrap();
+        let f = |k: &str| v.get(k).and_then(JsonValue::as_f64).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("metrics"));
+        assert_eq!(f("requests"), 4.0);
+        assert_eq!(f("solve_requests"), 2.0);
+        assert_eq!(f("health_requests"), 1.0);
+        assert_eq!(f("responses_2xx"), 2.0);
+        assert_eq!(f("responses_4xx"), 2.0);
+        assert_eq!(f("connections"), 1.0);
+        assert_eq!(f("latency_count"), 4.0);
+        assert!(f("latency_p99_us") > 0.0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Request bodies → validated scenarios → canonical cache keys.
+//!
+//! A *scenario* is the fully-validated, canonicalized description of one
+//! solve or simulation. Canonicalization happens here, before the cache is
+//! consulted, so `{"dist":"exponential:0.050"}` and `{"dist":"exp:0.05"}`
+//! produce the same [`SolveScenario::cache_key`] and share one cached
+//! solution.
+//!
+//! All failures are [`ApiError`]s: an HTTP status plus a machine-readable
+//! `kind` and a human-readable message, rendered as a flat JSONL-style
+//! object so clients (and the e2e tests) can parse responses with
+//! [`evcap_obs::parse_line`].
+
+use std::fmt::Write as _;
+
+use evcap_obs::{parse_line, JsonObject, JsonValue};
+
+/// A structured request failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Stable machine-readable discriminator (`invalid_spec`, …).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 with the given kind.
+    pub fn bad_request(kind: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A 422 for scenarios that parse but cannot be solved.
+    pub fn unprocessable(message: impl Into<String>) -> Self {
+        Self {
+            status: 422,
+            kind: "unsolvable",
+            message: message.into(),
+        }
+    }
+
+    /// The JSON response body: `{"type":"error","kind":…,"message":…}`.
+    pub fn body(&self) -> String {
+        let mut obj = JsonObject::with_type("error");
+        obj.field_str("kind", self.kind);
+        obj.field_str("message", &self.message);
+        obj.field_u64("status", u64::from(self.status));
+        obj.finish()
+    }
+}
+
+impl From<evcap_spec::SpecError> for ApiError {
+    fn from(e: evcap_spec::SpecError) -> Self {
+        ApiError::bad_request("invalid_spec", e.to_string())
+    }
+}
+
+/// The widest horizon a request may ask for (explicit pmf slots).
+pub const MAX_HORIZON: usize = 1 << 20;
+/// The most sensors a simulation request may ask for.
+pub const MAX_SENSORS: usize = 64;
+
+/// Which optimizer a solve request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolvePolicy {
+    /// FI greedy (LP structure, Algorithm 1).
+    Greedy,
+    /// PI clustering search (Algorithm 2).
+    Clustering,
+}
+
+impl SolvePolicy {
+    /// The canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolvePolicy::Greedy => "greedy",
+            SolvePolicy::Clustering => "clustering",
+        }
+    }
+}
+
+/// A validated `/v1/solve` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveScenario {
+    /// Canonical distribution spec (aliases resolved, floats reformatted).
+    pub dist: String,
+    /// Recharge budget, units per slot.
+    pub e: f64,
+    /// Optimizer to run.
+    pub policy: SolvePolicy,
+    /// Activation cost δ1.
+    pub delta1: f64,
+    /// Capture cost δ2.
+    pub delta2: f64,
+    /// Explicit pmf horizon.
+    pub horizon: usize,
+}
+
+/// A validated `/v1/simulate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateScenario {
+    /// The solve part (policy to derive before simulating).
+    pub solve: SolveScenario,
+    /// Slots to simulate.
+    pub slots: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Battery capacity in energy units.
+    pub k: f64,
+    /// Fleet size.
+    pub sensors: usize,
+    /// Canonical recharge spec.
+    pub recharge: String,
+    /// `true` → rotating (round-robin) slot assignment, else independent.
+    pub rotating: bool,
+}
+
+/// Parses a request body into a JSON object, field map included.
+fn parse_object(body: &[u8]) -> Result<std::collections::BTreeMap<String, JsonValue>, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("invalid_json", "request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(ApiError::bad_request("invalid_json", "empty request body"));
+    }
+    match parse_line(text) {
+        Ok(JsonValue::Object(map)) => Ok(map),
+        Ok(_) => Err(ApiError::bad_request(
+            "invalid_json",
+            "request body must be a JSON object",
+        )),
+        Err(e) => Err(ApiError::bad_request(
+            "invalid_json",
+            format!("malformed JSON: {e}"),
+        )),
+    }
+}
+
+fn reject_unknown(
+    map: &std::collections::BTreeMap<String, JsonValue>,
+    allowed: &[&str],
+) -> Result<(), ApiError> {
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ApiError::bad_request(
+                "unknown_field",
+                format!("unknown field `{key}` (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn want_str<'a>(
+    map: &'a std::collections::BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Result<Option<&'a str>, ApiError> {
+    match map.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::String(s)) => Ok(Some(s)),
+        Some(_) => Err(ApiError::bad_request(
+            "invalid_field",
+            format!("field `{key}` must be a string"),
+        )),
+    }
+}
+
+fn want_f64(
+    map: &std::collections::BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Result<Option<f64>, ApiError> {
+    match map.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::Number(n)) => {
+            if n.is_finite() {
+                Ok(Some(*n))
+            } else {
+                Err(ApiError::bad_request(
+                    "invalid_field",
+                    format!("field `{key}` must be finite"),
+                ))
+            }
+        }
+        Some(_) => Err(ApiError::bad_request(
+            "invalid_field",
+            format!("field `{key}` must be a number"),
+        )),
+    }
+}
+
+fn want_index(
+    map: &std::collections::BTreeMap<String, JsonValue>,
+    key: &str,
+    max: u64,
+) -> Result<Option<u64>, ApiError> {
+    let Some(v) = want_f64(map, key)? else {
+        return Ok(None);
+    };
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(ApiError::bad_request(
+            "invalid_field",
+            format!("field `{key}` must be a non-negative integer"),
+        ));
+    }
+    let v = v as u64;
+    if v > max {
+        return Err(ApiError::bad_request(
+            "invalid_field",
+            format!("field `{key}` must be ≤ {max}"),
+        ));
+    }
+    Ok(Some(v))
+}
+
+fn positive(key: &str, v: f64) -> Result<f64, ApiError> {
+    if v > 0.0 {
+        Ok(v)
+    } else {
+        Err(ApiError::bad_request(
+            "invalid_field",
+            format!("field `{key}` must be positive"),
+        ))
+    }
+}
+
+const SOLVE_FIELDS: &[&str] = &["dist", "e", "policy", "delta1", "delta2", "horizon"];
+const SIMULATE_FIELDS: &[&str] = &[
+    "dist",
+    "e",
+    "policy",
+    "delta1",
+    "delta2",
+    "horizon",
+    "slots",
+    "seed",
+    "k",
+    "sensors",
+    "recharge",
+    "coordination",
+];
+
+fn solve_from(
+    map: &std::collections::BTreeMap<String, JsonValue>,
+) -> Result<SolveScenario, ApiError> {
+    let raw_dist = want_str(map, "dist")?
+        .ok_or_else(|| ApiError::bad_request("missing_field", "field `dist` is required"))?;
+    if raw_dist.trim().starts_with("trace:") {
+        // Trace specs name files on the *server's* filesystem; refusing them
+        // keeps request bodies from probing local paths.
+        return Err(ApiError::bad_request(
+            "invalid_spec",
+            "trace: distributions are not served over HTTP",
+        ));
+    }
+    let dist = evcap_spec::canonical_dist(raw_dist)?;
+    let e = want_f64(map, "e")?
+        .ok_or_else(|| ApiError::bad_request("missing_field", "field `e` is required"))?;
+    let e = positive("e", e)?;
+    let policy = match want_str(map, "policy")?.unwrap_or("greedy") {
+        "greedy" => SolvePolicy::Greedy,
+        "clustering" => SolvePolicy::Clustering,
+        other => {
+            return Err(ApiError::bad_request(
+                "invalid_field",
+                format!("unknown policy `{other}` (try greedy, clustering)"),
+            ))
+        }
+    };
+    let delta1 = positive("delta1", want_f64(map, "delta1")?.unwrap_or(1.0))?;
+    let delta2 = positive("delta2", want_f64(map, "delta2")?.unwrap_or(6.0))?;
+    let horizon = want_index(map, "horizon", MAX_HORIZON as u64)?.unwrap_or(65_536) as usize;
+    if horizon < 2 {
+        return Err(ApiError::bad_request(
+            "invalid_field",
+            "field `horizon` must be ≥ 2",
+        ));
+    }
+    Ok(SolveScenario {
+        dist,
+        e,
+        policy,
+        delta1,
+        delta2,
+        horizon,
+    })
+}
+
+impl SolveScenario {
+    /// Parses and validates a `/v1/solve` body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] (status 400) for malformed JSON, unknown or
+    /// ill-typed fields, and invalid specs — including non-finite numeric
+    /// spec arguments like `weibull:nan,3`.
+    pub fn from_body(body: &[u8]) -> Result<Self, ApiError> {
+        let map = parse_object(body)?;
+        reject_unknown(&map, SOLVE_FIELDS)?;
+        solve_from(&map)
+    }
+
+    /// The canonical cache key: two requests get the same key iff they
+    /// describe the same optimization.
+    pub fn cache_key(&self) -> String {
+        let mut key = String::from("solve|");
+        let _ = write!(
+            key,
+            "{}|{}|e={}|d1={}|d2={}|h={}",
+            self.policy.name(),
+            self.dist,
+            self.e,
+            self.delta1,
+            self.delta2,
+            self.horizon
+        );
+        key
+    }
+}
+
+impl SimulateScenario {
+    /// Parses and validates a `/v1/simulate` body.
+    ///
+    /// # Errors
+    ///
+    /// As [`SolveScenario::from_body`], plus bounds on `slots` (caller's
+    /// `max_slots`), `sensors` (≤ [`MAX_SENSORS`]) and the recharge spec.
+    pub fn from_body(body: &[u8], max_slots: u64) -> Result<Self, ApiError> {
+        let map = parse_object(body)?;
+        reject_unknown(&map, SIMULATE_FIELDS)?;
+        let solve = solve_from(&map)?;
+        let slots = want_index(&map, "slots", max_slots)?.unwrap_or(100_000.min(max_slots));
+        if slots == 0 {
+            return Err(ApiError::bad_request(
+                "invalid_field",
+                "field `slots` must be ≥ 1",
+            ));
+        }
+        let seed = want_index(&map, "seed", u64::MAX >> 1)?.unwrap_or(2012);
+        let k = positive("k", want_f64(&map, "k")?.unwrap_or(1000.0))?;
+        let sensors = want_index(&map, "sensors", MAX_SENSORS as u64)?.unwrap_or(1) as usize;
+        if sensors == 0 {
+            return Err(ApiError::bad_request(
+                "invalid_field",
+                "field `sensors` must be ≥ 1",
+            ));
+        }
+        // Default recharge mirrors the CLI: Bernoulli(0.5) delivering 2e, so
+        // the mean rate matches the solve budget.
+        let recharge = match want_str(&map, "recharge")? {
+            Some(spec) => evcap_spec::canonical_recharge(spec)?,
+            None => format!("bernoulli:0.5,{}", 2.0 * solve.e),
+        };
+        let rotating = match want_str(&map, "coordination")?.unwrap_or("rotating") {
+            "rotating" => true,
+            "independent" => false,
+            other => {
+                return Err(ApiError::bad_request(
+                    "invalid_field",
+                    format!("unknown coordination `{other}` (try rotating, independent)"),
+                ))
+            }
+        };
+        Ok(SimulateScenario {
+            solve,
+            slots,
+            seed,
+            k,
+            sensors,
+            recharge,
+            rotating,
+        })
+    }
+
+    /// The canonical cache key for this simulation.
+    pub fn cache_key(&self) -> String {
+        let mut key = String::from("sim|");
+        let _ = write!(
+            key,
+            "{}|{}|e={}|d1={}|d2={}|h={}|slots={}|seed={}|k={}|n={}|r={}|{}",
+            self.solve.policy.name(),
+            self.solve.dist,
+            self.solve.e,
+            self.solve.delta1,
+            self.solve.delta2,
+            self.solve.horizon,
+            self.slots,
+            self.seed,
+            self.k,
+            self.sensors,
+            self.recharge,
+            if self.rotating { "rot" } else { "ind" },
+        );
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_parses_with_defaults() {
+        let s = SolveScenario::from_body(br#"{"dist":"weibull:40,3","e":0.2}"#).unwrap();
+        assert_eq!(s.dist, "weibull:40,3");
+        assert_eq!(s.e, 0.2);
+        assert_eq!(s.policy, SolvePolicy::Greedy);
+        assert_eq!(s.delta1, 1.0);
+        assert_eq!(s.delta2, 6.0);
+        assert_eq!(s.horizon, 65_536);
+    }
+
+    #[test]
+    fn equivalent_spellings_share_a_cache_key() {
+        let a = SolveScenario::from_body(br#"{"dist":"exponential:0.050","e":0.25}"#).unwrap();
+        let b = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25}"#).unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+
+        let c = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25,"delta1":2}"#).unwrap();
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn nan_spec_arguments_are_structured_400s() {
+        let err = SolveScenario::from_body(br#"{"dist":"weibull:nan,3","e":0.2}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.kind, "invalid_spec");
+        assert!(err.message.contains("not finite"), "{}", err.message);
+        // The rendered body parses back and carries the kind.
+        let parsed = parse_line(&err.body()).unwrap();
+        assert_eq!(
+            parsed.get("kind").and_then(JsonValue::as_str),
+            Some("invalid_spec")
+        );
+    }
+
+    #[test]
+    fn structural_errors_are_rejected() {
+        for (body, kind) in [
+            (&b"not json"[..], "invalid_json"),
+            (br#"[1,2]"#, "invalid_json"),
+            (br#"{}"#, "missing_field"),
+            (br#"{"dist":"exp:0.05"}"#, "missing_field"),
+            (br#"{"dist":"exp:0.05","e":0.2,"bogus":1}"#, "unknown_field"),
+            (br#"{"dist":7,"e":0.2}"#, "invalid_field"),
+            (br#"{"dist":"exp:0.05","e":-1}"#, "invalid_field"),
+            (
+                br#"{"dist":"exp:0.05","e":0.2,"policy":"x"}"#,
+                "invalid_field",
+            ),
+            (
+                br#"{"dist":"exp:0.05","e":0.2,"horizon":1.5}"#,
+                "invalid_field",
+            ),
+            (br#"{"dist":"trace:/etc/passwd","e":0.2}"#, "invalid_spec"),
+            (br#"{"dist":"zipf:2","e":0.2}"#, "invalid_spec"),
+        ] {
+            let err = SolveScenario::from_body(body).unwrap_err();
+            assert_eq!(err.status, 400, "{body:?}");
+            assert_eq!(err.kind, kind, "{body:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn simulate_parses_bounds_and_defaults() {
+        let s = SimulateScenario::from_body(
+            br#"{"dist":"det:7","e":0.3,"slots":5000,"seed":9,"sensors":2}"#,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(s.slots, 5000);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.sensors, 2);
+        assert_eq!(s.recharge, "bernoulli:0.5,0.6");
+        assert!(s.rotating);
+
+        let err =
+            SimulateScenario::from_body(br#"{"dist":"det:7","e":0.3,"slots":2000000}"#, 1_000_000)
+                .unwrap_err();
+        assert_eq!(err.kind, "invalid_field");
+
+        let err = SimulateScenario::from_body(
+            br#"{"dist":"det:7","e":0.3,"recharge":"bernoulli:nan,1"}"#,
+            1_000_000,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, "invalid_spec");
+    }
+
+    #[test]
+    fn simulate_cache_keys_separate_seeds() {
+        let body = |seed: u64| {
+            format!(r#"{{"dist":"det:7","e":0.3,"slots":1000,"seed":{seed}}}"#).into_bytes()
+        };
+        let a = SimulateScenario::from_body(&body(1), 1_000_000).unwrap();
+        let b = SimulateScenario::from_body(&body(2), 1_000_000).unwrap();
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+}

@@ -1,0 +1,353 @@
+//! The daemon: listener, worker pool, routing, and graceful shutdown.
+//!
+//! Architecture: the listener socket is nonblocking and shared (via
+//! `try_clone`) by a fixed pool of worker threads. Each worker loops on
+//! `accept`; `WouldBlock` means "no connection pending", so the worker
+//! naps briefly and re-checks the shutdown flag — that poll loop is what
+//! makes shutdown deterministic without platform-specific selectors.
+//!
+//! An accepted connection is handled to completion by one worker
+//! (keep-alive requests loop in place), so peak concurrency equals the
+//! pool size and everything beyond that waits in the kernel backlog.
+//! Blocking reads carry a socket timeout, bounding how long a quiet or
+//! trickling client can pin a worker.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use evcap_obs::{JsonObject, JsonlSink};
+
+use crate::cache::{Fetch, ShardedCache};
+use crate::handlers;
+use crate::http::{self, Limits, ReadError, Request};
+use crate::metrics::Metrics;
+use crate::scenario::{ApiError, SimulateScenario, SolveScenario};
+
+/// Everything `evcap serve` can tune.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (= peak concurrent connections).
+    pub threads: usize,
+    /// Total cached responses per cache (solve and simulate each get one).
+    pub cache_cap: usize,
+    /// Lock shards per cache.
+    pub shards: usize,
+    /// Request framing limits.
+    pub limits: Limits,
+    /// Socket read timeout: bounds idle keep-alive and trickling clients.
+    pub read_timeout: Duration,
+    /// How long a coalesced request waits on the leader before a 503.
+    pub coalesce_timeout: Duration,
+    /// Largest `slots` a `/v1/simulate` request may ask for.
+    pub max_slots: u64,
+    /// Optional JSONL access-log path (one `request` record per request).
+    pub access_log: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_cap: 1024,
+            shards: 8,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+            coalesce_timeout: Duration::from_secs(30),
+            max_slots: 2_000_000,
+            access_log: None,
+        }
+    }
+}
+
+/// State shared by every worker.
+struct Shared {
+    config: ServeConfig,
+    metrics: Metrics,
+    solve_cache: ShardedCache<String, ApiError>,
+    sim_cache: ShardedCache<String, ApiError>,
+    shutdown: AtomicBool,
+    access_log: Option<Mutex<JsonlSink>>,
+}
+
+/// A running policy server.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+/// How long an idle worker naps between accept attempts (also the grain of
+/// shutdown responsiveness).
+const ACCEPT_NAP: Duration = Duration::from_millis(2);
+
+impl Server {
+    /// Binds the address and starts the worker pool. Returns as soon as the
+    /// socket is listening — a client may connect immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/clone failures and access-log creation failures.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let access_log = match &config.access_log {
+            Some(path) => Some(Mutex::new(JsonlSink::create(path)?)),
+            None => None,
+        };
+        let threads = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            solve_cache: ShardedCache::new(config.cache_cap, config.shards),
+            sim_cache: ShardedCache::new(config.cache_cap, config.shards),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            access_log,
+            config,
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let shared = Arc::clone(&shared);
+                Ok(std::thread::Builder::new()
+                    .name(format!("evcap-serve-{i}"))
+                    .spawn(move || worker_loop(&listener, &shared))
+                    .expect("spawn worker thread"))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Server {
+            shared,
+            workers,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters for the solve cache.
+    pub fn solve_cache_stats(&self) -> crate::cache::StatsSnapshot {
+        self.shared.solve_cache.stats()
+    }
+
+    /// A flag that makes the server drain and stop when set; safe to hand
+    /// to a signal handler loop.
+    pub fn stop_flag(&self) -> StopFlag {
+        StopFlag {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Requests shutdown and joins every worker. In-flight requests finish;
+    /// idle workers exit within one accept nap; a worker blocked reading
+    /// exits after at most the configured read timeout.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(log) = &self.shared.access_log {
+            if let Ok(sink) = log.lock() {
+                // Flush happens on drop of the BufWriter; nothing to do
+                // beyond holding the lock so no worker is mid-write.
+                drop(sink);
+            }
+        }
+    }
+
+    /// Whether shutdown has been requested (by [`Server::shutdown`] or a
+    /// [`StopFlag`]).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A cloneable handle that can stop a [`Server`] from another thread.
+pub struct StopFlag {
+    shared: Arc<Shared>,
+}
+
+impl StopFlag {
+    /// Requests shutdown (workers drain; the owner still calls
+    /// [`Server::shutdown`] to join them).
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connection();
+                // Accepted sockets are blocking with a read timeout: the
+                // worker parses at most one request at a time and the
+                // timeout bounds how long a quiet client holds the slot.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+                handle_connection(stream, shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_NAP);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept failure (e.g. aborted connection):
+                // back off briefly rather than spin.
+                std::thread::sleep(ACCEPT_NAP);
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let request = http::read_request(&mut reader, &shared.config.limits, || {
+            http::write_continue(&mut writer)
+        });
+        let request = match request {
+            Ok(r) => r,
+            Err(ReadError::Bad { status, message }) => {
+                let err = ApiError {
+                    status,
+                    kind: "bad_request",
+                    message: message.to_owned(),
+                };
+                let _ =
+                    http::write_response(&mut writer, status, err.body().as_bytes(), false, &[]);
+                return;
+            }
+            // Clean close, idle timeout, or transport failure: just drop.
+            Err(ReadError::Closed | ReadError::Timeout | ReadError::Io(_)) => return,
+        };
+
+        let start = Instant::now();
+        let (status, body, cache) = route(&request, shared);
+        let stopping = shared.shutdown.load(Ordering::SeqCst);
+        let keep_alive = request.keep_alive && !stopping;
+        let extra: &[(&str, &str)] = if cache.is_empty() {
+            &[]
+        } else {
+            &[("x-evcap-cache", cache)]
+        };
+        let elapsed = start.elapsed();
+        let path = request.target.split('?').next().unwrap_or("");
+        shared.metrics.request(path, status, elapsed);
+        if let Some(log) = &shared.access_log {
+            let mut record = JsonObject::with_type("request");
+            record.field_str("method", &request.method);
+            record.field_str("path", path);
+            record.field_u64("status", u64::from(status));
+            record.field_f64("micros", elapsed.as_secs_f64() * 1e6);
+            if !cache.is_empty() {
+                record.field_str("cache", cache);
+            }
+            if let Ok(mut sink) = log.lock() {
+                let _ = sink.write(record);
+            }
+        }
+        if http::write_response(&mut writer, status, body.as_bytes(), keep_alive, extra).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// The extra-header slot for "this response never touches a cache".
+const NO_CACHE: &str = "";
+
+fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
+    let path = request.target.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let mut obj = JsonObject::with_type("health");
+            obj.field_str("status", "ok");
+            (200, obj.finish(), NO_CACHE)
+        }
+        ("GET", "/metrics") => {
+            let body = shared
+                .metrics
+                .render(&shared.solve_cache.stats(), &shared.sim_cache.stats());
+            (200, body, NO_CACHE)
+        }
+        ("POST", "/v1/solve") => match SolveScenario::from_body(&request.body) {
+            Err(e) => (e.status, e.body(), NO_CACHE),
+            Ok(s) => {
+                let key = s.cache_key();
+                let fetch =
+                    shared
+                        .solve_cache
+                        .get_or_compute(&key, shared.config.coalesce_timeout, || {
+                            let t = Instant::now();
+                            let result = handlers::solve(&s);
+                            shared.metrics.solve_latency.observe(t.elapsed());
+                            result
+                        });
+                render_fetch(fetch, shared)
+            }
+        },
+        ("POST", "/v1/simulate") => {
+            match SimulateScenario::from_body(&request.body, shared.config.max_slots) {
+                Err(e) => (e.status, e.body(), NO_CACHE),
+                Ok(s) => {
+                    let key = s.cache_key();
+                    let fetch = shared.sim_cache.get_or_compute(
+                        &key,
+                        shared.config.coalesce_timeout,
+                        || handlers::simulate(&s),
+                    );
+                    render_fetch(fetch, shared)
+                }
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/v1/solve" | "/v1/simulate") => {
+            let err = ApiError {
+                status: 405,
+                kind: "method_not_allowed",
+                message: format!("`{}` is not supported on {path}", request.method),
+            };
+            (405, err.body(), NO_CACHE)
+        }
+        _ => {
+            let err = ApiError {
+                status: 404,
+                kind: "not_found",
+                message: format!("no route for {path}"),
+            };
+            (404, err.body(), NO_CACHE)
+        }
+    }
+}
+
+fn render_fetch(fetch: Fetch<String, ApiError>, shared: &Shared) -> (u16, String, &'static str) {
+    let label = fetch.label();
+    match fetch {
+        Fetch::Hit(body) | Fetch::Computed(body) | Fetch::Coalesced(body) => (200, body, label),
+        Fetch::Failed(e) => (e.status, e.body(), label),
+        Fetch::TimedOut => {
+            shared.metrics.timeout();
+            let err = ApiError {
+                status: 503,
+                kind: "coalesce_timeout",
+                message: "timed out waiting for an in-flight computation".to_owned(),
+            };
+            (503, err.body(), label)
+        }
+    }
+}

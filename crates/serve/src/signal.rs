@@ -1,0 +1,85 @@
+//! SIGINT/SIGTERM → an atomic flag, with no signal crate.
+//!
+//! The handler does the only thing that is async-signal-safe here: store a
+//! relaxed atomic. `evcap serve` polls [`shutdown_requested`] from its
+//! main loop and drives the worker pool's graceful drain itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    use super::{Ordering, SIGNALED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        // `signal(2)` from libc — std links libc unconditionally on unix,
+        // so declaring the symbol costs nothing and avoids a crate.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; `signal` itself is safe to call with a valid
+        // function pointer.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Installs handlers for SIGINT and SIGTERM (no-op off unix).
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn shutdown_requested() -> bool {
+    SIGNALED.load(Ordering::Relaxed)
+}
+
+/// Clears the flag (tests re-use the process).
+pub fn reset() {
+    SIGNALED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_resets() {
+        reset();
+        assert!(!shutdown_requested());
+        SIGNALED.store(true, Ordering::Relaxed);
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn install_then_raise_sets_the_flag() {
+        install();
+        reset();
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // SAFETY: raising SIGTERM in-process invokes our handler, which
+        // performs only an atomic store.
+        unsafe {
+            raise(15);
+        }
+        assert!(shutdown_requested());
+        reset();
+    }
+}

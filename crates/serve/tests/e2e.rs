@@ -1,0 +1,256 @@
+//! End-to-end tests: a real server on an ephemeral port, exercised over
+//! real sockets with the crate's own client.
+//!
+//! The load-bearing assertions are the caching ones: a second identical
+//! solve must be a *hit* (no second optimizer timing span), and N
+//! concurrent identical solves must collapse to exactly one compute
+//! (`solve_cache_misses == 1` on `/metrics`, regardless of thread
+//! interleaving).
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use evcap_obs::{parse_line, JsonValue};
+use evcap_serve::client::{self, Conn};
+use evcap_serve::{ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 4,
+        cache_cap: 64,
+        shards: 4,
+        read_timeout: Duration::from_millis(500),
+        coalesce_timeout: Duration::from_secs(20),
+        max_slots: 500_000,
+        ..ServeConfig::default()
+    }
+}
+
+fn metric(server: &Server, name: &str) -> f64 {
+    let resp = client::get(server.local_addr(), "/metrics", TIMEOUT).expect("GET /metrics");
+    assert_eq!(resp.status, 200);
+    let v = parse_line(&resp.text()).expect("metrics body parses");
+    v.get(name)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("metrics has no `{name}`: {}", resp.text()))
+}
+
+#[test]
+fn health_metrics_and_routing() {
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let resp = client::get(addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = parse_line(&resp.text()).expect("health body parses");
+    assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"));
+
+    let resp = client::get(addr, "/nope", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 404);
+    let v = parse_line(&resp.text()).unwrap();
+    assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("not_found"));
+
+    // Wrong method on a real route.
+    let resp = client::get(addr, "/v1/solve", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 405);
+
+    // The metrics endpoint counts what just happened and parses as JSON.
+    assert!(metric(&server, "requests") >= 3.0);
+    assert_eq!(metric(&server, "responses_4xx"), 2.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn second_identical_solve_is_a_cache_hit_with_no_second_optimizer_span() {
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // The timing registry is process-global; only this test solves with the
+    // clustering optimizer, so the `clustering.search` span count below is
+    // attributable to these two requests alone.
+    evcap_obs::timing::set_enabled(true);
+    evcap_obs::timing::reset();
+
+    // Two spellings of the same scenario: alias + trailing-zero float.
+    let body_a = br#"{"dist":"weibull:40.0,3","e":0.2,"policy":"clustering","horizon":4096}"#;
+    let body_b = br#"{"dist":"weibull:40,3.00","e":0.2,"policy":"clustering","horizon":4096}"#;
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+    let first = conn.request("POST", "/v1/solve", body_a).unwrap();
+    let second = conn.request("POST", "/v1/solve", body_b).unwrap();
+    evcap_obs::timing::set_enabled(false);
+
+    assert_eq!(first.status, 200);
+    assert_eq!(second.status, 200);
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    // Hit and miss replay byte-identical bodies.
+    assert_eq!(first.body, second.body);
+
+    // Exactly one optimizer run: the second request never touched the
+    // clustering search.
+    let spans = evcap_obs::timing::drain_spans();
+    let search = spans
+        .iter()
+        .find(|(name, _)| *name == "clustering.search")
+        .expect("the miss ran the optimizer under an enabled registry");
+    assert_eq!(search.1.count, 1, "second solve must not re-optimize");
+
+    assert_eq!(metric(&server, "solve_cache_hits"), 1.0);
+    assert_eq!(metric(&server, "solve_cache_misses"), 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_solves_collapse_to_one_compute() {
+    let clients = 4usize;
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let body = br#"{"dist":"erlang:4,0.2","e":0.15,"horizon":8192}"#;
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut conn = Conn::connect(addr, TIMEOUT).expect("connect");
+                    barrier.wait();
+                    let resp = conn.request("POST", "/v1/solve", body).expect("solve");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    resp.body
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    // All four clients got the same answer, from exactly one computation:
+    // one miss (the leader); everyone else either coalesced onto the
+    // in-flight solve or hit the fresh cache entry.
+    for b in &bodies[1..] {
+        assert_eq!(*b, bodies[0]);
+    }
+    // One metrics snapshot (the GET itself would inflate later reads).
+    let resp = client::get(addr, "/metrics", TIMEOUT).unwrap();
+    let m = parse_line(&resp.text()).unwrap();
+    let f = |k: &str| m.get(k).and_then(JsonValue::as_f64).unwrap();
+    assert_eq!(f("solve_cache_misses"), 1.0);
+    assert_eq!(
+        f("solve_cache_hits") + f("solve_cache_coalesced"),
+        (clients - 1) as f64
+    );
+    assert_eq!(f("solve_requests"), clients as f64);
+    assert_eq!(f("responses_2xx"), clients as f64);
+    server.shutdown();
+}
+
+#[test]
+fn simulate_is_deterministic_and_cached() {
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let body = br#"{"dist":"det:7","e":0.3,"slots":20000,"seed":42,"horizon":1024}"#;
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+    let first = conn.request("POST", "/v1/simulate", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    let v = parse_line(&first.text()).unwrap();
+    assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("simulate"));
+    assert_eq!(v.get("slots").and_then(JsonValue::as_f64), Some(20_000.0));
+    assert_eq!(v.get("seed").and_then(JsonValue::as_f64), Some(42.0));
+    let qom = v.get("qom").and_then(JsonValue::as_f64).expect("qom");
+    assert!(qom > 0.0 && qom <= 1.0, "qom = {qom}");
+
+    let second = conn.request("POST", "/v1/simulate", body).unwrap();
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    assert_eq!(first.body, second.body);
+    assert_eq!(metric(&server, "sim_cache_hits"), 1.0);
+
+    // Over-budget slot counts are refused up front.
+    let resp = client::post(
+        addr,
+        "/v1/simulate",
+        br#"{"dist":"det:7","e":0.3,"slots":900000}"#,
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_structured_errors_over_the_wire() {
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // NaN inside a spec string: the shared spec module rejects it and the
+    // server translates that into a structured 400 (satellite fix).
+    let resp = client::post(
+        addr,
+        "/v1/solve",
+        br#"{"dist":"weibull:nan,3","e":0.2}"#,
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400);
+    let v = parse_line(&resp.text()).expect("error body parses");
+    assert_eq!(
+        v.get("kind").and_then(JsonValue::as_str),
+        Some("invalid_spec")
+    );
+    assert!(
+        v.get("message")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|m| m.contains("not finite")),
+        "{}",
+        resp.text()
+    );
+
+    // Malformed JSON.
+    let resp = client::post(addr, "/v1/solve", b"{not json", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+
+    // None of those polluted the cache.
+    assert_eq!(metric(&server, "solve_cache_misses"), 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_refused_at_the_framing_layer() {
+    // A small body budget, and a body that still fits comfortably in the
+    // socket send buffer so the client finishes writing before the server
+    // answers 413 and closes.
+    let mut config = test_config();
+    config.limits.max_body = 1024;
+    let server = Server::start(config).expect("bind");
+    let addr = server.local_addr();
+
+    let big = vec![b'x'; 4 * 1024];
+    let resp = client::post(addr, "/v1/solve", &big, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 413);
+    assert!(!resp.keep_alive);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_closes_the_listener() {
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+    let resp = client::get(addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+
+    let stop = server.stop_flag();
+    stop.stop();
+    assert!(server.is_stopping());
+    server.shutdown();
+
+    // Every worker has exited and dropped its listener clone, so new
+    // connections are refused.
+    assert!(Conn::connect(addr, Duration::from_millis(500)).is_err());
+}

@@ -1,0 +1,155 @@
+//! Property tests for the serving cache: the slab LRU against a naive
+//! reference model, and single-flight coalescing under real threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use evcap_serve::cache::{Fetch, Lru, ShardedCache};
+use proptest::prelude::*;
+
+/// One step of the randomized LRU workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u16),
+    Get(u8),
+    Remove(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..24, 0u16..1000).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u8..24).prop_map(Op::Get),
+        (0u8..24).prop_map(Op::Remove),
+    ]
+}
+
+/// A trivially-correct LRU: a Vec ordered most-recent-first.
+#[derive(Default)]
+struct ModelLru {
+    cap: usize,
+    entries: Vec<(String, u16)>,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    fn touch(&mut self, key: &str) -> Option<u16> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(i);
+        let value = entry.1;
+        self.entries.insert(0, entry);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: String, value: u16) -> Option<(String, u16)> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+            self.entries.insert(0, (key, value));
+            return None;
+        }
+        self.entries.insert(0, (key, value));
+        if self.entries.len() > self.cap {
+            self.entries.pop()
+        } else {
+            None
+        }
+    }
+
+    fn remove(&mut self, key: &str) -> Option<u16> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    fn keys_mru(&self) -> Vec<&str> {
+        self.entries.iter().map(|(k, _)| k.as_str()).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The slab LRU agrees with the naive reference on every observable:
+    /// op-by-op return values, eviction victims, and full MRU order.
+    #[test]
+    fn lru_matches_reference_model(
+        cap in 1usize..12,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let mut real = Lru::<u16>::new(cap);
+        let mut model = ModelLru::new(cap);
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let key = format!("k{k}");
+                    let evicted = real.insert(key.clone(), v);
+                    let expected = model.insert(key, v);
+                    prop_assert_eq!(evicted, expected);
+                }
+                Op::Get(k) => {
+                    let key = format!("k{k}");
+                    let got = real.get(&key).copied();
+                    let expected = model.touch(&key);
+                    prop_assert_eq!(got, expected);
+                }
+                Op::Remove(k) => {
+                    let key = format!("k{k}");
+                    prop_assert_eq!(real.remove(&key), model.remove(&key));
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+            prop_assert!(real.len() <= cap);
+            prop_assert_eq!(real.keys_mru(), model.keys_mru());
+        }
+    }
+
+    /// M threads racing on one uncached key always produce exactly one
+    /// compute; everyone observes the same value.
+    #[test]
+    fn single_flight_computes_exactly_once(m in 2usize..7, seed in 0u16..100) {
+        let cache = Arc::new(ShardedCache::<String, String>::new(64, 4));
+        let computes = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(Barrier::new(m));
+        let key = format!("scenario-{seed}");
+        let results: Vec<Fetch<String, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..m)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let computes = Arc::clone(&computes);
+                    let barrier = Arc::clone(&barrier);
+                    let key = key.clone();
+                    scope.spawn(move || {
+                        barrier.wait();
+                        cache.get_or_compute(&key, Duration::from_secs(10), || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            Ok::<_, String>(format!("value-{seed}"))
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        prop_assert_eq!(computes.load(Ordering::SeqCst), 1);
+        let expected = format!("value-{seed}");
+        let mut leaders = 0usize;
+        for fetch in results {
+            match fetch {
+                Fetch::Computed(v) => {
+                    leaders += 1;
+                    prop_assert_eq!(v, expected.clone());
+                }
+                Fetch::Hit(v) | Fetch::Coalesced(v) => prop_assert_eq!(v, expected.clone()),
+                other => prop_assert!(false, "unexpected outcome {:?}", other.label()),
+            }
+        }
+        prop_assert_eq!(leaders, 1);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits + stats.coalesced, (m - 1) as u64);
+    }
+}
