@@ -4,139 +4,29 @@
 //! optimizer calls and simulations on a shared, immutable setup — so the
 //! runners fan the points out over scoped worker threads. Results come back
 //! in input order regardless of completion order.
+//!
+//! The implementation lives in [`evcap_sim::parallel`] (the simulator's
+//! batched replication engine shares it, and `evcap-bench` already sits
+//! above `evcap-sim` in the crate graph); this module re-exports it so the
+//! figure runners and the serving load generator keep their historical
+//! import path. The chunk-claiming and `EVCAP_THREADS` semantics are
+//! documented there.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `f` to every item on up to `threads` worker threads (capped at
-/// the item count), returning results in the input order.
-///
-/// The thread count defaults to the machine's available parallelism; the
-/// `EVCAP_THREADS` environment variable overrides it (in either direction:
-/// CI pins worker counts deterministically, and I/O-bound callers like
-/// `evcap loadgen` oversubscribe cores with connection-per-thread workers).
-///
-/// # Panics
-///
-/// Propagates a panic from any worker (the whole map panics, matching the
-/// behavior of a sequential loop).
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let default_threads = std::env::var("EVCAP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        });
-    let threads = default_threads.min(n).max(1);
-    if threads == 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    // Items move into Option slots; workers claim indices via an atomic
-    // cursor and deposit results into matching slots.
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("no other claimant for this index")
-                    .take()
-                    .expect("each index is claimed once");
-                let value = f(item);
-                *results[i].lock().expect("result slot uncontended") = Some(value);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker threads have exited")
-                .expect("every index was processed")
-        })
-        .collect()
-}
+pub use evcap_sim::parallel::{parallel_map, parallel_map_with};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn preserves_order() {
+    fn reexport_preserves_order() {
         let out = parallel_map((0..100).collect(), |i: i32| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
-    }
-
-    #[test]
-    fn work_actually_runs_concurrently_or_not_but_is_correct() {
-        // Heavier closure exercising the claim/deposit paths.
-        let out = parallel_map((0..32).collect(), |i: u64| {
-            let mut acc = 0u64;
-            for k in 0..10_000 {
-                acc = acc.wrapping_add(k * i);
-            }
-            acc
-        });
-        assert_eq!(out.len(), 32);
-        assert_eq!(out[0], 0);
-    }
-
-    #[test]
-    fn evcap_threads_override_is_honored() {
-        // Set the override for this process; the map below must still be
-        // correct (and exercise the multi-thread claim/deposit path even on
-        // a single-core machine). The variable is cleared afterwards so
-        // other tests see the default behavior.
-        std::env::set_var("EVCAP_THREADS", "4");
-        let out = parallel_map((0..64).collect(), |i: i32| i * 2);
-        std::env::remove_var("EVCAP_THREADS");
-        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
-
-        // Garbage values fall back to the default.
-        std::env::set_var("EVCAP_THREADS", "zero");
-        let out = parallel_map(vec![1, 2, 3], |i: i32| i);
-        std::env::remove_var("EVCAP_THREADS");
-        assert_eq!(out, vec![1, 2, 3]);
-    }
-
-    #[test]
-    #[should_panic(expected = "boom")]
-    fn worker_panic_propagates() {
-        parallel_map(vec![1, 2, 3], |i: i32| {
-            if i == 2 {
-                panic!("boom");
-            }
-            i
-        });
+    fn reexport_exposes_explicit_thread_counts() {
+        let out = parallel_map_with((0..10).collect(), Some(3), |i: i32| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
     }
 }

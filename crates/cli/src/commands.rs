@@ -9,7 +9,8 @@ use evcap_core::{
 };
 use evcap_energy::{ConsumptionModel, Energy};
 use evcap_sim::{
-    recommend_capacity, run_adaptive_greedy, AdaptiveConfig, Simulation, SizingOptions,
+    recommend_capacity, run_adaptive_greedy, AdaptiveConfig, ReplicationBatch, Simulation,
+    SizingOptions,
 };
 
 use crate::args::{Args, ArgsError};
@@ -32,7 +33,8 @@ COMMANDS:
              --dist SPEC --policy greedy|clustering|aggressive|periodic|myopic
              [--e RATE] [--recharge SPEC] [--slots N] [--seed S] [--k CAP]
              [--sensors N] [--coordination rotating|independent] [--horizon H]
-             [--format text|json] [--obs-out FILE.jsonl] [--obs-window N]
+             [--replications R] [--format text|json]
+             [--obs-out FILE.jsonl] [--obs-window N]
   provision  find the smallest battery that reaches a target QoM
              --dist SPEC --target QOM [--policy greedy|clustering]
              [--e RATE] [--recharge SPEC] [--slots N] [--max-k CAP]
@@ -44,6 +46,10 @@ COMMANDS:
   trace      summarize an observability JSONL file written by --obs-out
              or EVCAP_PERF_LOG
              FILE.jsonl [--kind all|counters|qom|battery|gaps|idle|spans|perf]
+  bench-sim  measure engine throughput: single run, sequential replication
+             loop, and batched replications at several thread counts
+             [--dist SPEC] [--slots N] [--replications R]
+             [--threads-list 1,4,8] [--seed S] [--k CAP] [--out FILE.json]
   serve      run the policy server (POST /v1/solve, POST /v1/simulate,
              GET /healthz, GET /metrics) until SIGINT/SIGTERM
              [--addr HOST:PORT] [--threads N] [--cache-cap N] [--shards N]
@@ -181,6 +187,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         "delta2",
         "horizon",
         "theta1",
+        "replications",
         "format",
         "obs-out",
         "obs-window",
@@ -191,6 +198,15 @@ pub fn simulate(args: &Args) -> CmdResult {
     let seed: u64 = args.get_or("seed", 2012, "an integer")?;
     let k: f64 = args.get_or("k", 1000.0, "a battery capacity")?;
     let sensors: usize = args.get_or("sensors", 1, "a sensor count")?;
+    let replications: usize = args.get_or("replications", 1, "a replication count")?;
+    if replications == 0 {
+        return Err(ArgsError::Invalid {
+            flag: "replications".into(),
+            value: "0".into(),
+            expected: "a replication count of at least 1",
+        }
+        .into());
+    }
     let consumption = consumption_from(args)?;
     let verbosity = args.verbosity();
 
@@ -229,7 +245,7 @@ pub fn simulate(args: &Args) -> CmdResult {
     let aggregate = EnergyBudget::per_slot(e * sensors as f64);
 
     let which = args.require("policy")?;
-    let policy: Box<dyn ActivationPolicy> = match which {
+    let policy: Box<dyn ActivationPolicy + Sync> = match which {
         "greedy" => Box::new(GreedyPolicy::optimize(&pmf, aggregate, &consumption)?),
         "clustering" => Box::new(
             ClusteringOptimizer::new(aggregate)
@@ -269,6 +285,25 @@ pub fn simulate(args: &Args) -> CmdResult {
         "rotating" => builder = builder.assignment(SlotAssignment::RoundRobin),
         "independent" => builder = builder.independent(),
         other => return Err(format!("unknown coordination `{other}`").into()),
+    }
+    // Replicated mode fans the scenario out over the batch engine; the
+    // single-replication path below is untouched, so `--replications 1`
+    // (or the flag absent) keeps today's output byte for byte.
+    if replications > 1 {
+        return simulate_replicated(
+            builder,
+            policy.as_ref(),
+            &recharge_spec,
+            e,
+            SimulateShape {
+                slots,
+                seed,
+                k,
+                sensors,
+                replications,
+            },
+            args,
+        );
     }
     let mut make_recharge =
         |_: usize| spec::parse_recharge(&recharge_spec).expect("validated above");
@@ -348,6 +383,295 @@ pub fn simulate(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// The scenario dimensions `simulate_replicated` echoes back to the user.
+struct SimulateShape {
+    slots: u64,
+    seed: u64,
+    k: f64,
+    sensors: usize,
+    replications: usize,
+}
+
+/// The `--replications N` (N > 1) arm of `evcap simulate`: batch run,
+/// cross-seed summary, optional per-seed JSONL export.
+fn simulate_replicated(
+    builder: Simulation<'_>,
+    policy: &(dyn ActivationPolicy + Sync),
+    recharge_spec: &str,
+    e: f64,
+    shape: SimulateShape,
+    args: &Args,
+) -> CmdResult {
+    let verbosity = args.verbosity();
+    let obs_out = args.get("obs-out");
+    // Open the sink before simulating so a bad --obs-out path fails fast.
+    let obs_sink = obs_out
+        .map(|path| {
+            evcap_obs::JsonlSink::create(path)
+                .map_err(|err| format!("cannot write --obs-out {path}: {err}"))
+        })
+        .transpose()?;
+    let batch = ReplicationBatch::new(builder, shape.replications)?;
+    let seeds = batch.seeds();
+    let report = batch.run(policy, &|_| {
+        spec::parse_recharge(recharge_spec).expect("validated above")
+    })?;
+
+    match args.get("format").unwrap_or("text") {
+        "json" => println!("{}", crate::json::batch_report(&report)),
+        "text" => {
+            let SimulateShape {
+                slots,
+                seed,
+                k,
+                sensors,
+                replications,
+            } = shape;
+            println!("policy       : {}", policy.label());
+            println!("recharge     : {recharge_spec} (e = {e:.4}/sensor)");
+            println!(
+                "slots        : {slots} × {replications} replications  (base seed {seed}, K = {k}, N = {sensors})"
+            );
+            println!("events       : {} (pooled)", report.events);
+            println!("captured     : {} (pooled)", report.captures);
+            println!(
+                "QoM          : {:.4} ± {:.4} (95% CI over {} seeds)",
+                report.qom.mean,
+                report.qom.half_width(1.96),
+                report.qom.n
+            );
+            println!("pooled QoM   : {:.4}", report.pooled_qom());
+            println!("activations  : {}", report.activations);
+            println!("forced idle  : {}", report.forced_idle);
+            println!(
+                "discharge    : {:.4} ± {:.4} units/slot (fleet)",
+                report.discharge.mean,
+                report.discharge.half_width(1.96)
+            );
+            println!("final fill   : {:.4}", report.mean_final_fill);
+            if let Some(gap) = report.mean_capture_gap {
+                println!("capture gap  : {gap:.1} slots");
+            }
+            for (i, rep) in report.reports.iter().enumerate() {
+                println!(
+                    "  rep {i:>3} seed {:>20} : qom {:.4}  events {:>6}  captures {:>6}",
+                    seeds[i],
+                    rep.qom(),
+                    rep.events,
+                    rep.captures
+                );
+            }
+        }
+        other => return Err(format!("unknown format `{other}` (try text, json)").into()),
+    }
+
+    if let (Some(path), Some(mut sink)) = (obs_out, obs_sink) {
+        for (i, rep) in report.reports.iter().enumerate() {
+            let mut obj = evcap_obs::JsonObject::with_type("replication");
+            obj.field_usize("replication", i)
+                .field_u64("seed", seeds[i])
+                .field_u64("slots", rep.slots)
+                .field_u64("events", rep.events)
+                .field_u64("captures", rep.captures)
+                .field_f64("qom", rep.qom())
+                .field_u64("activations", rep.total_activations())
+                .field_u64("forced_idle", rep.total_forced_idle())
+                .field_f64("discharge_rate", rep.discharge_rate());
+            sink.write(obj)?;
+        }
+        let mut obj = evcap_obs::JsonObject::with_type("batch");
+        let (lo, hi) = report.qom.ci95();
+        obj.field_usize("replications", report.replications())
+            .field_u64("slots", report.slots)
+            .field_f64("qom_mean", report.qom.mean)
+            .field_f64("qom_std_dev", report.qom.std_dev)
+            .field_f64("qom_ci95_lo", lo)
+            .field_f64("qom_ci95_hi", hi)
+            .field_f64("pooled_qom", report.pooled_qom())
+            .field_u64("events", report.events)
+            .field_u64("captures", report.captures);
+        sink.write(obj)?;
+        let records = sink.records();
+        sink.finish()?;
+        if verbosity != crate::args::Verbosity::Quiet {
+            println!();
+            println!("wrote {records} records to {path}");
+        }
+    } else if verbosity == crate::args::Verbosity::Verbose {
+        for (name, stats) in evcap_obs::timing::drain_spans() {
+            eprintln!(
+                "span {name}: {} calls, total {:.3} ms, mean {:.1} µs",
+                stats.count,
+                stats.total_ns as f64 / 1e6,
+                stats.mean_ns() / 1e3
+            );
+        }
+        for (name, value) in evcap_obs::timing::drain_counters() {
+            eprintln!("counter {name}: {value}");
+        }
+    }
+    Ok(())
+}
+
+/// `evcap bench-sim`
+///
+/// Seeds the engine's performance trajectory: measures a single run, a
+/// sequential replication loop (the batch engine pinned to one worker), and
+/// the batch at each requested thread count, then writes the results as a
+/// small JSON document (`BENCH_sim.json` by default) that CI archives.
+pub fn bench_sim(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "dist",
+        "slots",
+        "replications",
+        "threads-list",
+        "seed",
+        "k",
+        "out",
+    ])?;
+    let dist_spec = args.get("dist").unwrap_or("weibull:40,3");
+    let pmf = spec::parse_dist(dist_spec, 65_536)?;
+    let slots: u64 = args.get_or("slots", 1_000_000, "a slot count")?;
+    let replications: usize = args.get_or("replications", 16, "a replication count")?;
+    let seed: u64 = args.get_or("seed", 2012, "an integer")?;
+    let k: f64 = args.get_or("k", 1000.0, "a battery capacity")?;
+    let out = args.get("out").unwrap_or("BENCH_sim.json");
+    let raw_threads = args.get("threads-list").unwrap_or("1,4,8");
+    let mut threads_list: Vec<usize> = Vec::new();
+    for part in raw_threads.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(t) if t > 0 => threads_list.push(t),
+            _ => {
+                return Err(ArgsError::Invalid {
+                    flag: "threads-list".into(),
+                    value: raw_threads.into(),
+                    expected: "comma-separated positive thread counts, e.g. 1,4,8",
+                }
+                .into())
+            }
+        }
+    }
+
+    let consumption = ConsumptionModel::paper_defaults();
+    let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption)?;
+    let recharge_spec = "bernoulli:0.5,1";
+    let recharge = |_: usize| spec::parse_recharge(recharge_spec).expect("static spec");
+    let sim = Simulation::builder(&pmf)
+        .slots(slots)
+        .seed(seed)
+        .consumption(consumption)
+        .battery(Energy::from_units(k));
+    let threads_available = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let perf = |label: &str, result: Option<evcap_bench::Throughput>| {
+        result.ok_or_else(|| format!("{label}: engine reported no timing"))
+    };
+
+    // 1. One replication, the classic single-run path.
+    let (single_res, single_t) = evcap_bench::perf::measured(|| {
+        sim.clone().run(&policy, &mut |_: usize| {
+            spec::parse_recharge(recharge_spec).expect("static spec")
+        })
+    });
+    single_res?;
+    let single_t = perf("single", single_t)?;
+
+    // 2. The same R replications sequentially (batch pinned to one worker).
+    let (seq_res, seq_t) = evcap_bench::perf::measured(|| {
+        ReplicationBatch::new(sim.clone(), replications)
+            .expect("replications >= 1")
+            .threads(1)
+            .run(&policy, &recharge)
+    });
+    let seq_report = seq_res?;
+    let seq_t = perf("sequential", seq_t)?;
+
+    // 3. The batch at each requested thread count, checked bit-identical.
+    let mut deterministic = true;
+    let mut batched = Vec::new();
+    for &threads in &threads_list {
+        let (res, t) = evcap_bench::perf::measured(|| {
+            ReplicationBatch::new(sim.clone(), replications)
+                .expect("replications >= 1")
+                .threads(threads)
+                .run(&policy, &recharge)
+        });
+        let report = res?;
+        deterministic &= report == seq_report;
+        batched.push((threads, perf("batched", t)?));
+    }
+
+    use std::fmt::Write as _;
+    let num = crate::json::num;
+    let mut doc = String::with_capacity(1024);
+    let _ = write!(
+        doc,
+        "{{\n  \"bench\": \"sim\",\n  \"dist\": \"{dist_spec}\",\n  \"slots\": {slots},\n  \"replications\": {replications},\n  \"seed\": {seed},\n  \"threads_available\": {threads_available},\n  \"deterministic_across_threads\": {deterministic},\n"
+    );
+    let _ = writeln!(
+        doc,
+        "  \"single\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},",
+        num(single_t.wall_seconds),
+        num(single_t.sim_seconds),
+        num(single_t.slots_per_second()),
+    );
+    let _ = write!(
+        doc,
+        "  \"sequential\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},\n  \"batched\": [",
+        num(seq_t.wall_seconds),
+        num(seq_t.sim_seconds),
+        num(seq_t.slots_per_second()),
+    );
+    for (i, (threads, t)) in batched.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(
+            doc,
+            "\n    {{\"threads\": {threads}, \"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}, \"speedup_vs_sequential\": {}}}",
+            num(t.wall_seconds),
+            num(t.sim_seconds),
+            num(t.slots_per_second()),
+            num(seq_t.wall_seconds / t.wall_seconds),
+        );
+    }
+    doc.push_str("\n  ]\n}\n");
+    std::fs::write(out, &doc).map_err(|err| format!("cannot write {out}: {err}"))?;
+
+    println!(
+        "bench-sim    : {dist_spec}, {slots} slots × {replications} replications (seed {seed})"
+    );
+    println!("threads avail: {threads_available}");
+    println!(
+        "single run   : {:.2} M slots/s  ({:.3} s wall)",
+        single_t.slots_per_second() / 1e6,
+        single_t.wall_seconds
+    );
+    println!(
+        "sequential   : {:.3} s wall for {replications} replications",
+        seq_t.wall_seconds
+    );
+    for (threads, t) in &batched {
+        println!(
+            "batched ×{threads:<4}: {:.3} s wall  (speedup {:.2}x vs sequential)",
+            t.wall_seconds,
+            seq_t.wall_seconds / t.wall_seconds
+        );
+    }
+    println!(
+        "deterministic: {}",
+        if deterministic { "yes" } else { "NO — BUG" }
+    );
+    if threads_available == 1 {
+        println!("note         : only 1 CPU available; parallel speedups are not observable here");
+    }
+    println!("wrote {out}");
+    if !deterministic {
+        return Err("batched reports diverged across thread counts".into());
+    }
+    Ok(())
+}
+
 /// `evcap provision`
 pub fn provision(args: &Args) -> CmdResult {
     args.expect_only(&[
@@ -370,7 +694,7 @@ pub fn provision(args: &Args) -> CmdResult {
     };
     let e = spec::parse_recharge(&recharge_spec)?.mean_rate();
     let budget = EnergyBudget::per_slot(e);
-    let policy: Box<dyn ActivationPolicy> = match args.get("policy").unwrap_or("greedy") {
+    let policy: Box<dyn ActivationPolicy + Sync> = match args.get("policy").unwrap_or("greedy") {
         "greedy" => Box::new(GreedyPolicy::optimize(&pmf, budget, &consumption)?),
         "clustering" => Box::new(
             ClusteringOptimizer::new(budget)
@@ -388,7 +712,7 @@ pub fn provision(args: &Args) -> CmdResult {
     let rec = recommend_capacity(
         &pmf,
         policy.as_ref(),
-        &mut |_| spec::parse_recharge(&recharge_spec).expect("validated above"),
+        &|_| spec::parse_recharge(&recharge_spec).expect("validated above"),
         target,
         opts,
     )?;
@@ -755,6 +1079,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("optimize") => optimize(args),
         Some("simulate") => simulate(args),
         Some("provision") => provision(args),
+        Some("bench-sim") => bench_sim(args),
         Some("adaptive") => adaptive(args),
         Some("figure") => figure(args),
         Some("trace") => trace(args),

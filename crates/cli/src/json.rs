@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use evcap_bench::Figure;
-use evcap_sim::SimReport;
+use evcap_sim::{BatchReport, SimReport};
 
 /// Escapes a string for inclusion in JSON.
 fn escape(s: &str) -> String {
@@ -31,7 +31,7 @@ fn escape(s: &str) -> String {
 }
 
 /// Renders a float as a JSON number (`null` for NaN/∞, which JSON lacks).
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -69,6 +69,48 @@ pub fn sim_report(report: &SimReport) -> String {
             num(s.overflow.as_units()),
             num(s.initial_level.as_units()),
             num(s.final_level.as_units()),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes a batched replication report: cross-seed summaries plus one
+/// compact object per replication (full per-sensor detail stays available
+/// through `--replications 1` runs or the JSONL export).
+pub fn batch_report(report: &BatchReport) -> String {
+    let mut out = String::with_capacity(1024);
+    let (qlo, qhi) = report.qom.ci95();
+    let _ = write!(
+        out,
+        "{{\"slots\":{},\"replications\":{},\"qom\":{{\"mean\":{},\"std_dev\":{},\"ci95\":[{},{}]}},\"discharge\":{{\"mean\":{},\"std_dev\":{}}},\"events\":{},\"captures\":{},\"pooled_qom\":{},\"activations\":{},\"forced_idle\":{},\"mean_final_fill\":{},\"mean_capture_gap\":{},\"reports\":[",
+        report.slots,
+        report.replications(),
+        num(report.qom.mean),
+        num(report.qom.std_dev),
+        num(qlo),
+        num(qhi),
+        num(report.discharge.mean),
+        num(report.discharge.std_dev),
+        report.events,
+        report.captures,
+        num(report.pooled_qom()),
+        report.activations,
+        report.forced_idle,
+        num(report.mean_final_fill),
+        report.mean_capture_gap.map_or_else(|| "null".to_owned(), num),
+    );
+    for (i, (seed, rep)) in report.seeds.iter().zip(&report.reports).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seed\":{seed},\"events\":{},\"captures\":{},\"qom\":{},\"discharge_rate\":{}}}",
+            rep.events,
+            rep.captures,
+            num(rep.qom()),
+            num(rep.discharge_rate()),
         );
     }
     out.push_str("]}");

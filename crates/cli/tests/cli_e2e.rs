@@ -85,6 +85,88 @@ const SIM_ARGS: &[&str] = &[
 ];
 
 #[test]
+fn simulate_replications_summarizes_and_keeps_single_run_output_stable() {
+    use evcap_obs::{parse_line, JsonValue};
+
+    // `--replications 1` is byte-identical to the flag being absent.
+    let (ok, plain, _) = run(SIM_ARGS);
+    assert!(ok);
+    let mut one = SIM_ARGS.to_vec();
+    one.extend(["--replications", "1"]);
+    let (ok, with_one, _) = run(&one);
+    assert!(ok);
+    assert_eq!(plain, with_one, "--replications 1 must not change output");
+
+    // A batched run prints the cross-seed summary plus one line per seed,
+    // and seed 0 reproduces the single run's QoM.
+    let single_qom = plain
+        .lines()
+        .find_map(|l| l.strip_prefix("QoM          : "))
+        .expect("single run prints QoM")
+        .trim()
+        .to_owned();
+    let mut batch = SIM_ARGS.to_vec();
+    batch.extend(["--replications", "4"]);
+    let (ok, stdout, _) = run(&batch);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("× 4 replications"), "{stdout}");
+    assert!(stdout.contains("95% CI over 4 seeds"), "{stdout}");
+    assert_eq!(stdout.matches("\n  rep ").count(), 4, "{stdout}");
+    assert!(
+        stdout.contains(&format!("qom {single_qom}")),
+        "seed 0 line must carry the single-run QoM {single_qom}:\n{stdout}"
+    );
+
+    // JSON format parses and reports per-seed entries.
+    let mut json_args = batch.clone();
+    json_args.extend(["--format", "json"]);
+    let (ok, stdout, _) = run(&json_args);
+    assert!(ok, "{stdout}");
+    let v = parse_line(stdout.trim()).expect("valid JSON");
+    assert_eq!(v.get("replications").and_then(JsonValue::as_f64), Some(4.0));
+    assert_eq!(
+        v.get("reports")
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::len),
+        Some(4)
+    );
+
+    // Zero replications is a usage error.
+    let mut zero = SIM_ARGS.to_vec();
+    zero.extend(["--replications", "0"]);
+    let (ok, _, stderr) = run(&zero);
+    assert!(!ok);
+    assert!(stderr.contains("replications"), "{stderr}");
+}
+
+#[test]
+fn bench_sim_writes_throughput_json() {
+    let path = std::env::temp_dir().join("evcap_e2e_bench_sim.json");
+    let path_str = path.to_str().unwrap();
+    let (ok, stdout, _) = run(&[
+        "bench-sim",
+        "--slots",
+        "5000",
+        "--replications",
+        "3",
+        "--threads-list",
+        "1,2",
+        "--out",
+        path_str,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("deterministic: yes"), "{stdout}");
+    let doc = std::fs::read_to_string(&path).expect("bench file written");
+    assert!(
+        doc.contains("\"deterministic_across_threads\": true"),
+        "{doc}"
+    );
+    assert!(doc.contains("\"threads_available\""), "{doc}");
+    assert!(doc.contains("\"speedup_vs_sequential\""), "{doc}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn simulate_obs_out_writes_parseable_jsonl() {
     use evcap_obs::{parse_line, JsonValue};
 

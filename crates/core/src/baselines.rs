@@ -1,7 +1,7 @@
 //! The plausible alternative policies the paper compares against.
 
 use crate::greedy::EnergyBudget;
-use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 use crate::{PolicyError, Result};
 use evcap_energy::ConsumptionModel;
 
@@ -34,6 +34,10 @@ impl ActivationPolicy for AggressivePolicy {
 
     fn label(&self) -> String {
         "aggressive".to_owned()
+    }
+
+    fn table(&self) -> Option<PolicyTable> {
+        Some(PolicyTable::new(Vec::new(), 1.0))
     }
 }
 
@@ -165,6 +169,10 @@ impl ActivationPolicy for PeriodicPolicy {
     fn label(&self) -> String {
         format!("periodic(θ1={}, θ2={})", self.theta1, self.theta2)
     }
+
+    // No `table()`: the periodic policy conditions on the wall-clock slot,
+    // not the renewal state, so it keeps the default `None` and the
+    // simulator falls back to virtual dispatch.
 }
 
 #[cfg(test)]
@@ -178,6 +186,15 @@ mod tests {
             assert_eq!(p.probability(&DecisionContext::stationary(state)), 1.0);
         }
         assert_eq!(p.info_model(), InfoModel::Partial);
+    }
+
+    #[test]
+    fn aggressive_table_is_all_ones_and_periodic_has_none() {
+        let table = AggressivePolicy::new().table().unwrap();
+        for state in [1, 7, 10_000] {
+            assert_eq!(table.probability(state), 1.0);
+        }
+        assert!(PeriodicPolicy::new(2, 5).unwrap().table().is_none());
     }
 
     #[test]

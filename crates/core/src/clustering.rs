@@ -26,7 +26,7 @@ use evcap_energy::ConsumptionModel;
 use evcap_renewal::AgeBeliefDp;
 
 use crate::greedy::EnergyBudget;
-use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 use crate::{PolicyError, Result};
 
 /// Validates that a coefficient is a probability.
@@ -164,6 +164,17 @@ impl ActivationPolicy for ClusteringPolicy {
             "clustering-PI(n1={}, n2={}, n3={}, c=({:.3}, {:.3}, {:.3}))",
             self.n1, self.n2, self.n3, self.c_n1, self.c_n2, self.c_n3
         )
+    }
+
+    fn table(&self) -> Option<PolicyTable> {
+        // Everything past n3 is aggressive recovery, so the staircase up to
+        // n3 is the whole explicit part. Ablation variants disable recovery
+        // by pushing n3 out of reach — don't materialize that.
+        if self.n3 > PolicyTable::MAX_EXPLICIT_STATES {
+            return None;
+        }
+        let probs = (1..=self.n3).map(|i| self.coefficient(i)).collect();
+        Some(PolicyTable::new(probs, 1.0))
     }
 }
 
@@ -543,6 +554,25 @@ mod tests {
         assert_eq!(p.coefficient(9), 0.75);
         assert_eq!(p.coefficient(10), 1.0);
         assert_eq!(p.coefficient(1000), 1.0);
+    }
+
+    #[test]
+    fn table_matches_probability_everywhere() {
+        let p = ClusteringPolicy::new(3, 6, 9, 0.25, 0.5, 0.75).unwrap();
+        let table = p.table().expect("clustering is stationary");
+        for i in 1..=200 {
+            let ctx = DecisionContext::stationary(i);
+            assert_eq!(table.probability(i), p.probability(&ctx), "state {i}");
+        }
+    }
+
+    #[test]
+    fn unreachable_recovery_region_skips_the_table() {
+        // The region ablation pushes n3 → u32::MAX to disable recovery;
+        // materializing that staircase would allocate gigabytes, so the
+        // policy must fall back to dynamic dispatch instead.
+        let p = ClusteringPolicy::new(3, 6, u32::MAX as usize, 0.25, 0.5, 0.0).unwrap();
+        assert!(p.table().is_none());
     }
 
     #[test]

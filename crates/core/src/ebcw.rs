@@ -23,7 +23,7 @@ use evcap_energy::ConsumptionModel;
 
 use crate::clustering::{evaluate_partial_info, ClusterEvaluation, EvalOptions};
 use crate::greedy::EnergyBudget;
-use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 use crate::{PolicyError, Result};
 
 /// The energy-balanced positive-correlation policy `π_EBCW`.
@@ -151,6 +151,10 @@ impl ActivationPolicy for EbcwPolicy {
 
     fn planned_discharge_rate(&self) -> Option<f64> {
         Some(self.evaluation.discharge_rate)
+    }
+
+    fn table(&self) -> Option<PolicyTable> {
+        Some(PolicyTable::new(vec![self.c1], self.c_rest))
     }
 }
 

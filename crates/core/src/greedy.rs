@@ -18,7 +18,7 @@ use evcap_dist::SlotPmf;
 use evcap_energy::ConsumptionModel;
 use evcap_lp::{Problem, Relation};
 
-use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 use crate::{PolicyError, Result};
 
 /// The mean recharge rate `e` (energy units per slot) a policy must balance
@@ -271,6 +271,13 @@ impl ActivationPolicy for GreedyPolicy {
     fn planned_discharge_rate(&self) -> Option<f64> {
         Some(self.discharge_rate)
     }
+
+    fn table(&self) -> Option<PolicyTable> {
+        Some(PolicyTable::new(
+            self.coefficients.clone(),
+            self.tail_coefficient,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -461,5 +468,20 @@ mod tests {
         let ctx = DecisionContext::stationary(2);
         assert_eq!(policy.probability(&ctx), policy.coefficient(2));
         assert!(policy.planned_discharge_rate().is_some());
+    }
+
+    #[test]
+    fn table_matches_probability_everywhere() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let policy =
+            GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &paper_consumption())
+                .unwrap();
+        let table = policy.table().expect("greedy is stationary");
+        for i in 1..=(pmf.horizon() + 64) {
+            let ctx = DecisionContext::stationary(i);
+            assert_eq!(table.probability(i), policy.probability(&ctx), "state {i}");
+        }
     }
 }

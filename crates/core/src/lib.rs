@@ -78,7 +78,7 @@ pub use fleet::{FleetAllocator, FleetPlan, PoiSpec};
 pub use greedy::{EnergyBudget, GreedyPolicy};
 pub use multi::{MultiSensorPlan, SlotAssignment};
 pub use myopic::MyopicPolicy;
-pub use policy::{ActivationPolicy, DecisionContext, InfoModel};
+pub use policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 pub use refined::{RegionPolicy, Segment};
 
 /// Convenience alias for results in this crate.

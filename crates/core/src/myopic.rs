@@ -24,7 +24,7 @@ use evcap_renewal::AgeBeliefDp;
 
 use crate::clustering::{evaluate_partial_info, ClusterEvaluation, EvalOptions};
 use crate::greedy::EnergyBudget;
-use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 use crate::{PolicyError, Result};
 
 /// The energy-balanced myopic belief-threshold policy.
@@ -177,6 +177,16 @@ impl ActivationPolicy for MyopicPolicy {
 
     fn planned_discharge_rate(&self) -> Option<f64> {
         Some(self.evaluation.discharge_rate)
+    }
+
+    fn table(&self) -> Option<PolicyTable> {
+        let probs = self
+            .active
+            .iter()
+            .map(|&a| if a { 1.0 } else { 0.0 })
+            .collect();
+        // Beyond the derived window the policy is aggressive recovery.
+        Some(PolicyTable::new(probs, 1.0))
     }
 }
 

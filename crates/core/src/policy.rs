@@ -53,6 +53,69 @@ impl DecisionContext {
     }
 }
 
+/// A policy's state-indexed activation probabilities compiled into a flat
+/// array, plus the constant probability shared by every state beyond it.
+///
+/// Stationary policies (everything except the wall-clock periodic baseline)
+/// are pure functions of the renewal state, so the per-slot hot loop can
+/// replace a virtual [`ActivationPolicy::probability`] call with one bounds
+/// check and an array load. The table must agree *bit-for-bit* with the
+/// policy it was compiled from — the batched simulation layer relies on that
+/// to keep table-driven runs identical to dispatch-driven ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyTable {
+    probs: Vec<f64>,
+    tail: f64,
+}
+
+impl PolicyTable {
+    /// Largest explicit-state count a [`table`](ActivationPolicy::table)
+    /// implementation should materialize.
+    ///
+    /// Every policy in this crate keeps its interesting region within a few
+    /// hundred states, but ablation variants push region boundaries toward
+    /// `usize::MAX` to make a region unreachable; compiling that staircase
+    /// literally would allocate gigabytes per run. Policies whose explicit
+    /// region exceeds this bound return `None` and keep dynamic dispatch.
+    pub const MAX_EXPLICIT_STATES: usize = 1 << 16;
+
+    /// Builds a table mapping state `i` (1-based) to `probs[i - 1]` for
+    /// `i ≤ probs.len()` and to `tail` beyond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry (or the tail) is not a probability in `[0, 1]`.
+    pub fn new(probs: Vec<f64>, tail: f64) -> Self {
+        let valid = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        assert!(
+            probs.iter().all(|&p| valid(p)) && valid(tail),
+            "policy table entries must be probabilities in [0, 1]"
+        );
+        Self { probs, tail }
+    }
+
+    /// The activation probability for state `i ≥ 1`.
+    #[inline]
+    pub fn probability(&self, state: usize) -> f64 {
+        debug_assert!(state >= 1, "states are 1-based");
+        if state <= self.probs.len() {
+            self.probs[state - 1]
+        } else {
+            self.tail
+        }
+    }
+
+    /// Number of explicitly stored states before the constant tail.
+    pub fn explicit_states(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The constant probability applied beyond the explicit states.
+    pub fn tail(&self) -> f64 {
+        self.tail
+    }
+}
+
 /// A randomized activation policy: in each slot the sensor activates with a
 /// computed probability.
 ///
@@ -78,6 +141,18 @@ pub trait ActivationPolicy {
     /// energy assumption, when known. Used by tests to verify energy
     /// balance.
     fn planned_discharge_rate(&self) -> Option<f64> {
+        None
+    }
+
+    /// The policy compiled to a flat state-indexed probability table, when
+    /// the policy is stationary in the renewal state.
+    ///
+    /// Returning `Some` promises `table.probability(i)` equals
+    /// `self.probability(&DecisionContext::stationary(i))` *exactly* (same
+    /// bits) for every state `i ≥ 1` and any slot/battery context — the
+    /// simulator substitutes the table for the virtual call on its hot path.
+    /// Policies that condition on wall-clock time or battery return `None`.
+    fn table(&self) -> Option<PolicyTable> {
         None
     }
 }
@@ -120,5 +195,37 @@ mod tests {
     fn info_model_displays() {
         assert_eq!(InfoModel::Full.to_string(), "full information");
         assert_eq!(InfoModel::Partial.to_string(), "partial information");
+    }
+
+    #[test]
+    fn table_defaults_to_none() {
+        let policy: Box<dyn ActivationPolicy> = Box::new(AlwaysOn);
+        assert!(policy.table().is_none());
+    }
+
+    #[test]
+    fn table_lookup_and_tail() {
+        let table = PolicyTable::new(vec![0.0, 0.5, 1.0], 0.25);
+        assert_eq!(table.probability(1), 0.0);
+        assert_eq!(table.probability(2), 0.5);
+        assert_eq!(table.probability(3), 1.0);
+        assert_eq!(table.probability(4), 0.25);
+        assert_eq!(table.probability(1_000_000), 0.25);
+        assert_eq!(table.explicit_states(), 3);
+        assert_eq!(table.tail(), 0.25);
+    }
+
+    #[test]
+    fn empty_table_is_all_tail() {
+        let table = PolicyTable::new(Vec::new(), 1.0);
+        assert_eq!(table.explicit_states(), 0);
+        assert_eq!(table.probability(1), 1.0);
+        assert_eq!(table.probability(99), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn table_rejects_non_probability() {
+        let _ = PolicyTable::new(vec![1.5], 0.0);
     }
 }

@@ -21,7 +21,7 @@ use evcap_energy::ConsumptionModel;
 
 use crate::clustering::{evaluate_partial_info, ClusterEvaluation, ClusteringPolicy, EvalOptions};
 use crate::greedy::EnergyBudget;
-use crate::policy::{ActivationPolicy, DecisionContext, InfoModel};
+use crate::policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 use crate::{PolicyError, Result};
 
 /// One piecewise-constant segment: states `start..next_start` activate with
@@ -333,6 +333,17 @@ impl ActivationPolicy for RegionPolicy {
     fn label(&self) -> String {
         format!("region-PI({} segments)", self.segments.len())
     }
+
+    fn table(&self) -> Option<PolicyTable> {
+        // The final segment is unbounded: its coefficient is the tail, and
+        // only states before it need explicit entries.
+        let last = self.segments.last().expect("segments are non-empty");
+        if last.start > PolicyTable::MAX_EXPLICIT_STATES {
+            return None;
+        }
+        let probs = (1..last.start).map(|i| self.coefficient(i)).collect();
+        Some(PolicyTable::new(probs, last.coefficient))
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +405,17 @@ mod tests {
         assert_eq!(p.coefficient(19), 0.5);
         assert_eq!(p.coefficient(20), 1.0);
         assert_eq!(p.coefficient(10_000), 1.0);
+    }
+
+    #[test]
+    fn table_matches_probability_everywhere() {
+        let c = ClusteringPolicy::new(5, 9, 14, 0.3, 0.7, 0.9).unwrap();
+        let p = RegionPolicy::from_clustering(&c);
+        let table = p.table().expect("regions are stationary");
+        for state in 1..=100 {
+            let ctx = DecisionContext::stationary(state);
+            assert_eq!(table.probability(state), p.probability(&ctx), "{state}");
+        }
     }
 
     #[test]

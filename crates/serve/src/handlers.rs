@@ -9,7 +9,7 @@ use evcap_core::{
 };
 use evcap_energy::{ConsumptionModel, Energy};
 use evcap_obs::JsonObject;
-use evcap_sim::Simulation;
+use evcap_sim::{ReplicationBatch, Simulation};
 
 use crate::scenario::{ApiError, SimulateScenario, SolvePolicy, SolveScenario};
 
@@ -81,7 +81,7 @@ pub fn simulate(s: &SimulateScenario) -> Result<String, ApiError> {
     // Coordinated fleets pool energy: the policy is computed at N·e,
     // matching `evcap simulate`.
     let aggregate = EnergyBudget::per_slot(s.solve.e * s.sensors as f64);
-    let policy: Box<dyn ActivationPolicy> = match s.solve.policy {
+    let policy: Box<dyn ActivationPolicy + Sync> = match s.solve.policy {
         SolvePolicy::Greedy => Box::new(
             GreedyPolicy::optimize(&pmf, aggregate, &consumption)
                 .map_err(|e| ApiError::unprocessable(e.to_string()))?,
@@ -110,6 +110,46 @@ pub fn simulate(s: &SimulateScenario) -> Result<String, ApiError> {
     } else {
         builder.independent()
     };
+    // Batched requests run the replication engine and answer with the
+    // cross-seed reduction; `replications: 1` (or absent) stays on the
+    // classic single-run path below, byte-identical to previous releases.
+    if s.replications > 1 {
+        let batch = ReplicationBatch::new(builder, s.replications)
+            .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+        let seeds = batch.seeds();
+        let report = batch
+            .run(policy.as_ref(), &|_| {
+                evcap_spec::parse_recharge(&s.recharge).expect("validated above")
+            })
+            .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+        let mut obj = JsonObject::with_type("simulate");
+        obj.field_str("policy", s.solve.policy.name());
+        obj.field_str("label", &policy.label());
+        obj.field_str("dist", &s.solve.dist);
+        obj.field_str("recharge", &s.recharge);
+        obj.field_u64("slots", report.slots);
+        obj.field_u64("seed", s.seed);
+        obj.field_usize("replications", report.replications());
+        obj.field_u64_array("seeds", &seeds);
+        obj.field_u64("events", report.events);
+        obj.field_u64("captures", report.captures);
+        obj.field_f64("qom", report.qom.mean);
+        obj.field_f64("qom_std_dev", report.qom.std_dev);
+        let (lo, hi) = report.qom.ci95();
+        obj.field_f64_array("qom_ci95", &[lo, hi]);
+        obj.field_f64("pooled_qom", report.pooled_qom());
+        let per_seed: Vec<f64> = report.reports.iter().map(|r| r.qom()).collect();
+        obj.field_f64_array("qom_per_seed", &per_seed);
+        obj.field_u64("activations", report.activations);
+        obj.field_u64("forced_idle", report.forced_idle);
+        obj.field_f64("discharge_rate", report.discharge.mean);
+        obj.field_f64("mean_final_fill", report.mean_final_fill);
+        if let Some(gap) = report.mean_capture_gap {
+            obj.field_f64("mean_capture_gap", gap);
+        }
+        obj.field_usize("sensors", s.sensors);
+        return Ok(obj.finish());
+    }
     let report = builder
         .run(policy.as_ref(), &mut make_recharge)
         .map_err(|e| ApiError::unprocessable(e.to_string()))?;
@@ -190,6 +230,37 @@ mod tests {
         assert_eq!(v.get("slots").and_then(JsonValue::as_f64), Some(20_000.0));
         let qom = v.get("qom").and_then(JsonValue::as_f64).unwrap();
         assert!(qom > 0.0 && qom <= 1.0, "qom = {qom}");
+    }
+
+    #[test]
+    fn batched_simulate_reports_cross_seed_statistics() {
+        let body = br#"{"dist":"weibull:40,3","e":0.2,"slots":10000,"seed":7,"horizon":4096,"replications":5}"#;
+        let s = SimulateScenario::from_body(body, 1_000_000).unwrap();
+        let out = simulate(&s).unwrap();
+        let v = parse_line(&out).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("simulate"));
+        assert_eq!(v.get("replications").and_then(JsonValue::as_f64), Some(5.0));
+        let per_seed = v.get("qom_per_seed").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(per_seed.len(), 5);
+        let ci = v.get("qom_ci95").and_then(JsonValue::as_array).unwrap();
+        let (lo, hi) = (ci[0].as_f64().unwrap(), ci[1].as_f64().unwrap());
+        let mean = v.get("qom").and_then(JsonValue::as_f64).unwrap();
+        assert!(lo <= mean && mean <= hi, "{lo} ≤ {mean} ≤ {hi}");
+
+        // Seed 0 of the batch is the base seed: its QoM equals the classic
+        // single-run response for the same scenario.
+        let single = SimulateScenario::from_body(
+            br#"{"dist":"weibull:40,3","e":0.2,"slots":10000,"seed":7,"horizon":4096}"#,
+            1_000_000,
+        )
+        .unwrap();
+        let single_out = simulate(&single).unwrap();
+        let sv = parse_line(&single_out).unwrap();
+        assert_eq!(
+            per_seed[0].as_f64(),
+            sv.get("qom").and_then(JsonValue::as_f64),
+            "batch seed 0 must reproduce the single run"
+        );
     }
 
     #[test]

@@ -65,6 +65,8 @@ impl From<evcap_spec::SpecError> for ApiError {
 pub const MAX_HORIZON: usize = 1 << 20;
 /// The most sensors a simulation request may ask for.
 pub const MAX_SENSORS: usize = 64;
+/// The most replications a simulation request may ask for.
+pub const MAX_REPLICATIONS: usize = 64;
 
 /// Which optimizer a solve request wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +121,8 @@ pub struct SimulateScenario {
     pub recharge: String,
     /// `true` → rotating (round-robin) slot assignment, else independent.
     pub rotating: bool,
+    /// Monte Carlo replications (1 = the classic single run).
+    pub replications: usize,
 }
 
 /// Parses a request body into a JSON object, field map included.
@@ -242,6 +246,7 @@ const SIMULATE_FIELDS: &[&str] = &[
     "sensors",
     "recharge",
     "coordination",
+    "replications",
 ];
 
 fn solve_from(
@@ -365,6 +370,22 @@ impl SimulateScenario {
                 ))
             }
         };
+        let replications =
+            want_index(&map, "replications", MAX_REPLICATIONS as u64)?.unwrap_or(1) as usize;
+        if replications == 0 {
+            return Err(ApiError::bad_request(
+                "invalid_field",
+                "field `replications` must be ≥ 1",
+            ));
+        }
+        // Replications multiply work: the per-request slot budget bounds the
+        // total (`slots × replications`), not just one replication.
+        if slots.saturating_mul(replications as u64) > max_slots {
+            return Err(ApiError::bad_request(
+                "invalid_field",
+                format!("`slots` × `replications` must be ≤ {max_slots} total slots"),
+            ));
+        }
         Ok(SimulateScenario {
             solve,
             slots,
@@ -373,6 +394,7 @@ impl SimulateScenario {
             sensors,
             recharge,
             rotating,
+            replications,
         })
     }
 
@@ -381,7 +403,7 @@ impl SimulateScenario {
         let mut key = String::from("sim|");
         let _ = write!(
             key,
-            "{}|{}|e={}|d1={}|d2={}|h={}|slots={}|seed={}|k={}|n={}|r={}|{}",
+            "{}|{}|e={}|d1={}|d2={}|h={}|slots={}|seed={}|k={}|n={}|r={}|{}|reps={}",
             self.solve.policy.name(),
             self.solve.dist,
             self.solve.e,
@@ -394,6 +416,7 @@ impl SimulateScenario {
             self.sensors,
             self.recharge,
             if self.rotating { "rot" } else { "ind" },
+            self.replications,
         );
         key
     }
@@ -489,6 +512,44 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind, "invalid_spec");
+    }
+
+    #[test]
+    fn replications_parse_validate_and_key() {
+        // Default is one replication.
+        let one =
+            SimulateScenario::from_body(br#"{"dist":"det:7","e":0.3,"slots":5000}"#, 1_000_000)
+                .unwrap();
+        assert_eq!(one.replications, 1);
+
+        let many = SimulateScenario::from_body(
+            br#"{"dist":"det:7","e":0.3,"slots":5000,"replications":8}"#,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(many.replications, 8);
+        // The replication count is part of the cache identity.
+        assert_ne!(one.cache_key(), many.cache_key());
+
+        // Zero and absurdly large counts are structured 400s.
+        for body in [
+            &br#"{"dist":"det:7","e":0.3,"slots":5000,"replications":0}"#[..],
+            br#"{"dist":"det:7","e":0.3,"slots":5000,"replications":1000000}"#,
+            br#"{"dist":"det:7","e":0.3,"slots":5000,"replications":2.5}"#,
+        ] {
+            let err = SimulateScenario::from_body(body, 1_000_000).unwrap_err();
+            assert_eq!(err.status, 400, "{body:?}");
+            assert_eq!(err.kind, "invalid_field", "{body:?}: {}", err.message);
+        }
+
+        // The slot budget bounds total work across replications.
+        let err = SimulateScenario::from_body(
+            br#"{"dist":"det:7","e":0.3,"slots":400000,"replications":4}"#,
+            1_000_000,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, "invalid_field");
+        assert!(err.message.contains("total slots"), "{}", err.message);
     }
 
     #[test]

@@ -185,6 +185,56 @@ fn simulate_is_deterministic_and_cached() {
 }
 
 #[test]
+fn batched_simulate_is_cached_and_bounds_checked() {
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let body =
+        br#"{"dist":"det:7","e":0.3,"slots":10000,"seed":42,"horizon":1024,"replications":6}"#;
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+    let first = conn.request("POST", "/v1/simulate", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    let v = parse_line(&first.text()).unwrap();
+    assert_eq!(v.get("replications").and_then(JsonValue::as_f64), Some(6.0));
+    assert_eq!(
+        v.get("qom_per_seed")
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::len),
+        Some(6)
+    );
+
+    // The identical batched request replays the cached bytes.
+    let second = conn.request("POST", "/v1/simulate", body).unwrap();
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    // Same scenario, different replication count: a distinct cache entry.
+    let other =
+        br#"{"dist":"det:7","e":0.3,"slots":10000,"seed":42,"horizon":1024,"replications":5}"#;
+    let third = conn.request("POST", "/v1/simulate", other).unwrap();
+    assert_eq!(third.cache.as_deref(), Some("miss"));
+
+    // Zero and absurd replication counts are structured 400s.
+    for bad in [
+        &br#"{"dist":"det:7","e":0.3,"slots":10000,"replications":0}"#[..],
+        br#"{"dist":"det:7","e":0.3,"slots":10000,"replications":1000000}"#,
+        br#"{"dist":"det:7","e":0.3,"slots":400000,"replications":4}"#,
+    ] {
+        let resp = client::post(addr, "/v1/simulate", bad, TIMEOUT).unwrap();
+        assert_eq!(resp.status, 400, "{}", resp.text());
+        let v = parse_line(&resp.text()).unwrap();
+        assert_eq!(
+            v.get("kind").and_then(JsonValue::as_str),
+            Some("invalid_field"),
+            "{}",
+            resp.text()
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
 fn bad_requests_get_structured_errors_over_the_wire() {
     let server = Server::start(test_config()).expect("bind");
     let addr = server.local_addr();

@@ -1,6 +1,6 @@
 //! The slotted simulation engine.
 
-use evcap_core::{ActivationPolicy, DecisionContext, InfoModel, SlotAssignment};
+use evcap_core::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable, SlotAssignment};
 use evcap_dist::SlotPmf;
 use evcap_energy::{Battery, ConsumptionModel, Energy, RechargeProcess};
 use evcap_obs::{timing, NullObserver, Observer, SlotOutcome};
@@ -14,6 +14,36 @@ use crate::{Result, SimError};
 
 /// Factory producing one recharge process per sensor index.
 pub type RechargeFactory<'f> = dyn FnMut(usize) -> Box<dyn RechargeProcess> + 'f;
+
+/// Where the per-slot activation probability comes from.
+///
+/// Stationary policies compile to a [`PolicyTable`] once per run
+/// ([`TableProb`]): the hot loop pays one bounds check and an array load
+/// instead of a virtual call into the policy object. Policies that
+/// condition on more than the renewal state fall back to dynamic dispatch
+/// ([`DynProb`]). The engine is monomorphized over the source, so the table
+/// path carries no dispatch residue.
+pub(crate) trait ProbSource {
+    fn probability(&self, ctx: &DecisionContext) -> f64;
+}
+
+pub(crate) struct TableProb<'p>(pub &'p PolicyTable);
+
+impl ProbSource for TableProb<'_> {
+    #[inline]
+    fn probability(&self, ctx: &DecisionContext) -> f64 {
+        self.0.probability(ctx.state)
+    }
+}
+
+pub(crate) struct DynProb<'p>(pub &'p dyn ActivationPolicy);
+
+impl ProbSource for DynProb<'_> {
+    #[inline]
+    fn probability(&self, ctx: &DecisionContext) -> f64 {
+        self.0.probability(ctx)
+    }
+}
 
 /// How the sensors share the monitoring work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,18 +68,18 @@ pub enum Coordination {
 /// See the [crate-level example](crate) for typical usage.
 #[derive(Debug, Clone)]
 pub struct Simulation<'a> {
-    pmf: &'a SlotPmf,
-    slots: u64,
-    seed: u64,
-    consumption: ConsumptionModel,
-    sensors: usize,
-    battery_capacity: Energy,
-    initial_level: Option<Energy>,
-    coordination: Coordination,
-    outages: OutagePlan,
-    trace_slots: usize,
-    battery_sample_every: Option<u64>,
-    warmup_slots: u64,
+    pub(crate) pmf: &'a SlotPmf,
+    pub(crate) slots: u64,
+    pub(crate) seed: u64,
+    pub(crate) consumption: ConsumptionModel,
+    pub(crate) sensors: usize,
+    pub(crate) battery_capacity: Energy,
+    pub(crate) initial_level: Option<Energy>,
+    pub(crate) coordination: Coordination,
+    pub(crate) outages: OutagePlan,
+    pub(crate) trace_slots: usize,
+    pub(crate) battery_sample_every: Option<u64>,
+    pub(crate) warmup_slots: u64,
 }
 
 impl<'a> Simulation<'a> {
@@ -226,6 +256,26 @@ impl<'a> Simulation<'a> {
         make_recharge: &mut RechargeFactory<'_>,
         observer: &mut O,
     ) -> Result<SimReport> {
+        // Stationary policies precompile to a flat probability table; the
+        // `table()` contract guarantees bit-identical probabilities, so both
+        // paths produce byte-identical reports for the same seed.
+        let info = policy.info_model();
+        match policy.table() {
+            Some(table) => {
+                self.run_core(schedule, info, &TableProb(&table), make_recharge, observer)
+            }
+            None => self.run_core(schedule, info, &DynProb(policy), make_recharge, observer),
+        }
+    }
+
+    pub(crate) fn run_core<P: ProbSource, O: Observer>(
+        &self,
+        schedule: &EventSchedule,
+        info: InfoModel,
+        prob: &P,
+        make_recharge: &mut RechargeFactory<'_>,
+        observer: &mut O,
+    ) -> Result<SimReport> {
         if self.slots == 0 {
             return Err(SimError::ZeroSlots);
         }
@@ -260,7 +310,12 @@ impl<'a> Simulation<'a> {
         }
 
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut cursor = schedule.cursor();
+        // Hoisted next-event pointer: the schedule is pre-sampled and sorted
+        // and `t` only moves forward, so the per-slot event query is one
+        // comparison against `event_slots[next_event]` — no sampling, no
+        // cursor indirection, inside the loop.
+        let event_slots = schedule.event_slots();
+        let mut next_event = 0usize;
         let mut trace = Vec::with_capacity(self.trace_slots.min(4096));
         let mut battery_trace = Vec::new();
 
@@ -303,7 +358,7 @@ impl<'a> Simulation<'a> {
                           own_last_capture: &[u64],
                           observer: &mut O|
              -> (bool, bool, usize) {
-                let state = match policy.info_model() {
+                let state = match info {
                     InfoModel::Full => (t - last_event) as usize,
                     InfoModel::Partial => match self.coordination {
                         Coordination::Rotating(_) => (t - shared_last_capture) as usize,
@@ -315,7 +370,7 @@ impl<'a> Simulation<'a> {
                     state,
                     battery_fraction: batteries[s].fill_fraction(),
                 };
-                let p = policy.probability(&ctx);
+                let p = prob.probability(&ctx);
                 debug_assert!((0.0..=1.0).contains(&p), "policy returned {p}");
                 let wanted = p > 0.0 && (p >= 1.0 || rng.random::<f64>() < p);
                 let feasible = batteries[s].can_afford(threshold);
@@ -428,7 +483,17 @@ impl<'a> Simulation<'a> {
             }
 
             // 3. The event (if any) arrives after the decisions.
-            let event = cursor.occurs(t);
+            let event = {
+                while next_event < event_slots.len() && event_slots[next_event] < t {
+                    next_event += 1;
+                }
+                if next_event < event_slots.len() && event_slots[next_event] == t {
+                    next_event += 1;
+                    true
+                } else {
+                    false
+                }
+            };
             let measured = t > self.warmup_slots;
             let mut captured_by_any = false;
             if event {
@@ -988,6 +1053,42 @@ mod tests {
         // every slot is active and the reported owner is sensor 0.
         assert_eq!(collect.active_slots, report.slots);
         assert!(collect.owners.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn table_path_is_bit_identical_to_dyn_dispatch() {
+        use evcap_core::{ClusteringPolicy, EnergyBudget, GreedyPolicy};
+        // Wrapper that hides the inner policy's table, forcing the engine
+        // down the virtual-dispatch path; the outputs must still match the
+        // table-driven run byte for byte.
+        struct NoTable<'p>(&'p dyn ActivationPolicy);
+        impl ActivationPolicy for NoTable<'_> {
+            fn probability(&self, ctx: &DecisionContext) -> f64 {
+                self.0.probability(ctx)
+            }
+            fn info_model(&self) -> InfoModel {
+                self.0.info_model()
+            }
+            fn label(&self) -> String {
+                self.0.label()
+            }
+        }
+
+        let pmf = weibull_pmf();
+        let greedy = GreedyPolicy::optimize(
+            &pmf,
+            EnergyBudget::per_slot(0.5),
+            &ConsumptionModel::paper_defaults(),
+        )
+        .unwrap();
+        let clustering = ClusteringPolicy::new(20, 45, 80, 0.5, 0.5, 1.0).unwrap();
+        for policy in [&greedy as &dyn ActivationPolicy, &clustering] {
+            assert!(policy.table().is_some());
+            let sim = Simulation::builder(&pmf).slots(60_000).seed(71).sensors(2);
+            let fast = sim.clone().run(policy, &mut bernoulli(0.4, 1.0)).unwrap();
+            let slow = sim.run(&NoTable(policy), &mut bernoulli(0.4, 1.0)).unwrap();
+            assert_eq!(fast, slow, "{}", policy.label());
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub enum SimError {
     Dist(evcap_dist::DistError),
     /// A policy (re)optimization failed (adaptive/provisioning drivers).
     Policy(evcap_core::PolicyError),
+    /// A replication batch was configured with zero replications.
+    ZeroReplications,
     /// A provided event schedule was shorter than the simulation horizon.
     ScheduleTooShort {
         /// Number of slots the schedule covers.
@@ -34,6 +36,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::ZeroSlots => write!(f, "simulation horizon must be at least one slot"),
+            SimError::ZeroReplications => {
+                write!(f, "a replication batch needs at least one replication")
+            }
             SimError::NoSensors => write!(f, "at least one sensor is required"),
             SimError::Energy(e) => write!(f, "energy configuration error: {e}"),
             SimError::Dist(e) => write!(f, "event process error: {e}"),
@@ -93,6 +98,7 @@ mod tests {
         let errors = [
             SimError::ZeroSlots,
             SimError::NoSensors,
+            SimError::ZeroReplications,
             SimError::Energy(evcap_energy::EnergyError::ZeroPeriod),
             SimError::Dist(evcap_dist::DistError::EmptyPmf),
             SimError::Policy(evcap_core::PolicyError::NoFeasibleCandidate),

@@ -62,24 +62,66 @@ impl EventSchedule {
         Self::generate_inner(pmf, slots, seed, true)
     }
 
+    /// Samples a schedule through a caller-provided [`SlotSampler`],
+    /// producing exactly the schedule [`EventSchedule::generate`] would for
+    /// the same pmf/slots/seed.
+    ///
+    /// [`SlotSampler::new`] builds alias tables in `O(horizon)`; a batch of
+    /// N replications shares one sampler across all N schedules instead of
+    /// rebuilding it per seed. The sampler is immutable and `Sync`, so the
+    /// per-seed generation can run on worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroSlots`] for an empty horizon.
+    pub fn generate_shared(
+        sampler: &SlotSampler,
+        mean_gap: f64,
+        slots: u64,
+        seed: u64,
+    ) -> Result<Self> {
+        if slots == 0 {
+            return Err(SimError::ZeroSlots);
+        }
+        let mut rng = Self::schedule_rng(seed);
+        let first = sampler.sample(&mut rng) as u64;
+        Ok(Self::fill(sampler, mean_gap, slots, first, rng))
+    }
+
     fn generate_inner(pmf: &SlotPmf, slots: u64, seed: u64, stationary: bool) -> Result<Self> {
         if slots == 0 {
             return Err(SimError::ZeroSlots);
         }
         let sampler = SlotSampler::new(pmf)?;
-        // Decorrelate from the decision RNG: schedules get their own stream.
-        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE57);
-        let mut event_slots = Vec::with_capacity((slots as f64 / pmf.mean()) as usize + 16);
-        let mut t: u64 = if stationary {
+        let mut rng = Self::schedule_rng(seed);
+        let first: u64 = if stationary {
             sample_equilibrium_wait(pmf, &mut rng)? as u64
         } else {
             sampler.sample(&mut rng) as u64
         };
+        Ok(Self::fill(&sampler, pmf.mean(), slots, first, rng))
+    }
+
+    /// The schedule RNG stream, decorrelated from the decision RNG (which is
+    /// seeded with the raw seed).
+    fn schedule_rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE57)
+    }
+
+    fn fill(
+        sampler: &SlotSampler,
+        mean_gap: f64,
+        slots: u64,
+        first: u64,
+        mut rng: SmallRng,
+    ) -> Self {
+        let mut event_slots = Vec::with_capacity((slots as f64 / mean_gap) as usize + 16);
+        let mut t = first;
         while t <= slots {
             event_slots.push(t);
             t += sampler.sample(&mut rng) as u64;
         }
-        Ok(Self { event_slots, slots })
+        Self { event_slots, slots }
     }
 
     /// Builds a schedule from explicit event slots (must be strictly
@@ -208,6 +250,25 @@ mod tests {
         // Same seed reproduces exactly.
         let a2 = EventSchedule::generate(&pmf, 10_000, 1).unwrap();
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn shared_sampler_reproduces_generate_exactly() {
+        use evcap_dist::SlotSampler;
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let sampler = SlotSampler::new(&pmf).unwrap();
+        for seed in [0, 1, 2, 42, u64::MAX] {
+            let direct = EventSchedule::generate(&pmf, 50_000, seed).unwrap();
+            let shared =
+                EventSchedule::generate_shared(&sampler, pmf.mean(), 50_000, seed).unwrap();
+            assert_eq!(direct, shared, "seed {seed}");
+        }
+        assert!(matches!(
+            EventSchedule::generate_shared(&sampler, pmf.mean(), 0, 1),
+            Err(SimError::ZeroSlots)
+        ));
     }
 
     #[test]

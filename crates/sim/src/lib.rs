@@ -39,16 +39,19 @@
 //! ```
 
 mod adaptive;
+mod batch;
 mod engine;
 mod error;
 mod events;
 mod metrics;
 mod outage;
+pub mod parallel;
 mod sizing;
 mod stats;
 
 pub use adaptive::{run_adaptive_greedy, AdaptiveConfig, AdaptiveReport, EpisodeOutcome};
-pub use engine::{Coordination, Simulation};
+pub use batch::{BatchReport, ReplicationBatch, SyncRechargeFactory};
+pub use engine::{Coordination, RechargeFactory, Simulation};
 pub use error::SimError;
 pub use events::EventSchedule;
 pub use metrics::{BatterySample, SensorStats, SimReport, TraceRecord};

@@ -5,14 +5,16 @@
 //! inverse question: *how small a battery still achieves a target QoM?*
 //! [`recommend_capacity`] answers it by bisecting `K` over replicated
 //! simulations (the QoM is monotone in `K` up to sampling noise, which the
-//! replication averages out).
+//! replication averages out). Each probe runs its replications through a
+//! [`ReplicationBatch`], so probes parallelize across worker threads.
 
 use evcap_core::ActivationPolicy;
 use evcap_dist::SlotPmf;
-use evcap_energy::{Energy, RechargeProcess};
+use evcap_energy::Energy;
 
+use crate::batch::{ReplicationBatch, SyncRechargeFactory};
 use crate::engine::Simulation;
-use crate::stats::{replicate, Summary};
+use crate::stats::Summary;
 use crate::{Result, SimError};
 
 /// Controls for [`recommend_capacity`].
@@ -58,47 +60,33 @@ pub struct CapacityRecommendation {
 ///
 /// # Errors
 ///
-/// * [`SimError::ZeroSlots`] for a zero-slot probe configuration; other
+/// * [`SimError::ZeroSlots`] for a zero-slot probe configuration and
+///   [`SimError::ZeroReplications`] for a zero-replication one; other
 ///   simulation configuration errors propagate unchanged.
 /// * [`SimError::TargetUnreachable`] if even `max_capacity` misses the
 ///   target — the target exceeds what the policy can achieve under this
 ///   energy supply (compare against the analytic optimum first).
 pub fn recommend_capacity(
     pmf: &SlotPmf,
-    policy: &dyn ActivationPolicy,
-    make_recharge: &mut (dyn FnMut(usize) -> Box<dyn RechargeProcess> + '_),
+    policy: &(dyn ActivationPolicy + Sync),
+    make_recharge: &SyncRechargeFactory<'_>,
     target_qom: f64,
     opts: SizingOptions,
 ) -> Result<CapacityRecommendation> {
     if opts.slots == 0 {
         return Err(SimError::ZeroSlots);
     }
-    let probe = |capacity: f64,
-                 make_recharge: &mut (dyn FnMut(usize) -> Box<dyn RechargeProcess> + '_)|
-     -> Result<Summary> {
-        let mut failure: Option<SimError> = None;
-        let summary = replicate(opts.seed, opts.replications, |seed| {
-            let result = Simulation::builder(pmf)
-                .slots(opts.slots)
-                .seed(seed)
-                .battery(Energy::from_units(capacity))
-                .run(policy, make_recharge);
-            match result {
-                Ok(report) => report.qom(),
-                Err(e) => {
-                    failure = Some(e);
-                    0.0
-                }
-            }
-        });
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(summary),
-        }
+    let probe = |capacity: f64| -> Result<Summary> {
+        let sim = Simulation::builder(pmf)
+            .slots(opts.slots)
+            .seed(opts.seed)
+            .battery(Energy::from_units(capacity));
+        let report = ReplicationBatch::new(sim, opts.replications)?.run(policy, make_recharge)?;
+        Ok(report.qom)
     };
 
     // Check feasibility at the cap first.
-    let at_max = probe(opts.max_capacity, make_recharge)?;
+    let at_max = probe(opts.max_capacity)?;
     if at_max.mean < target_qom {
         return Err(SimError::TargetUnreachable {
             target: target_qom,
@@ -110,7 +98,7 @@ pub fn recommend_capacity(
     let mut best = (opts.max_capacity, at_max);
     while hi - lo > opts.resolution.max(1e-6) {
         let mid = 0.5 * (lo + hi);
-        let summary = probe(mid, make_recharge)?;
+        let summary = probe(mid)?;
         if summary.mean >= target_qom {
             best = (mid, summary);
             hi = mid;
@@ -130,7 +118,7 @@ mod tests {
     use super::*;
     use evcap_core::{EnergyBudget, GreedyPolicy};
     use evcap_dist::{Discretizer, Weibull};
-    use evcap_energy::{BernoulliRecharge, ConsumptionModel};
+    use evcap_energy::{BernoulliRecharge, ConsumptionModel, RechargeProcess};
 
     fn setup() -> (SlotPmf, GreedyPolicy) {
         let pmf = Discretizer::new()
@@ -145,7 +133,7 @@ mod tests {
         (pmf, policy)
     }
 
-    fn bernoulli() -> impl FnMut(usize) -> Box<dyn RechargeProcess> {
+    fn bernoulli() -> impl Fn(usize) -> Box<dyn RechargeProcess> + Sync {
         |_| Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).unwrap())
     }
 
@@ -156,7 +144,7 @@ mod tests {
         let rec = recommend_capacity(
             &pmf,
             &policy,
-            &mut bernoulli(),
+            &bernoulli(),
             target,
             SizingOptions {
                 slots: 60_000,
@@ -182,8 +170,8 @@ mod tests {
             resolution: 2.0,
             ..SizingOptions::default()
         };
-        let loose = recommend_capacity(&pmf, &policy, &mut bernoulli(), 0.6, opts).unwrap();
-        let tight = recommend_capacity(&pmf, &policy, &mut bernoulli(), 0.78, opts).unwrap();
+        let loose = recommend_capacity(&pmf, &policy, &bernoulli(), 0.6, opts).unwrap();
+        let tight = recommend_capacity(&pmf, &policy, &bernoulli(), 0.78, opts).unwrap();
         assert!(
             tight.capacity > loose.capacity,
             "{} vs {}",
@@ -198,7 +186,7 @@ mod tests {
         let err = recommend_capacity(
             &pmf,
             &policy,
-            &mut bernoulli(),
+            &bernoulli(),
             0.999, // the analytic optimum is ≈ 0.80: impossible
             SizingOptions {
                 slots: 30_000,
@@ -209,5 +197,22 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SimError::TargetUnreachable { .. }));
+    }
+
+    #[test]
+    fn zero_replications_is_an_error_not_a_panic() {
+        let (pmf, policy) = setup();
+        let err = recommend_capacity(
+            &pmf,
+            &policy,
+            &bernoulli(),
+            0.5,
+            SizingOptions {
+                replications: 0,
+                ..SizingOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::ZeroReplications));
     }
 }

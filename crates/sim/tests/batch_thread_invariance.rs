@@ -1,0 +1,78 @@
+//! The batched-reduction determinism contract, exercised through the
+//! process-global `EVCAP_THREADS` override (the unit tests pin thread
+//! counts via `ReplicationBatch::threads`, which bypasses the variable).
+//!
+//! Everything lives in one `#[test]` because the override is process-global
+//! mutable state: parallel test threads must not race on it.
+
+use evcap_core::{AggressivePolicy, EnergyBudget, GreedyPolicy};
+use evcap_dist::{Discretizer, Weibull};
+use evcap_energy::{BernoulliRecharge, ConsumptionModel, Energy, RechargeProcess};
+use evcap_sim::{ReplicationBatch, Simulation};
+
+fn bernoulli() -> impl Fn(usize) -> Box<dyn RechargeProcess> + Sync {
+    |_| Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).unwrap())
+}
+
+#[test]
+fn batch_report_is_bit_identical_for_evcap_threads_1_2_8() {
+    let pmf = Discretizer::new()
+        .discretize(&Weibull::new(40.0, 3.0).unwrap())
+        .unwrap();
+    let greedy = GreedyPolicy::optimize(
+        &pmf,
+        EnergyBudget::per_slot(0.5),
+        &ConsumptionModel::paper_defaults(),
+    )
+    .unwrap();
+
+    // One policy with a precompiled table (greedy) and one without a
+    // nontrivial table path being special-cased (aggressive), both through
+    // the env-var thread selection.
+    for (label, policy) in [
+        (
+            "greedy",
+            &greedy as &(dyn evcap_core::ActivationPolicy + Sync),
+        ),
+        ("aggressive", &AggressivePolicy::new()),
+    ] {
+        let sim = Simulation::builder(&pmf)
+            .slots(30_000)
+            .seed(11)
+            .battery(Energy::from_units(200.0));
+        let mut reports = Vec::new();
+        for threads in ["1", "2", "8"] {
+            std::env::set_var("EVCAP_THREADS", threads);
+            let report = ReplicationBatch::new(sim.clone(), 6)
+                .unwrap()
+                .run(policy, &bernoulli())
+                .unwrap();
+            std::env::remove_var("EVCAP_THREADS");
+            reports.push((threads, report));
+        }
+        let (_, reference) = &reports[0];
+        for (threads, report) in &reports[1..] {
+            assert_eq!(
+                report, reference,
+                "{label}: EVCAP_THREADS={threads} diverged from EVCAP_THREADS=1"
+            );
+        }
+
+        // And each batched seed is bit-identical to a standalone run.
+        let batch = ReplicationBatch::new(sim.clone(), 6).unwrap();
+        for (i, seed) in batch.seeds().into_iter().enumerate() {
+            let standalone = sim
+                .clone()
+                .seed(seed)
+                .run(policy, &mut |_: usize| {
+                    Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).unwrap())
+                        as Box<dyn RechargeProcess>
+                })
+                .unwrap();
+            assert_eq!(
+                reference.reports[i], standalone,
+                "{label}: replication {i} diverged from standalone seed {seed}"
+            );
+        }
+    }
+}

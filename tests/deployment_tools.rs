@@ -15,7 +15,7 @@ fn weibull(scale: f64) -> evcap::dist::SlotPmf {
         .unwrap()
 }
 
-fn bernoulli(e: f64) -> impl FnMut(usize) -> Box<dyn RechargeProcess> {
+fn bernoulli(e: f64) -> impl Fn(usize) -> Box<dyn RechargeProcess> + Sync {
     move |_| Box::new(BernoulliRecharge::new(0.5, Energy::from_units(2.0 * e)).unwrap())
 }
 
@@ -29,7 +29,7 @@ fn provisioned_battery_meets_target_in_fresh_simulations() {
     let rec = recommend_capacity(
         &pmf,
         &policy,
-        &mut bernoulli(e),
+        &bernoulli(e),
         target,
         SizingOptions {
             slots: 120_000,
