@@ -7,7 +7,6 @@
 //! (orderings, convergence, crossovers) rather than absolute values.
 
 pub mod figure;
-pub mod parallel;
 pub mod perf;
 pub mod runners;
 pub mod setup;

@@ -1,8 +1,9 @@
 //! Ablations of the multi-sensor coordination layer.
 
-use evcap_core::{ClusteringOptimizer, EnergyBudget, MultiSensorPlan, SlotAssignment};
+use evcap_core::{EnergyBudget, MultiSensorPlan, SlotAssignment};
 use evcap_energy::{BernoulliRecharge, Energy};
 use evcap_sim::{EventSchedule, OutagePlan, Simulation};
+use evcap_spec::PolicySpec;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -22,24 +23,21 @@ const CAPACITY: f64 = 1000.0;
 /// broadcast and rotates responsibility, the independent one does not.
 pub fn ablation_coordination(scale: Scale) -> Figure {
     let pmf = weibull_pmf();
-    let consumption = consumption();
     let schedule = EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
     let mut coordinated = Series::new("coordinated");
     let mut independent = Series::new("independent");
     for n in [1usize, 2, 4, 6, 8] {
-        let per_sensor = EnergyBudget::per_slot(Q * C);
-        // Coordinated: M-PI at the aggregate rate.
-        let aggregate = EnergyBudget::per_slot(per_sensor.rate() * n as f64);
-        let (pi_agg, _) = ClusteringOptimizer::new(aggregate)
-            .optimize(&pmf, &consumption)
-            .expect("feasible");
+        // Coordinated: M-PI at the aggregate rate (`sensors = n` pools the
+        // per-sensor budget inside the shared pipeline).
+        let pi_agg =
+            crate::setup::solved("weibull:40,3", 65_536, PolicySpec::Clustering, Q * C, n).policy;
         let report = Simulation::builder(&pmf)
             .slots(scale.slots)
             .seed(scale.seed)
             .sensors(n)
             .assignment(SlotAssignment::RoundRobin)
             .battery(Energy::from_units(CAPACITY))
-            .run_on(&schedule, &pi_agg, &mut |_| {
+            .run_on(&schedule, pi_agg.as_ref(), &mut |_| {
                 Box::new(BernoulliRecharge::new(Q, Energy::from_units(C)).expect("valid"))
             })
             .expect("valid simulation");
@@ -47,16 +45,15 @@ pub fn ablation_coordination(scale: Scale) -> Figure {
 
         // Independent: every sensor runs the single-sensor policy on its own
         // observations.
-        let (pi_single, _) = ClusteringOptimizer::new(per_sensor)
-            .optimize(&pmf, &consumption)
-            .expect("feasible");
+        let pi_single =
+            crate::setup::solved("weibull:40,3", 65_536, PolicySpec::Clustering, Q * C, 1).policy;
         let report = Simulation::builder(&pmf)
             .slots(scale.slots)
             .seed(scale.seed)
             .sensors(n)
             .independent()
             .battery(Energy::from_units(CAPACITY))
-            .run_on(&schedule, &pi_single, &mut |_| {
+            .run_on(&schedule, pi_single.as_ref(), &mut |_| {
                 Box::new(BernoulliRecharge::new(Q, Energy::from_units(C)).expect("valid"))
             })
             .expect("valid simulation");

@@ -8,12 +8,13 @@
 //! partial-information policy `π'_PI(e)`, against their analytic values
 //! under the energy assumption ("Upper Bound").
 
-use evcap_core::{ActivationPolicy, ClusteringOptimizer, EnergyBudget, GreedyPolicy};
+use evcap_core::ActivationPolicy;
 use evcap_energy::Energy;
 use evcap_sim::{EventSchedule, Simulation};
+use evcap_spec::PolicySpec;
 
 use crate::figure::{Figure, Series};
-use crate::setup::{consumption, fig3_recharges, weibull_pmf, Scale};
+use crate::setup::{fig3_recharges, solved, weibull_pmf, Scale};
 
 /// Battery capacities swept on the x-axis (energy units).
 fn capacities() -> Vec<f64> {
@@ -54,13 +55,11 @@ fn run(
 /// Reproduces Fig. 3(a): `U_K(π*_FI(0.5))` vs `K` for three recharge
 /// processes, with the analytic optimum as the bound.
 pub fn fig3a(scale: Scale) -> Figure {
-    let pmf = weibull_pmf();
-    let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption())
-        .expect("valid setup");
+    let artifact = solved("weibull:40,3", 65_536, PolicySpec::Greedy, 0.5, 1);
     run(
         scale,
-        &policy,
-        policy.ideal_qom(),
+        artifact.policy.as_ref(),
+        artifact.meta.objective.expect("greedy reports U(π*)"),
         "fig3a",
         "achieved QoM of greedy π*_FI(0.5) vs battery capacity K, X~W(40,3)",
     )
@@ -69,14 +68,11 @@ pub fn fig3a(scale: Scale) -> Figure {
 /// Reproduces Fig. 3(b): `U_K(π'_PI(0.5))` vs `K` for three recharge
 /// processes, with the analytic clustering value as the bound.
 pub fn fig3b(scale: Scale) -> Figure {
-    let pmf = weibull_pmf();
-    let (policy, eval) = ClusteringOptimizer::new(EnergyBudget::per_slot(0.5))
-        .optimize(&pmf, &consumption())
-        .expect("valid setup");
+    let artifact = solved("weibull:40,3", 65_536, PolicySpec::Clustering, 0.5, 1);
     run(
         scale,
-        &policy,
-        eval.capture_probability,
+        artifact.policy.as_ref(),
+        artifact.meta.objective.expect("clustering reports U(π')"),
         "fig3b",
         "achieved QoM of clustering π'_PI(0.5) vs battery capacity K, X~W(40,3)",
     )

@@ -7,32 +7,35 @@
 //! `X ~ W(40, 3)`, panel (b) `X ~ P(2, 10)`. Sweep points run in parallel.
 
 use evcap_core::{
-    AggressivePolicy, ClusteringOptimizer, EnergyBudget, EvalOptions, PeriodicPolicy,
+    ActivationPolicy, AggressivePolicy, ClusteringOptimizer, EnergyBudget, EvalOptions,
     SlotAssignment,
 };
 use evcap_dist::SlotPmf;
+use evcap_sim::parallel::parallel_map;
 use evcap_sim::EventSchedule;
+use evcap_spec::PolicySpec;
 
 use crate::figure::{Figure, Series};
-use crate::parallel::parallel_map;
-use crate::setup::{consumption, pareto_pmf, simulate_qom, weibull_pmf, Scale};
+use crate::setup::{consumption, pareto_pmf, simulate_qom, solved, weibull_pmf, Scale};
 
 const Q: f64 = 0.5;
 const CAPACITY: f64 = 1000.0;
+
+/// A per-sweep-point policy factory: recharge amount `c` in, solved policy
+/// out. Lets each panel choose pipeline or bespoke construction per family.
+type PolicyFor<'a> = &'a (dyn Fn(f64) -> Box<dyn ActivationPolicy + Send + Sync> + Sync);
 
 fn run(
     scale: Scale,
     pmf: &SlotPmf,
     cs: &[f64],
-    opts: EvalOptions,
+    clustering_for: PolicyFor<'_>,
+    periodic_for: PolicyFor<'_>,
     id: &str,
     title: &str,
 ) -> Figure {
-    let consumption = consumption();
     let schedule = EventSchedule::generate(pmf, scale.slots, scale.seed).expect("valid schedule");
     let rows = parallel_map(cs.to_vec(), |c| {
-        let e = Q * c;
-        let budget = EnergyBudget::per_slot(e);
         let sim = |policy: &dyn evcap_core::ActivationPolicy| {
             simulate_qom(
                 pmf,
@@ -46,13 +49,14 @@ fn run(
                 scale,
             )
         };
-        let (cl_policy, _) = ClusteringOptimizer::new(budget)
-            .eval_options(opts)
-            .optimize(pmf, &consumption)
-            .expect("feasible budget");
-        let pe = PeriodicPolicy::energy_balanced(3, budget, pmf.mean(), &consumption)
-            .expect("valid setup");
-        (c, sim(&cl_policy), sim(&AggressivePolicy::new()), sim(&pe))
+        let cl_policy = clustering_for(c);
+        let pe = periodic_for(c);
+        (
+            c,
+            sim(cl_policy.as_ref()),
+            sim(&AggressivePolicy::new()),
+            sim(pe.as_ref()),
+        )
     });
 
     let mut clustering = Series::new("clustering");
@@ -78,7 +82,17 @@ pub fn fig4a(scale: Scale) -> Figure {
         scale,
         &weibull_pmf(),
         &cs,
-        EvalOptions::default(),
+        &|c| solved("weibull:40,3", 65_536, PolicySpec::Clustering, Q * c, 1).policy,
+        &|c| {
+            solved(
+                "weibull:40,3",
+                65_536,
+                PolicySpec::Periodic { theta1: 3 },
+                Q * c,
+                1,
+            )
+            .policy
+        },
         "fig4a",
         "QoM vs recharge amount c (q=0.5, K=1000), X~W(40,3)",
     )
@@ -89,15 +103,36 @@ pub fn fig4b(scale: Scale) -> Figure {
     let cs = [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5];
     // Heavy tail: cap the analytic chain evaluation; a geometric residual
     // covers the remainder (see ClusterEvaluation::truncated_survival).
+    // These truncation knobs are panel-specific, so the clustering family
+    // is solved directly here rather than through the shared pipeline
+    // (which uses the default EvalOptions).
     let opts = EvalOptions {
         survival_eps: 1e-9,
         max_slots: 4_000,
     };
+    let pmf = pareto_pmf();
+    let consumption = consumption();
     run(
         scale,
-        &pareto_pmf(),
+        &pmf,
         &cs,
-        opts,
+        &|c| {
+            let (policy, _) = ClusteringOptimizer::new(EnergyBudget::per_slot(Q * c))
+                .eval_options(opts)
+                .optimize(&pmf, &consumption)
+                .expect("feasible budget");
+            Box::new(policy)
+        },
+        &|c| {
+            solved(
+                "pareto:2,10",
+                2_000,
+                PolicySpec::Periodic { theta1: 3 },
+                Q * c,
+                1,
+            )
+            .policy
+        },
         "fig4b",
         "QoM vs recharge amount c (q=0.5, K=1000), X~P(2,10)",
     )

@@ -7,13 +7,14 @@
 //! `a, b > 0.5` (EBCW's positive-correlation premise holds) and `π'_PI`
 //! wins elsewhere.
 
-use evcap_core::{ClusteringOptimizer, EbcwPolicy, EnergyBudget, SlotAssignment};
+use evcap_core::{EbcwPolicy, EnergyBudget, SlotAssignment};
 use evcap_dist::MarkovEvents;
+use evcap_sim::parallel::parallel_map;
 use evcap_sim::EventSchedule;
+use evcap_spec::PolicySpec;
 
 use crate::figure::{Figure, Series};
-use crate::parallel::parallel_map;
-use crate::setup::{consumption, simulate_qom, Scale};
+use crate::setup::{consumption, simulate_qom, solved, Scale};
 
 const Q: f64 = 0.5;
 const C: f64 = 2.0;
@@ -69,11 +70,19 @@ pub fn fig5(scale: Scale, panel: Fig5Panel) -> Figure {
                 scale,
             )
         };
-        let (pi, _) = ClusteringOptimizer::new(budget)
-            .optimize(&pmf, &consumption)
-            .expect("feasible budget");
+        // The Markov pmf is exact (no discretization), so the pipeline's
+        // parse of `markov:a,b` reproduces `chain.to_slot_pmf()` bit for
+        // bit and the shared artifact is interchangeable with it.
+        let pi = solved(
+            &format!("markov:{a},{b}"),
+            65_536,
+            PolicySpec::Clustering,
+            e,
+            1,
+        )
+        .policy;
         let eb = EbcwPolicy::optimize(&chain, budget, &consumption).expect("feasible budget");
-        (a, sim(&pi), sim(&eb))
+        (a, sim(pi.as_ref()), sim(&eb))
     });
     let mut clustering = Series::new("clustering");
     let mut ebcw = Series::new("EBCW");

@@ -8,16 +8,14 @@
 //! sweeps the number of sensors `N` at `c = 1`; panel (b) sweeps `c` at
 //! `N = 5`. Sweep points run in parallel.
 
-use evcap_core::{
-    AggressivePolicy, ClusteringOptimizer, EnergyBudget, EvalOptions, MultiSensorPlan,
-    PeriodicPolicy, SlotAssignment,
-};
+use evcap_core::{AggressivePolicy, EnergyBudget, MultiSensorPlan, PeriodicPolicy, SlotAssignment};
 use evcap_dist::SlotPmf;
+use evcap_sim::parallel::parallel_map;
 use evcap_sim::EventSchedule;
+use evcap_spec::PolicySpec;
 
 use crate::figure::{Figure, Series};
-use crate::parallel::parallel_map;
-use crate::setup::{consumption, simulate_qom, weibull_pmf, Scale};
+use crate::setup::{consumption, simulate_qom, solved, weibull_pmf, Scale};
 
 const Q: f64 = 0.1;
 const CAPACITY: f64 = 1000.0;
@@ -43,11 +41,10 @@ fn run(
         let fi = MultiSensorPlan::m_fi(pmf, per_sensor, n, &consumption).expect("valid setup");
         let fi_qom = sim(fi.policy(), fi.assignment());
 
-        let (pi_policy, _) = ClusteringOptimizer::new(aggregate)
-            .eval_options(EvalOptions::default())
-            .optimize(pmf, &consumption)
-            .expect("feasible budget");
-        let pi_qom = sim(&pi_policy, SlotAssignment::RoundRobin);
+        // M-PI: the aggregate-rate clustering policy through the shared
+        // pipeline — `sensors = n` folds the N·e pooling into the scenario.
+        let pi_policy = solved("weibull:40,3", 65_536, PolicySpec::Clustering, Q * c, n).policy;
+        let pi_qom = sim(pi_policy.as_ref(), SlotAssignment::RoundRobin);
 
         let ag_qom = sim(&AggressivePolicy::new(), SlotAssignment::RoundRobin);
 

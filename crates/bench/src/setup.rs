@@ -8,6 +8,7 @@ use evcap_energy::{
     RechargeProcess,
 };
 use evcap_sim::{EventSchedule, Simulation};
+use evcap_spec::{PolicySpec, Scenario, SolvedPolicy};
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,28 @@ pub fn pareto_pmf() -> SlotPmf {
 /// The paper's consumption model (`δ1 = 1`, `δ2 = 6`).
 pub fn consumption() -> ConsumptionModel {
     ConsumptionModel::paper_defaults()
+}
+
+/// Solves a static paper scenario through the shared
+/// `Scenario → SolvedPolicy` pipeline — the same artifact layer the CLI
+/// and the server go through, so the figures exercise production policy
+/// construction rather than a bench-local copy of it.
+///
+/// `horizon` must match the workload's discretization cap (65 536 for the
+/// default, 2 000 for the Pareto head) so the artifact's pmf is
+/// bit-identical to the bench's own.
+pub fn solved(
+    dist: &str,
+    horizon: usize,
+    policy: PolicySpec,
+    e: f64,
+    sensors: usize,
+) -> SolvedPolicy {
+    let scenario = Scenario::new(dist, policy, e)
+        .expect("static paper spec")
+        .with_horizon(horizon)
+        .with_sensors(sensors);
+    evcap_spec::solve(&scenario).expect("paper scenarios are solvable")
 }
 
 /// A named factory for one of Fig. 3's recharge processes.

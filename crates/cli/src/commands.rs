@@ -3,11 +3,8 @@
 use std::error::Error;
 
 use evcap_bench::{runners, Scale};
-use evcap_core::{
-    ActivationPolicy, AggressivePolicy, ClusteringOptimizer, EnergyBudget, EvalOptions,
-    GreedyPolicy, MyopicPolicy, PeriodicPolicy, SlotAssignment,
-};
-use evcap_energy::{ConsumptionModel, Energy};
+use evcap_core::{ActivationPolicy, EnergyBudget, PolicyTable, SlotAssignment};
+use evcap_energy::Energy;
 use evcap_sim::{
     recommend_capacity, run_adaptive_greedy, AdaptiveConfig, ReplicationBatch, Simulation,
     SizingOptions,
@@ -27,8 +24,9 @@ COMMANDS:
   hazards    print the slotted pmf/hazard table of a distribution
              --dist SPEC [--max-state N] [--horizon H]
   optimize   compute a policy and report its analytic performance
-             --dist SPEC --e RATE [--policy greedy|clustering|myopic]
-             [--delta1 X] [--delta2 Y] [--horizon H]
+             --dist SPEC --e RATE
+             [--policy greedy|clustering|aggressive|periodic|myopic]
+             [--theta1 N] [--delta1 X] [--delta2 Y] [--horizon H]
   simulate   run a policy against a finite-battery simulation
              --dist SPEC --policy greedy|clustering|aggressive|periodic|myopic
              [--e RATE] [--recharge SPEC] [--slots N] [--seed S] [--k CAP]
@@ -36,7 +34,8 @@ COMMANDS:
              [--replications R] [--format text|json]
              [--obs-out FILE.jsonl] [--obs-window N]
   provision  find the smallest battery that reaches a target QoM
-             --dist SPEC --target QOM [--policy greedy|clustering]
+             --dist SPEC --target QOM
+             [--policy greedy|clustering|aggressive|periodic|myopic]
              [--e RATE] [--recharge SPEC] [--slots N] [--max-k CAP]
   adaptive   learn the event process online and re-optimize per episode
              --dist SPEC --e RATE [--episodes N] [--episode-slots N]
@@ -72,13 +71,49 @@ SPECS:
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
-fn consumption_from(args: &Args) -> Result<ConsumptionModel, Box<dyn Error>> {
+fn costs_from(args: &Args) -> Result<(f64, f64), Box<dyn Error>> {
     let d1: f64 = args.get_or("delta1", 1.0, "an energy amount")?;
     let d2: f64 = args.get_or("delta2", 6.0, "an energy amount")?;
-    Ok(ConsumptionModel::new(
-        Energy::from_units(d1),
-        Energy::from_units(d2),
-    )?)
+    Ok((d1, d2))
+}
+
+/// Parses `--policy` (and `--theta1` for the periodic family) into the
+/// shared [`spec::PolicySpec`] — the single front door to policy
+/// construction; the actual solve happens in `evcap_spec::solve`.
+fn policy_from(args: &Args, default: &str) -> Result<spec::PolicySpec, Box<dyn Error>> {
+    let mut policy = spec::PolicySpec::parse(args.get("policy").unwrap_or(default))?;
+    if let spec::PolicySpec::Periodic { theta1 } = &mut policy {
+        *theta1 = args.get_or("theta1", 3, "a slot count")?;
+    }
+    Ok(policy)
+}
+
+/// Prints the per-family analytic summary shared by `optimize`.
+fn print_solved(solved: &spec::SolvedPolicy) {
+    println!("policy       : {}", solved.meta.label);
+    if let Some(qom) = solved.meta.objective {
+        println!("ideal QoM    : {qom:.4}");
+    }
+    if let Some(rate) = solved.meta.discharge_rate {
+        println!("discharge    : {rate:.4} units/slot");
+    }
+    match solved.scenario.policy() {
+        spec::PolicySpec::Greedy => {
+            let first = (1..=solved.pmf.horizon()).find(|&i| solved.probability(i) > 0.0);
+            if let Some(first) = first {
+                println!(
+                    "structure    : first active state {first} (c = {:.4})",
+                    solved.probability(first)
+                );
+            }
+        }
+        spec::PolicySpec::Clustering => {
+            if let Some(cycle) = solved.meta.expected_cycle {
+                println!("capture cycle: {cycle:.2} slots");
+            }
+        }
+        _ => {}
+    }
 }
 
 /// `evcap hazards`
@@ -114,60 +149,32 @@ pub fn hazards(args: &Args) -> CmdResult {
 
 /// `evcap optimize`
 pub fn optimize(args: &Args) -> CmdResult {
-    args.expect_only(&["dist", "e", "policy", "delta1", "delta2", "horizon"])?;
+    args.expect_only(&[
+        "dist", "e", "policy", "theta1", "delta1", "delta2", "horizon",
+    ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
-    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let dist = args.require("dist")?;
     let raw_e = args.require("e")?;
     let e: f64 = raw_e.parse().map_err(|_| ArgsError::Invalid {
         flag: "e".into(),
         value: raw_e.into(),
         expected: "a recharge rate",
     })?;
-    let budget = EnergyBudget::per_slot(e);
-    let consumption = consumption_from(args)?;
-    let which = args.get("policy").unwrap_or("greedy");
-    println!("distribution : {} (μ = {:.3})", pmf.label(), pmf.mean());
+    let (delta1, delta2) = costs_from(args)?;
+    let scenario = spec::Scenario::new(dist, policy_from(args, "greedy")?, e)?
+        .with_costs(delta1, delta2)
+        .with_horizon(horizon);
+    let solved = spec::solve(&scenario)?;
+    println!(
+        "distribution : {} (μ = {:.3})",
+        solved.pmf.label(),
+        solved.pmf.mean()
+    );
     println!(
         "budget       : e = {e} units/slot ({:.3} per renewal)",
-        e * pmf.mean()
+        e * solved.pmf.mean()
     );
-    match which {
-        "greedy" => {
-            let policy = GreedyPolicy::optimize(&pmf, budget, &consumption)?;
-            println!("policy       : {}", policy.label());
-            println!("ideal QoM    : {:.4}", policy.ideal_qom());
-            println!("discharge    : {:.4} units/slot", policy.discharge_rate());
-            let first = (1..=pmf.horizon()).find(|&i| policy.coefficient(i) > 0.0);
-            if let Some(first) = first {
-                println!(
-                    "structure    : first active state {first} (c = {:.4})",
-                    policy.coefficient(first)
-                );
-            }
-        }
-        "clustering" => {
-            let (policy, eval) = ClusteringOptimizer::new(budget).optimize(&pmf, &consumption)?;
-            println!("policy       : {}", policy.label());
-            println!("ideal QoM    : {:.4}", eval.capture_probability);
-            println!("discharge    : {:.4} units/slot", eval.discharge_rate);
-            println!("capture cycle: {:.2} slots", eval.expected_cycle);
-        }
-        "myopic" => {
-            let window = (4.0 * pmf.mean()).ceil() as usize;
-            let policy =
-                MyopicPolicy::derive(&pmf, budget, &consumption, window, EvalOptions::default())?;
-            println!("policy       : {}", policy.label());
-            println!(
-                "ideal QoM    : {:.4}",
-                policy.evaluation().capture_probability
-            );
-            println!(
-                "discharge    : {:.4} units/slot",
-                policy.evaluation().discharge_rate
-            );
-        }
-        other => return Err(format!("unknown policy `{other}` for optimize").into()),
-    }
+    print_solved(&solved);
     Ok(())
 }
 
@@ -193,7 +200,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         "obs-window",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
-    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let dist = args.require("dist")?;
     let slots: u64 = args.get_or("slots", 1_000_000, "a slot count")?;
     let seed: u64 = args.get_or("seed", 2012, "an integer")?;
     let k: f64 = args.get_or("k", 1000.0, "a battery capacity")?;
@@ -207,7 +214,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         }
         .into());
     }
-    let consumption = consumption_from(args)?;
+    let (delta1, delta2) = costs_from(args)?;
     let verbosity = args.verbosity();
 
     // Observability: --obs-out streams JSONL records; timing spans are
@@ -241,45 +248,24 @@ pub fn simulate(args: &Args) -> CmdResult {
         })?,
         None => probe.mean_rate(),
     };
-    // Coordinated fleets pool energy: policies are computed at N·e.
-    let aggregate = EnergyBudget::per_slot(e * sensors as f64);
+    // Coordinated fleets pool energy: the scenario carries the per-sensor
+    // rate and sensor count, so `evcap_spec::solve` optimizes at N·e.
+    args.require("policy")?;
+    let scenario = spec::Scenario::new(dist, policy_from(args, "greedy")?, e)?
+        .with_recharge(&recharge_spec)?
+        .with_costs(delta1, delta2)
+        .with_battery(k)
+        .with_horizon(horizon)
+        .with_sensors(sensors);
+    let solved = spec::solve(&scenario)?;
+    let policy: &(dyn ActivationPolicy + Sync) = solved.policy.as_ref();
+    let pmf = &solved.pmf;
 
-    let which = args.require("policy")?;
-    let policy: Box<dyn ActivationPolicy + Sync> = match which {
-        "greedy" => Box::new(GreedyPolicy::optimize(&pmf, aggregate, &consumption)?),
-        "clustering" => Box::new(
-            ClusteringOptimizer::new(aggregate)
-                .optimize(&pmf, &consumption)?
-                .0,
-        ),
-        "aggressive" => Box::new(AggressivePolicy::new()),
-        "periodic" => {
-            let theta1: u64 = args.get_or("theta1", 3, "a slot count")?;
-            Box::new(PeriodicPolicy::energy_balanced(
-                theta1,
-                aggregate,
-                pmf.mean(),
-                &consumption,
-            )?)
-        }
-        "myopic" => {
-            let window = (4.0 * pmf.mean()).ceil() as usize;
-            Box::new(MyopicPolicy::derive(
-                &pmf,
-                aggregate,
-                &consumption,
-                window,
-                EvalOptions::default(),
-            )?)
-        }
-        other => return Err(format!("unknown policy `{other}` for simulate").into()),
-    };
-
-    let mut builder = Simulation::builder(&pmf)
+    let mut builder = Simulation::builder(pmf)
         .slots(slots)
         .seed(seed)
         .sensors(sensors)
-        .consumption(consumption)
+        .consumption(solved.consumption)
         .battery(Energy::from_units(k));
     match args.get("coordination").unwrap_or("rotating") {
         "rotating" => builder = builder.assignment(SlotAssignment::RoundRobin),
@@ -292,7 +278,8 @@ pub fn simulate(args: &Args) -> CmdResult {
     if replications > 1 {
         return simulate_replicated(
             builder,
-            policy.as_ref(),
+            policy,
+            solved.table.clone(),
             &recharge_spec,
             e,
             SimulateShape {
@@ -328,8 +315,8 @@ pub fn simulate(args: &Args) -> CmdResult {
         })
     });
     let report = match obs_suite.as_mut() {
-        Some(suite) => builder.run_observed(policy.as_ref(), &mut make_recharge, suite)?,
-        None => builder.run(policy.as_ref(), &mut make_recharge)?,
+        Some(suite) => builder.run_observed(policy, &mut make_recharge, suite)?,
+        None => builder.run(policy, &mut make_recharge)?,
     };
 
     match args.get("format").unwrap_or("text") {
@@ -397,6 +384,7 @@ struct SimulateShape {
 fn simulate_replicated(
     builder: Simulation<'_>,
     policy: &(dyn ActivationPolicy + Sync),
+    table: Option<PolicyTable>,
     recharge_spec: &str,
     e: f64,
     shape: SimulateShape,
@@ -411,7 +399,7 @@ fn simulate_replicated(
                 .map_err(|err| format!("cannot write --obs-out {path}: {err}"))
         })
         .transpose()?;
-    let batch = ReplicationBatch::new(builder, shape.replications)?;
+    let batch = ReplicationBatch::new(builder, shape.replications)?.precompiled(table);
     let seeds = batch.seeds();
     let report = batch.run(policy, &|_| {
         spec::parse_recharge(recharge_spec).expect("validated above")
@@ -530,7 +518,6 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         "out",
     ])?;
     let dist_spec = args.get("dist").unwrap_or("weibull:40,3");
-    let pmf = spec::parse_dist(dist_spec, 65_536)?;
     let slots: u64 = args.get_or("slots", 1_000_000, "a slot count")?;
     let replications: usize = args.get_or("replications", 16, "a replication count")?;
     let seed: u64 = args.get_or("seed", 2012, "an integer")?;
@@ -552,14 +539,15 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         }
     }
 
-    let consumption = ConsumptionModel::paper_defaults();
-    let policy = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &consumption)?;
+    let scenario = spec::Scenario::new(dist_spec, spec::PolicySpec::Greedy, 0.5)?;
+    let solved = spec::solve(&scenario)?;
+    let policy = solved.policy.as_ref();
     let recharge_spec = "bernoulli:0.5,1";
     let recharge = |_: usize| spec::parse_recharge(recharge_spec).expect("static spec");
-    let sim = Simulation::builder(&pmf)
+    let sim = Simulation::builder(&solved.pmf)
         .slots(slots)
         .seed(seed)
-        .consumption(consumption)
+        .consumption(solved.consumption)
         .battery(Energy::from_units(k));
     let threads_available = std::thread::available_parallelism().map_or(1, |p| p.get());
 
@@ -569,7 +557,7 @@ pub fn bench_sim(args: &Args) -> CmdResult {
 
     // 1. One replication, the classic single-run path.
     let (single_res, single_t) = evcap_bench::perf::measured(|| {
-        sim.clone().run(&policy, &mut |_: usize| {
+        sim.clone().run(policy, &mut |_: usize| {
             spec::parse_recharge(recharge_spec).expect("static spec")
         })
     });
@@ -580,8 +568,9 @@ pub fn bench_sim(args: &Args) -> CmdResult {
     let (seq_res, seq_t) = evcap_bench::perf::measured(|| {
         ReplicationBatch::new(sim.clone(), replications)
             .expect("replications >= 1")
+            .precompiled(solved.table.clone())
             .threads(1)
-            .run(&policy, &recharge)
+            .run(policy, &recharge)
     });
     let seq_report = seq_res?;
     let seq_t = perf("sequential", seq_t)?;
@@ -593,8 +582,9 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         let (res, t) = evcap_bench::perf::measured(|| {
             ReplicationBatch::new(sim.clone(), replications)
                 .expect("replications >= 1")
+                .precompiled(solved.table.clone())
                 .threads(threads)
-                .run(&policy, &recharge)
+                .run(policy, &recharge)
         });
         let report = res?;
         deterministic &= report == seq_report;
@@ -675,34 +665,29 @@ pub fn bench_sim(args: &Args) -> CmdResult {
 /// `evcap provision`
 pub fn provision(args: &Args) -> CmdResult {
     args.expect_only(&[
-        "dist", "target", "policy", "e", "recharge", "slots", "max-k", "seed", "horizon", "delta1",
-        "delta2",
+        "dist", "target", "policy", "theta1", "e", "recharge", "slots", "max-k", "seed", "horizon",
+        "delta1", "delta2",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
-    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let dist = args.require("dist")?;
     let raw_target = args.require("target")?;
     let target: f64 = raw_target.parse().map_err(|_| ArgsError::Invalid {
         flag: "target".into(),
         value: raw_target.into(),
         expected: "a QoM in (0, 1]",
     })?;
-    let consumption = consumption_from(args)?;
+    let (delta1, delta2) = costs_from(args)?;
     let recharge_spec = match (args.get("recharge"), args.get("e")) {
         (Some(spec), _) => spec.to_owned(),
         (None, Some(e)) => format!("bernoulli:0.5,{}", 2.0 * e.parse::<f64>().unwrap_or(0.5)),
         (None, None) => return Err("pass --e RATE or --recharge SPEC".into()),
     };
     let e = spec::parse_recharge(&recharge_spec)?.mean_rate();
-    let budget = EnergyBudget::per_slot(e);
-    let policy: Box<dyn ActivationPolicy + Sync> = match args.get("policy").unwrap_or("greedy") {
-        "greedy" => Box::new(GreedyPolicy::optimize(&pmf, budget, &consumption)?),
-        "clustering" => Box::new(
-            ClusteringOptimizer::new(budget)
-                .optimize(&pmf, &consumption)?
-                .0,
-        ),
-        other => return Err(format!("unknown policy `{other}` for provision").into()),
-    };
+    let scenario = spec::Scenario::new(dist, policy_from(args, "greedy")?, e)?
+        .with_recharge(&recharge_spec)?
+        .with_costs(delta1, delta2)
+        .with_horizon(horizon);
+    let solved = spec::solve(&scenario)?;
     let opts = SizingOptions {
         slots: args.get_or("slots", 200_000, "a slot count")?,
         max_capacity: args.get_or("max-k", 4_096.0, "a capacity")?,
@@ -710,13 +695,13 @@ pub fn provision(args: &Args) -> CmdResult {
         ..SizingOptions::default()
     };
     let rec = recommend_capacity(
-        &pmf,
-        policy.as_ref(),
+        &solved.pmf,
+        solved.policy.as_ref(),
         &|_| spec::parse_recharge(&recharge_spec).expect("validated above"),
         target,
         opts,
     )?;
-    println!("policy       : {}", policy.label());
+    println!("policy       : {}", solved.meta.label);
     println!("recharge     : {recharge_spec} (e = {e:.4})");
     println!("target QoM   : {target}");
     println!("recommended K: {} energy units", rec.capacity);
@@ -743,14 +728,20 @@ pub fn adaptive(args: &Args) -> CmdResult {
         "delta2",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
-    let pmf = spec::parse_dist(args.require("dist")?, horizon)?;
+    let dist = args.require("dist")?;
     let raw_e = args.require("e")?;
     let e: f64 = raw_e.parse().map_err(|_| ArgsError::Invalid {
         flag: "e".into(),
         value: raw_e.into(),
         expected: "a recharge rate",
     })?;
-    let consumption = consumption_from(args)?;
+    let (delta1, delta2) = costs_from(args)?;
+    // The oracle row: the same greedy artifact every other layer solves.
+    let oracle = spec::solve(
+        &spec::Scenario::new(dist, spec::PolicySpec::Greedy, e)?
+            .with_costs(delta1, delta2)
+            .with_horizon(horizon),
+    )?;
     let config = AdaptiveConfig {
         episodes: args.get_or("episodes", 6, "an episode count")?,
         episode_slots: args.get_or("episode-slots", 50_000, "a slot count")?,
@@ -759,9 +750,9 @@ pub fn adaptive(args: &Args) -> CmdResult {
         ..AdaptiveConfig::default()
     };
     let report = run_adaptive_greedy(
-        &pmf,
+        &oracle.pmf,
         EnergyBudget::per_slot(e),
-        &consumption,
+        &oracle.consumption,
         &mut |_| {
             Box::new(
                 evcap_energy::BernoulliRecharge::new(0.5, Energy::from_units(2.0 * e))
@@ -770,7 +761,6 @@ pub fn adaptive(args: &Args) -> CmdResult {
         },
         config,
     )?;
-    let oracle = GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(e), &consumption)?;
     println!(
         "{:>8} {:>8} {:>9} {:>8}  policy",
         "episode", "events", "captured", "QoM"
@@ -788,7 +778,10 @@ pub fn adaptive(args: &Args) -> CmdResult {
     println!();
     println!(
         "oracle ideal QoM (true distribution known): {:.4}",
-        oracle.ideal_qom()
+        oracle
+            .meta
+            .objective
+            .expect("the greedy family always reports an objective")
     );
     Ok(())
 }

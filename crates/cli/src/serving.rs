@@ -4,8 +4,9 @@ use std::error::Error;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-use evcap_bench::{parallel::parallel_map, perf};
+use evcap_bench::perf;
 use evcap_serve::{client::Conn, server::ServeConfig, signal, Server};
+use evcap_sim::parallel::parallel_map;
 
 use crate::args::{Args, ArgsError};
 

@@ -358,6 +358,22 @@ impl ClusteringOptimizer {
         pmf: &SlotPmf,
         consumption: &ConsumptionModel,
     ) -> Result<(ClusteringPolicy, ClusterEvaluation)> {
+        self.optimize_counted(pmf, consumption)
+            .map(|(policy, eval, _)| (policy, eval))
+    }
+
+    /// Like [`ClusteringOptimizer::optimize`], additionally reporting how
+    /// many `(n1, n2, n3)` candidates the search evaluated — the number the
+    /// scenario layer records as solve iterations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClusteringOptimizer::optimize`].
+    pub fn optimize_counted(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+    ) -> Result<(ClusteringPolicy, ClusterEvaluation, u64)> {
         if self.budget.rate() <= 0.0 {
             return Err(PolicyError::BudgetTooSmall { budget: 0.0 });
         }
@@ -371,9 +387,10 @@ impl ClusteringOptimizer {
             .max_n3
             .unwrap_or_else(|| (2 * q999).max(lo + 4))
             .max(lo + 1);
+        let mut candidates = 0u64;
         for _ in 0..8 {
-            if let Some(found) = self.search(pmf, consumption, lo, hi) {
-                return Ok(found);
+            if let Some((policy, eval)) = self.search(pmf, consumption, lo, hi, &mut candidates) {
+                return Ok((policy, eval, candidates));
             }
             if self.max_n3.is_some() {
                 break; // the caller pinned the bound; do not exceed it
@@ -391,6 +408,7 @@ impl ClusteringOptimizer {
         consumption: &ConsumptionModel,
         lo: usize,
         hi: usize,
+        candidates: &mut u64,
     ) -> Option<(ClusteringPolicy, ClusterEvaluation)> {
         let _span = evcap_obs::timing::span("clustering.search");
         let step = ((hi - lo) / self.grid_points).max(1);
@@ -402,7 +420,7 @@ impl ClusteringOptimizer {
             while n2 <= hi {
                 let mut n3 = n2;
                 while n3 <= hi {
-                    self.consider(pmf, consumption, n1, n2, n3, &mut best);
+                    self.consider(pmf, consumption, n1, n2, n3, &mut best, candidates);
                     n3 += step;
                 }
                 n2 += step;
@@ -437,6 +455,7 @@ impl ClusteringOptimizer {
                                 cand[1] as usize,
                                 cand[2] as usize,
                                 &mut best,
+                                candidates,
                             );
                             let after = best.as_ref().map(|(_, e)| e.capture_probability);
                             if after > before {
@@ -458,6 +477,7 @@ impl ClusteringOptimizer {
 
     /// Evaluates the `(n1, n2, n3)` candidate (balancing `c_{n1}` if the full
     /// policy overshoots the budget) and folds it into `best`.
+    #[allow(clippy::too_many_arguments)]
     fn consider(
         &self,
         pmf: &SlotPmf,
@@ -466,10 +486,12 @@ impl ClusteringOptimizer {
         n2: usize,
         n3: usize,
         best: &mut Option<(ClusteringPolicy, ClusterEvaluation)>,
+        candidates: &mut u64,
     ) {
         let Ok(full) = ClusteringPolicy::new(n1, n2, n3, 1.0, 1.0, 1.0) else {
             return;
         };
+        *candidates += 1;
         evcap_obs::timing::add_count("clustering.candidates", 1);
         let e = self.budget.rate();
         let eval_full = full.evaluate(pmf, consumption, self.eval);

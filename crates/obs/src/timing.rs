@@ -4,7 +4,7 @@
 //! is one relaxed atomic load and drop is free, so permanently instrumented
 //! hot paths (LP solves, clustering searches, whole simulation runs) cost
 //! nothing in production. Enable collection with [`set_enabled`], run the
-//! workload, then [`drain`] the aggregated per-name statistics.
+//! workload, then [`drain_spans`] the aggregated per-name statistics.
 //!
 //! Spans aggregate under a `&'static str` name — count, total, min, max —
 //! rather than recording individual samples, so memory stays bounded no

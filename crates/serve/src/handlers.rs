@@ -1,110 +1,116 @@
-//! Scenario execution: the actual solves and simulations behind the API.
+//! Scenario execution: rendering solved artifacts and running simulations.
+//!
+//! The actual policy construction lives in `evcap_spec::solve` — the
+//! single pipeline shared with the CLI and the bench runners. Handlers
+//! take a [`SolvedPolicy`] artifact (produced once per canonical scenario
+//! by the server's artifact cache) and either serialize it (`/v1/solve`)
+//! or drive the simulation engine with it (`/v1/simulate`).
 //!
 //! Handlers return the serialized JSON response body (a `String`) so the
-//! cache can store responses directly — a cache hit replays bytes without
-//! re-serializing, and hit/miss bodies are identical by construction.
+//! response cache can store bodies directly — a cache hit replays bytes
+//! without re-serializing, and hit/miss bodies are identical by
+//! construction.
 
-use evcap_core::{
-    ActivationPolicy, ClusteringOptimizer, EnergyBudget, GreedyPolicy, SlotAssignment,
-};
-use evcap_energy::{ConsumptionModel, Energy};
+use evcap_core::SlotAssignment;
+use evcap_energy::Energy;
 use evcap_obs::JsonObject;
 use evcap_sim::{ReplicationBatch, Simulation};
+use evcap_spec::{PolicySpec, Scenario, SolvedPolicy};
 
-use crate::scenario::{ApiError, SimulateScenario, SolvePolicy, SolveScenario};
+use crate::scenario::{ApiError, SimulateScenario, SolveScenario};
 
 /// Most activation coefficients included in a solve response (the full
 /// vector can be 10⁶ entries; clients wanting more lower the horizon).
 const MAX_COEFFICIENTS: usize = 512;
 
-fn consumption(s: &SolveScenario) -> Result<ConsumptionModel, ApiError> {
-    ConsumptionModel::new(Energy::from_units(s.delta1), Energy::from_units(s.delta2))
-        .map_err(|e| ApiError::unprocessable(e.to_string()))
-}
-
-/// Runs the optimization a `/v1/solve` scenario asks for and serializes the
-/// activation policy plus its analytic performance.
+/// Solves a canonical scenario into a reusable artifact.
+///
+/// This is the compute behind the server's artifact cache: one call per
+/// distinct [`Scenario::canonical_key`], shared by `/v1/solve` and every
+/// `/v1/simulate` variation in slots/seed/replications.
 ///
 /// # Errors
 ///
 /// [`ApiError`] 400 for specs that fail domain validation at parse time,
 /// 422 for scenarios the optimizer rejects (e.g. an infeasible budget).
-pub fn solve(s: &SolveScenario) -> Result<String, ApiError> {
-    let pmf = evcap_spec::parse_dist(&s.dist, s.horizon)?;
-    let consumption = consumption(s)?;
-    let budget = EnergyBudget::per_slot(s.e);
+pub fn solve_artifact(scenario: &Scenario) -> Result<SolvedPolicy, ApiError> {
+    evcap_spec::solve(scenario).map_err(ApiError::from)
+}
 
+/// Serializes a solved artifact as the `/v1/solve` response body.
+pub fn render_solve(s: &SolveScenario, solved: &SolvedPolicy) -> String {
+    let sc = &s.scenario;
+    let meta = &solved.meta;
     let mut obj = JsonObject::with_type("solve");
-    obj.field_str("policy", s.policy.name());
-    obj.field_str("dist", &s.dist);
-    obj.field_f64("e", s.e);
-    obj.field_f64("mean_gap", pmf.mean());
-    match s.policy {
-        SolvePolicy::Greedy => {
-            let policy = GreedyPolicy::optimize(&pmf, budget, &consumption)
-                .map_err(|e| ApiError::unprocessable(e.to_string()))?;
-            obj.field_str("label", &policy.label());
-            obj.field_f64("ideal_qom", policy.ideal_qom());
-            obj.field_f64("discharge_rate", policy.discharge_rate());
-            let n = pmf.horizon().min(MAX_COEFFICIENTS);
-            let coeffs: Vec<f64> = (1..=n).map(|i| policy.coefficient(i)).collect();
+    obj.field_str("policy", sc.policy().name());
+    obj.field_str("dist", sc.dist());
+    obj.field_f64("e", sc.e());
+    obj.field_f64("mean_gap", solved.pmf.mean());
+    obj.field_str("label", &meta.label);
+    match sc.policy() {
+        PolicySpec::Greedy => {
+            obj.field_f64("ideal_qom", meta.objective.unwrap_or(0.0));
+            obj.field_f64("discharge_rate", meta.discharge_rate.unwrap_or(0.0));
+            let n = solved.pmf.horizon().min(MAX_COEFFICIENTS);
+            let coeffs: Vec<f64> = (1..=n).map(|i| solved.probability(i)).collect();
             obj.field_f64_array("coefficients", &coeffs);
             obj.field_usize("coefficients_shown", n);
         }
-        SolvePolicy::Clustering => {
-            let (policy, eval) = ClusteringOptimizer::new(budget)
-                .optimize(&pmf, &consumption)
-                .map_err(|e| ApiError::unprocessable(e.to_string()))?;
-            obj.field_str("label", &policy.label());
-            obj.field_f64("ideal_qom", eval.capture_probability);
-            obj.field_f64("discharge_rate", eval.discharge_rate);
-            obj.field_f64("expected_cycle", eval.expected_cycle);
-            obj.field_usize("n1", policy.n1());
-            obj.field_usize("n2", policy.n2());
-            obj.field_usize("n3", policy.n3());
-            let (q1, q2, q3) = policy.boundary_coefficients();
-            obj.field_f64_array("boundary_coefficients", &[q1, q2, q3]);
+        PolicySpec::Clustering => {
+            obj.field_f64("ideal_qom", meta.objective.unwrap_or(0.0));
+            obj.field_f64("discharge_rate", meta.discharge_rate.unwrap_or(0.0));
+            obj.field_f64("expected_cycle", meta.expected_cycle.unwrap_or(0.0));
+            if let Some(r) = &meta.regions {
+                obj.field_usize("n1", r.n1);
+                obj.field_usize("n2", r.n2);
+                obj.field_usize("n3", r.n3);
+                let (q1, q2, q3) = r.boundary;
+                obj.field_f64_array("boundary_coefficients", &[q1, q2, q3]);
+            }
+        }
+        PolicySpec::Myopic => {
+            if let Some(qom) = meta.objective {
+                obj.field_f64("ideal_qom", qom);
+            }
+            if let Some(rate) = meta.discharge_rate {
+                obj.field_f64("discharge_rate", rate);
+            }
+            if let Some(cycle) = meta.expected_cycle {
+                obj.field_f64("expected_cycle", cycle);
+            }
+        }
+        PolicySpec::Aggressive | PolicySpec::Periodic { .. } => {
+            if let Some(rate) = meta.discharge_rate {
+                obj.field_f64("discharge_rate", rate);
+            }
         }
     }
-    Ok(obj.finish())
+    obj.finish()
 }
 
 /// Runs the bounded, seeded simulation a `/v1/simulate` scenario asks for
-/// and serializes the resulting [`evcap_sim::SimReport`].
+/// (driving the engine with the pre-solved artifact) and serializes the
+/// resulting report.
 ///
 /// # Errors
 ///
-/// As [`solve`], plus 422 for simulation setups the engine rejects.
-pub fn simulate(s: &SimulateScenario) -> Result<String, ApiError> {
-    let pmf = evcap_spec::parse_dist(&s.solve.dist, s.solve.horizon)?;
-    let consumption = consumption(&s.solve)?;
-    // Coordinated fleets pool energy: the policy is computed at N·e,
-    // matching `evcap simulate`.
-    let aggregate = EnergyBudget::per_slot(s.solve.e * s.sensors as f64);
-    let policy: Box<dyn ActivationPolicy + Sync> = match s.solve.policy {
-        SolvePolicy::Greedy => Box::new(
-            GreedyPolicy::optimize(&pmf, aggregate, &consumption)
-                .map_err(|e| ApiError::unprocessable(e.to_string()))?,
-        ),
-        SolvePolicy::Clustering => Box::new(
-            ClusteringOptimizer::new(aggregate)
-                .optimize(&pmf, &consumption)
-                .map_err(|e| ApiError::unprocessable(e.to_string()))?
-                .0,
-        ),
-    };
+/// 422 for simulation setups the engine rejects.
+pub fn simulate(s: &SimulateScenario, solved: &SolvedPolicy) -> Result<String, ApiError> {
+    let sc = &s.scenario;
+    let pmf = &solved.pmf;
     // Canonicalization validated name/arity/finiteness but not parameter
     // domains (e.g. a Bernoulli probability > 1), so parse once up front to
     // turn domain failures into a 422 before any sensor asks for a process.
-    evcap_spec::parse_recharge(&s.recharge).map_err(|e| ApiError::unprocessable(e.to_string()))?;
+    evcap_spec::parse_recharge(sc.recharge())
+        .map_err(|e| ApiError::unprocessable(e.to_string()))?;
     let mut make_recharge =
-        |_: usize| evcap_spec::parse_recharge(&s.recharge).expect("validated above");
-    let mut builder = Simulation::builder(&pmf)
+        |_: usize| evcap_spec::parse_recharge(sc.recharge()).expect("validated above");
+    let mut builder = Simulation::builder(pmf)
         .slots(s.slots)
         .seed(s.seed)
-        .sensors(s.sensors)
-        .consumption(consumption)
-        .battery(Energy::from_units(s.k));
+        .sensors(sc.sensors())
+        .consumption(solved.consumption)
+        .battery(Energy::from_units(sc.battery()));
     builder = if s.rotating {
         builder.assignment(SlotAssignment::RoundRobin)
     } else {
@@ -115,18 +121,19 @@ pub fn simulate(s: &SimulateScenario) -> Result<String, ApiError> {
     // classic single-run path below, byte-identical to previous releases.
     if s.replications > 1 {
         let batch = ReplicationBatch::new(builder, s.replications)
-            .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+            .map_err(|e| ApiError::unprocessable(e.to_string()))?
+            .precompiled(solved.table.clone());
         let seeds = batch.seeds();
         let report = batch
-            .run(policy.as_ref(), &|_| {
-                evcap_spec::parse_recharge(&s.recharge).expect("validated above")
+            .run(solved.policy.as_ref(), &|_| {
+                evcap_spec::parse_recharge(sc.recharge()).expect("validated above")
             })
             .map_err(|e| ApiError::unprocessable(e.to_string()))?;
         let mut obj = JsonObject::with_type("simulate");
-        obj.field_str("policy", s.solve.policy.name());
-        obj.field_str("label", &policy.label());
-        obj.field_str("dist", &s.solve.dist);
-        obj.field_str("recharge", &s.recharge);
+        obj.field_str("policy", sc.policy().name());
+        obj.field_str("label", &solved.meta.label);
+        obj.field_str("dist", sc.dist());
+        obj.field_str("recharge", sc.recharge());
         obj.field_u64("slots", report.slots);
         obj.field_u64("seed", s.seed);
         obj.field_usize("replications", report.replications());
@@ -147,18 +154,18 @@ pub fn simulate(s: &SimulateScenario) -> Result<String, ApiError> {
         if let Some(gap) = report.mean_capture_gap {
             obj.field_f64("mean_capture_gap", gap);
         }
-        obj.field_usize("sensors", s.sensors);
+        obj.field_usize("sensors", sc.sensors());
         return Ok(obj.finish());
     }
     let report = builder
-        .run(policy.as_ref(), &mut make_recharge)
+        .run(solved.policy.as_ref(), &mut make_recharge)
         .map_err(|e| ApiError::unprocessable(e.to_string()))?;
 
     let mut obj = JsonObject::with_type("simulate");
-    obj.field_str("policy", s.solve.policy.name());
-    obj.field_str("label", &policy.label());
-    obj.field_str("dist", &s.solve.dist);
-    obj.field_str("recharge", &s.recharge);
+    obj.field_str("policy", sc.policy().name());
+    obj.field_str("label", &solved.meta.label);
+    obj.field_str("dist", sc.dist());
+    obj.field_str("recharge", sc.recharge());
     obj.field_u64("slots", report.slots);
     obj.field_u64("seed", s.seed);
     obj.field_u64("events", report.events);
@@ -167,8 +174,8 @@ pub fn simulate(s: &SimulateScenario) -> Result<String, ApiError> {
     obj.field_u64("activations", report.total_activations());
     obj.field_u64("forced_idle", report.total_forced_idle());
     obj.field_f64("discharge_rate", report.discharge_rate());
-    obj.field_usize("sensors", s.sensors);
-    if s.sensors > 1 {
+    obj.field_usize("sensors", sc.sensors());
+    if sc.sensors() > 1 {
         obj.field_f64("load_balance", report.load_balance());
     }
     Ok(obj.finish())
@@ -185,6 +192,14 @@ fn smoke_scenario() -> SolveScenario {
 mod tests {
     use super::*;
     use evcap_obs::{parse_line, JsonValue};
+
+    fn solve(s: &SolveScenario) -> Result<String, ApiError> {
+        Ok(render_solve(s, &solve_artifact(&s.scenario)?))
+    }
+
+    fn simulate_scenario(s: &SimulateScenario) -> Result<String, ApiError> {
+        simulate(s, &solve_artifact(&s.scenario)?)
+    }
 
     #[test]
     fn solve_greedy_round_trips() {
@@ -218,13 +233,29 @@ mod tests {
     }
 
     #[test]
+    fn solve_covers_every_policy_family() {
+        for name in ["aggressive", "periodic", "myopic"] {
+            let body =
+                format!(r#"{{"dist":"weibull:40,3","e":0.2,"policy":"{name}","horizon":4096}}"#);
+            let s = SolveScenario::from_body(body.as_bytes()).unwrap();
+            let out = solve(&s).expect(name);
+            let v = parse_line(&out).unwrap();
+            assert_eq!(v.get("policy").and_then(JsonValue::as_str), Some(name));
+            assert!(
+                v.get("label").and_then(JsonValue::as_str).is_some(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
     fn simulate_runs_and_round_trips() {
         let s = SimulateScenario::from_body(
             br#"{"dist":"weibull:40,3","e":0.2,"slots":20000,"seed":7,"horizon":4096}"#,
             1_000_000,
         )
         .unwrap();
-        let body = simulate(&s).unwrap();
+        let body = simulate_scenario(&s).unwrap();
         let v = parse_line(&body).unwrap();
         assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("simulate"));
         assert_eq!(v.get("slots").and_then(JsonValue::as_f64), Some(20_000.0));
@@ -236,7 +267,7 @@ mod tests {
     fn batched_simulate_reports_cross_seed_statistics() {
         let body = br#"{"dist":"weibull:40,3","e":0.2,"slots":10000,"seed":7,"horizon":4096,"replications":5}"#;
         let s = SimulateScenario::from_body(body, 1_000_000).unwrap();
-        let out = simulate(&s).unwrap();
+        let out = simulate_scenario(&s).unwrap();
         let v = parse_line(&out).unwrap();
         assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("simulate"));
         assert_eq!(v.get("replications").and_then(JsonValue::as_f64), Some(5.0));
@@ -254,7 +285,7 @@ mod tests {
             1_000_000,
         )
         .unwrap();
-        let single_out = simulate(&single).unwrap();
+        let single_out = simulate_scenario(&single).unwrap();
         let sv = parse_line(&single_out).unwrap();
         assert_eq!(
             per_seed[0].as_f64(),

@@ -84,8 +84,14 @@ impl Metrics {
         self.latency.observe(elapsed);
     }
 
-    /// Renders the `/metrics` body given the solve cache's counters.
-    pub fn render(&self, solve_cache: &StatsSnapshot, sim_cache: &StatsSnapshot) -> String {
+    /// Renders the `/metrics` body given each cache tier's counters: the
+    /// two response caches plus the `SolvedPolicy` artifact cache.
+    pub fn render(
+        &self,
+        solve_cache: &StatsSnapshot,
+        sim_cache: &StatsSnapshot,
+        artifact_cache: &StatsSnapshot,
+    ) -> String {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mut obj = JsonObject::with_type("metrics");
         obj.field_f64("uptime_seconds", self.started.elapsed().as_secs_f64());
@@ -109,6 +115,11 @@ impl Metrics {
         obj.field_u64("sim_cache_misses", sim_cache.misses);
         obj.field_u64("sim_cache_coalesced", sim_cache.coalesced);
         obj.field_u64("sim_cache_evictions", sim_cache.evictions);
+        obj.field_u64("artifact_cache_hits", artifact_cache.hits);
+        obj.field_u64("artifact_cache_misses", artifact_cache.misses);
+        obj.field_u64("artifact_cache_coalesced", artifact_cache.coalesced);
+        obj.field_u64("artifact_cache_evictions", artifact_cache.evictions);
+        obj.field_u64("artifact_cache_failures", artifact_cache.failures);
 
         obj.field_u64("latency_count", self.latency.count());
         obj.field_f64("latency_mean_us", self.latency.mean_ns() / 1e3);
@@ -146,7 +157,7 @@ mod tests {
         m.request("/healthz", 200, Duration::from_micros(10));
         m.request("/nope", 404, Duration::from_micros(10));
         let empty = StatsSnapshot::default();
-        let body = m.render(&empty, &empty);
+        let body = m.render(&empty, &empty, &empty);
         let v = parse_line(&body).unwrap();
         let f = |k: &str| v.get(k).and_then(JsonValue::as_f64).unwrap();
         assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("metrics"));

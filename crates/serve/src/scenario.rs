@@ -1,19 +1,20 @@
 //! Request bodies → validated scenarios → canonical cache keys.
 //!
-//! A *scenario* is the fully-validated, canonicalized description of one
-//! solve or simulation. Canonicalization happens here, before the cache is
+//! A request parses into a canonical [`evcap_spec::Scenario`] (plus the
+//! simulation-only knobs: slots, seed, coordination, replications).
+//! Canonicalization happens inside the scenario layer, before any cache is
 //! consulted, so `{"dist":"exponential:0.050"}` and `{"dist":"exp:0.05"}`
-//! produce the same [`SolveScenario::cache_key`] and share one cached
-//! solution.
+//! produce the same [`SolveScenario::cache_key`] — and the same
+//! [`evcap_spec::Scenario::canonical_key`] for the artifact cache — and
+//! share one cached solution.
 //!
 //! All failures are [`ApiError`]s: an HTTP status plus a machine-readable
 //! `kind` and a human-readable message, rendered as a flat JSONL-style
 //! object so clients (and the e2e tests) can parse responses with
 //! [`evcap_obs::parse_line`].
 
-use std::fmt::Write as _;
-
 use evcap_obs::{parse_line, JsonObject, JsonValue};
+use evcap_spec::{PolicySpec, Scenario};
 
 /// A structured request failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +62,15 @@ impl From<evcap_spec::SpecError> for ApiError {
     }
 }
 
+impl From<evcap_spec::SolveError> for ApiError {
+    fn from(e: evcap_spec::SolveError) -> Self {
+        match e {
+            evcap_spec::SolveError::Spec(spec) => spec.into(),
+            evcap_spec::SolveError::Unsolvable(reason) => ApiError::unprocessable(reason),
+        }
+    }
+}
+
 /// The widest horizon a request may ask for (explicit pmf slots).
 pub const MAX_HORIZON: usize = 1 << 20;
 /// The most sensors a simulation request may ask for.
@@ -68,57 +78,23 @@ pub const MAX_SENSORS: usize = 64;
 /// The most replications a simulation request may ask for.
 pub const MAX_REPLICATIONS: usize = 64;
 
-/// Which optimizer a solve request wants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SolvePolicy {
-    /// FI greedy (LP structure, Algorithm 1).
-    Greedy,
-    /// PI clustering search (Algorithm 2).
-    Clustering,
-}
-
-impl SolvePolicy {
-    /// The canonical wire name.
-    pub fn name(self) -> &'static str {
-        match self {
-            SolvePolicy::Greedy => "greedy",
-            SolvePolicy::Clustering => "clustering",
-        }
-    }
-}
-
-/// A validated `/v1/solve` request.
+/// A validated `/v1/solve` request: a canonical scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveScenario {
-    /// Canonical distribution spec (aliases resolved, floats reformatted).
-    pub dist: String,
-    /// Recharge budget, units per slot.
-    pub e: f64,
-    /// Optimizer to run.
-    pub policy: SolvePolicy,
-    /// Activation cost δ1.
-    pub delta1: f64,
-    /// Capture cost δ2.
-    pub delta2: f64,
-    /// Explicit pmf horizon.
-    pub horizon: usize,
+    /// The canonical scenario to solve.
+    pub scenario: Scenario,
 }
 
-/// A validated `/v1/simulate` request.
+/// A validated `/v1/simulate` request: a canonical scenario plus the
+/// simulation-only knobs (which do not affect the solve artifact).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulateScenario {
-    /// The solve part (policy to derive before simulating).
-    pub solve: SolveScenario,
+    /// The canonical scenario to solve before simulating.
+    pub scenario: Scenario,
     /// Slots to simulate.
     pub slots: u64,
     /// RNG seed.
     pub seed: u64,
-    /// Battery capacity in energy units.
-    pub k: f64,
-    /// Fleet size.
-    pub sensors: usize,
-    /// Canonical recharge spec.
-    pub recharge: String,
     /// `true` → rotating (round-robin) slot assignment, else independent.
     pub rotating: bool,
     /// Monte Carlo replications (1 = the classic single run).
@@ -249,9 +225,9 @@ const SIMULATE_FIELDS: &[&str] = &[
     "replications",
 ];
 
-fn solve_from(
+fn scenario_from(
     map: &std::collections::BTreeMap<String, JsonValue>,
-) -> Result<SolveScenario, ApiError> {
+) -> Result<Scenario, ApiError> {
     let raw_dist = want_str(map, "dist")?
         .ok_or_else(|| ApiError::bad_request("missing_field", "field `dist` is required"))?;
     if raw_dist.trim().starts_with("trace:") {
@@ -262,20 +238,10 @@ fn solve_from(
             "trace: distributions are not served over HTTP",
         ));
     }
-    let dist = evcap_spec::canonical_dist(raw_dist)?;
     let e = want_f64(map, "e")?
         .ok_or_else(|| ApiError::bad_request("missing_field", "field `e` is required"))?;
     let e = positive("e", e)?;
-    let policy = match want_str(map, "policy")?.unwrap_or("greedy") {
-        "greedy" => SolvePolicy::Greedy,
-        "clustering" => SolvePolicy::Clustering,
-        other => {
-            return Err(ApiError::bad_request(
-                "invalid_field",
-                format!("unknown policy `{other}` (try greedy, clustering)"),
-            ))
-        }
-    };
+    let policy = PolicySpec::parse(want_str(map, "policy")?.unwrap_or("greedy"))?;
     let delta1 = positive("delta1", want_f64(map, "delta1")?.unwrap_or(1.0))?;
     let delta2 = positive("delta2", want_f64(map, "delta2")?.unwrap_or(6.0))?;
     let horizon = want_index(map, "horizon", MAX_HORIZON as u64)?.unwrap_or(65_536) as usize;
@@ -285,14 +251,9 @@ fn solve_from(
             "field `horizon` must be ≥ 2",
         ));
     }
-    Ok(SolveScenario {
-        dist,
-        e,
-        policy,
-        delta1,
-        delta2,
-        horizon,
-    })
+    Ok(Scenario::new(raw_dist, policy, e)?
+        .with_costs(delta1, delta2)
+        .with_horizon(horizon))
 }
 
 impl SolveScenario {
@@ -306,24 +267,15 @@ impl SolveScenario {
     pub fn from_body(body: &[u8]) -> Result<Self, ApiError> {
         let map = parse_object(body)?;
         reject_unknown(&map, SOLVE_FIELDS)?;
-        solve_from(&map)
+        Ok(Self {
+            scenario: scenario_from(&map)?,
+        })
     }
 
     /// The canonical cache key: two requests get the same key iff they
     /// describe the same optimization.
     pub fn cache_key(&self) -> String {
-        let mut key = String::from("solve|");
-        let _ = write!(
-            key,
-            "{}|{}|e={}|d1={}|d2={}|h={}",
-            self.policy.name(),
-            self.dist,
-            self.e,
-            self.delta1,
-            self.delta2,
-            self.horizon
-        );
-        key
+        format!("solve|{}", self.scenario.canonical_key())
     }
 }
 
@@ -337,7 +289,7 @@ impl SimulateScenario {
     pub fn from_body(body: &[u8], max_slots: u64) -> Result<Self, ApiError> {
         let map = parse_object(body)?;
         reject_unknown(&map, SIMULATE_FIELDS)?;
-        let solve = solve_from(&map)?;
+        let mut scenario = scenario_from(&map)?;
         let slots = want_index(&map, "slots", max_slots)?.unwrap_or(100_000.min(max_slots));
         if slots == 0 {
             return Err(ApiError::bad_request(
@@ -354,12 +306,13 @@ impl SimulateScenario {
                 "field `sensors` must be ≥ 1",
             ));
         }
-        // Default recharge mirrors the CLI: Bernoulli(0.5) delivering 2e, so
-        // the mean rate matches the solve budget.
-        let recharge = match want_str(&map, "recharge")? {
-            Some(spec) => evcap_spec::canonical_recharge(spec)?,
-            None => format!("bernoulli:0.5,{}", 2.0 * solve.e),
-        };
+        scenario = scenario.with_battery(k).with_sensors(sensors);
+        // Default recharge mirrors the CLI (Bernoulli(0.5) delivering 2e, so
+        // the mean rate matches the solve budget) and is already set by
+        // `Scenario::new`; only an explicit spec replaces it.
+        if let Some(spec) = want_str(&map, "recharge")? {
+            scenario = scenario.with_recharge(spec)?;
+        }
         let rotating = match want_str(&map, "coordination")?.unwrap_or("rotating") {
             "rotating" => true,
             "independent" => false,
@@ -387,38 +340,25 @@ impl SimulateScenario {
             ));
         }
         Ok(SimulateScenario {
-            solve,
+            scenario,
             slots,
             seed,
-            k,
-            sensors,
-            recharge,
             rotating,
             replications,
         })
     }
 
-    /// The canonical cache key for this simulation.
+    /// The canonical cache key for this simulation: the scenario's
+    /// artifact identity plus the simulation-only knobs.
     pub fn cache_key(&self) -> String {
-        let mut key = String::from("sim|");
-        let _ = write!(
-            key,
-            "{}|{}|e={}|d1={}|d2={}|h={}|slots={}|seed={}|k={}|n={}|r={}|{}|reps={}",
-            self.solve.policy.name(),
-            self.solve.dist,
-            self.solve.e,
-            self.solve.delta1,
-            self.solve.delta2,
-            self.solve.horizon,
+        format!(
+            "sim|{}|slots={}|seed={}|{}|reps={}",
+            self.scenario.canonical_key(),
             self.slots,
             self.seed,
-            self.k,
-            self.sensors,
-            self.recharge,
             if self.rotating { "rot" } else { "ind" },
             self.replications,
-        );
-        key
+        )
     }
 }
 
@@ -429,12 +369,27 @@ mod tests {
     #[test]
     fn solve_parses_with_defaults() {
         let s = SolveScenario::from_body(br#"{"dist":"weibull:40,3","e":0.2}"#).unwrap();
-        assert_eq!(s.dist, "weibull:40,3");
-        assert_eq!(s.e, 0.2);
-        assert_eq!(s.policy, SolvePolicy::Greedy);
-        assert_eq!(s.delta1, 1.0);
-        assert_eq!(s.delta2, 6.0);
-        assert_eq!(s.horizon, 65_536);
+        assert_eq!(s.scenario.dist(), "weibull:40,3");
+        assert_eq!(s.scenario.e(), 0.2);
+        assert_eq!(s.scenario.policy(), PolicySpec::Greedy);
+        assert_eq!(s.scenario.delta1(), 1.0);
+        assert_eq!(s.scenario.delta2(), 6.0);
+        assert_eq!(s.scenario.horizon(), 65_536);
+    }
+
+    #[test]
+    fn all_policy_families_parse() {
+        for (name, want) in [
+            ("greedy", PolicySpec::Greedy),
+            ("clustering", PolicySpec::Clustering),
+            ("aggressive", PolicySpec::Aggressive),
+            ("periodic", PolicySpec::Periodic { theta1: 3 }),
+            ("myopic", PolicySpec::Myopic),
+        ] {
+            let body = format!(r#"{{"dist":"weibull:40,3","e":0.2,"policy":"{name}"}}"#);
+            let s = SolveScenario::from_body(body.as_bytes()).unwrap();
+            assert_eq!(s.scenario.policy(), want, "{name}");
+        }
     }
 
     #[test]
@@ -442,9 +397,23 @@ mod tests {
         let a = SolveScenario::from_body(br#"{"dist":"exponential:0.050","e":0.25}"#).unwrap();
         let b = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25}"#).unwrap();
         assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.scenario.canonical_key(), b.scenario.canonical_key());
 
         let c = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25,"delta1":2}"#).unwrap();
         assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn solve_and_simulate_share_the_artifact_identity() {
+        // A default simulate request must hit the same artifact-cache entry
+        // as a solve for the same scenario: same canonical_key.
+        let solve = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25}"#).unwrap();
+        let sim = SimulateScenario::from_body(
+            br#"{"dist":"exponential:0.050","e":0.25,"slots":5000}"#,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(solve.scenario.canonical_key(), sim.scenario.canonical_key());
     }
 
     #[test]
@@ -473,7 +442,7 @@ mod tests {
             (br#"{"dist":"exp:0.05","e":-1}"#, "invalid_field"),
             (
                 br#"{"dist":"exp:0.05","e":0.2,"policy":"x"}"#,
-                "invalid_field",
+                "invalid_spec",
             ),
             (
                 br#"{"dist":"exp:0.05","e":0.2,"horizon":1.5}"#,
@@ -497,8 +466,8 @@ mod tests {
         .unwrap();
         assert_eq!(s.slots, 5000);
         assert_eq!(s.seed, 9);
-        assert_eq!(s.sensors, 2);
-        assert_eq!(s.recharge, "bernoulli:0.5,0.6");
+        assert_eq!(s.scenario.sensors(), 2);
+        assert_eq!(s.scenario.recharge(), "bernoulli:0.5,0.6");
         assert!(s.rotating);
 
         let err =
@@ -528,8 +497,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(many.replications, 8);
-        // The replication count is part of the cache identity.
+        // The replication count is part of the cache identity…
         assert_ne!(one.cache_key(), many.cache_key());
+        // …but not of the artifact identity: both share one solve.
+        assert_eq!(one.scenario.canonical_key(), many.scenario.canonical_key());
 
         // Zero and absurdly large counts are structured 400s.
         for body in [
@@ -560,5 +531,6 @@ mod tests {
         let a = SimulateScenario::from_body(&body(1), 1_000_000).unwrap();
         let b = SimulateScenario::from_body(&body(2), 1_000_000).unwrap();
         assert_ne!(a.cache_key(), b.cache_key());
+        assert_eq!(a.scenario.canonical_key(), b.scenario.canonical_key());
     }
 }

@@ -20,6 +20,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use evcap_obs::{JsonObject, JsonlSink};
+use evcap_spec::SolvedPolicy;
 
 use crate::cache::{Fetch, ShardedCache};
 use crate::handlers;
@@ -72,6 +73,11 @@ struct Shared {
     metrics: Metrics,
     solve_cache: ShardedCache<String, ApiError>,
     sim_cache: ShardedCache<String, ApiError>,
+    /// Second cache tier: `SolvedPolicy` artifacts keyed by
+    /// `Scenario::canonical_key()`. Response-cache misses that share a
+    /// scenario (e.g. `/v1/simulate` varying only in slots/seed, or a
+    /// `/v1/solve` for the same physics) share one clustering/LP solve.
+    artifact_cache: ShardedCache<Arc<SolvedPolicy>, ApiError>,
     shutdown: AtomicBool,
     access_log: Option<Mutex<JsonlSink>>,
 }
@@ -106,6 +112,7 @@ impl Server {
         let shared = Arc::new(Shared {
             solve_cache: ShardedCache::new(config.cache_cap, config.shards),
             sim_cache: ShardedCache::new(config.cache_cap, config.shards),
+            artifact_cache: ShardedCache::new(config.cache_cap, config.shards),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             access_log,
@@ -136,6 +143,11 @@ impl Server {
     /// Counters for the solve cache.
     pub fn solve_cache_stats(&self) -> crate::cache::StatsSnapshot {
         self.shared.solve_cache.stats()
+    }
+
+    /// Counters for the `SolvedPolicy` artifact cache.
+    pub fn artifact_cache_stats(&self) -> crate::cache::StatsSnapshot {
+        self.shared.artifact_cache.stats()
     }
 
     /// A flag that makes the server drain and stop when set; safe to hand
@@ -281,9 +293,11 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
             (200, obj.finish(), NO_CACHE)
         }
         ("GET", "/metrics") => {
-            let body = shared
-                .metrics
-                .render(&shared.solve_cache.stats(), &shared.sim_cache.stats());
+            let body = shared.metrics.render(
+                &shared.solve_cache.stats(),
+                &shared.sim_cache.stats(),
+                &shared.artifact_cache.stats(),
+            );
             (200, body, NO_CACHE)
         }
         ("POST", "/v1/solve") => match SolveScenario::from_body(&request.body) {
@@ -295,7 +309,8 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
                         .solve_cache
                         .get_or_compute(&key, shared.config.coalesce_timeout, || {
                             let t = Instant::now();
-                            let result = handlers::solve(&s);
+                            let result = artifact(shared, &s.scenario)
+                                .map(|a| handlers::render_solve(&s, &a));
                             shared.metrics.solve_latency.observe(t.elapsed());
                             result
                         });
@@ -310,7 +325,10 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
                     let fetch = shared.sim_cache.get_or_compute(
                         &key,
                         shared.config.coalesce_timeout,
-                        || handlers::simulate(&s),
+                        || {
+                            let a = artifact(shared, &s.scenario)?;
+                            handlers::simulate(&s, &a)
+                        },
                     );
                     render_fetch(fetch, shared)
                 }
@@ -331,6 +349,34 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
                 message: format!("no route for {path}"),
             };
             (404, err.body(), NO_CACHE)
+        }
+    }
+}
+
+/// Fetches (or computes, single-flight) the `SolvedPolicy` artifact for a
+/// canonical scenario. Both endpoints' response-cache computes run through
+/// here, so `/v1/solve` and every `/v1/simulate` variation of one scenario
+/// share one clustering/LP solve.
+fn artifact(
+    shared: &Shared,
+    scenario: &evcap_spec::Scenario,
+) -> Result<Arc<SolvedPolicy>, ApiError> {
+    let key = scenario.canonical_key();
+    let fetch = shared
+        .artifact_cache
+        .get_or_compute(&key, shared.config.coalesce_timeout, || {
+            handlers::solve_artifact(scenario).map(Arc::new)
+        });
+    match fetch {
+        Fetch::Hit(a) | Fetch::Computed(a) | Fetch::Coalesced(a) => Ok(a),
+        Fetch::Failed(e) => Err(e),
+        Fetch::TimedOut => {
+            shared.metrics.timeout();
+            Err(ApiError {
+                status: 503,
+                kind: "coalesce_timeout",
+                message: "timed out waiting for an in-flight solve".to_owned(),
+            })
         }
     }
 }

@@ -235,6 +235,41 @@ fn batched_simulate_is_cached_and_bounds_checked() {
 }
 
 #[test]
+fn spelling_variants_share_one_cache_entry_on_both_endpoints() {
+    // Regression: the cache key must be built from the *canonical* dist and
+    // recharge spellings, so `exp:0.050` and `exponential:0.05` (an alias
+    // plus a trailing-zero float) land on the same entry — on `/v1/solve`
+    // and `/v1/simulate` alike.
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+
+    let solve_a = br#"{"dist":"exp:0.050","e":0.2,"horizon":2048}"#;
+    let solve_b = br#"{"dist":"exponential:0.05","e":0.2,"horizon":2048}"#;
+    let first = conn.request("POST", "/v1/solve", solve_a).unwrap();
+    let second = conn.request("POST", "/v1/solve", solve_b).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    let sim_a = br#"{"dist":"exp:0.050","e":0.2,"recharge":"bernoulli:0.50,0.40","slots":5000,"seed":7,"horizon":2048}"#;
+    let sim_b = br#"{"dist":"exponential:0.05","e":0.2,"recharge":"bernoulli:0.5,0.4","slots":5000,"seed":7,"horizon":2048}"#;
+    let first = conn.request("POST", "/v1/simulate", sim_a).unwrap();
+    let second = conn.request("POST", "/v1/simulate", sim_b).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    assert_eq!(metric(&server, "solve_cache_misses"), 1.0);
+    assert_eq!(metric(&server, "solve_cache_hits"), 1.0);
+    assert_eq!(metric(&server, "sim_cache_misses"), 1.0);
+    assert_eq!(metric(&server, "sim_cache_hits"), 1.0);
+    server.shutdown();
+}
+
+#[test]
 fn bad_requests_get_structured_errors_over_the_wire() {
     let server = Server::start(test_config()).expect("bind");
     let addr = server.local_addr();

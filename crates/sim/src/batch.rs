@@ -68,13 +68,14 @@ const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 /// N independent replications of one configured scenario.
 ///
 /// Built from a [`Simulation`] (whose `seed` becomes the batch's base seed)
-/// and a replication count. See the [module docs](self) for the
-/// determinism contract.
+/// and a replication count. See the module-level docs for the determinism
+/// contract.
 #[derive(Debug, Clone)]
 pub struct ReplicationBatch<'a> {
     sim: Simulation<'a>,
     replications: usize,
     threads: Option<usize>,
+    table: Option<PolicyTable>,
 }
 
 impl<'a> ReplicationBatch<'a> {
@@ -91,7 +92,19 @@ impl<'a> ReplicationBatch<'a> {
             sim,
             replications,
             threads: None,
+            table: None,
         })
+    }
+
+    /// Supplies a pre-solved activation table (e.g. from an
+    /// `evcap_spec::SolvedPolicy` artifact), skipping the per-batch
+    /// `policy.table()` compilation. The table must belong to the policy
+    /// passed to [`ReplicationBatch::run`]; passing `None` keeps the
+    /// default per-batch compilation.
+    #[must_use]
+    pub fn precompiled(mut self, table: Option<PolicyTable>) -> Self {
+        self.table = table;
+        self
     }
 
     /// Pins the worker-thread count, bypassing the machine default and the
@@ -132,7 +145,7 @@ impl<'a> ReplicationBatch<'a> {
         // only ever read them.
         let sampler = SlotSampler::new(self.sim.pmf)?;
         let mean_gap = self.sim.pmf.mean();
-        let compiled = Compiled::of(policy);
+        let compiled = self.compile(policy);
         let _span = timing::span("sim.batch");
         let results = parallel_map_with(self.seeds(), self.threads, |seed| {
             let schedule =
@@ -155,12 +168,22 @@ impl<'a> ReplicationBatch<'a> {
         policy: &(dyn ActivationPolicy + Sync),
         make_recharge: &SyncRechargeFactory<'_>,
     ) -> Result<BatchReport> {
-        let compiled = Compiled::of(policy);
+        let compiled = self.compile(policy);
         let _span = timing::span("sim.batch");
         let results = parallel_map_with(self.seeds(), self.threads, |seed| {
             self.run_one(seed, schedule, &compiled, make_recharge)
         });
         self.reduce(results)
+    }
+
+    /// Uses the caller-supplied precompiled table when one was attached,
+    /// otherwise compiles the policy's own table once for the batch.
+    fn compile<'p>(&self, policy: &'p (dyn ActivationPolicy + Sync)) -> Compiled<'p> {
+        let mut compiled = Compiled::of(policy);
+        if let Some(table) = &self.table {
+            compiled.table = Some(table.clone());
+        }
+        compiled
     }
 
     fn run_one(
@@ -442,6 +465,24 @@ mod tests {
         assert!(report.mean_final_fill >= 0.0 && report.mean_final_fill <= 1.0);
         let gap = report.mean_capture_gap.expect("captures happened");
         assert!(gap >= 1.0, "{gap}");
+    }
+
+    #[test]
+    fn precompiled_table_matches_default_compilation() {
+        use evcap_core::ClusteringPolicy;
+        let pmf = weibull_pmf();
+        let policy = ClusteringPolicy::new(20, 40, 60, 0.5, 1.0, 0.25).unwrap();
+        let sim = Simulation::builder(&pmf).slots(12_000).seed(11);
+        let default = ReplicationBatch::new(sim.clone(), 3)
+            .unwrap()
+            .run(&policy, &bernoulli(0.5, 1.0))
+            .unwrap();
+        let pre = ReplicationBatch::new(sim, 3)
+            .unwrap()
+            .precompiled(policy.table())
+            .run(&policy, &bernoulli(0.5, 1.0))
+            .unwrap();
+        assert_eq!(pre, default);
     }
 
     #[test]

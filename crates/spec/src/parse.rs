@@ -1,0 +1,459 @@
+//! Spec-string parsing and canonicalization.
+//!
+//! Workloads are described by compact specs like `weibull:40,3` or
+//! `bernoulli:0.5,1`, mirroring the paper's notation. This module is the
+//! single parser for those specs; [`canonical_dist`] and
+//! [`canonical_recharge`] reduce a spec to a canonical text form (aliases
+//! resolved, numbers reformatted) so that `exp:0.050` and
+//! `exponential:0.05` mean — and cache as — the same thing.
+//!
+//! Numeric arguments must be finite: `weibull:nan,3` and `exp:inf` are
+//! rejected here (Rust's `f64::from_str` happily parses `nan`/`inf`, which
+//! would otherwise propagate into the discretizer).
+
+use std::fmt;
+
+use evcap_dist::{
+    Deterministic, Discretizer, EmpiricalGaps, Erlang, Exponential, HyperExponential, InterArrival,
+    LogNormal, MarkovEvents, Pareto, SlotPmf, UniformArrival, Weibull,
+};
+use evcap_energy::{
+    BernoulliRecharge, ConstantRecharge, Energy, PeriodicRecharge, RechargeProcess, UniformRecharge,
+};
+
+/// A parse failure for a spec string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// The spec that failed to parse.
+    pub spec: String,
+    /// Why it failed.
+    pub reason: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid spec `{}`: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(spec: &str, reason: impl Into<String>) -> SpecError {
+    SpecError {
+        spec: spec.to_owned(),
+        reason: reason.into(),
+    }
+}
+
+/// Splits `name:a,b,c` into the name and numeric arguments.
+///
+/// Every argument must parse as a *finite* float: `nan`/`inf` (which Rust's
+/// float parser accepts) are rejected so no downstream discretizer or
+/// optimizer ever sees a non-finite parameter.
+fn split(spec: &str) -> Result<(&str, Vec<f64>), SpecError> {
+    let (name, rest) = match spec.split_once(':') {
+        Some((n, r)) => (n, r),
+        None => (spec, ""),
+    };
+    let mut args = Vec::new();
+    if !rest.is_empty() {
+        for part in rest.split(',') {
+            let value: f64 = part
+                .trim()
+                .parse()
+                .map_err(|_| err(spec, format!("`{part}` is not a number")))?;
+            if !value.is_finite() {
+                return Err(err(spec, format!("`{part}` is not finite")));
+            }
+            args.push(value);
+        }
+    }
+    Ok((name, args))
+}
+
+fn arity(spec: &str, args: &[f64], expected: usize) -> Result<(), SpecError> {
+    if args.len() == expected {
+        Ok(())
+    } else {
+        Err(err(
+            spec,
+            format!("expected {expected} parameter(s), got {}", args.len()),
+        ))
+    }
+}
+
+/// Distribution names (canonical name, accepted aliases, arity).
+const DIST_NAMES: &[(&str, &[&str], usize)] = &[
+    ("weibull", &[], 2),
+    ("pareto", &[], 2),
+    ("exp", &["exponential"], 1),
+    ("erlang", &[], 2),
+    ("uniform", &[], 2),
+    ("det", &["deterministic"], 1),
+    ("hyperexp", &[], 3),
+    ("lognormal", &[], 2),
+    ("markov", &[], 2),
+];
+
+/// Recharge-process names (canonical name, accepted aliases, arity).
+const RECHARGE_NAMES: &[(&str, &[&str], usize)] = &[
+    ("bernoulli", &[], 2),
+    ("periodic", &[], 2),
+    ("constant", &[], 1),
+    ("uniformrand", &[], 2),
+];
+
+fn canonical_name(
+    name: &str,
+    table: &'static [(&'static str, &'static [&'static str], usize)],
+) -> Option<(&'static str, usize)> {
+    for &(canon, aliases, arity) in table {
+        if name == canon || aliases.contains(&name) {
+            return Some((canon, arity));
+        }
+    }
+    None
+}
+
+fn canonicalize(
+    spec: &str,
+    table: &'static [(&'static str, &'static [&'static str], usize)],
+    what: &str,
+) -> Result<String, SpecError> {
+    let (name, args) = split(spec.trim())?;
+    let (canon, expected) =
+        canonical_name(name, table).ok_or_else(|| err(spec, format!("unknown {what} `{name}`")))?;
+    arity(spec, &args, expected)?;
+    let mut out = String::from(canon);
+    for (i, a) in args.iter().enumerate() {
+        out.push(if i == 0 { ':' } else { ',' });
+        // `{}` is Rust's shortest round-trip float form, so 0.50 and 0.5
+        // canonicalize identically.
+        let _ = fmt::Write::write_fmt(&mut out, format_args!("{a}"));
+    }
+    Ok(out)
+}
+
+/// Reduces a distribution spec to canonical text: aliases resolved
+/// (`exponential:0.05` → `exp:0.05`), numbers reformatted to their shortest
+/// round-trip form. `trace:PATH` specs canonicalize to the trimmed path.
+///
+/// Canonicalization validates the name, arity, and finiteness of arguments
+/// but does *not* check parameter domains — [`parse_dist`] remains the
+/// authority on whether `weibull:-1,3` is a valid Weibull.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown names, wrong arity, or non-finite
+/// arguments.
+pub fn canonical_dist(spec: &str) -> Result<String, SpecError> {
+    if let Some(path) = spec.trim().strip_prefix("trace:") {
+        return Ok(format!("trace:{}", path.trim()));
+    }
+    canonicalize(spec, DIST_NAMES, "distribution")
+}
+
+/// Reduces a recharge spec to canonical text (see [`canonical_dist`]).
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown names, wrong arity, or non-finite
+/// arguments.
+pub fn canonical_recharge(spec: &str) -> Result<String, SpecError> {
+    canonicalize(spec, RECHARGE_NAMES, "recharge process")
+}
+
+/// Parses a distribution spec into a slotted pmf.
+///
+/// Supported: `weibull:scale,shape` · `pareto:shape,scale` · `exp:rate` ·
+/// `erlang:stages,rate` · `uniform:lo,hi` · `det:period` ·
+/// `hyperexp:p,rate1,rate2` · `markov:a,b` · `lognormal:mu,sigma` ·
+/// `trace:PATH` (a file of observed inter-arrival times, one per line).
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown names, wrong arity, or invalid
+/// parameters (including non-finite numbers like `nan`).
+pub fn parse_dist(spec: &str, max_horizon: usize) -> Result<SlotPmf, SpecError> {
+    if let Some(path) = spec.strip_prefix("trace:") {
+        return parse_trace(spec, path);
+    }
+    let (name, args) = split(spec)?;
+    let discretizer = Discretizer::new().max_horizon(max_horizon);
+    let boxed: Box<dyn InterArrival> = match name {
+        "weibull" => {
+            arity(spec, &args, 2)?;
+            Box::new(Weibull::new(args[0], args[1]).map_err(|e| err(spec, e.to_string()))?)
+        }
+        "pareto" => {
+            arity(spec, &args, 2)?;
+            Box::new(Pareto::new(args[0], args[1]).map_err(|e| err(spec, e.to_string()))?)
+        }
+        "exp" | "exponential" => {
+            arity(spec, &args, 1)?;
+            Box::new(Exponential::new(args[0]).map_err(|e| err(spec, e.to_string()))?)
+        }
+        "erlang" => {
+            arity(spec, &args, 2)?;
+            let stages = args[0] as u32;
+            if (stages as f64 - args[0]).abs() > 1e-9 {
+                return Err(err(spec, "stages must be an integer"));
+            }
+            Box::new(Erlang::new(stages, args[1]).map_err(|e| err(spec, e.to_string()))?)
+        }
+        "uniform" => {
+            arity(spec, &args, 2)?;
+            Box::new(UniformArrival::new(args[0], args[1]).map_err(|e| err(spec, e.to_string()))?)
+        }
+        "det" | "deterministic" => {
+            arity(spec, &args, 1)?;
+            Box::new(Deterministic::new(args[0]).map_err(|e| err(spec, e.to_string()))?)
+        }
+        "hyperexp" => {
+            arity(spec, &args, 3)?;
+            Box::new(
+                HyperExponential::new(args[0], args[1], args[2])
+                    .map_err(|e| err(spec, e.to_string()))?,
+            )
+        }
+        "lognormal" => {
+            arity(spec, &args, 2)?;
+            Box::new(LogNormal::new(args[0], args[1]).map_err(|e| err(spec, e.to_string()))?)
+        }
+        "markov" => {
+            arity(spec, &args, 2)?;
+            return MarkovEvents::new(args[0], args[1])
+                .and_then(|m| m.to_slot_pmf())
+                .map_err(|e| err(spec, e.to_string()));
+        }
+        other => {
+            return Err(err(
+                spec,
+                format!(
+                    "unknown distribution `{other}` (try weibull, pareto, exp, erlang, \
+                     uniform, det, hyperexp, markov, lognormal, trace:PATH)"
+                ),
+            ))
+        }
+    };
+    discretizer
+        .discretize(boxed.as_ref())
+        .map_err(|e| err(spec, e.to_string()))
+}
+
+/// Loads observed inter-arrival times (one float per line; `#` comments and
+/// blank lines ignored) and builds the empirical pmf with mild tail
+/// smoothing.
+fn parse_trace(spec: &str, path: &str) -> Result<SlotPmf, SpecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(spec, format!("cannot read `{path}`: {e}")))?;
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let value: f64 = line.parse().map_err(|_| {
+            err(
+                spec,
+                format!("line {}: `{line}` is not a number", lineno + 1),
+            )
+        })?;
+        if !value.is_finite() {
+            return Err(err(
+                spec,
+                format!("line {}: `{line}` is not finite", lineno + 1),
+            ));
+        }
+        samples.push(value);
+    }
+    EmpiricalGaps::from_samples(&samples)
+        .and_then(|emp| emp.to_slot_pmf(Some(0.5)))
+        .map_err(|e| err(spec, e.to_string()))
+}
+
+/// Parses a recharge-process spec.
+///
+/// Supported: `bernoulli:q,c` · `periodic:amount,period` · `constant:rate` ·
+/// `uniformrand:lo,hi`.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown names, wrong arity, or invalid
+/// parameters (including non-finite numbers like `nan`).
+pub fn parse_recharge(spec: &str) -> Result<Box<dyn RechargeProcess>, SpecError> {
+    let (name, args) = split(spec)?;
+    let process: Box<dyn RechargeProcess> = match name {
+        "bernoulli" => {
+            arity(spec, &args, 2)?;
+            Box::new(
+                BernoulliRecharge::new(args[0], Energy::from_units(args[1]))
+                    .map_err(|e| err(spec, e.to_string()))?,
+            )
+        }
+        "periodic" => {
+            arity(spec, &args, 2)?;
+            let period = args[1] as u32;
+            if (period as f64 - args[1]).abs() > 1e-9 {
+                return Err(err(spec, "period must be an integer number of slots"));
+            }
+            Box::new(
+                PeriodicRecharge::new(Energy::from_units(args[0]), period)
+                    .map_err(|e| err(spec, e.to_string()))?,
+            )
+        }
+        "constant" => {
+            arity(spec, &args, 1)?;
+            Box::new(
+                ConstantRecharge::new(Energy::from_units(args[0]))
+                    .map_err(|e| err(spec, e.to_string()))?,
+            )
+        }
+        "uniformrand" => {
+            arity(spec, &args, 2)?;
+            Box::new(
+                UniformRecharge::new(Energy::from_units(args[0]), Energy::from_units(args[1]))
+                    .map_err(|e| err(spec, e.to_string()))?,
+            )
+        }
+        other => {
+            return Err(err(
+                spec,
+                format!(
+                    "unknown recharge process `{other}` (try bernoulli, periodic, constant, \
+                     uniformrand)"
+                ),
+            ))
+        }
+    };
+    Ok(process)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_workloads() {
+        let w = parse_dist("weibull:40,3", 65_536).unwrap();
+        assert!((w.mean() - 36.2).abs() < 0.5);
+        let p = parse_dist("pareto:2,10", 2_000).unwrap();
+        assert_eq!(p.min_support(), 11);
+        let m = parse_dist("markov:0.7,0.8", 100).unwrap();
+        assert!((m.hazard(1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_all_dist_names() {
+        for spec in [
+            "exp:0.05",
+            "erlang:4,0.2",
+            "uniform:10,30",
+            "det:7",
+            "hyperexp:0.4,0.5,0.05",
+        ] {
+            assert!(parse_dist(spec, 65_536).is_ok(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn parses_lognormal_and_trace() {
+        assert!(parse_dist("lognormal:3,0.5", 65_536).is_ok());
+        let dir = std::env::temp_dir().join("evcap-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gaps.txt");
+        std::fs::write(&path, "2\n# note\n3.5\n\n4\n").unwrap();
+        let spec = format!("trace:{}", path.display());
+        let pmf = parse_dist(&spec, 65_536).unwrap();
+        assert!(pmf.pmf(2) > 0.0 && pmf.pmf(4) > 0.0);
+        assert!(parse_dist("trace:/definitely/not/here", 10).is_err());
+        std::fs::write(&path, "2\nnot-a-number\n").unwrap();
+        assert!(parse_dist(&spec, 10).is_err());
+        std::fs::write(&path, "2\nnan\n").unwrap();
+        assert!(parse_dist(&spec, 10).is_err(), "trace files reject nan");
+    }
+
+    #[test]
+    fn rejects_bad_dists() {
+        assert!(parse_dist("weibull:40", 100).is_err()); // arity
+        assert!(parse_dist("weibull:40,x", 100).is_err()); // not a number
+        assert!(parse_dist("gauss:1,2", 100).is_err()); // unknown
+        assert!(parse_dist("weibull:-1,3", 100).is_err()); // domain
+        assert!(parse_dist("erlang:2.5,1", 100).is_err()); // non-integer stages
+    }
+
+    #[test]
+    fn rejects_non_finite_arguments() {
+        for spec in [
+            "weibull:nan,3",
+            "weibull:40,NaN",
+            "exp:inf",
+            "exp:-inf",
+            "pareto:infinity,10",
+        ] {
+            let e = parse_dist(spec, 100).unwrap_err();
+            assert!(e.reason.contains("not finite"), "{spec}: {e}");
+        }
+        for spec in ["bernoulli:nan,1", "constant:inf"] {
+            let e = parse_recharge(spec).err().expect("non-finite must fail");
+            assert!(e.reason.contains("not finite"), "{spec}: {e}");
+        }
+        assert!(canonical_dist("weibull:nan,3").is_err());
+        assert!(canonical_recharge("bernoulli:nan,1").is_err());
+    }
+
+    #[test]
+    fn parses_recharge_processes() {
+        for (spec, rate) in [
+            ("bernoulli:0.5,1", 0.5),
+            ("periodic:5,10", 0.5),
+            ("constant:0.5", 0.5),
+            ("uniformrand:0,1", 0.5),
+        ] {
+            let p = parse_recharge(spec).unwrap();
+            assert!((p.mean_rate() - rate).abs() < 1e-12, "{spec}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_recharges() {
+        assert!(parse_recharge("bernoulli:1.5,1").is_err());
+        assert!(parse_recharge("periodic:5,2.5").is_err());
+        assert!(parse_recharge("solar:1").is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_spec() {
+        let e = parse_dist("weibull:40", 100).unwrap_err();
+        assert!(e.to_string().contains("weibull:40"));
+    }
+
+    #[test]
+    fn canonical_forms_collapse_aliases_and_float_spellings() {
+        assert_eq!(canonical_dist("weibull:40,3").unwrap(), "weibull:40,3");
+        assert_eq!(canonical_dist("weibull:40.0,3.00").unwrap(), "weibull:40,3");
+        assert_eq!(canonical_dist("exponential:0.050").unwrap(), "exp:0.05");
+        assert_eq!(canonical_dist("deterministic:7").unwrap(), "det:7");
+        assert_eq!(canonical_dist(" det:7 ").unwrap(), "det:7");
+        assert_eq!(
+            canonical_dist("trace: /tmp/x.txt").unwrap(),
+            "trace:/tmp/x.txt"
+        );
+        assert_eq!(
+            canonical_recharge("bernoulli:0.50,1.0").unwrap(),
+            "bernoulli:0.5,1"
+        );
+        // Same canonical text ⇒ same parse result.
+        let a = parse_dist("exponential:0.050", 4_096).unwrap();
+        let b = parse_dist(&canonical_dist("exponential:0.050").unwrap(), 4_096).unwrap();
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn canonical_rejects_unknown_and_bad_arity() {
+        assert!(canonical_dist("gauss:1,2").is_err());
+        assert!(canonical_dist("weibull:40").is_err());
+        assert!(canonical_recharge("solar:1").is_err());
+        assert!(canonical_recharge("bernoulli:0.5").is_err());
+    }
+}

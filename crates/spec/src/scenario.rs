@@ -1,0 +1,638 @@
+//! The canonical scenario layer: one description of a workload, one solver
+//! entry point, one reusable artifact.
+//!
+//! Every front end of the repo — the CLI, the policy server, and the bench
+//! runners — used to re-implement "turn user input into a solved activation
+//! policy". This module replaces those copies with a single pipeline:
+//!
+//! ```text
+//! Scenario ──solve()──▶ SolvedPolicy { policy, table, meta }
+//! ```
+//!
+//! A [`Scenario`] stores every parameter that affects *which policy gets
+//! computed* (distribution, recharge process, battery capacity `K`, costs
+//! `δ1`/`δ2`, mean recharge rate `e`, discretization horizon, sensor
+//! count), all in canonical spec form, so [`Scenario::canonical_key`] is a
+//! stable identity: two requests that spell the same physics differently
+//! (`exp:0.050` vs `exponential:0.05`) produce the same key and can share
+//! one solve. [`SolvedPolicy`] bundles the boxed [`ActivationPolicy`], its
+//! precompiled [`PolicyTable`] (when the policy is stationary and small
+//! enough to materialize), and [`SolveMeta`] — the solve-time facts
+//! (objective `U(π*)`, region boundaries, optimizer iteration counts) that
+//! renderers need without re-deriving them.
+
+use std::fmt;
+
+use evcap_core::{
+    ActivationPolicy, AggressivePolicy, ClusteringOptimizer, DecisionContext, EnergyBudget,
+    EvalOptions, GreedyPolicy, InfoModel, MyopicPolicy, PeriodicPolicy, PolicyTable,
+};
+use evcap_dist::SlotPmf;
+use evcap_energy::{ConsumptionModel, Energy};
+
+use crate::parse::{canonical_dist, canonical_recharge, parse_dist, SpecError};
+
+/// Which activation policy family to solve for.
+///
+/// This enum replaces the stringly-typed `match` arms that used to live in
+/// the CLI, the server, and the bench crate: wire/argv names are parsed
+/// once by [`PolicySpec::parse`] and everything downstream dispatches on
+/// the enum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// Full-information greedy water-filling (the paper's Theorem 1).
+    Greedy,
+    /// Partial-information three-region clustering heuristic.
+    Clustering,
+    /// Always-active baseline (sense every slot the battery allows).
+    Aggressive,
+    /// Wall-clock duty cycling: `theta1` active slots per period.
+    Periodic {
+        /// Active slots per period; the period is energy-balanced at solve
+        /// time from the budget and mean gap (paper Fig. 4).
+        theta1: u64,
+    },
+    /// Belief-threshold myopic policy over an age window.
+    Myopic,
+}
+
+impl PolicySpec {
+    /// Parses a policy name as it appears on the wire or on argv.
+    ///
+    /// `periodic` defaults to `theta1 = 3` (the paper's Fig. 4 setting);
+    /// callers with an explicit flag can override the field afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self, SpecError> {
+        match name.trim() {
+            "greedy" => Ok(Self::Greedy),
+            "clustering" => Ok(Self::Clustering),
+            "aggressive" => Ok(Self::Aggressive),
+            "periodic" => Ok(Self::Periodic { theta1: 3 }),
+            "myopic" => Ok(Self::Myopic),
+            other => Err(SpecError {
+                spec: other.to_owned(),
+                reason: format!(
+                    "unknown policy `{other}` (try greedy, clustering, aggressive, periodic, \
+                     myopic)"
+                ),
+            }),
+        }
+    }
+
+    /// The base wire name (without parameters), e.g. `"periodic"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Greedy => "greedy",
+            Self::Clustering => "clustering",
+            Self::Aggressive => "aggressive",
+            Self::Periodic { .. } => "periodic",
+            Self::Myopic => "myopic",
+        }
+    }
+
+    /// The cache-key fragment: includes parameters, e.g. `"periodic:3"`.
+    pub fn key(&self) -> String {
+        match self {
+            Self::Periodic { theta1 } => format!("periodic:{theta1}"),
+            other => other.name().to_owned(),
+        }
+    }
+
+    /// What the policy is allowed to observe (paper §II).
+    pub fn info_model(&self) -> InfoModel {
+        match self {
+            Self::Greedy => InfoModel::Full,
+            _ => InfoModel::Partial,
+        }
+    }
+}
+
+/// A complete, canonical description of one solvable scenario.
+///
+/// All spec strings are stored in canonical form (see
+/// [`canonical_dist`]/[`canonical_recharge`]), so equality of
+/// [`Scenario::canonical_key`] means "the same solve".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    dist: String,
+    recharge: String,
+    policy: PolicySpec,
+    e: f64,
+    delta1: f64,
+    delta2: f64,
+    battery: f64,
+    horizon: usize,
+    sensors: usize,
+}
+
+/// Default discretization horizon (matches the CLI and server defaults).
+pub const DEFAULT_HORIZON: usize = 65_536;
+
+impl Scenario {
+    /// Creates a scenario from a distribution spec, policy, and mean
+    /// recharge rate `e` (units per slot per sensor).
+    ///
+    /// Defaults: recharge `bernoulli:0.5,2e` (paper §V), costs `δ1 = 1`,
+    /// `δ2 = 6`, battery `K = 1000`, horizon `65 536`, one sensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the distribution spec does not
+    /// canonicalize.
+    pub fn new(dist: &str, policy: PolicySpec, e: f64) -> Result<Self, SpecError> {
+        let dist = canonical_dist(dist)?;
+        // `{}` formatting keeps this in canonical float form already.
+        let recharge = format!("bernoulli:0.5,{}", 2.0 * e);
+        Ok(Self {
+            dist,
+            recharge,
+            policy,
+            e,
+            delta1: 1.0,
+            delta2: 6.0,
+            battery: 1000.0,
+            horizon: DEFAULT_HORIZON,
+            sensors: 1,
+        })
+    }
+
+    /// Replaces the recharge process spec (canonicalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the spec does not canonicalize.
+    pub fn with_recharge(mut self, spec: &str) -> Result<Self, SpecError> {
+        self.recharge = canonical_recharge(spec)?;
+        Ok(self)
+    }
+
+    /// Replaces the per-slot sensing (`δ1`) and capture (`δ2`) costs.
+    #[must_use]
+    pub fn with_costs(mut self, delta1: f64, delta2: f64) -> Self {
+        self.delta1 = delta1;
+        self.delta2 = delta2;
+        self
+    }
+
+    /// Replaces the battery capacity `K` (energy units).
+    #[must_use]
+    pub fn with_battery(mut self, k: f64) -> Self {
+        self.battery = k;
+        self
+    }
+
+    /// Replaces the discretization horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Replaces the sensor count (the solve budget scales to `n·e`).
+    #[must_use]
+    pub fn with_sensors(mut self, sensors: usize) -> Self {
+        self.sensors = sensors;
+        self
+    }
+
+    /// The canonical distribution spec.
+    pub fn dist(&self) -> &str {
+        &self.dist
+    }
+
+    /// The canonical recharge spec.
+    pub fn recharge(&self) -> &str {
+        &self.recharge
+    }
+
+    /// The policy family to solve for.
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
+    }
+
+    /// Mutable access to the policy (e.g. to apply a `--theta1` flag).
+    pub fn policy_mut(&mut self) -> &mut PolicySpec {
+        &mut self.policy
+    }
+
+    /// Mean recharge rate `e` per sensor (units per slot).
+    pub fn e(&self) -> f64 {
+        self.e
+    }
+
+    /// Sensing cost `δ1`.
+    pub fn delta1(&self) -> f64 {
+        self.delta1
+    }
+
+    /// Capture cost `δ2`.
+    pub fn delta2(&self) -> f64 {
+        self.delta2
+    }
+
+    /// Battery capacity `K`.
+    pub fn battery(&self) -> f64 {
+        self.battery
+    }
+
+    /// Discretization horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of sensors sharing the aggregate budget.
+    pub fn sensors(&self) -> usize {
+        self.sensors
+    }
+
+    /// What the chosen policy is allowed to observe.
+    pub fn info_model(&self) -> InfoModel {
+        self.policy.info_model()
+    }
+
+    /// A stable identity for this scenario: equal keys ⇔ the same solve.
+    ///
+    /// Built entirely from canonical forms, so spelling variants
+    /// (`exp:0.050` vs `exponential:0.05`, `bernoulli:0.50,1.0` vs
+    /// `bernoulli:0.5,1`) collapse onto one key. This is the key of the
+    /// server's artifact cache.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "{}|{}|r={}|e={}|d1={}|d2={}|k={}|h={}|n={}",
+            self.policy.key(),
+            self.dist,
+            self.recharge,
+            self.e,
+            self.delta1,
+            self.delta2,
+            self.battery,
+            self.horizon,
+            self.sensors,
+        )
+    }
+}
+
+/// Region boundaries of a solved clustering policy (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regions {
+    /// First hot slot.
+    pub n1: usize,
+    /// Last hot slot.
+    pub n2: usize,
+    /// First recovery slot.
+    pub n3: usize,
+    /// Activation coefficients at the three boundaries `(q1, q2, q3)`.
+    pub boundary: (f64, f64, f64),
+}
+
+/// Solve-time metadata bundled with a [`SolvedPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveMeta {
+    /// Human-readable policy label (same string as
+    /// `ActivationPolicy::label`).
+    pub label: String,
+    /// What the policy observes.
+    pub info: InfoModel,
+    /// The solver's objective `U(π*)` — ideal QoM under the energy
+    /// assumption — when the family reports one.
+    pub objective: Option<f64>,
+    /// Planned battery discharge rate (units per slot), when known.
+    pub discharge_rate: Option<f64>,
+    /// Expected capture-cycle length in slots (clustering/myopic).
+    pub expected_cycle: Option<f64>,
+    /// Region structure (clustering only).
+    pub regions: Option<Regions>,
+    /// Mean inter-arrival gap `μ` of the discretized distribution.
+    pub mean_gap: f64,
+    /// Optimizer work: candidate evaluations (clustering), funded slots
+    /// (greedy water-filling), window states (myopic); `0` for closed-form
+    /// families.
+    pub iterations: u64,
+}
+
+/// The reusable artifact produced by [`solve`]: everything a front end
+/// needs to render, simulate, or benchmark a solved scenario without
+/// re-running the optimizer.
+pub struct SolvedPolicy {
+    /// The scenario this artifact was solved from (canonical).
+    pub scenario: Scenario,
+    /// The discretized inter-arrival pmf used by the solver.
+    pub pmf: SlotPmf,
+    /// The consumption model `(δ1, δ2)` the policy was solved against.
+    pub consumption: ConsumptionModel,
+    /// The solved policy.
+    pub policy: Box<dyn ActivationPolicy + Send + Sync>,
+    /// Precompiled activation table (stationary policies below the
+    /// materialization cap); bit-for-bit equal to querying the policy.
+    pub table: Option<PolicyTable>,
+    /// Solve-time metadata.
+    pub meta: SolveMeta,
+}
+
+impl SolvedPolicy {
+    /// The stationary activation probability in state `i` (1-based),
+    /// served from the precompiled table when one exists.
+    pub fn probability(&self, state: usize) -> f64 {
+        match &self.table {
+            Some(t) => t.probability(state),
+            None => self.policy.probability(&DecisionContext::stationary(state)),
+        }
+    }
+}
+
+impl fmt::Debug for SolvedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolvedPolicy")
+            .field("scenario", &self.scenario)
+            .field("label", &self.meta.label)
+            .field("table", &self.table.is_some())
+            .finish()
+    }
+}
+
+/// Why a scenario could not be solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// A spec string failed to parse.
+    Spec(SpecError),
+    /// The specs parsed but the optimizer rejected the parameters
+    /// (infeasible budget, invalid costs, …).
+    Unsolvable(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Spec(e) => e.fmt(f),
+            Self::Unsolvable(reason) => write!(f, "cannot solve scenario: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<SpecError> for SolveError {
+    fn from(e: SpecError) -> Self {
+        Self::Spec(e)
+    }
+}
+
+fn unsolvable(e: impl fmt::Display) -> SolveError {
+    SolveError::Unsolvable(e.to_string())
+}
+
+/// Solves a scenario into a reusable [`SolvedPolicy`] artifact.
+///
+/// This is the **only** policy-construction site shared by the CLI, the
+/// policy server, and the bench runners. The whole solve runs under the
+/// `spec.solve` timing span (visible via `evcap-obs` when spans are
+/// enabled), alongside the finer-grained `clustering.search` / `lp.solve`
+/// spans the optimizers emit themselves.
+///
+/// # Errors
+///
+/// * [`SolveError::Spec`] if the distribution spec fails to parse.
+/// * [`SolveError::Unsolvable`] if the optimizer rejects the parameters.
+pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
+    let _span = evcap_obs::timing::span("spec.solve");
+    let pmf = parse_dist(scenario.dist(), scenario.horizon())?;
+    let consumption = ConsumptionModel::new(
+        Energy::from_units(scenario.delta1()),
+        Energy::from_units(scenario.delta2()),
+    )
+    .map_err(unsolvable)?;
+    let budget = EnergyBudget::per_slot(scenario.e() * scenario.sensors() as f64);
+
+    let (policy, meta): (Box<dyn ActivationPolicy + Send + Sync>, SolveMeta) = match scenario
+        .policy()
+    {
+        PolicySpec::Greedy => {
+            let g = GreedyPolicy::optimize(&pmf, budget, &consumption).map_err(unsolvable)?;
+            let horizon = g.horizon();
+            let funded = (1..=horizon).filter(|&i| g.coefficient(i) > 0.0).count() as u64
+                + u64::from(g.coefficient(horizon + 1) > 0.0);
+            let meta = SolveMeta {
+                label: g.label(),
+                info: g.info_model(),
+                objective: Some(g.ideal_qom()),
+                discharge_rate: Some(g.discharge_rate()),
+                expected_cycle: None,
+                regions: None,
+                mean_gap: g.mean_gap(),
+                iterations: funded,
+            };
+            (Box::new(g), meta)
+        }
+        PolicySpec::Clustering => {
+            let (p, eval, candidates) = ClusteringOptimizer::new(budget)
+                .optimize_counted(&pmf, &consumption)
+                .map_err(unsolvable)?;
+            let meta = SolveMeta {
+                label: p.label(),
+                info: p.info_model(),
+                objective: Some(eval.capture_probability),
+                discharge_rate: Some(eval.discharge_rate),
+                expected_cycle: Some(eval.expected_cycle),
+                regions: Some(Regions {
+                    n1: p.n1(),
+                    n2: p.n2(),
+                    n3: p.n3(),
+                    boundary: p.boundary_coefficients(),
+                }),
+                mean_gap: pmf.mean(),
+                iterations: candidates,
+            };
+            (Box::new(p), meta)
+        }
+        PolicySpec::Aggressive => {
+            let p = AggressivePolicy::new();
+            let meta = SolveMeta {
+                label: p.label(),
+                info: p.info_model(),
+                objective: None,
+                discharge_rate: p.planned_discharge_rate(),
+                expected_cycle: None,
+                regions: None,
+                mean_gap: pmf.mean(),
+                iterations: 0,
+            };
+            (Box::new(p), meta)
+        }
+        PolicySpec::Periodic { theta1 } => {
+            let p = PeriodicPolicy::energy_balanced(theta1, budget, pmf.mean(), &consumption)
+                .map_err(unsolvable)?;
+            let meta = SolveMeta {
+                label: p.label(),
+                info: p.info_model(),
+                objective: None,
+                discharge_rate: p.planned_discharge_rate(),
+                expected_cycle: None,
+                regions: None,
+                mean_gap: pmf.mean(),
+                iterations: 0,
+            };
+            (Box::new(p), meta)
+        }
+        PolicySpec::Myopic => {
+            let window = (4.0 * pmf.mean()).ceil() as usize;
+            let p =
+                MyopicPolicy::derive(&pmf, budget, &consumption, window, EvalOptions::default())
+                    .map_err(unsolvable)?;
+            let eval = p.evaluation();
+            let meta = SolveMeta {
+                label: p.label(),
+                info: p.info_model(),
+                objective: Some(eval.capture_probability),
+                discharge_rate: Some(eval.discharge_rate),
+                expected_cycle: Some(eval.expected_cycle),
+                regions: None,
+                mean_gap: pmf.mean(),
+                iterations: window as u64,
+            };
+            (Box::new(p), meta)
+        }
+    };
+
+    let table = policy.table();
+    Ok(SolvedPolicy {
+        scenario: scenario.clone(),
+        pmf,
+        consumption,
+        policy,
+        table,
+        meta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for name in ["greedy", "clustering", "aggressive", "periodic", "myopic"] {
+            let p = PolicySpec::parse(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(PolicySpec::parse("zigzag").is_err());
+        assert_eq!(
+            PolicySpec::parse("periodic").unwrap(),
+            PolicySpec::Periodic { theta1: 3 }
+        );
+        assert_eq!(PolicySpec::Periodic { theta1: 5 }.key(), "periodic:5");
+    }
+
+    #[test]
+    fn canonical_key_collapses_spelling_variants() {
+        let a = Scenario::new("exponential:0.050", PolicySpec::Greedy, 0.2).unwrap();
+        let b = Scenario::new("exp:0.05", PolicySpec::Greedy, 0.2).unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = b
+            .clone()
+            .with_recharge("bernoulli:0.50,1.0")
+            .unwrap()
+            .with_recharge("bernoulli:0.5,1")
+            .unwrap();
+        assert_eq!(c.recharge(), "bernoulli:0.5,1");
+    }
+
+    #[test]
+    fn canonical_key_separates_different_scenarios() {
+        let base = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.5).unwrap();
+        let keys = [
+            base.canonical_key(),
+            base.clone().with_sensors(4).canonical_key(),
+            base.clone().with_horizon(4096).canonical_key(),
+            base.clone().with_costs(1.0, 8.0).canonical_key(),
+            Scenario::new("weibull:40,3", PolicySpec::Greedy, 0.5)
+                .unwrap()
+                .canonical_key(),
+        ];
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                if i != j {
+                    assert_ne!(keys[i], keys[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_produces_artifacts_for_every_family() {
+        for name in ["greedy", "clustering", "aggressive", "periodic", "myopic"] {
+            let policy = PolicySpec::parse(name).unwrap();
+            let s = Scenario::new("weibull:40,3", policy, 0.5)
+                .unwrap()
+                .with_horizon(4_096);
+            let solved = solve(&s).expect(name);
+            assert_eq!(solved.meta.label, solved.policy.label(), "{name}");
+            assert_eq!(solved.meta.info, solved.policy.info_model(), "{name}");
+            if let Some(table) = &solved.table {
+                for i in 1..=64 {
+                    assert_eq!(
+                        table.probability(i),
+                        solved.policy.probability(&DecisionContext::stationary(i)),
+                        "{name} state {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_artifact_matches_direct_optimization() {
+        let s = Scenario::new("weibull:40,3", PolicySpec::Greedy, 0.5)
+            .unwrap()
+            .with_horizon(4_096);
+        let solved = solve(&s).unwrap();
+        let pmf = parse_dist("weibull:40,3", 4_096).unwrap();
+        let direct = GreedyPolicy::optimize(
+            &pmf,
+            EnergyBudget::per_slot(0.5),
+            &ConsumptionModel::paper_defaults(),
+        )
+        .unwrap();
+        assert_eq!(solved.meta.objective, Some(direct.ideal_qom()));
+        assert_eq!(solved.meta.discharge_rate, Some(direct.discharge_rate()));
+        for i in 1..=128 {
+            assert_eq!(
+                solved.probability(i),
+                direct.probability(&DecisionContext::stationary(i)),
+                "state {i}"
+            );
+        }
+        assert!(solved.meta.iterations > 0, "greedy reports funded slots");
+    }
+
+    #[test]
+    fn clustering_artifact_reports_regions_and_candidates() {
+        let s = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.5)
+            .unwrap()
+            .with_horizon(4_096);
+        let solved = solve(&s).unwrap();
+        let r = solved.meta.regions.expect("clustering reports regions");
+        assert!(r.n1 <= r.n2 && r.n2 <= r.n3);
+        assert!(solved.meta.iterations > 0, "candidate evaluations counted");
+        assert!(solved.meta.objective.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unsolvable_scenarios_report_structured_errors() {
+        let bad_dist = Scenario::new("gauss:1,2", PolicySpec::Greedy, 0.5);
+        assert!(bad_dist.is_err());
+        let zero_budget = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.0)
+            .unwrap()
+            .with_horizon(1_024);
+        assert!(matches!(
+            solve(&zero_budget),
+            Err(SolveError::Unsolvable(_))
+        ));
+        let bad_costs = Scenario::new("weibull:40,3", PolicySpec::Greedy, 0.5)
+            .unwrap()
+            .with_costs(-1.0, 6.0);
+        assert!(matches!(solve(&bad_costs), Err(SolveError::Unsolvable(_))));
+    }
+}

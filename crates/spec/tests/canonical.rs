@@ -1,0 +1,125 @@
+//! Property tests for spec canonicalization (satellite of the pipeline
+//! unification): for every distribution and recharge family,
+//! canonicalization must be idempotent, and parsing the canonical spelling
+//! must produce a bit-identical artifact to parsing the original. These are
+//! the invariants the serve cache keys and `Scenario::canonical_key` lean
+//! on — two spellings of one scenario must never solve twice.
+
+use evcap_spec::{canonical_dist, canonical_recharge, parse_dist, parse_recharge};
+use proptest::prelude::*;
+
+const HORIZON: usize = 4096;
+
+/// Spec strings for one distribution across the spellings the parsers
+/// accept: plain, fixed-precision floats, and (for `exp`) the long alias.
+fn dist_spellings() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1.0..100.0f64, 0.5..5.0f64).prop_map(|(scale, shape)| format!("weibull:{scale},{shape}")),
+        (1.1..4.0f64, 1.0..50.0f64).prop_map(|(shape, scale)| format!("pareto:{shape},{scale}")),
+        (0.001..1.0f64).prop_map(|rate| format!("exp:{rate}")),
+        (0.001..1.0f64).prop_map(|rate| format!("exponential:{rate}")),
+        (0.001..1.0f64).prop_map(|rate| format!("exp:{rate:.6}")),
+        (0.05..0.95f64, 0.05..0.95f64).prop_map(|(a, b)| format!("markov:{a},{b}")),
+        (1.0..60.0f64, 2.0..90.0f64).prop_map(|(lo, hi)| format!("uniform:{lo},{}", lo + hi)),
+    ]
+}
+
+/// A superset of [`dist_spellings`] with whitespace padding — accepted by
+/// `canonical_dist` (which trims) though not by `parse_dist` directly, so
+/// only the idempotence property uses it.
+fn padded_dist_spellings() -> impl Strategy<Value = String> {
+    prop_oneof![
+        dist_spellings(),
+        (0.05..0.95f64, 0.05..0.95f64).prop_map(|(a, b)| format!(" markov: {a} , {b} ")),
+        (1.0..100.0f64, 0.5..5.0f64)
+            .prop_map(|(scale, shape)| format!("  weibull: {scale} ,{shape}")),
+    ]
+}
+
+fn recharge_spellings() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0.05..0.95f64, 0.1..5.0f64).prop_map(|(q, c)| format!("bernoulli:{q},{c}")),
+        (0.05..0.95f64, 0.1..5.0f64).prop_map(|(q, c)| format!("bernoulli:{q:.4},{c}")),
+        (0.1..10.0f64, 1.0..50.0f64).prop_map(|(c, p)| format!("periodic:{c},{}", p.ceil())),
+        (0.01..2.0f64).prop_map(|r| format!("constant:{r}")),
+        (0.0..1.0f64, 1.0..3.0f64).prop_map(|(lo, hi)| format!("uniformrand:{lo},{hi}")),
+    ]
+}
+
+/// Whitespace-padded recharge spellings, for idempotence only.
+fn padded_recharge_spellings() -> impl Strategy<Value = String> {
+    prop_oneof![
+        recharge_spellings(),
+        (0.05..0.95f64, 0.1..5.0f64).prop_map(|(q, c)| format!(" bernoulli: {q:.4} , {c} ")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `canonical_dist` is idempotent: canonicalizing a canonical spelling
+    /// is the identity.
+    #[test]
+    fn canonical_dist_is_idempotent(spec in padded_dist_spellings()) {
+        let once = canonical_dist(&spec).expect("generated specs are valid");
+        let twice = canonical_dist(&once).expect("canonical specs stay valid");
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// Parsing the canonical spelling yields the same pmf, bit for bit, as
+    /// parsing the original: same label, same horizon, same probabilities.
+    #[test]
+    fn canonical_dist_parses_bit_identical(spec in dist_spellings()) {
+        let canon = canonical_dist(&spec).expect("generated specs are valid");
+        let a = parse_dist(&spec, HORIZON).expect("original parses");
+        let b = parse_dist(&canon, HORIZON).expect("canonical parses");
+        prop_assert_eq!(a.label(), b.label());
+        prop_assert_eq!(a.horizon(), b.horizon());
+        prop_assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        for i in 1..=a.horizon() {
+            prop_assert_eq!(a.pmf(i).to_bits(), b.pmf(i).to_bits(), "pmf({}) differs", i);
+            prop_assert_eq!(a.hazard(i).to_bits(), b.hazard(i).to_bits(), "hazard({}) differs", i);
+        }
+    }
+
+    #[test]
+    fn canonical_recharge_is_idempotent(spec in padded_recharge_spellings()) {
+        let once = canonical_recharge(&spec).expect("generated specs are valid");
+        let twice = canonical_recharge(&once).expect("canonical specs stay valid");
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// Canonical recharge spellings construct the same process: identical
+    /// label and bit-identical mean rate.
+    #[test]
+    fn canonical_recharge_parses_bit_identical(spec in recharge_spellings()) {
+        let canon = canonical_recharge(&spec).expect("generated specs are valid");
+        let a = parse_recharge(&spec).expect("original parses");
+        let b = parse_recharge(&canon).expect("canonical parses");
+        prop_assert_eq!(a.label(), b.label());
+        prop_assert_eq!(a.mean_rate().to_bits(), b.mean_rate().to_bits());
+    }
+}
+
+/// The empirical (`trace:PATH`) family, deterministically: whitespace
+/// around the path canonicalizes away, and the canonical spelling parses
+/// the same file to the same pmf.
+#[test]
+fn trace_specs_canonicalize_and_round_trip() {
+    let path = std::env::temp_dir().join("evcap_spec_canonical_trace.txt");
+    std::fs::write(&path, "3\n5\n5\n7\n9\n4\n6\n").expect("temp trace file writes");
+    let padded = format!("trace: {} ", path.display());
+    let spec = format!("trace:{}", path.display());
+    let canon = canonical_dist(&padded).expect("trace specs canonicalize");
+    assert_eq!(canon, spec);
+    assert_eq!(canonical_dist(&canon).unwrap(), canon, "idempotent");
+
+    let a = parse_dist(&spec, 64).expect("original parses");
+    let b = parse_dist(&canon, 64).expect("canonical parses");
+    assert_eq!(a.label(), b.label());
+    assert_eq!(a.horizon(), b.horizon());
+    for i in 1..=a.horizon() {
+        assert_eq!(a.pmf(i).to_bits(), b.pmf(i).to_bits());
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -17,9 +17,32 @@
 //!   the clustering heuristic for partial information, the aggressive /
 //!   periodic / EBCW baselines, and multi-sensor coordination;
 //! * [`sim`] — the slotted simulator that plays policies against sampled
-//!   event timelines with real finite batteries.
+//!   event timelines with real finite batteries;
+//! * [`spec`] — the canonical scenario layer shared by the CLI, the serve
+//!   daemon, and the bench runners: parse a [`spec::Scenario`] from spec
+//!   strings, then [`spec::solve`] it into a [`spec::SolvedPolicy`] bundling
+//!   the discretized pmf, the optimized policy, its precompiled activation
+//!   table, and solve metadata.
 //!
 //! # Quickstart
+//!
+//! The scenario pipeline is the shortest path from a description to a
+//! solved policy:
+//!
+//! ```
+//! use evcap::spec::{solve, PolicySpec, Scenario};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::new("weibull:40,3", PolicySpec::Greedy, 0.5)?;
+//! let solved = solve(&scenario)?;
+//! // U(π*) ≈ 0.804 for Weibull(40, 3) at e = 0.5 with the paper's costs.
+//! assert!(solved.meta.objective.expect("greedy reports U(π*)") > 0.8);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The crates underneath stay directly usable when a caller needs more
+//! control than the spec layer exposes:
 //!
 //! ```
 //! use evcap::core::{EnergyBudget, GreedyPolicy};
@@ -57,3 +80,4 @@ pub use evcap_energy as energy;
 pub use evcap_lp as lp;
 pub use evcap_renewal as renewal;
 pub use evcap_sim as sim;
+pub use evcap_spec as spec;
