@@ -16,6 +16,8 @@
 //! Environment knobs: `CRITERION_WARMUP_MS`, `CRITERION_MEASURE_MS` (both
 //! integer milliseconds) shorten or lengthen runs, e.g. for CI smoke tests.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -11,6 +11,7 @@
 //!   so it can be replayed;
 //! * `*.proptest-regressions` files are ignored.
 
+#![forbid(unsafe_code)]
 // The doc example on `proptest!` necessarily shows `#[test]` inside the
 // macro invocation — that is the macro's real calling convention, and the
 // attribute is consumed by the macro, not by the doctest harness.

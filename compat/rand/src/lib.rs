@@ -18,6 +18,8 @@
 //! tests assert statistical bounds or same-seed reproducibility, never
 //! upstream-exact streams.
 
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 
 /// The object-safe core of a random number generator.

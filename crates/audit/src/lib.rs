@@ -1,0 +1,39 @@
+//! Static certification of solved activation policies.
+//!
+//! `spec::solve` is the workspace's only policy-construction site; this
+//! crate is the only *verifier* of what it produces. [`audit`] proves the
+//! paper's analytic invariants about a [`SolvedPolicy`](evcap_spec::SolvedPolicy)
+//! without running a single simulation slot:
+//!
+//! - **coefficient-range** — every activation coefficient is a probability.
+//! - **energy-feasibility** — LP (7)–(8): the expected per-renewal spend
+//!   `Σ ξ_i c_i` with `ξ_i = δ1(1−F(i−1)) + δ2 α_i` stays within `e·μ`
+//!   (full information), or the analytic discharge rate stays within `e`
+//!   (partial information).
+//! - **water-filling** — Theorem 1: greedy solutions are hazard-sorted
+//!   saturations with at most one fractional coefficient, and spend the
+//!   budget exactly when unsaturated.
+//! - **region-shape** — Eq. 11: clustering solutions have ordered
+//!   `1 ≤ n1 ≤ n2 ≤ n3` boundaries with zero coefficients in the cooling
+//!   regions.
+//! - **table-agreement** — the precompiled [`PolicyTable`](evcap_core::PolicyTable)
+//!   matches the boxed policy bit for bit on every explicit state and the
+//!   tail, including the `MAX_EXPLICIT_STATES` dynamic-dispatch fallback.
+//! - **objective-bound** — any reported objective is at most the analytic
+//!   QoM upper bound `U(π*_FI(e))`.
+//! - **meta-consistency** — the artifact's metadata describes the scenario
+//!   and policy it carries.
+//!
+//! Checks that do not apply to a policy family are reported as *skipped*,
+//! never dropped, so a clean report also documents what was proved. The
+//! certifier is wired into `evcap audit`, an opt-in `evcap serve`
+//! validation pass, a debug assertion inside `spec::solve`, and the CI
+//! corpus gate (`scripts/audit_corpus.sh`).
+
+#![forbid(unsafe_code)]
+
+mod checks;
+mod report;
+
+pub use checks::{audit, audit_with, AuditOptions};
+pub use report::{AuditReport, Check, Outcome};

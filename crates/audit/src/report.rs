@@ -1,0 +1,203 @@
+//! The audit verdict: a list of named invariant checks with outcomes.
+//!
+//! Every invariant the certifier knows about appears in the report exactly
+//! once, whether it passed, failed, or was skipped as not applicable to the
+//! policy family — so a clean report also documents *what* was proved.
+
+use std::fmt;
+
+use evcap_obs::JsonObject;
+
+/// How one invariant check concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The invariant holds.
+    Pass,
+    /// The invariant is violated; the artifact must be rejected.
+    Fail,
+    /// The invariant does not apply to this policy family (e.g. the
+    /// water-filling structure for a clustering policy).
+    Skipped,
+}
+
+impl Outcome {
+    /// Short lowercase form used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Pass => "pass",
+            Outcome::Fail => "fail",
+            Outcome::Skipped => "skipped",
+        }
+    }
+}
+
+/// One invariant check: a stable name, the outcome, and a human-readable
+/// detail line (for failures, the concrete numbers that broke it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Stable invariant name (`coefficient-range`, `energy-feasibility`,
+    /// `water-filling`, `region-shape`, `table-agreement`,
+    /// `objective-bound`, `meta-consistency`).
+    pub invariant: &'static str,
+    /// How the check concluded.
+    pub outcome: Outcome,
+    /// What was verified, or why it failed.
+    pub detail: String,
+}
+
+/// The result of auditing one `(Scenario, SolvedPolicy)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// The scenario's canonical cache identity.
+    pub scenario_key: String,
+    /// The policy family audited (wire name, e.g. `"greedy"`).
+    pub policy: String,
+    /// Every invariant check that ran.
+    pub checks: Vec<Check>,
+}
+
+impl AuditReport {
+    /// `true` when no check failed (skipped checks do not count against).
+    pub fn is_clean(&self) -> bool {
+        self.checks.iter().all(|c| c.outcome != Outcome::Fail)
+    }
+
+    /// The failed checks, in declaration order.
+    pub fn violations(&self) -> impl Iterator<Item = &Check> {
+        self.checks.iter().filter(|c| c.outcome == Outcome::Fail)
+    }
+
+    /// Looks up a check by invariant name.
+    pub fn check(&self, invariant: &str) -> Option<&Check> {
+        self.checks.iter().find(|c| c.invariant == invariant)
+    }
+
+    /// A flat JSON record (JSONL-friendly, parseable by
+    /// `evcap_obs::parse_line`): outcome counts plus a `violations` field
+    /// naming each failed invariant with its detail.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::with_type("audit");
+        obj.field_str("key", &self.scenario_key);
+        obj.field_str("policy", &self.policy);
+        obj.field_bool("clean", self.is_clean());
+        let passed = self
+            .checks
+            .iter()
+            .filter(|c| c.outcome == Outcome::Pass)
+            .count();
+        let skipped = self
+            .checks
+            .iter()
+            .filter(|c| c.outcome == Outcome::Skipped)
+            .count();
+        obj.field_usize("passed", passed);
+        obj.field_usize("skipped", skipped);
+        obj.field_usize("failed", self.checks.len() - passed - skipped);
+        let checked: Vec<&str> = self
+            .checks
+            .iter()
+            .filter(|c| c.outcome == Outcome::Pass)
+            .map(|c| c.invariant)
+            .collect();
+        obj.field_str("checked", &checked.join(","));
+        let violations: Vec<String> = self
+            .violations()
+            .map(|c| format!("{}: {}", c.invariant, c.detail))
+            .collect();
+        obj.field_str("violations", &violations.join("; "));
+        obj.finish()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "audit: {} ({})", self.scenario_key, self.policy)?;
+        for check in &self.checks {
+            writeln!(
+                f,
+                "  [{:>7}] {:<18} {}",
+                check.outcome.as_str(),
+                check.invariant,
+                check.detail
+            )?;
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.is_clean() {
+                "CERTIFIED"
+            } else {
+                "REJECTED"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evcap_obs::{parse_line, JsonValue};
+
+    fn sample() -> AuditReport {
+        AuditReport {
+            scenario_key: "greedy|det:7|…".to_owned(),
+            policy: "greedy".to_owned(),
+            checks: vec![
+                Check {
+                    invariant: "coefficient-range",
+                    outcome: Outcome::Pass,
+                    detail: "64 states sampled".to_owned(),
+                },
+                Check {
+                    invariant: "region-shape",
+                    outcome: Outcome::Skipped,
+                    detail: "not a clustering policy".to_owned(),
+                },
+                Check {
+                    invariant: "energy-feasibility",
+                    outcome: Outcome::Fail,
+                    detail: "spent 9.99 > budget 3.5".to_owned(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_and_violations_reflect_outcomes() {
+        let report = sample();
+        assert!(!report.is_clean());
+        let v: Vec<&str> = report.violations().map(|c| c.invariant).collect();
+        assert_eq!(v, ["energy-feasibility"]);
+        assert!(report.check("region-shape").is_some());
+        assert!(report.check("nonexistent").is_none());
+
+        let mut clean = report.clone();
+        clean.checks.retain(|c| c.outcome != Outcome::Fail);
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn json_round_trips_and_names_the_violation() {
+        let body = sample().to_json();
+        let v = parse_line(&body).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("audit"));
+        assert_eq!(v.get("clean").and_then(JsonValue::as_str), None);
+        assert_eq!(v.get("passed").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(v.get("failed").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(v.get("skipped").and_then(JsonValue::as_f64), Some(1.0));
+        let violations = v.get("violations").and_then(JsonValue::as_str).unwrap();
+        assert!(violations.contains("energy-feasibility"), "{violations}");
+    }
+
+    #[test]
+    fn display_renders_verdict() {
+        let text = sample().to_string();
+        assert!(text.contains("REJECTED"));
+        assert!(text.contains("energy-feasibility"));
+        let clean = AuditReport {
+            checks: vec![],
+            ..sample()
+        };
+        assert!(clean.to_string().contains("CERTIFIED"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Corpus gate: every artifact `spec::solve` produces across the full
+//! matrix of distribution families × policy families × cost regimes must
+//! certify cleanly.
+
+use evcap_audit::{audit, Outcome};
+use evcap_spec::{solve, PolicySpec, Scenario};
+
+const DISTS: &[&str] = &[
+    "exp:0.1",
+    "weibull:10,0.8",
+    "weibull:10,3",
+    "pareto:5,2.5",
+    "erlang:3,0.3",
+    "uniform:2,18",
+    "det:8",
+    "hyperexp:0.4,0.2,0.04",
+];
+
+const POLICIES: &[PolicySpec] = &[
+    PolicySpec::Greedy,
+    PolicySpec::Clustering,
+    PolicySpec::Aggressive,
+    PolicySpec::Periodic { theta1: 3 },
+    PolicySpec::Myopic,
+];
+
+/// `(e, δ1, δ2)` regimes: the paper's default, sensing-dominated, and
+/// capture-dominated costs under a tighter budget.
+const REGIMES: &[(f64, f64, f64)] = &[(0.2, 1.0, 6.0), (0.35, 2.0, 1.0), (0.05, 0.5, 12.0)];
+
+fn certify(scenario: &Scenario) {
+    let solved = match solve(scenario) {
+        Ok(s) => s,
+        Err(e) => panic!("solve failed for {}: {e}", scenario.canonical_key()),
+    };
+    let report = audit(scenario, &solved);
+    assert!(
+        report.is_clean(),
+        "audit rejected {}:\n{report}",
+        scenario.canonical_key()
+    );
+    // Every known invariant must appear in the report exactly once.
+    for name in [
+        "coefficient-range",
+        "energy-feasibility",
+        "water-filling",
+        "region-shape",
+        "table-agreement",
+        "objective-bound",
+        "meta-consistency",
+    ] {
+        assert!(report.check(name).is_some(), "missing invariant {name}");
+    }
+    assert_eq!(report.checks.len(), 7);
+}
+
+#[test]
+fn all_dist_families_certify_for_every_policy() {
+    for dist in DISTS {
+        for &policy in POLICIES {
+            let scenario = Scenario::new(dist, policy, 0.2)
+                .unwrap()
+                .with_horizon(2_048);
+            certify(&scenario);
+        }
+    }
+}
+
+#[test]
+fn cost_regimes_certify_for_every_policy() {
+    for &(e, d1, d2) in REGIMES {
+        for &policy in POLICIES {
+            let scenario = Scenario::new("weibull:12,1.5", policy, e)
+                .unwrap()
+                .with_costs(d1, d2)
+                .with_horizon(2_048);
+            certify(&scenario);
+        }
+    }
+}
+
+#[test]
+fn family_specific_invariants_actually_run() {
+    let greedy = Scenario::new("exp:0.1", PolicySpec::Greedy, 0.2)
+        .unwrap()
+        .with_horizon(1_024);
+    let solved = solve(&greedy).unwrap();
+    let report = audit(&greedy, &solved);
+    assert_eq!(
+        report.check("water-filling").unwrap().outcome,
+        Outcome::Pass
+    );
+    assert_eq!(
+        report.check("region-shape").unwrap().outcome,
+        Outcome::Skipped
+    );
+
+    let clustering = Scenario::new("exp:0.1", PolicySpec::Clustering, 0.2)
+        .unwrap()
+        .with_horizon(1_024);
+    let solved = solve(&clustering).unwrap();
+    let report = audit(&clustering, &solved);
+    assert_eq!(report.check("region-shape").unwrap().outcome, Outcome::Pass);
+    assert_eq!(
+        report.check("water-filling").unwrap().outcome,
+        Outcome::Skipped
+    );
+    assert_eq!(
+        report.check("objective-bound").unwrap().outcome,
+        Outcome::Pass
+    );
+}
+
+#[test]
+fn multi_sensor_scenarios_certify() {
+    for &policy in POLICIES {
+        let scenario = Scenario::new("exp:0.08", policy, 0.1)
+            .unwrap()
+            .with_sensors(4)
+            .with_horizon(1_024);
+        certify(&scenario);
+    }
+}

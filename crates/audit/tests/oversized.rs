@@ -1,0 +1,67 @@
+//! The `PolicyTable::MAX_EXPLICIT_STATES` fallback under audit.
+//!
+//! The region ablation's no-recovery variant pushes `n3` to `u32::MAX`;
+//! materializing that staircase literally would allocate tens of gigabytes,
+//! so `table()` refuses and the artifact serves through dynamic dispatch.
+//! The audit must certify such an artifact — verifying table/policy
+//! agreement on a sampled prefix instead of enumeration — without ever
+//! materializing the table either.
+
+use evcap_audit::{audit, Outcome};
+use evcap_core::{evaluate_partial_info, ActivationPolicy, ClusteringPolicy, EvalOptions};
+use evcap_spec::{solve, PolicySpec, Regions, Scenario};
+
+#[test]
+fn no_recovery_ablation_certifies_without_materializing_the_table() {
+    let scenario = Scenario::new("exp:0.1", PolicySpec::Clustering, 0.1)
+        .unwrap()
+        .with_horizon(1_024);
+    let mut solved = solve(&scenario).unwrap();
+    let base = solved.meta.regions.unwrap();
+
+    // The no-recovery ablation: same cooling/hot regions, recovery pushed
+    // out of reach.
+    let n3 = u32::MAX as usize;
+    let (q1, q2, _) = base.boundary;
+    let policy = ClusteringPolicy::new(base.n1, base.n2, n3, q1, q2, 1.0).unwrap();
+    assert!(
+        policy.table().is_none(),
+        "oversized staircase must not materialize"
+    );
+
+    let eval = evaluate_partial_info(
+        &solved.pmf,
+        |i| policy.probability(&evcap_core::DecisionContext::stationary(i)),
+        &solved.consumption,
+        EvalOptions::default(),
+    );
+    solved.meta.label = policy.label();
+    solved.meta.info = policy.info_model();
+    solved.meta.objective = Some(eval.capture_probability);
+    solved.meta.discharge_rate = Some(eval.discharge_rate);
+    solved.meta.expected_cycle = Some(eval.expected_cycle);
+    solved.meta.regions = Some(Regions {
+        n1: base.n1,
+        n2: base.n2,
+        n3,
+        boundary: (q1, q2, 1.0),
+    });
+    solved.table = policy.table();
+    solved.policy = Box::new(policy);
+
+    let report = audit(&scenario, &solved);
+    assert!(report.is_clean(), "{report}");
+    let table = report.check("table-agreement").unwrap();
+    assert_eq!(table.outcome, Outcome::Pass);
+    assert!(
+        table.detail.contains("dynamic dispatch"),
+        "fallback path not exercised: {}",
+        table.detail
+    );
+    assert_eq!(report.check("region-shape").unwrap().outcome, Outcome::Pass);
+
+    // Deep-tail states still answer through dispatch (and stay in the
+    // cooling region right up to the unreachable recovery boundary).
+    assert_eq!(solved.probability(n3 - 1), 0.0);
+    assert_eq!(solved.probability(n3 + 1), 1.0);
+}

@@ -6,6 +6,8 @@
 //! scale from integration tests, which assert the *shape* of each figure
 //! (orderings, convergence, crossovers) rather than absolute values.
 
+#![forbid(unsafe_code)]
+
 pub mod figure;
 pub mod perf;
 pub mod runners;

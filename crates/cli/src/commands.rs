@@ -27,6 +27,12 @@ COMMANDS:
              --dist SPEC --e RATE
              [--policy greedy|clustering|aggressive|periodic|myopic]
              [--theta1 N] [--delta1 X] [--delta2 Y] [--horizon H]
+  audit      solve a scenario and certify the artifact against the paper's
+             analytic invariants (exit 1 on violation)
+             --dist SPEC --e RATE
+             [--policy greedy|clustering|aggressive|periodic|myopic]
+             [--theta1 N] [--delta1 X] [--delta2 Y] [--horizon H]
+             [--sensors N] [--format text|json]
   simulate   run a policy against a finite-battery simulation
              --dist SPEC --policy greedy|clustering|aggressive|periodic|myopic
              [--e RATE] [--recharge SPEC] [--slots N] [--seed S] [--k CAP]
@@ -54,6 +60,8 @@ COMMANDS:
              [--addr HOST:PORT] [--threads N] [--cache-cap N] [--shards N]
              [--read-timeout-ms MS] [--coalesce-timeout-ms MS]
              [--max-slots N] [--access-log FILE.jsonl]
+             [--validate true]  audit artifacts before caching (500 on
+             violation)
   loadgen    benchmark a running server over keep-alive connections
              --addr HOST:PORT [--concurrency N] [--requests N]
              [--path /v1/solve] [--body JSON] [--timeout-ms MS]
@@ -176,6 +184,48 @@ pub fn optimize(args: &Args) -> CmdResult {
     );
     print_solved(&solved);
     Ok(())
+}
+
+/// `evcap audit`
+pub fn audit(args: &Args) -> CmdResult {
+    args.expect_only(&[
+        "dist", "e", "policy", "theta1", "delta1", "delta2", "horizon", "sensors", "format",
+    ])?;
+    let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
+    let sensors: usize = args.get_or("sensors", 1, "a sensor count")?;
+    let dist = args.require("dist")?;
+    let raw_e = args.require("e")?;
+    let e: f64 = raw_e.parse().map_err(|_| ArgsError::Invalid {
+        flag: "e".into(),
+        value: raw_e.into(),
+        expected: "a recharge rate",
+    })?;
+    let format = args.get("format").unwrap_or("text");
+    let (delta1, delta2) = costs_from(args)?;
+    let scenario = spec::Scenario::new(dist, policy_from(args, "greedy")?, e)?
+        .with_costs(delta1, delta2)
+        .with_horizon(horizon)
+        .with_sensors(sensors);
+    let solved = spec::solve(&scenario)?;
+    let report = evcap_audit::audit(&scenario, &solved);
+    match format {
+        "json" => println!("{}", report.to_json()),
+        "text" => println!("{report}"),
+        other => {
+            return Err(ArgsError::Invalid {
+                flag: "format".into(),
+                value: other.into(),
+                expected: "text or json",
+            }
+            .into())
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        let named: Vec<&str> = report.violations().map(|c| c.invariant).collect();
+        Err(format!("audit rejected the artifact ({})", named.join(", ")).into())
+    }
 }
 
 /// `evcap simulate`
@@ -600,14 +650,14 @@ pub fn bench_sim(args: &Args) -> CmdResult {
     );
     let _ = writeln!(
         doc,
-        "  \"single\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},",
+        "  \"single\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
         num(single_t.wall_seconds),
         num(single_t.sim_seconds),
         num(single_t.slots_per_second()),
     );
     let _ = write!(
         doc,
-        "  \"sequential\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},\n  \"batched\": [",
+        "  \"sequential\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},\n  \"batched\": [", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
         num(seq_t.wall_seconds),
         num(seq_t.sim_seconds),
         num(seq_t.slots_per_second()),
@@ -618,7 +668,7 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         }
         let _ = write!(
             doc,
-            "\n    {{\"threads\": {threads}, \"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}, \"speedup_vs_sequential\": {}}}",
+            "\n    {{\"threads\": {threads}, \"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}, \"speedup_vs_sequential\": {}}}", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
             num(t.wall_seconds),
             num(t.sim_seconds),
             num(t.slots_per_second()),
@@ -1070,6 +1120,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
     match args.command() {
         Some("hazards") => hazards(args),
         Some("optimize") => optimize(args),
+        Some("audit") => audit(args),
         Some("simulate") => simulate(args),
         Some("provision") => provision(args),
         Some("bench-sim") => bench_sim(args),

@@ -2,6 +2,8 @@
 //!
 //! Run `evcap help` for usage, or see the repository README.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 mod json;

@@ -23,6 +23,7 @@ pub fn serve(args: &Args) -> CmdResult {
         "coalesce-timeout-ms",
         "max-slots",
         "access-log",
+        "validate",
     ])?;
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7070").to_owned(),
@@ -41,6 +42,7 @@ pub fn serve(args: &Args) -> CmdResult {
         )?),
         max_slots: args.get_or("max-slots", 2_000_000u64, "a slot count")?,
         access_log: args.get("access-log").map(str::to_owned),
+        validate_artifacts: args.get_or("validate", false, "true or false")?,
         ..ServeConfig::default()
     };
     signal::install();
@@ -102,7 +104,7 @@ pub fn loadgen(args: &Args) -> CmdResult {
     let shares: Vec<u64> = (0..concurrency as u64)
         .map(|w| requests / concurrency as u64 + u64::from(w < requests % concurrency as u64))
         .collect();
-    let wall = Instant::now();
+    let wall = Instant::now(); // tidy:allow(instant-now): loadgen measures request latency directly
     let per_worker = parallel_map(shares, |share| {
         let mut samples: Vec<u64> = Vec::with_capacity(share as usize);
         let mut errors = 0u64;
@@ -111,7 +113,7 @@ pub fn loadgen(args: &Args) -> CmdResult {
             Err(_) => return (samples, share),
         };
         for _ in 0..share {
-            let start = Instant::now();
+            let start = Instant::now(); // tidy:allow(instant-now): loadgen measures request latency directly
             match conn.request(method, &path, &body) {
                 Ok(resp) if (200..300).contains(&resp.status) => {
                     samples.push(start.elapsed().as_nanos() as u64);

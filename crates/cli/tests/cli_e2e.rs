@@ -51,6 +51,51 @@ fn optimize_greedy_reports_qom() {
 }
 
 #[test]
+fn audit_certifies_each_family() {
+    for policy in ["greedy", "clustering", "aggressive", "periodic", "myopic"] {
+        let (ok, stdout, stderr) = run(&[
+            "audit",
+            "--dist",
+            "weibull:8,3",
+            "--e",
+            "0.3",
+            "--policy",
+            policy,
+            "--horizon",
+            "2048",
+        ]);
+        assert!(ok, "{policy}: {stdout}{stderr}");
+        assert!(stdout.contains("verdict: CERTIFIED"), "{policy}: {stdout}");
+        assert!(stdout.contains("coefficient-range"), "{policy}: {stdout}");
+    }
+}
+
+#[test]
+fn audit_json_is_flat_and_clean() {
+    let (ok, stdout, _) = run(&[
+        "audit",
+        "--dist",
+        "exp:0.1",
+        "--e",
+        "0.2",
+        "--format",
+        "json",
+        "--horizon",
+        "2048",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with("{\"type\":\"audit\""), "{stdout}");
+    assert!(stdout.contains("\"clean\":true"), "{stdout}");
+    assert!(stdout.contains("\"failed\":0"), "{stdout}");
+
+    let (ok, _, stderr) = run(&[
+        "audit", "--dist", "exp:0.1", "--e", "0.2", "--format", "xml",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("format"), "{stderr}");
+}
+
+#[test]
 fn simulate_small_run_succeeds() {
     let (ok, stdout, _) = run(&[
         "simulate",

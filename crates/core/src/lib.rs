@@ -53,6 +53,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod baselines;
 mod clustering;
 mod dual;

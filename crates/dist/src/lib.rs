@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod alias;
 mod continuous;
 mod discretize;

@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod simplex;
 
 pub use simplex::{LpError, Problem, Relation, Solution};

@@ -15,6 +15,8 @@
 //! hot paths (LP solves, clustering searches, simulation slots); [`jsonl`]
 //! streams every record type to disk as one JSON object per line.
 
+#![forbid(unsafe_code)]
+
 mod convergence;
 mod histogram;
 mod latency;

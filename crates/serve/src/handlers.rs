@@ -12,7 +12,7 @@
 //! construction.
 
 use evcap_core::SlotAssignment;
-use evcap_energy::Energy;
+use evcap_energy::{Energy, RechargeProcess};
 use evcap_obs::JsonObject;
 use evcap_sim::{ReplicationBatch, Simulation};
 use evcap_spec::{PolicySpec, Scenario, SolvedPolicy};
@@ -22,6 +22,33 @@ use crate::scenario::{ApiError, SimulateScenario, SolveScenario};
 /// Most activation coefficients included in a solve response (the full
 /// vector can be 10⁶ entries; clients wanting more lower the horizon).
 const MAX_COEFFICIENTS: usize = 512;
+
+/// Inert recharge returned on the *unreachable* re-parse error path inside
+/// the per-sensor factories: the spec string was validated at request
+/// entry, and `parse_recharge` is deterministic, so this can only surface
+/// if the spec layer itself breaks — in which case a sensor that never
+/// recharges shows up plainly in the results instead of a panic killing a
+/// worker thread (request paths must not panic).
+struct DeadRecharge;
+
+impl RechargeProcess for DeadRecharge {
+    fn next(&mut self, _rng: &mut dyn rand::RngCore) -> Energy {
+        Energy::ZERO
+    }
+    fn mean_rate(&self) -> f64 {
+        0.0
+    }
+    fn label(&self) -> String {
+        "dead(unreachable re-parse failure)".to_owned()
+    }
+    fn reset(&mut self) {}
+}
+
+/// Builds one sensor's recharge process from an already-validated spec,
+/// without a panic path.
+fn recharge_process(spec: &str) -> Box<dyn RechargeProcess> {
+    evcap_spec::parse_recharge(spec).unwrap_or_else(|_| Box::new(DeadRecharge))
+}
 
 /// Solves a canonical scenario into a reusable artifact.
 ///
@@ -103,8 +130,7 @@ pub fn simulate(s: &SimulateScenario, solved: &SolvedPolicy) -> Result<String, A
     // turn domain failures into a 422 before any sensor asks for a process.
     evcap_spec::parse_recharge(sc.recharge())
         .map_err(|e| ApiError::unprocessable(e.to_string()))?;
-    let mut make_recharge =
-        |_: usize| evcap_spec::parse_recharge(sc.recharge()).expect("validated above");
+    let mut make_recharge = |_: usize| recharge_process(sc.recharge());
     let mut builder = Simulation::builder(pmf)
         .slots(s.slots)
         .seed(s.seed)
@@ -125,9 +151,7 @@ pub fn simulate(s: &SimulateScenario, solved: &SolvedPolicy) -> Result<String, A
             .precompiled(solved.table.clone());
         let seeds = batch.seeds();
         let report = batch
-            .run(solved.policy.as_ref(), &|_| {
-                evcap_spec::parse_recharge(sc.recharge()).expect("validated above")
-            })
+            .run(solved.policy.as_ref(), &|_| recharge_process(sc.recharge()))
             .map_err(|e| ApiError::unprocessable(e.to_string()))?;
         let mut obj = JsonObject::with_type("simulate");
         obj.field_str("policy", sc.policy().name());

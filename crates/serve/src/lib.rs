@@ -18,6 +18,10 @@
 //! computation ("single-flight" coalescing) — N clients asking for the
 //! same Weibull policy cost one LP solve, not N.
 
+// `forbid` would reject the signal shim's module-level `allow`, so the
+// crate denies and the shim alone opts out (tidy checks the pairing).
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod client;
 pub mod handlers;
@@ -25,6 +29,7 @@ pub mod http;
 pub mod metrics;
 pub mod scenario;
 pub mod server;
+#[allow(unsafe_code)] // tidy:allow(unsafe): the signal(2) FFI shim
 pub mod signal;
 
 pub use cache::{Fetch, Lru, ShardedCache, StatsSnapshot};

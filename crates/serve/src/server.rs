@@ -49,6 +49,11 @@ pub struct ServeConfig {
     pub max_slots: u64,
     /// Optional JSONL access-log path (one `request` record per request).
     pub access_log: Option<String>,
+    /// Audit every freshly solved artifact against the paper's analytic
+    /// invariants (`evcap-audit`) before it enters the artifact cache.
+    /// A violation answers 500 and — like every compute failure — is never
+    /// cached, so a fixed solver serves clean artifacts immediately.
+    pub validate_artifacts: bool,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +68,7 @@ impl Default for ServeConfig {
             coalesce_timeout: Duration::from_secs(30),
             max_slots: 2_000_000,
             access_log: None,
+            validate_artifacts: false,
         }
     }
 }
@@ -125,7 +131,7 @@ impl Server {
                 Ok(std::thread::Builder::new()
                     .name(format!("evcap-serve-{i}"))
                     .spawn(move || worker_loop(&listener, &shared))
-                    .expect("spawn worker thread"))
+                    .expect("spawn worker thread")) // tidy:allow(serve-unwrap): startup path: failing to spawn the pool aborts boot, no request in flight
             })
             .collect::<io::Result<Vec<_>>>()?;
         Ok(Server {
@@ -247,7 +253,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Err(ReadError::Closed | ReadError::Timeout | ReadError::Io(_)) => return,
         };
 
-        let start = Instant::now();
+        let start = Instant::now(); // tidy:allow(instant-now): access-log latency stamp
         let (status, body, cache) = route(&request, shared);
         let stopping = shared.shutdown.load(Ordering::SeqCst);
         let keep_alive = request.keep_alive && !stopping;
@@ -308,7 +314,7 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
                     shared
                         .solve_cache
                         .get_or_compute(&key, shared.config.coalesce_timeout, || {
-                            let t = Instant::now();
+                            let t = Instant::now(); // tidy:allow(instant-now): access-log latency stamp
                             let result = artifact(shared, &s.scenario)
                                 .map(|a| handlers::render_solve(&s, &a));
                             shared.metrics.solve_latency.observe(t.elapsed());
@@ -365,7 +371,24 @@ fn artifact(
     let fetch = shared
         .artifact_cache
         .get_or_compute(&key, shared.config.coalesce_timeout, || {
-            handlers::solve_artifact(scenario).map(Arc::new)
+            let solved = handlers::solve_artifact(scenario)?;
+            if shared.config.validate_artifacts {
+                let report = evcap_audit::audit(scenario, &solved);
+                if !report.is_clean() {
+                    let named: Vec<String> = report
+                        .violations()
+                        .map(|c| format!("{}: {}", c.invariant, c.detail))
+                        .collect();
+                    // A Failed fetch is never cached, so a rejected
+                    // artifact cannot poison either cache tier.
+                    return Err(ApiError {
+                        status: 500,
+                        kind: "artifact_rejected",
+                        message: format!("artifact failed certification ({})", named.join("; ")),
+                    });
+                }
+            }
+            Ok(Arc::new(solved))
         });
     match fetch {
         Fetch::Hit(a) | Fetch::Computed(a) | Fetch::Coalesced(a) => Ok(a),

@@ -1,0 +1,129 @@
+//! Socket-level coverage for the opt-in artifact validation pass and for
+//! the no-panic guarantee on request paths.
+//!
+//! A worker thread that panics closes its connection without a response —
+//! so every test here drives *multiple* requests through *one* connection:
+//! if a malformed body had killed the worker, the follow-up request on the
+//! same socket would fail instead of answering.
+
+use std::time::Duration;
+
+use evcap_obs::{parse_line, JsonValue};
+use evcap_serve::client::{self, Conn};
+use evcap_serve::{ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn validating_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        cache_cap: 64,
+        shards: 4,
+        read_timeout: Duration::from_millis(500),
+        coalesce_timeout: Duration::from_secs(20),
+        max_slots: 500_000,
+        validate_artifacts: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn metric(server: &Server, name: &str) -> f64 {
+    let resp = client::get(server.local_addr(), "/metrics", TIMEOUT).expect("GET /metrics");
+    let v = parse_line(&resp.text()).expect("metrics body parses");
+    v.get(name)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("metrics has no `{name}`: {}", resp.text()))
+}
+
+#[test]
+fn validation_certifies_clean_artifacts_and_still_caches() {
+    let server = Server::start(validating_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+
+    // Every family must pass certification end to end under --validate.
+    for policy in ["greedy", "clustering", "aggressive", "periodic", "myopic"] {
+        let body =
+            format!(r#"{{"dist":"weibull:20,2","e":0.2,"policy":"{policy}","horizon":4096}}"#);
+        let resp = conn
+            .request("POST", "/v1/solve", body.as_bytes())
+            .expect("solve");
+        assert_eq!(resp.status, 200, "{policy}: {}", resp.text());
+    }
+
+    // Validation runs once per artifact, not per request: a simulate on an
+    // already-certified scenario is an artifact-cache hit.
+    let body = br#"{"dist":"weibull:20,2","e":0.2,"policy":"greedy","horizon":4096,"slots":2000,"seed":7}"#;
+    let resp = conn
+        .request("POST", "/v1/simulate", body)
+        .expect("simulate");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(metric(&server, "artifact_cache_misses"), 5.0);
+    assert!(metric(&server, "artifact_cache_hits") >= 1.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_never_kill_the_worker() {
+    let server = Server::start(validating_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+
+    // Not JSON at all.
+    let resp = conn
+        .request("POST", "/v1/solve", b"this is not json")
+        .expect("connection must survive");
+    assert_eq!(resp.status, 400);
+    let v = parse_line(&resp.text()).expect("structured error body");
+    assert_eq!(
+        v.get("kind").and_then(JsonValue::as_str),
+        Some("invalid_json")
+    );
+
+    // Canonicalizes, but the recharge parameter domain is invalid (a
+    // Bernoulli probability above 1): the request path that used to
+    // `expect()` after validation must answer 422, not panic.
+    let resp = conn
+        .request(
+            "POST",
+            "/v1/simulate",
+            br#"{"dist":"exp:0.1","e":0.2,"policy":"greedy","recharge":"bernoulli:1.5,1","slots":1000,"horizon":2048}"#,
+        )
+        .expect("connection must survive");
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    let v = parse_line(&resp.text()).expect("structured error body");
+    assert_eq!(
+        v.get("kind").and_then(JsonValue::as_str),
+        Some("unsolvable")
+    );
+
+    // A zero budget is rejected at the validation layer with a structured
+    // 400 — it never reaches the optimizer or the certifier.
+    let resp = conn
+        .request(
+            "POST",
+            "/v1/solve",
+            br#"{"dist":"exp:0.1","e":0.0,"policy":"greedy","horizon":2048}"#,
+        )
+        .expect("connection must survive");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    // The same connection still serves a normal request afterwards — no
+    // worker died along the way.
+    let resp = conn
+        .request(
+            "POST",
+            "/v1/solve",
+            br#"{"dist":"exp:0.1","e":0.2,"horizon":2048}"#,
+        )
+        .expect("connection must survive");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // Compute failures (including any validation rejection) are never
+    // cached: the failed solve above was not stored.
+    assert_eq!(metric(&server, "solve_cache_hits"), 0.0);
+
+    server.shutdown();
+}

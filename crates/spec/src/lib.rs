@@ -23,6 +23,8 @@
 //! [`Scenario::canonical_key`] gives every layer one cache identity per
 //! solve.
 
+#![forbid(unsafe_code)]
+
 mod parse;
 mod scenario;
 

@@ -497,14 +497,64 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
     };
 
     let table = policy.table();
-    Ok(SolvedPolicy {
+    let solved = SolvedPolicy {
         scenario: scenario.clone(),
         pmf,
         consumption,
         policy,
         table,
         meta,
-    })
+    };
+    #[cfg(debug_assertions)]
+    debug_validate(&solved);
+    Ok(solved)
+}
+
+/// Structural self-check run on every debug-build solve.
+///
+/// The full analytic certifier lives in `evcap-audit` — which depends on
+/// this crate, so it cannot run here. This hook catches the cheap,
+/// unambiguous corruptions at the construction site itself: out-of-range
+/// coefficients, table/policy disagreement on a sampled prefix, and
+/// unordered region boundaries. Release builds skip it entirely.
+#[cfg(debug_assertions)]
+fn debug_validate(solved: &SolvedPolicy) {
+    let prefix = solved.pmf.horizon().min(512);
+    for state in 1..=prefix {
+        let c = solved.probability(state);
+        debug_assert!(
+            c.is_finite() && (0.0..=1.0).contains(&c),
+            "solve produced a non-probability coefficient c_{state} = {c}"
+        );
+    }
+    if let Some(table) = &solved.table {
+        let explicit = table.explicit_states();
+        let samples = [
+            1,
+            explicit.div_ceil(2).max(1),
+            explicit.max(1),
+            explicit + 1,
+        ];
+        for state in samples {
+            let t = table.probability(state);
+            let p = solved
+                .policy
+                .probability(&DecisionContext::stationary(state));
+            debug_assert!(
+                t.to_bits() == p.to_bits(),
+                "precompiled table disagrees with the policy at state {state}: {t} vs {p}"
+            );
+        }
+    }
+    if let Some(r) = &solved.meta.regions {
+        debug_assert!(
+            r.n1 >= 1 && r.n1 <= r.n2 && r.n2 <= r.n3,
+            "solve produced unordered region boundaries n1={} n2={} n3={}",
+            r.n1,
+            r.n2,
+            r.n3
+        );
+    }
 }
 
 #[cfg(test)]

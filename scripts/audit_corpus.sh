@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Certify a corpus of solved artifacts and emit AUDIT_report.jsonl: every
+# distribution family crossed with every policy at the default cost model,
+# plus a cost-regime sweep on one family. Each line of the report is the
+# flat JSON audit record for one (scenario, policy) pair; the script fails
+# if any artifact is rejected.
+#
+# Usage: scripts/audit_corpus.sh [path-to-evcap-binary]
+#
+# Environment overrides (defaults match crates/audit/tests/corpus.rs):
+#   AUDIT_DISTS     space-separated dist specs
+#   AUDIT_POLICIES  space-separated policies   (default: all five)
+#   AUDIT_HORIZON   slot horizon               (default 2048)
+#   AUDIT_OUT       output JSONL path          (default AUDIT_report.jsonl)
+set -euo pipefail
+
+EVCAP="${1:-target/release/evcap}"
+if [ ! -x "$EVCAP" ]; then
+  echo "building release binary ($EVCAP not found)"
+  cargo build --release -p evcap-cli
+fi
+
+DISTS="${AUDIT_DISTS:-exp:0.1 weibull:10,0.8 weibull:10,3 pareto:5,2.5 erlang:3,0.3 uniform:2,18 det:8 hyperexp:0.4,0.2,0.04}"
+POLICIES="${AUDIT_POLICIES:-greedy clustering aggressive periodic myopic}"
+HORIZON="${AUDIT_HORIZON:-2048}"
+OUT="${AUDIT_OUT:-AUDIT_report.jsonl}"
+
+: > "$OUT"
+total=0
+rejected=0
+
+certify() { # certify <dist> <e> <policy> [extra flags...]
+  local dist="$1" e="$2" policy="$3"
+  shift 3
+  total=$((total + 1))
+  local line
+  if line=$("$EVCAP" audit --dist "$dist" --e "$e" --policy "$policy" \
+      --horizon "$HORIZON" --format json "$@" 2>/dev/null); then
+    :
+  else
+    rejected=$((rejected + 1))
+    echo "REJECTED: $dist e=$e $policy $*"
+  fi
+  [ -n "$line" ] && printf '%s\n' "$line" >> "$OUT"
+}
+
+# Every family x every policy at the default cost model.
+for dist in $DISTS; do
+  for policy in $POLICIES; do
+    certify "$dist" 0.2 "$policy"
+  done
+done
+
+# Cost regimes on one family: cheap-sensing/expensive-capture, the
+# inverse, and a tight energy budget.
+for regime in "0.2 1 6" "0.35 2 1" "0.05 0.5 12"; do
+  set -- $regime
+  for policy in $POLICIES; do
+    certify "weibull:12,1.5" "$1" "$policy" --delta1 "$2" --delta2 "$3"
+  done
+done
+
+echo "audited $total artifacts, $rejected rejected -> $OUT"
+# Belt and braces: the report itself must not record a failure, so a stale
+# or truncated file can't masquerade as a pass.
+if grep -q '"clean": false' "$OUT"; then
+  echo "FAIL: $OUT records an unclean artifact"
+  exit 1
+fi
+[ "$rejected" -eq 0 ] || exit 1
+echo "OK: $OUT"

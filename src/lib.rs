@@ -74,6 +74,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use evcap_core as core;
 pub use evcap_dist as dist;
 pub use evcap_energy as energy;
