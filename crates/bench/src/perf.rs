@@ -24,8 +24,8 @@ pub struct Throughput {
     /// Total slots simulated (the `sim.slots` counter).
     pub slots: u64,
     /// CPU-seconds spent inside the engine loop (the `sim.run` span,
-    /// summed across simulations and threads).
-    pub sim_seconds: f64,
+    /// summed across simulations and threads — *not* wall time).
+    pub cpu_seconds: f64,
     /// Wall-clock seconds of the whole runner, including optimization.
     pub wall_seconds: f64,
     /// Number of simulation runs (the `sim.run` call count).
@@ -33,10 +33,21 @@ pub struct Throughput {
 }
 
 impl Throughput {
-    /// Per-core engine throughput in slots per second.
+    /// Per-core engine throughput in slots per second (CPU-time based, so
+    /// it is stable under `parallel_map` fan-out).
     pub fn slots_per_second(&self) -> f64 {
-        if self.sim_seconds > 0.0 {
-            self.slots as f64 / self.sim_seconds
+        if self.cpu_seconds > 0.0 {
+            self.slots as f64 / self.cpu_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate throughput in slots per wall-clock second — the number
+    /// that actually improves when a batch fans out across threads.
+    pub fn wall_slots_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.slots as f64 / self.wall_seconds
         } else {
             0.0
         }
@@ -48,9 +59,10 @@ impl Throughput {
         obj.field_str("label", label);
         obj.field_u64("slots", self.slots);
         obj.field_u64("runs", self.runs);
-        obj.field_f64("sim_seconds", self.sim_seconds);
+        obj.field_f64("cpu_seconds", self.cpu_seconds);
         obj.field_f64("wall_seconds", self.wall_seconds);
         obj.field_f64("slots_per_second", self.slots_per_second());
+        obj.field_f64("wall_slots_per_second", self.wall_slots_per_second());
         obj
     }
 }
@@ -77,7 +89,7 @@ pub fn measured<R>(f: impl FnOnce() -> R) -> (R, Option<Throughput>) {
         .map_or(0, |&(_, n)| n);
     let throughput = run_span.map(|(_, stats)| Throughput {
         slots,
-        sim_seconds: stats.total_ns as f64 / 1e9,
+        cpu_seconds: stats.total_ns as f64 / 1e9,
         wall_seconds,
         runs: stats.count,
     });
@@ -90,21 +102,21 @@ pub fn measured<R>(f: impl FnOnce() -> R) -> (R, Option<Throughput>) {
 pub fn with_throughput<R>(label: &str, f: impl FnOnce() -> R) -> R {
     let (result, throughput) = measured(f);
     if let Some(t) = throughput {
-        eprintln!(
-            "# perf {label}: {} slots in {} runs, sim {:.2} s, {:.2} M slots/sec/core, wall {:.2} s",
+        eprintln!( // tidy:allow(print): perf reports go to stderr by design (stdout carries figure tables)
+            "# perf {label}: {} slots in {} runs, cpu {:.2} s, {:.2} M slots/sec/core, wall {:.2} s",
             t.slots,
             t.runs,
-            t.sim_seconds,
+            t.cpu_seconds,
             t.slots_per_second() / 1e6,
             t.wall_seconds,
         );
         if let Ok(path) = std::env::var("EVCAP_PERF_LOG") {
             if let Err(err) = append_record(&path, t.record(label)) {
-                eprintln!("# perf {label}: cannot append to {path}: {err}");
+                eprintln!("# perf {label}: cannot append to {path}: {err}"); // tidy:allow(print): perf reports go to stderr by design
             }
         }
     } else {
-        eprintln!("# perf {label}: no simulation ran, wall only");
+        eprintln!("# perf {label}: no simulation ran, wall only"); // tidy:allow(print): perf reports go to stderr by design
     }
     result
 }
@@ -193,7 +205,7 @@ impl LatencySummary {
 /// Reports a loadgen run the same way `with_throughput` reports figure
 /// runners: one line on stderr plus an `EVCAP_PERF_LOG` append when set.
 pub fn report_loadgen(label: &str, summary: &LatencySummary) {
-    eprintln!(
+    eprintln!( // tidy:allow(print): perf reports go to stderr by design (stdout carries figure tables)
         "# perf {label}: {} requests ({} errors) in {:.2} s, {:.0} req/s, p50 {:.0} µs, p99 {:.0} µs",
         summary.count,
         summary.errors,
@@ -204,7 +216,7 @@ pub fn report_loadgen(label: &str, summary: &LatencySummary) {
     );
     if let Ok(path) = std::env::var("EVCAP_PERF_LOG") {
         if let Err(err) = append_record(&path, summary.record(label)) {
-            eprintln!("# perf {label}: cannot append to {path}: {err}");
+            eprintln!("# perf {label}: cannot append to {path}: {err}"); // tidy:allow(print): perf reports go to stderr by design
         }
     }
 }
@@ -243,9 +255,10 @@ mod tests {
         let t = t.expect("one simulation ran");
         assert_eq!(t.slots, 10_000);
         assert_eq!(t.runs, 1);
-        assert!(t.sim_seconds > 0.0);
-        assert!(t.wall_seconds >= t.sim_seconds * 0.5, "wall covers the run");
+        assert!(t.cpu_seconds > 0.0);
+        assert!(t.wall_seconds >= t.cpu_seconds * 0.5, "wall covers the run");
         assert!(t.slots_per_second() > 0.0);
+        assert!(t.wall_slots_per_second() > 0.0);
     }
 
     #[test]

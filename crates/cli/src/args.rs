@@ -7,6 +7,11 @@ use std::fmt;
 /// global: every subcommand accepts them.
 const SWITCHES: &[&str] = &["verbose", "quiet"];
 
+/// Per-command flags that take no value (`--tree`). Unlike [`SWITCHES`]
+/// they are not global: a subcommand must still list them in
+/// `expect_only` to accept them.
+const VALUELESS: &[&str] = &["tree"];
+
 /// Output verbosity selected by the global `--verbose`/`--quiet` switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Verbosity {
@@ -83,7 +88,9 @@ impl Args {
             if let Some(flag) = token.strip_prefix("--") {
                 let (name, value) = match flag.split_once('=') {
                     Some((n, v)) => (n.to_owned(), v.to_owned()),
-                    None if SWITCHES.contains(&flag) => (flag.to_owned(), "true".to_owned()),
+                    None if SWITCHES.contains(&flag) || VALUELESS.contains(&flag) => {
+                        (flag.to_owned(), "true".to_owned())
+                    }
                     None => {
                         let value = iter
                             .next()

@@ -48,23 +48,30 @@ COMMANDS:
   figure     regenerate a paper figure (fig3a fig3b fig4a fig4b fig5a fig5b
              fig6a fig6b) or ablation (regions load-balance refined
              coordination outage)   [--quick true] [--svg out.svg]
-  trace      summarize an observability JSONL file written by --obs-out
-             or EVCAP_PERF_LOG
+  trace      summarize an observability JSONL file written by --obs-out,
+             EVCAP_PERF_LOG, or serve --access-log
              FILE.jsonl [--kind all|counters|qom|battery|gaps|idle|spans|perf]
+             [--tree] render per-request span trees from trace_span records
+             [--trace-id ID] narrow --tree to one request
   bench-sim  measure engine throughput: single run, sequential replication
              loop, and batched replications at several thread counts
              [--dist SPEC] [--slots N] [--replications R]
              [--threads-list 1,4,8] [--seed S] [--k CAP] [--out FILE.json]
   serve      run the policy server (POST /v1/solve, POST /v1/simulate,
-             GET /healthz, GET /metrics) until SIGINT/SIGTERM
+             GET /healthz, GET /metrics, GET /debug/recent) until
+             SIGINT/SIGTERM
              [--addr HOST:PORT] [--threads N] [--cache-cap N] [--shards N]
              [--read-timeout-ms MS] [--coalesce-timeout-ms MS]
              [--max-slots N] [--access-log FILE.jsonl]
              [--validate true]  audit artifacts before caching (500 on
              violation)
+             [--trace false]  disable per-request span collection
+             [--recent N]  flight-recorder capacity (default 64)
+             [--slow-ms MS]  dump span trees of slow requests (0 = off)
   loadgen    benchmark a running server over keep-alive connections
              --addr HOST:PORT [--concurrency N] [--requests N]
              [--path /v1/solve] [--body JSON] [--timeout-ms MS]
+             [--hist-out FILE.jsonl]  dump the latency histogram
   help       show this message
 
 GLOBAL FLAGS:
@@ -648,19 +655,23 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         doc,
         "{{\n  \"bench\": \"sim\",\n  \"dist\": \"{dist_spec}\",\n  \"slots\": {slots},\n  \"replications\": {replications},\n  \"seed\": {seed},\n  \"threads_available\": {threads_available},\n  \"deterministic_across_threads\": {deterministic},\n"
     );
+    // Throughput here is slots per *wall* second: the batched runs sum
+    // engine time across worker threads, so a CPU-time rate would not move
+    // with the thread count at all. The summed engine time is reported
+    // under its honest name, `cpu_seconds`.
     let _ = writeln!(
         doc,
-        "  \"single\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
+        "  \"single\": {{\"wall_seconds\": {}, \"cpu_seconds\": {}, \"slots_per_second\": {}}},", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
         num(single_t.wall_seconds),
-        num(single_t.sim_seconds),
-        num(single_t.slots_per_second()),
+        num(single_t.cpu_seconds),
+        num(single_t.wall_slots_per_second()),
     );
     let _ = write!(
         doc,
-        "  \"sequential\": {{\"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}}},\n  \"batched\": [", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
+        "  \"sequential\": {{\"wall_seconds\": {}, \"cpu_seconds\": {}, \"slots_per_second\": {}}},\n  \"batched\": [", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
         num(seq_t.wall_seconds),
-        num(seq_t.sim_seconds),
-        num(seq_t.slots_per_second()),
+        num(seq_t.cpu_seconds),
+        num(seq_t.wall_slots_per_second()),
     );
     for (i, (threads, t)) in batched.iter().enumerate() {
         if i > 0 {
@@ -668,10 +679,10 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         }
         let _ = write!(
             doc,
-            "\n    {{\"threads\": {threads}, \"wall_seconds\": {}, \"sim_seconds\": {}, \"slots_per_second\": {}, \"speedup_vs_sequential\": {}}}", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
+            "\n    {{\"threads\": {threads}, \"wall_seconds\": {}, \"cpu_seconds\": {}, \"slots_per_second\": {}, \"speedup_vs_sequential\": {}}}", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
             num(t.wall_seconds),
-            num(t.sim_seconds),
-            num(t.slots_per_second()),
+            num(t.cpu_seconds),
+            num(t.wall_slots_per_second()),
             num(seq_t.wall_seconds / t.wall_seconds),
         );
     }
@@ -684,7 +695,7 @@ pub fn bench_sim(args: &Args) -> CmdResult {
     println!("threads avail: {threads_available}");
     println!(
         "single run   : {:.2} M slots/s  ({:.3} s wall)",
-        single_t.slots_per_second() / 1e6,
+        single_t.wall_slots_per_second() / 1e6,
         single_t.wall_seconds
     );
     println!(
@@ -902,10 +913,16 @@ pub fn figure(args: &Args) -> CmdResult {
 pub fn trace(args: &Args) -> CmdResult {
     use evcap_obs::{parse_line, JsonValue};
 
-    args.expect_only(&["kind"])?;
+    args.expect_only(&["kind", "tree", "trace-id"])?;
     let Some(path) = args.positional().first() else {
         return Err("pass a JSONL file, e.g. `evcap trace run.jsonl`".into());
     };
+    if args.get("tree").is_some() {
+        return trace_tree(path, args.get("trace-id"));
+    }
+    if args.get("trace-id").is_some() {
+        return Err("`--trace-id` only applies with `--tree`".into());
+    }
     let kind = args.get("kind").unwrap_or("all");
     let known = [
         "all", "counters", "qom", "battery", "gaps", "idle", "spans", "perf",
@@ -1086,10 +1103,10 @@ pub fn trace(args: &Args) -> CmdResult {
                     .and_then(JsonValue::as_str)
                     .unwrap_or("?");
                 println!(
-                    "throughput {label}: {} slots in {} runs, sim {:.2} s, {:.2} M slots/sec",
+                    "throughput {label}: {} slots in {} runs, cpu {:.2} s, {:.2} M slots/sec/core",
                     u("slots"),
                     u("runs"),
-                    f("sim_seconds"),
+                    f("cpu_seconds"),
                     f("slots_per_second") / 1e6
                 );
                 shown += 1;
@@ -1111,6 +1128,112 @@ pub fn trace(args: &Args) -> CmdResult {
     }
     if shown == 0 {
         println!("no matching records in {path}");
+    }
+    Ok(())
+}
+
+/// `evcap trace --tree` — reconstruct per-request span trees from the
+/// `trace_span` records in an access log (see `evcap serve --access-log`).
+///
+/// Each request's spans share a `trace_id`; the root span (the request
+/// itself) has `parent_id` 0, and every other span points at its parent,
+/// so the hierarchy renders by indentation. `--trace-id` narrows the
+/// output to one request.
+fn trace_tree(path: &str, only: Option<&str>) -> CmdResult {
+    use evcap_obs::{parse_line, JsonValue};
+
+    struct Span {
+        id: u64,
+        parent: u64,
+        name: String,
+        label: Option<String>,
+        start_us: f64,
+        dur_us: f64,
+    }
+
+    let text = std::fs::read_to_string(path)?;
+    // trace_id -> spans, in first-seen order.
+    let mut traces: Vec<(String, Vec<Span>)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_line(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if record.get("type").and_then(JsonValue::as_str) != Some("trace_span") {
+            continue;
+        }
+        let str_field = |k: &str| {
+            record
+                .get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+        };
+        let num_field = |k: &str| record.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let Some(trace_id) = str_field("trace_id") else {
+            continue;
+        };
+        if only.is_some_and(|id| id != trace_id) {
+            continue;
+        }
+        let span = Span {
+            id: num_field("span_id") as u64,
+            parent: num_field("parent_id") as u64,
+            name: str_field("name").unwrap_or_else(|| "?".to_owned()),
+            label: str_field("label"),
+            start_us: num_field("start_us"),
+            dur_us: num_field("dur_us"),
+        };
+        match traces.iter_mut().find(|(id, _)| *id == trace_id) {
+            Some((_, spans)) => spans.push(span),
+            None => traces.push((trace_id, vec![span])),
+        }
+    }
+
+    if traces.is_empty() {
+        match only {
+            Some(id) => println!("no trace_span records for trace {id} in {path}"),
+            None => println!("no trace_span records in {path}"),
+        }
+        return Ok(());
+    }
+
+    for (trace_id, spans) in &traces {
+        println!("trace {trace_id} ({} spans)", spans.len());
+        // Children render under their parent, siblings in start order;
+        // spans whose parent never made it into the log (disabled stages,
+        // truncated files) surface as extra roots rather than vanishing.
+        let ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        let mut order: Vec<usize> = (0..spans.len()).collect();
+        order.sort_by(|&a, &b| spans[a].start_us.total_cmp(&spans[b].start_us));
+        let is_root = |s: &Span| s.parent == 0 || !ids.contains(&s.parent);
+        // (index, depth), depth-first.
+        let mut stack: Vec<(usize, usize)> = order
+            .iter()
+            .rev()
+            .filter(|&&i| is_root(&spans[i]))
+            .map(|&i| (i, 0))
+            .collect();
+        while let Some((i, depth)) = stack.pop() {
+            let s = &spans[i];
+            let label = s
+                .label
+                .as_deref()
+                .map(|l| format!(" [{l}]"))
+                .unwrap_or_default();
+            println!(
+                "  {:indent$}{}{label}  {:.1} µs (at +{:.1} µs)",
+                "",
+                s.name,
+                s.dur_us,
+                s.start_us,
+                indent = depth * 2
+            );
+            for &j in order.iter().rev() {
+                if spans[j].parent == s.id && j != i {
+                    stack.push((j, depth + 1));
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -24,6 +24,9 @@ pub fn serve(args: &Args) -> CmdResult {
         "max-slots",
         "access-log",
         "validate",
+        "trace",
+        "recent",
+        "slow-ms",
     ])?;
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7070").to_owned(),
@@ -43,6 +46,9 @@ pub fn serve(args: &Args) -> CmdResult {
         max_slots: args.get_or("max-slots", 2_000_000u64, "a slot count")?,
         access_log: args.get("access-log").map(str::to_owned),
         validate_artifacts: args.get_or("validate", false, "true or false")?,
+        trace: args.get_or("trace", true, "true or false")?,
+        recent: args.get_or("recent", 64usize, "a request count")?,
+        slow_ms: args.get_or("slow-ms", 0u64, "milliseconds (0 disables)")?,
         ..ServeConfig::default()
     };
     signal::install();
@@ -57,11 +63,20 @@ pub fn serve(args: &Args) -> CmdResult {
     }
     eprintln!("signal received, draining");
     let stats = server.solve_cache_stats();
+    let recent = server.recent_requests();
     server.shutdown();
     eprintln!(
         "solve cache: {} hits, {} misses, {} coalesced, {} evictions",
         stats.hits, stats.misses, stats.coalesced, stats.evictions
     );
+    // The flight recorder's tail: one line per retained request, oldest
+    // first, so a drained server leaves a trail of what it just served.
+    if !recent.is_empty() {
+        eprintln!("last {} requests:", recent.len());
+        for r in &recent {
+            eprintln!("  {}", r.summary());
+        }
+    }
     Ok(())
 }
 
@@ -75,6 +90,7 @@ pub fn loadgen(args: &Args) -> CmdResult {
         "path",
         "body",
         "timeout-ms",
+        "hist-out",
     ])?;
     let raw_addr = args.require("addr")?;
     let addr: SocketAddr = raw_addr.parse().map_err(|_| ArgsError::Invalid {
@@ -147,6 +163,18 @@ pub fn loadgen(args: &Args) -> CmdResult {
         samples.extend(s);
         errors += e;
     }
+    // `--hist-out` dumps the full latency distribution in the same
+    // `latency_histogram` JSONL schema the server's exposition uses, so
+    // client-side and server-side histograms line up bucket for bucket.
+    if let Some(hist_path) = args.get("hist-out") {
+        let hist = evcap_obs::LatencyHistogram::new();
+        for &ns in &samples {
+            hist.observe_ns(ns);
+        }
+        let mut sink = evcap_obs::JsonlSink::create(hist_path)?;
+        sink.write(hist.record_buckets(&format!("loadgen {path}")))?;
+    }
+
     let summary = perf::LatencySummary::from_samples_ns(&mut samples, errors, wall_seconds);
     let label = format!("loadgen {path}");
     perf::report_loadgen(&label, &summary);

@@ -208,6 +208,10 @@ fn bench_sim_writes_throughput_json() {
     );
     assert!(doc.contains("\"threads_available\""), "{doc}");
     assert!(doc.contains("\"speedup_vs_sequential\""), "{doc}");
+    // The summed per-thread engine time is reported as `cpu_seconds`
+    // (throughput itself is wall-based; the old `sim_seconds` name is gone).
+    assert!(doc.contains("\"cpu_seconds\""), "{doc}");
+    assert!(!doc.contains("\"sim_seconds\""), "{doc}");
     std::fs::remove_file(&path).ok();
 }
 
@@ -314,6 +318,47 @@ fn trace_summarizes_an_obs_file() {
     let (ok, _, stderr) = run(&["trace", "/nonexistent/evcap.jsonl"]);
     assert!(!ok);
     assert!(!stderr.is_empty());
+}
+
+#[test]
+fn trace_tree_renders_span_hierarchies() {
+    // A hand-built access log: one traced request (root -> spec.solve ->
+    // clustering.search, plus a cache mark) and one for another trace id.
+    let path = std::env::temp_dir().join("evcap_e2e_trace_tree.jsonl");
+    let path_str = path.to_str().unwrap().to_owned();
+    let log = concat!(
+        r#"{"type":"request","method":"POST","path":"/v1/solve","status":200,"micros":900.0,"trace_id":"req-a"}"#,
+        "\n",
+        r#"{"type":"trace_span","trace_id":"req-a","span_id":1,"parent_id":0,"name":"POST /v1/solve","start_us":0.0,"dur_us":900.0}"#,
+        "\n",
+        r#"{"type":"trace_span","trace_id":"req-a","span_id":2,"parent_id":1,"name":"spec.solve","start_us":10.0,"dur_us":800.0}"#,
+        "\n",
+        r#"{"type":"trace_span","trace_id":"req-a","span_id":3,"parent_id":2,"name":"clustering.search","start_us":20.0,"dur_us":700.0}"#,
+        "\n",
+        r#"{"type":"trace_span","trace_id":"req-a","span_id":4,"parent_id":1,"name":"cache.solve","label":"miss","start_us":850.0,"dur_us":0.0}"#,
+        "\n",
+        r#"{"type":"trace_span","trace_id":"req-b","span_id":1,"parent_id":0,"name":"GET /healthz","start_us":0.0,"dur_us":50.0}"#,
+        "\n",
+    );
+    std::fs::write(&path, log).expect("fixture written");
+
+    let (ok, stdout, _) = run(&["trace", &path_str, "--tree"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("trace req-a (4 spans)"), "{stdout}");
+    assert!(stdout.contains("trace req-b (1 spans)"), "{stdout}");
+    // Depth is encoded as indentation: root at 2 spaces, children nested.
+    assert!(stdout.contains("\n  POST /v1/solve"), "{stdout}");
+    assert!(stdout.contains("\n    spec.solve"), "{stdout}");
+    assert!(stdout.contains("\n      clustering.search"), "{stdout}");
+    assert!(stdout.contains("cache.solve [miss]"), "{stdout}");
+
+    // --trace-id narrows to one request.
+    let (ok, stdout, _) = run(&["trace", &path_str, "--tree", "--trace-id", "req-b"]);
+    assert!(ok);
+    assert!(stdout.contains("req-b"), "{stdout}");
+    assert!(!stdout.contains("req-a"), "{stdout}");
+
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

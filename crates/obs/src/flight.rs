@@ -1,0 +1,282 @@
+//! A fixed-size, lock-free flight recorder for request summaries.
+//!
+//! The ring keeps the last `capacity` [`RequestSample`]s written via
+//! [`FlightRecorder::record`]. Writers never block: a global position
+//! counter assigns each write a slot, and each slot is a seqlock built
+//! from plain atomics (the crate forbids `unsafe`, so there is no shared
+//! mutable buffer — every field is its own `AtomicU64`). A writer claims
+//! its slot by CAS-ing the sequence word from even to odd, stores the
+//! fields, then releases with `seq + 2`; if the claim fails (two writes
+//! landed on the same slot a full ring apart, simultaneously) the newer
+//! sample is dropped — the ring is lossy by design. Readers snapshot the
+//! sequence, read the fields, and discard the slot if the sequence was
+//! odd or moved — a torn read is dropped, never surfaced.
+//!
+//! Samples are deliberately plain numbers: the embedding layer (the
+//! policy server) owns the mapping from path/cache tags to strings and
+//! packs the trace id's bytes into two words. That keeps this module free
+//! of allocation on the write path — recording is a handful of relaxed
+//! stores bracketed by two sequence updates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One request summary, fully numeric (see module docs for why).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestSample {
+    /// Caller-defined route tag (index into the embedder's route table).
+    pub path_tag: u8,
+    /// HTTP status code.
+    pub status: u16,
+    /// Caller-defined cache-outcome tag.
+    pub cache_tag: u8,
+    /// End-to-end latency, nanoseconds.
+    pub latency_ns: u64,
+    /// First 8 bytes of the trace id, big-endian.
+    pub trace_hi: u64,
+    /// Next 8 bytes of the trace id, big-endian (zero-padded).
+    pub trace_lo: u64,
+    /// Per-stage microseconds: parse, canonicalize, lp, clustering,
+    /// table-compile (saturated to `u32::MAX` each).
+    pub stage_us: [u32; 5],
+}
+
+impl RequestSample {
+    /// Decodes the packed trace-id bytes back into a string, trimming the
+    /// zero padding.
+    pub fn trace_id(&self) -> String {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&self.trace_hi.to_be_bytes());
+        bytes[8..].copy_from_slice(&self.trace_lo.to_be_bytes());
+        let end = bytes.iter().position(|&b| b == 0).unwrap_or(16);
+        String::from_utf8_lossy(&bytes[..end]).into_owned()
+    }
+
+    /// Packs up to 16 bytes of a trace id into the two id words (longer
+    /// ids are truncated; generated ids are exactly 16 hex chars).
+    pub fn set_trace_id(&mut self, id: &str) {
+        let mut bytes = [0u8; 16];
+        let take = id.len().min(16);
+        bytes[..take].copy_from_slice(&id.as_bytes()[..take]);
+        self.trace_hi = u64::from_be_bytes(bytes[..8].try_into().unwrap_or([0; 8]));
+        self.trace_lo = u64::from_be_bytes(bytes[8..].try_into().unwrap_or([0; 8]));
+    }
+}
+
+/// Words per slot: seq + header + latency + 2 id words + 3 stage words.
+const SLOT_WORDS: usize = 8;
+
+struct Slot {
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The lock-free ring. See module docs for the seqlock protocol.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Total samples ever written; `pos % slots.len()` is the next slot.
+    pos: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("written", &self.pos.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            pos: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total samples ever recorded (not capped at capacity).
+    pub fn recorded(&self) -> u64 {
+        self.pos.load(Ordering::Relaxed)
+    }
+
+    /// Records one sample. Never blocks; overwrites the oldest slot. The
+    /// sample is silently dropped in the rare case that another writer
+    /// owns the same slot at this instant (see module docs).
+    pub fn record(&self, sample: &RequestSample) {
+        let n = self.pos.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        let seq = slot.words[0].load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            return;
+        }
+        if slot.words[0]
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let header = u64::from(sample.status)
+            | (u64::from(sample.path_tag) << 16)
+            | (u64::from(sample.cache_tag) << 24);
+        slot.words[1].store(header, Ordering::Relaxed);
+        slot.words[2].store(sample.latency_ns, Ordering::Relaxed);
+        slot.words[3].store(sample.trace_hi, Ordering::Relaxed);
+        slot.words[4].store(sample.trace_lo, Ordering::Relaxed);
+        slot.words[5].store(
+            u64::from(sample.stage_us[0]) | (u64::from(sample.stage_us[1]) << 32),
+            Ordering::Relaxed,
+        );
+        slot.words[6].store(
+            u64::from(sample.stage_us[2]) | (u64::from(sample.stage_us[3]) << 32),
+            Ordering::Relaxed,
+        );
+        slot.words[7].store(u64::from(sample.stage_us[4]), Ordering::Relaxed);
+        slot.words[0].store(seq + 2, Ordering::Release);
+    }
+
+    fn read_slot(&self, index: usize) -> Option<RequestSample> {
+        let slot = &self.slots[index];
+        for _ in 0..4 {
+            let seq = slot.words[0].load(Ordering::Acquire);
+            if seq & 1 == 1 {
+                continue; // writer mid-update; retry
+            }
+            let header = slot.words[1].load(Ordering::Relaxed);
+            let latency_ns = slot.words[2].load(Ordering::Relaxed);
+            let trace_hi = slot.words[3].load(Ordering::Relaxed);
+            let trace_lo = slot.words[4].load(Ordering::Relaxed);
+            let w5 = slot.words[5].load(Ordering::Relaxed);
+            let w6 = slot.words[6].load(Ordering::Relaxed);
+            let w7 = slot.words[7].load(Ordering::Relaxed);
+            if slot.words[0].load(Ordering::Acquire) != seq {
+                continue; // torn: a writer landed while we read
+            }
+            return Some(RequestSample {
+                status: (header & 0xffff) as u16,
+                path_tag: ((header >> 16) & 0xff) as u8,
+                cache_tag: ((header >> 24) & 0xff) as u8,
+                latency_ns,
+                trace_hi,
+                trace_lo,
+                stage_us: [
+                    (w5 & 0xffff_ffff) as u32,
+                    (w5 >> 32) as u32,
+                    (w6 & 0xffff_ffff) as u32,
+                    (w6 >> 32) as u32,
+                    (w7 & 0xffff_ffff) as u32,
+                ],
+            });
+        }
+        None
+    }
+
+    /// Snapshot of the retained samples, oldest first. Slots being
+    /// actively rewritten are skipped rather than surfaced torn.
+    pub fn recent(&self) -> Vec<RequestSample> {
+        let written = self.pos.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let count = written.min(cap);
+        let mut out = Vec::with_capacity(count as usize);
+        let first = written - count;
+        for n in first..written {
+            if let Some(sample) = self.read_slot((n % cap) as usize) {
+                out.push(sample);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> RequestSample {
+        let mut s = RequestSample {
+            path_tag: (i % 5) as u8,
+            status: 200,
+            cache_tag: (i % 3) as u8,
+            latency_ns: i * 1000,
+            stage_us: [i as u32, 0, 2, 3, 4],
+            ..RequestSample::default()
+        };
+        s.set_trace_id(&format!("{i:016x}"));
+        s
+    }
+
+    #[test]
+    fn retains_last_capacity_samples_in_order() {
+        let ring = FlightRecorder::new(4);
+        assert!(ring.recent().is_empty());
+        for i in 0..10 {
+            ring.record(&sample(i));
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(ring.recorded(), 10);
+        let latencies: Vec<u64> = recent.iter().map(|s| s.latency_ns).collect();
+        assert_eq!(latencies, vec![6000, 7000, 8000, 9000]);
+        assert_eq!(recent[3].trace_id(), format!("{:016x}", 9));
+        assert_eq!(recent[3].stage_us, [9, 0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trace_id_roundtrips_and_truncates() {
+        let mut s = RequestSample::default();
+        s.set_trace_id("deadbeefcafef00d");
+        assert_eq!(s.trace_id(), "deadbeefcafef00d");
+        s.set_trace_id("short");
+        assert_eq!(s.trace_id(), "short");
+        s.set_trace_id("this-id-is-much-longer-than-sixteen");
+        assert_eq!(s.trace_id(), "this-id-is-much-");
+    }
+
+    #[test]
+    fn concurrent_writers_never_surface_torn_fields() {
+        use std::sync::Arc;
+        let ring = Arc::new(FlightRecorder::new(8));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let mut s = RequestSample {
+                            status: 200,
+                            latency_ns: t * 1_000_000 + i,
+                            ..RequestSample::default()
+                        };
+                        s.set_trace_id(&format!("{:016x}", t * 1_000_000 + i));
+                        ring.record(&s);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            for s in ring.recent() {
+                // latency and trace id were written together; a torn read
+                // would decouple them.
+                if !s.trace_id().is_empty() {
+                    assert_eq!(s.trace_id(), format!("{:016x}", s.latency_ns));
+                }
+            }
+        }
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        assert_eq!(ring.recorded(), 2000);
+    }
+}

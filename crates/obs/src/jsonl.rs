@@ -135,6 +135,22 @@ impl JsonObject {
         self
     }
 
+    /// Adds an array field whose items are *pre-rendered* JSON documents
+    /// (typically [`finish`](Self::finish)ed sub-objects). The caller is
+    /// responsible for each item being valid JSON.
+    pub fn field_raw_array<S: AsRef<str>>(&mut self, name: &str, items: &[S]) -> &mut Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(item.as_ref());
+        }
+        self.buf.push(']');
+        self
+    }
+
     /// Closes the object and returns the JSON text (no trailing newline).
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -515,6 +531,22 @@ mod tests {
             .and_then(JsonValue::as_array)
             .expect("array");
         assert_eq!(xs[1], JsonValue::Null);
+    }
+
+    #[test]
+    fn raw_array_embeds_sub_objects() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("n", 7);
+        let items = vec![inner.clone().finish(), inner.finish()];
+        let mut outer = JsonObject::with_type("recent");
+        outer.field_raw_array("requests", &items);
+        let parsed = parse_line(&outer.finish()).expect("valid");
+        let reqs = parsed
+            .get("requests")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].get("n").and_then(JsonValue::as_f64), Some(7.0));
     }
 
     #[test]

@@ -96,6 +96,58 @@ impl LatencyHistogram {
         self.max_ns()
     }
 
+    /// Total of all recorded samples in nanoseconds (saturating).
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative buckets in Prometheus form: `(upper_bound_ns, count of
+    /// samples ≤ upper_bound)`, one entry per power-of-two bucket up to
+    /// the last non-empty bucket. The final entry's count equals
+    /// [`count`](Self::count) (the implicit `+Inf` bucket). Empty
+    /// histograms return a single zero-count bucket so a scrape always
+    /// has at least one `le` series.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut last = 0;
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        for (b, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                last = b;
+            }
+        }
+        let mut out = Vec::with_capacity(last + 1);
+        let mut cumulative = 0u64;
+        for (b, &c) in counts.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            let upper = if b >= 63 { u64::MAX } else { (2u64 << b) - 1 };
+            out.push((upper, cumulative));
+        }
+        out
+    }
+
+    /// Serializes the full bucket layout as one JSONL record
+    /// (`type: "latency_histogram"`): parallel arrays `le_us` (bucket
+    /// upper bounds, µs) and `cumulative` (samples ≤ bound). This is the
+    /// same cumulative-bucket shape the serve Prometheus exposition
+    /// renders, so offline dumps and scrapes diff one format.
+    pub fn record_buckets(&self, name: &str) -> JsonObject {
+        let buckets = self.cumulative_buckets();
+        let le_us: Vec<f64> = buckets.iter().map(|&(ns, _)| ns as f64 / 1e3).collect();
+        let cumulative: Vec<u64> = buckets.iter().map(|&(_, c)| c).collect();
+        let mut obj = JsonObject::with_type("latency_histogram");
+        obj.field_str("name", name);
+        obj.field_u64("count", self.count());
+        obj.field_f64("sum_us", self.total_ns() as f64 / 1e3);
+        obj.field_f64("max_us", self.max_ns() as f64 / 1e3);
+        obj.field_f64_array("le_us", &le_us);
+        obj.field_u64_array("cumulative", &cumulative);
+        obj
+    }
+
     /// Serializes the histogram as one JSONL record (`type: "latency"`).
     pub fn record(&self, name: &str) -> JsonObject {
         let mut obj = JsonObject::with_type("latency");
@@ -177,6 +229,40 @@ mod tests {
             }
         });
         assert_eq!(h.count(), 4_000);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.cumulative_buckets(), vec![(1, 0)]);
+        for ns in [100, 1_000, 1_500, 1_000_000] {
+            h.observe_ns(ns);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        let (last_le, last_count) = *buckets.last().expect("non-empty");
+        assert_eq!(last_count, h.count());
+        assert!(last_le >= h.max_ns());
+        // The 1 µs pair shares one bucket: cumulative count 3 at le 2047.
+        assert!(buckets.contains(&(2_047, 3)));
+    }
+
+    #[test]
+    fn bucket_record_round_trips_through_the_parser() {
+        let h = LatencyHistogram::new();
+        h.observe_ns(5_000);
+        h.observe_ns(50_000);
+        let line = h.record_buckets("loadgen").finish();
+        let value = crate::jsonl::parse_line(&line).expect("valid JSON");
+        assert_eq!(
+            value.get("type").and_then(crate::JsonValue::as_str),
+            Some("latency_histogram")
+        );
+        let le = value.get("le_us").and_then(crate::JsonValue::as_array);
+        let cum = value.get("cumulative").and_then(crate::JsonValue::as_array);
+        let (le, cum) = (le.expect("le_us"), cum.expect("cumulative"));
+        assert_eq!(le.len(), cum.len());
+        assert_eq!(cum.last().and_then(crate::JsonValue::as_f64), Some(2.0));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! under-provisioning signature). [`ObsSuite`] bundles them all.
 //!
 //! The [`timing`] module adds globally-gated monotonic spans and counters for
-//! hot paths (LP solves, clustering searches, simulation slots); [`jsonl`]
+//! hot paths (LP solves, clustering searches, simulation slots); [`trace`]
+//! upgrades those spans into per-request trees keyed by a trace id;
+//! [`flight`] keeps a lock-free ring of recent request summaries; [`jsonl`]
 //! streams every record type to disk as one JSON object per line.
 
 #![forbid(unsafe_code)]
@@ -24,10 +26,13 @@ mod observer;
 mod streaks;
 mod suite;
 
+pub mod flight;
 pub mod jsonl;
 pub mod timing;
+pub mod trace;
 
 pub use convergence::{QomConvergence, QomWindow};
+pub use flight::{FlightRecorder, RequestSample};
 pub use histogram::{BatteryHistogram, GapHistogram, UnitHistogram};
 pub use jsonl::{parse_line, JsonObject, JsonValue, JsonlSink};
 pub use latency::LatencyHistogram;
@@ -35,3 +40,4 @@ pub use observer::{NullObserver, Observer, SlotOutcome};
 pub use streaks::ForcedIdleStreaks;
 pub use suite::{ObsConfig, ObsSuite, RunCounters};
 pub use timing::{span, SpanGuard, SpanStats};
+pub use trace::{SpanEvent, TraceGuard, TraceRecord};

@@ -74,12 +74,16 @@ pub fn enabled() -> bool {
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
+    trace: Option<crate::trace::SpanToken>,
+    cancelled: bool,
 }
 
 impl SpanGuard {
-    /// Disarms the guard (records nothing on drop).
+    /// Disarms the guard (records nothing on drop; an active trace still
+    /// unwinds its span stack so later spans keep correct parents).
     pub fn cancel(mut self) {
         self.start = None;
+        self.cancelled = true;
     }
 }
 
@@ -88,16 +92,29 @@ impl Drop for SpanGuard {
         if let Some(start) = self.start {
             record_sample(self.name, start.elapsed());
         }
+        if let Some(token) = self.trace.take() {
+            crate::trace::exit(self.name, token, !self.cancelled);
+        }
     }
 }
 
-/// Starts a timing span. When collection is disabled this is one atomic
-/// load and the returned guard is inert.
+/// Starts a timing span. When both aggregate collection and request
+/// tracing are off this is two relaxed atomic loads and the returned
+/// guard is inert. An active [`crate::trace`] context on this thread
+/// additionally records the span as a tree event, independent of the
+/// aggregate gate.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    let trace = if crate::trace::maybe_active() {
+        crate::trace::enter(name)
+    } else {
+        None
+    };
     SpanGuard {
         name,
         start: enabled().then(Instant::now),
+        trace,
+        cancelled: false,
     }
 }
 

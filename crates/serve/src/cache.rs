@@ -263,15 +263,41 @@ impl CacheStats {
     }
 }
 
+impl StatsSnapshot {
+    fn merge(&mut self, other: &StatsSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+        self.evictions += other.evictions;
+        self.failures += other.failures;
+        self.timeouts += other.timeouts;
+    }
+}
+
+/// A point-in-time view of one shard: its counters plus occupancy, for
+/// per-shard gauge exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardSnapshot {
+    /// The shard's counters since startup.
+    pub stats: StatsSnapshot,
+    /// Entries currently held (in-flight markers included).
+    pub occupancy: usize,
+    /// The shard's configured capacity.
+    pub capacity: usize,
+}
+
+/// One independently locked shard: an LRU of ready/in-flight entries plus
+/// its own counters (so exposition can show per-shard skew).
+struct Shard<V, E> {
+    lru: Mutex<Lru<Entry<V, E>>>,
+    stats: CacheStats,
+}
+
 /// A sharded, single-flight LRU cache. `V` is the cached value (cloned out
 /// on every hit — use something cheap to clone, like `Arc<str>` or a small
 /// `String`); `E` is the compute error type.
-/// One independently locked shard: an LRU of ready/in-flight entries.
-type Shard<V, E> = Mutex<Lru<Entry<V, E>>>;
-
 pub struct ShardedCache<V, E = String> {
     shards: Box<[Shard<V, E>]>,
-    stats: CacheStats,
 }
 
 impl<V: Clone, E: Clone> ShardedCache<V, E> {
@@ -283,13 +309,15 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
         let per_shard = capacity.max(1).div_ceil(shards);
         Self {
             shards: (0..shards)
-                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .map(|_| Shard {
+                    lru: Mutex::new(Lru::new(per_shard)),
+                    stats: CacheStats::default(),
+                })
                 .collect(),
-            stats: CacheStats::default(),
         }
     }
 
-    fn shard_of(&self, key: &str) -> &Mutex<Lru<Entry<V, E>>> {
+    fn shard_of(&self, key: &str) -> &Shard<V, E> {
         // FNV-1a: stable across runs (unlike RandomState), trivially fast.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in key.as_bytes() {
@@ -303,7 +331,7 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard lock").len()) // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+            .map(|s| s.lru.lock().expect("shard lock").len()) // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
             .sum()
     }
 
@@ -312,9 +340,28 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
         self.len() == 0
     }
 
-    /// Counters since startup.
+    /// Counters since startup, aggregated across shards.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut total = StatsSnapshot::default();
+        for shard in self.shards.iter() {
+            total.merge(&shard.stats.snapshot());
+        }
+        total
+    }
+
+    /// Per-shard counters and occupancy, in shard-index order.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let lru = shard.lru.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+                ShardSnapshot {
+                    stats: shard.stats.snapshot(),
+                    occupancy: lru.len(),
+                    capacity: lru.capacity(),
+                }
+            })
+            .collect()
     }
 
     /// Returns the cached value for `key`, or computes it exactly once no
@@ -334,11 +381,11 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
         let flight: Arc<Flight<V, E>>;
         let leader: bool;
         {
-            let mut lru = shard.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+            let mut lru = shard.lru.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
             match lru.get(key) {
                 Some(Entry::Ready(v)) => {
                     let v = v.clone();
-                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.hits.fetch_add(1, Ordering::Relaxed);
                     return Fetch::Hit(v);
                 }
                 Some(Entry::InFlight(f)) => {
@@ -354,7 +401,7 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
                         .insert(key.to_owned(), Entry::InFlight(Arc::clone(&flight)))
                         .is_some()
                     {
-                        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                        shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
                     }
                     leader = true;
                 }
@@ -364,14 +411,14 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
         if leader {
             let result = compute();
             {
-                let mut lru = shard.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+                let mut lru = shard.lru.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
                 match &result {
                     Ok(v) => {
                         if lru
                             .insert(key.to_owned(), Entry::Ready(v.clone()))
                             .is_some()
                         {
-                            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                            shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     Err(_) => {
@@ -393,32 +440,32 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
             *slot = Some(result.clone());
             drop(slot);
             flight.cv.notify_all();
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            shard.stats.misses.fetch_add(1, Ordering::Relaxed);
             return match result {
                 Ok(v) => Fetch::Computed(v),
                 Err(e) => {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.failures.fetch_add(1, Ordering::Relaxed);
                     Fetch::Failed(e)
                 }
             };
         }
 
         // Waiter: block on the leader's result.
-        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+        shard.stats.coalesced.fetch_add(1, Ordering::Relaxed);
         let guard = flight.slot.lock().expect("flight lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
         let (guard, timeout) = flight
             .cv
             .wait_timeout_while(guard, wait_timeout, |slot| slot.is_none())
             .expect("flight lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
         if timeout.timed_out() && guard.is_none() {
-            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            shard.stats.timeouts.fetch_add(1, Ordering::Relaxed);
             return Fetch::TimedOut;
         }
         // tidy:allow(serve-unwrap): the leader always publishes before notifying
         match guard.as_ref().expect("leader published a result") {
             Ok(v) => Fetch::Coalesced(v.clone()),
             Err(e) => {
-                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                shard.stats.failures.fetch_add(1, Ordering::Relaxed);
                 Fetch::Failed(e.clone())
             }
         }
@@ -619,6 +666,28 @@ mod tests {
             cache.get_or_compute("k", Duration::from_secs(1), || panic!("cached")),
             Fetch::Hit(ref v) if v == "slow"
         ));
+    }
+
+    #[test]
+    fn shard_snapshots_sum_to_the_aggregate() {
+        let cache: ShardedCache<u32> = ShardedCache::new(16, 4);
+        let to = Duration::from_secs(1);
+        for i in 0..10 {
+            let key = format!("k{i}");
+            cache.get_or_compute(&key, to, || Ok::<_, String>(i));
+            cache.get_or_compute(&key, to, || panic!("cached"));
+        }
+        let shards = cache.shard_snapshots();
+        assert_eq!(shards.len(), 4);
+        assert!(shards.iter().all(|s| s.capacity == 4));
+        let hits: u64 = shards.iter().map(|s| s.stats.hits).sum();
+        let misses: u64 = shards.iter().map(|s| s.stats.misses).sum();
+        let occupancy: usize = shards.iter().map(|s| s.occupancy).sum();
+        let total = cache.stats();
+        assert_eq!(hits, total.hits);
+        assert_eq!(misses, total.misses);
+        assert_eq!((hits, misses), (10, 10));
+        assert_eq!(occupancy, cache.len());
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// The `x-evcap-cache` header, if the server sent one.
     pub cache: Option<String>,
+    /// The `x-request-id` header (the request's trace id), if sent.
+    pub request_id: Option<String>,
+    /// The `content-type` header, if sent.
+    pub content_type: Option<String>,
     /// Whether the server will keep the connection open.
     pub keep_alive: bool,
 }
@@ -60,10 +64,33 @@ impl Conn {
     /// Propagates socket failures; a malformed response surfaces as
     /// `InvalidData`.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: evcap\r\ncontent-length: {}\r\n\r\n",
+        self.request_with(method, path, body, &[])
+    }
+
+    /// As [`Conn::request`], with extra request headers (e.g.
+    /// `("x-request-id", "…")` or `("accept", "text/plain")`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Conn::request`].
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> io::Result<Response> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: evcap\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body)?;
         self.writer.flush()?;
@@ -111,6 +138,8 @@ impl Conn {
 
         let mut content_length = 0usize;
         let mut cache = None;
+        let mut request_id = None;
+        let mut content_type = None;
         let mut keep_alive = true;
         loop {
             let line = self.read_line()?;
@@ -127,6 +156,8 @@ impl Conn {
                     content_length = value.parse().map_err(|_| bad("bad content-length"))?;
                 }
                 "x-evcap-cache" => cache = Some(value.to_owned()),
+                "x-request-id" => request_id = Some(value.to_owned()),
+                "content-type" => content_type = Some(value.to_owned()),
                 "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
                 _ => {}
             }
@@ -137,6 +168,8 @@ impl Conn {
             status,
             body,
             cache,
+            request_id,
+            content_type,
             keep_alive,
         })
     }

@@ -41,6 +41,35 @@ pub struct Request {
     pub keep_alive: bool,
     /// The request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// The `X-Request-Id` header, sanitized (see [`sanitize_request_id`]).
+    pub request_id: Option<String>,
+    /// The `Accept` header verbatim, if sent.
+    pub accept: Option<String>,
+}
+
+/// Maximum accepted length of an external request id.
+pub const MAX_REQUEST_ID: usize = 64;
+
+/// Sanitizes a client-supplied request id: keeps `[A-Za-z0-9._-]`,
+/// replaces anything else with `-`, truncates to [`MAX_REQUEST_ID`].
+/// Returns `None` for an empty result.
+pub fn sanitize_request_id(raw: &str) -> Option<String> {
+    let cleaned: String = raw
+        .chars()
+        .take(MAX_REQUEST_ID)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.chars().all(|c| c == '-') {
+        None
+    } else {
+        Some(cleaned)
+    }
 }
 
 /// Why a request could not be read.
@@ -152,6 +181,8 @@ pub fn read_request<R: BufRead>(
     let mut content_length: usize = 0;
     let mut keep_alive = http11;
     let mut expect_continue = false;
+    let mut request_id = None;
+    let mut accept = None;
     let mut headers = 0usize;
     loop {
         let Some(line) = read_line_limited(r, limits.max_line)? else {
@@ -195,6 +226,12 @@ pub fn read_request<R: BufRead>(
             "expect" if value.eq_ignore_ascii_case("100-continue") => {
                 expect_continue = true;
             }
+            "x-request-id" => {
+                request_id = sanitize_request_id(value);
+            }
+            "accept" => {
+                accept = Some(value.to_owned());
+            }
             _ => {}
         }
     }
@@ -211,6 +248,8 @@ pub fn read_request<R: BufRead>(
         target: target.to_owned(),
         keep_alive,
         body,
+        request_id,
+        accept,
     })
 }
 
@@ -235,6 +274,10 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Writes one complete response (status, headers, body).
 ///
+/// The content type defaults to `application/json`; an extra header named
+/// `content-type` (any case) replaces the default instead of duplicating
+/// it.
+///
 /// # Errors
 ///
 /// Propagates the underlying socket write failure.
@@ -245,21 +288,31 @@ pub fn write_response(
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
-        reason(status),
+    // Head and body go out in one buffer — a single write(2) per
+    // response instead of two; the syscall saved dwarfs the memcpy.
+    let mut out = Vec::with_capacity(192 + body.len());
+    let _ = write!(out, "HTTP/1.1 {status} {}\r\n", reason(status));
+    if !extra_headers
+        .iter()
+        .any(|(name, _)| name.eq_ignore_ascii_case("content-type"))
+    {
+        out.extend_from_slice(b"content-type: application/json\r\n");
+    }
+    let _ = write!(
+        out,
+        "content-length: {}\r\nconnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    head.push_str("\r\n");
-    w.write_all(head.as_bytes())?;
-    w.write_all(body)?;
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    w.write_all(&out)?;
     w.flush()
 }
 
@@ -406,5 +459,45 @@ mod tests {
     fn crlf_and_bare_lf_both_parse() {
         let req = parse("GET / HTTP/1.1\nhost: x\n\n").unwrap();
         assert_eq!(req.target, "/");
+    }
+
+    #[test]
+    fn request_id_and_accept_are_captured() {
+        let req = parse("GET / HTTP/1.1\r\nX-Request-Id: abc-123\r\nAccept: text/plain\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc-123"));
+        assert_eq!(req.accept.as_deref(), Some("text/plain"));
+        let req = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.request_id, None);
+        assert_eq!(req.accept, None);
+    }
+
+    #[test]
+    fn request_ids_are_sanitized() {
+        assert_eq!(sanitize_request_id("ok_id-1.2"), Some("ok_id-1.2".into()));
+        assert_eq!(
+            sanitize_request_id("evil\"id{}"),
+            Some("evil-id--".into())
+        );
+        assert_eq!(sanitize_request_id(""), None);
+        assert_eq!(sanitize_request_id("///"), None);
+        let long = "x".repeat(200);
+        assert_eq!(sanitize_request_id(&long).map(|s| s.len()), Some(64));
+    }
+
+    #[test]
+    fn content_type_header_overrides_the_default() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            b"ok",
+            true,
+            &[("Content-Type", "text/plain; version=0.0.4")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(!text.contains("application/json"));
     }
 }

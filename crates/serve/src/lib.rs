@@ -27,12 +27,13 @@ pub mod client;
 pub mod handlers;
 pub mod http;
 pub mod metrics;
+pub mod prometheus;
 pub mod scenario;
 pub mod server;
 #[allow(unsafe_code)] // tidy:allow(unsafe): the signal(2) FFI shim
 pub mod signal;
 
-pub use cache::{Fetch, Lru, ShardedCache, StatsSnapshot};
+pub use cache::{Fetch, Lru, ShardSnapshot, ShardedCache, StatsSnapshot};
 pub use client::{Conn, Response};
 pub use scenario::{ApiError, SimulateScenario, SolveScenario};
-pub use server::{ServeConfig, Server, StopFlag};
+pub use server::{RecentRequest, ServeConfig, Server, StopFlag};

@@ -10,7 +10,8 @@ use std::time::{Duration, Instant};
 
 use evcap_obs::{JsonObject, LatencyHistogram};
 
-use crate::cache::StatsSnapshot;
+use crate::cache::{ShardSnapshot, StatsSnapshot};
+use crate::prometheus;
 
 /// Atomic request/response counters plus latency histograms.
 #[derive(Debug)]
@@ -135,7 +136,107 @@ impl Metrics {
         obj.field_f64("solve_compute_mean_us", self.solve_latency.mean_ns() / 1e3);
         obj.finish()
     }
+
+    /// Renders the Prometheus text exposition (version 0.0.4) of the same
+    /// counters, plus per-shard gauges for every cache tier. `tiers` pairs
+    /// a tier name (`solve`, `sim`, `artifact`) with its shard snapshots.
+    pub fn render_prometheus(&self, tiers: &[(&str, Vec<ShardSnapshot>)]) -> String {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        let mut out = String::with_capacity(4096);
+
+        prometheus::type_line(&mut out, "evcap_uptime_seconds", "gauge");
+        prometheus::sample(
+            &mut out,
+            "evcap_uptime_seconds",
+            self.started.elapsed().as_secs_f64(),
+        );
+        prometheus::type_line(&mut out, "evcap_connections_total", "counter");
+        prometheus::sample(&mut out, "evcap_connections_total", get(&self.connections));
+        prometheus::type_line(&mut out, "evcap_requests_total", "counter");
+        prometheus::sample(&mut out, "evcap_requests_total", get(&self.requests));
+        prometheus::type_line(&mut out, "evcap_endpoint_requests_total", "counter");
+        for (endpoint, counter) in [
+            ("solve", &self.solve_requests),
+            ("simulate", &self.simulate_requests),
+            ("healthz", &self.health_requests),
+            ("metrics", &self.metrics_requests),
+        ] {
+            prometheus::sample_with(
+                &mut out,
+                "evcap_endpoint_requests_total",
+                &[("endpoint", endpoint)],
+                get(counter),
+            );
+        }
+        prometheus::type_line(&mut out, "evcap_responses_total", "counter");
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            prometheus::sample_with(
+                &mut out,
+                "evcap_responses_total",
+                &[("class", class)],
+                get(counter),
+            );
+        }
+        prometheus::type_line(&mut out, "evcap_coalesce_timeouts_total", "counter");
+        prometheus::sample(
+            &mut out,
+            "evcap_coalesce_timeouts_total",
+            get(&self.timeouts),
+        );
+
+        for (metric, kind, read) in CACHE_SERIES {
+            prometheus::type_line(&mut out, metric, kind);
+            for (tier, shards) in tiers {
+                for (index, shard) in shards.iter().enumerate() {
+                    let shard_label = format!("{index}");
+                    prometheus::sample_with(
+                        &mut out,
+                        metric,
+                        &[("cache", tier), ("shard", shard_label.as_str())],
+                        read(shard),
+                    );
+                }
+            }
+        }
+
+        prometheus::histogram(
+            &mut out,
+            "evcap_request_latency_seconds",
+            &self.latency.cumulative_buckets(),
+            self.latency.total_ns(),
+            self.latency.count(),
+        );
+        prometheus::histogram(
+            &mut out,
+            "evcap_solve_compute_seconds",
+            &self.solve_latency.cumulative_buckets(),
+            self.solve_latency.total_ns(),
+            self.solve_latency.count(),
+        );
+        out
+    }
 }
+
+/// The per-shard cache series: metric name, Prometheus type, and the
+/// field each reads from a [`ShardSnapshot`].
+const CACHE_SERIES: [(&str, &str, fn(&ShardSnapshot) -> f64); 6] = [
+    ("evcap_cache_hits_total", "counter", |s| s.stats.hits as f64),
+    ("evcap_cache_misses_total", "counter", |s| {
+        s.stats.misses as f64
+    }),
+    ("evcap_cache_coalesced_total", "counter", |s| {
+        s.stats.coalesced as f64
+    }),
+    ("evcap_cache_evictions_total", "counter", |s| {
+        s.stats.evictions as f64
+    }),
+    ("evcap_cache_occupancy", "gauge", |s| s.occupancy as f64),
+    ("evcap_cache_capacity", "gauge", |s| s.capacity as f64),
+];
 
 impl Default for Metrics {
     fn default() -> Self {
@@ -169,5 +270,61 @@ mod tests {
         assert_eq!(f("connections"), 1.0);
         assert_eq!(f("latency_count"), 4.0);
         assert!(f("latency_p99_us") > 0.0);
+    }
+
+    #[test]
+    fn prometheus_render_round_trips_and_matches_json() {
+        let m = Metrics::new();
+        m.connection();
+        m.request("/v1/solve", 200, Duration::from_micros(250));
+        m.request("/healthz", 200, Duration::from_micros(10));
+        let shard = ShardSnapshot {
+            stats: StatsSnapshot {
+                hits: 3,
+                misses: 1,
+                ..StatsSnapshot::default()
+            },
+            occupancy: 1,
+            capacity: 16,
+        };
+        let tiers = vec![
+            ("solve", vec![shard, ShardSnapshot::default()]),
+            ("sim", vec![ShardSnapshot::default(); 2]),
+        ];
+        let text = m.render_prometheus(&tiers);
+        let samples = prometheus::parse(&text).expect("renderer emits valid exposition");
+        let f = |name: &str, labels: &[(&str, &str)]| {
+            prometheus::find(&samples, name, labels).expect(name)
+        };
+        assert_eq!(f("evcap_requests_total", &[]), 2.0);
+        assert_eq!(
+            f("evcap_endpoint_requests_total", &[("endpoint", "solve")]),
+            1.0
+        );
+        assert_eq!(f("evcap_responses_total", &[("class", "2xx")]), 2.0);
+        assert_eq!(
+            f("evcap_cache_hits_total", &[("cache", "solve"), ("shard", "0")]),
+            3.0
+        );
+        assert_eq!(
+            f("evcap_cache_occupancy", &[("cache", "solve"), ("shard", "0")]),
+            1.0
+        );
+        assert_eq!(
+            f("evcap_cache_capacity", &[("cache", "sim"), ("shard", "1")]),
+            0.0
+        );
+        assert_eq!(f("evcap_request_latency_seconds_count", &[]), 2.0);
+        assert_eq!(
+            f("evcap_request_latency_seconds_bucket", &[("le", "+Inf")]),
+            2.0
+        );
+        // Consistency with the JSON body (same atomics, same instant).
+        let empty = StatsSnapshot::default();
+        let json = parse_line(&m.render(&empty, &empty, &empty)).unwrap();
+        assert_eq!(
+            json.get("requests").and_then(JsonValue::as_f64),
+            Some(f("evcap_requests_total", &[]))
+        );
     }
 }

@@ -265,8 +265,12 @@ impl SolveScenario {
     /// ill-typed fields, and invalid specs — including non-finite numeric
     /// spec arguments like `weibull:nan,3`.
     pub fn from_body(body: &[u8]) -> Result<Self, ApiError> {
-        let map = parse_object(body)?;
+        let map = {
+            let _parse = evcap_obs::timing::span("req.parse");
+            parse_object(body)?
+        };
         reject_unknown(&map, SOLVE_FIELDS)?;
+        let _canon = evcap_obs::timing::span("req.canonicalize");
         Ok(Self {
             scenario: scenario_from(&map)?,
         })
@@ -287,8 +291,12 @@ impl SimulateScenario {
     /// As [`SolveScenario::from_body`], plus bounds on `slots` (caller's
     /// `max_slots`), `sensors` (≤ [`MAX_SENSORS`]) and the recharge spec.
     pub fn from_body(body: &[u8], max_slots: u64) -> Result<Self, ApiError> {
-        let map = parse_object(body)?;
+        let map = {
+            let _parse = evcap_obs::timing::span("req.parse");
+            parse_object(body)?
+        };
         reject_unknown(&map, SIMULATE_FIELDS)?;
+        let _canon = evcap_obs::timing::span("req.canonicalize");
         let mut scenario = scenario_from(&map)?;
         let slots = want_index(&map, "slots", max_slots)?.unwrap_or(100_000.min(max_slots));
         if slots == 0 {

@@ -19,13 +19,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use evcap_obs::{JsonObject, JsonlSink};
+use evcap_obs::trace::TraceRecord;
+use evcap_obs::{FlightRecorder, JsonObject, JsonlSink, RequestSample};
 use evcap_spec::SolvedPolicy;
 
 use crate::cache::{Fetch, ShardedCache};
 use crate::handlers;
 use crate::http::{self, Limits, ReadError, Request};
 use crate::metrics::Metrics;
+use crate::prometheus;
 use crate::scenario::{ApiError, SimulateScenario, SolveScenario};
 
 /// Everything `evcap serve` can tune.
@@ -54,6 +56,17 @@ pub struct ServeConfig {
     /// A violation answers 500 and — like every compute failure — is never
     /// cached, so a fixed solver serves clean artifacts immediately.
     pub validate_artifacts: bool,
+    /// Collect a per-request span tree (trace context). On by default;
+    /// disabling skips span/event collection entirely (the flight recorder
+    /// then records zeroed stage breakdowns).
+    pub trace: bool,
+    /// Flight-recorder capacity: how many recent request summaries
+    /// `GET /debug/recent` (and the drain report) can show.
+    pub recent: usize,
+    /// Slow-request threshold in milliseconds; requests at or above it
+    /// dump their full span tree to stderr (and tag the access log).
+    /// 0 disables.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +82,9 @@ impl Default for ServeConfig {
             max_slots: 2_000_000,
             access_log: None,
             validate_artifacts: false,
+            trace: true,
+            recent: 64,
+            slow_ms: 0,
         }
     }
 }
@@ -86,6 +102,8 @@ struct Shared {
     artifact_cache: ShardedCache<Arc<SolvedPolicy>, ApiError>,
     shutdown: AtomicBool,
     access_log: Option<Mutex<JsonlSink>>,
+    /// Last-N request summaries (see [`FlightRecorder`]).
+    flight: FlightRecorder,
 }
 
 /// A running policy server.
@@ -122,6 +140,7 @@ impl Server {
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             access_log,
+            flight: FlightRecorder::new(config.recent),
             config,
         });
         let workers = (0..threads)
@@ -154,6 +173,13 @@ impl Server {
     /// Counters for the `SolvedPolicy` artifact cache.
     pub fn artifact_cache_stats(&self) -> crate::cache::StatsSnapshot {
         self.shared.artifact_cache.stats()
+    }
+
+    /// The flight recorder's retained request summaries, oldest first
+    /// (the same data `GET /debug/recent` serves; used for the drain
+    /// report).
+    pub fn recent_requests(&self) -> Vec<RecentRequest> {
+        decode_recent(&self.shared)
     }
 
     /// A flag that makes the server drain and stop when set; safe to hand
@@ -201,6 +227,145 @@ impl StopFlag {
     }
 }
 
+/// Routes the flight recorder can tag (index = `path_tag`).
+const ROUTES: [&str; 6] = [
+    "other",
+    "/healthz",
+    "/metrics",
+    "/v1/solve",
+    "/v1/simulate",
+    "/debug/recent",
+];
+
+/// Cache-outcome labels the flight recorder can tag (index = `cache_tag`).
+const CACHE_LABELS: [&str; 6] = ["none", "hit", "miss", "coalesced", "failed", "timeout"];
+
+/// Solve stages broken out per request (order matches
+/// [`RequestSample::stage_us`]): body parse, scenario canonicalization,
+/// LP solve, clustering search, table compilation.
+const STAGES: [&str; 5] = [
+    "req.parse",
+    "req.canonicalize",
+    "lp.solve",
+    "clustering.search",
+    "spec.table",
+];
+
+fn route_tag(path: &str) -> u8 {
+    ROUTES
+        .iter()
+        .position(|r| *r == path)
+        .unwrap_or(0) as u8
+}
+
+fn cache_tag(label: &str) -> u8 {
+    CACHE_LABELS
+        .iter()
+        .position(|l| *l == label)
+        .unwrap_or(0) as u8
+}
+
+/// One decoded flight-recorder entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecentRequest {
+    /// Route (one of the server's paths, or `other`).
+    pub path: &'static str,
+    /// Response status.
+    pub status: u16,
+    /// Cache outcome label (`none` when the route has no cache).
+    pub cache: &'static str,
+    /// End-to-end latency, microseconds.
+    pub latency_us: f64,
+    /// The request's trace id.
+    pub trace_id: String,
+    /// Per-stage microseconds: parse, canonicalize, lp, clustering,
+    /// table-compile (zero when tracing is disabled or the stage did not
+    /// run).
+    pub stage_us: [u32; 5],
+}
+
+impl RecentRequest {
+    fn from_sample(s: &RequestSample) -> Self {
+        RecentRequest {
+            path: ROUTES.get(s.path_tag as usize).copied().unwrap_or("other"),
+            status: s.status,
+            cache: CACHE_LABELS
+                .get(s.cache_tag as usize)
+                .copied()
+                .unwrap_or("none"),
+            latency_us: s.latency_ns as f64 / 1e3,
+            trace_id: s.trace_id(),
+            stage_us: s.stage_us,
+        }
+    }
+
+    /// One-line summary for drain reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} {} {} {:.1}ms trace={} stages[us] parse={} canon={} lp={} cluster={} table={}",
+            self.path,
+            self.status,
+            self.cache,
+            self.latency_us / 1e3,
+            self.trace_id,
+            self.stage_us[0],
+            self.stage_us[1],
+            self.stage_us[2],
+            self.stage_us[3],
+            self.stage_us[4],
+        )
+    }
+}
+
+fn decode_recent(shared: &Shared) -> Vec<RecentRequest> {
+    shared
+        .flight
+        .recent()
+        .iter()
+        .map(RecentRequest::from_sample)
+        .collect()
+}
+
+/// Renders `GET /debug/recent`: the retained summaries, oldest first.
+fn render_recent(shared: &Shared) -> String {
+    let requests: Vec<String> = decode_recent(shared)
+        .iter()
+        .map(|r| {
+            let mut obj = JsonObject::new();
+            obj.field_str("path", r.path);
+            obj.field_u64("status", u64::from(r.status));
+            obj.field_str("cache", r.cache);
+            obj.field_f64("latency_us", r.latency_us);
+            obj.field_str("trace_id", &r.trace_id);
+            for (stage, us) in STAGES.iter().zip(r.stage_us) {
+                let field = format!("{}_us", stage.replace('.', "_"));
+                obj.field_u64(&field, u64::from(us));
+            }
+            obj.finish()
+        })
+        .collect();
+    let mut obj = JsonObject::with_type("recent");
+    obj.field_usize("capacity", shared.flight.capacity());
+    obj.field_u64("recorded", shared.flight.recorded());
+    obj.field_raw_array("requests", &requests);
+    obj.finish()
+}
+
+/// Sums per-stage span durations out of a finished trace (µs, saturated).
+fn stage_breakdown(record: Option<&TraceRecord>) -> [u32; 5] {
+    let mut out = [0u32; 5];
+    let Some(record) = record else {
+        return out;
+    };
+    for event in &record.events {
+        if let Some(i) = STAGES.iter().position(|s| *s == event.name) {
+            let us = (event.dur_ns / 1_000).min(u64::from(u32::MAX)) as u32;
+            out[i] = out[i].saturating_add(us);
+        }
+    }
+    out
+}
+
 fn worker_loop(listener: &TcpListener, shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -233,6 +398,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    // Reused across keep-alive requests: `finish_into` swaps span buffers
+    // with the thread-local context, so a warmed connection collects each
+    // request's trace without allocating.
+    let mut trace_buf = TraceRecord::default();
     loop {
         let request = http::read_request(&mut reader, &shared.config.limits, || {
             http::write_continue(&mut writer)
@@ -253,32 +422,96 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Err(ReadError::Closed | ReadError::Timeout | ReadError::Io(_)) => return,
         };
 
+        // Trace context: honor the client's X-Request-Id, else mint one
+        // from the counter-seeded generator (no wall-clock entropy). The
+        // generated id lives in a stack buffer — no allocation per request.
+        let mut id_buf = [0u8; 16];
+        let request_id: &str = match request.request_id.as_deref() {
+            Some(id) => id,
+            None => evcap_obs::trace::next_trace_id_into(&mut id_buf),
+        };
+        let trace_guard = shared
+            .config
+            .trace
+            .then(|| evcap_obs::trace::start(request_id));
         let start = Instant::now(); // tidy:allow(instant-now): access-log latency stamp
-        let (status, body, cache) = route(&request, shared);
+        let routed = route(&request, shared);
+        let traced = trace_guard.is_some_and(|g| g.finish_into(&mut trace_buf));
+        let trace_record = traced.then_some(&trace_buf);
         let stopping = shared.shutdown.load(Ordering::SeqCst);
         let keep_alive = request.keep_alive && !stopping;
-        let extra: &[(&str, &str)] = if cache.is_empty() {
-            &[]
-        } else {
-            &[("x-evcap-cache", cache)]
-        };
         let elapsed = start.elapsed();
         let path = request.target.split('?').next().unwrap_or("");
-        shared.metrics.request(path, status, elapsed);
+        shared.metrics.request(path, routed.status, elapsed);
+
+        let stage_us = stage_breakdown(trace_record);
+        let mut sample = RequestSample {
+            path_tag: route_tag(path),
+            status: routed.status,
+            cache_tag: cache_tag(routed.cache),
+            latency_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            stage_us,
+            ..RequestSample::default()
+        };
+        sample.set_trace_id(request_id);
+        shared.flight.record(&sample);
+
+        let slow =
+            shared.config.slow_ms > 0 && elapsed >= Duration::from_millis(shared.config.slow_ms);
         if let Some(log) = &shared.access_log {
             let mut record = JsonObject::with_type("request");
             record.field_str("method", &request.method);
             record.field_str("path", path);
-            record.field_u64("status", u64::from(status));
+            record.field_u64("status", u64::from(routed.status));
             record.field_f64("micros", elapsed.as_secs_f64() * 1e6);
-            if !cache.is_empty() {
-                record.field_str("cache", cache);
+            record.field_str("trace_id", request_id);
+            if !routed.cache.is_empty() {
+                record.field_str("cache", routed.cache);
+            }
+            if slow {
+                record.field_bool("slow", true);
             }
             if let Ok(mut sink) = log.lock() {
                 let _ = sink.write(record);
+                if let Some(trace) = trace_record {
+                    let root_name = format!("{} {path}", request.method);
+                    let _ = sink.write(evcap_obs::trace::root_record(
+                        &trace.trace_id,
+                        &root_name,
+                        trace.total_ns,
+                    ));
+                    for event in &trace.events {
+                        let _ = sink.write(evcap_obs::trace::event_record(&trace.trace_id, event));
+                    }
+                }
             }
         }
-        if http::write_response(&mut writer, status, body.as_bytes(), keep_alive, extra).is_err() {
+        if slow {
+            dump_slow_request(&request.method, path, &routed, elapsed, trace_record);
+        }
+
+        // Fixed-size header scratch: at most id + cache + content-type.
+        let mut extra = [("", ""); 3];
+        let mut n_extra = 0;
+        extra[n_extra] = ("x-request-id", request_id);
+        n_extra += 1;
+        if !routed.cache.is_empty() {
+            extra[n_extra] = ("x-evcap-cache", routed.cache);
+            n_extra += 1;
+        }
+        if routed.content_type != APPLICATION_JSON {
+            extra[n_extra] = ("content-type", routed.content_type);
+            n_extra += 1;
+        }
+        if http::write_response(
+            &mut writer,
+            routed.status,
+            routed.body.as_bytes(),
+            keep_alive,
+            &extra[..n_extra],
+        )
+        .is_err()
+        {
             return;
         }
         if !keep_alive {
@@ -287,27 +520,122 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// The extra-header slot for "this response never touches a cache".
+/// Emits a slow-request span dump on stderr (the access log, when
+/// configured, additionally carries the same spans as records).
+fn dump_slow_request(
+    method: &str,
+    path: &str,
+    routed: &Routed,
+    elapsed: Duration,
+    trace: Option<&TraceRecord>,
+) {
+    let trace_id = trace.map_or("-", |t| t.trace_id.as_str());
+    // tidy:allow(print): deliberate slow-request diagnostics on stderr
+    eprintln!(
+        "slow request: {method} {path} {} {:.1}ms cache={} trace={trace_id}",
+        routed.status,
+        elapsed.as_secs_f64() * 1e3,
+        if routed.cache.is_empty() {
+            "none"
+        } else {
+            routed.cache
+        },
+    );
+    if let Some(trace) = trace {
+        for event in &trace.events {
+            // tidy:allow(print): deliberate slow-request diagnostics on stderr
+            eprintln!(
+                "  span {} parent={} start={:.1}us dur={:.1}us{}{}",
+                event.name,
+                event.parent_id,
+                event.start_ns as f64 / 1e3,
+                event.dur_ns as f64 / 1e3,
+                if event.label.is_empty() { "" } else { " label=" },
+                event.label,
+            );
+        }
+    }
+}
+
+/// The cache label for "this response never touches a cache".
 const NO_CACHE: &str = "";
 
-fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
+/// The default response content type.
+const APPLICATION_JSON: &str = "application/json";
+
+/// A routed response: status, body, cache disposition, content type.
+struct Routed {
+    status: u16,
+    body: String,
+    cache: &'static str,
+    content_type: &'static str,
+}
+
+impl Routed {
+    fn json(status: u16, body: String, cache: &'static str) -> Self {
+        Routed {
+            status,
+            body,
+            cache,
+            content_type: APPLICATION_JSON,
+        }
+    }
+
+    fn text(status: u16, body: String, content_type: &'static str) -> Self {
+        Routed {
+            status,
+            body,
+            cache: NO_CACHE,
+            content_type,
+        }
+    }
+}
+
+/// Whether a `/metrics` request asked for the Prometheus text format:
+/// `?format=prometheus` or an `Accept` header preferring `text/plain`.
+fn wants_prometheus(request: &Request) -> bool {
+    let query = request.target.split_once('?').map_or("", |(_, q)| q);
+    if query.split('&').any(|kv| kv == "format=prometheus") {
+        return true;
+    }
+    request
+        .accept
+        .as_deref()
+        .is_some_and(|a| a.to_ascii_lowercase().contains("text/plain"))
+}
+
+fn route(request: &Request, shared: &Shared) -> Routed {
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             let mut obj = JsonObject::with_type("health");
             obj.field_str("status", "ok");
-            (200, obj.finish(), NO_CACHE)
+            Routed::json(200, obj.finish(), NO_CACHE)
         }
         ("GET", "/metrics") => {
-            let body = shared.metrics.render(
-                &shared.solve_cache.stats(),
-                &shared.sim_cache.stats(),
-                &shared.artifact_cache.stats(),
-            );
-            (200, body, NO_CACHE)
+            if wants_prometheus(request) {
+                let tiers = vec![
+                    ("solve", shared.solve_cache.shard_snapshots()),
+                    ("sim", shared.sim_cache.shard_snapshots()),
+                    ("artifact", shared.artifact_cache.shard_snapshots()),
+                ];
+                Routed::text(
+                    200,
+                    shared.metrics.render_prometheus(&tiers),
+                    prometheus::CONTENT_TYPE,
+                )
+            } else {
+                let body = shared.metrics.render(
+                    &shared.solve_cache.stats(),
+                    &shared.sim_cache.stats(),
+                    &shared.artifact_cache.stats(),
+                );
+                Routed::json(200, body, NO_CACHE)
+            }
         }
+        ("GET", "/debug/recent") => Routed::json(200, render_recent(shared), NO_CACHE),
         ("POST", "/v1/solve") => match SolveScenario::from_body(&request.body) {
-            Err(e) => (e.status, e.body(), NO_CACHE),
+            Err(e) => Routed::json(e.status, e.body(), NO_CACHE),
             Ok(s) => {
                 let key = s.cache_key();
                 let fetch =
@@ -320,12 +648,13 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
                             shared.metrics.solve_latency.observe(t.elapsed());
                             result
                         });
+                evcap_obs::trace::mark("cache.solve", fetch.label());
                 render_fetch(fetch, shared)
             }
         },
         ("POST", "/v1/simulate") => {
             match SimulateScenario::from_body(&request.body, shared.config.max_slots) {
-                Err(e) => (e.status, e.body(), NO_CACHE),
+                Err(e) => Routed::json(e.status, e.body(), NO_CACHE),
                 Ok(s) => {
                     let key = s.cache_key();
                     let fetch = shared.sim_cache.get_or_compute(
@@ -336,17 +665,18 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
                             handlers::simulate(&s, &a)
                         },
                     );
+                    evcap_obs::trace::mark("cache.sim", fetch.label());
                     render_fetch(fetch, shared)
                 }
             }
         }
-        (_, "/healthz" | "/metrics" | "/v1/solve" | "/v1/simulate") => {
+        (_, "/healthz" | "/metrics" | "/debug/recent" | "/v1/solve" | "/v1/simulate") => {
             let err = ApiError {
                 status: 405,
                 kind: "method_not_allowed",
                 message: format!("`{}` is not supported on {path}", request.method),
             };
-            (405, err.body(), NO_CACHE)
+            Routed::json(405, err.body(), NO_CACHE)
         }
         _ => {
             let err = ApiError {
@@ -354,7 +684,7 @@ fn route(request: &Request, shared: &Shared) -> (u16, String, &'static str) {
                 kind: "not_found",
                 message: format!("no route for {path}"),
             };
-            (404, err.body(), NO_CACHE)
+            Routed::json(404, err.body(), NO_CACHE)
         }
     }
 }
@@ -390,6 +720,7 @@ fn artifact(
             }
             Ok(Arc::new(solved))
         });
+    evcap_obs::trace::mark("cache.artifact", fetch.label());
     match fetch {
         Fetch::Hit(a) | Fetch::Computed(a) | Fetch::Coalesced(a) => Ok(a),
         Fetch::Failed(e) => Err(e),
@@ -404,11 +735,13 @@ fn artifact(
     }
 }
 
-fn render_fetch(fetch: Fetch<String, ApiError>, shared: &Shared) -> (u16, String, &'static str) {
+fn render_fetch(fetch: Fetch<String, ApiError>, shared: &Shared) -> Routed {
     let label = fetch.label();
     match fetch {
-        Fetch::Hit(body) | Fetch::Computed(body) | Fetch::Coalesced(body) => (200, body, label),
-        Fetch::Failed(e) => (e.status, e.body(), label),
+        Fetch::Hit(body) | Fetch::Computed(body) | Fetch::Coalesced(body) => {
+            Routed::json(200, body, label)
+        }
+        Fetch::Failed(e) => Routed::json(e.status, e.body(), label),
         Fetch::TimedOut => {
             shared.metrics.timeout();
             let err = ApiError {
@@ -416,7 +749,7 @@ fn render_fetch(fetch: Fetch<String, ApiError>, shared: &Shared) -> (u16, String
                 kind: "coalesce_timeout",
                 message: "timed out waiting for an in-flight computation".to_owned(),
             };
-            (503, err.body(), label)
+            Routed::json(503, err.body(), label)
         }
     }
 }

@@ -324,6 +324,191 @@ fn oversized_bodies_are_refused_at_the_framing_layer() {
 }
 
 #[test]
+fn prometheus_exposition_round_trips_and_matches_json() {
+    use evcap_serve::prometheus;
+
+    let server = Server::start(test_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+
+    // One miss + one hit so the cache series and latency histogram are
+    // populated.
+    let body = br#"{"dist":"det:9","e":0.25,"horizon":2048}"#;
+    assert_eq!(conn.request("POST", "/v1/solve", body).unwrap().status, 200);
+    let hit = conn.request("POST", "/v1/solve", body).unwrap();
+    assert_eq!(hit.cache.as_deref(), Some("hit"));
+
+    // JSON stays the default; Prometheus comes via `?format=` or `Accept`.
+    let json = conn.request("GET", "/metrics", b"").unwrap();
+    assert_eq!(json.content_type.as_deref(), Some("application/json"));
+    let m = parse_line(&json.text()).unwrap();
+    let json_requests = m.get("requests").and_then(JsonValue::as_f64).unwrap();
+
+    let scrape = conn
+        .request("GET", "/metrics?format=prometheus", b"")
+        .unwrap();
+    assert_eq!(scrape.status, 200);
+    assert_eq!(scrape.content_type.as_deref(), Some(prometheus::CONTENT_TYPE));
+    let samples = prometheus::parse(&scrape.text()).expect("scrape parses");
+
+    // Request counters are present and consistent with the JSON body
+    // (the scrape itself is one more request than the JSON snapshot saw).
+    let requests = prometheus::find(&samples, "evcap_requests_total", &[]).unwrap();
+    assert_eq!(requests, json_requests + 1.0);
+    assert_eq!(
+        prometheus::find(&samples, "evcap_endpoint_requests_total", &[("endpoint", "solve")]),
+        Some(2.0)
+    );
+
+    // Both cache tiers expose per-shard series; the solve tier's hit
+    // counters sum to the one hit above, and every shard reports capacity.
+    for cache in ["solve", "sim"] {
+        let mut hits = 0.0;
+        for shard in 0..4 {
+            let labels = [("cache", cache), ("shard", &shard.to_string())];
+            hits += prometheus::find(&samples, "evcap_cache_hits_total", &labels[..])
+                .unwrap_or_else(|| panic!("missing hits for {cache}/{shard}"));
+            assert!(
+                prometheus::find(&samples, "evcap_cache_capacity", &labels[..]).unwrap() > 0.0
+            );
+        }
+        assert_eq!(hits, if cache == "solve" { 1.0 } else { 0.0 });
+    }
+
+    // Histogram buckets are cumulative and terminate at `+Inf` == `_count`.
+    let buckets: Vec<&prometheus::Sample> = samples
+        .iter()
+        .filter(|s| s.name == "evcap_request_latency_seconds_bucket")
+        .collect();
+    assert!(buckets.len() >= 2);
+    assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+    assert_eq!(buckets.last().and_then(|s| s.label("le")), Some("+Inf"));
+    let count = prometheus::find(&samples, "evcap_request_latency_seconds_count", &[]).unwrap();
+    assert_eq!(buckets.last().map(|s| s.value), Some(count));
+
+    // Accept-header negotiation picks the text format too.
+    let via_accept = conn
+        .request_with("GET", "/metrics", b"", &[("accept", "text/plain")])
+        .unwrap();
+    assert_eq!(via_accept.content_type.as_deref(), Some(prometheus::CONTENT_TYPE));
+    assert!(prometheus::parse(&via_accept.text()).is_ok());
+
+    server.shutdown();
+}
+
+#[test]
+fn trace_tree_in_the_access_log_is_single_rooted() {
+    let log = std::env::temp_dir().join("evcap_e2e_trace_tree.jsonl");
+    let _ = std::fs::remove_file(&log);
+    let mut config = test_config();
+    config.access_log = Some(log.display().to_string());
+    let server = Server::start(config).expect("bind");
+    let addr = server.local_addr();
+
+    // A cache-miss solve with a caller-chosen request id: the clustering
+    // optimizer runs, so the tree must contain its span.
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+    let body = br#"{"dist":"weibull:30,2","e":0.2,"policy":"clustering","horizon":4096}"#;
+    let resp = conn
+        .request_with("POST", "/v1/solve", body, &[("x-request-id", "e2e-trace-01")])
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.cache.as_deref(), Some("miss"));
+    // The id is echoed back on the response.
+    assert_eq!(resp.request_id.as_deref(), Some("e2e-trace-01"));
+
+    server.shutdown(); // flushes the access log
+
+    let text = std::fs::read_to_string(&log).expect("access log written");
+    let records: Vec<JsonValue> = text.lines().map(|l| parse_line(l).unwrap()).collect();
+    let str_of = |v: &JsonValue, k: &str| v.get(k).and_then(JsonValue::as_str).map(str::to_owned);
+    let num_of = |v: &JsonValue, k: &str| v.get(k).and_then(JsonValue::as_f64).unwrap() as u64;
+
+    // The request record carries the trace id.
+    let req = records
+        .iter()
+        .find(|r| str_of(r, "type").as_deref() == Some("request"))
+        .expect("request record");
+    assert_eq!(str_of(req, "trace_id").as_deref(), Some("e2e-trace-01"));
+
+    // The span records form one single-rooted tree under that trace id.
+    let spans: Vec<&JsonValue> = records
+        .iter()
+        .filter(|r| {
+            str_of(r, "type").as_deref() == Some("trace_span")
+                && str_of(r, "trace_id").as_deref() == Some("e2e-trace-01")
+        })
+        .collect();
+    let roots: Vec<&&JsonValue> = spans.iter().filter(|s| num_of(s, "parent_id") == 0).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    assert_eq!(str_of(roots[0], "name").as_deref(), Some("POST /v1/solve"));
+    let ids: Vec<u64> = spans.iter().map(|s| num_of(s, "span_id")).collect();
+    for s in &spans {
+        let parent = num_of(s, "parent_id");
+        assert!(
+            parent == 0 || ids.contains(&parent),
+            "span {} has a dangling parent {parent}",
+            num_of(s, "span_id"),
+        );
+    }
+    let names: Vec<String> = spans.iter().filter_map(|s| str_of(s, "name")).collect();
+    for expected in ["spec.solve", "clustering.search", "req.parse", "spec.table"] {
+        assert!(names.iter().any(|n| n == expected), "missing span `{expected}` in {names:?}");
+    }
+    // The cache marks annotate their tier outcome.
+    let mark = spans
+        .iter()
+        .find(|s| str_of(s, "name").as_deref() == Some("cache.solve"))
+        .expect("cache.solve mark");
+    assert_eq!(str_of(mark, "label").as_deref(), Some("miss"));
+
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn debug_recent_reports_request_summaries() {
+    let mut config = test_config();
+    config.recent = 8;
+    let server = Server::start(config).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+
+    let body = br#"{"dist":"det:11","e":0.3,"horizon":1024}"#;
+    let miss = conn
+        .request_with("POST", "/v1/solve", body, &[("x-request-id", "recent-miss")])
+        .unwrap();
+    assert_eq!(miss.status, 200);
+    assert_eq!(conn.request("POST", "/v1/solve", body).unwrap().cache.as_deref(), Some("hit"));
+
+    let resp = conn.request("GET", "/debug/recent", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = parse_line(&resp.text()).expect("recent body parses");
+    assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("recent"));
+    assert_eq!(v.get("capacity").and_then(JsonValue::as_f64), Some(8.0));
+    let requests = v.get("requests").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(requests.len(), 2, "{}", resp.text());
+    let path = |r: &JsonValue| r.get("path").and_then(JsonValue::as_str).map(str::to_owned);
+    let cache = |r: &JsonValue| r.get("cache").and_then(JsonValue::as_str).map(str::to_owned);
+    assert_eq!(path(&requests[0]).as_deref(), Some("/v1/solve"));
+    assert_eq!(cache(&requests[0]).as_deref(), Some("miss"));
+    assert_eq!(
+        requests[0].get("trace_id").and_then(JsonValue::as_str),
+        Some("recent-miss")
+    );
+    assert_eq!(cache(&requests[1]).as_deref(), Some("hit"));
+    for r in requests {
+        assert!(r.get("latency_us").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert_eq!(r.get("status").and_then(JsonValue::as_f64), Some(200.0));
+    }
+    // The API surface mirrors the drain report's accessor (which by now
+    // also saw the `/debug/recent` scrape itself).
+    let recent = server.recent_requests();
+    assert_eq!(recent.len(), 3);
+    assert_eq!(recent[2].path, "/debug/recent");
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_drains_and_closes_the_listener() {
     let server = Server::start(test_config()).expect("bind");
     let addr = server.local_addr();

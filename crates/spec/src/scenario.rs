@@ -496,7 +496,10 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
         }
     };
 
-    let table = policy.table();
+    let table = {
+        let _span = evcap_obs::timing::span("spec.table");
+        policy.table()
+    };
     let solved = SolvedPolicy {
         scenario: scenario.clone(),
         pmf,

@@ -59,6 +59,12 @@ const RULES: &[(&str, &str)] = &[
          cli json) drifts from the escaping rules the parsers expect",
     ),
     (
+        "print",
+        "println!/eprintln! belongs to the CLI (crates/cli/src) — library crates report \
+         through evcap-obs records or return values; deliberate stderr diagnostics carry \
+         an escape",
+    ),
+    (
         "unsafe",
         "unsafe code lives only in the serve signal shim, where every block carries a \
          SAFETY: comment; everywhere else the crate root forbids it",
@@ -344,6 +350,21 @@ fn content_violations(file: &SourceFile) -> Vec<Violation> {
             );
         }
 
+        // print: stdout/stderr belongs to the CLI binary; a library that
+        // prints bypasses the JSONL observability pipeline and pollutes
+        // output that tests and scripts scrape.
+        if !file.path.starts_with("crates/cli/src/")
+            && (line.contains("println!") || line.contains("eprintln!"))
+            && !file.line_waived(idx, "print")
+        {
+            push(
+                idx,
+                "print",
+                "println!/eprintln! outside crates/cli — emit an obs record or return the text"
+                    .to_owned(),
+            );
+        }
+
         // unsafe: token-level word match so `unsafe_code` in attributes
         // doesn't trip it, but `unsafe {`, `unsafe fn`, `unsafe impl` do.
         if has_unsafe_token(line) && !file.line_waived(idx, "unsafe") {
@@ -572,6 +593,24 @@ const CASES: &[Case] = &[
         path: "crates/serve/src/seeded.rs",
         content: "fn f() {\n    let s = format!(\"{{\\\"a\\\":{n}}}\");\n}\n",
         expect: &["json-fmt"],
+    },
+    Case {
+        label: "print fires in library crates",
+        path: "crates/serve/src/seeded.rs",
+        content: "fn f() {\n    eprintln!(\"draining\");\n}\n",
+        expect: &["print"],
+    },
+    Case {
+        label: "print is legal inside the CLI",
+        path: "crates/cli/src/seeded.rs",
+        content: "fn f() {\n    println!(\"listening\");\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "print with an escape passes",
+        path: "crates/bench/src/seeded.rs",
+        content: "fn f() {\n    eprintln!(\"# perf\"); // tidy:allow(print): stderr report by design\n}\n",
+        expect: &[],
     },
     Case {
         label: "unsafe fires outside the signal shim",

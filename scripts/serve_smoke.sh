@@ -49,6 +49,31 @@ curl -sf "http://$ADDR/metrics" > "$OUT/metrics.json"
 grep -q '"solve_cache_hits":1' "$OUT/metrics.json" || fail "metrics missing the hit"
 grep -q '"solve_cache_misses":1' "$OUT/metrics.json" || fail "metrics missing the miss"
 
+# 4b. Prometheus exposition: content-negotiated text format with the
+# request counter, per-shard cache series, and a cumulative histogram.
+curl -sf "http://$ADDR/metrics?format=prometheus" > "$OUT/metrics.prom"
+grep -q '^# TYPE evcap_requests_total counter' "$OUT/metrics.prom" \
+  || fail "prometheus scrape missing the requests counter TYPE line"
+grep -q '^evcap_cache_hits_total{cache="solve",shard="' "$OUT/metrics.prom" \
+  || fail "prometheus scrape missing per-shard solve cache series"
+grep -q '^evcap_request_latency_seconds_bucket{le="+Inf"}' "$OUT/metrics.prom" \
+  || fail "prometheus scrape missing the +Inf histogram bucket"
+# The Accept header negotiates the same format; JSON stays the default.
+curl -sf -H 'Accept: text/plain' "http://$ADDR/metrics" \
+  | grep -q '^evcap_uptime_seconds' || fail "Accept: text/plain did not negotiate"
+curl -sf "http://$ADDR/metrics" | grep -q '"type":"metrics"' \
+  || fail "JSON is no longer the /metrics default"
+
+# 4c. Request tracing: a caller-supplied X-Request-Id is echoed back, and
+# the flight recorder shows the request on /debug/recent.
+HDRS="$(curl -sf -D - -o /dev/null -H 'X-Request-Id: smoke-42' \
+  -X POST -d "$BODY" "http://$ADDR/v1/solve")"
+echo "$HDRS" | grep -qi 'x-request-id: smoke-42' || fail "request id not echoed"
+curl -sf "http://$ADDR/debug/recent" > "$OUT/recent.json"
+grep -q '"type":"recent"' "$OUT/recent.json" || fail "/debug/recent malformed"
+grep -q '"trace_id":"smoke-42"' "$OUT/recent.json" \
+  || fail "/debug/recent does not show the traced request"
+
 # 5. NaN spec arguments are a structured 400.
 CODE="$(curl -s -o "$OUT/err.json" -w '%{http_code}' -X POST \
   -d '{"dist":"weibull:nan,3","e":0.2}' "http://$ADDR/v1/solve")"
