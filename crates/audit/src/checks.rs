@@ -63,6 +63,53 @@ pub fn audit_with(scenario: &Scenario, solved: &SolvedPolicy, opts: &AuditOption
     }
 }
 
+/// A certification refusal: the full audit report, every violation intact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifyError {
+    /// The report whose failed checks caused the refusal.
+    pub report: AuditReport,
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let named: Vec<String> = self
+            .report
+            .violations()
+            .map(|c| format!("{}: {}", c.invariant, c.detail))
+            .collect();
+        write!(
+            f,
+            "artifact `{}` failed certification ({})",
+            self.report.scenario_key,
+            named.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Certifies a solved artifact for serving: audits it and turns any failed
+/// invariant into a hard error.
+///
+/// This is the mandatory gate between *deserialized* artifacts (a store
+/// load, any future wire ingestion) and a serve response — [`audit`]
+/// merely reports, `certify` refuses. A clean pass returns the report so
+/// callers can log what was proved. Runs under the `audit.certify` timing
+/// span.
+///
+/// # Errors
+///
+/// [`CertifyError`] carrying the full report when any invariant fails.
+pub fn certify(scenario: &Scenario, solved: &SolvedPolicy) -> Result<AuditReport, CertifyError> {
+    let _span = evcap_obs::timing::span("audit.certify");
+    let report = audit(scenario, solved);
+    if report.is_clean() {
+        Ok(report)
+    } else {
+        Err(CertifyError { report })
+    }
+}
+
 fn pass(invariant: &'static str, detail: impl Into<String>) -> Check {
     Check {
         invariant,

@@ -35,5 +35,5 @@
 mod checks;
 mod report;
 
-pub use checks::{audit, audit_with, AuditOptions};
+pub use checks::{audit, audit_with, certify, AuditOptions, CertifyError};
 pub use report::{AuditReport, Check, Outcome};

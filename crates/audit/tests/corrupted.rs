@@ -181,3 +181,19 @@ fn mislabeled_meta_is_rejected() {
     let report = audit(&scenario, &solved);
     assert_rejects(&report, "meta-consistency");
 }
+
+#[test]
+fn certify_passes_clean_artifacts_and_refuses_tampered_ones() {
+    let (scenario, solved) = greedy_artifact();
+    let report = evcap_audit::certify(&scenario, &solved).expect("fresh solve certifies");
+    assert!(report.is_clean());
+
+    let (scenario, mut solved) = greedy_artifact();
+    solved.policy = Box::new(BrokenPolicy);
+    solved.table = None;
+    let err = evcap_audit::certify(&scenario, &solved).unwrap_err();
+    assert!(!err.report.is_clean());
+    let text = err.to_string();
+    assert!(text.contains("failed certification"), "{text}");
+    assert!(text.contains("coefficient-range"), "{text}");
+}

@@ -57,6 +57,16 @@ COMMANDS:
              loop, and batched replications at several thread counts
              [--dist SPEC] [--slots N] [--replications R]
              [--threads-list 1,4,8] [--seed S] [--k CAP] [--out FILE.json]
+  solve-fleet
+             batch-solve a scenario matrix into a persistent artifact store;
+             each (dist, policy) group runs in ascending-e order so every
+             clustering solve warm-starts from its predecessor's optimum
+             --store DIR --dists \"SPEC;SPEC;...\" --e-list R1,R2,...
+             [--policies greedy,clustering,...] [--theta1 N] [--delta1 X]
+             [--delta2 Y] [--horizon H] [--sensors N] [--threads N]
+             [--force true]  re-solve scenarios already stored
+  store      inspect or maintain a persistent artifact store
+             <ls|stat|verify|compact> --store DIR
   serve      run the policy server (POST /v1/solve, POST /v1/simulate,
              GET /healthz, GET /metrics, GET /debug/recent) until
              SIGINT/SIGTERM
@@ -68,6 +78,8 @@ COMMANDS:
              [--trace false]  disable per-request span collection
              [--recent N]  flight-recorder capacity (default 64)
              [--slow-ms MS]  dump span trees of slow requests (0 = off)
+             [--store DIR]  persistent artifact tier between the in-memory
+             cache and a fresh solve (loads are certified before reuse)
   loadgen    benchmark a running server over keep-alive connections
              --addr HOST:PORT [--concurrency N] [--requests N]
              [--path /v1/solve] [--body JSON] [--timeout-ms MS]
@@ -1162,12 +1174,7 @@ fn trace_tree(path: &str, only: Option<&str>) -> CmdResult {
         if record.get("type").and_then(JsonValue::as_str) != Some("trace_span") {
             continue;
         }
-        let str_field = |k: &str| {
-            record
-                .get(k)
-                .and_then(JsonValue::as_str)
-                .map(str::to_owned)
-        };
+        let str_field = |k: &str| record.get(k).and_then(JsonValue::as_str).map(str::to_owned);
         let num_field = |k: &str| record.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
         let Some(trace_id) = str_field("trace_id") else {
             continue;
@@ -1250,6 +1257,8 @@ pub fn dispatch(args: &Args) -> CmdResult {
         Some("adaptive") => adaptive(args),
         Some("figure") => figure(args),
         Some("trace") => trace(args),
+        Some("solve-fleet") => crate::fleet::solve_fleet(args),
+        Some("store") => crate::fleet::store(args),
         Some("serve") => crate::serving::serve(args),
         Some("loadgen") => crate::serving::loadgen(args),
         Some("help") | None => {

@@ -6,6 +6,7 @@
 
 mod args;
 mod commands;
+mod fleet;
 mod json;
 mod serving;
 mod spec;

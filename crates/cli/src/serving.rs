@@ -27,6 +27,7 @@ pub fn serve(args: &Args) -> CmdResult {
         "trace",
         "recent",
         "slow-ms",
+        "store",
     ])?;
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7070").to_owned(),
@@ -49,6 +50,7 @@ pub fn serve(args: &Args) -> CmdResult {
         trace: args.get_or("trace", true, "true or false")?,
         recent: args.get_or("recent", 64usize, "a request count")?,
         slow_ms: args.get_or("slow-ms", 0u64, "milliseconds (0 disables)")?,
+        store: args.get("store").map(str::to_owned),
         ..ServeConfig::default()
     };
     signal::install();

@@ -282,6 +282,12 @@ impl ClusteringPolicy {
     }
 }
 
+/// Slack subtracted from a warm hint's priced value to form the screening
+/// threshold: wide enough that the cold grid optimum clears it whenever
+/// the hint comes from a genuinely neighboring scenario, which keeps the
+/// certified fast path the common case.
+const WARM_SLACK: f64 = 0.05;
+
 /// Searches clustering-region boundaries for the best energy-balanced policy,
 /// following the paper's bounded enumeration ("increase n3 gradually and
 /// enumerate n1 and n2 … until the objective cannot be further increased"),
@@ -374,6 +380,36 @@ impl ClusteringOptimizer {
         pmf: &SlotPmf,
         consumption: &ConsumptionModel,
     ) -> Result<(ClusteringPolicy, ClusterEvaluation, u64)> {
+        self.optimize_counted_with_hint(pmf, consumption, None)
+    }
+
+    /// Like [`ClusteringOptimizer::optimize_counted`], optionally seeded
+    /// with the region boundaries of a previously solved *neighboring*
+    /// scenario (same distribution family, nearby budget).
+    ///
+    /// The warm pass prices the hint on this scenario, then walks the cold
+    /// search's lattice **in the cold order with the cold accept rule**,
+    /// skipping the expensive budget bisection for every candidate whose
+    /// upper bound (the fully-open variant, pointwise at least any
+    /// budget-balanced variant) cannot come within a fixed slack of the
+    /// hint's value. Skipped candidates provably cannot be the cold
+    /// sweep's final grid optimum, so when the surviving best clears the
+    /// threshold the warm search returns the cold policy **bit for bit**
+    /// while evaluating far fewer candidates. Whenever that cannot be
+    /// certified — the hint violates the search bounds, prices as
+    /// infeasible, or out-values the entire surviving lattice — the search
+    /// falls back to the full cold enumeration. Successful warm passes
+    /// bump the `clustering.warm_hits` observability counter.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClusteringOptimizer::optimize`].
+    pub fn optimize_counted_with_hint(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        hint: Option<(usize, usize, usize)>,
+    ) -> Result<(ClusteringPolicy, ClusterEvaluation, u64)> {
         if self.budget.rate() <= 0.0 {
             return Err(PolicyError::BudgetTooSmall { budget: 0.0 });
         }
@@ -389,6 +425,14 @@ impl ClusteringOptimizer {
             .max(lo + 1);
         let mut candidates = 0u64;
         for _ in 0..8 {
+            if let Some(h) = hint {
+                if let Some((policy, eval)) =
+                    self.search_warm(pmf, consumption, lo, hi, h, &mut candidates)
+                {
+                    evcap_obs::timing::add_count("clustering.warm_hits", 1);
+                    return Ok((policy, eval, candidates));
+                }
+            }
             if let Some((policy, eval)) = self.search(pmf, consumption, lo, hi, &mut candidates) {
                 return Ok((policy, eval, candidates));
             }
@@ -428,7 +472,115 @@ impl ClusteringOptimizer {
             n1 += step;
         }
 
-        // Local refinement: coordinate descent with shrinking step.
+        self.refine(pmf, consumption, lo, hi, step, &mut best, candidates);
+        best
+    }
+
+    /// The warm-hinted counterpart of [`ClusteringOptimizer::search`]: the
+    /// same lattice, enumerated in the same order with the same accept
+    /// rule, except that candidates whose upper bound cannot reach the
+    /// hint-derived threshold are screened out before the budget
+    /// bisection. Returns `None` when the screened sweep's verdict cannot
+    /// be certified as the cold sweep's (see
+    /// [`ClusteringOptimizer::optimize_counted_with_hint`]), which sends
+    /// the caller to the full enumeration.
+    fn search_warm(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        lo: usize,
+        hi: usize,
+        hint: (usize, usize, usize),
+        candidates: &mut u64,
+    ) -> Option<(ClusteringPolicy, ClusterEvaluation)> {
+        let (h1, h2, h3) = hint;
+        if h1 < lo.max(1) || h1 > h2 || h2 > h3 || h3 > hi {
+            return None; // the hint violates this search's bounds
+        }
+        let _span = evcap_obs::timing::span("clustering.search");
+        let step = ((hi - lo) / self.grid_points).max(1);
+
+        // Price the hint on *this* scenario (budget-balanced like any other
+        // candidate). Its result stays out of `best`: the hint is generally
+        // off-lattice, and the equivalence argument below needs `best` to
+        // see exactly the candidates the cold sweep would accept.
+        let mut priced: Option<(ClusteringPolicy, ClusterEvaluation)> = None;
+        self.consider(pmf, consumption, h1, h2, h3, &mut priced, candidates);
+        let (_, hint_eval) = priced?;
+        let threshold = hint_eval.capture_probability - WARM_SLACK;
+        if threshold <= 0.0 {
+            return None; // the hint prunes nothing; run the cold sweep
+        }
+
+        // Cold lattice, cold order, cold accept rule — but a candidate is
+        // only *considered* (feasibility + c_n1 bisection) if the capture
+        // probability of its fully-open variant, which bounds every
+        // budget-balanced variant from above, clears the threshold. A
+        // screened-out candidate therefore has value ≤ threshold, so if
+        // the surviving best ends up strictly above the threshold, no
+        // skipped candidate could have been the cold sweep's grid optimum
+        // (nor perturbed the accept chain that selects it), and the
+        // identical refinement below reproduces the cold policy bit for
+        // bit. Per-`n1` subtrees are screened first with the everything-
+        // from-`n1`-on bound, which dominates every `(n2, n3)` choice.
+        let mut best: Option<(ClusteringPolicy, ClusterEvaluation)> = None;
+        let mut n1 = lo.max(1);
+        while n1 <= hi {
+            let subtree_ub = ClusteringPolicy::new(n1, hi, hi, 1.0, 1.0, 1.0)
+                .map(|p| p.evaluate(pmf, consumption, self.eval).capture_probability)
+                .unwrap_or(0.0);
+            evcap_obs::timing::add_count("clustering.screened", 1);
+            if subtree_ub > threshold {
+                let mut n2 = n1;
+                while n2 <= hi {
+                    let mut n3 = n2;
+                    while n3 <= hi {
+                        if let Ok(full) = ClusteringPolicy::new(n1, n2, n3, 1.0, 1.0, 1.0) {
+                            evcap_obs::timing::add_count("clustering.screened", 1);
+                            let eval_full = full.evaluate(pmf, consumption, self.eval);
+                            if eval_full.capture_probability > threshold {
+                                self.consider_priced(
+                                    pmf,
+                                    consumption,
+                                    full,
+                                    eval_full,
+                                    &mut best,
+                                    candidates,
+                                );
+                            }
+                        }
+                        n3 += step;
+                    }
+                    n2 += step;
+                }
+            }
+            n1 += step;
+        }
+
+        let grid_value = best.as_ref().map(|(_, e)| e.capture_probability)?;
+        if grid_value < threshold + 2e-9 {
+            // Too close to the screening threshold to certify that the
+            // pruned sweep and the cold sweep agree on the grid optimum.
+            return None;
+        }
+        self.refine(pmf, consumption, lo, hi, step, &mut best, candidates);
+        best
+    }
+
+    /// Local refinement shared by the cold and warm searches: coordinate
+    /// descent with shrinking step, seeded from (and folding back into)
+    /// `best`.
+    #[allow(clippy::too_many_arguments)]
+    fn refine(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        lo: usize,
+        hi: usize,
+        step: usize,
+        best: &mut Option<(ClusteringPolicy, ClusterEvaluation)>,
+        candidates: &mut u64,
+    ) {
         if let Some((seed, _)) = best.clone() {
             let mut current = (seed.n1(), seed.n2(), seed.n3());
             let mut delta = step.max(2) / 2;
@@ -454,7 +606,7 @@ impl ClusteringOptimizer {
                                 cand[0] as usize,
                                 cand[1] as usize,
                                 cand[2] as usize,
-                                &mut best,
+                                best,
                                 candidates,
                             );
                             let after = best.as_ref().map(|(_, e)| e.capture_probability);
@@ -471,8 +623,6 @@ impl ClusteringOptimizer {
                 delta /= 2;
             }
         }
-
-        best
     }
 
     /// Evaluates the `(n1, n2, n3)` candidate (balancing `c_{n1}` if the full
@@ -491,10 +641,24 @@ impl ClusteringOptimizer {
         let Ok(full) = ClusteringPolicy::new(n1, n2, n3, 1.0, 1.0, 1.0) else {
             return;
         };
+        let eval_full = full.evaluate(pmf, consumption, self.eval);
+        self.consider_priced(pmf, consumption, full, eval_full, best, candidates);
+    }
+
+    /// [`ClusteringOptimizer::consider`] with the fully-open evaluation
+    /// already in hand (the warm screen computes it as its upper bound).
+    fn consider_priced(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        full: ClusteringPolicy,
+        eval_full: ClusterEvaluation,
+        best: &mut Option<(ClusteringPolicy, ClusterEvaluation)>,
+        candidates: &mut u64,
+    ) {
         *candidates += 1;
         evcap_obs::timing::add_count("clustering.candidates", 1);
         let e = self.budget.rate();
-        let eval_full = full.evaluate(pmf, consumption, self.eval);
         let candidate = if eval_full.discharge_rate <= e {
             Some((full, eval_full))
         } else {
@@ -704,6 +868,53 @@ mod tests {
                 eval.capture_probability
             );
             last = eval.capture_probability;
+        }
+    }
+
+    #[test]
+    fn warm_hint_reproduces_cold_policy_with_fewer_candidates() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        // Sweep the budget; each step seeds from the previous cold optimum,
+        // the way the fleet solver hands hints between neighboring e.
+        let mut hint: Option<(usize, usize, usize)> = None;
+        for e in [0.30, 0.35, 0.4, 0.45, 0.5] {
+            let opt = ClusteringOptimizer::new(EnergyBudget::per_slot(e));
+            let (cold, cold_eval, cold_n) = opt.optimize_counted(&pmf, &consumption()).unwrap();
+            let (warm, warm_eval, warm_n) = opt
+                .optimize_counted_with_hint(&pmf, &consumption(), hint)
+                .unwrap();
+            assert_eq!(cold, warm, "e={e}: warm policy diverged from cold");
+            assert_eq!(
+                cold_eval.capture_probability.to_bits(),
+                warm_eval.capture_probability.to_bits(),
+                "e={e}"
+            );
+            if hint.is_some() {
+                assert!(
+                    warm_n < cold_n,
+                    "e={e}: warm search did not save work ({warm_n} vs {cold_n})"
+                );
+            }
+            hint = Some((cold.n1(), cold.n2(), cold.n3()));
+        }
+    }
+
+    #[test]
+    fn bogus_hint_falls_back_to_the_cold_result() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let opt = ClusteringOptimizer::new(EnergyBudget::per_slot(0.5));
+        let (cold, _, _) = opt.optimize_counted(&pmf, &consumption()).unwrap();
+        // A hint far from the optimum (and one violating the bounds) must
+        // still land on the cold policy via the certification fallback.
+        for bad in [(1, 1, 1), (500, 600, 700), (3, 2, 1)] {
+            let (warm, _, _) = opt
+                .optimize_counted_with_hint(&pmf, &consumption(), Some(bad))
+                .unwrap();
+            assert_eq!(cold, warm, "hint {bad:?}");
         }
     }
 

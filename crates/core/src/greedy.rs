@@ -253,6 +253,67 @@ impl GreedyPolicy {
         let solution = problem.solve()?;
         Ok(solution.objective)
     }
+
+    /// Reassembles a policy from previously solved parts — the fields a
+    /// persisted artifact recorded — without re-running the water-filling.
+    ///
+    /// This is the rehydration door used by the scenario layer when loading
+    /// artifacts from the on-disk store; validation here keeps a corrupted
+    /// record from materializing as an out-of-range policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidParameter`] if any coefficient (or the
+    /// tail) is not a probability, the QoM is not a probability, the
+    /// discharge rate is negative or non-finite, or the mean gap is not a
+    /// positive finite number.
+    pub fn from_parts(
+        coefficients: Vec<f64>,
+        tail_coefficient: f64,
+        ideal_qom: f64,
+        discharge_rate: f64,
+        mean_gap: f64,
+        label: String,
+    ) -> Result<Self> {
+        let prob = |name: &'static str, v: f64| -> Result<f64> {
+            if v.is_finite() && (0.0..=1.0).contains(&v) {
+                Ok(v)
+            } else {
+                Err(PolicyError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "a probability in [0, 1]",
+                })
+            }
+        };
+        for &c in &coefficients {
+            prob("coefficient", c)?;
+        }
+        prob("tail_coefficient", tail_coefficient)?;
+        prob("ideal_qom", ideal_qom)?;
+        if !(discharge_rate.is_finite() && discharge_rate >= 0.0) {
+            return Err(PolicyError::InvalidParameter {
+                name: "discharge_rate",
+                value: discharge_rate,
+                expected: "a finite non-negative rate",
+            });
+        }
+        if !(mean_gap.is_finite() && mean_gap > 0.0) {
+            return Err(PolicyError::InvalidParameter {
+                name: "mean_gap",
+                value: mean_gap,
+                expected: "a positive finite mean gap",
+            });
+        }
+        Ok(Self {
+            coefficients,
+            tail_coefficient,
+            ideal_qom,
+            discharge_rate,
+            mean_gap,
+            label,
+        })
+    }
 }
 
 impl ActivationPolicy for GreedyPolicy {
@@ -313,6 +374,45 @@ mod tests {
         assert!((policy.coefficient(2) - 1.0).abs() < 1e-12);
         assert!((policy.coefficient(1) - 0.5).abs() < 1e-12);
         assert!((policy.ideal_qom() - (0.4 + 0.5 * 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_optimized_policy() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let policy =
+            GreedyPolicy::optimize(&pmf, EnergyBudget::per_slot(0.5), &paper_consumption())
+                .unwrap();
+        let rebuilt = GreedyPolicy::from_parts(
+            (1..=policy.horizon())
+                .map(|i| policy.coefficient(i))
+                .collect(),
+            policy.coefficient(policy.horizon() + 1),
+            policy.ideal_qom(),
+            policy.discharge_rate(),
+            policy.mean_gap(),
+            policy.label(),
+        )
+        .unwrap();
+        assert_eq!(policy, rebuilt);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupted_fields() {
+        let ok = || (vec![0.0, 1.0], 0.5, 0.4, 0.5, 40.0, "g".to_owned());
+        let (c, t, q, d, m, l) = ok();
+        assert!(GreedyPolicy::from_parts(c, t, q, d, m, l).is_ok());
+        let (_, t, q, d, m, l) = ok();
+        assert!(GreedyPolicy::from_parts(vec![1.5], t, q, d, m, l).is_err());
+        let (c, _, q, d, m, l) = ok();
+        assert!(GreedyPolicy::from_parts(c, f64::NAN, q, d, m, l).is_err());
+        let (c, t, _, d, m, l) = ok();
+        assert!(GreedyPolicy::from_parts(c, t, 2.0, d, m, l).is_err());
+        let (c, t, q, _, m, l) = ok();
+        assert!(GreedyPolicy::from_parts(c, t, q, -1.0, m, l).is_err());
+        let (c, t, q, d, _, l) = ok();
+        assert!(GreedyPolicy::from_parts(c, t, q, d, 0.0, l).is_err());
     }
 
     #[test]

@@ -137,6 +137,61 @@ impl MyopicPolicy {
         })
     }
 
+    /// Reassembles a policy from previously solved parts — the fields a
+    /// persisted artifact recorded — without re-running the belief DP.
+    ///
+    /// This is the rehydration door used by the scenario layer when loading
+    /// artifacts from the on-disk store; validation here keeps a corrupted
+    /// record from materializing as a malformed policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidParameter`] for an empty window, a
+    /// non-finite or out-of-range threshold, or evaluation fields outside
+    /// their analytic ranges.
+    pub fn from_parts(
+        active: Vec<bool>,
+        threshold: f64,
+        evaluation: ClusterEvaluation,
+    ) -> Result<Self> {
+        if active.is_empty() {
+            return Err(PolicyError::InvalidParameter {
+                name: "window",
+                value: 0.0,
+                expected: "at least one derived state",
+            });
+        }
+        // The bisection keeps θ within [0, 1 + 1e-9] (the "never activate"
+        // sentinel sits just above 1).
+        if !(threshold.is_finite() && (0.0..=1.0 + 1e-6).contains(&threshold)) {
+            return Err(PolicyError::InvalidParameter {
+                name: "threshold",
+                value: threshold,
+                expected: "a belief threshold in [0, 1]",
+            });
+        }
+        let e = &evaluation;
+        let capture_ok =
+            e.capture_probability.is_finite() && (0.0..=1.0).contains(&e.capture_probability);
+        let discharge_ok = e.discharge_rate.is_finite() && e.discharge_rate >= 0.0;
+        // `expected_cycle` may legitimately be +∞ (a policy that never
+        // captures); it must still be positive and non-NaN.
+        let cycle_ok = !e.expected_cycle.is_nan() && e.expected_cycle > 0.0;
+        let survival_ok = e.truncated_survival.is_finite() && e.truncated_survival >= 0.0;
+        if !(capture_ok && discharge_ok && cycle_ok && survival_ok) {
+            return Err(PolicyError::InvalidParameter {
+                name: "evaluation",
+                value: e.capture_probability,
+                expected: "analytic evaluation fields within their ranges",
+            });
+        }
+        Ok(Self {
+            active,
+            threshold,
+            evaluation,
+        })
+    }
+
     /// The belief threshold the derivation converged to.
     pub fn threshold(&self) -> f64 {
         self.threshold
@@ -295,6 +350,48 @@ mod tests {
             myopic.evaluation().capture_probability,
             clustering.capture_probability
         );
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_derived_policy() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let policy = MyopicPolicy::derive(
+            &pmf,
+            EnergyBudget::per_slot(0.5),
+            &consumption(),
+            120,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let active: Vec<bool> = (1..=120).map(|i| policy.active(i)).collect();
+        let rebuilt =
+            MyopicPolicy::from_parts(active, policy.threshold(), policy.evaluation()).unwrap();
+        assert_eq!(policy, rebuilt);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupted_fields() {
+        let eval = ClusterEvaluation {
+            capture_probability: 0.8,
+            discharge_rate: 0.5,
+            expected_cycle: 50.0,
+            truncated_survival: 0.0,
+        };
+        assert!(MyopicPolicy::from_parts(vec![true], 0.5, eval).is_ok());
+        assert!(MyopicPolicy::from_parts(Vec::new(), 0.5, eval).is_err());
+        assert!(MyopicPolicy::from_parts(vec![true], f64::NAN, eval).is_err());
+        assert!(MyopicPolicy::from_parts(vec![true], 2.0, eval).is_err());
+        let mut bad = eval;
+        bad.capture_probability = 1.5;
+        assert!(MyopicPolicy::from_parts(vec![true], 0.5, bad).is_err());
+        let mut bad = eval;
+        bad.discharge_rate = -1.0;
+        assert!(MyopicPolicy::from_parts(vec![true], 0.5, bad).is_err());
+        let mut bad = eval;
+        bad.expected_cycle = f64::NAN;
+        assert!(MyopicPolicy::from_parts(vec![true], 0.5, bad).is_err());
     }
 
     #[test]

@@ -239,7 +239,9 @@ mod tests {
             h.observe_ns(ns);
         }
         let buckets = h.cumulative_buckets();
-        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!(buckets
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
         let (last_le, last_count) = *buckets.last().expect("non-empty");
         assert_eq!(last_count, h.count());
         assert!(last_le >= h.max_ns());

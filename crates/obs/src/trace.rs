@@ -221,7 +221,7 @@ pub fn maybe_active() -> bool {
     ACTIVE.load(Ordering::Relaxed) > 0
 }
 
-/// A token returned by [`enter`]; pass it back to [`exit`] when the span
+/// A token returned by `enter`; pass it back to `exit` when the span
 /// completes.
 #[derive(Debug)]
 pub struct SpanToken {

@@ -463,8 +463,8 @@ mod tests {
 
     #[test]
     fn request_id_and_accept_are_captured() {
-        let req = parse("GET / HTTP/1.1\r\nX-Request-Id: abc-123\r\nAccept: text/plain\r\n\r\n")
-            .unwrap();
+        let req =
+            parse("GET / HTTP/1.1\r\nX-Request-Id: abc-123\r\nAccept: text/plain\r\n\r\n").unwrap();
         assert_eq!(req.request_id.as_deref(), Some("abc-123"));
         assert_eq!(req.accept.as_deref(), Some("text/plain"));
         let req = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
@@ -475,10 +475,7 @@ mod tests {
     #[test]
     fn request_ids_are_sanitized() {
         assert_eq!(sanitize_request_id("ok_id-1.2"), Some("ok_id-1.2".into()));
-        assert_eq!(
-            sanitize_request_id("evil\"id{}"),
-            Some("evil-id--".into())
-        );
+        assert_eq!(sanitize_request_id("evil\"id{}"), Some("evil-id--".into()));
         assert_eq!(sanitize_request_id(""), None);
         assert_eq!(sanitize_request_id("///"), None);
         let long = "x".repeat(200);

@@ -13,6 +13,20 @@ use evcap_obs::{JsonObject, LatencyHistogram};
 use crate::cache::{ShardSnapshot, StatsSnapshot};
 use crate::prometheus;
 
+/// A point-in-time view of the persistent artifact store (disk tier):
+/// size gauges read under the store lock at render time. The hit/miss/
+/// reject/append *counters* live in [`Metrics`] so the request path never
+/// touches the lock just to count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Whether `--store` is configured at all.
+    pub enabled: bool,
+    /// Distinct scenario keys indexed on disk.
+    pub entries: u64,
+    /// Logical size of the record log in bytes.
+    pub bytes: u64,
+}
+
 /// Atomic request/response counters plus latency histograms.
 #[derive(Debug)]
 pub struct Metrics {
@@ -27,6 +41,10 @@ pub struct Metrics {
     responses_5xx: AtomicU64,
     connections: AtomicU64,
     timeouts: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_rejects: AtomicU64,
+    store_appends: AtomicU64,
     /// All requests, wire-to-wire.
     pub latency: LatencyHistogram,
     /// Cache-miss solves only (the compute itself).
@@ -48,9 +66,34 @@ impl Metrics {
             responses_5xx: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_rejects: AtomicU64::new(0),
+            store_appends: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             solve_latency: LatencyHistogram::new(),
         }
+    }
+
+    /// Records one disk-tier load served after passing certification.
+    pub fn store_hit(&self) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one disk-tier lookup that found no record.
+    pub fn store_miss(&self) {
+        self.store_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stored artifact refused (checksum, rehydration, or
+    /// certification failure) and re-solved fresh.
+    pub fn store_reject(&self) {
+        self.store_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fresh solve written through to the disk tier.
+    pub fn store_append(&self) {
+        self.store_appends.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one accepted connection.
@@ -86,12 +129,14 @@ impl Metrics {
     }
 
     /// Renders the `/metrics` body given each cache tier's counters: the
-    /// two response caches plus the `SolvedPolicy` artifact cache.
+    /// two response caches, the `SolvedPolicy` artifact cache, and the
+    /// persistent store tier's size gauges.
     pub fn render(
         &self,
         solve_cache: &StatsSnapshot,
         sim_cache: &StatsSnapshot,
         artifact_cache: &StatsSnapshot,
+        store: &StoreSnapshot,
     ) -> String {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mut obj = JsonObject::with_type("metrics");
@@ -122,6 +167,14 @@ impl Metrics {
         obj.field_u64("artifact_cache_evictions", artifact_cache.evictions);
         obj.field_u64("artifact_cache_failures", artifact_cache.failures);
 
+        obj.field_bool("store_enabled", store.enabled);
+        obj.field_u64("store_hits", get(&self.store_hits));
+        obj.field_u64("store_misses", get(&self.store_misses));
+        obj.field_u64("store_rejects", get(&self.store_rejects));
+        obj.field_u64("store_appends", get(&self.store_appends));
+        obj.field_u64("store_entries", store.entries);
+        obj.field_u64("store_bytes", store.bytes);
+
         obj.field_u64("latency_count", self.latency.count());
         obj.field_f64("latency_mean_us", self.latency.mean_ns() / 1e3);
         obj.field_f64(
@@ -140,7 +193,11 @@ impl Metrics {
     /// Renders the Prometheus text exposition (version 0.0.4) of the same
     /// counters, plus per-shard gauges for every cache tier. `tiers` pairs
     /// a tier name (`solve`, `sim`, `artifact`) with its shard snapshots.
-    pub fn render_prometheus(&self, tiers: &[(&str, Vec<ShardSnapshot>)]) -> String {
+    pub fn render_prometheus(
+        &self,
+        tiers: &[(&str, Vec<ShardSnapshot>)],
+        store: &StoreSnapshot,
+    ) -> String {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
         let mut out = String::with_capacity(4096);
 
@@ -203,6 +260,26 @@ impl Metrics {
             }
         }
 
+        for (metric, counter) in [
+            ("evcap_store_hits_total", &self.store_hits),
+            ("evcap_store_misses_total", &self.store_misses),
+            ("evcap_store_rejects_total", &self.store_rejects),
+            ("evcap_store_appends_total", &self.store_appends),
+        ] {
+            prometheus::type_line(&mut out, metric, "counter");
+            prometheus::sample(&mut out, metric, get(counter));
+        }
+        prometheus::type_line(&mut out, "evcap_store_enabled", "gauge");
+        prometheus::sample(
+            &mut out,
+            "evcap_store_enabled",
+            if store.enabled { 1.0 } else { 0.0 },
+        );
+        prometheus::type_line(&mut out, "evcap_store_entries", "gauge");
+        prometheus::sample(&mut out, "evcap_store_entries", store.entries as f64);
+        prometheus::type_line(&mut out, "evcap_store_bytes", "gauge");
+        prometheus::sample(&mut out, "evcap_store_bytes", store.bytes as f64);
+
         prometheus::histogram(
             &mut out,
             "evcap_request_latency_seconds",
@@ -221,9 +298,12 @@ impl Metrics {
     }
 }
 
+/// Reads one exported value out of a [`ShardSnapshot`].
+type ShardField = fn(&ShardSnapshot) -> f64;
+
 /// The per-shard cache series: metric name, Prometheus type, and the
 /// field each reads from a [`ShardSnapshot`].
-const CACHE_SERIES: [(&str, &str, fn(&ShardSnapshot) -> f64); 6] = [
+const CACHE_SERIES: [(&str, &str, ShardField); 6] = [
     ("evcap_cache_hits_total", "counter", |s| s.stats.hits as f64),
     ("evcap_cache_misses_total", "counter", |s| {
         s.stats.misses as f64
@@ -257,8 +337,18 @@ mod tests {
         m.request("/v1/solve", 400, Duration::from_micros(50));
         m.request("/healthz", 200, Duration::from_micros(10));
         m.request("/nope", 404, Duration::from_micros(10));
+        m.store_hit();
+        m.store_miss();
+        m.store_reject();
+        m.store_reject();
+        m.store_append();
         let empty = StatsSnapshot::default();
-        let body = m.render(&empty, &empty, &empty);
+        let store = StoreSnapshot {
+            enabled: true,
+            entries: 3,
+            bytes: 4096,
+        };
+        let body = m.render(&empty, &empty, &empty, &store);
         let v = parse_line(&body).unwrap();
         let f = |k: &str| v.get(k).and_then(JsonValue::as_f64).unwrap();
         assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("metrics"));
@@ -270,6 +360,12 @@ mod tests {
         assert_eq!(f("connections"), 1.0);
         assert_eq!(f("latency_count"), 4.0);
         assert!(f("latency_p99_us") > 0.0);
+        assert_eq!(f("store_hits"), 1.0);
+        assert_eq!(f("store_misses"), 1.0);
+        assert_eq!(f("store_rejects"), 2.0);
+        assert_eq!(f("store_appends"), 1.0);
+        assert_eq!(f("store_entries"), 3.0);
+        assert_eq!(f("store_bytes"), 4096.0);
     }
 
     #[test]
@@ -291,7 +387,14 @@ mod tests {
             ("solve", vec![shard, ShardSnapshot::default()]),
             ("sim", vec![ShardSnapshot::default(); 2]),
         ];
-        let text = m.render_prometheus(&tiers);
+        m.store_hit();
+        m.store_reject();
+        let store = StoreSnapshot {
+            enabled: true,
+            entries: 5,
+            bytes: 2048,
+        };
+        let text = m.render_prometheus(&tiers, &store);
         let samples = prometheus::parse(&text).expect("renderer emits valid exposition");
         let f = |name: &str, labels: &[(&str, &str)]| {
             prometheus::find(&samples, name, labels).expect(name)
@@ -303,11 +406,17 @@ mod tests {
         );
         assert_eq!(f("evcap_responses_total", &[("class", "2xx")]), 2.0);
         assert_eq!(
-            f("evcap_cache_hits_total", &[("cache", "solve"), ("shard", "0")]),
+            f(
+                "evcap_cache_hits_total",
+                &[("cache", "solve"), ("shard", "0")]
+            ),
             3.0
         );
         assert_eq!(
-            f("evcap_cache_occupancy", &[("cache", "solve"), ("shard", "0")]),
+            f(
+                "evcap_cache_occupancy",
+                &[("cache", "solve"), ("shard", "0")]
+            ),
             1.0
         );
         assert_eq!(
@@ -319,9 +428,14 @@ mod tests {
             f("evcap_request_latency_seconds_bucket", &[("le", "+Inf")]),
             2.0
         );
+        assert_eq!(f("evcap_store_hits_total", &[]), 1.0);
+        assert_eq!(f("evcap_store_rejects_total", &[]), 1.0);
+        assert_eq!(f("evcap_store_enabled", &[]), 1.0);
+        assert_eq!(f("evcap_store_entries", &[]), 5.0);
+        assert_eq!(f("evcap_store_bytes", &[]), 2048.0);
         // Consistency with the JSON body (same atomics, same instant).
         let empty = StatsSnapshot::default();
-        let json = parse_line(&m.render(&empty, &empty, &empty)).unwrap();
+        let json = parse_line(&m.render(&empty, &empty, &empty, &store)).unwrap();
         assert_eq!(
             json.get("requests").and_then(JsonValue::as_f64),
             Some(f("evcap_requests_total", &[]))

@@ -93,7 +93,12 @@ pub(crate) fn histogram(
             cumulative as f64,
         );
     }
-    sample_with(out, &format!("{name}_bucket"), &[("le", "+Inf")], count as f64);
+    sample_with(
+        out,
+        &format!("{name}_bucket"),
+        &[("le", "+Inf")],
+        count as f64,
+    );
     sample(out, &format!("{name}_sum"), sum_ns as f64 / 1e9);
     sample(out, &format!("{name}_count"), count as f64);
 }
@@ -127,9 +132,7 @@ pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(
-            parse_sample(line).map_err(|e| format!("line {}: {e}: `{line}`", lineno + 1))?,
-        );
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}: `{line}`", lineno + 1))?);
     }
     Ok(out)
 }
@@ -193,7 +196,12 @@ fn parse_labels(body: &str) -> Result<(Labels, &str), String> {
             .find('=')
             .ok_or_else(|| "label without `=`".to_owned())?;
         let key = rest[..eq].trim().to_owned();
-        if key.is_empty() || !key.chars().enumerate().all(|(i, c)| is_name_char(c, i == 0)) {
+        if key.is_empty()
+            || !key
+                .chars()
+                .enumerate()
+                .all(|(i, c)| is_name_char(c, i == 0))
+        {
             return Err(format!("invalid label name `{key}`"));
         }
         rest = rest[eq + 1..]

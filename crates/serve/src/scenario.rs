@@ -79,10 +79,18 @@ pub const MAX_SENSORS: usize = 64;
 pub const MAX_REPLICATIONS: usize = 64;
 
 /// A validated `/v1/solve` request: a canonical scenario.
+///
+/// Both cache identities are computed once at parse time, so the serve
+/// hot path (a response-cache hit) borrows precomputed strings instead of
+/// re-deriving `canonical_key` per request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveScenario {
     /// The canonical scenario to solve.
     pub scenario: Scenario,
+    /// Precomputed response-cache key (`solve|<canonical_key>`).
+    cache_key: String,
+    /// Precomputed artifact identity (`Scenario::canonical_key`).
+    artifact_key: String,
 }
 
 /// A validated `/v1/simulate` request: a canonical scenario plus the
@@ -99,6 +107,10 @@ pub struct SimulateScenario {
     pub rotating: bool,
     /// Monte Carlo replications (1 = the classic single run).
     pub replications: usize,
+    /// Precomputed response-cache key (scenario + simulation knobs).
+    cache_key: String,
+    /// Precomputed artifact identity (`Scenario::canonical_key`).
+    artifact_key: String,
 }
 
 /// Parses a request body into a JSON object, field map included.
@@ -271,15 +283,27 @@ impl SolveScenario {
         };
         reject_unknown(&map, SOLVE_FIELDS)?;
         let _canon = evcap_obs::timing::span("req.canonicalize");
+        let scenario = scenario_from(&map)?;
+        let artifact_key = scenario.canonical_key();
+        let cache_key = format!("solve|{artifact_key}");
         Ok(Self {
-            scenario: scenario_from(&map)?,
+            scenario,
+            cache_key,
+            artifact_key,
         })
     }
 
     /// The canonical cache key: two requests get the same key iff they
-    /// describe the same optimization.
-    pub fn cache_key(&self) -> String {
-        format!("solve|{}", self.scenario.canonical_key())
+    /// describe the same optimization. Borrowed — computed once at parse
+    /// time, so cache hits allocate nothing for the lookup.
+    pub fn cache_key(&self) -> &str {
+        &self.cache_key
+    }
+
+    /// The scenario's artifact identity ([`Scenario::canonical_key`]),
+    /// precomputed at parse time.
+    pub fn artifact_key(&self) -> &str {
+        &self.artifact_key
     }
 }
 
@@ -347,26 +371,33 @@ impl SimulateScenario {
                 format!("`slots` × `replications` must be ≤ {max_slots} total slots"),
             ));
         }
+        let artifact_key = scenario.canonical_key();
+        let cache_key = format!(
+            "sim|{artifact_key}|slots={slots}|seed={seed}|{}|reps={replications}",
+            if rotating { "rot" } else { "ind" },
+        );
         Ok(SimulateScenario {
             scenario,
             slots,
             seed,
             rotating,
             replications,
+            cache_key,
+            artifact_key,
         })
     }
 
     /// The canonical cache key for this simulation: the scenario's
-    /// artifact identity plus the simulation-only knobs.
-    pub fn cache_key(&self) -> String {
-        format!(
-            "sim|{}|slots={}|seed={}|{}|reps={}",
-            self.scenario.canonical_key(),
-            self.slots,
-            self.seed,
-            if self.rotating { "rot" } else { "ind" },
-            self.replications,
-        )
+    /// artifact identity plus the simulation-only knobs. Borrowed —
+    /// computed once at parse time.
+    pub fn cache_key(&self) -> &str {
+        &self.cache_key
+    }
+
+    /// The scenario's artifact identity ([`Scenario::canonical_key`]),
+    /// precomputed at parse time.
+    pub fn artifact_key(&self) -> &str {
+        &self.artifact_key
     }
 }
 

@@ -67,6 +67,12 @@ pub struct ServeConfig {
     /// dump their full span tree to stderr (and tag the access log).
     /// 0 disables.
     pub slow_ms: u64,
+    /// Optional persistent artifact store directory (`evcap-store`). When
+    /// set, the artifact lookup becomes three-tiered: hot in-memory cache →
+    /// disk store → fresh solve. Every disk load must pass
+    /// `evcap_audit::certify` before being served; rejected records are
+    /// counted and re-solved, and fresh solves are written through.
+    pub store: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +91,7 @@ impl Default for ServeConfig {
             trace: true,
             recent: 64,
             slow_ms: 0,
+            store: None,
         }
     }
 }
@@ -100,6 +107,10 @@ struct Shared {
     /// scenario (e.g. `/v1/simulate` varying only in slots/seed, or a
     /// `/v1/solve` for the same physics) share one clustering/LP solve.
     artifact_cache: ShardedCache<Arc<SolvedPolicy>, ApiError>,
+    /// Third cache tier: the persistent on-disk artifact store
+    /// (`--store`). A mutex is fine here — the disk tier is only consulted
+    /// on artifact-cache misses, which already coalesce to one leader.
+    store: Option<Mutex<evcap_store::Store>>,
     shutdown: AtomicBool,
     access_log: Option<Mutex<JsonlSink>>,
     /// Last-N request summaries (see [`FlightRecorder`]).
@@ -132,11 +143,19 @@ impl Server {
             Some(path) => Some(Mutex::new(JsonlSink::create(path)?)),
             None => None,
         };
+        let store = match &config.store {
+            Some(dir) => Some(Mutex::new(
+                evcap_store::Store::open(std::path::Path::new(dir))
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            )),
+            None => None,
+        };
         let threads = config.threads.max(1);
         let shared = Arc::new(Shared {
             solve_cache: ShardedCache::new(config.cache_cap, config.shards),
             sim_cache: ShardedCache::new(config.cache_cap, config.shards),
             artifact_cache: ShardedCache::new(config.cache_cap, config.shards),
+            store,
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             access_log,
@@ -252,17 +271,11 @@ const STAGES: [&str; 5] = [
 ];
 
 fn route_tag(path: &str) -> u8 {
-    ROUTES
-        .iter()
-        .position(|r| *r == path)
-        .unwrap_or(0) as u8
+    ROUTES.iter().position(|r| *r == path).unwrap_or(0) as u8
 }
 
 fn cache_tag(label: &str) -> u8 {
-    CACHE_LABELS
-        .iter()
-        .position(|l| *l == label)
-        .unwrap_or(0) as u8
+    CACHE_LABELS.iter().position(|l| *l == label).unwrap_or(0) as u8
 }
 
 /// One decoded flight-recorder entry.
@@ -550,7 +563,11 @@ fn dump_slow_request(
                 event.parent_id,
                 event.start_ns as f64 / 1e3,
                 event.dur_ns as f64 / 1e3,
-                if event.label.is_empty() { "" } else { " label=" },
+                if event.label.is_empty() {
+                    ""
+                } else {
+                    " label="
+                },
                 event.label,
             );
         }
@@ -613,6 +630,7 @@ fn route(request: &Request, shared: &Shared) -> Routed {
             Routed::json(200, obj.finish(), NO_CACHE)
         }
         ("GET", "/metrics") => {
+            let store = store_snapshot(shared);
             if wants_prometheus(request) {
                 let tiers = vec![
                     ("solve", shared.solve_cache.shard_snapshots()),
@@ -621,7 +639,7 @@ fn route(request: &Request, shared: &Shared) -> Routed {
                 ];
                 Routed::text(
                     200,
-                    shared.metrics.render_prometheus(&tiers),
+                    shared.metrics.render_prometheus(&tiers, &store),
                     prometheus::CONTENT_TYPE,
                 )
             } else {
@@ -629,6 +647,7 @@ fn route(request: &Request, shared: &Shared) -> Routed {
                     &shared.solve_cache.stats(),
                     &shared.sim_cache.stats(),
                     &shared.artifact_cache.stats(),
+                    &store,
                 );
                 Routed::json(200, body, NO_CACHE)
             }
@@ -637,17 +656,17 @@ fn route(request: &Request, shared: &Shared) -> Routed {
         ("POST", "/v1/solve") => match SolveScenario::from_body(&request.body) {
             Err(e) => Routed::json(e.status, e.body(), NO_CACHE),
             Ok(s) => {
-                let key = s.cache_key();
-                let fetch =
-                    shared
-                        .solve_cache
-                        .get_or_compute(&key, shared.config.coalesce_timeout, || {
-                            let t = Instant::now(); // tidy:allow(instant-now): access-log latency stamp
-                            let result = artifact(shared, &s.scenario)
-                                .map(|a| handlers::render_solve(&s, &a));
-                            shared.metrics.solve_latency.observe(t.elapsed());
-                            result
-                        });
+                let fetch = shared.solve_cache.get_or_compute(
+                    s.cache_key(),
+                    shared.config.coalesce_timeout,
+                    || {
+                        let t = Instant::now(); // tidy:allow(instant-now): access-log latency stamp
+                        let result = artifact(shared, &s.scenario, s.artifact_key())
+                            .map(|a| handlers::render_solve(&s, &a));
+                        shared.metrics.solve_latency.observe(t.elapsed());
+                        result
+                    },
+                );
                 evcap_obs::trace::mark("cache.solve", fetch.label());
                 render_fetch(fetch, shared)
             }
@@ -656,12 +675,11 @@ fn route(request: &Request, shared: &Shared) -> Routed {
             match SimulateScenario::from_body(&request.body, shared.config.max_slots) {
                 Err(e) => Routed::json(e.status, e.body(), NO_CACHE),
                 Ok(s) => {
-                    let key = s.cache_key();
                     let fetch = shared.sim_cache.get_or_compute(
-                        &key,
+                        s.cache_key(),
                         shared.config.coalesce_timeout,
                         || {
-                            let a = artifact(shared, &s.scenario)?;
+                            let a = artifact(shared, &s.scenario, s.artifact_key())?;
                             handlers::simulate(&s, &a)
                         },
                     );
@@ -689,18 +707,94 @@ fn route(request: &Request, shared: &Shared) -> Routed {
     }
 }
 
+/// Reads the store-tier size gauges for `/metrics` (counters live in
+/// [`Metrics`]; only entries/bytes need the lock).
+fn store_snapshot(shared: &Shared) -> crate::metrics::StoreSnapshot {
+    match &shared.store {
+        None => crate::metrics::StoreSnapshot::default(),
+        Some(store) => match store.lock() {
+            Ok(store) => crate::metrics::StoreSnapshot {
+                enabled: true,
+                entries: store.len() as u64,
+                bytes: store.bytes(),
+            },
+            Err(_) => crate::metrics::StoreSnapshot {
+                enabled: true,
+                ..Default::default()
+            },
+        },
+    }
+}
+
+/// Tier 2 of the artifact lookup: the persistent store. Returns the
+/// rehydrated artifact only when the record loads cleanly **and** passes
+/// `evcap_audit::certify` — a stale, corrupt, or tampered record is
+/// counted as a reject and the caller falls back to a fresh solve. Never
+/// panics, never serves unverified bytes.
+fn store_load(
+    shared: &Shared,
+    scenario: &evcap_spec::Scenario,
+    key: &str,
+) -> Option<Arc<SolvedPolicy>> {
+    let store = shared.store.as_ref()?;
+    let loaded = store.lock().ok()?.load(key);
+    match loaded {
+        Ok(solved) => match evcap_audit::certify(scenario, &solved) {
+            Ok(_) => {
+                shared.metrics.store_hit();
+                evcap_obs::trace::mark("store.tier", "hit");
+                Some(Arc::new(solved))
+            }
+            Err(_) => {
+                shared.metrics.store_reject();
+                evcap_obs::trace::mark("store.tier", "reject");
+                None
+            }
+        },
+        Err(evcap_store::StoreError::NotFound { .. }) => {
+            shared.metrics.store_miss();
+            evcap_obs::trace::mark("store.tier", "miss");
+            None
+        }
+        Err(_) => {
+            shared.metrics.store_reject();
+            evcap_obs::trace::mark("store.tier", "reject");
+            None
+        }
+    }
+}
+
+/// Writes a freshly solved artifact through to the persistent store (best
+/// effort: an I/O failure is not a request failure).
+fn store_append(shared: &Shared, solved: &SolvedPolicy) {
+    let Some(store) = shared.store.as_ref() else {
+        return;
+    };
+    let appended = store.lock().ok().map(|mut s| s.append(solved).is_ok());
+    if appended == Some(true) {
+        shared.metrics.store_append();
+    }
+}
+
 /// Fetches (or computes, single-flight) the `SolvedPolicy` artifact for a
 /// canonical scenario. Both endpoints' response-cache computes run through
 /// here, so `/v1/solve` and every `/v1/simulate` variation of one scenario
 /// share one clustering/LP solve.
+///
+/// With `--store` the lookup is three-tiered: hot in-memory LRU → disk
+/// store (certified loads only, see [`store_load`]) → fresh solve (written
+/// through to disk).
 fn artifact(
     shared: &Shared,
     scenario: &evcap_spec::Scenario,
+    key: &str,
 ) -> Result<Arc<SolvedPolicy>, ApiError> {
-    let key = scenario.canonical_key();
     let fetch = shared
         .artifact_cache
-        .get_or_compute(&key, shared.config.coalesce_timeout, || {
+        .get_or_compute(key, shared.config.coalesce_timeout, || {
+            if let Some(stored) = store_load(shared, scenario, key) {
+                return Ok(stored);
+            }
             let solved = handlers::solve_artifact(scenario)?;
             if shared.config.validate_artifacts {
                 let report = evcap_audit::audit(scenario, &solved);
@@ -718,7 +812,9 @@ fn artifact(
                     });
                 }
             }
-            Ok(Arc::new(solved))
+            let solved = Arc::new(solved);
+            store_append(shared, &solved);
+            Ok(solved)
         });
     evcap_obs::trace::mark("cache.artifact", fetch.label());
     match fetch {

@@ -348,7 +348,10 @@ fn prometheus_exposition_round_trips_and_matches_json() {
         .request("GET", "/metrics?format=prometheus", b"")
         .unwrap();
     assert_eq!(scrape.status, 200);
-    assert_eq!(scrape.content_type.as_deref(), Some(prometheus::CONTENT_TYPE));
+    assert_eq!(
+        scrape.content_type.as_deref(),
+        Some(prometheus::CONTENT_TYPE)
+    );
     let samples = prometheus::parse(&scrape.text()).expect("scrape parses");
 
     // Request counters are present and consistent with the JSON body
@@ -356,7 +359,11 @@ fn prometheus_exposition_round_trips_and_matches_json() {
     let requests = prometheus::find(&samples, "evcap_requests_total", &[]).unwrap();
     assert_eq!(requests, json_requests + 1.0);
     assert_eq!(
-        prometheus::find(&samples, "evcap_endpoint_requests_total", &[("endpoint", "solve")]),
+        prometheus::find(
+            &samples,
+            "evcap_endpoint_requests_total",
+            &[("endpoint", "solve")]
+        ),
         Some(2.0)
     );
 
@@ -368,9 +375,7 @@ fn prometheus_exposition_round_trips_and_matches_json() {
             let labels = [("cache", cache), ("shard", &shard.to_string())];
             hits += prometheus::find(&samples, "evcap_cache_hits_total", &labels[..])
                 .unwrap_or_else(|| panic!("missing hits for {cache}/{shard}"));
-            assert!(
-                prometheus::find(&samples, "evcap_cache_capacity", &labels[..]).unwrap() > 0.0
-            );
+            assert!(prometheus::find(&samples, "evcap_cache_capacity", &labels[..]).unwrap() > 0.0);
         }
         assert_eq!(hits, if cache == "solve" { 1.0 } else { 0.0 });
     }
@@ -390,7 +395,10 @@ fn prometheus_exposition_round_trips_and_matches_json() {
     let via_accept = conn
         .request_with("GET", "/metrics", b"", &[("accept", "text/plain")])
         .unwrap();
-    assert_eq!(via_accept.content_type.as_deref(), Some(prometheus::CONTENT_TYPE));
+    assert_eq!(
+        via_accept.content_type.as_deref(),
+        Some(prometheus::CONTENT_TYPE)
+    );
     assert!(prometheus::parse(&via_accept.text()).is_ok());
 
     server.shutdown();
@@ -410,7 +418,12 @@ fn trace_tree_in_the_access_log_is_single_rooted() {
     let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
     let body = br#"{"dist":"weibull:30,2","e":0.2,"policy":"clustering","horizon":4096}"#;
     let resp = conn
-        .request_with("POST", "/v1/solve", body, &[("x-request-id", "e2e-trace-01")])
+        .request_with(
+            "POST",
+            "/v1/solve",
+            body,
+            &[("x-request-id", "e2e-trace-01")],
+        )
         .unwrap();
     assert_eq!(resp.status, 200, "{}", resp.text());
     assert_eq!(resp.cache.as_deref(), Some("miss"));
@@ -439,7 +452,10 @@ fn trace_tree_in_the_access_log_is_single_rooted() {
                 && str_of(r, "trace_id").as_deref() == Some("e2e-trace-01")
         })
         .collect();
-    let roots: Vec<&&JsonValue> = spans.iter().filter(|s| num_of(s, "parent_id") == 0).collect();
+    let roots: Vec<&&JsonValue> = spans
+        .iter()
+        .filter(|s| num_of(s, "parent_id") == 0)
+        .collect();
     assert_eq!(roots.len(), 1, "exactly one root span");
     assert_eq!(str_of(roots[0], "name").as_deref(), Some("POST /v1/solve"));
     let ids: Vec<u64> = spans.iter().map(|s| num_of(s, "span_id")).collect();
@@ -453,7 +469,10 @@ fn trace_tree_in_the_access_log_is_single_rooted() {
     }
     let names: Vec<String> = spans.iter().filter_map(|s| str_of(s, "name")).collect();
     for expected in ["spec.solve", "clustering.search", "req.parse", "spec.table"] {
-        assert!(names.iter().any(|n| n == expected), "missing span `{expected}` in {names:?}");
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing span `{expected}` in {names:?}"
+        );
     }
     // The cache marks annotate their tier outcome.
     let mark = spans
@@ -475,10 +494,21 @@ fn debug_recent_reports_request_summaries() {
 
     let body = br#"{"dist":"det:11","e":0.3,"horizon":1024}"#;
     let miss = conn
-        .request_with("POST", "/v1/solve", body, &[("x-request-id", "recent-miss")])
+        .request_with(
+            "POST",
+            "/v1/solve",
+            body,
+            &[("x-request-id", "recent-miss")],
+        )
         .unwrap();
     assert_eq!(miss.status, 200);
-    assert_eq!(conn.request("POST", "/v1/solve", body).unwrap().cache.as_deref(), Some("hit"));
+    assert_eq!(
+        conn.request("POST", "/v1/solve", body)
+            .unwrap()
+            .cache
+            .as_deref(),
+        Some("hit")
+    );
 
     let resp = conn.request("GET", "/debug/recent", b"").unwrap();
     assert_eq!(resp.status, 200);
@@ -488,7 +518,11 @@ fn debug_recent_reports_request_summaries() {
     let requests = v.get("requests").and_then(JsonValue::as_array).unwrap();
     assert_eq!(requests.len(), 2, "{}", resp.text());
     let path = |r: &JsonValue| r.get("path").and_then(JsonValue::as_str).map(str::to_owned);
-    let cache = |r: &JsonValue| r.get("cache").and_then(JsonValue::as_str).map(str::to_owned);
+    let cache = |r: &JsonValue| {
+        r.get("cache")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+    };
     assert_eq!(path(&requests[0]).as_deref(), Some("/v1/solve"));
     assert_eq!(cache(&requests[0]).as_deref(), Some("miss"));
     assert_eq!(

@@ -1,0 +1,158 @@
+//! Warm-restart end-to-end: a server populated through `--store`, killed,
+//! and restarted against the same directory must serve the stored scenario
+//! from disk — zero optimizer work — while a corrupted record for the same
+//! key must fall back to exactly one fresh solve, byte-identically.
+//!
+//! This lives in its own test binary because the proof is a *process-global*
+//! span count: no other test in this process may run the clustering
+//! optimizer while we assert how many `clustering.search` spans exist.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use evcap_obs::{parse_line, JsonValue};
+use evcap_serve::client::{self, Conn};
+use evcap_serve::{ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+const BODY: &[u8] = br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","horizon":4096}"#;
+
+fn store_config(dir: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        cache_cap: 64,
+        shards: 4,
+        read_timeout: Duration::from_millis(500),
+        coalesce_timeout: Duration::from_secs(20),
+        max_slots: 500_000,
+        store: Some(dir.display().to_string()),
+        ..ServeConfig::default()
+    }
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("evcap-store-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn metric(server: &Server, name: &str) -> f64 {
+    let resp = client::get(server.local_addr(), "/metrics", TIMEOUT).expect("GET /metrics");
+    assert_eq!(resp.status, 200);
+    let v = parse_line(&resp.text()).expect("metrics body parses");
+    v.get(name)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("metrics has no `{name}`: {}", resp.text()))
+}
+
+fn clustering_search_count() -> u64 {
+    evcap_obs::timing::drain_spans()
+        .iter()
+        .find(|(name, _)| *name == "clustering.search")
+        .map_or(0, |(_, stats)| stats.count)
+}
+
+#[test]
+fn warm_restart_serves_from_disk_and_corruption_falls_back_to_one_solve() {
+    let dir = scratch_dir();
+
+    // Phase A — populate: a fresh server solves cold and writes through.
+    let server = Server::start(store_config(&dir)).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let first = conn.request("POST", "/v1/solve", BODY).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    assert_eq!(metric(&server, "store_misses"), 1.0);
+    assert_eq!(metric(&server, "store_appends"), 1.0);
+    let reference_body = first.body.clone();
+    drop(conn);
+    server.shutdown();
+
+    // Phase B — warm restart: a new process-equivalent server against the
+    // same directory. The in-memory tier is empty, so the request misses
+    // the hot cache — but the disk tier answers, and the optimizer never
+    // runs: zero `clustering.search` spans under an enabled registry.
+    evcap_obs::timing::set_enabled(true);
+    evcap_obs::timing::reset();
+    let server = Server::start(store_config(&dir)).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let warm = conn.request("POST", "/v1/solve", BODY).unwrap();
+    evcap_obs::timing::set_enabled(false);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.cache.as_deref(), Some("miss"), "hot tier is empty");
+    assert_eq!(
+        clustering_search_count(),
+        0,
+        "a stored artifact must never re-run the optimizer"
+    );
+    assert_eq!(
+        warm.body, reference_body,
+        "disk-tier responses replay the cold solve byte for byte"
+    );
+    assert_eq!(metric(&server, "store_hits"), 1.0);
+    assert_eq!(metric(&server, "store_rejects"), 0.0);
+    drop(conn);
+    server.shutdown();
+
+    // Phase C — corrupt the stored record: flip the final payload byte, so
+    // the scenario prefix (and thus the index) survives but the checksum
+    // fails. The next restart must reject the record, fall back to exactly
+    // one fresh solve, and still answer byte-identically.
+    let path = dir.join(evcap_store::STORE_FILE);
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .expect("open store file");
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).expect("read store file");
+    assert!(bytes.len() > 9, "store holds the appended record");
+    let last = bytes.len() - 1;
+    file.seek(SeekFrom::Start(last as u64)).unwrap();
+    file.write_all(&[bytes[last] ^ 0xFF]).unwrap();
+    file.sync_data().unwrap();
+    drop(file);
+
+    evcap_obs::timing::set_enabled(true);
+    evcap_obs::timing::reset();
+    let server = Server::start(store_config(&dir)).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let healed = conn.request("POST", "/v1/solve", BODY).unwrap();
+    evcap_obs::timing::set_enabled(false);
+    assert_eq!(healed.status, 200);
+    assert_eq!(
+        clustering_search_count(),
+        1,
+        "a rejected record falls back to exactly one fresh solve"
+    );
+    assert_eq!(
+        healed.body, reference_body,
+        "the fallback solve replays the original bytes"
+    );
+    assert_eq!(metric(&server, "store_rejects"), 1.0);
+    // The write-through after the fallback solve self-heals the store: the
+    // fresh record supersedes the corrupt one under the same key.
+    assert_eq!(metric(&server, "store_appends"), 1.0);
+    drop(conn);
+    server.shutdown();
+
+    // Phase D — the healed store serves from disk again.
+    evcap_obs::timing::set_enabled(true);
+    evcap_obs::timing::reset();
+    let server = Server::start(store_config(&dir)).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let resp = conn.request("POST", "/v1/solve", BODY).unwrap();
+    evcap_obs::timing::set_enabled(false);
+    assert_eq!(resp.status, 200);
+    assert_eq!(clustering_search_count(), 0, "the store healed itself");
+    assert_eq!(resp.body, reference_body);
+    assert_eq!(metric(&server, "store_hits"), 1.0);
+    drop(conn);
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -30,5 +30,6 @@ mod scenario;
 
 pub use parse::{canonical_dist, canonical_recharge, parse_dist, parse_recharge, SpecError};
 pub use scenario::{
-    solve, PolicySpec, Regions, Scenario, SolveError, SolveMeta, SolvedPolicy, DEFAULT_HORIZON,
+    rehydrate, solve, solve_with_hint, PolicyParams, PolicySpec, Regions, Scenario, SolveError,
+    SolveMeta, SolvedPolicy, DEFAULT_HORIZON,
 };

@@ -24,8 +24,9 @@
 use std::fmt;
 
 use evcap_core::{
-    ActivationPolicy, AggressivePolicy, ClusteringOptimizer, DecisionContext, EnergyBudget,
-    EvalOptions, GreedyPolicy, InfoModel, MyopicPolicy, PeriodicPolicy, PolicyTable,
+    ActivationPolicy, AggressivePolicy, ClusterEvaluation, ClusteringOptimizer, ClusteringPolicy,
+    DecisionContext, EnergyBudget, EvalOptions, GreedyPolicy, InfoModel, MyopicPolicy,
+    PeriodicPolicy, PolicyTable,
 };
 use evcap_dist::SlotPmf;
 use evcap_energy::{ConsumptionModel, Energy};
@@ -288,6 +289,76 @@ pub struct Regions {
     pub boundary: (f64, f64, f64),
 }
 
+/// The concrete solver outputs a [`SolvedPolicy`] can be reassembled from
+/// without re-running any optimizer — the payload the artifact store
+/// (`evcap-store`) persists alongside the scenario.
+///
+/// Each variant holds exactly the family-specific facts [`solve`] computed
+/// that [`rehydrate`] cannot re-derive cheaply and deterministically from
+/// the scenario alone. Everything else (the pmf, the label, the activation
+/// table, analytic evaluations) is reconstructed at rehydration time, so a
+/// record stays small and a tampered copy has few places to hide.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyParams {
+    /// Greedy water-filling output: the per-state coefficients plus the
+    /// summary statistics whose floating-point accumulation order (sorted
+    /// by hazard) cannot be replayed from the coefficients alone.
+    Greedy {
+        /// Activation coefficients `c_1..c_H` (one per explicit pmf state).
+        coefficients: Vec<f64>,
+        /// The coefficient shared by every state beyond the horizon.
+        tail_coefficient: f64,
+        /// The water-filling objective `U(π*_FI)`.
+        ideal_qom: f64,
+        /// The planned discharge rate (units/slot).
+        discharge_rate: f64,
+    },
+    /// Clustering region boundaries and boundary coefficients; the analytic
+    /// evaluation is re-derived (deterministically) at rehydration.
+    Clustering {
+        /// First hot slot.
+        n1: usize,
+        /// Last hot slot.
+        n2: usize,
+        /// First recovery slot.
+        n3: usize,
+        /// Boundary coefficients `(c_{n1}, c_{n2}, c_{n3})`.
+        boundary: (f64, f64, f64),
+    },
+    /// The aggressive baseline has no parameters.
+    Aggressive,
+    /// Energy-balanced duty cycle (`theta2` is cross-checked against the
+    /// balance formula at rehydration, so a stale record is rejected).
+    Periodic {
+        /// Active slots per cycle.
+        theta1: u64,
+        /// Cycle length.
+        theta2: u64,
+    },
+    /// Myopic belief-threshold decisions over the derived window.
+    Myopic {
+        /// Deterministic activation decisions for states `1..=window`.
+        active: Vec<bool>,
+        /// The belief threshold that produced them.
+        threshold: f64,
+        /// The analytic evaluation recorded at derivation time.
+        evaluation: ClusterEvaluation,
+    },
+}
+
+impl PolicyParams {
+    /// The wire name of the family these parameters belong to.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Self::Greedy { .. } => "greedy",
+            Self::Clustering { .. } => "clustering",
+            Self::Aggressive => "aggressive",
+            Self::Periodic { .. } => "periodic",
+            Self::Myopic { .. } => "myopic",
+        }
+    }
+}
+
 /// Solve-time metadata bundled with a [`SolvedPolicy`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveMeta {
@@ -328,6 +399,9 @@ pub struct SolvedPolicy {
     /// Precompiled activation table (stationary policies below the
     /// materialization cap); bit-for-bit equal to querying the policy.
     pub table: Option<PolicyTable>,
+    /// The family-specific solver outputs this artifact can be rebuilt
+    /// from (see [`PolicyParams`] and [`rehydrate`]).
+    pub params: PolicyParams,
     /// Solve-time metadata.
     pub meta: SolveMeta,
 }
@@ -397,6 +471,26 @@ fn unsolvable(e: impl fmt::Display) -> SolveError {
 /// * [`SolveError::Spec`] if the distribution spec fails to parse.
 /// * [`SolveError::Unsolvable`] if the optimizer rejects the parameters.
 pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
+    solve_with_hint(scenario, None)
+}
+
+/// [`solve`] with an optional warm-start hint for the clustering search.
+///
+/// `hint` is the `(n1, n2, n3)` optimum of a *neighboring* scenario (same
+/// distribution family, nearby `e`). The clustering optimizer first sweeps
+/// only a trust region of the enumeration lattice around the hint and
+/// falls back to the full cold sweep whenever the local optimum is not
+/// clearly interior, so the returned policy is **bit-identical** to the
+/// cold solve — only `meta.iterations` (candidate evaluations) shrinks.
+/// Non-clustering families ignore the hint.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with_hint(
+    scenario: &Scenario,
+    hint: Option<(usize, usize, usize)>,
+) -> Result<SolvedPolicy, SolveError> {
     let _span = evcap_obs::timing::span("spec.solve");
     let pmf = parse_dist(scenario.dist(), scenario.horizon())?;
     let consumption = ConsumptionModel::new(
@@ -406,14 +500,19 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
     .map_err(unsolvable)?;
     let budget = EnergyBudget::per_slot(scenario.e() * scenario.sensors() as f64);
 
-    let (policy, meta): (Box<dyn ActivationPolicy + Send + Sync>, SolveMeta) = match scenario
-        .policy()
-    {
+    type Boxed = Box<dyn ActivationPolicy + Send + Sync>;
+    let (policy, params, meta): (Boxed, PolicyParams, SolveMeta) = match scenario.policy() {
         PolicySpec::Greedy => {
             let g = GreedyPolicy::optimize(&pmf, budget, &consumption).map_err(unsolvable)?;
             let horizon = g.horizon();
             let funded = (1..=horizon).filter(|&i| g.coefficient(i) > 0.0).count() as u64
                 + u64::from(g.coefficient(horizon + 1) > 0.0);
+            let params = PolicyParams::Greedy {
+                coefficients: (1..=horizon).map(|i| g.coefficient(i)).collect(),
+                tail_coefficient: g.coefficient(horizon + 1),
+                ideal_qom: g.ideal_qom(),
+                discharge_rate: g.discharge_rate(),
+            };
             let meta = SolveMeta {
                 label: g.label(),
                 info: g.info_model(),
@@ -424,12 +523,18 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
                 mean_gap: g.mean_gap(),
                 iterations: funded,
             };
-            (Box::new(g), meta)
+            (Box::new(g), params, meta)
         }
         PolicySpec::Clustering => {
             let (p, eval, candidates) = ClusteringOptimizer::new(budget)
-                .optimize_counted(&pmf, &consumption)
+                .optimize_counted_with_hint(&pmf, &consumption, hint)
                 .map_err(unsolvable)?;
+            let params = PolicyParams::Clustering {
+                n1: p.n1(),
+                n2: p.n2(),
+                n3: p.n3(),
+                boundary: p.boundary_coefficients(),
+            };
             let meta = SolveMeta {
                 label: p.label(),
                 info: p.info_model(),
@@ -445,7 +550,7 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
                 mean_gap: pmf.mean(),
                 iterations: candidates,
             };
-            (Box::new(p), meta)
+            (Box::new(p), params, meta)
         }
         PolicySpec::Aggressive => {
             let p = AggressivePolicy::new();
@@ -459,11 +564,198 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
                 mean_gap: pmf.mean(),
                 iterations: 0,
             };
-            (Box::new(p), meta)
+            (Box::new(p), PolicyParams::Aggressive, meta)
         }
         PolicySpec::Periodic { theta1 } => {
             let p = PeriodicPolicy::energy_balanced(theta1, budget, pmf.mean(), &consumption)
                 .map_err(unsolvable)?;
+            let params = PolicyParams::Periodic {
+                theta1: p.theta1(),
+                theta2: p.theta2(),
+            };
+            let meta = SolveMeta {
+                label: p.label(),
+                info: p.info_model(),
+                objective: None,
+                discharge_rate: p.planned_discharge_rate(),
+                expected_cycle: None,
+                regions: None,
+                mean_gap: pmf.mean(),
+                iterations: 0,
+            };
+            (Box::new(p), params, meta)
+        }
+        PolicySpec::Myopic => {
+            let window = (4.0 * pmf.mean()).ceil() as usize;
+            let p =
+                MyopicPolicy::derive(&pmf, budget, &consumption, window, EvalOptions::default())
+                    .map_err(unsolvable)?;
+            let eval = p.evaluation();
+            let params = PolicyParams::Myopic {
+                active: (1..=window).map(|i| p.active(i)).collect(),
+                threshold: p.threshold(),
+                evaluation: eval,
+            };
+            let meta = SolveMeta {
+                label: p.label(),
+                info: p.info_model(),
+                objective: Some(eval.capture_probability),
+                discharge_rate: Some(eval.discharge_rate),
+                expected_cycle: Some(eval.expected_cycle),
+                regions: None,
+                mean_gap: pmf.mean(),
+                iterations: window as u64,
+            };
+            (Box::new(p), params, meta)
+        }
+    };
+
+    let table = {
+        let _span = evcap_obs::timing::span("spec.table");
+        policy.table()
+    };
+    let solved = SolvedPolicy {
+        scenario: scenario.clone(),
+        pmf,
+        consumption,
+        policy,
+        table,
+        params,
+        meta,
+    };
+    #[cfg(debug_assertions)]
+    debug_validate(&solved);
+    Ok(solved)
+}
+
+/// Reassembles a [`SolvedPolicy`] from persisted [`PolicyParams`] without
+/// running any optimizer — the load path of the artifact store.
+///
+/// The result is bit-identical to what [`solve`] produced for the same
+/// scenario: the policy is rebuilt from the stored family parameters
+/// through the same public constructors, while the pmf, label, table, and
+/// analytic evaluations are re-derived deterministically from the
+/// scenario. `iterations` is the solve-time candidate count recorded with
+/// the record (only clustering's count is not re-derivable; the other
+/// families recompute theirs and ignore the stored value).
+///
+/// Every family cross-checks the stored parameters against what the
+/// scenario implies (coefficient counts, the energy-balance formula for
+/// `theta2`, the myopic window), so a record persisted against an older
+/// solver or tampered with on disk is rejected here with
+/// [`SolveError::Unsolvable`] rather than rehydrated into a wrong policy.
+/// Runs under the `spec.rehydrate` timing span and emits **no**
+/// `clustering.search` or `lp.solve` spans.
+///
+/// # Errors
+///
+/// * [`SolveError::Spec`] if the scenario's distribution spec fails to
+///   parse.
+/// * [`SolveError::Unsolvable`] if the parameters fail validation or do
+///   not match the scenario's policy family.
+pub fn rehydrate(
+    scenario: &Scenario,
+    params: &PolicyParams,
+    iterations: u64,
+) -> Result<SolvedPolicy, SolveError> {
+    let _span = evcap_obs::timing::span("spec.rehydrate");
+    if params.family() != scenario.policy().name() {
+        return Err(SolveError::Unsolvable(format!(
+            "stored params are for family `{}` but the scenario solves `{}`",
+            params.family(),
+            scenario.policy().name()
+        )));
+    }
+    let pmf = parse_dist(scenario.dist(), scenario.horizon())?;
+    let consumption = ConsumptionModel::new(
+        Energy::from_units(scenario.delta1()),
+        Energy::from_units(scenario.delta2()),
+    )
+    .map_err(unsolvable)?;
+    let rate = scenario.e() * scenario.sensors() as f64;
+    if !rate.is_finite() || rate < 0.0 {
+        return Err(SolveError::Unsolvable(format!(
+            "recharge rate {rate} is not a finite non-negative number"
+        )));
+    }
+    let budget = EnergyBudget::per_slot(rate);
+
+    type Boxed = Box<dyn ActivationPolicy + Send + Sync>;
+    let (policy, meta): (Boxed, SolveMeta) = match params {
+        PolicyParams::Greedy {
+            coefficients,
+            tail_coefficient,
+            ideal_qom,
+            discharge_rate,
+        } => {
+            if coefficients.len() != pmf.horizon() {
+                return Err(SolveError::Unsolvable(format!(
+                    "stored greedy record has {} coefficients but the scenario's horizon \
+                     discretizes to {} states",
+                    coefficients.len(),
+                    pmf.horizon()
+                )));
+            }
+            let label = format!("greedy-FI(e={}, {})", budget.rate(), pmf.label());
+            let g = GreedyPolicy::from_parts(
+                coefficients.clone(),
+                *tail_coefficient,
+                *ideal_qom,
+                *discharge_rate,
+                pmf.mean(),
+                label,
+            )
+            .map_err(unsolvable)?;
+            let horizon = g.horizon();
+            let funded = (1..=horizon).filter(|&i| g.coefficient(i) > 0.0).count() as u64
+                + u64::from(g.coefficient(horizon + 1) > 0.0);
+            let meta = SolveMeta {
+                label: g.label(),
+                info: g.info_model(),
+                objective: Some(g.ideal_qom()),
+                discharge_rate: Some(g.discharge_rate()),
+                expected_cycle: None,
+                regions: None,
+                mean_gap: g.mean_gap(),
+                iterations: funded,
+            };
+            (Box::new(g), meta)
+        }
+        PolicyParams::Clustering {
+            n1,
+            n2,
+            n3,
+            boundary,
+        } => {
+            let (c1, c2, c3) = *boundary;
+            let p = ClusteringPolicy::new(*n1, *n2, *n3, c1, c2, c3).map_err(unsolvable)?;
+            let eval = p.evaluate(&pmf, &consumption, EvalOptions::default());
+            if eval.discharge_rate.is_nan() || eval.discharge_rate > budget.rate() * (1.0 + 1e-9) {
+                return Err(SolveError::Unsolvable(format!(
+                    "stored clustering record discharges {} units/slot against a budget of {}",
+                    eval.discharge_rate,
+                    budget.rate()
+                )));
+            }
+            let meta = SolveMeta {
+                label: p.label(),
+                info: p.info_model(),
+                objective: Some(eval.capture_probability),
+                discharge_rate: Some(eval.discharge_rate),
+                expected_cycle: Some(eval.expected_cycle),
+                regions: Some(Regions {
+                    n1: p.n1(),
+                    n2: p.n2(),
+                    n3: p.n3(),
+                    boundary: p.boundary_coefficients(),
+                }),
+                mean_gap: pmf.mean(),
+                iterations,
+            };
+            (Box::new(p), meta)
+        }
+        PolicyParams::Aggressive => {
+            let p = AggressivePolicy::new();
             let meta = SolveMeta {
                 label: p.label(),
                 info: p.info_model(),
@@ -476,11 +768,44 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
             };
             (Box::new(p), meta)
         }
-        PolicySpec::Myopic => {
-            let window = (4.0 * pmf.mean()).ceil() as usize;
-            let p =
-                MyopicPolicy::derive(&pmf, budget, &consumption, window, EvalOptions::default())
+        PolicyParams::Periodic { theta1, theta2 } => {
+            let balanced =
+                PeriodicPolicy::energy_balanced(*theta1, budget, pmf.mean(), &consumption)
                     .map_err(unsolvable)?;
+            if balanced.theta2() != *theta2 {
+                return Err(SolveError::Unsolvable(format!(
+                    "stored periodic record is stale: theta2 = {theta2} but the energy balance \
+                     now yields {}",
+                    balanced.theta2()
+                )));
+            }
+            let meta = SolveMeta {
+                label: balanced.label(),
+                info: balanced.info_model(),
+                objective: None,
+                discharge_rate: balanced.planned_discharge_rate(),
+                expected_cycle: None,
+                regions: None,
+                mean_gap: pmf.mean(),
+                iterations: 0,
+            };
+            (Box::new(balanced), meta)
+        }
+        PolicyParams::Myopic {
+            active,
+            threshold,
+            evaluation,
+        } => {
+            let window = (4.0 * pmf.mean()).ceil() as usize;
+            if active.len() != window {
+                return Err(SolveError::Unsolvable(format!(
+                    "stored myopic record covers a window of {} states but the scenario \
+                     derives a window of {window}",
+                    active.len()
+                )));
+            }
+            let p = MyopicPolicy::from_parts(active.clone(), *threshold, *evaluation)
+                .map_err(unsolvable)?;
             let eval = p.evaluation();
             let meta = SolveMeta {
                 label: p.label(),
@@ -506,6 +831,7 @@ pub fn solve(scenario: &Scenario) -> Result<SolvedPolicy, SolveError> {
         consumption,
         policy,
         table,
+        params: params.clone(),
         meta,
     };
     #[cfg(debug_assertions)]
@@ -670,6 +996,141 @@ mod tests {
         assert!(r.n1 <= r.n2 && r.n2 <= r.n3);
         assert!(solved.meta.iterations > 0, "candidate evaluations counted");
         assert!(solved.meta.objective.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn rehydrate_is_bit_identical_to_solve_for_every_family() {
+        for name in ["greedy", "clustering", "aggressive", "periodic", "myopic"] {
+            let policy = PolicySpec::parse(name).unwrap();
+            let s = Scenario::new("weibull:40,3", policy, 0.5)
+                .unwrap()
+                .with_horizon(4_096);
+            let solved = solve(&s).expect(name);
+            let rebuilt = rehydrate(&s, &solved.params, solved.meta.iterations).expect(name);
+            assert_eq!(solved.meta, rebuilt.meta, "{name} meta");
+            assert_eq!(solved.params, rebuilt.params, "{name} params");
+            assert_eq!(solved.table.is_some(), rebuilt.table.is_some(), "{name}");
+            for state in 1..=256 {
+                assert_eq!(
+                    solved.probability(state).to_bits(),
+                    rebuilt.probability(state).to_bits(),
+                    "{name} state {state}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rehydrate_rejects_stale_or_mismatched_records() {
+        let s = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.5)
+            .unwrap()
+            .with_horizon(4_096);
+        let solved = solve(&s).unwrap();
+
+        // Family mismatch: clustering params against a greedy scenario.
+        let greedy = Scenario::new("weibull:40,3", PolicySpec::Greedy, 0.5)
+            .unwrap()
+            .with_horizon(4_096);
+        assert!(matches!(
+            rehydrate(&greedy, &solved.params, 0),
+            Err(SolveError::Unsolvable(_))
+        ));
+
+        // Stale greedy record: coefficient count no longer matches the
+        // scenario's discretization.
+        let gs = solve(&greedy).unwrap();
+        let truncated_greedy = match gs.params {
+            PolicyParams::Greedy {
+                mut coefficients,
+                tail_coefficient,
+                ideal_qom,
+                discharge_rate,
+            } => {
+                coefficients.pop();
+                PolicyParams::Greedy {
+                    coefficients,
+                    tail_coefficient,
+                    ideal_qom,
+                    discharge_rate,
+                }
+            }
+            other => panic!("unexpected params {other:?}"),
+        };
+        assert!(matches!(
+            rehydrate(&greedy, &truncated_greedy, gs.meta.iterations),
+            Err(SolveError::Unsolvable(_))
+        ));
+
+        // Stale periodic record: theta2 disagrees with the energy balance.
+        let ps = Scenario::new("weibull:40,3", PolicySpec::Periodic { theta1: 3 }, 0.5)
+            .unwrap()
+            .with_horizon(4_096);
+        let p = solve(&ps).unwrap();
+        let stale = match p.params {
+            PolicyParams::Periodic { theta1, theta2 } => PolicyParams::Periodic {
+                theta1,
+                theta2: theta2 + 1,
+            },
+            other => panic!("unexpected params {other:?}"),
+        };
+        assert!(matches!(
+            rehydrate(&ps, &stale, 0),
+            Err(SolveError::Unsolvable(_))
+        ));
+
+        // Stale myopic record: window no longer matches the scenario.
+        let ms = Scenario::new("weibull:40,3", PolicySpec::Myopic, 0.5)
+            .unwrap()
+            .with_horizon(4_096);
+        let m = solve(&ms).unwrap();
+        let truncated = match m.params {
+            PolicyParams::Myopic {
+                mut active,
+                threshold,
+                evaluation,
+            } => {
+                active.pop();
+                PolicyParams::Myopic {
+                    active,
+                    threshold,
+                    evaluation,
+                }
+            }
+            other => panic!("unexpected params {other:?}"),
+        };
+        assert!(matches!(
+            rehydrate(&ms, &truncated, m.meta.iterations),
+            Err(SolveError::Unsolvable(_))
+        ));
+    }
+
+    #[test]
+    fn warm_hint_reproduces_the_cold_clustering_solve_with_fewer_candidates() {
+        let near = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.48)
+            .unwrap()
+            .with_horizon(4_096);
+        let hint = match solve(&near).unwrap().params {
+            PolicyParams::Clustering { n1, n2, n3, .. } => (n1, n2, n3),
+            other => panic!("unexpected params {other:?}"),
+        };
+
+        let s = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.5)
+            .unwrap()
+            .with_horizon(4_096);
+        let cold = solve(&s).unwrap();
+        let warm = solve_with_hint(&s, Some(hint)).unwrap();
+        assert_eq!(cold.meta.label, warm.meta.label);
+        assert_eq!(cold.meta.regions, warm.meta.regions);
+        assert_eq!(
+            cold.meta.objective.unwrap().to_bits(),
+            warm.meta.objective.unwrap().to_bits()
+        );
+        assert!(
+            warm.meta.iterations < cold.meta.iterations,
+            "warm start should evaluate fewer candidates ({} vs {})",
+            warm.meta.iterations,
+            cold.meta.iterations
+        );
     }
 
     #[test]

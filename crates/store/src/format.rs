@@ -1,0 +1,392 @@
+//! The record wire format: a compact, versioned, checksummed binary
+//! serialization of `(Scenario, PolicyParams, iterations)`.
+//!
+//! ```text
+//! file   := MAGIC "EVST" | VERSION u32 | record*
+//! record := len u32 | crc32(payload) u32 | payload[len]
+//! payload:= scenario | iterations u64 | params
+//! ```
+//!
+//! All integers are little-endian; floats are stored as their raw IEEE-754
+//! bits so a decode is bit-identical to what was encoded. Strings carry a
+//! `u32` length prefix. Greedy coefficient vectors are run-length encoded
+//! (water-filling produces long runs of equal coefficients); myopic
+//! activation windows are stored as a bitset.
+
+use evcap_spec::{PolicyParams, PolicySpec, Scenario};
+
+/// File magic: the first four bytes of every store file.
+pub const MAGIC: [u8; 4] = *b"EVST";
+
+/// Current format version; bumped on any incompatible layout change.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on decoded vector lengths (coefficients, activation bits):
+/// far above any real discretization horizon, low enough that a corrupted
+/// length field cannot drive a huge allocation.
+const MAX_VEC_LEN: usize = 1 << 22;
+
+/// A structural decode failure: what went wrong and where in the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// Byte offset inside the payload where decoding failed.
+    pub pos: usize,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "payload byte {}: {}", self.pos, self.detail)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Small table built on demand; the polynomial is the standard
+    // reflected 0xEDB88320.
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Policy-family tags shared by the scenario and params sections.
+fn policy_tag(policy: PolicySpec) -> u8 {
+    match policy {
+        PolicySpec::Greedy => 0,
+        PolicySpec::Clustering => 1,
+        PolicySpec::Aggressive => 2,
+        PolicySpec::Periodic { .. } => 3,
+        PolicySpec::Myopic => 4,
+    }
+}
+
+/// Encodes one record payload (everything between the checksum and the
+/// next record header).
+pub fn encode(scenario: &Scenario, params: &PolicyParams, iterations: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    // Scenario prefix — decodable on its own so a scan can still index a
+    // record whose later bytes are damaged.
+    put_u8(&mut buf, policy_tag(scenario.policy()));
+    if let PolicySpec::Periodic { theta1 } = scenario.policy() {
+        put_u64(&mut buf, theta1);
+    }
+    put_str(&mut buf, scenario.dist());
+    put_str(&mut buf, scenario.recharge());
+    put_f64(&mut buf, scenario.e());
+    put_f64(&mut buf, scenario.delta1());
+    put_f64(&mut buf, scenario.delta2());
+    put_f64(&mut buf, scenario.battery());
+    put_u64(&mut buf, scenario.horizon() as u64);
+    put_u64(&mut buf, scenario.sensors() as u64);
+
+    put_u64(&mut buf, iterations);
+
+    match params {
+        PolicyParams::Greedy {
+            coefficients,
+            tail_coefficient,
+            ideal_qom,
+            discharge_rate,
+        } => {
+            put_u8(&mut buf, 0);
+            // Run-length encode equal-bits runs of coefficients.
+            let mut runs: Vec<(u32, u64)> = Vec::new();
+            for &c in coefficients {
+                let bits = c.to_bits();
+                match runs.last_mut() {
+                    Some((n, b)) if *b == bits && *n < u32::MAX => *n += 1,
+                    _ => runs.push((1, bits)),
+                }
+            }
+            put_u32(&mut buf, runs.len() as u32);
+            for (n, bits) in runs {
+                put_u32(&mut buf, n);
+                put_u64(&mut buf, bits);
+            }
+            put_f64(&mut buf, *tail_coefficient);
+            put_f64(&mut buf, *ideal_qom);
+            put_f64(&mut buf, *discharge_rate);
+        }
+        PolicyParams::Clustering {
+            n1,
+            n2,
+            n3,
+            boundary,
+        } => {
+            put_u8(&mut buf, 1);
+            put_u64(&mut buf, *n1 as u64);
+            put_u64(&mut buf, *n2 as u64);
+            put_u64(&mut buf, *n3 as u64);
+            put_f64(&mut buf, boundary.0);
+            put_f64(&mut buf, boundary.1);
+            put_f64(&mut buf, boundary.2);
+        }
+        PolicyParams::Aggressive => put_u8(&mut buf, 2),
+        PolicyParams::Periodic { theta1, theta2 } => {
+            put_u8(&mut buf, 3);
+            put_u64(&mut buf, *theta1);
+            put_u64(&mut buf, *theta2);
+        }
+        PolicyParams::Myopic {
+            active,
+            threshold,
+            evaluation,
+        } => {
+            put_u8(&mut buf, 4);
+            put_u32(&mut buf, active.len() as u32);
+            let mut bits = vec![0u8; active.len().div_ceil(8)];
+            for (i, &a) in active.iter().enumerate() {
+                if a {
+                    bits[i / 8] |= 1 << (i % 8);
+                }
+            }
+            buf.extend_from_slice(&bits);
+            put_f64(&mut buf, *threshold);
+            put_f64(&mut buf, evaluation.capture_probability);
+            put_f64(&mut buf, evaluation.discharge_rate);
+            put_f64(&mut buf, evaluation.expected_cycle);
+            put_f64(&mut buf, evaluation.truncated_survival);
+        }
+    }
+    buf
+}
+
+/// A bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> FormatError {
+        FormatError {
+            pos: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.err(format!("truncated: wanted {n} more bytes")))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, FormatError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize64(&mut self, what: &str) -> Result<usize, FormatError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.err(format!("{what} {v} overflows usize")))
+    }
+
+    fn str(&mut self) -> Result<String, FormatError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| self.err(format!("invalid utf-8: {e}")))
+    }
+}
+
+/// Decodes the scenario prefix of a payload (enough to recover the record's
+/// canonical key even when later bytes are damaged). Returns the scenario
+/// and the reader positioned at the `iterations` field.
+fn decode_scenario_inner(payload: &[u8]) -> Result<(Scenario, Reader<'_>), FormatError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let policy = match tag {
+        0 => PolicySpec::Greedy,
+        1 => PolicySpec::Clustering,
+        2 => PolicySpec::Aggressive,
+        3 => PolicySpec::Periodic { theta1: r.u64()? },
+        4 => PolicySpec::Myopic,
+        other => return Err(r.err(format!("unknown policy tag {other}"))),
+    };
+    let dist = r.str()?;
+    let recharge = r.str()?;
+    let e = r.f64()?;
+    let delta1 = r.f64()?;
+    let delta2 = r.f64()?;
+    let battery = r.f64()?;
+    let horizon = r.usize64("horizon")?;
+    let sensors = r.usize64("sensors")?;
+    if !e.is_finite() {
+        return Err(r.err(format!("non-finite recharge rate {e}")));
+    }
+    let scenario = Scenario::new(&dist, policy, e)
+        .map_err(|err| r.err(format!("stored dist spec no longer parses: {err}")))?
+        .with_recharge(&recharge)
+        .map_err(|err| r.err(format!("stored recharge spec no longer parses: {err}")))?
+        .with_costs(delta1, delta2)
+        .with_battery(battery)
+        .with_horizon(horizon)
+        .with_sensors(sensors);
+    Ok((scenario, r))
+}
+
+/// Decodes just the scenario prefix (used by the open-time index scan).
+pub fn decode_scenario(payload: &[u8]) -> Result<Scenario, FormatError> {
+    decode_scenario_inner(payload).map(|(s, _)| s)
+}
+
+/// Decodes a full record payload.
+pub fn decode(payload: &[u8]) -> Result<(Scenario, PolicyParams, u64), FormatError> {
+    let (scenario, mut r) = decode_scenario_inner(payload)?;
+    let iterations = r.u64()?;
+    let tag = r.u8()?;
+    if tag != policy_tag(scenario.policy()) {
+        return Err(r.err(format!(
+            "params tag {tag} does not match the scenario's policy `{}`",
+            scenario.policy().name()
+        )));
+    }
+    let params = match tag {
+        0 => {
+            let runs = r.u32()? as usize;
+            let mut coefficients = Vec::new();
+            for _ in 0..runs {
+                let n = r.u32()? as usize;
+                let bits = r.u64()?;
+                if coefficients.len() + n > MAX_VEC_LEN {
+                    return Err(r.err(format!(
+                        "coefficient run-length encoding expands past {MAX_VEC_LEN} entries"
+                    )));
+                }
+                coefficients.resize(coefficients.len() + n, f64::from_bits(bits));
+            }
+            PolicyParams::Greedy {
+                coefficients,
+                tail_coefficient: r.f64()?,
+                ideal_qom: r.f64()?,
+                discharge_rate: r.f64()?,
+            }
+        }
+        1 => PolicyParams::Clustering {
+            n1: r.usize64("n1")?,
+            n2: r.usize64("n2")?,
+            n3: r.usize64("n3")?,
+            boundary: (r.f64()?, r.f64()?, r.f64()?),
+        },
+        2 => PolicyParams::Aggressive,
+        3 => PolicyParams::Periodic {
+            theta1: r.u64()?,
+            theta2: r.u64()?,
+        },
+        4 => {
+            let len = r.u32()? as usize;
+            if len > MAX_VEC_LEN {
+                return Err(r.err(format!("activation window {len} exceeds {MAX_VEC_LEN}")));
+            }
+            let bytes = r.take(len.div_ceil(8))?;
+            let active = (0..len)
+                .map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1)
+                .collect();
+            PolicyParams::Myopic {
+                active,
+                threshold: r.f64()?,
+                evaluation: evcap_core::ClusterEvaluation {
+                    capture_probability: r.f64()?,
+                    discharge_rate: r.f64()?,
+                    expected_cycle: r.f64()?,
+                    truncated_survival: r.f64()?,
+                },
+            }
+        }
+        _ => unreachable!("tag validated above"),
+    };
+    if r.pos != payload.len() {
+        return Err(r.err(format!(
+            "{} trailing bytes after a well-formed record",
+            payload.len() - r.pos
+        )));
+    }
+    Ok((scenario, params, iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let scenario = Scenario::new("weibull:40,3", PolicySpec::Aggressive, 0.5).unwrap();
+        let mut payload = encode(&scenario, &PolicyParams::Aggressive, 0);
+        decode(&payload).unwrap();
+        payload.push(0);
+        assert!(decode(&payload).is_err());
+    }
+
+    #[test]
+    fn scenario_prefix_survives_damaged_params() {
+        let scenario = Scenario::new("weibull:40,3", PolicySpec::Periodic { theta1: 3 }, 0.5)
+            .unwrap()
+            .with_costs(1.0, 8.0)
+            .with_sensors(4);
+        let params = PolicyParams::Periodic {
+            theta1: 3,
+            theta2: 40,
+        };
+        let mut payload = encode(&scenario, &params, 7);
+        let n = payload.len();
+        payload[n - 1] ^= 0xFF; // damage the params section
+        let recovered = decode_scenario(&payload).unwrap();
+        assert_eq!(recovered.canonical_key(), scenario.canonical_key());
+    }
+}

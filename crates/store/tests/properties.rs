@@ -1,0 +1,286 @@
+//! Property tests for the record wire format and the store's corruption
+//! handling: encode/decode round-trips are bit-identical for arbitrary
+//! artifacts, and truncated / bit-flipped / garbage records and wrong
+//! headers always surface as structured errors — never panics, never
+//! silently wrong data.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use evcap_core::ClusterEvaluation;
+use evcap_spec::{PolicyParams, PolicySpec, Scenario};
+use evcap_store::format::{self, crc32, MAGIC, VERSION};
+use evcap_store::{Store, StoreError, STORE_FILE};
+use proptest::prelude::*;
+
+/// A fresh per-case scratch directory (cases run sequentially).
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "evcap-store-prop-{label}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes a syntactically valid store file containing `payloads` as
+/// records, bypassing [`Store`] so tests control every byte.
+fn write_store(dir: &Path, payloads: &[Vec<u8>]) {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    for payload in payloads {
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+    }
+    std::fs::write(dir.join(STORE_FILE), &bytes).unwrap();
+}
+
+fn dist_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("weibull:40,3"),
+        Just("weibull:8,3"),
+        Just("exp:0.05"),
+        Just("exp:0.1"),
+        Just("det:7"),
+        Just("pareto:2,10"),
+    ]
+}
+
+/// Jointly generates a policy family and matching solver parameters (the
+/// format rejects mismatched family tags, so they must agree).
+fn family_strategy() -> impl Strategy<Value = (PolicySpec, PolicyParams)> {
+    let bit = (0u8..2).prop_map(|b| b == 1);
+    prop_oneof![
+        (
+            proptest::collection::vec(0.0f64..1.0, 0..48),
+            0.0f64..1.0,
+            0.0f64..64.0,
+            0.0f64..2.0,
+        )
+            .prop_map(
+                |(coefficients, tail_coefficient, ideal_qom, discharge_rate)| (
+                    PolicySpec::Greedy,
+                    PolicyParams::Greedy {
+                        coefficients,
+                        tail_coefficient,
+                        ideal_qom,
+                        discharge_rate,
+                    }
+                )
+            ),
+        // Long equal-coefficient runs, to exercise the RLE path.
+        (proptest::collection::vec(0u8..3, 0..200), 0.0f64..1.0).prop_map(
+            |(levels, tail_coefficient)| (
+                PolicySpec::Greedy,
+                PolicyParams::Greedy {
+                    coefficients: levels.into_iter().map(|l| f64::from(l) / 2.0).collect(),
+                    tail_coefficient,
+                    ideal_qom: 1.0,
+                    discharge_rate: 0.5,
+                }
+            )
+        ),
+        (
+            1usize..64,
+            1usize..96,
+            1usize..128,
+            (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        )
+            .prop_map(|(n1, n2, n3, boundary)| (
+                PolicySpec::Clustering,
+                PolicyParams::Clustering {
+                    n1,
+                    n2,
+                    n3,
+                    boundary,
+                }
+            )),
+        Just((PolicySpec::Aggressive, PolicyParams::Aggressive)),
+        (1u64..12, 1u64..4096).prop_map(|(theta1, theta2)| (
+            PolicySpec::Periodic { theta1 },
+            PolicyParams::Periodic { theta1, theta2 }
+        )),
+        (
+            proptest::collection::vec(bit, 0..64),
+            0.0f64..1.0,
+            (0.0f64..1.0, 0.0f64..1.0, 1.0f64..100.0, 0.0f64..1.0),
+        )
+            .prop_map(|(active, threshold, (cap, dis, cyc, sur))| (
+                PolicySpec::Myopic,
+                PolicyParams::Myopic {
+                    active,
+                    threshold,
+                    evaluation: ClusterEvaluation {
+                        capture_probability: cap,
+                        discharge_rate: dis,
+                        expected_cycle: cyc,
+                        truncated_survival: sur,
+                    },
+                }
+            )),
+    ]
+}
+
+/// An arbitrary `(Scenario, PolicyParams, iterations)` artifact triple.
+fn artifact_strategy() -> impl Strategy<Value = (Scenario, PolicyParams, u64)> {
+    (
+        dist_strategy(),
+        family_strategy(),
+        (0.05f64..1.5, 0.25f64..4.0, 0.5f64..16.0),
+        (1.0f64..20.0, 64usize..8192, 1usize..8),
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(dist, (policy, params), (e, delta1, delta2), (battery, horizon, sensors), iters)| {
+                let scenario = Scenario::new(dist, policy, e)
+                    .expect("pool specs are valid")
+                    .with_costs(delta1, delta2)
+                    .with_battery(battery)
+                    .with_horizon(horizon)
+                    .with_sensors(sensors);
+                (scenario, params, iters)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_round_trips_bit_identical(
+        (scenario, params, iterations) in artifact_strategy(),
+    ) {
+        let payload = format::encode(&scenario, &params, iterations);
+        let (back_scenario, back_params, back_iterations) =
+            format::decode(&payload).expect("own encoding must decode");
+        prop_assert_eq!(back_scenario.canonical_key(), scenario.canonical_key());
+        prop_assert_eq!(&back_params, &params);
+        prop_assert_eq!(back_iterations, iterations);
+        // Bit-identity: re-encoding the decoded artifact reproduces the
+        // original bytes exactly (floats travel as raw IEEE-754 bits).
+        let again = format::encode(&back_scenario, &back_params, back_iterations);
+        prop_assert_eq!(again, payload);
+        // The scan-time prefix decode agrees on the key too.
+        let prefix = format::decode_scenario(&payload).expect("prefix decodes");
+        prop_assert_eq!(prefix.canonical_key(), scenario.canonical_key());
+    }
+
+    #[test]
+    fn truncated_payloads_are_structured_errors(
+        (scenario, params, iterations) in artifact_strategy(),
+        cut in 0usize..1_000_000,
+    ) {
+        let payload = format::encode(&scenario, &params, iterations);
+        let k = cut % payload.len();
+        // Every strict prefix must fail to decode — cleanly.
+        prop_assert!(format::decode(&payload[..k]).is_err());
+    }
+
+    #[test]
+    fn bit_flips_never_panic_the_decoder(
+        (scenario, params, iterations) in artifact_strategy(),
+        flip in 0usize..1_000_000,
+    ) {
+        let mut payload = format::encode(&scenario, &params, iterations);
+        let bit = flip % (payload.len() * 8);
+        payload[bit / 8] ^= 1 << (bit % 8);
+        // A flipped payload may or may not decode structurally (the CRC is
+        // what catches value damage); it must never panic, and whatever it
+        // does decode must itself round-trip stably (re-encoding is not
+        // byte-identical to the tampered input — RLE boundaries and spec
+        // canonicalization are not injective — but it is value-identical).
+        if let Ok((s, p, i)) = format::decode(&payload) {
+            let again = format::encode(&s, &p, i);
+            let (s2, p2, i2) = format::decode(&again).expect("re-encoding must decode");
+            prop_assert_eq!(s2.canonical_key(), s.canonical_key());
+            prop_assert_eq!(p2, p);
+            prop_assert_eq!(i2, i);
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_are_structured_errors(
+        junk in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        prop_assert!(format::decode(&junk).is_err());
+        // The index scan's prefix decode must be equally unimpressed.
+        let _ = format::decode_scenario(&junk);
+    }
+}
+
+proptest! {
+    // Store-level cases touch the filesystem; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn on_disk_bit_flips_surface_as_errors_not_data(
+        (scenario, params, iterations) in artifact_strategy(),
+        flip in 0usize..1_000_000,
+    ) {
+        let dir = scratch("flip");
+        let payload = format::encode(&scenario, &params, iterations);
+        let key = scenario.canonical_key();
+        write_store(&dir, std::slice::from_ref(&payload));
+
+        // Sanity: the untampered record loads.
+        let mut store = Store::open(&dir).unwrap();
+        prop_assert!(store.load_record(&key).is_ok());
+        drop(store);
+
+        // Flip one bit anywhere past the 8-byte file header.
+        let path = dir.join(STORE_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let body_bits = (bytes.len() - 8) * 8;
+        let bit = 64 + flip % body_bits;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&path, &bytes).unwrap();
+
+        // The store must open (scan tolerates damage) and the original
+        // key must never yield data from the tampered record: it is
+        // either gone from the index or rejected by the checksum.
+        let mut store = Store::open(&dir).unwrap();
+        match store.load_record(&key) {
+            Ok(_) => panic!("tampered record served as valid data"),
+            Err(StoreError::Corrupt { .. } | StoreError::NotFound { .. }) => {}
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_headers_are_structured_errors(
+        version in 2u32..1_000_000,
+        corrupt_byte in 0usize..4,
+        tweak in 1u8..=255,
+    ) {
+        // Wrong version, right magic.
+        let dir = scratch("header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&version.to_le_bytes());
+        std::fs::write(dir.join(STORE_FILE), &bytes).unwrap();
+        match Store::open(&dir) {
+            Err(StoreError::WrongVersion { found, expected }) => {
+                prop_assert_eq!(found, version);
+                prop_assert_eq!(expected, VERSION);
+            }
+            other => panic!("expected WrongVersion, got {other:?}"),
+        }
+
+        // Wrong magic.
+        let mut magic = MAGIC;
+        magic[corrupt_byte] ^= tweak;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&magic);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        std::fs::write(dir.join(STORE_FILE), &bytes).unwrap();
+        prop_assert!(matches!(Store::open(&dir), Err(StoreError::BadMagic { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -70,6 +70,12 @@ const RULES: &[(&str, &str)] = &[
          SAFETY: comment; everywhere else the crate root forbids it",
     ),
     (
+        "store-certify",
+        "a policy artifact deserialized on an evcap-serve path (Store::load / rehydrate) must \
+         pass evcap_audit::certify before being served — a stale, corrupt, or tampered record \
+         must fall back to a fresh solve, never reach a client",
+    ),
+    (
         "forbid-unsafe",
         "every crate root carries #![forbid(unsafe_code)] (or #![deny] when a module must \
          opt out, as the signal shim does)",
@@ -365,6 +371,30 @@ fn content_violations(file: &SourceFile) -> Vec<Violation> {
             );
         }
 
+        // store-certify: a disk-loaded artifact on a serve path must be
+        // certified before reuse. Token-level: a `.load(` / `rehydrate(`
+        // line (atomic `Ordering` loads excluded) must have
+        // `evcap_audit::certify` on the same or one of the following 8
+        // lines — the pairing the three-tier cache relies on.
+        if in_serve_src {
+            let artifact_load = (line.contains(".load(") && !line.contains("Ordering"))
+                || line.contains("rehydrate(");
+            if artifact_load && !file.line_waived(idx, "store-certify") {
+                let end = (idx + 9).min(file.lines.len());
+                let certified = file.lines[idx..end]
+                    .iter()
+                    .any(|l| l.contains("evcap_audit::certify"));
+                if !certified {
+                    push(
+                        idx,
+                        "store-certify",
+                        "deserialized artifact served without an evcap_audit::certify gate"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+
         // unsafe: token-level word match so `unsafe_code` in attributes
         // doesn't trip it, but `unsafe {`, `unsafe fn`, `unsafe impl` do.
         if has_unsafe_token(line) && !file.line_waived(idx, "unsafe") {
@@ -610,6 +640,42 @@ const CASES: &[Case] = &[
         label: "print with an escape passes",
         path: "crates/bench/src/seeded.rs",
         content: "fn f() {\n    eprintln!(\"# perf\"); // tidy:allow(print): stderr report by design\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "store-certify fires on an uncertified store load in serve",
+        path: "crates/serve/src/seeded.rs",
+        content: "fn f() {\n    let loaded = store.lock().ok()?.load(key);\n    serve(loaded);\n}\n",
+        expect: &["store-certify"],
+    },
+    Case {
+        label: "store-certify passes when certify gates the load",
+        path: "crates/serve/src/seeded.rs",
+        content: "fn f() {\n    let loaded = store.lock().ok()?.load(key);\n    match loaded {\n        Ok(solved) => match evcap_audit::certify(scenario, &solved) {\n            Ok(_) => keep(solved),\n            Err(_) => reject(),\n        },\n        Err(_) => miss(),\n    }\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "store-certify fires on a bare rehydrate in serve",
+        path: "crates/serve/src/seeded.rs",
+        content: "fn f() {\n    let solved = evcap_spec::rehydrate(&scenario, &params)?;\n}\n",
+        expect: &["store-certify"],
+    },
+    Case {
+        label: "store-certify ignores atomic loads",
+        path: "crates/serve/src/seeded.rs",
+        content: "fn f() {\n    let stop = shared.shutdown.load(Ordering::SeqCst);\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "store-certify ignores loads outside serve",
+        path: "crates/cli/src/seeded.rs",
+        content: "fn f() {\n    let rec = store.load(key);\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "store-certify with an escape passes",
+        path: "crates/serve/src/seeded.rs",
+        content: "fn f() {\n    // tidy:allow(store-certify): debug endpoint, never served to clients\n    let rec = store.lock().ok()?.load(key);\n}\n",
         expect: &[],
     },
     Case {
