@@ -1,11 +1,12 @@
 //! Slots/sec throughput recording for the figure runners.
 //!
 //! The simulation engine already instruments itself through `evcap-obs`
-//! (the `sim.run` span and the `sim.slots` counter), so the bench harness
-//! does not time anything by hand: it enables the global timing registry
-//! around a runner, drains the registry afterwards, and derives throughput
-//! from what the engine reported. Because spans aggregate across threads,
-//! `sim.run` total time is *CPU-seconds of simulation*, not wall time — the
+//! (the `sim.run` span per scalar run, the `sim.batch.run` span per SoA
+//! chunk, and the shared `sim.slots` counter), so the bench harness does
+//! not time anything by hand: it enables the global timing registry around
+//! a runner, drains the registry afterwards, and derives throughput from
+//! what the engine reported. Because spans aggregate across threads, the
+//! engine-span total is *CPU-seconds of simulation*, not wall time — the
 //! derived rate is per-core throughput and is stable under `parallel_map`
 //! fan-out.
 //!
@@ -23,12 +24,14 @@ use evcap_obs::{timing, JsonObject, JsonlSink};
 pub struct Throughput {
     /// Total slots simulated (the `sim.slots` counter).
     pub slots: u64,
-    /// CPU-seconds spent inside the engine loop (the `sim.run` span,
-    /// summed across simulations and threads — *not* wall time).
+    /// CPU-seconds spent inside the engine loop (the `sim.run` and
+    /// `sim.batch.run` spans, summed across simulations and threads —
+    /// *not* wall time).
     pub cpu_seconds: f64,
     /// Wall-clock seconds of the whole runner, including optimization.
     pub wall_seconds: f64,
-    /// Number of simulation runs (the `sim.run` call count).
+    /// Number of engine entries: scalar `sim.run` calls plus SoA
+    /// `sim.batch.run` chunks.
     pub runs: u64,
 }
 
@@ -82,16 +85,25 @@ pub fn measured<R>(f: impl FnOnce() -> R) -> (R, Option<Throughput>) {
     let wall_seconds = wall.elapsed().as_secs_f64();
     let spans = timing::drain_spans();
     let counters = timing::drain_counters();
-    let run_span = spans.iter().find(|(name, _)| *name == "sim.run");
+    // The scalar engine reports `sim.run` per run; the SoA batch engine
+    // reports `sim.batch.run` per chunk. Both feed the shared `sim.slots`
+    // counter, so mixed workloads sum cleanly.
+    let (mut total_ns, mut runs) = (0u128, 0u64);
+    for (name, stats) in &spans {
+        if *name == "sim.run" || *name == "sim.batch.run" {
+            total_ns += stats.total_ns;
+            runs += stats.count;
+        }
+    }
     let slots = counters
         .iter()
         .find(|(name, _)| *name == "sim.slots")
         .map_or(0, |&(_, n)| n);
-    let throughput = run_span.map(|(_, stats)| Throughput {
+    let throughput = (runs > 0).then(|| Throughput {
         slots,
-        cpu_seconds: stats.total_ns as f64 / 1e9,
+        cpu_seconds: total_ns as f64 / 1e9,
         wall_seconds,
-        runs: stats.count,
+        runs,
     });
     (result, throughput)
 }
@@ -249,8 +261,18 @@ mod tests {
             .expect("valid simulation");
     }
 
+    /// The timing registry is process-global, so tests that enable and
+    /// drain it serialize here.
+    fn measured_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     #[test]
     fn measured_reports_engine_counters() {
+        let _guard = measured_lock();
         let ((), t) = measured(|| simulate(10_000));
         let t = t.expect("one simulation ran");
         assert_eq!(t.slots, 10_000);
@@ -262,7 +284,30 @@ mod tests {
     }
 
     #[test]
+    fn measured_reports_batched_engine_counters() {
+        use evcap_sim::ReplicationBatch;
+        let _guard = measured_lock();
+        let pmf = weibull_pmf();
+        let ((), t) = measured(|| {
+            let sim = Simulation::builder(&pmf).slots(4_000).seed(3);
+            ReplicationBatch::new(sim, 5)
+                .unwrap()
+                .threads(2)
+                .run(&AggressivePolicy::new(), &|_| {
+                    Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).expect("static"))
+                })
+                .expect("valid batch");
+        });
+        let t = t.expect("the batch engine reported spans");
+        assert_eq!(t.slots, 5 * 4_000, "counter covers every replication");
+        assert!(t.runs >= 1 && t.runs <= 5, "one span per chunk: {}", t.runs);
+        assert!(t.cpu_seconds > 0.0);
+        assert!(t.slots_per_second() > 0.0);
+    }
+
+    #[test]
     fn measured_without_simulation_is_none() {
+        let _guard = measured_lock();
         let (value, t) = measured(|| 7);
         assert_eq!(value, 7);
         assert!(t.is_none());
@@ -310,6 +355,7 @@ mod tests {
 
     #[test]
     fn record_round_trips_through_the_parser() {
+        let _guard = measured_lock();
         let ((), t) = measured(|| simulate(5_000));
         let line = t.expect("ran").record("unit-test").finish();
         let value = evcap_obs::parse_line(&line).expect("valid JSON");

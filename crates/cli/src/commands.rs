@@ -573,9 +573,14 @@ fn simulate_replicated(
 /// `evcap bench-sim`
 ///
 /// Seeds the engine's performance trajectory: measures a single run, a
-/// sequential replication loop (the batch engine pinned to one worker), and
-/// the batch at each requested thread count, then writes the results as a
-/// small JSON document (`BENCH_sim.json` by default) that CI archives.
+/// truly sequential replication loop (R scalar `Simulation::run` calls with
+/// the batch's strided seeds — each rebuilding its event sampler and policy
+/// table, exactly what callers did before the batch engine), and the
+/// lockstep SoA batch at each requested thread count. Every batched run is
+/// checked bit-identical per seed against the scalar loop and across thread
+/// counts; an extra phase-timing pass attributes the batch's slot loop to
+/// its sweeps. Results land in a small JSON document (`BENCH_sim.json` by
+/// default) that CI archives and gates on.
 pub fn bench_sim(args: &Args) -> CmdResult {
     args.expect_only(&[
         "dist",
@@ -633,20 +638,30 @@ pub fn bench_sim(args: &Args) -> CmdResult {
     single_res?;
     let single_t = perf("single", single_t)?;
 
-    // 2. The same R replications sequentially (batch pinned to one worker).
+    // 2. The same R replications truly sequentially: R scalar runs with the
+    //    batch's strided seeds, each paying the full per-run setup (event
+    //    sampler, policy table) a caller-side loop would pay. These reports
+    //    double as the per-seed ground truth for the batch.
+    let seeds = ReplicationBatch::new(sim.clone(), replications)
+        .expect("replications >= 1")
+        .seeds();
     let (seq_res, seq_t) = evcap_bench::perf::measured(|| {
-        ReplicationBatch::new(sim.clone(), replications)
-            .expect("replications >= 1")
-            .precompiled(solved.table.clone())
-            .threads(1)
-            .run(policy, &recharge)
+        let mut reports = Vec::with_capacity(replications);
+        for &s in &seeds {
+            reports.push(sim.clone().seed(s).run(policy, &mut |_: usize| {
+                spec::parse_recharge(recharge_spec).expect("static spec")
+            }));
+        }
+        reports.into_iter().collect::<Result<Vec<_>, _>>()
     });
-    let seq_report = seq_res?;
+    let scalar_reports = seq_res?;
     let seq_t = perf("sequential", seq_t)?;
 
-    // 3. The batch at each requested thread count, checked bit-identical.
+    // 3. The SoA batch at each requested thread count, checked bit-identical
+    //    per seed against the scalar loop and across thread counts.
     let mut deterministic = true;
     let mut batched = Vec::new();
+    let mut reference = None;
     for &threads in &threads_list {
         let (res, t) = evcap_bench::perf::measured(|| {
             ReplicationBatch::new(sim.clone(), replications)
@@ -656,16 +671,63 @@ pub fn bench_sim(args: &Args) -> CmdResult {
                 .run(policy, &recharge)
         });
         let report = res?;
-        deterministic &= report == seq_report;
+        deterministic &= report.reports == scalar_reports;
+        match &reference {
+            Some(first) => deterministic &= report == *first,
+            None => reference = Some(report),
+        }
         batched.push((threads, perf("batched", t)?));
     }
+
+    // 4. One phase-attribution pass (single worker, timing inside the slot
+    //    loop): where does the batch's time actually go?
+    evcap_obs::timing::set_enabled(true);
+    evcap_obs::timing::reset();
+    let phased_res = ReplicationBatch::new(sim.clone(), replications)
+        .expect("replications >= 1")
+        .precompiled(solved.table.clone())
+        .threads(1)
+        .phase_timing(true)
+        .run(policy, &recharge);
+    let phase_spans = evcap_obs::timing::drain_spans();
+    evcap_obs::timing::drain_counters();
+    evcap_obs::timing::set_enabled(false);
+    phased_res?;
+    let phase_ms = |name: &str| -> f64 {
+        phase_spans
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, s)| s.total_ns as f64 / 1e6)
+    };
+    let (gen_ms, recharge_ms, decide_ms, events_ms) = (
+        phase_ms("sim.batch.phase.generate"),
+        phase_ms("sim.batch.phase.recharge"),
+        phase_ms("sim.batch.phase.decide"),
+        phase_ms("sim.batch.phase.events"),
+    );
+
+    // The regression gate: at one worker, lockstep batching must not be
+    // slower than the scalar loop it replaced (the batch amortizes sampler
+    // and table setup and sweeps contiguous lanes).
+    let batched_t1_beats_sequential = batched
+        .iter()
+        .find(|(threads, _)| *threads == 1)
+        .is_none_or(|(_, t)| t.wall_seconds <= seq_t.wall_seconds);
 
     use std::fmt::Write as _;
     let num = crate::json::num;
     let mut doc = String::with_capacity(1024);
     let _ = write!(
         doc,
-        "{{\n  \"bench\": \"sim\",\n  \"dist\": \"{dist_spec}\",\n  \"slots\": {slots},\n  \"replications\": {replications},\n  \"seed\": {seed},\n  \"threads_available\": {threads_available},\n  \"deterministic_across_threads\": {deterministic},\n"
+        "{{\n  \"bench\": \"sim\",\n  \"dist\": \"{dist_spec}\",\n  \"slots\": {slots},\n  \"replications\": {replications},\n  \"seed\": {seed},\n  \"threads_available\": {threads_available},\n  \"deterministic_across_threads\": {deterministic},\n  \"batched_t1_beats_sequential\": {batched_t1_beats_sequential},\n"
+    );
+    let _ = writeln!(
+        doc,
+        "  \"phases\": {{\"generate_ms\": {}, \"recharge_ms\": {}, \"decide_ms\": {}, \"events_ms\": {}}},", // tidy:allow(json-fmt): pretty-printed multi-line bench report; keys static, values num()-sanitized
+        num(gen_ms),
+        num(recharge_ms),
+        num(decide_ms),
+        num(events_ms),
     );
     // Throughput here is slots per *wall* second: the batched runs sum
     // engine time across worker threads, so a CPU-time rate would not move
@@ -711,7 +773,7 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         single_t.wall_seconds
     );
     println!(
-        "sequential   : {:.3} s wall for {replications} replications",
+        "sequential   : {:.3} s wall for {replications} scalar runs",
         seq_t.wall_seconds
     );
     for (threads, t) in &batched {
@@ -722,15 +784,26 @@ pub fn bench_sim(args: &Args) -> CmdResult {
         );
     }
     println!(
+        "phases (×1)  : generate {gen_ms:.1} ms, recharge {recharge_ms:.1} ms, decide {decide_ms:.1} ms, events {events_ms:.1} ms"
+    );
+    println!(
         "deterministic: {}",
         if deterministic { "yes" } else { "NO — BUG" }
+    );
+    println!(
+        "t1 vs scalar : {}",
+        if batched_t1_beats_sequential {
+            "batched >= sequential"
+        } else {
+            "batched SLOWER than sequential"
+        }
     );
     if threads_available == 1 {
         println!("note         : only 1 CPU available; parallel speedups are not observable here");
     }
     println!("wrote {out}");
     if !deterministic {
-        return Err("batched reports diverged across thread counts".into());
+        return Err("batched reports diverged from the scalar runs".into());
     }
     Ok(())
 }

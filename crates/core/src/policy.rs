@@ -105,6 +105,29 @@ impl PolicyTable {
         }
     }
 
+    /// Slice-in/slice-out batch lookup: `out[i] = probability(states[i])`.
+    ///
+    /// One bounds check against the explicit region per lane and no call
+    /// overhead — the batched simulation engine's per-slot activation sweep.
+    /// Bit-identical to looping [`PolicyTable::probability`] by definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn fill_probabilities(&self, states: &[usize], out: &mut [f64]) {
+        assert_eq!(states.len(), out.len(), "state/probability lanes differ");
+        let n = self.probs.len();
+        for (slot, &state) in out.iter_mut().zip(states) {
+            debug_assert!(state >= 1, "states are 1-based");
+            *slot = if state <= n {
+                self.probs[state - 1]
+            } else {
+                self.tail
+            };
+        }
+    }
+
     /// Number of explicitly stored states before the constant tail.
     pub fn explicit_states(&self) -> usize {
         self.probs.len()
@@ -213,6 +236,24 @@ mod tests {
         assert_eq!(table.probability(1_000_000), 0.25);
         assert_eq!(table.explicit_states(), 3);
         assert_eq!(table.tail(), 0.25);
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_lookup() {
+        let table = PolicyTable::new(vec![0.0, 0.5, 1.0], 0.25);
+        let states: Vec<usize> = vec![1, 2, 3, 4, 3, 1_000_000, 1];
+        let mut out = vec![f64::NAN; states.len()];
+        table.fill_probabilities(&states, &mut out);
+        for (&state, &p) in states.iter().zip(&out) {
+            assert_eq!(p, table.probability(state), "state {state}");
+        }
+        // Empty lanes are a no-op, and mismatched lanes panic.
+        table.fill_probabilities(&[], &mut []);
+        assert!(std::panic::catch_unwind(|| {
+            let mut short = [0.0];
+            table.fill_probabilities(&[1, 2], &mut short);
+        })
+        .is_err());
     }
 
     #[test]

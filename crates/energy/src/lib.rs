@@ -38,7 +38,8 @@ mod units;
 pub use battery::{Battery, ConsumptionModel};
 pub use error::EnergyError;
 pub use recharge::{
-    BernoulliRecharge, ConstantRecharge, PeriodicRecharge, RechargeProcess, UniformRecharge,
+    BernoulliRecharge, ConstantRecharge, PeriodicRecharge, RechargeKind, RechargeProcess,
+    UniformRecharge,
 };
 pub use units::Energy;
 

@@ -30,6 +30,55 @@ pub trait RechargeProcess {
 
     /// Resets any internal phase to the initial state.
     fn reset(&mut self);
+
+    /// The process's closed-form description, if it has one.
+    ///
+    /// Batch executors use this to replace the per-slot virtual `next` call
+    /// with an inlined sweep. A kind is a *contract*: the values it carries
+    /// (including any phase state, captured at call time) must let a caller
+    /// reproduce the exact same delivery sequence and the exact same RNG
+    /// draws `next` would make. Processes without such a description return
+    /// [`RechargeKind::Other`] and stay on dynamic dispatch.
+    fn kind(&self) -> RechargeKind {
+        RechargeKind::Other
+    }
+}
+
+/// Closed-form description of a recharge process (see
+/// [`RechargeProcess::kind`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RechargeKind {
+    /// `c` units with probability `q` per slot; draws one `f64` per slot.
+    Bernoulli {
+        /// Delivery probability per slot.
+        q: f64,
+        /// Amount delivered on success.
+        c: Energy,
+    },
+    /// Exactly `rate` units per slot; draws nothing.
+    Constant {
+        /// Per-slot delivery.
+        rate: Energy,
+    },
+    /// `amount` once every `period` slots; draws nothing. `phase` is the
+    /// process's current position within the period (0 = period start).
+    Periodic {
+        /// Lump delivered at the end of each period.
+        amount: Energy,
+        /// Slots per period.
+        period: u32,
+        /// Current phase at the time `kind` was called.
+        phase: u32,
+    },
+    /// Uniform on `[lo, hi]` milli-units; draws one ranged integer per slot.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: Energy,
+        /// Upper bound (inclusive).
+        hi: Energy,
+    },
+    /// No closed form; callers must keep using [`RechargeProcess::next`].
+    Other,
 }
 
 /// Bernoulli recharge: `c` units with probability `q` each slot, zero
@@ -82,6 +131,13 @@ impl RechargeProcess for BernoulliRecharge {
     }
 
     fn reset(&mut self) {}
+
+    fn kind(&self) -> RechargeKind {
+        RechargeKind::Bernoulli {
+            q: self.q,
+            c: self.c,
+        }
+    }
 }
 
 /// Periodic recharge: `amount` units delivered once every `period` slots
@@ -140,6 +196,14 @@ impl RechargeProcess for PeriodicRecharge {
     fn reset(&mut self) {
         self.phase = 0;
     }
+
+    fn kind(&self) -> RechargeKind {
+        RechargeKind::Periodic {
+            amount: self.amount,
+            period: self.period,
+            phase: self.phase,
+        }
+    }
 }
 
 /// Constant recharge: exactly `rate` units every slot (the paper's "Uniform"
@@ -180,6 +244,10 @@ impl RechargeProcess for ConstantRecharge {
     }
 
     fn reset(&mut self) {}
+
+    fn kind(&self) -> RechargeKind {
+        RechargeKind::Constant { rate: self.rate }
+    }
 }
 
 /// Uniform-random recharge: an amount drawn uniformly from `[lo, hi]` each
@@ -228,6 +296,13 @@ impl RechargeProcess for UniformRecharge {
     }
 
     fn reset(&mut self) {}
+
+    fn kind(&self) -> RechargeKind {
+        RechargeKind::Uniform {
+            lo: self.lo,
+            hi: self.hi,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +394,63 @@ mod tests {
     fn uniform_validates() {
         assert!(UniformRecharge::new(Energy::from_units(2.0), Energy::from_units(1.0)).is_err());
         assert!(UniformRecharge::new(Energy::from_units(-1.0), Energy::from_units(1.0)).is_err());
+    }
+
+    #[test]
+    fn kinds_describe_the_processes_exactly() {
+        let b = BernoulliRecharge::new(0.3, Energy::from_units(2.0)).unwrap();
+        assert_eq!(
+            b.kind(),
+            RechargeKind::Bernoulli {
+                q: 0.3,
+                c: Energy::from_units(2.0)
+            }
+        );
+        let c = ConstantRecharge::new(Energy::from_units(0.5)).unwrap();
+        assert_eq!(
+            c.kind(),
+            RechargeKind::Constant {
+                rate: Energy::from_units(0.5)
+            }
+        );
+        let u = UniformRecharge::new(Energy::ZERO, Energy::from_units(1.0)).unwrap();
+        assert_eq!(
+            u.kind(),
+            RechargeKind::Uniform {
+                lo: Energy::ZERO,
+                hi: Energy::from_units(1.0)
+            }
+        );
+
+        // The periodic kind carries the live phase: a stepped process
+        // reports where it is, so a batch executor can resume mid-period.
+        let mut p = PeriodicRecharge::new(Energy::from_units(5.0), 10).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _ = p.next(&mut rng);
+        let _ = p.next(&mut rng);
+        assert_eq!(
+            p.kind(),
+            RechargeKind::Periodic {
+                amount: Energy::from_units(5.0),
+                period: 10,
+                phase: 2,
+            }
+        );
+
+        struct Custom;
+        impl RechargeProcess for Custom {
+            fn next(&mut self, _rng: &mut dyn rand::RngCore) -> Energy {
+                Energy::ZERO
+            }
+            fn mean_rate(&self) -> f64 {
+                0.0
+            }
+            fn label(&self) -> String {
+                "custom".into()
+            }
+            fn reset(&mut self) {}
+        }
+        assert_eq!(Custom.kind(), RechargeKind::Other);
     }
 
     #[test]

@@ -142,9 +142,11 @@ pub fn simulate(s: &SimulateScenario, solved: &SolvedPolicy) -> Result<String, A
     } else {
         builder.independent()
     };
-    // Batched requests run the replication engine and answer with the
-    // cross-seed reduction; `replications: 1` (or absent) stays on the
-    // classic single-run path below, byte-identical to previous releases.
+    // Batched requests run the lockstep SoA replication engine (all seeds
+    // advance together per slot) and answer with the cross-seed reduction;
+    // per-seed results are bit-identical to scalar runs, so `replications: 1`
+    // (or absent) staying on the classic single-run path below is a latency
+    // choice, not a semantic one — bodies stay byte-identical either way.
     if s.replications > 1 {
         let batch = ReplicationBatch::new(builder, s.replications)
             .map_err(|e| ApiError::unprocessable(e.to_string()))?

@@ -24,24 +24,73 @@ pub type RechargeFactory<'f> = dyn FnMut(usize) -> Box<dyn RechargeProcess> + 'f
 /// ([`DynProb`]). The engine is monomorphized over the source, so the table
 /// path carries no dispatch residue.
 pub(crate) trait ProbSource {
+    /// Whether the source reads only the renewal state — ignoring the slot
+    /// and battery fraction. State-only sources let the batched engine fill
+    /// a whole lane of probabilities per slot ([`ProbSource::fill_state_probs`])
+    /// without assembling a [`DecisionContext`] per replication.
+    const STATE_ONLY: bool;
+
     fn probability(&self, ctx: &DecisionContext) -> f64;
+
+    /// Batched lookup: `out[i] = probability` for `states[i]`. Only called
+    /// when [`ProbSource::STATE_ONLY`] is `true`.
+    fn fill_state_probs(&self, states: &[usize], out: &mut [f64]);
 }
 
 pub(crate) struct TableProb<'p>(pub &'p PolicyTable);
 
 impl ProbSource for TableProb<'_> {
+    const STATE_ONLY: bool = true;
+
     #[inline]
     fn probability(&self, ctx: &DecisionContext) -> f64 {
         self.0.probability(ctx.state)
+    }
+
+    #[inline]
+    fn fill_state_probs(&self, states: &[usize], out: &mut [f64]) {
+        self.0.fill_probabilities(states, out);
     }
 }
 
 pub(crate) struct DynProb<'p>(pub &'p dyn ActivationPolicy);
 
 impl ProbSource for DynProb<'_> {
+    const STATE_ONLY: bool = false;
+
     #[inline]
     fn probability(&self, ctx: &DecisionContext) -> f64 {
         self.0.probability(ctx)
+    }
+
+    fn fill_state_probs(&self, _states: &[usize], _out: &mut [f64]) {
+        unreachable!("a context-reading policy has no state-only batch lookup");
+    }
+}
+
+/// The activation coin, shared verbatim by the scalar and SoA engines: no
+/// RNG draw at the boundary probabilities, exactly one `f64` draw strictly
+/// inside `(0, 1)`. Both engines must consume the decision stream through
+/// this function — the conditional draw is what keeps their per-seed RNG
+/// streams aligned.
+#[inline]
+pub(crate) fn coin_wants(p: f64, rng: &mut SmallRng) -> bool {
+    p > 0.0 && (p >= 1.0 || rng.random::<f64>() < p)
+}
+
+/// Forward event-cursor step shared by the scalar and SoA engines: advances
+/// `next_event` past stale entries and reports whether an event lands on
+/// `t`. Slots must be queried in non-decreasing order.
+#[inline]
+pub(crate) fn event_occurs(event_slots: &[u64], next_event: &mut usize, t: u64) -> bool {
+    while *next_event < event_slots.len() && event_slots[*next_event] < t {
+        *next_event += 1;
+    }
+    if *next_event < event_slots.len() && event_slots[*next_event] == t {
+        *next_event += 1;
+        true
+    } else {
+        false
     }
 }
 
@@ -372,7 +421,7 @@ impl<'a> Simulation<'a> {
                 };
                 let p = prob.probability(&ctx);
                 debug_assert!((0.0..=1.0).contains(&p), "policy returned {p}");
-                let wanted = p > 0.0 && (p >= 1.0 || rng.random::<f64>() < p);
+                let wanted = coin_wants(p, rng);
                 let feasible = batteries[s].can_afford(threshold);
                 let active = wanted && feasible;
                 if wanted && !feasible {
@@ -483,17 +532,7 @@ impl<'a> Simulation<'a> {
             }
 
             // 3. The event (if any) arrives after the decisions.
-            let event = {
-                while next_event < event_slots.len() && event_slots[next_event] < t {
-                    next_event += 1;
-                }
-                if next_event < event_slots.len() && event_slots[next_event] == t {
-                    next_event += 1;
-                    true
-                } else {
-                    false
-                }
-            };
+            let event = event_occurs(event_slots, &mut next_event, t);
             let measured = t > self.warmup_slots;
             let mut captured_by_any = false;
             if event {

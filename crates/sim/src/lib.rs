@@ -49,6 +49,7 @@ mod metrics;
 mod outage;
 pub mod parallel;
 mod sizing;
+mod soa;
 mod stats;
 
 pub use adaptive::{run_adaptive_greedy, AdaptiveConfig, AdaptiveReport, EpisodeOutcome};

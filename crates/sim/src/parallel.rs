@@ -38,6 +38,29 @@ where
     parallel_map_with(items, None, f)
 }
 
+/// Resolves an optional explicit thread count to the effective worker
+/// count: the explicit value when given, else the `EVCAP_THREADS`
+/// environment override, else the machine's available parallelism. Always
+/// at least 1. This is the single resolution rule shared by
+/// [`parallel_map_with`] and the batch engine's chunk partitioning, so
+/// "how many workers would run" and "how many chunks to cut" can never
+/// disagree.
+pub fn resolved_threads(threads: Option<usize>) -> usize {
+    threads
+        .unwrap_or_else(|| {
+            std::env::var("EVCAP_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                })
+        })
+        .max(1)
+}
+
 /// [`parallel_map`] with an explicit thread count.
 ///
 /// `threads: Some(n)` bypasses both the machine default and the
@@ -59,18 +82,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let requested = threads.unwrap_or_else(|| {
-        std::env::var("EVCAP_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            })
-    });
-    let threads = requested.min(n).max(1);
+    let threads = resolved_threads(threads).min(n).max(1);
     if threads == 1 {
         return items.into_iter().map(f).collect();
     }
@@ -165,6 +177,15 @@ mod tests {
         let out = parallel_map(vec![1, 2, 3], |i: i32| i);
         std::env::remove_var("EVCAP_THREADS");
         assert_eq!(out, vec![1, 2, 3]);
+
+        // The shared resolution rule: explicit beats the env override,
+        // which beats the machine default; never below 1.
+        std::env::set_var("EVCAP_THREADS", "5");
+        assert_eq!(resolved_threads(Some(3)), 3);
+        assert_eq!(resolved_threads(None), 5);
+        std::env::remove_var("EVCAP_THREADS");
+        assert_eq!(resolved_threads(Some(0)), 1);
+        assert!(resolved_threads(None) >= 1);
     }
 
     #[test]

@@ -1,0 +1,568 @@
+//! Lockstep structure-of-arrays execution of replication chunks.
+//!
+//! The scalar engine ([`Simulation::run`]) advances one replication over
+//! its horizon. This module advances a whole *chunk* of replications in
+//! lockstep over slots instead: every per-replication scalar of the slot
+//! loop — battery level, capture ages, event cursor, RNG state, stat
+//! counters — lives in a flat buffer indexed by `replication` (or
+//! `replication × sensor`), and each step of the slot loop becomes a tight
+//! sweep across those lanes. The sweeps are branch-light on purpose:
+//! configuration-level branches (coordination mode, outages, tracing,
+//! recharge process shape) are hoisted out of the lane loops, so what
+//! remains per lane is arithmetic the compiler can vectorize.
+//!
+//! # Why determinism survives
+//!
+//! Each replication owns a private `SmallRng` (seeded exactly as a scalar
+//! run with that seed would be) and a private event cursor. Within a slot,
+//! every sweep visits a replication's RNG in the same order the scalar
+//! engine would: recharge draws for sensors `0..S` in index order, then
+//! the activation coin (drawn *only* for probabilities strictly inside
+//! `(0, 1)`, via the shared [`crate::engine::coin_wants`]), then the
+//! pre-sampled event check (no draws). Interleaving replications between
+//! those per-replication draws cannot reorder any single stream, so every
+//! lane reproduces its scalar run bit for bit — the equivalence suite in
+//! `tests/soa_equivalence.rs` holds this to the letter. Chunk boundaries
+//! carry no state at all, which is why the batch's reduction is identical
+//! under any worker-thread count.
+//!
+//! Energy arithmetic mirrors [`evcap_energy::Battery`] exactly: levels are
+//! raw milli-unit `i64`s with the same clamp-at-capacity recharge and
+//! all-or-nothing consume, and stat accumulators use the same saturating
+//! adds as [`Energy`].
+
+use evcap_core::{DecisionContext, InfoModel};
+use evcap_energy::{Battery, Energy, RechargeKind, RechargeProcess};
+use evcap_obs::timing::{self, Stopwatch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::batch::SyncRechargeFactory;
+use crate::engine::{coin_wants, event_occurs, Coordination, ProbSource, Simulation};
+use crate::events::EventSchedule;
+use crate::metrics::{BatterySample, SensorStats, SimReport, TraceRecord};
+use crate::{Result, SimError};
+
+/// Where a chunk's replications get their event timelines.
+pub(crate) enum ChunkSchedules<'a> {
+    /// One independently sampled schedule per replication (the default
+    /// [`crate::ReplicationBatch::run`] mode).
+    PerReplication(&'a [EventSchedule]),
+    /// One schedule shared by every replication (the common-random-numbers
+    /// [`crate::ReplicationBatch::run_on`] mode).
+    Shared(&'a EventSchedule),
+}
+
+impl ChunkSchedules<'_> {
+    fn for_replication(&self, r: usize) -> &EventSchedule {
+        match self {
+            ChunkSchedules::PerReplication(schedules) => &schedules[r],
+            ChunkSchedules::Shared(schedule) => schedule,
+        }
+    }
+}
+
+/// Runs `seeds.len()` replications of `sim` in lockstep and returns their
+/// per-seed reports in seed order. `phased` additionally attributes the
+/// slot loop's time to per-phase `sim.batch.phase.*` timing samples (one
+/// registry touch per phase per chunk, never per slot).
+pub(crate) fn run_chunk<P: ProbSource>(
+    sim: &Simulation<'_>,
+    seeds: &[u64],
+    schedules: &ChunkSchedules<'_>,
+    info: InfoModel,
+    prob: &P,
+    make_recharge: &SyncRechargeFactory<'_>,
+    phased: bool,
+) -> Result<Vec<SimReport>> {
+    if phased {
+        run_chunk_inner::<P, true>(sim, seeds, schedules, info, prob, make_recharge)
+    } else {
+        run_chunk_inner::<P, false>(sim, seeds, schedules, info, prob, make_recharge)
+    }
+}
+
+/// How one sensor column's recharge sweep executes. Closed-form kinds
+/// (reported by [`RechargeProcess::kind`] and identical across the chunk's
+/// replications) run as inlined lane sweeps; everything else falls back to
+/// the per-lane virtual `next` call — exactly what the scalar engine does
+/// every slot.
+enum RechargeSweep {
+    Bernoulli { q: f64, c_millis: i64 },
+    Constant { rate_millis: i64 },
+    Periodic { amount_millis: i64, period: u32 },
+    Uniform { lo_millis: i64, hi_millis: i64 },
+    Dynamic,
+}
+
+fn run_chunk_inner<P: ProbSource, const PHASED: bool>(
+    sim: &Simulation<'_>,
+    seeds: &[u64],
+    schedules: &ChunkSchedules<'_>,
+    info: InfoModel,
+    prob: &P,
+    make_recharge: &SyncRechargeFactory<'_>,
+) -> Result<Vec<SimReport>> {
+    // Validation mirrors the scalar engine's `run_core`, in the same order,
+    // so a failing configuration surfaces the same error either way.
+    if sim.slots == 0 {
+        return Err(SimError::ZeroSlots);
+    }
+    if sim.sensors == 0 {
+        return Err(SimError::NoSensors);
+    }
+    let reps = seeds.len();
+    let sensors = sim.sensors;
+    let lanes = reps * sensors;
+    for r in 0..reps {
+        let schedule = schedules.for_replication(r);
+        if schedule.slots() < sim.slots {
+            return Err(SimError::ScheduleTooShort {
+                schedule_slots: schedule.slots(),
+                needed: sim.slots,
+            });
+        }
+    }
+    if sim.warmup_slots >= sim.slots {
+        return Err(SimError::ZeroSlots);
+    }
+
+    let threshold_m = sim.consumption.activation_threshold().as_millis();
+    let d1_m = sim.consumption.sensing_cost().as_millis();
+    let d2_m = sim.consumption.capture_cost().as_millis();
+    let cap_m = sim.battery_capacity.as_millis();
+
+    // Battery construction (and its validation) is shared with the scalar
+    // path; every lane starts from the same level.
+    let proto = match sim.initial_level {
+        Some(level) => Battery::new(sim.battery_capacity, level)?,
+        None => Battery::half_full(sim.battery_capacity)?,
+    };
+    let init_m = proto.level().as_millis();
+
+    // --- Structure-of-arrays state ---------------------------------------
+    // Lane index is `r * sensors + s`; per-replication state indexes by `r`.
+    let mut level = vec![init_m; lanes];
+    let mut consumed = vec![0i64; lanes];
+    let mut recharged = vec![0i64; lanes];
+    let mut overflow = vec![0i64; lanes];
+    let mut activations = vec![0u64; lanes];
+    let mut sensor_captures = vec![0u64; lanes];
+    let mut forced_idle = vec![0u64; lanes];
+    let mut outage_slots = vec![0u64; lanes];
+    let mut own_last_capture = vec![0u64; lanes];
+    let mut active = vec![false; lanes];
+    let mut last_event = vec![0u64; reps];
+    let mut shared_last_capture = vec![0u64; reps];
+    let mut events = vec![0u64; reps];
+    let mut captures = vec![0u64; reps];
+    let mut next_event = vec![0usize; reps];
+    let mut rngs: Vec<SmallRng> = seeds
+        .iter()
+        .map(|&seed| SmallRng::seed_from_u64(seed))
+        .collect();
+
+    // Recharge processes are built through the same factory calls, in the
+    // same per-replication order, as the scalar runs would make.
+    let mut procs: Vec<Box<dyn RechargeProcess>> = Vec::with_capacity(lanes);
+    for _r in 0..reps {
+        for s in 0..sensors {
+            procs.push(make_recharge(s));
+        }
+    }
+    // Per-sensor sweep classification: a closed-form sweep is only safe if
+    // every replication's process for that sensor reports the identical
+    // kind (the factory is indexed by sensor, so in practice they do).
+    let mut periodic_phase = vec![0u32; lanes];
+    let sweeps: Vec<RechargeSweep> = (0..sensors)
+        .map(|s| {
+            let kind = procs[s].kind();
+            if procs
+                .iter()
+                .skip(s)
+                .step_by(sensors)
+                .any(|p| p.kind() != kind)
+            {
+                return RechargeSweep::Dynamic;
+            }
+            match kind {
+                RechargeKind::Bernoulli { q, c } => RechargeSweep::Bernoulli {
+                    q,
+                    c_millis: c.as_millis(),
+                },
+                RechargeKind::Constant { rate } => RechargeSweep::Constant {
+                    rate_millis: rate.as_millis(),
+                },
+                RechargeKind::Periodic {
+                    amount,
+                    period,
+                    phase,
+                } => {
+                    for r in 0..reps {
+                        periodic_phase[r * sensors + s] = phase;
+                    }
+                    RechargeSweep::Periodic {
+                        amount_millis: amount.as_millis(),
+                        period,
+                    }
+                }
+                RechargeKind::Uniform { lo, hi } => RechargeSweep::Uniform {
+                    lo_millis: lo.as_millis(),
+                    hi_millis: hi.as_millis(),
+                },
+                RechargeKind::Other => RechargeSweep::Dynamic,
+            }
+        })
+        .collect();
+
+    // Per-slot lanes, hoisted once for the whole horizon: the steady-state
+    // slot loop below allocates nothing (proven by `tests/alloc.rs`).
+    let mut states = vec![0usize; reps];
+    let mut probs = vec![0f64; reps];
+    let mut trace_pending: Vec<Option<TraceRecord>> = vec![None; reps];
+    let mut traces: Vec<Vec<TraceRecord>> = (0..reps)
+        .map(|_| Vec::with_capacity(sim.trace_slots.min(4096)))
+        .collect();
+    let mut battery_traces: Vec<Vec<BatterySample>> = (0..reps).map(|_| Vec::new()).collect();
+
+    let mut recharge_watch = PHASED.then(Stopwatch::new);
+    let mut decide_watch = PHASED.then(Stopwatch::new);
+    let mut events_watch = PHASED.then(Stopwatch::new);
+    let run_span = timing::span("sim.batch.run");
+
+    for t in 1..=sim.slots {
+        // 1. Recharge every lane (harvesting continues through outages).
+        if let Some(w) = recharge_watch.as_mut() {
+            w.start();
+        }
+        for (s, sweep) in sweeps.iter().enumerate() {
+            match *sweep {
+                RechargeSweep::Bernoulli { q, c_millis } => {
+                    for (r, rng) in rngs.iter_mut().enumerate() {
+                        // Identical draw discipline to `BernoulliRecharge::next`:
+                        // one f64 per lane per slot, hit or miss.
+                        let hit = rng.random::<f64>() < q;
+                        if hit {
+                            let i = r * sensors + s;
+                            let absorbed = c_millis.min(cap_m - level[i]);
+                            level[i] += absorbed;
+                            recharged[i] = recharged[i].saturating_add(absorbed);
+                            overflow[i] = overflow[i].saturating_add(c_millis - absorbed);
+                        }
+                    }
+                }
+                RechargeSweep::Constant { rate_millis } => {
+                    if rate_millis > 0 {
+                        for r in 0..reps {
+                            let i = r * sensors + s;
+                            let absorbed = rate_millis.min(cap_m - level[i]);
+                            level[i] += absorbed;
+                            recharged[i] = recharged[i].saturating_add(absorbed);
+                            overflow[i] = overflow[i].saturating_add(rate_millis - absorbed);
+                        }
+                    }
+                }
+                RechargeSweep::Periodic {
+                    amount_millis,
+                    period,
+                } => {
+                    for r in 0..reps {
+                        let i = r * sensors + s;
+                        periodic_phase[i] += 1;
+                        if periodic_phase[i] == period {
+                            periodic_phase[i] = 0;
+                            let absorbed = amount_millis.min(cap_m - level[i]);
+                            level[i] += absorbed;
+                            recharged[i] = recharged[i].saturating_add(absorbed);
+                            overflow[i] = overflow[i].saturating_add(amount_millis - absorbed);
+                        }
+                    }
+                }
+                RechargeSweep::Uniform {
+                    lo_millis,
+                    hi_millis,
+                } => {
+                    for (r, rng) in rngs.iter_mut().enumerate() {
+                        let amount = rng.random_range(lo_millis..=hi_millis);
+                        let i = r * sensors + s;
+                        let absorbed = amount.min(cap_m - level[i]);
+                        level[i] += absorbed;
+                        recharged[i] = recharged[i].saturating_add(absorbed);
+                        overflow[i] = overflow[i].saturating_add(amount - absorbed);
+                    }
+                }
+                RechargeSweep::Dynamic => {
+                    for (r, rng) in rngs.iter_mut().enumerate() {
+                        let i = r * sensors + s;
+                        let amount = procs[i].next(rng).as_millis();
+                        let absorbed = amount.min(cap_m - level[i]);
+                        level[i] += absorbed;
+                        recharged[i] = recharged[i].saturating_add(absorbed);
+                        overflow[i] = overflow[i].saturating_add(amount - absorbed);
+                    }
+                }
+            }
+        }
+        if let Some(w) = recharge_watch.as_mut() {
+            w.stop();
+        }
+
+        // 2. The deciding sensor(s) act. Configuration branches (owner,
+        //    outage, tracing) are identical across lanes and stay outside
+        //    the replication sweeps.
+        if let Some(w) = decide_watch.as_mut() {
+            w.start();
+        }
+        active.fill(false);
+        let tracing = (t as usize) <= sim.trace_slots;
+        match sim.coordination {
+            Coordination::Rotating(assignment) => {
+                let owner = assignment.owner(t, sensors);
+                if sim.outages.is_down(owner, t) {
+                    for r in 0..reps {
+                        outage_slots[r * sensors + owner] += 1;
+                    }
+                    if tracing {
+                        for slot in trace_pending.iter_mut() {
+                            *slot = Some(TraceRecord {
+                                slot: t,
+                                owner,
+                                state: 0,
+                                wanted_active: false,
+                                active: false,
+                                event: false,
+                                captured: false,
+                            });
+                        }
+                    }
+                } else {
+                    match info {
+                        InfoModel::Full => {
+                            for r in 0..reps {
+                                states[r] = (t - last_event[r]) as usize;
+                            }
+                        }
+                        InfoModel::Partial => {
+                            for r in 0..reps {
+                                states[r] = (t - shared_last_capture[r]) as usize;
+                            }
+                        }
+                    }
+                    fill_probs(prob, t, owner, sensors, cap_m, &level, &states, &mut probs);
+                    for r in 0..reps {
+                        let i = r * sensors + owner;
+                        let p = probs[r];
+                        debug_assert!((0.0..=1.0).contains(&p), "policy returned {p}");
+                        let wanted = coin_wants(p, &mut rngs[r]);
+                        let feasible = level[i] >= threshold_m;
+                        let is_active = wanted && feasible;
+                        forced_idle[i] += u64::from(wanted && !feasible);
+                        if is_active {
+                            level[i] -= d1_m;
+                            consumed[i] = consumed[i].saturating_add(d1_m);
+                            activations[i] += 1;
+                            active[i] = true;
+                        }
+                        if tracing {
+                            trace_pending[r] = Some(TraceRecord {
+                                slot: t,
+                                owner,
+                                state: states[r],
+                                wanted_active: wanted,
+                                active: is_active,
+                                event: false,
+                                captured: false,
+                            });
+                        }
+                    }
+                }
+            }
+            Coordination::Independent => {
+                for s in 0..sensors {
+                    if sim.outages.is_down(s, t) {
+                        for r in 0..reps {
+                            outage_slots[r * sensors + s] += 1;
+                        }
+                        continue;
+                    }
+                    match info {
+                        InfoModel::Full => {
+                            for r in 0..reps {
+                                states[r] = (t - last_event[r]) as usize;
+                            }
+                        }
+                        InfoModel::Partial => {
+                            for r in 0..reps {
+                                states[r] = (t - own_last_capture[r * sensors + s]) as usize;
+                            }
+                        }
+                    }
+                    fill_probs(prob, t, s, sensors, cap_m, &level, &states, &mut probs);
+                    for r in 0..reps {
+                        let i = r * sensors + s;
+                        let p = probs[r];
+                        debug_assert!((0.0..=1.0).contains(&p), "policy returned {p}");
+                        let wanted = coin_wants(p, &mut rngs[r]);
+                        let feasible = level[i] >= threshold_m;
+                        let is_active = wanted && feasible;
+                        forced_idle[i] += u64::from(wanted && !feasible);
+                        if is_active {
+                            level[i] -= d1_m;
+                            consumed[i] = consumed[i].saturating_add(d1_m);
+                            activations[i] += 1;
+                            active[i] = true;
+                        }
+                        if s == 0 && tracing {
+                            trace_pending[r] = Some(TraceRecord {
+                                slot: t,
+                                owner: 0,
+                                state: states[r],
+                                wanted_active: wanted,
+                                active: is_active,
+                                event: false,
+                                captured: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(w) = decide_watch.as_mut() {
+            w.stop();
+        }
+
+        // 3. Events arrive after the decisions; captures update the
+        //    renewal anchors exactly as the scalar engine does.
+        if let Some(w) = events_watch.as_mut() {
+            w.start();
+        }
+        let measured = t > sim.warmup_slots;
+        for r in 0..reps {
+            let schedule = schedules.for_replication(r).event_slots();
+            let event = event_occurs(schedule, &mut next_event[r], t);
+            let mut captured_by_any = false;
+            if event {
+                events[r] += u64::from(measured);
+                let base = r * sensors;
+                for s in 0..sensors {
+                    let i = base + s;
+                    if active[i] {
+                        level[i] -= d2_m;
+                        consumed[i] = consumed[i].saturating_add(d2_m);
+                        sensor_captures[i] += u64::from(measured);
+                        own_last_capture[i] = t;
+                        captured_by_any = true;
+                    }
+                }
+                if captured_by_any {
+                    captures[r] += u64::from(measured);
+                    shared_last_capture[r] = t;
+                }
+                last_event[r] = t;
+            }
+            if tracing {
+                if let Some(mut record) = trace_pending[r].take() {
+                    record.event = event;
+                    record.captured = event && record.active && captured_by_any;
+                    traces[r].push(record);
+                }
+            }
+        }
+        if let Some(w) = events_watch.as_mut() {
+            w.stop();
+        }
+
+        if let Some(every) = sim.battery_sample_every {
+            if t % every == 0 {
+                for (r, trace) in battery_traces.iter_mut().enumerate() {
+                    let base = r * sensors;
+                    trace.push(BatterySample {
+                        slot: t,
+                        levels: level[base..base + sensors]
+                            .iter()
+                            .map(|&m| Energy::from_millis(m))
+                            .collect(),
+                    });
+                }
+            }
+        }
+    }
+
+    drop(run_span);
+    timing::add_count("sim.slots", sim.slots * reps as u64);
+    if let Some(w) = recharge_watch {
+        w.record("sim.batch.phase.recharge");
+    }
+    if let Some(w) = decide_watch {
+        w.record("sim.batch.phase.decide");
+    }
+    if let Some(w) = events_watch {
+        w.record("sim.batch.phase.events");
+    }
+
+    let mut reports = Vec::with_capacity(reps);
+    for r in 0..reps {
+        let base = r * sensors;
+        let stats = (0..sensors)
+            .map(|s| {
+                let i = base + s;
+                SensorStats {
+                    activations: activations[i],
+                    captures: sensor_captures[i],
+                    forced_idle: forced_idle[i],
+                    outage_slots: outage_slots[i],
+                    consumed: Energy::from_millis(consumed[i]),
+                    recharged: Energy::from_millis(recharged[i]),
+                    overflow: Energy::from_millis(overflow[i]),
+                    initial_level: Energy::from_millis(init_m),
+                    final_level: Energy::from_millis(level[i]),
+                }
+            })
+            .collect();
+        reports.push(SimReport {
+            slots: sim.slots,
+            events: events[r],
+            captures: captures[r],
+            sensors: stats,
+            trace: std::mem::take(&mut traces[r]),
+            battery_trace: std::mem::take(&mut battery_traces[r]),
+        });
+    }
+    Ok(reports)
+}
+
+/// Fills the per-replication activation probabilities for `sensor`'s
+/// decision this slot. Table-driven sources take the state-only lane fill;
+/// context-reading policies get a faithfully assembled [`DecisionContext`]
+/// per lane (slot, state, battery fraction), exactly as the scalar engine
+/// builds it.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn fill_probs<P: ProbSource>(
+    prob: &P,
+    t: u64,
+    sensor: usize,
+    sensors: usize,
+    cap_m: i64,
+    level: &[i64],
+    states: &[usize],
+    probs: &mut [f64],
+) {
+    if P::STATE_ONLY {
+        prob.fill_state_probs(states, probs);
+    } else {
+        for (r, out) in probs.iter_mut().enumerate() {
+            let i = r * sensors + sensor;
+            let battery_fraction = if cap_m == 0 {
+                1.0
+            } else {
+                level[i] as f64 / cap_m as f64
+            };
+            *out = prob.probability(&DecisionContext {
+                slot: t,
+                state: states[r],
+                battery_fraction,
+            });
+        }
+    }
+}

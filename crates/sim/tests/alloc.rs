@@ -1,0 +1,118 @@
+//! Proves the hot-loop satellite: the SoA batch engine's steady-state slot
+//! loop is allocation-free. All per-replication scratch (state/probability
+//! buffers, trace slots, recharge sweeps) is hoisted before slot 1, so the
+//! total allocation count of a batched run is independent of the slot count
+//! — a 4× longer run over the same event schedule allocates exactly as many
+//! times as the short one.
+//!
+//! This lives in its own test binary because it installs a counting global
+//! allocator (and so must not share a process with tests that measure
+//! anything else).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use evcap_core::AggressivePolicy;
+use evcap_dist::{Discretizer, Weibull};
+use evcap_energy::{BernoulliRecharge, Energy, RechargeProcess};
+use evcap_sim::{BatchReport, EventSchedule, ReplicationBatch, Simulation};
+
+/// Counts every heap allocation made through the global allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs the batch on a shared schedule at one worker (the sequential path —
+/// no thread spawns, so every allocation belongs to the engine itself) and
+/// returns how many allocations the whole run made.
+fn measured_run(sim: &Simulation<'_>, schedule: &EventSchedule, reps: usize) -> (u64, BatchReport) {
+    let factory = |_: usize| {
+        Box::new(BernoulliRecharge::new(0.5, Energy::from_units(1.0)).unwrap())
+            as Box<dyn RechargeProcess>
+    };
+    let batch = ReplicationBatch::new(sim.clone(), reps).unwrap().threads(1);
+    let before = allocations();
+    let report = batch
+        .run_on(schedule, &AggressivePolicy::new(), &factory)
+        .unwrap();
+    (allocations() - before, report)
+}
+
+#[test]
+fn steady_state_slot_loop_allocates_nothing() {
+    let pmf = Discretizer::new()
+        .discretize(&Weibull::new(40.0, 3.0).unwrap())
+        .unwrap();
+    let slots = 5_000u64;
+    // One schedule long enough for the 4× run, shared by both, so schedule
+    // construction cannot contribute a slot-dependent allocation count.
+    let schedule = EventSchedule::generate(&pmf, 4 * slots, 99).unwrap();
+
+    let base = Simulation::builder(&pmf)
+        .seed(11)
+        .battery(Energy::from_units(200.0))
+        .sensors(2);
+    let short = base.clone().slots(slots);
+    let long = base.clone().slots(4 * slots);
+
+    // Warm-up pass to absorb any one-time lazy initialization.
+    let _ = measured_run(&short, &schedule, 4);
+
+    // The process-wide counter also sees the test harness's own background
+    // threads, which allocate a couple of times at unpredictable moments.
+    // The engine's true cost is the minimum over a few attempts; a genuine
+    // per-slot leak would add ~15 000 allocations to the long run, far
+    // beyond any background jitter.
+    let min_allocs = |sim: &Simulation<'_>| {
+        (0..5)
+            .map(|_| measured_run(sim, &schedule, 4).0)
+            .min()
+            .unwrap()
+    };
+    let (_, short_report) = measured_run(&short, &schedule, 4);
+    let (_, long_report) = measured_run(&long, &schedule, 4);
+    let short_allocs = min_allocs(&short);
+    let long_allocs = min_allocs(&long);
+
+    // Sanity: both runs actually simulated (and the long one saw more).
+    assert!(short_report.events > 0);
+    assert!(long_report.events > short_report.events);
+
+    assert!(
+        long_allocs.abs_diff(short_allocs) <= 8,
+        "allocation count grew with the slot count — the SoA slot loop is \
+         allocating in steady state ({short_allocs} for {slots} slots vs \
+         {long_allocs} for {} slots)",
+        4 * slots
+    );
+    // And the fixed setup cost is genuinely modest: buffers scale with
+    // replications × sensors, not slots.
+    assert!(
+        short_allocs < 600,
+        "batch setup made {short_allocs} allocations — scratch is leaking \
+         into per-slot work"
+    );
+}

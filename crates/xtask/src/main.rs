@@ -76,6 +76,12 @@ const RULES: &[(&str, &str)] = &[
          must fall back to a fresh solve, never reach a client",
     ),
     (
+        "batch-soa",
+        "crates/sim/src/batch.rs must route replications through the lockstep SoA engine \
+         (soa::run_chunk); calling back into the scalar per-replication entry points \
+         (run_core / run_on_observed) forfeits the batching speedup one seed at a time",
+    ),
+    (
         "forbid-unsafe",
         "every crate root carries #![forbid(unsafe_code)] (or #![deny] when a module must \
          opt out, as the signal shim does)",
@@ -395,6 +401,20 @@ fn content_violations(file: &SourceFile) -> Vec<Violation> {
             }
         }
 
+        // batch-soa: the batch layer went per-seed once and it cost 16× the
+        // setup work; keep it on the lockstep chunk engine.
+        if file.path == "crates/sim/src/batch.rs"
+            && (line.contains("run_core(") || line.contains("run_on_observed("))
+            && !file.line_waived(idx, "batch-soa")
+        {
+            push(
+                idx,
+                "batch-soa",
+                "scalar engine entry point in the batch layer — route through soa::run_chunk"
+                    .to_owned(),
+            );
+        }
+
         // unsafe: token-level word match so `unsafe_code` in attributes
         // doesn't trip it, but `unsafe {`, `unsafe fn`, `unsafe impl` do.
         if has_unsafe_token(line) && !file.line_waived(idx, "unsafe") {
@@ -676,6 +696,24 @@ const CASES: &[Case] = &[
         label: "store-certify with an escape passes",
         path: "crates/serve/src/seeded.rs",
         content: "fn f() {\n    // tidy:allow(store-certify): debug endpoint, never served to clients\n    let rec = store.lock().ok()?.load(key);\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "batch-soa fires on a scalar engine call in the batch layer",
+        path: "crates/sim/src/batch.rs",
+        content: "fn f() {\n    let report = sim.run_core(schedule, info, &prob, &mut mk, &mut obs);\n}\n",
+        expect: &["batch-soa"],
+    },
+    Case {
+        label: "batch-soa ignores scalar engine calls elsewhere",
+        path: "crates/sim/src/engine.rs",
+        content: "fn f() {\n    let report = self.run_on_observed(schedule, policy, mk, observer);\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "batch-soa with an escape passes",
+        path: "crates/sim/src/batch.rs",
+        content: "fn f() {\n    // tidy:allow(batch-soa): equivalence check against the scalar engine\n    let report = sim.run_core(schedule, info, &prob, &mut mk, &mut obs);\n}\n",
         expect: &[],
     },
     Case {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Measure simulation-engine throughput and emit BENCH_sim.json: a single
-# run, the same replications sequentially (batch pinned to one worker), and
-# the batched engine at several thread counts, with the determinism
-# cross-check (all thread counts must reduce to bit-identical reports).
+# run, the same replications as truly sequential scalar runs, and the
+# lockstep SoA batch engine at several thread counts, with two gates: the
+# determinism cross-check (per-seed reports bit-identical to the scalar
+# runs, and identical across thread counts) and the regression gate (the
+# batch at one worker must not be slower than the scalar loop it replaced).
 #
 # Usage: scripts/bench_sim.sh [path-to-evcap-binary]
 #
@@ -32,4 +34,9 @@ fi
 # a stale file can't masquerade as a pass.
 grep -q '"deterministic_across_threads": true' "${BENCH_OUT:-BENCH_sim.json}" \
   || { echo "FAIL: ${BENCH_OUT:-BENCH_sim.json} does not record determinism"; exit 1; }
+
+# Perf regression gate: batching must actually be faster than (or at worst
+# equal to) running the same replications sequentially on one worker.
+grep -q '"batched_t1_beats_sequential": true' "${BENCH_OUT:-BENCH_sim.json}" \
+  || { echo "FAIL: batched (1 thread) is slower than the sequential scalar loop"; exit 1; }
 echo "OK: ${BENCH_OUT:-BENCH_sim.json}"
