@@ -8,7 +8,7 @@
 //! (table/policy bit-agreement, meta consistency).
 
 use evcap_core::{DecisionContext, EnergyBudget, GreedyPolicy, PolicyTable};
-use evcap_spec::{PolicySpec, Scenario, SolvedPolicy};
+use evcap_spec::{Objective, PolicySpec, Scenario, SolvedPolicy};
 
 use crate::report::{AuditReport, Check, Outcome};
 
@@ -54,6 +54,7 @@ pub fn audit_with(scenario: &Scenario, solved: &SolvedPolicy, opts: &AuditOption
         check_water_filling(scenario, solved, opts),
         check_region_shape(solved, opts),
         check_objective_bound(scenario, solved, opts),
+        check_objective_value(scenario, solved, opts),
         check_meta_consistency(scenario, solved, opts),
     ];
     AuditReport {
@@ -573,6 +574,71 @@ fn check_objective_bound(scenario: &Scenario, solved: &SolvedPolicy, opts: &Audi
         );
     }
     pass(NAME, format!("U = {objective:.6} ≤ U(π*_FI) = {bound:.6}"))
+}
+
+/// Invariant: the artifact's objective bookkeeping is honest — it was
+/// optimized for the objective it is presented under (a QoM-certified
+/// artifact served as an AoI answer is a certification refusal, and vice
+/// versa), and any reported value respects the objective's analytic bound.
+/// For the age objectives that bound is the capture-every-event floor: no
+/// policy ages slower than one whose cycle is a single inter-arrival gap.
+/// QoM's upper bound is proved by `objective-bound`; here its value must
+/// mirror the ideal-QoM report bit for bit.
+fn check_objective_value(scenario: &Scenario, solved: &SolvedPolicy, opts: &AuditOptions) -> Check {
+    const NAME: &str = "objective-value";
+    let presented = scenario.objective();
+    let kind = solved.meta.objective_kind;
+    if kind != presented {
+        return fail(
+            NAME,
+            format!("artifact optimized for {kind} presented as {presented}"),
+        );
+    }
+    if solved.scenario.objective() != kind {
+        return fail(
+            NAME,
+            format!(
+                "meta records {kind} but the embedded scenario says {}",
+                solved.scenario.objective()
+            ),
+        );
+    }
+    let Some(value) = solved.meta.objective_value else {
+        return skip(NAME, "family reports no objective value");
+    };
+    match kind {
+        Objective::Qom => match solved.meta.objective {
+            Some(qom) if value.to_bits() == qom.to_bits() => pass(
+                NAME,
+                format!("QoM value {value:.6} mirrors the ideal-QoM report"),
+            ),
+            Some(qom) => fail(
+                NAME,
+                format!("QoM value {value} disagrees with the ideal-QoM report {qom}"),
+            ),
+            None => fail(NAME, format!("QoM value {value} with no ideal-QoM report")),
+        },
+        Objective::AoiMean | Objective::AoiPeak => {
+            // `+∞` is legitimate (a policy that never recovers never
+            // captures again); NaN and negative ages are not.
+            if value.is_nan() || value < 0.0 {
+                return fail(NAME, format!("{kind} value {value} is not an age"));
+            }
+            let floor = kind
+                .value_floor(&solved.pmf)
+                .expect("age objectives have a floor");
+            let slack = opts.energy_tol * floor.max(1.0);
+            if value < floor - slack {
+                return fail(
+                    NAME,
+                    format!(
+                        "{kind} value {value:.9} beats the capture-every-event floor {floor:.9}"
+                    ),
+                );
+            }
+            pass(NAME, format!("{kind} = {value:.6} ≥ floor {floor:.6}"))
+        }
+    }
 }
 
 /// Invariant: the artifact's metadata is internally consistent — it

@@ -47,11 +47,12 @@ fn certify(scenario: &Scenario) {
         "region-shape",
         "table-agreement",
         "objective-bound",
+        "objective-value",
         "meta-consistency",
     ] {
         assert!(report.check(name).is_some(), "missing invariant {name}");
     }
-    assert_eq!(report.checks.len(), 7);
+    assert_eq!(report.checks.len(), 8);
 }
 
 #[test]
@@ -109,6 +110,20 @@ fn family_specific_invariants_actually_run() {
         report.check("objective-bound").unwrap().outcome,
         Outcome::Pass
     );
+}
+
+#[test]
+fn age_objective_solves_certify_for_every_policy() {
+    use evcap_spec::Objective;
+    for objective in [Objective::AoiMean, Objective::AoiPeak] {
+        for &policy in POLICIES {
+            let scenario = Scenario::new("weibull:12,1.5", policy, 0.2)
+                .unwrap()
+                .with_horizon(2_048)
+                .with_objective(objective);
+            certify(&scenario);
+        }
+    }
 }
 
 #[test]

@@ -165,6 +165,38 @@ fn inflated_objective_is_rejected() {
 }
 
 #[test]
+fn cross_objective_presentation_is_rejected() {
+    use evcap_spec::Objective;
+    // A QoM-certified artifact presented as an AoI answer…
+    let (scenario, solved) = clustering_artifact();
+    let as_aoi = scenario.clone().with_objective(Objective::AoiMean);
+    let report = audit(&as_aoi, &solved);
+    assert_rejects(&report, "objective-value");
+    assert!(evcap_audit::certify(&as_aoi, &solved).is_err());
+
+    // …and an AoI-certified artifact presented as QoM.
+    let aoi = scenario.with_objective(Objective::AoiPeak);
+    let solved = solve(&aoi).unwrap();
+    evcap_audit::certify(&aoi, &solved).expect("honest presentation certifies");
+    let as_qom = aoi.with_objective(Objective::Qom);
+    let report = audit(&as_qom, &solved);
+    assert_rejects(&report, "objective-value");
+    assert!(evcap_audit::certify(&as_qom, &solved).is_err());
+}
+
+#[test]
+fn forged_objective_value_is_rejected() {
+    use evcap_spec::Objective;
+    let (scenario, _) = clustering_artifact();
+    let scenario = scenario.with_objective(Objective::AoiMean);
+    let mut solved = solve(&scenario).unwrap();
+    // Claim an age below the capture-every-event floor: impossible.
+    solved.meta.objective_value = Some(0.01);
+    let report = audit(&scenario, &solved);
+    assert_rejects(&report, "objective-value");
+}
+
+#[test]
 fn mismatched_scenario_is_rejected() {
     let (_, solved) = greedy_artifact();
     let other = Scenario::new("weibull:10,1.5", PolicySpec::Greedy, 0.07)

@@ -38,6 +38,7 @@ fn no_recovery_ablation_certifies_without_materializing_the_table() {
     solved.meta.label = policy.label();
     solved.meta.info = policy.info_model();
     solved.meta.objective = Some(eval.capture_probability);
+    solved.meta.objective_value = Some(eval.capture_probability);
     solved.meta.discharge_rate = Some(eval.discharge_rate);
     solved.meta.expected_cycle = Some(eval.expected_cycle);
     solved.meta.regions = Some(Regions {

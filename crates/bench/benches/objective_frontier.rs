@@ -1,0 +1,12 @@
+//! Regenerates the QoM ↔ AoI frontier panels at full scale.
+//! Run: `cargo bench --bench objective_frontier`.
+
+use evcap_bench::{perf, runners, Scale};
+
+fn main() {
+    let (capture, age) = perf::with_throughput("objective_frontier", || {
+        runners::objective_frontier(Scale::paper())
+    });
+    println!("{capture}");
+    println!("{age}");
+}

@@ -6,6 +6,7 @@ mod fig3;
 mod fig4;
 mod fig5;
 mod fig6;
+mod objectives;
 mod refined;
 
 pub use ablations::{ablation_clustering_regions, ablation_load_balance};
@@ -14,4 +15,5 @@ pub use fig3::{fig3a, fig3b};
 pub use fig4::{fig4a, fig4b};
 pub use fig5::{fig5, Fig5Panel};
 pub use fig6::{fig6a, fig6b};
+pub use objectives::objective_frontier;
 pub use refined::{ablation_refined_convergence, ablation_refined_weibull40};

@@ -1,0 +1,129 @@
+//! Beyond the paper: the QoM ↔ age-of-information frontier.
+//!
+//! The paper optimizes capture rate (QoM) alone. The objective abstraction
+//! lets the fleet allocator place the same sensors to minimize the age of
+//! information instead — and at the fleet level the two optima genuinely
+//! diverge: QoM concentrates sensors where events are frequent (captures
+//! are cheap there), while the age objective pushes sensors toward slow
+//! PoIs, whose long inter-arrival gaps multiply staleness. This runner
+//! allocates one fleet over three Weibull PoIs (fast, paper, slow) under
+//! each objective across recharge budgets `e`, simulates every watched PoI
+//! under its M-FI share, and plots the fleet's pooled capture fraction
+//! next to its measured mean capture age.
+
+use evcap_core::{EnergyBudget, FleetAllocator, MultiSensorPlan, PoiSpec};
+use evcap_dist::{Discretizer, SlotPmf, Weibull};
+use evcap_sim::parallel::parallel_map;
+use evcap_sim::EventSchedule;
+use evcap_spec::Objective;
+
+use crate::figure::{Figure, Series};
+use crate::setup::{consumption, simulate_report, Scale};
+
+const Q: f64 = 0.5;
+const CAPACITY: f64 = 1000.0;
+/// Fleet size: enough that both objectives keep every PoI watched across
+/// the sweep, small enough that each sensor placement matters.
+const SENSORS: usize = 6;
+/// PoI event gap scales (Weibull shape 3): fast, the paper's W(40,3), slow.
+const POI_SCALES: [f64; 3] = [15.0, 40.0, 90.0];
+/// Per-sensor recharge budgets swept by the frontier (units per slot).
+const E_VALUES: [f64; 5] = [0.06, 0.1, 0.15, 0.22, 0.3];
+
+fn poi_pmf(scale: f64) -> SlotPmf {
+    Discretizer::new()
+        .discretize(&Weibull::new(scale, 3.0).expect("static parameters"))
+        .expect("light tail discretizes")
+}
+
+/// Allocates the fleet under QoM and under mean-AoI across `e`, simulates
+/// each PoI under its M-FI share on a shared schedule, and returns the
+/// pooled-capture panel followed by the mean-age panel (series
+/// `qom-optimal` and `aoi-optimal` in each).
+pub fn objective_frontier(scale: Scale) -> (Figure, Figure) {
+    let consumption = consumption();
+    let pois: Vec<(SlotPmf, EventSchedule)> = POI_SCALES
+        .iter()
+        .map(|&s| {
+            let pmf = poi_pmf(s);
+            let schedule =
+                EventSchedule::generate(&pmf, scale.slots, scale.seed).expect("valid schedule");
+            (pmf, schedule)
+        })
+        .collect();
+    let specs: Vec<PoiSpec> = pois
+        .iter()
+        .map(|(pmf, _)| PoiSpec {
+            pmf: pmf.clone(),
+            weight: 1.0,
+        })
+        .collect();
+
+    let rows = parallel_map(E_VALUES.to_vec(), |e| {
+        let run = |objective: Objective| {
+            let plan = FleetAllocator::new(EnergyBudget::per_slot(e), consumption)
+                .objective(objective)
+                .allocate(&specs, SENSORS)
+                .expect("paper workloads allocate");
+            let mut qom_sum = 0.0;
+            let mut age_sum = 0.0;
+            for ((pmf, schedule), &n) in pois.iter().zip(&plan.allocation) {
+                if n == 0 {
+                    // An unwatched PoI captures nothing and is infinitely
+                    // stale.
+                    age_sum += f64::INFINITY;
+                    continue;
+                }
+                let fi = MultiSensorPlan::m_fi(pmf, EnergyBudget::per_slot(e), n, &consumption)
+                    .expect("valid setup");
+                let report = simulate_report(
+                    pmf,
+                    schedule,
+                    fi.policy(),
+                    Q,
+                    2.0 * e,
+                    CAPACITY,
+                    n,
+                    fi.assignment(),
+                    scale,
+                );
+                qom_sum += report.qom();
+                age_sum += report.mean_age();
+            }
+            // The capture panel plots the allocator's own maximand (the
+            // equal-weight mean capture fraction), so QoM-optimal is the
+            // upper envelope there by construction; the age panel shows
+            // what that choice costs in freshness.
+            let pois_n = POI_SCALES.len() as f64;
+            (qom_sum / pois_n, age_sum / pois_n)
+        };
+        (e, run(Objective::Qom), run(Objective::AoiMean))
+    });
+
+    let mut capture_qom = Series::new("qom-optimal");
+    let mut capture_aoi = Series::new("aoi-optimal");
+    let mut age_qom = Series::new("qom-optimal");
+    let mut age_aoi = Series::new("aoi-optimal");
+    for (e, (q_qom, a_qom), (q_aoi, a_aoi)) in rows {
+        capture_qom.push(e, q_qom);
+        capture_aoi.push(e, q_aoi);
+        age_qom.push(e, a_qom);
+        age_aoi.push(e, a_aoi);
+    }
+
+    let mut capture = Figure::new(
+        "objectives-capture",
+        "Fleet capture fraction vs e: QoM vs AoI allocation, 6 sensors / 3 PoIs",
+        "e",
+    );
+    capture.series.push(capture_qom);
+    capture.series.push(capture_aoi);
+    let mut age = Figure::new(
+        "objectives-age",
+        "Fleet mean capture age (slots) vs e: QoM vs AoI allocation, 6 sensors / 3 PoIs",
+        "e",
+    );
+    age.series.push(age_qom);
+    age.series.push(age_aoi);
+    (capture, age)
+}

@@ -7,8 +7,8 @@ use evcap_energy::{
     BernoulliRecharge, ConstantRecharge, ConsumptionModel, Energy, PeriodicRecharge,
     RechargeProcess,
 };
-use evcap_sim::{EventSchedule, Simulation};
-use evcap_spec::{PolicySpec, Scenario, SolvedPolicy};
+use evcap_sim::{EventSchedule, SimReport, Simulation};
+use evcap_spec::{Objective, PolicySpec, Scenario, SolvedPolicy};
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,10 +74,25 @@ pub fn solved(
     e: f64,
     sensors: usize,
 ) -> SolvedPolicy {
+    solved_for(dist, horizon, policy, e, sensors, Objective::Qom)
+}
+
+/// [`solved`] with an explicit optimization [`Objective`] — the entry point
+/// for frontier experiments that pit a QoM-optimal policy against an
+/// age-optimal one on the same physics.
+pub fn solved_for(
+    dist: &str,
+    horizon: usize,
+    policy: PolicySpec,
+    e: f64,
+    sensors: usize,
+    objective: Objective,
+) -> SolvedPolicy {
     let scenario = Scenario::new(dist, policy, e)
         .expect("static paper spec")
         .with_horizon(horizon)
-        .with_sensors(sensors);
+        .with_sensors(sensors)
+        .with_objective(objective);
     evcap_spec::solve(&scenario).expect("paper scenarios are solvable")
 }
 
@@ -125,7 +140,35 @@ pub fn simulate_qom(
     assignment: SlotAssignment,
     scale: Scale,
 ) -> f64 {
-    let report = Simulation::builder(pmf)
+    simulate_report(
+        pmf,
+        schedule,
+        policy,
+        q,
+        c,
+        capacity_units,
+        sensors,
+        assignment,
+        scale,
+    )
+    .qom()
+}
+
+/// [`simulate_qom`] returning the full report, for runners that read the
+/// capture-age statistics alongside the capture rate.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_report(
+    pmf: &SlotPmf,
+    schedule: &EventSchedule,
+    policy: &dyn ActivationPolicy,
+    q: f64,
+    c: f64,
+    capacity_units: f64,
+    sensors: usize,
+    assignment: SlotAssignment,
+    scale: Scale,
+) -> SimReport {
+    Simulation::builder(pmf)
         .slots(scale.slots)
         .seed(scale.seed)
         .sensors(sensors)
@@ -134,8 +177,7 @@ pub fn simulate_qom(
         .run_on(schedule, policy, &mut |_| {
             Box::new(BernoulliRecharge::new(q, Energy::from_units(c)).expect("validated by caller"))
         })
-        .expect("simulation configuration is valid");
-    report.qom()
+        .expect("simulation configuration is valid")
 }
 
 #[cfg(test)]

@@ -25,17 +25,21 @@ const PALETTE: [&str; 8] = [
 /// Renders the figure as a standalone SVG document.
 ///
 /// The y-axis is fixed to `[0, 1]` when every value fits (the natural range
-/// for capture probabilities) and auto-scaled otherwise.
+/// for capture probabilities) and auto-scaled otherwise. Non-finite points
+/// (a censored measurement, e.g. the mean age of an unwatched PoI) are
+/// omitted from the chart and excluded from the axis bounds.
 pub fn render(figure: &Figure) -> String {
     let xs: Vec<f64> = figure
         .series
         .iter()
         .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .filter(|x| x.is_finite())
         .collect();
     let ys: Vec<f64> = figure
         .series
         .iter()
         .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .filter(|y| y.is_finite())
         .collect();
     let (x_min, x_max) = bounds(&xs, 0.0, 1.0);
     let all_unit = ys.iter().all(|&y| (-0.001..=1.001).contains(&y));
@@ -128,6 +132,9 @@ pub fn render(figure: &Figure) -> String {
         let color = PALETTE[idx % PALETTE.len()];
         let mut path = String::new();
         for &(x, y) in &series.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
             let _ = write!(path, "{:.1},{:.1} ", sx(x), sy(y));
         }
         let _ = writeln!(
@@ -136,6 +143,9 @@ pub fn render(figure: &Figure) -> String {
             path.trim_end()
         );
         for &(x, y) in &series.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
             let _ = writeln!(
                 out,
                 r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
@@ -253,6 +263,22 @@ mod tests {
         fig.series.push(s);
         let svg = render(&fig);
         assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn non_finite_points_are_omitted_not_rendered() {
+        let mut fig = Figure::new("figI", "censored point", "e");
+        let mut s = Series::new("aged");
+        s.push(0.1, f64::INFINITY);
+        s.push(0.2, 40.0);
+        s.push(0.3, 20.0);
+        fig.series.push(s);
+        let svg = render(&fig);
+        // The infinite point never reaches the document, and the finite
+        // values still set the axis bounds.
+        assert!(!svg.contains("inf") && !svg.contains("NaN"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains(">40</text>"));
     }
 
     #[test]

@@ -26,17 +26,20 @@ COMMANDS:
   optimize   compute a policy and report its analytic performance
              --dist SPEC --e RATE
              [--policy greedy|clustering|aggressive|periodic|myopic]
+             [--objective qom|aoi-mean|aoi-peak]
              [--theta1 N] [--delta1 X] [--delta2 Y] [--horizon H]
   audit      solve a scenario and certify the artifact against the paper's
              analytic invariants (exit 1 on violation)
              --dist SPEC --e RATE
              [--policy greedy|clustering|aggressive|periodic|myopic]
+             [--objective qom|aoi-mean|aoi-peak]
              [--theta1 N] [--delta1 X] [--delta2 Y] [--horizon H]
              [--sensors N] [--format text|json]
   simulate   run a policy against a finite-battery simulation
              --dist SPEC --policy greedy|clustering|aggressive|periodic|myopic
              [--e RATE] [--recharge SPEC] [--slots N] [--seed S] [--k CAP]
              [--sensors N] [--coordination rotating|independent] [--horizon H]
+             [--objective qom|aoi-mean|aoi-peak] report capture-age metrics
              [--replications R] [--format text|json]
              [--obs-out FILE.jsonl] [--obs-window N]
   provision  find the smallest battery that reaches a target QoM
@@ -47,7 +50,7 @@ COMMANDS:
              --dist SPEC --e RATE [--episodes N] [--episode-slots N]
   figure     regenerate a paper figure (fig3a fig3b fig4a fig4b fig5a fig5b
              fig6a fig6b) or ablation (regions load-balance refined
-             coordination outage)   [--quick true] [--svg out.svg]
+             coordination outage objectives)   [--quick true] [--svg out.svg]
   trace      summarize an observability JSONL file written by --obs-out,
              EVCAP_PERF_LOG, or serve --access-log
              FILE.jsonl [--kind all|counters|qom|battery|gaps|idle|spans|perf]
@@ -64,6 +67,7 @@ COMMANDS:
              --store DIR --dists \"SPEC;SPEC;...\" --e-list R1,R2,...
              [--policies greedy,clustering,...] [--theta1 N] [--delta1 X]
              [--delta2 Y] [--horizon H] [--sensors N] [--threads N]
+             [--objective qom|aoi-mean|aoi-peak]
              [--force true]  re-solve scenarios already stored
   store      inspect or maintain a persistent artifact store
              <ls|stat|verify|compact> --store DIR
@@ -115,11 +119,27 @@ fn policy_from(args: &Args, default: &str) -> Result<spec::PolicySpec, Box<dyn E
     Ok(policy)
 }
 
+/// Parses `--objective` (absent means QoM, the paper's capture objective).
+fn objective_from(args: &Args) -> Result<spec::Objective, Box<dyn Error>> {
+    match args.get("objective") {
+        None => Ok(spec::Objective::Qom),
+        Some(raw) => Ok(spec::parse_objective(raw)?),
+    }
+}
+
 /// Prints the per-family analytic summary shared by `optimize`.
 fn print_solved(solved: &spec::SolvedPolicy) {
     println!("policy       : {}", solved.meta.label);
     if let Some(qom) = solved.meta.objective {
         println!("ideal QoM    : {qom:.4}");
+    }
+    if !solved.scenario.objective().is_default() {
+        if let Some(value) = solved.meta.objective_value {
+            println!(
+                "objective    : {} = {value:.4} slots",
+                solved.scenario.objective()
+            );
+        }
     }
     if let Some(rate) = solved.meta.discharge_rate {
         println!("discharge    : {rate:.4} units/slot");
@@ -177,7 +197,14 @@ pub fn hazards(args: &Args) -> CmdResult {
 /// `evcap optimize`
 pub fn optimize(args: &Args) -> CmdResult {
     args.expect_only(&[
-        "dist", "e", "policy", "theta1", "delta1", "delta2", "horizon",
+        "dist",
+        "e",
+        "policy",
+        "theta1",
+        "delta1",
+        "delta2",
+        "horizon",
+        "objective",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
     let dist = args.require("dist")?;
@@ -190,7 +217,8 @@ pub fn optimize(args: &Args) -> CmdResult {
     let (delta1, delta2) = costs_from(args)?;
     let scenario = spec::Scenario::new(dist, policy_from(args, "greedy")?, e)?
         .with_costs(delta1, delta2)
-        .with_horizon(horizon);
+        .with_horizon(horizon)
+        .with_objective(objective_from(args)?);
     let solved = spec::solve(&scenario)?;
     println!(
         "distribution : {} (μ = {:.3})",
@@ -208,7 +236,16 @@ pub fn optimize(args: &Args) -> CmdResult {
 /// `evcap audit`
 pub fn audit(args: &Args) -> CmdResult {
     args.expect_only(&[
-        "dist", "e", "policy", "theta1", "delta1", "delta2", "horizon", "sensors", "format",
+        "dist",
+        "e",
+        "policy",
+        "theta1",
+        "delta1",
+        "delta2",
+        "horizon",
+        "sensors",
+        "format",
+        "objective",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
     let sensors: usize = args.get_or("sensors", 1, "a sensor count")?;
@@ -224,7 +261,8 @@ pub fn audit(args: &Args) -> CmdResult {
     let scenario = spec::Scenario::new(dist, policy_from(args, "greedy")?, e)?
         .with_costs(delta1, delta2)
         .with_horizon(horizon)
-        .with_sensors(sensors);
+        .with_sensors(sensors)
+        .with_objective(objective_from(args)?);
     let solved = spec::solve(&scenario)?;
     let report = evcap_audit::audit(&scenario, &solved);
     match format {
@@ -267,6 +305,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         "format",
         "obs-out",
         "obs-window",
+        "objective",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
     let dist = args.require("dist")?;
@@ -320,12 +359,14 @@ pub fn simulate(args: &Args) -> CmdResult {
     // Coordinated fleets pool energy: the scenario carries the per-sensor
     // rate and sensor count, so `evcap_spec::solve` optimizes at N·e.
     args.require("policy")?;
+    let objective = objective_from(args)?;
     let scenario = spec::Scenario::new(dist, policy_from(args, "greedy")?, e)?
         .with_recharge(&recharge_spec)?
         .with_costs(delta1, delta2)
         .with_battery(k)
         .with_horizon(horizon)
-        .with_sensors(sensors);
+        .with_sensors(sensors)
+        .with_objective(objective);
     let solved = spec::solve(&scenario)?;
     let policy: &(dyn ActivationPolicy + Sync) = solved.policy.as_ref();
     let pmf = &solved.pmf;
@@ -357,6 +398,7 @@ pub fn simulate(args: &Args) -> CmdResult {
                 k,
                 sensors,
                 replications,
+                objective,
             },
             args,
         );
@@ -389,7 +431,7 @@ pub fn simulate(args: &Args) -> CmdResult {
     };
 
     match args.get("format").unwrap_or("text") {
-        "json" => println!("{}", crate::json::sim_report(&report)),
+        "json" => println!("{}", crate::json::sim_report(&report, objective)),
         "text" => {
             println!("policy       : {}", policy.label());
             println!("recharge     : {recharge_spec} (e = {e:.4}/sensor)");
@@ -405,6 +447,11 @@ pub fn simulate(args: &Args) -> CmdResult {
             );
             if sensors > 1 {
                 println!("load balance : {:.4}", report.load_balance());
+            }
+            if !objective.is_default() {
+                println!("objective    : {objective}");
+                println!("mean age     : {:.1} slots", report.mean_age());
+                println!("peak age     : {} slots", report.peak_age);
             }
         }
         other => return Err(format!("unknown format `{other}` (try text, json)").into()),
@@ -446,6 +493,7 @@ struct SimulateShape {
     k: f64,
     sensors: usize,
     replications: usize,
+    objective: spec::Objective,
 }
 
 /// The `--replications N` (N > 1) arm of `evcap simulate`: batch run,
@@ -475,7 +523,7 @@ fn simulate_replicated(
     })?;
 
     match args.get("format").unwrap_or("text") {
-        "json" => println!("{}", crate::json::batch_report(&report)),
+        "json" => println!("{}", crate::json::batch_report(&report, shape.objective)),
         "text" => {
             let SimulateShape {
                 slots,
@@ -483,6 +531,7 @@ fn simulate_replicated(
                 k,
                 sensors,
                 replications,
+                objective,
             } = shape;
             println!("policy       : {}", policy.label());
             println!("recharge     : {recharge_spec} (e = {e:.4}/sensor)");
@@ -508,6 +557,15 @@ fn simulate_replicated(
             println!("final fill   : {:.4}", report.mean_final_fill);
             if let Some(gap) = report.mean_capture_gap {
                 println!("capture gap  : {gap:.1} slots");
+            }
+            if !objective.is_default() {
+                println!("objective    : {objective}");
+                println!(
+                    "mean age     : {:.1} ± {:.1} slots",
+                    report.mean_age.mean,
+                    report.mean_age.half_width(1.96)
+                );
+                println!("peak age     : {} slots", report.peak_age);
             }
             for (i, rep) in report.reports.iter().enumerate() {
                 println!(
@@ -961,6 +1019,10 @@ pub fn figure(args: &Args) -> CmdResult {
         ],
         "coordination" => vec![runners::ablation_coordination(scale)],
         "outage" => vec![runners::ablation_outage_robustness(scale)],
+        "objectives" => {
+            let (capture, age) = runners::objective_frontier(scale);
+            vec![capture, age]
+        }
         other => return Err(format!("unknown figure `{other}`").into()),
     };
     match args.get("format").unwrap_or("text") {

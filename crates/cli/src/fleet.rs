@@ -37,8 +37,18 @@ struct FleetJob {
 /// `evcap solve-fleet`
 pub fn solve_fleet(args: &Args) -> CmdResult {
     args.expect_only(&[
-        "store", "dists", "e-list", "policies", "theta1", "delta1", "delta2", "horizon", "sensors",
-        "threads", "force",
+        "store",
+        "dists",
+        "e-list",
+        "policies",
+        "theta1",
+        "delta1",
+        "delta2",
+        "horizon",
+        "sensors",
+        "threads",
+        "force",
+        "objective",
     ])?;
     let horizon: usize = args.get_or("horizon", 65_536, "a slot count")?;
     let sensors: usize = args.get_or("sensors", 1, "a sensor count")?;
@@ -46,6 +56,10 @@ pub fn solve_fleet(args: &Args) -> CmdResult {
     let delta2: f64 = args.get_or("delta2", 6.0, "an energy amount")?;
     let force: bool = args.get_or("force", false, "true or false")?;
     let threads: usize = args.get_or("threads", 0, "a thread count (0 = auto)")?;
+    let objective = match args.get("objective") {
+        None => spec::Objective::Qom,
+        Some(raw) => spec::parse_objective(raw)?,
+    };
     let verbosity = args.verbosity();
 
     // Specs contain commas (`weibull:40,3`), so the dist axis is
@@ -95,7 +109,8 @@ pub fn solve_fleet(args: &Args) -> CmdResult {
                 let scenario = spec::Scenario::new(dist, *policy, e)?
                     .with_costs(delta1, delta2)
                     .with_horizon(horizon)
-                    .with_sensors(sensors);
+                    .with_sensors(sensors)
+                    .with_objective(objective);
                 if !force && store.contains(&scenario.canonical_key()) {
                     skipped += 1;
                 } else {

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 use evcap_bench::Figure;
 use evcap_sim::{BatchReport, SimReport};
+use evcap_spec::Objective;
 
 /// Escapes a string for inclusion in JSON.
 fn escape(s: &str) -> String {
@@ -39,12 +40,13 @@ pub(crate) fn num(v: f64) -> String {
     }
 }
 
-/// Serializes a simulation report.
-pub fn sim_report(report: &SimReport) -> String {
+/// Serializes a simulation report. Age fields appear only under a
+/// non-default objective, so pre-objective output stays byte-identical.
+pub fn sim_report(report: &SimReport, objective: Objective) -> String {
     let mut out = String::with_capacity(512);
     let _ = write!(
         out,
-        "{{\"slots\":{},\"events\":{},\"captures\":{},\"qom\":{},\"discharge_rate\":{},\"forced_idle\":{},\"load_balance\":{},\"sensors\":[",
+        "{{\"slots\":{},\"events\":{},\"captures\":{},\"qom\":{},\"discharge_rate\":{},\"forced_idle\":{},\"load_balance\":{}",
         report.slots,
         report.events,
         report.captures,
@@ -53,6 +55,15 @@ pub fn sim_report(report: &SimReport) -> String {
         report.total_forced_idle(),
         num(report.load_balance()),
     );
+    if !objective.is_default() {
+        let _ = write!(
+            out,
+            ",\"objective\":\"{objective}\",\"mean_age\":{},\"peak_age\":{}",
+            num(report.mean_age()),
+            report.peak_age,
+        );
+    }
+    out.push_str(",\"sensors\":[");
     for (i, s) in report.sensors.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -77,13 +88,14 @@ pub fn sim_report(report: &SimReport) -> String {
 
 /// Serializes a batched replication report: cross-seed summaries plus one
 /// compact object per replication (full per-sensor detail stays available
-/// through `--replications 1` runs or the JSONL export).
-pub fn batch_report(report: &BatchReport) -> String {
+/// through `--replications 1` runs or the JSONL export). Age fields appear
+/// only under a non-default objective.
+pub fn batch_report(report: &BatchReport, objective: Objective) -> String {
     let mut out = String::with_capacity(1024);
     let (qlo, qhi) = report.qom.ci95();
     let _ = write!(
         out,
-        "{{\"slots\":{},\"replications\":{},\"qom\":{{\"mean\":{},\"std_dev\":{},\"ci95\":[{},{}]}},\"discharge\":{{\"mean\":{},\"std_dev\":{}}},\"events\":{},\"captures\":{},\"pooled_qom\":{},\"activations\":{},\"forced_idle\":{},\"mean_final_fill\":{},\"mean_capture_gap\":{},\"reports\":[",
+        "{{\"slots\":{},\"replications\":{},\"qom\":{{\"mean\":{},\"std_dev\":{},\"ci95\":[{},{}]}},\"discharge\":{{\"mean\":{},\"std_dev\":{}}},\"events\":{},\"captures\":{},\"pooled_qom\":{},\"activations\":{},\"forced_idle\":{},\"mean_final_fill\":{},\"mean_capture_gap\":{}",
         report.slots,
         report.replications(),
         num(report.qom.mean),
@@ -100,6 +112,16 @@ pub fn batch_report(report: &BatchReport) -> String {
         num(report.mean_final_fill),
         report.mean_capture_gap.map_or_else(|| "null".to_owned(), num),
     );
+    if !objective.is_default() {
+        let _ = write!(
+            out,
+            ",\"objective\":\"{objective}\",\"mean_age\":{{\"mean\":{},\"std_dev\":{}}},\"peak_age\":{}",
+            num(report.mean_age.mean),
+            num(report.mean_age.std_dev),
+            report.peak_age,
+        );
+    }
+    out.push_str(",\"reports\":[");
     for (i, (seed, rep)) in report.seeds.iter().zip(&report.reports).enumerate() {
         if i > 0 {
             out.push(',');
@@ -220,17 +242,33 @@ mod tests {
             slots: 100,
             events: 10,
             captures: 7,
+            measured_slots: 100,
+            age_sum: 450,
+            peak_age: 12,
             sensors: vec![SensorStats::default()],
             trace: vec![],
             battery_trace: vec![],
         };
-        let json = sim_report(&report);
+        let json = sim_report(&report, Objective::Qom);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"qom\":0.7"));
         assert!(json.contains("\"sensors\":[{"));
+        // The default objective leaves the report age-free…
+        assert!(!json.contains("objective"));
         // Balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // …while an age objective names itself and adds both age fields.
+        let aged = sim_report(&report, Objective::AoiMean);
+        assert!(aged.contains("\"objective\":\"aoi-mean\""));
+        assert!(aged.contains("\"mean_age\":4.5"));
+        assert!(aged.contains("\"peak_age\":12"));
+        let value = evcap_obs::parse_line(&aged).expect("valid JSON");
+        assert_eq!(
+            value.get("mean_age").and_then(evcap_obs::JsonValue::as_f64),
+            Some(4.5)
+        );
     }
 
     #[test]

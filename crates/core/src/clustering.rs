@@ -26,6 +26,7 @@ use evcap_energy::ConsumptionModel;
 use evcap_renewal::AgeBeliefDp;
 
 use crate::greedy::EnergyBudget;
+use crate::objective::{CycleMoments, Objective};
 use crate::policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 use crate::{PolicyError, Result};
 
@@ -223,10 +224,28 @@ pub fn evaluate_partial_info(
     consumption: &ConsumptionModel,
     opts: EvalOptions,
 ) -> ClusterEvaluation {
+    evaluate_partial_info_moments(pmf, policy, consumption, opts).0
+}
+
+/// Like [`evaluate_partial_info`], additionally reporting the first and
+/// second moments of the capture-cycle length — the renewal statistics the
+/// age-of-information objectives derive from.
+///
+/// The second moment rides along as a separate accumulator
+/// (`E[T²] = Σ_{i≥1} (2i−1)·P(T ≥ i)`), so the [`ClusterEvaluation`] half
+/// of the result is bit-identical to what [`evaluate_partial_info`] has
+/// always produced.
+pub fn evaluate_partial_info_moments(
+    pmf: &SlotPmf,
+    policy: impl Fn(usize) -> f64,
+    consumption: &ConsumptionModel,
+    opts: EvalOptions,
+) -> (ClusterEvaluation, CycleMoments) {
     let d1 = consumption.delta1_units();
     let d2 = consumption.delta2_units();
     let mut dp = AgeBeliefDp::new(pmf);
     let mut cycle = 0.0; // Σ_{i≥0} S_i accumulates E[T]; S_0 = 1 added below.
+    let mut cycle2 = 0.0; // Σ_{i≥1} (2i−1)·S_{i−1} accumulates E[T²].
     let mut energy = 0.0; // expected energy per cycle
     let mut prev_survival = 1.0;
     let mut last_capture_hazard = 0.0;
@@ -234,6 +253,7 @@ pub fn evaluate_partial_info(
     let mut last_hazard = 0.0;
     while prev_survival > opts.survival_eps && dp.next_slot() <= opts.max_slots {
         cycle += prev_survival;
+        cycle2 += (2 * dp.next_slot() - 1) as f64 * prev_survival;
         let c = policy(dp.next_slot());
         let step = dp.step(c);
         energy += prev_survival * c * (d1 + step.hazard * d2);
@@ -251,23 +271,39 @@ pub fn evaluate_partial_info(
             // Σ_{k≥0} residual·(1 − p)^k slots remain on average.
             let extra_slots = residual / p;
             cycle += extra_slots;
+            // Σ_{k≥0} (2(m+k)−1)·residual·(1−p)^k with m the first
+            // unevaluated slot.
+            let m = dp.next_slot() as f64;
+            cycle2 += residual * ((2.0 * m - 1.0) / p + 2.0 * (1.0 - p) / (p * p));
             energy += extra_slots * last_c * (d1 + last_hazard * d2);
         } else {
             // The policy never captures from here on: the cycle never ends.
-            return ClusterEvaluation {
-                capture_probability: 0.0,
-                discharge_rate: 0.0,
-                expected_cycle: f64::INFINITY,
-                truncated_survival: residual,
-            };
+            return (
+                ClusterEvaluation {
+                    capture_probability: 0.0,
+                    discharge_rate: 0.0,
+                    expected_cycle: f64::INFINITY,
+                    truncated_survival: residual,
+                },
+                CycleMoments {
+                    first: f64::INFINITY,
+                    second: f64::INFINITY,
+                },
+            );
         }
     }
-    ClusterEvaluation {
-        capture_probability: (pmf.mean() / cycle).clamp(0.0, 1.0),
-        discharge_rate: energy / cycle,
-        expected_cycle: cycle,
-        truncated_survival: residual,
-    }
+    (
+        ClusterEvaluation {
+            capture_probability: (pmf.mean() / cycle).clamp(0.0, 1.0),
+            discharge_rate: energy / cycle,
+            expected_cycle: cycle,
+            truncated_survival: residual,
+        },
+        CycleMoments {
+            first: cycle,
+            second: cycle2,
+        },
+    )
 }
 
 impl ClusteringPolicy {
@@ -279,6 +315,16 @@ impl ClusteringPolicy {
         opts: EvalOptions,
     ) -> ClusterEvaluation {
         evaluate_partial_info(pmf, |i| self.coefficient(i), consumption, opts)
+    }
+
+    /// Evaluates this policy analytically, with cycle moments.
+    pub fn evaluate_moments(
+        &self,
+        pmf: &SlotPmf,
+        consumption: &ConsumptionModel,
+        opts: EvalOptions,
+    ) -> (ClusterEvaluation, CycleMoments) {
+        evaluate_partial_info_moments(pmf, |i| self.coefficient(i), consumption, opts)
     }
 }
 
@@ -318,6 +364,8 @@ pub struct ClusteringOptimizer {
     grid_points: usize,
     /// Optional hard cap on `n3`.
     max_n3: Option<usize>,
+    /// The metric candidates are ranked by (QoM by default).
+    objective: Objective,
 }
 
 impl ClusteringOptimizer {
@@ -328,6 +376,7 @@ impl ClusteringOptimizer {
             eval: EvalOptions::default(),
             grid_points: 14,
             max_n3: None,
+            objective: Objective::Qom,
         }
     }
 
@@ -335,6 +384,19 @@ impl ClusteringOptimizer {
     #[must_use]
     pub fn eval_options(mut self, opts: EvalOptions) -> Self {
         self.eval = opts;
+        self
+    }
+
+    /// Ranks candidates by `objective` instead of QoM. Under
+    /// [`Objective::Qom`] the search is unchanged bit for bit; the age
+    /// objectives reuse the same lattice and energy-balance bisection but
+    /// accept by [`Objective::score`]. The `c_{n1}` balance (spend the whole
+    /// budget) remains a heuristic for `AoiMean`, which can in principle
+    /// prefer leaving energy unspent; it is provably optimal for `AoiPeak`,
+    /// whose score is monotone in the capture probability.
+    #[must_use]
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 
@@ -457,7 +519,7 @@ impl ClusteringOptimizer {
         let _span = evcap_obs::timing::span("clustering.search");
         let step = ((hi - lo) / self.grid_points).max(1);
 
-        let mut best: Option<(ClusteringPolicy, ClusterEvaluation)> = None;
+        let mut best: Option<Ranked> = None;
         let mut n1 = lo.max(1);
         while n1 <= hi {
             let mut n2 = n1;
@@ -473,7 +535,7 @@ impl ClusteringOptimizer {
         }
 
         self.refine(pmf, consumption, lo, hi, step, &mut best, candidates);
-        best
+        best.map(|r| (r.policy, r.eval))
     }
 
     /// The warm-hinted counterpart of [`ClusteringOptimizer::search`]: the
@@ -493,6 +555,13 @@ impl ClusteringOptimizer {
         hint: (usize, usize, usize),
         candidates: &mut u64,
     ) -> Option<(ClusteringPolicy, ClusterEvaluation)> {
+        if self.objective != Objective::Qom {
+            // The screening bound below certifies *capture probabilities*
+            // (the fully-open variant dominates every balanced variant),
+            // which only orders candidates under QoM. Age objectives take
+            // the cold sweep.
+            return None;
+        }
         let (h1, h2, h3) = hint;
         if h1 < lo.max(1) || h1 > h2 || h2 > h3 || h3 > hi {
             return None; // the hint violates this search's bounds
@@ -504,9 +573,9 @@ impl ClusteringOptimizer {
         // candidate). Its result stays out of `best`: the hint is generally
         // off-lattice, and the equivalence argument below needs `best` to
         // see exactly the candidates the cold sweep would accept.
-        let mut priced: Option<(ClusteringPolicy, ClusterEvaluation)> = None;
+        let mut priced: Option<Ranked> = None;
         self.consider(pmf, consumption, h1, h2, h3, &mut priced, candidates);
-        let (_, hint_eval) = priced?;
+        let hint_eval = priced?.eval;
         let threshold = hint_eval.capture_probability - WARM_SLACK;
         if threshold <= 0.0 {
             return None; // the hint prunes nothing; run the cold sweep
@@ -523,7 +592,7 @@ impl ClusteringOptimizer {
         // identical refinement below reproduces the cold policy bit for
         // bit. Per-`n1` subtrees are screened first with the everything-
         // from-`n1`-on bound, which dominates every `(n2, n3)` choice.
-        let mut best: Option<(ClusteringPolicy, ClusterEvaluation)> = None;
+        let mut best: Option<Ranked> = None;
         let mut n1 = lo.max(1);
         while n1 <= hi {
             let subtree_ub = ClusteringPolicy::new(n1, hi, hi, 1.0, 1.0, 1.0)
@@ -537,13 +606,15 @@ impl ClusteringOptimizer {
                     while n3 <= hi {
                         if let Ok(full) = ClusteringPolicy::new(n1, n2, n3, 1.0, 1.0, 1.0) {
                             evcap_obs::timing::add_count("clustering.screened", 1);
-                            let eval_full = full.evaluate(pmf, consumption, self.eval);
+                            let (eval_full, moments_full) =
+                                full.evaluate_moments(pmf, consumption, self.eval);
                             if eval_full.capture_probability > threshold {
                                 self.consider_priced(
                                     pmf,
                                     consumption,
                                     full,
                                     eval_full,
+                                    moments_full,
                                     &mut best,
                                     candidates,
                                 );
@@ -557,14 +628,14 @@ impl ClusteringOptimizer {
             n1 += step;
         }
 
-        let grid_value = best.as_ref().map(|(_, e)| e.capture_probability)?;
+        let grid_value = best.as_ref().map(|r| r.eval.capture_probability)?;
         if grid_value < threshold + 2e-9 {
             // Too close to the screening threshold to certify that the
             // pruned sweep and the cold sweep agree on the grid optimum.
             return None;
         }
         self.refine(pmf, consumption, lo, hi, step, &mut best, candidates);
-        best
+        best.map(|r| (r.policy, r.eval))
     }
 
     /// Local refinement shared by the cold and warm searches: coordinate
@@ -578,10 +649,10 @@ impl ClusteringOptimizer {
         lo: usize,
         hi: usize,
         step: usize,
-        best: &mut Option<(ClusteringPolicy, ClusterEvaluation)>,
+        best: &mut Option<Ranked>,
         candidates: &mut u64,
     ) {
-        if let Some((seed, _)) = best.clone() {
+        if let Some(seed) = best.as_ref().map(|r| r.policy.clone()) {
             let mut current = (seed.n1(), seed.n2(), seed.n3());
             let mut delta = step.max(2) / 2;
             while delta >= 1 {
@@ -599,7 +670,7 @@ impl ClusteringOptimizer {
                             {
                                 continue;
                             }
-                            let before = best.as_ref().map(|(_, e)| e.capture_probability);
+                            let before = best.as_ref().map(|r| r.score);
                             self.consider(
                                 pmf,
                                 consumption,
@@ -609,7 +680,7 @@ impl ClusteringOptimizer {
                                 best,
                                 candidates,
                             );
-                            let after = best.as_ref().map(|(_, e)| e.capture_probability);
+                            let after = best.as_ref().map(|r| r.score);
                             if after > before {
                                 current = (cand[0] as usize, cand[1] as usize, cand[2] as usize);
                                 improved = true;
@@ -635,48 +706,59 @@ impl ClusteringOptimizer {
         n1: usize,
         n2: usize,
         n3: usize,
-        best: &mut Option<(ClusteringPolicy, ClusterEvaluation)>,
+        best: &mut Option<Ranked>,
         candidates: &mut u64,
     ) {
         let Ok(full) = ClusteringPolicy::new(n1, n2, n3, 1.0, 1.0, 1.0) else {
             return;
         };
-        let eval_full = full.evaluate(pmf, consumption, self.eval);
-        self.consider_priced(pmf, consumption, full, eval_full, best, candidates);
+        let (eval_full, moments_full) = full.evaluate_moments(pmf, consumption, self.eval);
+        self.consider_priced(
+            pmf,
+            consumption,
+            full,
+            eval_full,
+            moments_full,
+            best,
+            candidates,
+        );
     }
 
     /// [`ClusteringOptimizer::consider`] with the fully-open evaluation
     /// already in hand (the warm screen computes it as its upper bound).
+    #[allow(clippy::too_many_arguments)]
     fn consider_priced(
         &self,
         pmf: &SlotPmf,
         consumption: &ConsumptionModel,
         full: ClusteringPolicy,
         eval_full: ClusterEvaluation,
-        best: &mut Option<(ClusteringPolicy, ClusterEvaluation)>,
+        moments_full: CycleMoments,
+        best: &mut Option<Ranked>,
         candidates: &mut u64,
     ) {
         *candidates += 1;
         evcap_obs::timing::add_count("clustering.candidates", 1);
         let e = self.budget.rate();
         let candidate = if eval_full.discharge_rate <= e {
-            Some((full, eval_full))
+            Some((full, eval_full, moments_full))
         } else {
             // Over budget: shrink the hot-region entry coefficient.
             let closed = full.with_c_n1(0.0);
-            let eval_closed = closed.evaluate(pmf, consumption, self.eval);
+            let (eval_closed, moments_closed) =
+                closed.evaluate_moments(pmf, consumption, self.eval);
             if eval_closed.discharge_rate > e {
                 None // even the narrowest variant is infeasible
             } else {
                 // Bisect c_n1 for energy balance (discharge is monotone).
                 let (mut lo_c, mut hi_c) = (0.0f64, 1.0f64);
-                let mut chosen = (closed, eval_closed);
+                let mut chosen = (closed, eval_closed, moments_closed);
                 for _ in 0..24 {
                     let mid = 0.5 * (lo_c + hi_c);
                     let p = full.with_c_n1(mid);
-                    let ev = p.evaluate(pmf, consumption, self.eval);
+                    let (ev, mo) = p.evaluate_moments(pmf, consumption, self.eval);
                     if ev.discharge_rate <= e {
-                        chosen = (p, ev);
+                        chosen = (p, ev, mo);
                         lo_c = mid;
                     } else {
                         hi_c = mid;
@@ -685,16 +767,30 @@ impl ClusteringOptimizer {
                 Some(chosen)
             }
         };
-        if let Some((policy, eval)) = candidate {
+        if let Some((policy, eval, moments)) = candidate {
+            let score = self.objective.score(&eval, &moments);
             let better = match best {
                 None => true,
-                Some((_, b)) => eval.capture_probability > b.capture_probability + 1e-12,
+                Some(b) => score > b.score + 1e-12,
             };
             if better {
-                *best = Some((policy, eval));
+                *best = Some(Ranked {
+                    policy,
+                    eval,
+                    score,
+                });
             }
         }
     }
+}
+
+/// A candidate the search has accepted, tagged with its objective score
+/// (always higher-is-better; equal to the capture probability under QoM).
+#[derive(Debug, Clone)]
+struct Ranked {
+    policy: ClusteringPolicy,
+    eval: ClusterEvaluation,
+    score: f64,
 }
 
 /// The smallest slot `i` with `F(i) ≥ p`.
@@ -916,6 +1012,94 @@ mod tests {
                 .unwrap();
             assert_eq!(cold, warm, "hint {bad:?}");
         }
+    }
+
+    #[test]
+    fn moments_agree_with_the_evaluation_and_hand_math() {
+        // Deterministic gap 5, perfect capture: T ≡ 5 ⇒ E[T²] = 25, ages
+        // 1..4 then 0 ⇒ mean age 2.
+        let pmf = SlotPmf::from_pmf(vec![0.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let p = ClusteringPolicy::new(5, 5, 5, 1.0, 1.0, 1.0).unwrap();
+        let (eval, moments) = p.evaluate_moments(&pmf, &consumption(), EvalOptions::default());
+        assert_eq!(eval.expected_cycle.to_bits(), moments.first.to_bits());
+        assert!((moments.second - 25.0).abs() < 1e-6, "{}", moments.second);
+        assert!((moments.mean_age() - 2.0).abs() < 1e-6);
+        // The moments ride along without perturbing the evaluation.
+        let plain = p.evaluate(&pmf, &consumption(), EvalOptions::default());
+        assert_eq!(plain, eval);
+    }
+
+    #[test]
+    fn moments_cover_the_geometric_tail_continuation() {
+        // Geometric(0.25) with an always-on policy: T ~ Geom₁(0.25), so
+        // E[T] = 4 and E[T²] = (2 − p)/p² = 28.
+        let pmf = SlotPmf::from_hazards(&[0.25]).unwrap();
+        let p = ClusteringPolicy::new(1, 1, 1, 1.0, 1.0, 1.0).unwrap();
+        let (_, moments) = p.evaluate_moments(&pmf, &consumption(), EvalOptions::default());
+        assert!((moments.first - 4.0).abs() < 1e-6, "{}", moments.first);
+        assert!((moments.second - 28.0).abs() < 1e-4, "{}", moments.second);
+    }
+
+    #[test]
+    fn age_objective_search_yields_a_feasible_fresh_policy() {
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let opt = ClusteringOptimizer::new(EnergyBudget::per_slot(0.35));
+        let (qom_policy, qom_eval) = opt.optimize(&pmf, &consumption()).unwrap();
+        let (aoi_policy, aoi_eval) = opt
+            .objective(Objective::AoiMean)
+            .optimize(&pmf, &consumption())
+            .unwrap();
+        assert!(aoi_eval.discharge_rate <= 0.35 + 1e-6);
+        let (_, qm) = qom_policy.evaluate_moments(&pmf, &consumption(), EvalOptions::default());
+        let (_, am) = aoi_policy.evaluate_moments(&pmf, &consumption(), EvalOptions::default());
+        assert!(am.mean_age().is_finite());
+        // The age-optimal pick is at least as fresh as the QoM pick, modulo
+        // the different refinement endpoints.
+        assert!(
+            am.mean_age() <= qm.mean_age() * 1.02 + 1e-9,
+            "aoi search aged worse: {} vs {}",
+            am.mean_age(),
+            qm.mean_age()
+        );
+        // Peak age orders candidates like QoM on a single scenario, so the
+        // two searches land on essentially the same capture probability.
+        let (peak_policy, peak_eval) = opt
+            .objective(Objective::AoiPeak)
+            .optimize(&pmf, &consumption())
+            .unwrap();
+        assert!(peak_policy.n1() >= 1);
+        assert!(
+            (peak_eval.capture_probability - qom_eval.capture_probability).abs() < 1e-6,
+            "{} vs {}",
+            peak_eval.capture_probability,
+            qom_eval.capture_probability
+        );
+    }
+
+    #[test]
+    fn warm_hint_is_declined_for_age_objectives() {
+        // The warm screen's upper bound only certifies QoM, so a hinted age
+        // solve must fall back to the cold sweep and still succeed.
+        let pmf = Discretizer::new()
+            .discretize(&Weibull::new(40.0, 3.0).unwrap())
+            .unwrap();
+        let opt =
+            ClusteringOptimizer::new(EnergyBudget::per_slot(0.4)).objective(Objective::AoiMean);
+        let (cold, cold_eval, _) = opt.optimize_counted(&pmf, &consumption()).unwrap();
+        let (warm, warm_eval, _) = opt
+            .optimize_counted_with_hint(
+                &pmf,
+                &consumption(),
+                Some((cold.n1(), cold.n2(), cold.n3())),
+            )
+            .unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(
+            cold_eval.capture_probability.to_bits(),
+            warm_eval.capture_probability.to_bits()
+        );
     }
 
     #[test]

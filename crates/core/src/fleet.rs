@@ -13,11 +13,20 @@
 //! the PoI whose weighted QoM it improves most — is exactly optimal.
 //! [`FleetAllocator::allocate`] implements it with memoized per-PoI value
 //! curves; a brute-force cross-check lives in the tests.
+//!
+//! The allocator is objective-generic ([`FleetAllocator::objective`]): under
+//! [`Objective::AoiPeak`] the per-PoI utility is `−E[T] = −μ_p/U_p(n)`,
+//! which is still concave in `n` (a convex decreasing map of a concave
+//! increasing curve), so the greedy assignment stays exactly optimal — and,
+//! unlike the single-PoI case, genuinely reallocates sensors because `μ_p`
+//! differs per PoI. [`Objective::AoiMean`] adds the cycle-variance term and
+//! is a documented heuristic (its marginals are not provably monotone).
 
 use evcap_dist::SlotPmf;
 use evcap_energy::ConsumptionModel;
 
 use crate::greedy::{EnergyBudget, GreedyPolicy};
+use crate::objective::Objective;
 use crate::{PolicyError, Result};
 
 /// One point of interest: its event process and its importance weight.
@@ -36,8 +45,14 @@ pub struct FleetPlan {
     pub allocation: Vec<usize>,
     /// The ideal (energy-assumption) QoM each PoI achieves under its share.
     pub expected_qom: Vec<f64>,
-    /// The achieved objective `Σ weight·QoM`.
+    /// The achieved `Σ weight·QoM` (always reported, whatever the
+    /// objective, for comparability across runs).
     pub weighted_qom: f64,
+    /// The metric the allocation optimized.
+    pub objective: Objective,
+    /// Each PoI's achieved objective value in natural units (QoM, or slots
+    /// of age; `+∞` for a PoI left unwatched under an age objective).
+    pub objective_values: Vec<f64>,
 }
 
 /// Optimal greedy fleet allocator over the M-FI value curves.
@@ -45,6 +60,7 @@ pub struct FleetPlan {
 pub struct FleetAllocator {
     per_sensor: EnergyBudget,
     consumption: ConsumptionModel,
+    objective: Objective,
 }
 
 impl FleetAllocator {
@@ -54,7 +70,16 @@ impl FleetAllocator {
         Self {
             per_sensor,
             consumption,
+            objective: Objective::Qom,
         }
+    }
+
+    /// Allocates for `objective` instead of QoM (see the module docs for
+    /// which objectives keep the exact-optimality guarantee).
+    #[must_use]
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// The ideal QoM of PoI `pmf` when watched by `n` sensors (M-FI at
@@ -64,11 +89,35 @@ impl FleetAllocator {
     ///
     /// Propagates policy-optimization failures.
     pub fn poi_value(&self, pmf: &SlotPmf, n: usize) -> Result<f64> {
+        self.poi_point(pmf, n).map(|(qom, _)| qom)
+    }
+
+    /// Like [`FleetAllocator::poi_value`], but also reporting the PoI's
+    /// utility under this allocator's objective (for QoM the two halves
+    /// coincide). One greedy optimization feeds both.
+    fn poi_point(&self, pmf: &SlotPmf, n: usize) -> Result<(f64, f64)> {
         if n == 0 {
-            return Ok(0.0);
+            return Ok((0.0, self.objective.unwatched_utility()));
         }
         let aggregate = EnergyBudget::per_slot(self.per_sensor.rate() * n as f64);
-        Ok(GreedyPolicy::optimize(pmf, aggregate, &self.consumption)?.ideal_qom())
+        let policy = GreedyPolicy::optimize(pmf, aggregate, &self.consumption)?;
+        let utility = self.objective.greedy_utility(pmf, &policy);
+        Ok((policy.ideal_qom(), utility))
+    }
+
+    /// The weighted marginal utility of giving a PoI one more sensor,
+    /// defined so the infinities of the age objectives stay out of the
+    /// arithmetic: a PoI that remains unwatchable gains nothing, and the
+    /// first finite coverage of a positive-weight PoI is infinitely
+    /// valuable.
+    fn marginal(weight: f64, cur: f64, next: f64) -> f64 {
+        if weight <= 0.0 || next == f64::NEG_INFINITY {
+            0.0
+        } else if cur == f64::NEG_INFINITY {
+            f64::INFINITY
+        } else {
+            weight * (next - cur)
+        }
     }
 
     /// Distributes `sensors` across the PoIs to maximize `Σ weight·QoM`.
@@ -100,17 +149,20 @@ impl FleetAllocator {
         }
 
         let mut allocation = vec![0usize; pois.len()];
-        // Memoized value curve: values[p] holds U_p(0..=assigned+1).
-        let mut values: Vec<Vec<f64>> = vec![vec![0.0]; pois.len()];
+        // Memoized (QoM, utility) curve: values[p] holds both halves of
+        // U_p(0..=assigned+1); under QoM they are the same number.
+        let mut values: Vec<Vec<(f64, f64)>> =
+            vec![vec![(0.0, self.objective.unwatched_utility())]; pois.len()];
         for (p, poi) in pois.iter().enumerate() {
-            values[p].push(self.poi_value(&poi.pmf, 1)?);
+            let point = self.poi_point(&poi.pmf, 1)?;
+            values[p].push(point);
         }
         for _ in 0..sensors {
             // Pick the PoI with the largest weighted marginal gain.
             let mut best: Option<(usize, f64)> = None;
             for (p, poi) in pois.iter().enumerate() {
                 let n = allocation[p];
-                let gain = poi.weight * (values[p][n + 1] - values[p][n]);
+                let gain = Self::marginal(poi.weight, values[p][n].1, values[p][n + 1].1);
                 if best.map(|(_, g)| gain > g + 1e-15).unwrap_or(true) {
                     best = Some((p, gain));
                 }
@@ -120,25 +172,32 @@ impl FleetAllocator {
             // Extend that PoI's value curve for the next round.
             let next = allocation[p] + 1;
             if values[p].len() <= next {
-                let value = self.poi_value(&pois[p].pmf, next)?;
-                values[p].push(value);
+                let point = self.poi_point(&pois[p].pmf, next)?;
+                values[p].push(point);
             }
         }
 
         let expected_qom: Vec<f64> = allocation
             .iter()
             .enumerate()
-            .map(|(p, &n)| values[p][n])
+            .map(|(p, &n)| values[p][n].0)
             .collect();
         let weighted_qom = expected_qom
             .iter()
             .zip(pois)
             .map(|(u, poi)| u * poi.weight)
             .sum();
+        let objective_values: Vec<f64> = allocation
+            .iter()
+            .enumerate()
+            .map(|(p, &n)| self.objective.utility_to_value(values[p][n].1))
+            .collect();
         Ok(FleetPlan {
             allocation,
             expected_qom,
             weighted_qom,
+            objective: self.objective,
+            objective_values,
         })
     }
 }
@@ -240,6 +299,114 @@ mod tests {
             "{:?}",
             plan.allocation
         );
+    }
+
+    #[test]
+    fn aoi_peak_greedy_matches_brute_force() {
+        let pois = vec![
+            PoiSpec {
+                pmf: weibull(20.0),
+                weight: 1.0,
+            },
+            PoiSpec {
+                pmf: weibull(40.0),
+                weight: 2.0,
+            },
+            PoiSpec {
+                pmf: weibull(60.0),
+                weight: 0.5,
+            },
+        ];
+        let alloc = allocator(0.15).objective(Objective::AoiPeak);
+        let sensors = 6;
+        let plan = alloc.allocate(&pois, sensors).unwrap();
+        assert_eq!(plan.objective, Objective::AoiPeak);
+        let achieved: f64 = plan
+            .objective_values
+            .iter()
+            .zip(&pois)
+            .map(|(age, poi)| poi.weight * age)
+            .sum();
+
+        // Brute force over all compositions that watch every PoI (an
+        // unwatched PoI has infinite peak age, so no finite plan skips one).
+        let mut best = f64::INFINITY;
+        let value = |p: usize, n: usize| -> f64 {
+            if n == 0 {
+                return f64::INFINITY;
+            }
+            pois[p].pmf.mean() / alloc.poi_value(&pois[p].pmf, n).unwrap()
+        };
+        for a in 1..=(sensors - 2) {
+            for b in 1..=(sensors - a - 1) {
+                let c = sensors - a - b;
+                let total = pois[0].weight * value(0, a)
+                    + pois[1].weight * value(1, b)
+                    + pois[2].weight * value(2, c);
+                best = best.min(total);
+            }
+        }
+        assert!(
+            (achieved - best).abs() < 1e-6 * best,
+            "greedy {achieved} vs brute force {best}"
+        );
+    }
+
+    #[test]
+    fn aoi_allocation_differs_from_qom_when_gap_scales_differ() {
+        // Under QoM the fast PoI (small μ) and slow PoI trade off by capture
+        // fraction alone; under peak age the slow PoI's μ multiplies its
+        // staleness, so the age-optimal fleet shifts sensors toward it.
+        let pois = vec![
+            PoiSpec {
+                pmf: weibull(15.0),
+                weight: 1.0,
+            },
+            PoiSpec {
+                pmf: weibull(90.0),
+                weight: 1.0,
+            },
+        ];
+        let qom_plan = allocator(0.12).allocate(&pois, 8).unwrap();
+        let aoi_plan = allocator(0.12)
+            .objective(Objective::AoiPeak)
+            .allocate(&pois, 8)
+            .unwrap();
+        assert_eq!(qom_plan.objective, Objective::Qom);
+        assert!(
+            aoi_plan.allocation != qom_plan.allocation,
+            "expected the objectives to allocate differently: {:?}",
+            aoi_plan.allocation
+        );
+        // Natural units: QoM values are probabilities, ages are slots.
+        for v in &qom_plan.objective_values {
+            assert!((0.0..=1.0).contains(v));
+        }
+        for v in &aoi_plan.objective_values {
+            assert!(*v >= 1.0, "peak age below one slot: {v}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_poi_does_not_poison_age_allocation() {
+        // weight 0 × infinite first-coverage gain must not become NaN.
+        let pois = vec![
+            PoiSpec {
+                pmf: weibull(40.0),
+                weight: 0.0,
+            },
+            PoiSpec {
+                pmf: weibull(40.0),
+                weight: 1.0,
+            },
+        ];
+        let plan = allocator(0.1)
+            .objective(Objective::AoiMean)
+            .allocate(&pois, 3)
+            .unwrap();
+        assert_eq!(plan.allocation, vec![0, 3], "{:?}", plan.allocation);
+        assert!(plan.objective_values[0].is_infinite());
+        assert!(plan.objective_values[1].is_finite());
     }
 
     #[test]

@@ -65,12 +65,14 @@ mod fleet;
 mod greedy;
 mod multi;
 mod myopic;
+mod objective;
 mod policy;
 mod refined;
 
 pub use baselines::{AggressivePolicy, PeriodicPolicy};
 pub use clustering::{
-    evaluate_partial_info, ClusterEvaluation, ClusteringOptimizer, ClusteringPolicy, EvalOptions,
+    evaluate_partial_info, evaluate_partial_info_moments, ClusterEvaluation, ClusteringOptimizer,
+    ClusteringPolicy, EvalOptions,
 };
 pub use dual::{solve_dual, DualSolution};
 pub use ebcw::EbcwPolicy;
@@ -80,6 +82,7 @@ pub use fleet::{FleetAllocator, FleetPlan, PoiSpec};
 pub use greedy::{EnergyBudget, GreedyPolicy};
 pub use multi::{MultiSensorPlan, SlotAssignment};
 pub use myopic::MyopicPolicy;
+pub use objective::{gap_moments, greedy_cycle_moments, CycleMoments, Objective};
 pub use policy::{ActivationPolicy, DecisionContext, InfoModel, PolicyTable};
 pub use refined::{RegionPolicy, Segment};
 

@@ -29,6 +29,8 @@ pub struct RequestSample {
     pub status: u16,
     /// Caller-defined cache-outcome tag.
     pub cache_tag: u8,
+    /// Caller-defined objective tag (0 = no scenario attached).
+    pub objective_tag: u8,
     /// End-to-end latency, nanoseconds.
     pub latency_ns: u64,
     /// First 8 bytes of the trace id, big-endian.
@@ -131,7 +133,8 @@ impl FlightRecorder {
         }
         let header = u64::from(sample.status)
             | (u64::from(sample.path_tag) << 16)
-            | (u64::from(sample.cache_tag) << 24);
+            | (u64::from(sample.cache_tag) << 24)
+            | (u64::from(sample.objective_tag) << 32);
         slot.words[1].store(header, Ordering::Relaxed);
         slot.words[2].store(sample.latency_ns, Ordering::Relaxed);
         slot.words[3].store(sample.trace_hi, Ordering::Relaxed);
@@ -169,6 +172,7 @@ impl FlightRecorder {
                 status: (header & 0xffff) as u16,
                 path_tag: ((header >> 16) & 0xff) as u8,
                 cache_tag: ((header >> 24) & 0xff) as u8,
+                objective_tag: ((header >> 32) & 0xff) as u8,
                 latency_ns,
                 trace_hi,
                 trace_lo,
@@ -210,6 +214,7 @@ mod tests {
             path_tag: (i % 5) as u8,
             status: 200,
             cache_tag: (i % 3) as u8,
+            objective_tag: (i % 2) as u8,
             latency_ns: i * 1000,
             stage_us: [i as u32, 0, 2, 3, 4],
             ..RequestSample::default()
@@ -232,6 +237,7 @@ mod tests {
         assert_eq!(latencies, vec![6000, 7000, 8000, 9000]);
         assert_eq!(recent[3].trace_id(), format!("{:016x}", 9));
         assert_eq!(recent[3].stage_us, [9, 0, 2, 3, 4]);
+        assert_eq!(recent[3].objective_tag, 1);
     }
 
     #[test]

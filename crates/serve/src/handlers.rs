@@ -74,6 +74,15 @@ pub fn render_solve(s: &SolveScenario, solved: &SolvedPolicy) -> String {
     obj.field_f64("e", sc.e());
     obj.field_f64("mean_gap", solved.pmf.mean());
     obj.field_str("label", &meta.label);
+    // Age objectives announce themselves and their natural-units value;
+    // the default (QoM) stays absent so pre-objective response bodies —
+    // and every cached byte derived from them — are unchanged.
+    if !sc.objective().is_default() {
+        obj.field_str("objective", sc.objective().name());
+        if let Some(value) = meta.objective_value {
+            obj.field_f64("objective_value", value);
+        }
+    }
     match sc.policy() {
         PolicySpec::Greedy => {
             obj.field_f64("ideal_qom", meta.objective.unwrap_or(0.0));
@@ -180,6 +189,11 @@ pub fn simulate(s: &SimulateScenario, solved: &SolvedPolicy) -> Result<String, A
         if let Some(gap) = report.mean_capture_gap {
             obj.field_f64("mean_capture_gap", gap);
         }
+        if !sc.objective().is_default() {
+            obj.field_str("objective", sc.objective().name());
+            obj.field_f64("mean_age", report.mean_age.mean);
+            obj.field_u64("peak_age", report.peak_age);
+        }
         obj.field_usize("sensors", sc.sensors());
         return Ok(obj.finish());
     }
@@ -200,6 +214,11 @@ pub fn simulate(s: &SimulateScenario, solved: &SolvedPolicy) -> Result<String, A
     obj.field_u64("activations", report.total_activations());
     obj.field_u64("forced_idle", report.total_forced_idle());
     obj.field_f64("discharge_rate", report.discharge_rate());
+    if !sc.objective().is_default() {
+        obj.field_str("objective", sc.objective().name());
+        obj.field_f64("mean_age", report.mean_age());
+        obj.field_u64("peak_age", report.peak_age);
+    }
     obj.field_usize("sensors", sc.sensors());
     if sc.sensors() > 1 {
         obj.field_f64("load_balance", report.load_balance());
@@ -318,6 +337,43 @@ mod tests {
             sv.get("qom").and_then(JsonValue::as_f64),
             "batch seed 0 must reproduce the single run"
         );
+    }
+
+    #[test]
+    fn age_objectives_surface_in_both_response_bodies() {
+        // Default bodies carry no objective fields at all…
+        let default_solve = solve(&smoke_scenario()).unwrap();
+        assert!(!default_solve.contains("\"objective\""));
+        // …while an age objective names itself and reports natural units.
+        let s = SolveScenario::from_body(
+            br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","objective":"aoi-mean","horizon":4096}"#,
+        )
+        .unwrap();
+        let v = parse_line(&solve(&s).unwrap()).unwrap();
+        assert_eq!(
+            v.get("objective").and_then(JsonValue::as_str),
+            Some("aoi-mean")
+        );
+        let value = v
+            .get("objective_value")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(value.is_finite() && value > 0.0, "mean age = {value}");
+
+        for replications in ["", r#","replications":3"#] {
+            let body = format!(
+                r#"{{"dist":"weibull:40,3","e":0.2,"objective":"aoi-peak","slots":10000,"seed":7,"horizon":4096{replications}}}"#
+            );
+            let s = SimulateScenario::from_body(body.as_bytes(), 1_000_000).unwrap();
+            let v = parse_line(&simulate_scenario(&s).unwrap()).unwrap();
+            assert_eq!(
+                v.get("objective").and_then(JsonValue::as_str),
+                Some("aoi-peak")
+            );
+            let mean = v.get("mean_age").and_then(JsonValue::as_f64).unwrap();
+            let peak = v.get("peak_age").and_then(JsonValue::as_f64).unwrap();
+            assert!(mean >= 0.0 && peak >= mean, "mean {mean} peak {peak}");
+        }
     }
 
     #[test]

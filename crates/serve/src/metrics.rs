@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use evcap_obs::{JsonObject, LatencyHistogram};
+use evcap_spec::Objective;
 
 use crate::cache::{ShardSnapshot, StatsSnapshot};
 use crate::prometheus;
@@ -45,6 +46,11 @@ pub struct Metrics {
     store_misses: AtomicU64,
     store_rejects: AtomicU64,
     store_appends: AtomicU64,
+    /// Scenario-bearing requests by solve objective, indexed by
+    /// [`Objective::index`]. Mixed-objective traffic shares every other
+    /// counter (same endpoints, same caches), so this is the one place it
+    /// stays distinguishable.
+    objective_requests: [AtomicU64; 3],
     /// All requests, wire-to-wire.
     pub latency: LatencyHistogram,
     /// Cache-miss solves only (the compute itself).
@@ -70,6 +76,7 @@ impl Metrics {
             store_misses: AtomicU64::new(0),
             store_rejects: AtomicU64::new(0),
             store_appends: AtomicU64::new(0),
+            objective_requests: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             latency: LatencyHistogram::new(),
             solve_latency: LatencyHistogram::new(),
         }
@@ -94,6 +101,12 @@ impl Metrics {
     /// Records one fresh solve written through to the disk tier.
     pub fn store_append(&self) {
         self.store_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one scenario-bearing request (`/v1/solve` or
+    /// `/v1/simulate`) under its solve objective.
+    pub fn objective_request(&self, objective: Objective) {
+        self.objective_requests[objective.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one accepted connection.
@@ -151,6 +164,10 @@ impl Metrics {
         obj.field_u64("responses_4xx", get(&self.responses_4xx));
         obj.field_u64("responses_5xx", get(&self.responses_5xx));
         obj.field_u64("coalesce_timeouts", get(&self.timeouts));
+        for (objective, counter) in Objective::ALL.iter().zip(&self.objective_requests) {
+            let field = format!("objective_requests_{}", objective.name().replace('-', "_"));
+            obj.field_u64(&field, get(counter));
+        }
 
         obj.field_u64("solve_cache_hits", solve_cache.hits);
         obj.field_u64("solve_cache_misses", solve_cache.misses);
@@ -244,6 +261,15 @@ impl Metrics {
             "evcap_coalesce_timeouts_total",
             get(&self.timeouts),
         );
+        prometheus::type_line(&mut out, "evcap_objective_requests_total", "counter");
+        for (objective, counter) in Objective::ALL.iter().zip(&self.objective_requests) {
+            prometheus::sample_with(
+                &mut out,
+                "evcap_objective_requests_total",
+                &[("objective", objective.name())],
+                get(counter),
+            );
+        }
 
         for (metric, kind, read) in CACHE_SERIES {
             prometheus::type_line(&mut out, metric, kind);
@@ -342,6 +368,9 @@ mod tests {
         m.store_reject();
         m.store_reject();
         m.store_append();
+        m.objective_request(Objective::Qom);
+        m.objective_request(Objective::Qom);
+        m.objective_request(Objective::AoiMean);
         let empty = StatsSnapshot::default();
         let store = StoreSnapshot {
             enabled: true,
@@ -366,6 +395,9 @@ mod tests {
         assert_eq!(f("store_appends"), 1.0);
         assert_eq!(f("store_entries"), 3.0);
         assert_eq!(f("store_bytes"), 4096.0);
+        assert_eq!(f("objective_requests_qom"), 2.0);
+        assert_eq!(f("objective_requests_aoi_mean"), 1.0);
+        assert_eq!(f("objective_requests_aoi_peak"), 0.0);
     }
 
     #[test]
@@ -389,6 +421,7 @@ mod tests {
         ];
         m.store_hit();
         m.store_reject();
+        m.objective_request(Objective::AoiPeak);
         let store = StoreSnapshot {
             enabled: true,
             entries: 5,
@@ -427,6 +460,17 @@ mod tests {
         assert_eq!(
             f("evcap_request_latency_seconds_bucket", &[("le", "+Inf")]),
             2.0
+        );
+        assert_eq!(
+            f(
+                "evcap_objective_requests_total",
+                &[("objective", "aoi-peak")]
+            ),
+            1.0
+        );
+        assert_eq!(
+            f("evcap_objective_requests_total", &[("objective", "qom")]),
+            0.0
         );
         assert_eq!(f("evcap_store_hits_total", &[]), 1.0);
         assert_eq!(f("evcap_store_rejects_total", &[]), 1.0);

@@ -220,11 +220,20 @@ fn positive(key: &str, v: f64) -> Result<f64, ApiError> {
     }
 }
 
-const SOLVE_FIELDS: &[&str] = &["dist", "e", "policy", "delta1", "delta2", "horizon"];
+const SOLVE_FIELDS: &[&str] = &[
+    "dist",
+    "e",
+    "policy",
+    "objective",
+    "delta1",
+    "delta2",
+    "horizon",
+];
 const SIMULATE_FIELDS: &[&str] = &[
     "dist",
     "e",
     "policy",
+    "objective",
     "delta1",
     "delta2",
     "horizon",
@@ -263,9 +272,15 @@ fn scenario_from(
             "field `horizon` must be ≥ 2",
         ));
     }
-    Ok(Scenario::new(raw_dist, policy, e)?
+    let mut scenario = Scenario::new(raw_dist, policy, e)?
         .with_costs(delta1, delta2)
-        .with_horizon(horizon))
+        .with_horizon(horizon);
+    // Omitted ≡ explicit "qom": the canonical key elides the default, so
+    // pre-objective requests keep hitting their existing cache entries.
+    if let Some(spec) = want_str(map, "objective")? {
+        scenario = scenario.with_objective(evcap_spec::parse_objective(spec)?);
+    }
+    Ok(scenario)
 }
 
 impl SolveScenario {
@@ -440,6 +455,38 @@ mod tests {
 
         let c = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25,"delta1":2}"#).unwrap();
         assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn objective_parses_and_keys_back_compatibly() {
+        use evcap_spec::Objective;
+        let omitted = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25}"#).unwrap();
+        let explicit =
+            SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25,"objective":"qom"}"#).unwrap();
+        // Explicit "qom" is byte-identical to omitting the field.
+        assert_eq!(omitted.cache_key(), explicit.cache_key());
+        assert_eq!(omitted.artifact_key(), explicit.artifact_key());
+        assert_eq!(omitted.scenario.objective(), Objective::Qom);
+
+        let aoi =
+            SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25,"objective":"aoi-mean"}"#)
+                .unwrap();
+        assert_eq!(aoi.scenario.objective(), Objective::AoiMean);
+        assert_ne!(aoi.cache_key(), omitted.cache_key());
+        assert!(aoi.artifact_key().ends_with("|obj=aoi-mean"));
+
+        let sim = SimulateScenario::from_body(
+            br#"{"dist":"exp:0.05","e":0.25,"slots":5000,"objective":"aoi-peak"}"#,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(sim.scenario.objective(), Objective::AoiPeak);
+
+        let err = SolveScenario::from_body(br#"{"dist":"exp:0.05","e":0.25,"objective":"fresh"}"#)
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.kind, "invalid_spec");
+        assert!(err.message.contains("aoi-mean"), "{}", err.message);
     }
 
     #[test]

@@ -259,6 +259,11 @@ const ROUTES: [&str; 6] = [
 /// Cache-outcome labels the flight recorder can tag (index = `cache_tag`).
 const CACHE_LABELS: [&str; 6] = ["none", "hit", "miss", "coalesced", "failed", "timeout"];
 
+/// Objective labels the flight recorder can tag (index = `objective_tag`).
+/// Slot 0 is "no scenario attached" (non-scenario routes and parse
+/// failures); scenario-bearing requests use `Objective::index() + 1`.
+const OBJECTIVE_LABELS: [&str; 4] = ["none", "qom", "aoi-mean", "aoi-peak"];
+
 /// Solve stages broken out per request (order matches
 /// [`RequestSample::stage_us`]): body parse, scenario canonicalization,
 /// LP solve, clustering search, table compilation.
@@ -287,6 +292,8 @@ pub struct RecentRequest {
     pub status: u16,
     /// Cache outcome label (`none` when the route has no cache).
     pub cache: &'static str,
+    /// Solve objective label (`none` when no scenario parsed).
+    pub objective: &'static str,
     /// End-to-end latency, microseconds.
     pub latency_us: f64,
     /// The request's trace id.
@@ -306,6 +313,10 @@ impl RecentRequest {
                 .get(s.cache_tag as usize)
                 .copied()
                 .unwrap_or("none"),
+            objective: OBJECTIVE_LABELS
+                .get(s.objective_tag as usize)
+                .copied()
+                .unwrap_or("none"),
             latency_us: s.latency_ns as f64 / 1e3,
             trace_id: s.trace_id(),
             stage_us: s.stage_us,
@@ -315,10 +326,11 @@ impl RecentRequest {
     /// One-line summary for drain reports.
     pub fn summary(&self) -> String {
         format!(
-            "{} {} {} {:.1}ms trace={} stages[us] parse={} canon={} lp={} cluster={} table={}",
+            "{} {} {} obj={} {:.1}ms trace={} stages[us] parse={} canon={} lp={} cluster={} table={}",
             self.path,
             self.status,
             self.cache,
+            self.objective,
             self.latency_us / 1e3,
             self.trace_id,
             self.stage_us[0],
@@ -348,6 +360,7 @@ fn render_recent(shared: &Shared) -> String {
             obj.field_str("path", r.path);
             obj.field_u64("status", u64::from(r.status));
             obj.field_str("cache", r.cache);
+            obj.field_str("objective", r.objective);
             obj.field_f64("latency_us", r.latency_us);
             obj.field_str("trace_id", &r.trace_id);
             for (stage, us) in STAGES.iter().zip(r.stage_us) {
@@ -462,6 +475,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             path_tag: route_tag(path),
             status: routed.status,
             cache_tag: cache_tag(routed.cache),
+            objective_tag: routed.objective,
             latency_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             stage_us,
             ..RequestSample::default()
@@ -580,12 +594,14 @@ const NO_CACHE: &str = "";
 /// The default response content type.
 const APPLICATION_JSON: &str = "application/json";
 
-/// A routed response: status, body, cache disposition, content type.
+/// A routed response: status, body, cache disposition, content type, and
+/// the solve objective of the parsed scenario (0 when there is none).
 struct Routed {
     status: u16,
     body: String,
     cache: &'static str,
     content_type: &'static str,
+    objective: u8,
 }
 
 impl Routed {
@@ -595,6 +611,7 @@ impl Routed {
             body,
             cache,
             content_type: APPLICATION_JSON,
+            objective: 0,
         }
     }
 
@@ -604,7 +621,15 @@ impl Routed {
             body,
             cache: NO_CACHE,
             content_type,
+            objective: 0,
         }
+    }
+
+    /// Tags the response with the scenario's solve objective (see
+    /// [`OBJECTIVE_LABELS`] for the index scheme).
+    fn with_objective(mut self, objective: evcap_spec::Objective) -> Self {
+        self.objective = objective.index() as u8 + 1;
+        self
     }
 }
 
@@ -656,6 +681,8 @@ fn route(request: &Request, shared: &Shared) -> Routed {
         ("POST", "/v1/solve") => match SolveScenario::from_body(&request.body) {
             Err(e) => Routed::json(e.status, e.body(), NO_CACHE),
             Ok(s) => {
+                let objective = s.scenario.objective();
+                shared.metrics.objective_request(objective);
                 let fetch = shared.solve_cache.get_or_compute(
                     s.cache_key(),
                     shared.config.coalesce_timeout,
@@ -668,13 +695,15 @@ fn route(request: &Request, shared: &Shared) -> Routed {
                     },
                 );
                 evcap_obs::trace::mark("cache.solve", fetch.label());
-                render_fetch(fetch, shared)
+                render_fetch(fetch, shared).with_objective(objective)
             }
         },
         ("POST", "/v1/simulate") => {
             match SimulateScenario::from_body(&request.body, shared.config.max_slots) {
                 Err(e) => Routed::json(e.status, e.body(), NO_CACHE),
                 Ok(s) => {
+                    let objective = s.scenario.objective();
+                    shared.metrics.objective_request(objective);
                     let fetch = shared.sim_cache.get_or_compute(
                         s.cache_key(),
                         shared.config.coalesce_timeout,
@@ -684,7 +713,7 @@ fn route(request: &Request, shared: &Shared) -> Routed {
                         },
                     );
                     evcap_obs::trace::mark("cache.sim", fetch.label());
-                    render_fetch(fetch, shared)
+                    render_fetch(fetch, shared).with_objective(objective)
                 }
             }
         }

@@ -1,0 +1,215 @@
+//! Objective end-to-end tests over real sockets.
+//!
+//! The load-bearing assertions are the compatibility ones: a store
+//! directory written before the objective refactor (simulated by
+//! rewriting the store header to version 1 — QoM payloads are
+//! byte-identical across versions) must keep serving disk hits, and a
+//! request that omits `objective` must share every cache entry — response
+//! cache, artifact cache, disk store — with one that spells `qom`
+//! explicitly, byte for byte. Age objectives ride the same pipeline with
+//! their own keys and show up in `/metrics` and `/debug/recent`.
+
+use std::io::{Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use evcap_obs::{parse_line, JsonValue};
+use evcap_serve::client::{self, Conn};
+use evcap_serve::{prometheus, ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_config(store: Option<&std::path::Path>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        cache_cap: 64,
+        shards: 4,
+        read_timeout: Duration::from_millis(500),
+        coalesce_timeout: Duration::from_secs(20),
+        max_slots: 500_000,
+        store: store.map(|d| d.display().to_string()),
+        ..ServeConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("evcap-objective-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn metric(server: &Server, name: &str) -> f64 {
+    let resp = client::get(server.local_addr(), "/metrics", TIMEOUT).expect("GET /metrics");
+    assert_eq!(resp.status, 200);
+    let v = parse_line(&resp.text()).expect("metrics body parses");
+    v.get(name)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("metrics has no `{name}`: {}", resp.text()))
+}
+
+/// Rewrites the store header's version word to 1, turning the directory
+/// into a faithful stand-in for one written before the objective refactor
+/// (QoM record payloads are byte-identical between versions 1 and 2).
+fn downgrade_store_header(dir: &std::path::Path) {
+    let path = dir.join(evcap_store::STORE_FILE);
+    let mut file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .expect("open store file");
+    file.seek(SeekFrom::Start(4)).unwrap();
+    file.write_all(&1u32.to_le_bytes()).unwrap();
+    file.sync_data().unwrap();
+}
+
+#[test]
+fn pre_objective_store_and_cache_keys_survive_the_refactor() {
+    let dir = scratch_dir("v1");
+
+    // Phase A — populate a store the pre-refactor way: no `objective`
+    // field anywhere, then stamp the file as version 1.
+    let body = br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","horizon":4096}"#;
+    let server = Server::start(test_config(Some(&dir))).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let first = conn.request("POST", "/v1/solve", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(metric(&server, "store_appends"), 1.0);
+    let reference = first.body.clone();
+    drop(conn);
+    server.shutdown();
+    downgrade_store_header(&dir);
+
+    // Phase B — a post-refactor server against the v1 directory: the
+    // request with `objective` omitted loads the stored record (a disk
+    // hit, not a reject), and the explicit-`qom` spelling lands on the
+    // very same response-cache entry.
+    let server = Server::start(test_config(Some(&dir))).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let omitted = conn.request("POST", "/v1/solve", body).unwrap();
+    assert_eq!(omitted.status, 200, "{}", omitted.text());
+    assert_eq!(omitted.cache.as_deref(), Some("miss"), "hot tier is empty");
+    assert_eq!(metric(&server, "store_hits"), 1.0);
+    assert_eq!(metric(&server, "store_rejects"), 0.0);
+    assert_eq!(
+        omitted.body, reference,
+        "a version-1 record replays the pre-refactor bytes"
+    );
+
+    let explicit = br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","horizon":4096,"objective":"qom"}"#;
+    let second = conn.request("POST", "/v1/solve", explicit).unwrap();
+    assert_eq!(second.cache.as_deref(), Some("hit"), "same cache key");
+    assert_eq!(second.body, reference);
+
+    // Same equivalence on `/v1/simulate`.
+    let sim_omitted =
+        br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","slots":5000,"seed":7,"horizon":4096}"#;
+    let sim_explicit = br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","slots":5000,"seed":7,"horizon":4096,"objective":"qom"}"#;
+    let first = conn.request("POST", "/v1/simulate", sim_omitted).unwrap();
+    let second = conn.request("POST", "/v1/simulate", sim_explicit).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    assert_eq!(first.body, second.body);
+    assert!(
+        !first.text().contains("\"objective\""),
+        "default bodies stay objective-free"
+    );
+
+    drop(conn);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn age_objective_artifacts_round_trip_the_store() {
+    let dir = scratch_dir("aoi");
+    let body = br#"{"dist":"weibull:40,3","e":0.2,"policy":"clustering","objective":"aoi-mean","horizon":4096}"#;
+
+    let server = Server::start(test_config(Some(&dir))).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let first = conn.request("POST", "/v1/solve", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(metric(&server, "store_appends"), 1.0);
+    let v = parse_line(&first.text()).unwrap();
+    assert_eq!(
+        v.get("objective").and_then(JsonValue::as_str),
+        Some("aoi-mean")
+    );
+    assert!(v
+        .get("objective_value")
+        .and_then(JsonValue::as_f64)
+        .is_some_and(f64::is_finite));
+    let reference = first.body.clone();
+    drop(conn);
+    server.shutdown();
+
+    // Warm restart: the age-objective record loads from disk, passes
+    // certification, and replays byte-identically.
+    let server = Server::start(test_config(Some(&dir))).expect("bind");
+    let mut conn = Conn::connect(server.local_addr(), TIMEOUT).unwrap();
+    let warm = conn.request("POST", "/v1/solve", body).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.text());
+    assert_eq!(metric(&server, "store_hits"), 1.0);
+    assert_eq!(metric(&server, "store_rejects"), 0.0);
+    assert_eq!(warm.body, reference);
+    drop(conn);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mixed_objective_traffic_is_distinguishable_end_to_end() {
+    let server = Server::start(test_config(None)).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = Conn::connect(addr, TIMEOUT).unwrap();
+
+    // Same physics, three objectives: three distinct cache entries.
+    let qom = br#"{"dist":"det:11","e":0.3,"horizon":1024}"#;
+    let mean = br#"{"dist":"det:11","e":0.3,"horizon":1024,"objective":"aoi-mean"}"#;
+    let peak = br#"{"dist":"det:11","e":0.3,"horizon":1024,"objective":"aoi-peak"}"#;
+    for body in [&qom[..], mean, peak] {
+        let resp = conn.request("POST", "/v1/solve", body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(resp.cache.as_deref(), Some("miss"));
+    }
+    assert_eq!(metric(&server, "solve_cache_misses"), 3.0);
+    assert_eq!(metric(&server, "objective_requests_qom"), 1.0);
+    assert_eq!(metric(&server, "objective_requests_aoi_mean"), 1.0);
+    assert_eq!(metric(&server, "objective_requests_aoi_peak"), 1.0);
+
+    // The Prometheus exposition carries the same labelled counters.
+    let scrape = conn
+        .request("GET", "/metrics?format=prometheus", b"")
+        .unwrap();
+    let samples = prometheus::parse(&scrape.text()).expect("scrape parses");
+    for objective in ["qom", "aoi-mean", "aoi-peak"] {
+        assert_eq!(
+            prometheus::find(
+                &samples,
+                "evcap_objective_requests_total",
+                &[("objective", objective)]
+            ),
+            Some(1.0),
+            "{objective}"
+        );
+    }
+
+    // The flight recorder tags each summary with its objective; routes
+    // without a scenario stay `none`.
+    let resp = conn.request("GET", "/debug/recent", b"").unwrap();
+    let v = parse_line(&resp.text()).expect("recent body parses");
+    let requests = v.get("requests").and_then(JsonValue::as_array).unwrap();
+    let objectives: Vec<&str> = requests
+        .iter()
+        .filter_map(|r| r.get("objective").and_then(JsonValue::as_str))
+        .collect();
+    assert_eq!(objectives.len(), requests.len(), "{}", resp.text());
+    assert_eq!(&objectives[..3], ["qom", "aoi-mean", "aoi-peak"]);
+    assert!(
+        objectives[3..].iter().all(|o| *o == "none"),
+        "scenario-free routes stay untagged: {objectives:?}"
+    );
+    server.shutdown();
+}

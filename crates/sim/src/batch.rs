@@ -313,6 +313,8 @@ impl<'a> ReplicationBatch<'a> {
         }
         let qom: Vec<f64> = reports.iter().map(SimReport::qom).collect();
         let discharge: Vec<f64> = reports.iter().map(SimReport::discharge_rate).collect();
+        let mean_age_values: Vec<f64> = reports.iter().map(SimReport::mean_age).collect();
+        let peak_age = reports.iter().map(|r| r.peak_age).max().unwrap_or(0);
         let mut events = 0u64;
         let mut captures = 0u64;
         let mut activations = 0u64;
@@ -352,6 +354,8 @@ impl<'a> ReplicationBatch<'a> {
             forced_idle,
             mean_final_fill,
             mean_capture_gap,
+            mean_age: Summary::from_values(&mean_age_values),
+            peak_age,
             reports,
         })
     }
@@ -405,6 +409,12 @@ pub struct BatchReport {
     /// Pooled mean slots between fleet-wide captures (post-warm-up), or
     /// `None` if nothing was captured.
     pub mean_capture_gap: Option<f64>,
+    /// Mean / sample std-dev / CI of the per-replication mean age of
+    /// information ([`SimReport::mean_age`]).
+    pub mean_age: Summary,
+    /// Largest age of information observed in any replication's measured
+    /// window.
+    pub peak_age: u64,
 }
 
 impl BatchReport {

@@ -375,6 +375,9 @@ impl<'a> Simulation<'a> {
         let mut own_last_capture = vec![0u64; self.sensors]; // independent PI
         let mut events: u64 = 0;
         let mut captures: u64 = 0;
+        let mut measured_slots: u64 = 0;
+        let mut age_sum: u64 = 0;
+        let mut peak_age: u64 = 0;
         // Reused per slot; indices of sensors that are active this slot.
         let mut active_sensors: Vec<usize> = Vec::with_capacity(self.sensors);
         // Battery snapshots are the one observer hook with a non-trivial
@@ -563,6 +566,18 @@ impl<'a> Simulation<'a> {
                 last_event = t;
             }
 
+            // 4. Age of information once the slot resolves: slots since the
+            //    last fleet-wide capture (0 in a capture slot). Integer
+            //    accumulation keeps the SoA engine bit-identical.
+            if measured {
+                let age = t - shared_last_capture;
+                age_sum += age;
+                if age > peak_age {
+                    peak_age = age;
+                }
+                measured_slots += 1;
+            }
+
             if let Some(mut record) = trace_slot {
                 record.event = event;
                 record.captured = event && record.active && captured_by_any;
@@ -605,6 +620,9 @@ impl<'a> Simulation<'a> {
             events,
             captures,
             sensors: stats,
+            measured_slots,
+            age_sum,
+            peak_age,
             trace,
             battery_trace,
         })

@@ -78,6 +78,14 @@ pub struct SimReport {
     pub captures: u64,
     /// Per-sensor accounting.
     pub sensors: Vec<SensorStats>,
+    /// Slots counted toward the age statistics (the post-warmup horizon).
+    pub measured_slots: u64,
+    /// Sum over measured slots of the age of information — slots since the
+    /// last fleet-wide capture (0 in a capture slot). Integer, so the
+    /// scalar and SoA engines agree bit for bit.
+    pub age_sum: u64,
+    /// Largest age observed in a measured slot.
+    pub peak_age: u64,
     /// Recorded per-slot trace (empty unless tracing was enabled).
     pub trace: Vec<TraceRecord>,
     /// Sampled battery levels (empty unless sampling was enabled).
@@ -85,6 +93,15 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Time-average age of information over the measured horizon, in slots
+    /// (0.0 for an empty measurement window).
+    pub fn mean_age(&self) -> f64 {
+        if self.measured_slots == 0 {
+            0.0
+        } else {
+            self.age_sum as f64 / self.measured_slots as f64
+        }
+    }
     /// The achieved quality of monitoring `U_K(π)` — Eq. (1): fraction of
     /// events captured in the slot they occurred. Returns 1.0 for an
     /// event-free run (nothing was missed).
@@ -163,6 +180,9 @@ mod tests {
             events,
             captures,
             sensors,
+            measured_slots: 0,
+            age_sum: 0,
+            peak_age: 0,
             trace: vec![],
             battery_trace: vec![],
         }
@@ -202,6 +222,17 @@ mod tests {
         assert_eq!(r.total_activations(), 7);
         assert_eq!(r.total_forced_idle(), 3);
         assert_eq!(r.total_outage_slots(), 12);
+    }
+
+    #[test]
+    fn mean_age_divides_by_measured_slots() {
+        let mut r = report(5, 3, vec![]);
+        r.measured_slots = 50;
+        r.age_sum = 125;
+        r.peak_age = 9;
+        assert!((r.mean_age() - 2.5).abs() < 1e-12);
+        r.measured_slots = 0;
+        assert_eq!(r.mean_age(), 0.0);
     }
 
     #[test]

@@ -156,6 +156,8 @@ fn run_chunk_inner<P: ProbSource, const PHASED: bool>(
     let mut shared_last_capture = vec![0u64; reps];
     let mut events = vec![0u64; reps];
     let mut captures = vec![0u64; reps];
+    let mut age_sum = vec![0u64; reps];
+    let mut peak_age = vec![0u64; reps];
     let mut next_event = vec![0usize; reps];
     let mut rngs: Vec<SmallRng> = seeds
         .iter()
@@ -460,6 +462,15 @@ fn run_chunk_inner<P: ProbSource, const PHASED: bool>(
                 }
                 last_event[r] = t;
             }
+            // Age of information once the slot resolves, mirroring the
+            // scalar engine's integer accumulation bit for bit.
+            if measured {
+                let age = t - shared_last_capture[r];
+                age_sum[r] += age;
+                if age > peak_age[r] {
+                    peak_age[r] = age;
+                }
+            }
             if tracing {
                 if let Some(mut record) = trace_pending[r].take() {
                     record.event = event;
@@ -524,6 +535,9 @@ fn run_chunk_inner<P: ProbSource, const PHASED: bool>(
             events: events[r],
             captures: captures[r],
             sensors: stats,
+            measured_slots: sim.slots - sim.warmup_slots,
+            age_sum: age_sum[r],
+            peak_age: peak_age[r],
             trace: std::mem::take(&mut traces[r]),
             battery_trace: std::mem::take(&mut battery_traces[r]),
         });

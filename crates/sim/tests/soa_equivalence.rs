@@ -154,6 +154,19 @@ proptest! {
                 &report.reports, &scalar,
                 "per-seed reports diverged from scalar runs at threads={}", threads
             );
+            // Age-of-information statistics, explicitly: the integer
+            // accumulators must match the scalar engine bit for bit and
+            // satisfy their internal invariants at every thread count.
+            for (batched, reference) in report.reports.iter().zip(&scalar) {
+                prop_assert_eq!(
+                    (batched.measured_slots, batched.age_sum, batched.peak_age),
+                    (reference.measured_slots, reference.age_sum, reference.peak_age),
+                    "age statistics diverged at threads={}", threads
+                );
+                prop_assert_eq!(batched.measured_slots, slots - warmup);
+                prop_assert!(batched.age_sum <= batched.measured_slots * batched.peak_age.max(1));
+                prop_assert_eq!(batched.mean_age().to_bits(), reference.mean_age().to_bits());
+            }
             reductions.push(report);
         }
         for r in &reductions[1..] {

@@ -28,7 +28,10 @@
 mod parse;
 mod scenario;
 
-pub use parse::{canonical_dist, canonical_recharge, parse_dist, parse_recharge, SpecError};
+pub use evcap_core::Objective;
+pub use parse::{
+    canonical_dist, canonical_recharge, parse_dist, parse_objective, parse_recharge, SpecError,
+};
 pub use scenario::{
     rehydrate, solve, solve_with_hint, PolicyParams, PolicySpec, Regions, Scenario, SolveError,
     SolveMeta, SolvedPolicy, DEFAULT_HORIZON,

@@ -13,6 +13,7 @@
 
 use std::fmt;
 
+use evcap_core::Objective;
 use evcap_dist::{
     Deterministic, Discretizer, EmpiricalGaps, Erlang, Exponential, HyperExponential, InterArrival,
     LogNormal, MarkovEvents, Pareto, SlotPmf, UniformArrival, Weibull,
@@ -161,6 +162,18 @@ pub fn canonical_dist(spec: &str) -> Result<String, SpecError> {
 /// arguments.
 pub fn canonical_recharge(spec: &str) -> Result<String, SpecError> {
     canonicalize(spec, RECHARGE_NAMES, "recharge process")
+}
+
+/// Parses an optimization-objective name as it appears on the wire or on
+/// argv (`qom`, `aoi-mean`, `aoi-peak`); the canonical spelling is
+/// [`Objective::name`].
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown names.
+pub fn parse_objective(spec: &str) -> Result<Objective, SpecError> {
+    Objective::parse(spec)
+        .ok_or_else(|| err(spec, "unknown objective (try qom, aoi-mean, aoi-peak)"))
 }
 
 /// Parses a distribution spec into a slotted pmf.
@@ -420,6 +433,15 @@ mod tests {
         assert!(parse_recharge("bernoulli:1.5,1").is_err());
         assert!(parse_recharge("periodic:5,2.5").is_err());
         assert!(parse_recharge("solar:1").is_err());
+    }
+
+    #[test]
+    fn parses_objectives() {
+        assert_eq!(parse_objective("qom").unwrap(), Objective::Qom);
+        assert_eq!(parse_objective(" aoi-mean ").unwrap(), Objective::AoiMean);
+        assert_eq!(parse_objective("aoi-peak").unwrap(), Objective::AoiPeak);
+        let e = parse_objective("freshness").unwrap_err();
+        assert!(e.reason.contains("aoi-mean"), "{e}");
     }
 
     #[test]

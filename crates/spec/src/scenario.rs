@@ -24,9 +24,10 @@
 use std::fmt;
 
 use evcap_core::{
-    ActivationPolicy, AggressivePolicy, ClusterEvaluation, ClusteringOptimizer, ClusteringPolicy,
-    DecisionContext, EnergyBudget, EvalOptions, GreedyPolicy, InfoModel, MyopicPolicy,
-    PeriodicPolicy, PolicyTable,
+    evaluate_partial_info_moments, greedy_cycle_moments, ActivationPolicy, AggressivePolicy,
+    ClusterEvaluation, ClusteringOptimizer, ClusteringPolicy, CycleMoments, DecisionContext,
+    EnergyBudget, EvalOptions, GreedyPolicy, InfoModel, MyopicPolicy, Objective, PeriodicPolicy,
+    PolicyTable,
 };
 use evcap_dist::SlotPmf;
 use evcap_energy::{ConsumptionModel, Energy};
@@ -121,6 +122,7 @@ pub struct Scenario {
     dist: String,
     recharge: String,
     policy: PolicySpec,
+    objective: Objective,
     e: f64,
     delta1: f64,
     delta2: f64,
@@ -151,6 +153,7 @@ impl Scenario {
             dist,
             recharge,
             policy,
+            objective: Objective::Qom,
             e,
             delta1: 1.0,
             delta2: 6.0,
@@ -168,6 +171,14 @@ impl Scenario {
     pub fn with_recharge(mut self, spec: &str) -> Result<Self, SpecError> {
         self.recharge = canonical_recharge(spec)?;
         Ok(self)
+    }
+
+    /// Replaces the optimization objective (defaults to
+    /// [`Objective::Qom`], the paper's metric).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Replaces the per-slot sensing (`δ1`) and capture (`δ2`) costs.
@@ -219,6 +230,11 @@ impl Scenario {
         &mut self.policy
     }
 
+    /// The metric the solve optimizes (and reports).
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
     /// Mean recharge rate `e` per sensor (units per slot).
     pub fn e(&self) -> f64 {
         self.e
@@ -261,7 +277,7 @@ impl Scenario {
     /// `bernoulli:0.5,1`) collapse onto one key. This is the key of the
     /// server's artifact cache.
     pub fn canonical_key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}|{}|r={}|e={}|d1={}|d2={}|k={}|h={}|n={}",
             self.policy.key(),
             self.dist,
@@ -272,7 +288,14 @@ impl Scenario {
             self.battery,
             self.horizon,
             self.sensors,
-        )
+        );
+        // The default objective (QoM) is elided so every key minted before
+        // objectives existed keeps hitting the same cache entries.
+        if !self.objective.is_default() {
+            key.push_str("|obj=");
+            key.push_str(self.objective.name());
+        }
+        key
     }
 }
 
@@ -367,9 +390,20 @@ pub struct SolveMeta {
     pub label: String,
     /// What the policy observes.
     pub info: InfoModel,
-    /// The solver's objective `U(π*)` — ideal QoM under the energy
-    /// assumption — when the family reports one.
+    /// The solver's ideal QoM `U(π*)` under the energy assumption — when
+    /// the family reports one. Always QoM regardless of
+    /// [`SolveMeta::objective_kind`], so historical renderers keep their
+    /// meaning.
     pub objective: Option<f64>,
+    /// Which metric the solve optimized (the scenario's
+    /// [`Scenario::objective`]).
+    pub objective_kind: Objective,
+    /// The solved policy's value under `objective_kind`, in natural units
+    /// (a probability for QoM, slots for the age objectives), when the
+    /// family reports one. Equal to `objective` under QoM; derived from
+    /// the deterministic cycle moments otherwise, so [`rehydrate`]
+    /// reproduces it bit for bit.
+    pub objective_value: Option<f64>,
     /// Planned battery discharge rate (units per slot), when known.
     pub discharge_rate: Option<f64>,
     /// Expected capture-cycle length in slots (clustering/myopic).
@@ -458,6 +492,42 @@ fn unsolvable(e: impl fmt::Display) -> SolveError {
     SolveError::Unsolvable(e.to_string())
 }
 
+/// The solve's reported value under `objective`, in natural units.
+///
+/// QoM reuses the family's ideal-QoM report; the age objectives read the
+/// deterministic capture-cycle moments. Both [`solve`] and [`rehydrate`]
+/// feed this from the same deterministic computations, so the two sides
+/// agree bit for bit. `None` when the family reports neither (aggressive,
+/// periodic).
+fn objective_value(
+    objective: Objective,
+    qom: Option<f64>,
+    moments: Option<&CycleMoments>,
+) -> Option<f64> {
+    match objective {
+        Objective::Qom => qom,
+        Objective::AoiMean => moments.map(CycleMoments::mean_age),
+        Objective::AoiPeak => moments.map(CycleMoments::peak_age),
+    }
+}
+
+/// Capture-cycle moments of a partial-information policy under the
+/// stationary information model — the shared deterministic routine behind
+/// the clustering and myopic `objective_value` reports.
+fn stationary_moments(
+    pmf: &SlotPmf,
+    policy: &dyn ActivationPolicy,
+    consumption: &ConsumptionModel,
+) -> CycleMoments {
+    evaluate_partial_info_moments(
+        pmf,
+        |i| policy.probability(&DecisionContext::stationary(i)),
+        consumption,
+        EvalOptions::default(),
+    )
+    .1
+}
+
 /// Solves a scenario into a reusable [`SolvedPolicy`] artifact.
 ///
 /// This is the **only** policy-construction site shared by the CLI, the
@@ -499,14 +569,20 @@ pub fn solve_with_hint(
     )
     .map_err(unsolvable)?;
     let budget = EnergyBudget::per_slot(scenario.e() * scenario.sensors() as f64);
+    let objective = scenario.objective();
 
     type Boxed = Box<dyn ActivationPolicy + Send + Sync>;
     let (policy, params, meta): (Boxed, PolicyParams, SolveMeta) = match scenario.policy() {
         PolicySpec::Greedy => {
+            // Water-filling maximizes the capture probability `q`; with
+            // `E[T] = μ/q` that same policy minimizes the peak age, and it
+            // stands in as the (reported, not re-optimized) candidate under
+            // the mean-age objective.
             let g = GreedyPolicy::optimize(&pmf, budget, &consumption).map_err(unsolvable)?;
             let horizon = g.horizon();
             let funded = (1..=horizon).filter(|&i| g.coefficient(i) > 0.0).count() as u64
                 + u64::from(g.coefficient(horizon + 1) > 0.0);
+            let moments = (!objective.is_default()).then(|| greedy_cycle_moments(&pmf, &g));
             let params = PolicyParams::Greedy {
                 coefficients: (1..=horizon).map(|i| g.coefficient(i)).collect(),
                 tail_coefficient: g.coefficient(horizon + 1),
@@ -517,6 +593,8 @@ pub fn solve_with_hint(
                 label: g.label(),
                 info: g.info_model(),
                 objective: Some(g.ideal_qom()),
+                objective_kind: objective,
+                objective_value: objective_value(objective, Some(g.ideal_qom()), moments.as_ref()),
                 discharge_rate: Some(g.discharge_rate()),
                 expected_cycle: None,
                 regions: None,
@@ -527,8 +605,11 @@ pub fn solve_with_hint(
         }
         PolicySpec::Clustering => {
             let (p, eval, candidates) = ClusteringOptimizer::new(budget)
+                .objective(objective)
                 .optimize_counted_with_hint(&pmf, &consumption, hint)
                 .map_err(unsolvable)?;
+            let moments =
+                (!objective.is_default()).then(|| stationary_moments(&pmf, &p, &consumption));
             let params = PolicyParams::Clustering {
                 n1: p.n1(),
                 n2: p.n2(),
@@ -539,6 +620,12 @@ pub fn solve_with_hint(
                 label: p.label(),
                 info: p.info_model(),
                 objective: Some(eval.capture_probability),
+                objective_kind: objective,
+                objective_value: objective_value(
+                    objective,
+                    Some(eval.capture_probability),
+                    moments.as_ref(),
+                ),
                 discharge_rate: Some(eval.discharge_rate),
                 expected_cycle: Some(eval.expected_cycle),
                 regions: Some(Regions {
@@ -558,6 +645,8 @@ pub fn solve_with_hint(
                 label: p.label(),
                 info: p.info_model(),
                 objective: None,
+                objective_kind: objective,
+                objective_value: None,
                 discharge_rate: p.planned_discharge_rate(),
                 expected_cycle: None,
                 regions: None,
@@ -577,6 +666,8 @@ pub fn solve_with_hint(
                 label: p.label(),
                 info: p.info_model(),
                 objective: None,
+                objective_kind: objective,
+                objective_value: None,
                 discharge_rate: p.planned_discharge_rate(),
                 expected_cycle: None,
                 regions: None,
@@ -591,6 +682,8 @@ pub fn solve_with_hint(
                 MyopicPolicy::derive(&pmf, budget, &consumption, window, EvalOptions::default())
                     .map_err(unsolvable)?;
             let eval = p.evaluation();
+            let moments =
+                (!objective.is_default()).then(|| stationary_moments(&pmf, &p, &consumption));
             let params = PolicyParams::Myopic {
                 active: (1..=window).map(|i| p.active(i)).collect(),
                 threshold: p.threshold(),
@@ -600,6 +693,12 @@ pub fn solve_with_hint(
                 label: p.label(),
                 info: p.info_model(),
                 objective: Some(eval.capture_probability),
+                objective_kind: objective,
+                objective_value: objective_value(
+                    objective,
+                    Some(eval.capture_probability),
+                    moments.as_ref(),
+                ),
                 discharge_rate: Some(eval.discharge_rate),
                 expected_cycle: Some(eval.expected_cycle),
                 regions: None,
@@ -679,6 +778,7 @@ pub fn rehydrate(
         )));
     }
     let budget = EnergyBudget::per_slot(rate);
+    let objective = scenario.objective();
 
     type Boxed = Box<dyn ActivationPolicy + Send + Sync>;
     let (policy, meta): (Boxed, SolveMeta) = match params {
@@ -709,10 +809,13 @@ pub fn rehydrate(
             let horizon = g.horizon();
             let funded = (1..=horizon).filter(|&i| g.coefficient(i) > 0.0).count() as u64
                 + u64::from(g.coefficient(horizon + 1) > 0.0);
+            let moments = (!objective.is_default()).then(|| greedy_cycle_moments(&pmf, &g));
             let meta = SolveMeta {
                 label: g.label(),
                 info: g.info_model(),
                 objective: Some(g.ideal_qom()),
+                objective_kind: objective,
+                objective_value: objective_value(objective, Some(g.ideal_qom()), moments.as_ref()),
                 discharge_rate: Some(g.discharge_rate()),
                 expected_cycle: None,
                 regions: None,
@@ -737,10 +840,18 @@ pub fn rehydrate(
                     budget.rate()
                 )));
             }
+            let moments =
+                (!objective.is_default()).then(|| stationary_moments(&pmf, &p, &consumption));
             let meta = SolveMeta {
                 label: p.label(),
                 info: p.info_model(),
                 objective: Some(eval.capture_probability),
+                objective_kind: objective,
+                objective_value: objective_value(
+                    objective,
+                    Some(eval.capture_probability),
+                    moments.as_ref(),
+                ),
                 discharge_rate: Some(eval.discharge_rate),
                 expected_cycle: Some(eval.expected_cycle),
                 regions: Some(Regions {
@@ -760,6 +871,8 @@ pub fn rehydrate(
                 label: p.label(),
                 info: p.info_model(),
                 objective: None,
+                objective_kind: objective,
+                objective_value: None,
                 discharge_rate: p.planned_discharge_rate(),
                 expected_cycle: None,
                 regions: None,
@@ -783,6 +896,8 @@ pub fn rehydrate(
                 label: balanced.label(),
                 info: balanced.info_model(),
                 objective: None,
+                objective_kind: objective,
+                objective_value: None,
                 discharge_rate: balanced.planned_discharge_rate(),
                 expected_cycle: None,
                 regions: None,
@@ -807,10 +922,18 @@ pub fn rehydrate(
             let p = MyopicPolicy::from_parts(active.clone(), *threshold, *evaluation)
                 .map_err(unsolvable)?;
             let eval = p.evaluation();
+            let moments =
+                (!objective.is_default()).then(|| stationary_moments(&pmf, &p, &consumption));
             let meta = SolveMeta {
                 label: p.label(),
                 info: p.info_model(),
                 objective: Some(eval.capture_probability),
+                objective_kind: objective,
+                objective_value: objective_value(
+                    objective,
+                    Some(eval.capture_probability),
+                    moments.as_ref(),
+                ),
                 discharge_rate: Some(eval.discharge_rate),
                 expected_cycle: Some(eval.expected_cycle),
                 regions: None,
@@ -919,6 +1042,20 @@ mod tests {
     }
 
     #[test]
+    fn canonical_key_elides_the_default_objective() {
+        let base = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.5).unwrap();
+        let explicit = base.clone().with_objective(Objective::Qom);
+        // Explicit QoM spells the same key as before objectives existed.
+        assert_eq!(base.canonical_key(), explicit.canonical_key());
+        assert!(!base.canonical_key().contains("obj="));
+        let mean = base.clone().with_objective(Objective::AoiMean);
+        let peak = base.clone().with_objective(Objective::AoiPeak);
+        assert!(mean.canonical_key().ends_with("|obj=aoi-mean"));
+        assert!(peak.canonical_key().ends_with("|obj=aoi-peak"));
+        assert_ne!(mean.canonical_key(), peak.canonical_key());
+    }
+
+    #[test]
     fn canonical_key_separates_different_scenarios() {
         let base = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.5).unwrap();
         let keys = [
@@ -1015,6 +1152,60 @@ mod tests {
                     solved.probability(state).to_bits(),
                     rebuilt.probability(state).to_bits(),
                     "{name} state {state}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_objective_meta_mirrors_the_qom_report() {
+        for name in ["greedy", "clustering", "aggressive", "periodic", "myopic"] {
+            let policy = PolicySpec::parse(name).unwrap();
+            let s = Scenario::new("weibull:40,3", policy, 0.5)
+                .unwrap()
+                .with_horizon(4_096);
+            let solved = solve(&s).expect(name);
+            assert_eq!(solved.meta.objective_kind, Objective::Qom, "{name}");
+            assert_eq!(solved.meta.objective_value, solved.meta.objective, "{name}");
+        }
+    }
+
+    #[test]
+    fn age_objectives_solve_and_rehydrate_bit_identically() {
+        for (name, objective) in [
+            ("greedy", Objective::AoiMean),
+            ("greedy", Objective::AoiPeak),
+            ("clustering", Objective::AoiMean),
+            ("clustering", Objective::AoiPeak),
+            ("myopic", Objective::AoiMean),
+            ("aggressive", Objective::AoiMean),
+            ("periodic", Objective::AoiPeak),
+        ] {
+            let policy = PolicySpec::parse(name).unwrap();
+            let s = Scenario::new("weibull:40,3", policy, 0.5)
+                .unwrap()
+                .with_horizon(4_096)
+                .with_objective(objective);
+            let solved = solve(&s).expect(name);
+            assert_eq!(solved.meta.objective_kind, objective, "{name}");
+            match name {
+                // Age values are slot counts: finite and at least the
+                // single-gap floor of the event process.
+                "greedy" | "clustering" | "myopic" => {
+                    let value = solved.meta.objective_value.expect(name);
+                    let floor = objective.value_floor(&solved.pmf).unwrap();
+                    assert!(value >= floor - 1e-9, "{name}: {value} < floor {floor}");
+                    assert!(value.is_finite(), "{name}");
+                }
+                _ => assert_eq!(solved.meta.objective_value, None, "{name}"),
+            }
+            let rebuilt = rehydrate(&s, &solved.params, solved.meta.iterations).expect(name);
+            assert_eq!(solved.meta, rebuilt.meta, "{name} {objective} meta");
+            for state in 1..=64 {
+                assert_eq!(
+                    solved.probability(state).to_bits(),
+                    rebuilt.probability(state).to_bits(),
+                    "{name} {objective} state {state}"
                 );
             }
         }

@@ -4,7 +4,7 @@
 //! ```text
 //! file   := MAGIC "EVST" | VERSION u32 | record*
 //! record := len u32 | crc32(payload) u32 | payload[len]
-//! payload:= scenario | iterations u64 | params
+//! payload:= [0xFF objective u8] scenario | iterations u64 | params
 //! ```
 //!
 //! All integers are little-endian; floats are stored as their raw IEEE-754
@@ -12,14 +12,31 @@
 //! `u32` length prefix. Greedy coefficient vectors are run-length encoded
 //! (water-filling produces long runs of equal coefficients); myopic
 //! activation windows are stored as a bitset.
+//!
+//! **Version 2** adds the optional objective prefix: a scenario solved for
+//! a non-default [`Objective`] opens with the marker byte `0xFF` (never a
+//! valid policy tag) followed by the objective's stable index. A scenario
+//! solved for QoM encodes *byte-identically* to version 1, so every record
+//! written by a v1 build decodes here (objective = QoM) and every QoM
+//! record written here is readable as a v1 payload.
 
+use evcap_core::Objective;
 use evcap_spec::{PolicyParams, PolicySpec, Scenario};
 
 /// File magic: the first four bytes of every store file.
 pub const MAGIC: [u8; 4] = *b"EVST";
 
 /// Current format version; bumped on any incompatible layout change.
-pub const VERSION: u32 = 1;
+/// Version 1 files remain readable (see [`MIN_VERSION`]).
+pub const VERSION: u32 = 2;
+
+/// Oldest format version this build still decodes.
+pub const MIN_VERSION: u32 = 1;
+
+/// Marker byte opening the payload of a record whose scenario carries a
+/// non-default objective. Sits far above every policy tag so a sniff of
+/// the first byte distinguishes the layouts unambiguously.
+const OBJECTIVE_MARKER: u8 = 0xFF;
 
 /// Upper bound on decoded vector lengths (coefficients, activation bits):
 /// far above any real discretization horizon, low enough that a corrupted
@@ -95,7 +112,12 @@ fn policy_tag(policy: PolicySpec) -> u8 {
 pub fn encode(scenario: &Scenario, params: &PolicyParams, iterations: u64) -> Vec<u8> {
     let mut buf = Vec::with_capacity(128);
     // Scenario prefix — decodable on its own so a scan can still index a
-    // record whose later bytes are damaged.
+    // record whose later bytes are damaged. The default objective (QoM) is
+    // elided so those records stay byte-identical to format version 1.
+    if !scenario.objective().is_default() {
+        put_u8(&mut buf, OBJECTIVE_MARKER);
+        put_u8(&mut buf, scenario.objective().index() as u8);
+    }
     put_u8(&mut buf, policy_tag(scenario.policy()));
     if let PolicySpec::Periodic { theta1 } = scenario.policy() {
         put_u64(&mut buf, theta1);
@@ -243,7 +265,17 @@ impl<'a> Reader<'a> {
 /// and the reader positioned at the `iterations` field.
 fn decode_scenario_inner(payload: &[u8]) -> Result<(Scenario, Reader<'_>), FormatError> {
     let mut r = Reader::new(payload);
-    let tag = r.u8()?;
+    let mut objective = Objective::Qom;
+    let mut tag = r.u8()?;
+    if tag == OBJECTIVE_MARKER {
+        let idx = r.u8()?;
+        // Index 0 (QoM) is rejected: the encoder always elides the default
+        // objective, so accepting it would give one scenario two spellings.
+        objective = Objective::from_index(idx as usize)
+            .filter(|o| !o.is_default())
+            .ok_or_else(|| r.err(format!("unknown objective tag {idx}")))?;
+        tag = r.u8()?;
+    }
     let policy = match tag {
         0 => PolicySpec::Greedy,
         1 => PolicySpec::Clustering,
@@ -270,7 +302,8 @@ fn decode_scenario_inner(payload: &[u8]) -> Result<(Scenario, Reader<'_>), Forma
         .with_costs(delta1, delta2)
         .with_battery(battery)
         .with_horizon(horizon)
-        .with_sensors(sensors);
+        .with_sensors(sensors)
+        .with_objective(objective);
     Ok((scenario, r))
 }
 
@@ -362,6 +395,46 @@ mod tests {
         // Standard IEEE CRC-32 check values.
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn qom_records_spell_the_version_1_layout_byte_for_byte() {
+        let scenario = Scenario::new("weibull:40,3", PolicySpec::Aggressive, 0.5).unwrap();
+        let explicit = scenario.clone().with_objective(Objective::Qom);
+        let payload = encode(&scenario, &PolicyParams::Aggressive, 0);
+        assert_eq!(payload, encode(&explicit, &PolicyParams::Aggressive, 0));
+        // No marker: the first byte is the policy tag, as in version 1.
+        assert_eq!(payload[0], policy_tag(PolicySpec::Aggressive));
+    }
+
+    #[test]
+    fn age_objectives_round_trip_through_the_marker_prefix() {
+        for objective in [Objective::AoiMean, Objective::AoiPeak] {
+            let scenario = Scenario::new("weibull:40,3", PolicySpec::Aggressive, 0.5)
+                .unwrap()
+                .with_objective(objective);
+            let payload = encode(&scenario, &PolicyParams::Aggressive, 3);
+            assert_eq!(payload[0], OBJECTIVE_MARKER);
+            assert_eq!(payload[1] as usize, objective.index());
+            let (decoded, params, iterations) = decode(&payload).unwrap();
+            assert_eq!(decoded, scenario);
+            assert_eq!(params, PolicyParams::Aggressive);
+            assert_eq!(iterations, 3);
+        }
+    }
+
+    #[test]
+    fn non_canonical_or_unknown_objective_tags_are_rejected() {
+        let scenario = Scenario::new("weibull:40,3", PolicySpec::Aggressive, 0.5)
+            .unwrap()
+            .with_objective(Objective::AoiMean);
+        let payload = encode(&scenario, &PolicyParams::Aggressive, 0);
+        for bad in [0u8, 3, 77] {
+            let mut tampered = payload.clone();
+            tampered[1] = bad;
+            let e = decode(&tampered).unwrap_err();
+            assert!(e.detail.contains("objective"), "tag {bad}: {e}");
+        }
     }
 
     #[test]

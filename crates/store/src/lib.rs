@@ -41,7 +41,7 @@ use evcap_spec::{PolicyParams, PolicySpec, Scenario, SolvedPolicy};
 
 pub mod format;
 
-use format::{crc32, FormatError, MAGIC, VERSION};
+use format::{crc32, FormatError, MAGIC, MIN_VERSION, VERSION};
 
 /// File name of the record log inside a store directory.
 pub const STORE_FILE: &str = "artifacts.evst";
@@ -56,11 +56,12 @@ pub enum StoreError {
         /// The four bytes actually found.
         found: [u8; 4],
     },
-    /// The file's format version is not the one this build writes.
+    /// The file's format version is newer than this build writes (or
+    /// older than it still decodes).
     WrongVersion {
         /// The version actually found.
         found: u32,
-        /// The version this build understands.
+        /// The newest version this build understands.
         expected: u32,
     },
     /// A record failed its checksum or structural decode.
@@ -98,7 +99,7 @@ impl fmt::Display for StoreError {
             Self::WrongVersion { found, expected } => {
                 write!(
                     f,
-                    "store format version {found} (this build reads {expected})"
+                    "store format version {found} (this build reads up to {expected})"
                 )
             }
             Self::Corrupt { offset, detail } => {
@@ -245,7 +246,9 @@ impl Store {
             return Err(StoreError::BadMagic { found });
         }
         let version = u32::from_le_bytes(header[4..].try_into().expect("four version bytes"));
-        if version != VERSION {
+        // v1 is decodable as-is (a v2 payload without the objective prefix
+        // is exactly a v1 payload), so both generations open here.
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(StoreError::WrongVersion {
                 found: version,
                 expected: VERSION,
@@ -756,6 +759,45 @@ mod tests {
         assert!(store.warm_hint(&alien).is_none());
         let greedy_target = Scenario::new("weibull:40,3", PolicySpec::Greedy, 0.5).unwrap();
         assert!(store.warm_hint(&greedy_target).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_1_files_still_open_and_load() {
+        // A store written before objectives existed: the same bytes a v1
+        // build produced (QoM payloads are unchanged), under a v1 header.
+        let dir = tmpdir("v1compat");
+        let artifact = solved(PolicySpec::Clustering, 0.5);
+        let key = artifact.scenario.canonical_key();
+        {
+            let mut store = Store::open(&dir).unwrap();
+            store.append(&artifact).unwrap();
+        }
+        let path = dir.join(STORE_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut store = Store::open(&dir).unwrap();
+        let loaded = store.load(&key).unwrap();
+        assert_eq!(artifact.meta, loaded.meta);
+        assert_eq!(loaded.scenario.objective(), evcap_core::Objective::Qom);
+        // Appends into the old-header file keep working; both generations
+        // of record coexist.
+        let aoi = {
+            let s = Scenario::new("weibull:40,3", PolicySpec::Clustering, 0.5)
+                .unwrap()
+                .with_horizon(4_096)
+                .with_objective(evcap_core::Objective::AoiMean);
+            solve(&s).unwrap()
+        };
+        store.append(&aoi).unwrap();
+        drop(store);
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        let back = store.load(&aoi.scenario.canonical_key()).unwrap();
+        assert_eq!(back.meta, aoi.meta);
+        assert!(store.verify().unwrap().is_clean());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -7,9 +7,9 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use evcap_core::ClusterEvaluation;
+use evcap_core::{ClusterEvaluation, Objective};
 use evcap_spec::{PolicyParams, PolicySpec, Scenario};
-use evcap_store::format::{self, crc32, MAGIC, VERSION};
+use evcap_store::format::{self, crc32, MAGIC, MIN_VERSION, VERSION};
 use evcap_store::{Store, StoreError, STORE_FILE};
 use proptest::prelude::*;
 
@@ -28,10 +28,16 @@ fn scratch(label: &str) -> PathBuf {
 /// Writes a syntactically valid store file containing `payloads` as
 /// records, bypassing [`Store`] so tests control every byte.
 fn write_store(dir: &Path, payloads: &[Vec<u8>]) {
+    write_store_versioned(dir, VERSION, payloads);
+}
+
+/// [`write_store`] with an explicit header version, for the v1/v2
+/// compatibility cases.
+fn write_store_versioned(dir: &Path, version: u32, payloads: &[Vec<u8>]) {
     std::fs::create_dir_all(dir).unwrap();
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&MAGIC);
-    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&version.to_le_bytes());
     for payload in payloads {
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         bytes.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -126,23 +132,42 @@ fn family_strategy() -> impl Strategy<Value = (PolicySpec, PolicyParams)> {
     ]
 }
 
-/// An arbitrary `(Scenario, PolicyParams, iterations)` artifact triple.
+fn objective_strategy() -> impl Strategy<Value = Objective> {
+    prop_oneof![
+        Just(Objective::Qom),
+        Just(Objective::AoiMean),
+        Just(Objective::AoiPeak),
+    ]
+}
+
+/// An arbitrary `(Scenario, PolicyParams, iterations)` artifact triple,
+/// spanning both record generations (QoM spells the v1 layout; the age
+/// objectives take the v2 marker prefix).
 fn artifact_strategy() -> impl Strategy<Value = (Scenario, PolicyParams, u64)> {
     (
         dist_strategy(),
         family_strategy(),
+        objective_strategy(),
         (0.05f64..1.5, 0.25f64..4.0, 0.5f64..16.0),
         (1.0f64..20.0, 64usize..8192, 1usize..8),
         0u64..1_000_000,
     )
         .prop_map(
-            |(dist, (policy, params), (e, delta1, delta2), (battery, horizon, sensors), iters)| {
+            |(
+                dist,
+                (policy, params),
+                objective,
+                (e, delta1, delta2),
+                (battery, horizon, sensors),
+                iters,
+            )| {
                 let scenario = Scenario::new(dist, policy, e)
                     .expect("pool specs are valid")
                     .with_costs(delta1, delta2)
                     .with_battery(battery)
                     .with_horizon(horizon)
-                    .with_sensors(sensors);
+                    .with_sensors(sensors)
+                    .with_objective(objective);
                 (scenario, params, iters)
             },
         )
@@ -254,23 +279,26 @@ proptest! {
 
     #[test]
     fn wrong_headers_are_structured_errors(
-        version in 2u32..1_000_000,
+        version in (VERSION + 1)..1_000_000,
         corrupt_byte in 0usize..4,
         tweak in 1u8..=255,
     ) {
-        // Wrong version, right magic.
+        // Unsupported versions — future (> VERSION) and prehistoric (0,
+        // below MIN_VERSION) — with the right magic.
         let dir = scratch("header");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC);
-        bytes.extend_from_slice(&version.to_le_bytes());
-        std::fs::write(dir.join(STORE_FILE), &bytes).unwrap();
-        match Store::open(&dir) {
-            Err(StoreError::WrongVersion { found, expected }) => {
-                prop_assert_eq!(found, version);
-                prop_assert_eq!(expected, VERSION);
+        for bad in [version, MIN_VERSION - 1] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&MAGIC);
+            bytes.extend_from_slice(&bad.to_le_bytes());
+            std::fs::write(dir.join(STORE_FILE), &bytes).unwrap();
+            match Store::open(&dir) {
+                Err(StoreError::WrongVersion { found, expected }) => {
+                    prop_assert_eq!(found, bad);
+                    prop_assert_eq!(expected, VERSION);
+                }
+                other => panic!("expected WrongVersion, got {other:?}"),
             }
-            other => panic!("expected WrongVersion, got {other:?}"),
         }
 
         // Wrong magic.
@@ -281,6 +309,39 @@ proptest! {
         bytes.extend_from_slice(&VERSION.to_le_bytes());
         std::fs::write(dir.join(STORE_FILE), &bytes).unwrap();
         prop_assert!(matches!(Store::open(&dir), Err(StoreError::BadMagic { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_generation_files_index_and_load_every_record(
+        artifacts in proptest::collection::vec(artifact_strategy(), 1..6),
+        v1_header in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        // A file holding both record generations at once — QoM records in
+        // the v1 byte layout next to marker-prefixed age records — under
+        // either accepted header version, must index fully and hand every
+        // record back with its objective intact.
+        let dir = scratch("mixed");
+        let mut seen = std::collections::HashMap::new();
+        for (s, p, i) in artifacts {
+            seen.insert(s.canonical_key(), (s, p, i));
+        }
+        let payloads: Vec<Vec<u8>> = seen
+            .values()
+            .map(|(s, p, i)| format::encode(s, p, *i))
+            .collect();
+        let version = if v1_header { MIN_VERSION } else { VERSION };
+        write_store_versioned(&dir, version, &payloads);
+
+        let mut store = Store::open(&dir).unwrap();
+        prop_assert_eq!(store.len(), seen.len());
+        for (key, (s, p, i)) in &seen {
+            let (rs, rp, ri) = store.load_record(key).unwrap();
+            prop_assert_eq!(&rs, s);
+            prop_assert_eq!(&rp, p);
+            prop_assert_eq!(ri, *i);
+            prop_assert_eq!(rs.objective(), s.objective());
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

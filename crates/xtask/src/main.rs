@@ -90,6 +90,12 @@ const RULES: &[(&str, &str)] = &[
         "crate-docs",
         "every crate root opens with //! documentation",
     ),
+    (
+        "objective-score",
+        "ranking candidates by raw capture_probability outside crates/core hard-codes the \
+         QoM objective; score through Objective::utility / greedy_utility so age objectives \
+         see the same candidate machinery",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -277,6 +283,15 @@ const SOLVE_NEEDLES: &[&str] = &[
     "AggressivePolicy::new(",
 ];
 
+/// Comparison spellings that rank candidates by raw capture probability.
+/// Outside crates/core — where the `Objective` abstraction owns scoring —
+/// such a comparison silently re-hard-codes the QoM objective.
+const OBJECTIVE_SCORE_NEEDLES: &[&str] = &[
+    "capture_probability >",
+    "capture_probability <",
+    "capture_probability.partial_cmp",
+];
+
 fn content_violations(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
     if file.is_test_file() || file.is_content_exempt() {
@@ -305,6 +320,22 @@ fn content_violations(file: &SourceFile) -> Vec<Violation> {
                         idx,
                         "solve-site",
                         format!("`{needle}..)` outside crates/spec — go through Scenario::solve()"),
+                    );
+                }
+            }
+        }
+
+        // objective-score
+        if !file.path.starts_with("crates/core/") {
+            for needle in OBJECTIVE_SCORE_NEEDLES {
+                if line.contains(needle) && !file.line_waived(idx, "objective-score") {
+                    push(
+                        idx,
+                        "objective-score",
+                        format!(
+                            "`{needle}` outside crates/core re-hard-codes QoM — rank through \
+                             Objective::utility"
+                        ),
                     );
                 }
             }
@@ -714,6 +745,24 @@ const CASES: &[Case] = &[
         label: "batch-soa with an escape passes",
         path: "crates/sim/src/batch.rs",
         content: "fn f() {\n    // tidy:allow(batch-soa): equivalence check against the scalar engine\n    let report = sim.run_core(schedule, info, &prob, &mut mk, &mut obs);\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "objective-score fires on raw QoM ranking outside core",
+        path: "crates/spec/src/seeded.rs",
+        content: "fn f() {\n    if eval.capture_probability > best.capture_probability {\n        best = eval;\n    }\n}\n",
+        expect: &["objective-score"],
+    },
+    Case {
+        label: "objective-score is legal inside crates/core",
+        path: "crates/core/src/seeded.rs",
+        content: "fn f() {\n    if eval.capture_probability > best.capture_probability {\n        best = eval;\n    }\n}\n",
+        expect: &[],
+    },
+    Case {
+        label: "objective-score with an escape passes",
+        path: "crates/serve/src/seeded.rs",
+        content: "fn f() {\n    // tidy:allow(objective-score): feasibility floor, not a ranking\n    let ok = eval.capture_probability > 0.0;\n}\n",
         expect: &[],
     },
     Case {

@@ -169,3 +169,34 @@ fn ablation_load_balance_is_tight_for_weibull() {
         assert!(balance > 0.9, "N={n}: balance {balance}");
     }
 }
+
+#[test]
+fn objective_frontier_trades_capture_for_freshness() {
+    let (capture, age) = runners::objective_frontier(scale());
+    assert_eq!(capture.xs(), age.xs());
+    // At every budget the QoM-optimal policy captures at least as much
+    // (up to simulation noise) — that is what it optimizes…
+    for (i, &e) in capture.xs().iter().enumerate() {
+        let qom = capture.series("qom-optimal").points[i].1;
+        let aoi = capture.series("aoi-optimal").points[i].1;
+        assert!(
+            qom >= aoi - 0.02,
+            "e={e}: qom-optimal {qom} vs aoi-optimal {aoi}"
+        );
+    }
+    // …and at least one budget buys measurably fresher information: the
+    // two objectives genuinely pick different policies. The starkest form
+    // is an infinite qom-optimal age (the capture objective abandons a
+    // slow PoI entirely) against a finite aoi-optimal one.
+    let fresher = age
+        .xs()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| {
+            let qom = age.series("qom-optimal").points[i].1;
+            let aoi = age.series("aoi-optimal").points[i].1;
+            aoi.is_finite() && (qom.is_infinite() || aoi < qom * 0.97)
+        })
+        .count();
+    assert!(fresher >= 1, "age panel never separates:\n{age}");
+}
