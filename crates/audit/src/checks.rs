@@ -624,9 +624,9 @@ fn check_objective_value(scenario: &Scenario, solved: &SolvedPolicy, opts: &Audi
             if value.is_nan() || value < 0.0 {
                 return fail(NAME, format!("{kind} value {value} is not an age"));
             }
-            let floor = kind
-                .value_floor(&solved.pmf)
-                .expect("age objectives have a floor");
+            let Some(floor) = kind.value_floor(&solved.pmf) else {
+                return fail(NAME, format!("{kind} reports no value floor"));
+            };
             let slack = opts.energy_tol * floor.max(1.0);
             if value < floor - slack {
                 return fail(

@@ -144,12 +144,7 @@ impl GreedyPolicy {
 
         // Remark 1: sort by conditional probability, best first; ties go to
         // the earlier slot (load-balancing-friendly and deterministic).
-        items.sort_by(|a, b| {
-            b.hazard
-                .partial_cmp(&a.hazard)
-                .expect("hazards are finite")
-                .then(a.slot.cmp(&b.slot))
-        });
+        items.sort_by(|a, b| b.hazard.total_cmp(&a.hazard).then(a.slot.cmp(&b.slot)));
 
         let mut remaining = per_renewal;
         let mut coefficients = vec![0.0; horizon];

@@ -118,6 +118,7 @@ impl SlotAssignment {
                     }
                     phase -= share as u64;
                 }
+                // deepcheck:allow(panic-path): phase < total = Σ shares, so the loop above always returns
                 unreachable!("phase < total by construction")
             }
         }

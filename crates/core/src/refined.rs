@@ -337,7 +337,7 @@ impl ActivationPolicy for RegionPolicy {
     fn table(&self) -> Option<PolicyTable> {
         // The final segment is unbounded: its coefficient is the tail, and
         // only states before it need explicit entries.
-        let last = self.segments.last().expect("segments are non-empty");
+        let last = self.segments.last()?;
         if last.start > PolicyTable::MAX_EXPLICIT_STATES {
             return None;
         }

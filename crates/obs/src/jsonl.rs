@@ -428,7 +428,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.error("invalid number"))

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::jsonl::JsonObject;
@@ -186,7 +186,7 @@ pub fn record_sample(name: &'static str, elapsed: Duration) {
     if !enabled() {
         return;
     }
-    let mut spans = SPANS.lock().expect("span registry poisoned");
+    let mut spans = SPANS.lock().unwrap_or_else(PoisonError::into_inner);
     spans
         .entry(name)
         .or_default()
@@ -198,19 +198,19 @@ pub fn add_count(name: &'static str, n: u64) {
     if !enabled() {
         return;
     }
-    let mut counters = COUNTERS.lock().expect("counter registry poisoned");
+    let mut counters = COUNTERS.lock().unwrap_or_else(PoisonError::into_inner);
     *counters.entry(name).or_insert(0) += n;
 }
 
 /// Returns and clears all aggregated spans.
 pub fn drain_spans() -> Vec<(&'static str, SpanStats)> {
-    let mut spans = SPANS.lock().expect("span registry poisoned");
+    let mut spans = SPANS.lock().unwrap_or_else(PoisonError::into_inner);
     std::mem::take(&mut *spans).into_iter().collect()
 }
 
 /// Returns and clears all counters.
 pub fn drain_counters() -> Vec<(&'static str, u64)> {
-    let mut counters = COUNTERS.lock().expect("counter registry poisoned");
+    let mut counters = COUNTERS.lock().unwrap_or_else(PoisonError::into_inner);
     std::mem::take(&mut *counters).into_iter().collect()
 }
 

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 const NIL: usize = usize::MAX;
@@ -69,10 +69,12 @@ impl<V> Lru<V> {
     }
 
     fn node(&self, i: usize) -> &Node<V> {
+        // deepcheck:allow(panic-path): slab slots reachable through map/list links are live by construction; a dead index is a corrupted Lru, not request input
         self.nodes[i].as_ref().expect("live node") // tidy:allow(serve-unwrap): intrusive-list liveness invariant, not request input
     }
 
     fn node_mut(&mut self, i: usize) -> &mut Node<V> {
+        // deepcheck:allow(panic-path): slab slots reachable through map/list links are live by construction; a dead index is a corrupted Lru, not request input
         self.nodes[i].as_mut().expect("live node") // tidy:allow(serve-unwrap): intrusive-list liveness invariant, not request input
     }
 
@@ -134,6 +136,7 @@ impl<V> Lru<V> {
         let evicted = if self.map.len() >= self.cap {
             let t = self.tail;
             self.unlink(t);
+            // deepcheck:allow(panic-path): the tail of a non-empty list is a live slab slot; a dead index is a corrupted Lru, not request input
             let node = self.nodes[t].take().expect("tail is live"); // tidy:allow(serve-unwrap): intrusive-list liveness invariant, not request input
             self.free.push(t);
             self.map.remove(&node.key);
@@ -149,6 +152,7 @@ impl<V> Lru<V> {
         };
         let i = match self.free.pop() {
             Some(i) => {
+                // deepcheck:allow(panic-path): indices on the free list were pushed by take()/evict and stay in bounds
                 self.nodes[i] = Some(node);
                 i
             }
@@ -166,6 +170,7 @@ impl<V> Lru<V> {
     pub fn remove(&mut self, key: &str) -> Option<V> {
         let i = self.map.remove(key)?;
         self.unlink(i);
+        // deepcheck:allow(panic-path): slab slots reachable through the map are live by construction; a dead index is a corrupted Lru, not request input
         let node = self.nodes[i].take().expect("live node"); // tidy:allow(serve-unwrap): intrusive-list liveness invariant, not request input
         self.free.push(i);
         Some(node.value)
@@ -324,6 +329,7 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
+        // deepcheck:allow(panic-path): the index is reduced modulo shards.len(), in bounds by construction
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
@@ -331,7 +337,7 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lru.lock().expect("shard lock").len()) // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+            .map(|s| s.lru.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 
@@ -354,7 +360,7 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
         self.shards
             .iter()
             .map(|shard| {
-                let lru = shard.lru.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+                let lru = shard.lru.lock().unwrap_or_else(PoisonError::into_inner);
                 ShardSnapshot {
                     stats: shard.stats.snapshot(),
                     occupancy: lru.len(),
@@ -381,7 +387,11 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
         let flight: Arc<Flight<V, E>>;
         let leader: bool;
         {
-            let mut lru = shard.lru.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+            // Locks ride through poisoning: the compute runs outside the
+            // lock, so a poisoned shard means a sibling panicked in pure
+            // bookkeeping — recovering the guard beats bricking the cache
+            // for every later request.
+            let mut lru = shard.lru.lock().unwrap_or_else(PoisonError::into_inner);
             match lru.get(key) {
                 Some(Entry::Ready(v)) => {
                     let v = v.clone();
@@ -411,7 +421,7 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
         if leader {
             let result = compute();
             {
-                let mut lru = shard.lru.lock().expect("shard lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+                let mut lru = shard.lru.lock().unwrap_or_else(PoisonError::into_inner);
                 match &result {
                     Ok(v) => {
                         if lru
@@ -436,7 +446,7 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
                     }
                 }
             }
-            let mut slot = flight.slot.lock().expect("flight lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
+            let mut slot = flight.slot.lock().unwrap_or_else(PoisonError::into_inner);
             *slot = Some(result.clone());
             drop(slot);
             flight.cv.notify_all();
@@ -452,19 +462,21 @@ impl<V: Clone, E: Clone> ShardedCache<V, E> {
 
         // Waiter: block on the leader's result.
         shard.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-        let guard = flight.slot.lock().expect("flight lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
-        let (guard, timeout) = flight
+        let guard = flight.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let (guard, _timeout) = flight
             .cv
             .wait_timeout_while(guard, wait_timeout, |slot| slot.is_none())
-            .expect("flight lock"); // tidy:allow(serve-unwrap): a poisoned lock means a sibling worker already panicked
-        if timeout.timed_out() && guard.is_none() {
-            shard.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-            return Fetch::TimedOut;
-        }
-        // tidy:allow(serve-unwrap): the leader always publishes before notifying
-        match guard.as_ref().expect("leader published a result") {
-            Ok(v) => Fetch::Coalesced(v.clone()),
-            Err(e) => {
+            .unwrap_or_else(PoisonError::into_inner);
+        // `wait_timeout_while` returns either because the slot filled or
+        // because the wait timed out with it still empty — so an empty slot
+        // here *is* the timeout, no separate flag check needed.
+        match guard.as_ref() {
+            None => {
+                shard.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                Fetch::TimedOut
+            }
+            Some(Ok(v)) => Fetch::Coalesced(v.clone()),
+            Some(Err(e)) => {
                 shard.stats.failures.fetch_add(1, Ordering::Relaxed);
                 Fetch::Failed(e.clone())
             }

@@ -124,7 +124,7 @@ fn read_line_limited(r: &mut impl BufRead, max: usize) -> Result<Option<String>,
         }
         match available.iter().position(|&b| b == b'\n') {
             Some(i) => {
-                line.extend_from_slice(&available[..i]);
+                line.extend_from_slice(&available[..i]); // deepcheck:allow(panic-path): `i` is a position into `available`, in bounds
                 r.consume(i + 1);
                 if line.last() == Some(&b'\r') {
                     line.pop();

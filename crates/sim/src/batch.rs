@@ -193,6 +193,7 @@ impl<'a> ReplicationBatch<'a> {
             let chunk_seeds = &seeds[start..start + len];
             let mut gen_watch = self.phased.then(Stopwatch::new);
             if let Some(w) = gen_watch.as_mut() {
+                // deepcheck:allow(panic-path): `w.start()` is Stopwatch::start; the edge to Server::start is a method-name alias
                 w.start();
             }
             let mut schedules = Vec::with_capacity(len);

@@ -11,7 +11,7 @@
 //! figure runners and the serving load generator.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Applies `f` to every item on up to `threads` worker threads (capped at
 /// the item count), returning results in the input order.
@@ -107,11 +107,12 @@ where
                 for i in start..(start + chunk).min(n) {
                     let item = work[i]
                         .lock()
-                        .expect("no other claimant for this index")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .take()
+                        // deepcheck:allow(panic-path): the atomic cursor hands each index to exactly one worker, so the slot is always full here
                         .expect("each index is claimed once");
                     let value = f(item);
-                    *results[i].lock().expect("result slot uncontended") = Some(value);
+                    *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
                 }
             });
         }
@@ -120,7 +121,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("worker threads have exited")
+                .unwrap_or_else(PoisonError::into_inner)
+                // deepcheck:allow(panic-path): the scope joins every worker and the cursor covers every index, so each slot was filled
                 .expect("every index was processed")
         })
         .collect()

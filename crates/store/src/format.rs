@@ -189,7 +189,7 @@ pub fn encode(scenario: &Scenario, params: &PolicyParams, iterations: u64) -> Ve
             let mut bits = vec![0u8; active.len().div_ceil(8)];
             for (i, &a) in active.iter().enumerate() {
                 if a {
-                    bits[i / 8] |= 1 << (i % 8);
+                    bits[i / 8] |= 1 << (i % 8); // deepcheck:allow(panic-path): i < active.len() and bits holds div_ceil(len, 8) bytes
                 }
             }
             buf.extend_from_slice(&bits);
@@ -227,7 +227,7 @@ impl<'a> Reader<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| self.err(format!("truncated: wanted {n} more bytes")))?;
-        let out = &self.buf[self.pos..end];
+        let out = &self.buf[self.pos..end]; // deepcheck:allow(panic-path): `end` is checked against buf.len() just above
         self.pos = end;
         Ok(out)
     }
@@ -236,12 +236,22 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Takes exactly `N` bytes as a fixed array (element-wise copy, so a
+    /// short read surfaces as `take`'s truncation error, never a panic).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], FormatError> {
+        let mut out = [0u8; N];
+        for (dst, src) in out.iter_mut().zip(self.take(N)?) {
+            *dst = *src;
+        }
+        Ok(out)
+    }
+
     fn u32(&mut self) -> Result<u32, FormatError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, FormatError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, FormatError> {
@@ -362,6 +372,7 @@ pub fn decode(payload: &[u8]) -> Result<(Scenario, PolicyParams, u64), FormatErr
             }
             let bytes = r.take(len.div_ceil(8))?;
             let active = (0..len)
+                // deepcheck:allow(panic-path): i < len and `bytes` holds div_ceil(len, 8) bytes
                 .map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1)
                 .collect();
             PolicyParams::Myopic {
@@ -375,7 +386,10 @@ pub fn decode(payload: &[u8]) -> Result<(Scenario, PolicyParams, u64), FormatErr
                 },
             }
         }
-        _ => unreachable!("tag validated above"),
+        // The tag was validated against the scenario's policy above; an
+        // unknown value here means that validation drifted — fail the
+        // decode instead of panicking.
+        other => return Err(r.err(format!("unhandled params tag {other}"))),
     };
     if r.pos != payload.len() {
         return Err(r.err(format!(

@@ -385,8 +385,8 @@ impl Store {
         self.file.seek(SeekFrom::Start(entry.offset))?;
         let mut header = [0u8; 8];
         self.file.read_exact(&mut header)?;
-        let len = u32::from_le_bytes(header[..4].try_into().expect("len bytes"));
-        let crc = u32::from_le_bytes(header[4..].try_into().expect("crc bytes"));
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
         if len != entry.len {
             return Err(corrupt(format!(
                 "indexed length {} disagrees with on-disk length {len}",

@@ -1,0 +1,111 @@
+//! Hot-path allocation analysis: from the allocation-free roots (cache
+//! lookup, per-request metrics recording), no path may reach an
+//! allocating constructor.
+//!
+//! Needles: `format!`/`vec!`, the owning conversions (`to_string`,
+//! `to_owned`, `to_vec`, `collect`, `join`, `into_owned`), and the
+//! constructor paths (`Vec::new`, `String::from`, `Box::new`, …).
+//! `Vec::new`/`String::new` do not themselves allocate but are flagged
+//! conservatively — an empty container on a hot path exists to be pushed
+//! into. `.clone()` is deliberately *not* a needle: `Copy` types clone
+//! freely and the counting-allocator tests catch deep clones at runtime;
+//! flagging every clone statically would be all noise.
+//!
+//! The response *renderers* (`/metrics` exposition, JSON bodies) are not
+//! roots: building a response body allocates by design. The roots are the
+//! bookkeeping paths that run on every request including cache hits.
+
+use crate::callgraph::Graph;
+use crate::syntax::CallKind;
+
+use super::{Config, Finding, Waivers};
+
+const MACROS: &[&str] = &["format", "vec"];
+
+const METHODS: &[&str] = &[
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "join",
+    "into_owned",
+    "to_uppercase",
+    "to_lowercase",
+    "repeat",
+];
+
+const CTOR_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "Arc", "Rc", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
+];
+
+const CTOR_FNS: &[&str] = &["new", "with_capacity", "from", "from_iter"];
+
+pub(super) fn check(g: &Graph, cfg: &Config, w: &Waivers) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut roots = Vec::new();
+    for spec in &cfg.alloc_roots {
+        let m = g.find_roots(spec);
+        if m.is_empty() {
+            findings.push(Finding {
+                rule: "alloc-hot",
+                file: String::new(),
+                line: 0,
+                message: format!(
+                    "root `{spec}` matches no function — the analysis config has drifted \
+                     from the code; update the root list"
+                ),
+                chain: Vec::new(),
+            });
+        }
+        roots.extend(m);
+    }
+
+    let parent = g.reach(&roots, |caller, e| {
+        w.covers(&g.fns[caller].file, e.line, "alloc-hot")
+    });
+
+    for i in 0..g.fns.len() {
+        if parent[i].is_none() {
+            continue;
+        }
+        let f = &g.fns[i];
+        for call in &g.facts[i].calls {
+            let what = match &call.kind {
+                CallKind::Macro { name } if MACROS.contains(&name.as_str()) => {
+                    format!("`{name}!`")
+                }
+                CallKind::Method { name, recv }
+                    if METHODS.contains(&name.as_str())
+                        && !g.is_own_method(i, name, recv.as_deref()) =>
+                {
+                    format!("`.{name}()`")
+                }
+                CallKind::Path { segments }
+                    if segments.len() >= 2
+                        && CTOR_FNS.contains(&segments[segments.len() - 1].as_str())
+                        && CTOR_TYPES.contains(&segments[segments.len() - 2].as_str()) =>
+                {
+                    format!(
+                        "`{}::{}`",
+                        segments[segments.len() - 2],
+                        segments[segments.len() - 1]
+                    )
+                }
+                _ => continue,
+            };
+            if w.covers(&f.file, call.line, "alloc-hot") {
+                continue;
+            }
+            let mut chain = g.chain(&parent, i);
+            chain.push(format!("{} at {}:{}", what, f.file, call.line));
+            findings.push(Finding {
+                rule: "alloc-hot",
+                file: f.file.clone(),
+                line: call.line,
+                message: format!("allocating {} reachable from a hot-path root", what),
+                chain,
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,586 @@
+//! Lock-order and lock-held-across-blocking analysis over `crates/serve`
+//! and `crates/store`.
+//!
+//! Acquisition sites are `.lock()` calls plus zero-argument `.read()` /
+//! `.write()` (the `RwLock` spellings; `io::Read::read(buf)` always takes
+//! an argument, which is how the two are told apart). A lock's identity
+//! is the receiver identifier at the call (`shard.lru.lock()` → `lru`) —
+//! two different mutexes that happen to share a field name are conflated,
+//! which over-approximates (may report a false cycle, waivable) and never
+//! under-approximates within a file's naming discipline.
+//!
+//! Guard hold regions follow Rust's drop rules closely enough to be
+//! useful:
+//! - `let g = m.lock()…;` — held to the end of the enclosing block,
+//!   shortened by an explicit `drop(g)`;
+//! - `if let` / `while let` / `match` / `for` over a lock call — held to
+//!   the end of the following brace block (scrutinee temporaries);
+//! - any other expression-position acquisition — held to the end of the
+//!   statement.
+//!
+//! Within a hold region, another acquisition (directly, or transitively
+//! inside any callee) adds an order edge; a cycle in the resulting graph
+//! is a potential deadlock. Acquisition sets propagate only across
+//! *precisely* resolved call edges ([`crate::callgraph::Edge::approx`]
+//! is false): lock
+//! identity is receiver-name-based, so following a name-aliased method
+//! edge (`buf.len()` landing on a sharded cache's lock-taking `len`)
+//! would manufacture order edges between unrelated mutexes. Blocking
+//! summaries still flow across every edge — a blocking callee blocks no
+//! matter which receiver the call was aliased from, and the alias edges
+//! are what catch `guard.append(…)`-style calls on a locked-up handle.
+//! A blocking operation inside a hold region —
+//! file I/O, socket writes (`write_all`/`flush`/…), or any call that
+//! reaches `crates/spec` (solver compute) — is reported as
+//! `lock-blocking`. `Condvar::wait*` is deliberately *not* blocking here:
+//! it releases its guard while parked, which is the whole point of the
+//! single-flight protocol.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::Graph;
+use crate::lexer::{Tok, TokKind};
+use crate::syntax::CallKind;
+
+use super::{Config, Finding, Waivers};
+
+/// One lock acquisition with its computed hold region.
+struct Acq {
+    fn_idx: usize,
+    name: String,
+    line: u32,
+    /// Token index of the `lock`/`read`/`write` name in the body stream.
+    tok: usize,
+    /// Exclusive token bound of the guard's live range.
+    hold_end: usize,
+}
+
+/// Why a function is considered blocking.
+enum Blk {
+    /// A direct needle in this function's body.
+    Direct { op: String, line: u32 },
+    /// A call at `line` into a blocking callee.
+    Via { callee: usize, line: u32 },
+}
+
+pub(super) fn check(g: &Graph, cfg: &Config, w: &Waivers) -> Vec<Finding> {
+    let scoped: Vec<usize> = (0..g.fns.len())
+        .filter(|&i| cfg.lock_crates.contains(&g.fns[i].crate_name))
+        .collect();
+    if scoped.is_empty() {
+        return Vec::new();
+    }
+
+    // 1. Acquisition sites + hold regions, per scoped function.
+    let mut acqs: Vec<Acq> = Vec::new();
+    for &i in &scoped {
+        let body = &g.fns[i].body;
+        for call in &g.facts[i].calls {
+            let CallKind::Method { name, recv } = &call.kind else {
+                continue;
+            };
+            let is_acq =
+                name == "lock" || ((name == "read" || name == "write") && call.arg_tokens == 0);
+            if !is_acq || call.arg_tokens != 0 {
+                continue;
+            }
+            acqs.push(Acq {
+                fn_idx: i,
+                name: recv.clone().unwrap_or_else(|| "<expr>".to_owned()),
+                line: call.line,
+                tok: call.tok,
+                hold_end: hold_region(body, call.tok),
+            });
+        }
+    }
+
+    // 2. Transitive lock-acquisition sets per function (names).
+    let mut acq_sets: Vec<BTreeSet<String>> = vec![BTreeSet::new(); g.fns.len()];
+    for a in &acqs {
+        acq_sets[a.fn_idx].insert(a.name.clone());
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..g.fns.len() {
+            for e in &g.edges[i] {
+                if e.callee == i || e.approx {
+                    continue;
+                }
+                let add: Vec<String> = acq_sets[e.callee]
+                    .iter()
+                    .filter(|n| !acq_sets[i].contains(*n))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    acq_sets[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 3. Blocking summaries (monotone fixpoint with evidence).
+    let mut blocking: Vec<Option<Blk>> = (0..g.fns.len()).map(|i| direct_blocking(g, i)).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..g.fns.len() {
+            if blocking[i].is_some() {
+                continue;
+            }
+            for e in &g.edges[i] {
+                if e.callee != i && blocking[e.callee].is_some() {
+                    blocking[i] = Some(Blk::Via {
+                        callee: e.callee,
+                        line: e.line,
+                    });
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+
+    // 4. Per-acquisition: order edges and blocking findings.
+    let mut order: BTreeMap<(String, String), Vec<(usize, u32)>> = BTreeMap::new();
+    let mut seen_blocking: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+    for a in &acqs {
+        let f = &g.fns[a.fn_idx];
+        let waived_order = |line: u32| {
+            w.covers(&f.file, a.line, "lock-order") || w.covers(&f.file, line, "lock-order")
+        };
+        let waived_blocking = |line: u32| {
+            w.covers(&f.file, a.line, "lock-blocking") || w.covers(&f.file, line, "lock-blocking")
+        };
+
+        // Nested acquisitions in the same body.
+        for b in &acqs {
+            if b.fn_idx == a.fn_idx && b.tok > a.tok && b.tok < a.hold_end && !waived_order(b.line)
+            {
+                order
+                    .entry((a.name.clone(), b.name.clone()))
+                    .or_default()
+                    .push((a.fn_idx, b.line));
+            }
+        }
+
+        // Calls made while the guard is live.
+        for e in &g.edges[a.fn_idx] {
+            if e.tok <= a.tok || e.tok >= a.hold_end {
+                continue;
+            }
+            // Locks the callee (transitively) acquires. Name-aliased
+            // edges are skipped: receiver-based lock identity is
+            // meaningless across an aliased receiver.
+            if !e.approx {
+                for l in &acq_sets[e.callee] {
+                    if !waived_order(e.line) {
+                        order
+                            .entry((a.name.clone(), l.clone()))
+                            .or_default()
+                            .push((a.fn_idx, e.line));
+                    }
+                }
+            }
+            // Blocking callees.
+            if blocking[e.callee].is_some()
+                && seen_blocking.insert((a.fn_idx, a.line, g.fns[e.callee].qualified()))
+                && !waived_blocking(e.line)
+            {
+                let mut chain = vec![
+                    format!("{} ({}:{})", f.qualified(), f.file, f.line),
+                    format!("acquires `{}` at {}:{}", a.name, f.file, a.line),
+                    format!(
+                        "calls {} ({}:{}) while holding it",
+                        g.fns[e.callee].qualified(),
+                        f.file,
+                        e.line
+                    ),
+                ];
+                push_blocking_evidence(g, &blocking, e.callee, &mut chain);
+                findings.push(Finding {
+                    rule: "lock-blocking",
+                    file: f.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "lock `{}` held across blocking call `{}`",
+                        a.name,
+                        g.fns[e.callee].qualified()
+                    ),
+                    chain,
+                });
+            }
+        }
+
+        // Direct blocking needles in the same body while the guard is live.
+        for call in &g.facts[a.fn_idx].calls {
+            if call.tok <= a.tok || call.tok >= a.hold_end {
+                continue;
+            }
+            let Some(op) = needle(&call.kind) else {
+                continue;
+            };
+            if seen_blocking.insert((a.fn_idx, a.line, op.clone())) && !waived_blocking(call.line) {
+                findings.push(Finding {
+                    rule: "lock-blocking",
+                    file: f.file.clone(),
+                    line: a.line,
+                    message: format!("lock `{}` held across blocking op `{op}`", a.name),
+                    chain: vec![
+                        format!("{} ({}:{})", f.qualified(), f.file, f.line),
+                        format!("acquires `{}` at {}:{}", a.name, f.file, a.line),
+                        format!("blocking op `{op}` at {}:{}", f.file, call.line),
+                    ],
+                });
+            }
+        }
+    }
+
+    // 5. Cycles in the order graph (self-loops are re-entrant deadlocks).
+    findings.extend(report_cycles(g, &order));
+    findings
+}
+
+/// Renders the `Via → … → Direct` evidence trail into the chain.
+fn push_blocking_evidence(
+    g: &Graph,
+    blocking: &[Option<Blk>],
+    mut cur: usize,
+    chain: &mut Vec<String>,
+) {
+    for _ in 0..blocking.len() {
+        match &blocking[cur] {
+            Some(Blk::Direct { op, line }) => {
+                chain.push(format!("blocking op `{op}` at {}:{line}", g.fns[cur].file));
+                return;
+            }
+            Some(Blk::Via { callee, line }) => {
+                chain.push(format!(
+                    "-> {} (called at {}:{line})",
+                    g.fns[*callee].qualified(),
+                    g.fns[cur].file
+                ));
+                cur = *callee;
+            }
+            None => return,
+        }
+    }
+}
+
+/// Blocking needles a body can contain directly. `Condvar::wait*` is
+/// excluded: it atomically releases the guard it is given.
+fn needle(kind: &CallKind) -> Option<String> {
+    match kind {
+        CallKind::Method { name, .. } => {
+            let blocking = matches!(
+                name.as_str(),
+                "write_all"
+                    | "flush"
+                    | "sync_all"
+                    | "sync_data"
+                    | "read_exact"
+                    | "read_to_end"
+                    | "read_to_string"
+                    | "read_line"
+                    | "write_fmt"
+            );
+            blocking.then(|| format!(".{name}()"))
+        }
+        CallKind::Path { segments } => {
+            let last = segments.last()?.as_str();
+            let qual = segments.iter().rev().nth(1).map(String::as_str);
+            if segments.iter().any(|s| s == "fs") {
+                return Some(segments.join("::"));
+            }
+            match (qual, last) {
+                (Some("File"), "open" | "create" | "options") => Some(segments.join("::")),
+                (Some("OpenOptions"), "new") => Some(segments.join("::")),
+                (Some("TcpStream"), "connect") => Some(segments.join("::")),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// A function is directly blocking if its body contains a needle, or if
+/// it lives in `crates/spec` at all — holding a lock across solver
+/// compute is as bad as holding it across I/O, so every entry into the
+/// solver crate counts and propagates to transitive callers.
+fn direct_blocking(g: &Graph, i: usize) -> Option<Blk> {
+    if g.fns[i].crate_name == "spec" {
+        return Some(Blk::Direct {
+            op: "solver compute (crates/spec)".to_owned(),
+            line: g.fns[i].line,
+        });
+    }
+    for call in &g.facts[i].calls {
+        if let Some(op) = needle(&call.kind) {
+            return Some(Blk::Direct {
+                op,
+                line: call.line,
+            });
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Hold regions
+// ---------------------------------------------------------------------------
+
+/// Computes the exclusive token bound to which the guard produced at
+/// `tok` (the `lock`/`read`/`write` name token) stays live.
+fn hold_region(body: &[Tok], tok: usize) -> usize {
+    let start = stmt_start(body, tok);
+    match body.get(start) {
+        Some(t) if t.is_ident("let") => let_bound_end(body, start, tok),
+        Some(t)
+            if (t.is_ident("if") || t.is_ident("while"))
+                && body.get(start + 1).is_some_and(|n| n.is_ident("let")) =>
+        {
+            block_scoped_end(body, tok)
+        }
+        Some(t) if t.is_ident("match") || t.is_ident("for") => block_scoped_end(body, tok),
+        _ => temp_end(body, tok),
+    }
+}
+
+/// Walks backward to the start of the statement containing `tok`.
+fn stmt_start(body: &[Tok], tok: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = tok as i64 - 1;
+    while k >= 0 {
+        let t = &body[k as usize];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth -= 1;
+            if depth < 0 {
+                return (k + 1) as usize;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return (k + 1) as usize;
+        }
+        k -= 1;
+    }
+    0
+}
+
+/// `let g = …lock()…;` — held to the end of the enclosing block, or an
+/// explicit `drop(g)`.
+fn let_bound_end(body: &[Tok], stmt: usize, tok: usize) -> usize {
+    // Names bound by the pattern (idents before the `=`; includes enum
+    // constructors like `Ok`, which are harmless — nobody drops `Ok`).
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    let mut j = stmt + 1;
+    while j < tok {
+        let t = &body[j];
+        if t.is_punct('=') {
+            break;
+        }
+        if matches!(t.kind, TokKind::Ident | TokKind::RawIdent)
+            && !matches!(t.text.as_str(), "mut" | "ref")
+        {
+            names.insert(&t.text);
+        }
+        j += 1;
+    }
+    let mut depth = 0i32;
+    let mut k = tok + 1;
+    while k < body.len() {
+        let t = &body[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return k;
+            }
+        } else if t.is_ident("drop")
+            && body.get(k + 1).is_some_and(|n| n.is_punct('('))
+            && body
+                .get(k + 2)
+                .is_some_and(|n| names.contains(n.text.as_str()))
+            && body.get(k + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            return k;
+        }
+        k += 1;
+    }
+    body.len()
+}
+
+/// `if let` / `while let` / `match` / `for` — the guard (or scrutinee
+/// temporary) lives to the end of the brace block that follows.
+fn block_scoped_end(body: &[Tok], tok: usize) -> usize {
+    let mut paren = 0i32;
+    let mut k = tok + 1;
+    // Find the block opener at paren depth 0.
+    while k < body.len() {
+        let t = &body[k];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('{') && paren <= 0 {
+            break;
+        }
+        k += 1;
+    }
+    // Its matching close.
+    let mut depth = 0i32;
+    while k < body.len() {
+        let t = &body[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    body.len()
+}
+
+/// Expression-position acquisition — the temporary guard drops at the end
+/// of the statement.
+fn temp_end(body: &[Tok], tok: usize) -> usize {
+    let mut paren = 0i32;
+    let mut brace = 0i32;
+    let mut k = tok + 1;
+    while k < body.len() {
+        let t = &body[k];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace < 0 {
+                return k;
+            }
+        } else if t.is_punct(';') && paren <= 0 && brace == 0 {
+            return k;
+        }
+        k += 1;
+    }
+    body.len()
+}
+
+// ---------------------------------------------------------------------------
+// Cycle detection
+// ---------------------------------------------------------------------------
+
+fn report_cycles(g: &Graph, order: &BTreeMap<(String, String), Vec<(usize, u32)>>) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in order.keys() {
+        adj.entry(a).or_default().insert(b);
+        adj.entry(b).or_default();
+    }
+
+    let witness = |a: &str, b: &str| -> String {
+        match order
+            .get(&(a.to_owned(), b.to_owned()))
+            .and_then(|v| v.first())
+        {
+            Some((fi, line)) => {
+                let f = &g.fns[*fi];
+                format!("`{a}` then `{b}` in {} ({}:{line})", f.qualified(), f.file)
+            }
+            None => format!("`{a}` then `{b}`"),
+        }
+    };
+
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<Vec<&str>> = BTreeSet::new();
+
+    // DFS with an explicit path stack; a back edge onto the stack closes a
+    // cycle. The graph is tiny (lock names), so recursion depth is safe.
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        path: &mut Vec<&'a str>,
+        on_path: &mut BTreeSet<&'a str>,
+        done: &mut BTreeSet<&'a str>,
+        cycles: &mut Vec<Vec<&'a str>>,
+    ) {
+        path.push(node);
+        on_path.insert(node);
+        if let Some(next) = adj.get(node) {
+            for &n in next {
+                if on_path.contains(n) {
+                    let from = path.iter().position(|&p| p == n).unwrap_or(0);
+                    let mut cyc: Vec<&str> = path[from..].to_vec();
+                    cyc.push(n);
+                    cycles.push(cyc);
+                } else if !done.contains(n) {
+                    dfs(n, adj, path, on_path, done, cycles);
+                }
+            }
+        }
+        on_path.remove(node);
+        path.pop();
+        done.insert(node);
+    }
+
+    let mut cycles = Vec::new();
+    let mut done = BTreeSet::new();
+    for &start in adj.keys() {
+        if !done.contains(start) {
+            dfs(
+                start,
+                &adj,
+                &mut Vec::new(),
+                &mut BTreeSet::new(),
+                &mut done,
+                &mut cycles,
+            );
+        }
+    }
+
+    for cyc in cycles {
+        let mut key: Vec<&str> = cyc[..cyc.len() - 1].to_vec();
+        key.sort_unstable();
+        if !reported.insert(key) {
+            continue;
+        }
+        let chain: Vec<String> = cyc.windows(2).map(|w2| witness(w2[0], w2[1])).collect();
+        let (file, line) = cyc
+            .windows(2)
+            .find_map(|w2| {
+                order
+                    .get(&(w2[0].to_owned(), w2[1].to_owned()))
+                    .and_then(|v| v.first())
+                    .map(|(fi, line)| (g.fns[*fi].file.clone(), *line))
+            })
+            .unwrap_or_default();
+        let message = if cyc.len() == 2 && cyc[0] == cyc[1] {
+            format!(
+                "lock `{}` acquired while already held — re-entrant deadlock",
+                cyc[0]
+            )
+        } else {
+            format!("lock-order cycle: {}", cyc.join(" -> "))
+        };
+        findings.push(Finding {
+            rule: "lock-order",
+            file,
+            line,
+            message,
+            chain,
+        });
+    }
+    findings
+}

@@ -1,0 +1,558 @@
+//! `deepcheck --self-test`: a fixture corpus proving every analysis can
+//! fire — and stay quiet when it should.
+//!
+//! Each case is a miniature workspace (a few files with real paths) plus
+//! an analysis config; expectations are (rule, substrings) pairs that
+//! must match distinct findings, with no findings left over. A rule no
+//! case can trigger fails the self-test, exactly like `tidy`'s corpus.
+
+use std::process::ExitCode;
+
+use crate::files::crate_of;
+
+use super::{analyze, Config, SourceUnit, RULES};
+
+struct Case {
+    label: &'static str,
+    files: &'static [(&'static str, &'static str)],
+    panic_roots: &'static [&'static str],
+    alloc_roots: &'static [&'static str],
+    lock_crates: &'static [&'static str],
+    index_crates: &'static [&'static str],
+    /// Expected findings: each entry must match one distinct finding by
+    /// rule and by every substring appearing in its rendered form.
+    expect: &'static [(&'static str, &'static [&'static str])],
+}
+
+const CASES: &[Case] = &[
+    Case {
+        label: "panic two calls deep fires with the full chain",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn root() { helper(); }
+fn helper() { deeper(); }
+fn deeper() { maybe().unwrap(); }
+fn maybe() -> Option<u32> { None }
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[(
+            "panic-path",
+            &["`.unwrap()`", "root (", "helper (", "deeper ("],
+        )],
+    },
+    Case {
+        label: "a justified waiver suppresses the site and is not stale",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn root() { helper(); }
+fn helper() {
+    // deepcheck:allow(panic-path): fixture-justified invariant
+    maybe().unwrap();
+}
+fn maybe() -> Option<u32> { None }
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[],
+    },
+    Case {
+        label: "a waiver in unreachable code is reported stale",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn root() {}
+fn dead() {
+    // deepcheck:allow(panic-path): nothing ever consults this
+    maybe().unwrap();
+}
+fn maybe() -> Option<u32> { None }
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[("stale-waiver", &["never consulted"])],
+    },
+    Case {
+        label: "a waiver naming an unknown rule is reported",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+// deepcheck:allow(panic-free): no such rule
+pub fn root() {}
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[("waiver", &["unknown rule", "panic-free"])],
+    },
+    Case {
+        label: "a waiver without a justification is reported",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+// deepcheck:allow(panic-path)
+pub fn root() {}
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[("waiver", &["justification"])],
+    },
+    Case {
+        label: "runtime slice indexing fires in an index-scoped crate",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn root(xs: &[u64], i: usize) -> u64 { xs[i] }
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &["app"],
+        expect: &[("panic-path", &["slice indexing"])],
+    },
+    Case {
+        label: "literal-only array indexing is not a panic source",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn root(xs: [u64; 3]) -> u64 { xs[0] + xs[1] }
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &["app"],
+        expect: &[],
+    },
+    Case {
+        label: "a type's own `expect` method is a call, not a panic",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub struct Parser { n: u32 }
+impl Parser {
+    pub fn root(&self) -> u32 { self.expect(1) }
+    fn expect(&self, n: u32) -> u32 { self.n + n }
+}
+"#,
+        )],
+        panic_roots: &["app::Parser::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[],
+    },
+    Case {
+        label: "inverted lock orders across two functions form a cycle",
+        files: &[("crates/app/src/lib.rs", DEADLOCK_FIXTURE)],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[("lock-order", &["cycle", "`a` then `b`", "`b` then `a`"])],
+    },
+    Case {
+        label: "a consistent lock order is clean",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<u32>, pub b: Mutex<u32> }
+pub fn one(s: &S) {
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    drop(gb);
+    drop(ga);
+}
+pub fn two(s: &S) {
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    drop(gb);
+    drop(ga);
+}
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[],
+    },
+    Case {
+        label: "an inverted order through a precise self-method call is a cycle",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<u32>, pub b: Mutex<u32> }
+impl S {
+    pub fn outer(&self) {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        self.inner();
+        drop(ga);
+    }
+    fn inner(&self) {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        drop(gb);
+    }
+    pub fn other(&self) {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        drop(ga);
+        drop(gb);
+    }
+}
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[("lock-order", &["cycle", "`a` then `b`", "`b` then `a`"])],
+    },
+    Case {
+        label: "a name-aliased method edge does not smuggle lock order",
+        // `v.len()` on a Vec aliases `Registry::len`, which locks `a`. If
+        // alias edges propagated acquisition sets, `tick` would appear to
+        // take `b` then `a` and close a cycle against `snapshot`'s real
+        // `a` then `b`. They must not.
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+use std::sync::Mutex;
+pub struct Registry { pub a: Mutex<Vec<u8>>, pub b: Mutex<u32> }
+impl Registry {
+    pub fn len(&self) -> usize {
+        self.a.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+    pub fn snapshot(&self) -> usize {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let n = ga.len() + *gb as usize;
+        drop(gb);
+        drop(ga);
+        n
+    }
+}
+pub fn tick(r: &Registry, v: &Vec<u8>) -> usize {
+    let gb = r.b.lock().unwrap_or_else(|e| e.into_inner());
+    let n = v.len();
+    drop(gb);
+    n
+}
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[],
+    },
+    Case {
+        label: "a lock held across file I/O is flagged",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<Vec<u8>> }
+pub fn flush_all(s: &S) {
+    let g = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    std::fs::write("/tmp/evcap-fixture", b"x").ok();
+    drop(g);
+}
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[("lock-blocking", &["`a`", "fs::write"])],
+    },
+    Case {
+        label: "a temporary guard dropped at the statement end is clean",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<Vec<u8>> }
+pub fn bump(s: &S) {
+    s.a.lock().unwrap_or_else(|e| e.into_inner()).push(1);
+    std::fs::write("/tmp/evcap-fixture", b"x").ok();
+}
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[],
+    },
+    Case {
+        label: "a lock held across a transitively-blocking callee is flagged",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<u32> }
+pub fn root(s: &S) {
+    let g = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    persist();
+    drop(g);
+}
+fn persist() { std::fs::write("/tmp/evcap-fixture", b"x").ok(); }
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[("lock-blocking", &["persist", "fs::write"])],
+    },
+    Case {
+        label: "a lock held across a solver call is flagged",
+        files: &[
+            (
+                "crates/app/src/lib.rs",
+                r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<u32> }
+pub fn root(s: &S) {
+    let g = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let _p = evcap_spec::solve();
+    drop(g);
+}
+"#,
+            ),
+            ("crates/spec/src/lib.rs", "pub fn solve() -> u32 { 7 }\n"),
+        ],
+        panic_roots: &[],
+        alloc_roots: &[],
+        lock_crates: &["app"],
+        index_crates: &[],
+        expect: &[("lock-blocking", &["solve", "solver compute"])],
+    },
+    Case {
+        label: "an allocation one call deep fires with the chain",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn hot() -> u32 { warm() }
+fn warm() -> u32 { let s = format!("x{}", 1); s.len() as u32 }
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &["app::hot"],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[("alloc-hot", &["`format!`", "hot (", "warm ("])],
+    },
+    Case {
+        label: "an allocating constructor path fires",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn hot() -> Vec<u8> { Vec::new() }
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &["app::hot"],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[("alloc-hot", &["Vec::new"])],
+    },
+    Case {
+        label: "a waiver on a call line cuts traversal through it",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn hot() -> u32 {
+    // deepcheck:allow(alloc-hot): cold-start fill, allocation-free afterwards
+    warm()
+}
+fn warm() -> u32 { let s = format!("x{}", 1); s.len() as u32 }
+"#,
+        )],
+        panic_roots: &[],
+        alloc_roots: &["app::hot"],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[],
+    },
+    Case {
+        label: "trait-object calls over-approximate onto every impl",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub trait Step { fn go(&self) -> u32; }
+pub struct A;
+impl Step for A { fn go(&self) -> u32 { 1 } }
+pub struct B;
+impl Step for B { fn go(&self) -> u32 { maybe().unwrap() } }
+pub fn root(t: &dyn Step) -> u32 { t.go() }
+fn maybe() -> Option<u32> { None }
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[("panic-path", &["`.unwrap()`", "B::go"])],
+    },
+    Case {
+        label: "a root that matches no function is config drift",
+        files: &[("crates/app/src/lib.rs", "pub fn root() {}\n")],
+        panic_roots: &["app::missing"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[("panic-path", &["matches no function"])],
+    },
+    Case {
+        label: "test code is outside the graph",
+        files: &[(
+            "crates/app/src/lib.rs",
+            r#"
+pub fn root() { helper(); }
+fn helper() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::helper();
+        maybe().unwrap();
+    }
+}
+"#,
+        )],
+        panic_roots: &["app::root"],
+        alloc_roots: &[],
+        lock_crates: &[],
+        index_crates: &[],
+        expect: &[],
+    },
+];
+
+/// The intentionally-deadlockable fixture: two functions taking the same
+/// pair of mutexes in opposite orders. Shared with the integration tests
+/// so the lock-order rule is proved against the exact canonical shape.
+pub const DEADLOCK_FIXTURE: &str = r#"
+use std::sync::Mutex;
+pub struct S { pub a: Mutex<u32>, pub b: Mutex<u32> }
+pub fn ab(s: &S) {
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    drop(gb);
+    drop(ga);
+}
+pub fn ba(s: &S) {
+    let gb = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    let ga = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    drop(ga);
+    drop(gb);
+}
+"#;
+
+fn case_units(case: &Case) -> Vec<SourceUnit> {
+    case.files
+        .iter()
+        .map(|(path, src)| SourceUnit {
+            crate_name: crate_of(path).unwrap_or_else(|| "app".to_owned()),
+            file: (*path).to_owned(),
+            src: (*src).to_owned(),
+        })
+        .collect()
+}
+
+fn case_config(case: &Case) -> Config {
+    Config {
+        panic_roots: case.panic_roots.iter().map(|s| (*s).to_owned()).collect(),
+        alloc_roots: case.alloc_roots.iter().map(|s| (*s).to_owned()).collect(),
+        lock_crates: case.lock_crates.iter().map(|s| (*s).to_owned()).collect(),
+        index_crates: case.index_crates.iter().map(|s| (*s).to_owned()).collect(),
+    }
+}
+
+pub(super) fn run() -> ExitCode {
+    for case in CASES {
+        for (rule, _) in case.expect {
+            assert!(
+                RULES.iter().any(|(name, _)| name == rule),
+                "self-test case `{}` expects unknown rule `{rule}`",
+                case.label
+            );
+        }
+    }
+
+    let mut failures = 0usize;
+    for case in CASES {
+        let report = analyze(&case_units(case), &case_config(case));
+        let mut rendered: Vec<(&'static str, String)> = report
+            .findings
+            .iter()
+            .map(|f| (f.rule, f.rendered()))
+            .collect();
+        let mut ok = true;
+        for (rule, subs) in case.expect {
+            let hit = rendered
+                .iter()
+                .position(|(r, text)| r == rule && subs.iter().all(|s| text.contains(s)));
+            match hit {
+                Some(i) => {
+                    rendered.remove(i);
+                }
+                None => ok = false,
+            }
+        }
+        if !rendered.is_empty() {
+            ok = false;
+        }
+        if ok {
+            println!("ok   {}", case.label);
+        } else {
+            failures += 1;
+            println!("FAIL {} — expected {:?}", case.label, case.expect);
+            for f in &report.findings {
+                println!("     got: {}", f.rendered().replace('\n', "\n     "));
+            }
+        }
+    }
+
+    for (name, _) in RULES {
+        let fired = CASES
+            .iter()
+            .any(|c| c.expect.iter().any(|(r, _)| r == name));
+        if !fired {
+            failures += 1;
+            println!("FAIL rule `{name}` is never exercised by any self-test case");
+        }
+    }
+
+    if failures == 0 {
+        println!(
+            "deepcheck self-test: {} cases, all rules fire — ok",
+            CASES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("deepcheck self-test: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

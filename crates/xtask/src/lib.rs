@@ -1,0 +1,27 @@
+//! In-tree repo tooling, following the cargo-xtask pattern.
+//!
+//! Two lint layers share this crate, both std-only so the workspace stays
+//! offline-buildable:
+//!
+//! - [`tidy`] — a token-level line scan enforcing repo conventions
+//!   (construction sites, clocks, threads, JSON, unsafe, crate docs) with
+//!   inline `// tidy:allow(rule): why` escapes, plus stale-escape
+//!   detection so waivers cannot rot.
+//! - [`deepcheck`] — a syntax-aware analyzer built from a real Rust
+//!   lexer ([`lexer`]), an item/impl/fn extractor ([`syntax`]) and an
+//!   approximate call graph ([`callgraph`]). It proves reachability
+//!   properties a line scan cannot: panic-free serve request paths,
+//!   cycle-free lock acquisition orders, and allocation-free hot paths,
+//!   each with a `// deepcheck:allow(rule): why` waiver mechanism and
+//!   stale-waiver detection.
+//!
+//! Run as `cargo run -p xtask -- tidy` / `-- deepcheck`; both support
+//! `--self-test` fixture corpora proving every rule can fire.
+#![forbid(unsafe_code)]
+
+pub mod callgraph;
+pub mod deepcheck;
+pub mod files;
+pub mod lexer;
+pub mod syntax;
+pub mod tidy;

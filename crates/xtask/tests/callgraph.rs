@@ -1,0 +1,263 @@
+//! Tests pinning down the call-graph resolution rules — including the
+//! *approximations*. The analyzer's soundness story depends on exactly
+//! which edges exist: precise resolutions (self methods, `Type::method`
+//! paths, crate-qualified free functions) carry lock-order information,
+//! while name-based fallback edges are marked approximate and only feed
+//! reachability. These tests assert both the edges and the marks.
+
+use xtask::callgraph::Graph;
+use xtask::syntax::parse_file;
+
+/// Builds a graph over `(crate, file, src)` fixtures.
+fn graph(files: &[(&str, &str, &str)]) -> Graph {
+    let mut fns = Vec::new();
+    for (krate, file, src) in files {
+        fns.extend(parse_file(krate, file, src));
+    }
+    Graph::build(fns)
+}
+
+/// `crate::Type::name` / `crate::name` — [`FnDef::qualified`] with the
+/// crate prefixed, so same-named fns in different crates stay distinct.
+fn label(g: &Graph, i: usize) -> String {
+    format!("{}::{}", g.fns[i].crate_name, g.fns[i].qualified())
+}
+
+fn idx(g: &Graph, name: &str) -> usize {
+    (0..g.fns.len())
+        .find(|&i| label(g, i) == name)
+        .unwrap_or_else(|| {
+            let known: Vec<String> = (0..g.fns.len()).map(|i| label(g, i)).collect();
+            panic!("no fn {name}; have {known:?}")
+        })
+}
+
+fn callees(g: &Graph, caller: &str) -> Vec<(String, bool)> {
+    let i = idx(g, caller);
+    let mut out: Vec<(String, bool)> = g.edges[i]
+        .iter()
+        .map(|e| (label(g, e.callee), e.approx))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[test]
+fn self_method_calls_resolve_precisely() {
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+pub struct S;
+impl S {
+    pub fn outer(&self) { self.inner(); }
+    fn inner(&self) {}
+}
+pub struct T;
+impl T {
+    // Same method name on another type: a self call must not reach it.
+    fn inner(&self) {}
+}
+"#,
+    )]);
+    assert_eq!(
+        callees(&g, "app::S::outer"),
+        vec![("app::S::inner".to_owned(), false)]
+    );
+}
+
+#[test]
+fn type_qualified_paths_resolve_precisely() {
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+pub struct S;
+impl S { pub fn make() -> S { S } }
+pub fn build() -> S { S::make() }
+"#,
+    )]);
+    assert_eq!(
+        callees(&g, "app::build"),
+        vec![("app::S::make".to_owned(), false)]
+    );
+}
+
+#[test]
+fn method_calls_on_unknown_receivers_over_approximate() {
+    // `h.handle()` could be either impl — the graph keeps both edges and
+    // marks them approximate (trait objects erase the concrete type).
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+pub trait Handler { fn handle(&self); }
+pub struct A;
+impl Handler for A { fn handle(&self) {} }
+pub struct B;
+impl Handler for B { fn handle(&self) {} }
+pub fn dispatch(h: &dyn Handler) { h.handle(); }
+"#,
+    )]);
+    let edges = callees(&g, "app::dispatch");
+    assert!(
+        edges.contains(&("app::A::handle".to_owned(), true)),
+        "edges: {edges:?}"
+    );
+    assert!(
+        edges.contains(&("app::B::handle".to_owned(), true)),
+        "edges: {edges:?}"
+    );
+    assert!(
+        edges.iter().all(|(_, approx)| *approx),
+        "fallback edges are approximate"
+    );
+}
+
+#[test]
+fn std_qualified_paths_are_cut() {
+    // `fs::write` must not alias a workspace fn named `write`.
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+use std::fs;
+pub fn persist() { fs::write("/tmp/x", b"x").ok(); }
+pub fn write(bytes: &[u8]) -> usize { bytes.len() }
+"#,
+    )]);
+    assert_eq!(callees(&g, "app::persist"), vec![]);
+}
+
+#[test]
+fn crate_qualified_free_calls_narrow_to_that_crate() {
+    let g = graph(&[
+        (
+            "app",
+            "crates/app/src/lib.rs",
+            "pub fn root() -> u32 { evcap_spec::solve() }\n",
+        ),
+        (
+            "spec",
+            "crates/spec/src/lib.rs",
+            "pub fn solve() -> u32 { 1 }\n",
+        ),
+        (
+            "other",
+            "crates/other/src/lib.rs",
+            "pub fn solve() -> u32 { 2 }\n",
+        ),
+    ]);
+    assert_eq!(
+        callees(&g, "app::root"),
+        vec![("spec::solve".to_owned(), false)]
+    );
+}
+
+#[test]
+fn unqualified_free_calls_keep_every_candidate() {
+    let g = graph(&[
+        (
+            "app",
+            "crates/app/src/lib.rs",
+            "pub fn root() -> u32 { helper() }\n",
+        ),
+        (
+            "app",
+            "crates/app/src/util.rs",
+            "pub fn helper() -> u32 { 1 }\n",
+        ),
+        (
+            "other",
+            "crates/other/src/lib.rs",
+            "pub fn helper() -> u32 { 2 }\n",
+        ),
+    ]);
+    let edges = callees(&g, "app::root");
+    assert_eq!(
+        edges.len(),
+        2,
+        "unqualified free calls over-approximate: {edges:?}"
+    );
+}
+
+#[test]
+fn option_adapters_produce_no_edges() {
+    // `.unwrap()` / `.expect(…)` on a non-self receiver are panic
+    // *sources*, not calls — even when the workspace defines a method of
+    // the same name on some type.
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+pub struct Parser;
+impl Parser { pub fn expect(&self, _n: u32) -> u32 { 0 } }
+pub fn root(v: Option<u32>) -> u32 { v.unwrap() + v.expect("set") }
+"#,
+    )]);
+    assert_eq!(callees(&g, "app::root"), vec![]);
+}
+
+#[test]
+fn own_expect_method_on_self_is_a_real_edge() {
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+pub struct Parser;
+impl Parser {
+    pub fn root(&self) -> u32 { self.expect(1) }
+    fn expect(&self, n: u32) -> u32 { n }
+}
+"#,
+    )]);
+    assert_eq!(
+        callees(&g, "app::Parser::root"),
+        vec![("app::Parser::expect".to_owned(), false)]
+    );
+}
+
+#[test]
+fn atomic_ops_with_an_ordering_argument_are_cut() {
+    // `hits.load(Ordering::Relaxed)` must not alias `Store::load`; a
+    // `store.load(key)` call (no Ordering token) must keep the edge.
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct Store;
+impl Store { pub fn load(&self, _key: &str) -> u32 { 0 } }
+pub fn counter(hits: &AtomicU64) -> u64 { hits.load(Ordering::Relaxed) }
+pub fn lookup(store: &Store, key: &str) -> u32 { store.load(key) }
+"#,
+    )]);
+    assert_eq!(callees(&g, "app::counter"), vec![]);
+    assert_eq!(
+        callees(&g, "app::lookup"),
+        vec![("app::Store::load".to_owned(), true)]
+    );
+}
+
+#[test]
+fn reachability_reports_the_full_chain() {
+    let g = graph(&[(
+        "app",
+        "crates/app/src/lib.rs",
+        r#"
+pub fn a() { b() }
+fn b() { c() }
+fn c() {}
+"#,
+    )]);
+    let roots = g.find_roots("app::a");
+    assert_eq!(roots.len(), 1);
+    let parent = g.reach(&roots, |_, _| false);
+    let target = idx(&g, "app::c");
+    assert!(parent[target].is_some());
+    let chain = g.chain(&parent, target);
+    assert_eq!(chain.len(), 3, "chain: {chain:?}");
+    assert!(chain[0].starts_with("a ("), "chain: {chain:?}");
+    assert!(chain[2].starts_with("c ("), "chain: {chain:?}");
+}
